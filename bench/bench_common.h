@@ -1,0 +1,106 @@
+// Shared driver for the figure-reproduction benches: runs one algorithm on a
+// SYNTH instance and reports the accuracy statistics of Section 8.2 against
+// both ground-truth cubes, plus the runtime.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/scorpion.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace bench {
+
+/// Outcome of one (algorithm, dataset, c) run.
+struct SynthRun {
+  AccuracyStats outer;  // vs the outer cube
+  AccuracyStats inner;  // vs the inner cube
+  double runtime_seconds = 0.0;
+  double influence = 0.0;
+  Predicate best;
+  std::vector<NaiveCheckpoint> checkpoints;  // NAIVE only
+};
+
+/// Fully prepared SYNTH instance (dataset + query result + outlier union).
+struct SynthInstance {
+  SynthDataset dataset;
+  QueryResult qr;
+  RowIdList outlier_union;
+};
+
+inline Result<SynthInstance> MakeSynthInstance(const SynthOptions& opts) {
+  SynthInstance inst;
+  SCORPION_ASSIGN_OR_RETURN(inst.dataset, GenerateSynth(opts));
+  SCORPION_ASSIGN_OR_RETURN(inst.qr,
+                            ExecuteGroupBy(inst.dataset.table,
+                                           inst.dataset.query));
+  SCORPION_ASSIGN_OR_RETURN(
+      ProblemSpec problem,
+      MakeProblem(inst.qr, inst.dataset.outlier_keys,
+                  inst.dataset.holdout_keys, 1.0, 0.5, 1.0,
+                  inst.dataset.attributes));
+  SCORPION_ASSIGN_OR_RETURN(inst.outlier_union,
+                            OutlierUnion(inst.qr, problem));
+  return inst;
+}
+
+inline Result<SynthRun> RunOnSynth(const SynthInstance& inst,
+                                   Algorithm algorithm, double c,
+                                   double naive_budget_seconds = 30.0,
+                                   double lambda = 0.5) {
+  SCORPION_ASSIGN_OR_RETURN(
+      ProblemSpec problem,
+      MakeProblem(inst.qr, inst.dataset.outlier_keys,
+                  inst.dataset.holdout_keys, /*error_direction=*/1.0, lambda,
+                  c, inst.dataset.attributes));
+
+  ScorpionOptions options;
+  options.algorithm = algorithm;
+  options.naive.time_budget_seconds = naive_budget_seconds;
+  options.naive.max_clauses =
+      static_cast<int>(inst.dataset.attributes.size());
+  Scorpion scorpion(options);
+  SCORPION_ASSIGN_OR_RETURN(
+      Explanation explanation,
+      scorpion.Explain(inst.dataset.table, inst.qr, problem));
+
+  SynthRun run;
+  run.runtime_seconds = explanation.runtime_seconds;
+  run.influence = explanation.best().influence;
+  run.best = explanation.best().pred;
+  run.checkpoints = std::move(explanation.naive_checkpoints);
+  SCORPION_ASSIGN_OR_RETURN(
+      run.outer, EvaluatePredicate(inst.dataset.table, run.best,
+                                   inst.outlier_union,
+                                   inst.dataset.outer_rows));
+  SCORPION_ASSIGN_OR_RETURN(
+      run.inner, EvaluatePredicate(inst.dataset.table, run.best,
+                                   inst.outlier_union,
+                                   inst.dataset.inner_rows));
+  return run;
+}
+
+/// Bails out of main() with a message on error.
+#define BENCH_CHECK_OK(expr)                                         \
+  do {                                                               \
+    const auto& _res = (expr);                                       \
+    if (!_res.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s: %s\n", #expr,                  \
+                   _res.status().ToString().c_str());                \
+      return 1;                                                      \
+    }                                                                \
+  } while (false)
+
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace scorpion

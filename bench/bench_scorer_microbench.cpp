@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the Section 5 machinery:
+//  * incrementally removable scoring vs. black-box recomputation
+//    (the Section 5.1 claim: influence from cached state reads only the
+//    matched tuples);
+//  * predicate binding + filtering throughput;
+//  * the Merger's cached-tuple estimate vs. an exact score (Section 6.3).
+#include <benchmark/benchmark.h>
+
+#include "core/merger.h"
+#include "core/scorer.h"
+#include "eval/experiment.h"
+#include "table/selection.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+struct Fixture {
+  SynthDataset dataset;
+  QueryResult qr;
+  ProblemSpec problem;
+  Predicate pred;  // a mid-size box over the planted cube
+
+  static Fixture& Get(const std::string& aggregate) {
+    static std::map<std::string, Fixture> cache;
+    auto it = cache.find(aggregate);
+    if (it != cache.end()) return it->second;
+    Fixture f;
+    SynthOptions opts = SynthPreset(2, /*easy=*/true);
+    opts.tuples_per_group = 5000;
+    f.dataset = GenerateSynth(opts).ValueOrDie();
+    f.dataset.query.aggregate = aggregate;
+    f.qr = ExecuteGroupBy(f.dataset.table, f.dataset.query).ValueOrDie();
+    f.problem = MakeProblem(f.qr, f.dataset.outlier_keys,
+                            f.dataset.holdout_keys, 1.0, 0.5, 0.5,
+                            f.dataset.attributes)
+                    .ValueOrDie();
+    f.pred = f.dataset.outer_cube;
+    return cache.emplace(aggregate, std::move(f)).first->second;
+  }
+};
+
+// AVG is incrementally removable; MEDIAN forces the black-box recompute
+// path. Identical workload shape, so the delta is the Section 5.1 saving.
+void BM_ScoreRemovableAggregate(benchmark::State& state) {
+  Fixture& f = Fixture::Get("AVG");
+  Scorer scorer = Scorer::Make(f.dataset.table, f.qr, f.problem).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Influence(f.pred).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScoreRemovableAggregate);
+
+void BM_ScoreBlackBoxAggregate(benchmark::State& state) {
+  Fixture& f = Fixture::Get("MEDIAN");
+  Scorer scorer = Scorer::Make(f.dataset.table, f.qr, f.problem).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Influence(f.pred).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScoreBlackBoxAggregate);
+
+void BM_PredicateBindAndFilter(benchmark::State& state) {
+  Fixture& f = Fixture::Get("AVG");
+  RowIdList all = AllRows(f.dataset.table.num_rows());
+  for (auto _ : state) {
+    BoundPredicate bound = f.pred.Bind(f.dataset.table).ValueOrDie();
+    benchmark::DoNotOptimize(bound.Filter(all));
+  }
+  state.SetItemsProcessed(state.iterations() * f.dataset.table.num_rows());
+}
+BENCHMARK(BM_PredicateBindAndFilter);
+
+void BM_TupleInfluence(benchmark::State& state) {
+  Fixture& f = Fixture::Get("AVG");
+  Scorer scorer = Scorer::Make(f.dataset.table, f.qr, f.problem).ValueOrDie();
+  int outlier = f.problem.outliers[0];
+  const RowIdList& group = f.qr.results[outlier].input_group;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scorer.TupleInfluence(outlier, group[i++ % group.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleInfluence);
+
+void BM_MergerEstimateVsExact(benchmark::State& state) {
+  // Estimate path: two synthetic partitions with cached tuples.
+  Fixture& f = Fixture::Get("AVG");
+  Scorer scorer = Scorer::Make(f.dataset.table, f.qr, f.problem).ValueOrDie();
+  DomainMap domains =
+      ComputeDomains(f.dataset.table, f.problem.attributes).ValueOrDie();
+  MergerOptions mopts;
+  Merger merger(scorer, domains, mopts);
+
+  auto make_part = [&](double lo, double hi) {
+    ScoredPredicate sp;
+    sp.pred = Predicate();
+    (void)sp.pred.AddRange({"A1", lo, hi, false});
+    (void)sp.pred.AddRange({"A2", lo, hi, false});
+    sp.info.has_representative = true;
+    sp.info.representative = f.qr.results[f.problem.outliers[0]].input_group[0];
+    sp.info.outlier_counts.assign(f.problem.outliers.size(), 100);
+    return sp;
+  };
+  ScoredPredicate a = make_part(10, 40);
+  ScoredPredicate b = make_part(40, 70);
+  std::vector<ScoredPredicate> all = {a, b};
+
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(merger.EstimateMergedInfluence(a, b, all));
+    }
+  } else {
+    Predicate box = Predicate::BoundingBox(a.pred, b.pred);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(scorer.Influence(box).ValueOrDie());
+    }
+  }
+  state.SetLabel(state.range(0) == 0 ? "estimate" : "exact");
+}
+BENCHMARK(BM_MergerEstimateVsExact)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace scorpion
+
+BENCHMARK_MAIN();

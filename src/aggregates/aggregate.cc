@@ -1,0 +1,72 @@
+#include "aggregates/aggregate.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "aggregates/standard_aggregates.h"
+
+namespace scorpion {
+
+Result<AggState> Aggregate::State(const std::vector<double>& values) const {
+  (void)values;
+  return Status::NotImplemented(name() + " is not incrementally removable");
+}
+
+Result<AggState> Aggregate::Update(const std::vector<AggState>& states) const {
+  (void)states;
+  return Status::NotImplemented(name() + " is not incrementally removable");
+}
+
+Result<AggState> Aggregate::Remove(const AggState& total,
+                                   const AggState& removed) const {
+  (void)total;
+  (void)removed;
+  return Status::NotImplemented(name() + " is not incrementally removable");
+}
+
+Result<double> Aggregate::Recover(const AggState& state) const {
+  (void)state;
+  return Status::NotImplemented(name() + " is not incrementally removable");
+}
+
+std::vector<double> ExtractValues(const Column& column, const RowIdList& rows) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (RowId r : rows) {
+    out.push_back(column.GetDouble(r));
+  }
+  return out;
+}
+
+Result<const Aggregate*> GetAggregate(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  static const CountAggregate kCount;
+  static const SumAggregate kSum;
+  static const AvgAggregate kAvg;
+  static const VarianceAggregate kVariance;
+  static const StddevAggregate kStddev;
+  static const MinAggregate kMin;
+  static const MaxAggregate kMax;
+  static const MedianAggregate kMedian;
+  if (upper == "COUNT") return static_cast<const Aggregate*>(&kCount);
+  if (upper == "SUM") return static_cast<const Aggregate*>(&kSum);
+  if (upper == "AVG") return static_cast<const Aggregate*>(&kAvg);
+  if (upper == "VARIANCE" || upper == "VAR") {
+    return static_cast<const Aggregate*>(&kVariance);
+  }
+  if (upper == "STDDEV" || upper == "STD") {
+    return static_cast<const Aggregate*>(&kStddev);
+  }
+  if (upper == "MIN") return static_cast<const Aggregate*>(&kMin);
+  if (upper == "MAX") return static_cast<const Aggregate*>(&kMax);
+  if (upper == "MEDIAN") return static_cast<const Aggregate*>(&kMedian);
+  return Status::KeyError("no aggregate named '" + name + "'");
+}
+
+std::vector<std::string> RegisteredAggregates() {
+  return {"COUNT", "SUM", "AVG", "VARIANCE", "STDDEV", "MIN", "MAX", "MEDIAN"};
+}
+
+}  // namespace scorpion

@@ -1,0 +1,218 @@
+#include "aggregates/standard_aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+namespace {
+
+Status CheckArity(const std::string& op, const AggState& state, size_t n) {
+  if (state.size() != n) {
+    return Status::InvalidArgument(op + " state must have " +
+                                   std::to_string(n) + " entries, got " +
+                                   std::to_string(state.size()));
+  }
+  return Status::OK();
+}
+
+double Sum(const std::vector<double>& values) {
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s;
+}
+
+}  // namespace
+
+// --- COUNT -------------------------------------------------------------------
+
+double CountAggregate::Compute(const std::vector<double>& values) const {
+  return static_cast<double>(values.size());
+}
+
+Result<AggState> CountAggregate::State(const std::vector<double>& values) const {
+  return AggState{static_cast<double>(values.size())};
+}
+
+Result<AggState> CountAggregate::Update(
+    const std::vector<AggState>& states) const {
+  double n = 0.0;
+  for (const AggState& s : states) {
+    SCORPION_RETURN_NOT_OK(CheckArity("COUNT", s, 1));
+    n += s[0];
+  }
+  return AggState{n};
+}
+
+Result<AggState> CountAggregate::Remove(const AggState& total,
+                                        const AggState& removed) const {
+  SCORPION_RETURN_NOT_OK(CheckArity("COUNT", total, 1));
+  SCORPION_RETURN_NOT_OK(CheckArity("COUNT", removed, 1));
+  return AggState{total[0] - removed[0]};
+}
+
+Result<double> CountAggregate::Recover(const AggState& state) const {
+  SCORPION_RETURN_NOT_OK(CheckArity("COUNT", state, 1));
+  return state[0];
+}
+
+// --- SUM ----------------------------------------------------------------------
+
+double SumAggregate::Compute(const std::vector<double>& values) const {
+  return Sum(values);
+}
+
+bool SumAggregate::CheckAntiMonotone(const std::vector<double>& values) const {
+  return std::none_of(values.begin(), values.end(),
+                      [](double v) { return v < 0.0; });
+}
+
+Result<AggState> SumAggregate::State(const std::vector<double>& values) const {
+  return AggState{Sum(values)};
+}
+
+Result<AggState> SumAggregate::Update(
+    const std::vector<AggState>& states) const {
+  double s = 0.0;
+  for (const AggState& st : states) {
+    SCORPION_RETURN_NOT_OK(CheckArity("SUM", st, 1));
+    s += st[0];
+  }
+  return AggState{s};
+}
+
+Result<AggState> SumAggregate::Remove(const AggState& total,
+                                      const AggState& removed) const {
+  SCORPION_RETURN_NOT_OK(CheckArity("SUM", total, 1));
+  SCORPION_RETURN_NOT_OK(CheckArity("SUM", removed, 1));
+  return AggState{total[0] - removed[0]};
+}
+
+Result<double> SumAggregate::Recover(const AggState& state) const {
+  SCORPION_RETURN_NOT_OK(CheckArity("SUM", state, 1));
+  return state[0];
+}
+
+// --- AVG ----------------------------------------------------------------------
+
+double AvgAggregate::Compute(const std::vector<double>& values) const {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return Sum(values) / static_cast<double>(values.size());
+}
+
+Result<AggState> AvgAggregate::State(const std::vector<double>& values) const {
+  return AggState{Sum(values), static_cast<double>(values.size())};
+}
+
+Result<AggState> AvgAggregate::Update(
+    const std::vector<AggState>& states) const {
+  double sum = 0.0, n = 0.0;
+  for (const AggState& s : states) {
+    SCORPION_RETURN_NOT_OK(CheckArity("AVG", s, 2));
+    sum += s[0];
+    n += s[1];
+  }
+  return AggState{sum, n};
+}
+
+Result<AggState> AvgAggregate::Remove(const AggState& total,
+                                      const AggState& removed) const {
+  SCORPION_RETURN_NOT_OK(CheckArity("AVG", total, 2));
+  SCORPION_RETURN_NOT_OK(CheckArity("AVG", removed, 2));
+  return AggState{total[0] - removed[0], total[1] - removed[1]};
+}
+
+Result<double> AvgAggregate::Recover(const AggState& state) const {
+  SCORPION_RETURN_NOT_OK(CheckArity("AVG", state, 2));
+  if (state[1] <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return state[0] / state[1];
+}
+
+// --- VARIANCE / STDDEV ----------------------------------------------------------
+
+double VarianceAggregate::Compute(const std::vector<double>& values) const {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double n = static_cast<double>(values.size());
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  return std::max(0.0, sum_sq / n - mean * mean);
+}
+
+Result<AggState> VarianceAggregate::State(
+    const std::vector<double>& values) const {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  return AggState{sum, sum_sq, static_cast<double>(values.size())};
+}
+
+Result<AggState> VarianceAggregate::Update(
+    const std::vector<AggState>& states) const {
+  double sum = 0.0, sum_sq = 0.0, n = 0.0;
+  for (const AggState& s : states) {
+    SCORPION_RETURN_NOT_OK(CheckArity(name(), s, 3));
+    sum += s[0];
+    sum_sq += s[1];
+    n += s[2];
+  }
+  return AggState{sum, sum_sq, n};
+}
+
+Result<AggState> VarianceAggregate::Remove(const AggState& total,
+                                           const AggState& removed) const {
+  SCORPION_RETURN_NOT_OK(CheckArity(name(), total, 3));
+  SCORPION_RETURN_NOT_OK(CheckArity(name(), removed, 3));
+  return AggState{total[0] - removed[0], total[1] - removed[1],
+                  total[2] - removed[2]};
+}
+
+Result<double> VarianceAggregate::Recover(const AggState& state) const {
+  SCORPION_RETURN_NOT_OK(CheckArity(name(), state, 3));
+  if (state[2] <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  double mean = state[0] / state[2];
+  return std::max(0.0, state[1] / state[2] - mean * mean);
+}
+
+double StddevAggregate::Compute(const std::vector<double>& values) const {
+  double var = VarianceAggregate::Compute(values);
+  return std::sqrt(var);
+}
+
+Result<double> StddevAggregate::Recover(const AggState& state) const {
+  SCORPION_ASSIGN_OR_RETURN(double var, VarianceAggregate::Recover(state));
+  return std::sqrt(var);
+}
+
+// --- MIN / MAX / MEDIAN -----------------------------------------------------------
+
+double MinAggregate::Compute(const std::vector<double>& values) const {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(values.begin(), values.end());
+}
+
+double MaxAggregate::Compute(const std::vector<double>& values) const {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(values.begin(), values.end());
+}
+
+double MedianAggregate::Compute(const std::vector<double>& values) const {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted = values;
+  size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+  double upper = sorted[mid];
+  if (sorted.size() % 2 == 1) return upper;
+  double lower = *std::max_element(sorted.begin(), sorted.begin() + mid);
+  return (lower + upper) / 2.0;
+}
+
+}  // namespace scorpion

@@ -1,0 +1,109 @@
+// The built-in aggregate operators. Property assignments follow Section 5:
+//
+//   COUNT    removable, independent, anti-monotone (check = always true)
+//   SUM      removable, independent, anti-monotone (check = all non-negative)
+//   AVG      removable, independent, not anti-monotone
+//   VARIANCE removable, independent, not anti-monotone
+//   STDDEV   removable, independent, not anti-monotone
+//   MIN/MAX  not removable; MAX's Delta is anti-monotone (check = true)
+//   MEDIAN   none of the properties (black-box baseline)
+#pragma once
+
+#include "aggregates/aggregate.h"
+
+namespace scorpion {
+
+class CountAggregate : public Aggregate {
+ public:
+  std::string name() const override { return "COUNT"; }
+  double Compute(const std::vector<double>& values) const override;
+  bool is_incrementally_removable() const override { return true; }
+  bool is_independent() const override { return true; }
+  bool CheckAntiMonotone(const std::vector<double>&) const override {
+    return true;
+  }
+  Result<AggState> State(const std::vector<double>& values) const override;
+  Result<AggState> Update(const std::vector<AggState>& states) const override;
+  Result<AggState> Remove(const AggState& total,
+                          const AggState& removed) const override;
+  Result<double> Recover(const AggState& state) const override;
+};
+
+class SumAggregate : public Aggregate {
+ public:
+  std::string name() const override { return "SUM"; }
+  double Compute(const std::vector<double>& values) const override;
+  bool is_incrementally_removable() const override { return true; }
+  bool is_independent() const override { return true; }
+  /// SUM's Delta is anti-monotone iff no value is negative (Section 5.3).
+  bool CheckAntiMonotone(const std::vector<double>& values) const override;
+  Result<AggState> State(const std::vector<double>& values) const override;
+  Result<AggState> Update(const std::vector<AggState>& states) const override;
+  Result<AggState> Remove(const AggState& total,
+                          const AggState& removed) const override;
+  Result<double> Recover(const AggState& state) const override;
+};
+
+class AvgAggregate : public Aggregate {
+ public:
+  std::string name() const override { return "AVG"; }
+  double Compute(const std::vector<double>& values) const override;
+  bool is_incrementally_removable() const override { return true; }
+  bool is_independent() const override { return true; }
+  /// State is [sum, count], exactly the paper's AVG example.
+  Result<AggState> State(const std::vector<double>& values) const override;
+  Result<AggState> Update(const std::vector<AggState>& states) const override;
+  Result<AggState> Remove(const AggState& total,
+                          const AggState& removed) const override;
+  Result<double> Recover(const AggState& state) const override;
+};
+
+/// Population variance: E[x^2] - E[x]^2. State is [sum, sum_sq, count].
+class VarianceAggregate : public Aggregate {
+ public:
+  std::string name() const override { return "VARIANCE"; }
+  double Compute(const std::vector<double>& values) const override;
+  bool is_incrementally_removable() const override { return true; }
+  bool is_independent() const override { return true; }
+  Result<AggState> State(const std::vector<double>& values) const override;
+  Result<AggState> Update(const std::vector<AggState>& states) const override;
+  Result<AggState> Remove(const AggState& total,
+                          const AggState& removed) const override;
+  Result<double> Recover(const AggState& state) const override;
+};
+
+/// Population standard deviation; shares VARIANCE's state decomposition.
+class StddevAggregate : public VarianceAggregate {
+ public:
+  std::string name() const override { return "STDDEV"; }
+  double Compute(const std::vector<double>& values) const override;
+  Result<double> Recover(const AggState& state) const override;
+};
+
+/// MIN is not incrementally removable: removing the minimum requires the
+/// full dataset to find the runner-up (Section 5.1).
+class MinAggregate : public Aggregate {
+ public:
+  std::string name() const override { return "MIN"; }
+  double Compute(const std::vector<double>& values) const override;
+};
+
+/// MAX is not incrementally removable but its Delta is anti-monotone
+/// unconditionally (Section 5.3's MAX.check(D) = True).
+class MaxAggregate : public Aggregate {
+ public:
+  std::string name() const override { return "MAX"; }
+  double Compute(const std::vector<double>& values) const override;
+  bool CheckAntiMonotone(const std::vector<double>&) const override {
+    return true;
+  }
+};
+
+/// MEDIAN has none of the properties; exercises the black-box path.
+class MedianAggregate : public Aggregate {
+ public:
+  std::string name() const override { return "MEDIAN"; }
+  double Compute(const std::vector<double>& values) const override;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,42 @@
+// Minimal leveled logger used by the library for diagnostics. Off (WARN) by
+// default so example/bench output stays clean; tests and benches can raise the
+// level to trace algorithm decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scorpion {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; writes to stderr on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace scorpion
+
+#define SCORPION_LOG(level)                                              \
+  ::scorpion::internal::LogMessage(::scorpion::LogLevel::level, __FILE__, \
+                                   __LINE__)                              \
+      .stream()
+
+#define SCORPION_LOG_DEBUG() SCORPION_LOG(kDebug)
+#define SCORPION_LOG_INFO() SCORPION_LOG(kInfo)
+#define SCORPION_LOG_WARN() SCORPION_LOG(kWarn)
+#define SCORPION_LOG_ERROR() SCORPION_LOG(kError)

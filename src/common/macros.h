@@ -1,0 +1,28 @@
+// Error-propagation macros in the Arrow style.
+#pragma once
+
+#define SCORPION_CONCAT_IMPL(x, y) x##y
+#define SCORPION_CONCAT(x, y) SCORPION_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Status; returns it from the enclosing
+/// function if it is an error.
+#define SCORPION_RETURN_NOT_OK(expr)               \
+  do {                                             \
+    ::scorpion::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs`, on error returns the Status from the enclosing function.
+#define SCORPION_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                   \
+  if (!result_name.ok()) return result_name.status();           \
+  lhs = result_name.MoveValueUnsafe()
+
+#define SCORPION_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SCORPION_ASSIGN_OR_RETURN_IMPL(             \
+      SCORPION_CONCAT(_scorpion_result_, __COUNTER__), lhs, rexpr)
+
+#define SCORPION_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;               \
+  TypeName& operator=(const TypeName&) = delete

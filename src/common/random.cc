@@ -1,0 +1,25 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scorpion {
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  if (k >= n) {
+    std::vector<uint32_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }
+  // Partial Fisher-Yates: only the first k positions need to be shuffled.
+  std::vector<uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t j = static_cast<uint32_t>(UniformInt(i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace scorpion

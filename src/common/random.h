@@ -1,0 +1,50 @@
+// Seeded random number generation. All stochastic behaviour in the library
+// (synthetic data, DT sampling) flows through Rng so experiments are
+// reproducible given a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace scorpion {
+
+/// Thin deterministic wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation. A zero (or
+  /// negative) stddev degenerates to the mean, matching the paper's use of
+  /// N(10, 0) in the Figure 15 variance-reduction rerun.
+  double Normal(double mean, double stddev) {
+    if (stddev <= 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (Floyd's algorithm would be fancier; n is small enough for shuffles).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace scorpion {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kIndexError:
+      return "Index error";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+}  // namespace scorpion

@@ -1,0 +1,101 @@
+// Status: lightweight error propagation without exceptions, following the
+// RocksDB / Apache Arrow idiom. Library entry points return Status (or
+// Result<T>, see result.h) instead of throwing; callers chain with the
+// SCORPION_RETURN_NOT_OK / SCORPION_ASSIGN_OR_RETURN macros in macros.h.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace scorpion {
+
+/// Broad category of an error carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,        // lookup of a name/id that does not exist
+  kIndexError = 3,      // out-of-bounds access
+  kTypeError = 4,       // column/value type mismatch
+  kIOError = 5,         // file read/write failure
+  kNotImplemented = 6,
+  kInternal = 7,        // invariant violation inside the library
+  kCancelled = 8,       // exceeded a user-provided budget/deadline
+};
+
+/// Returns a human-readable name for a status code, e.g. "Invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// An OK status stores no allocation; error states carry a heap-allocated
+/// payload. Copyable and cheaply movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsIndexError() const { return code() == StatusCode::kIndexError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // shared_ptr keeps Status copyable (needed when a Status is stored in a
+  // Result that is itself copied); errors are rare so the allocation is off
+  // the hot path.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace scorpion

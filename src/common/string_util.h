@@ -1,0 +1,26 @@
+// Small string helpers shared across modules (CSV, predicate printing,
+// experiment tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scorpion {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// Formats a double compactly: integral values print without a fractional
+/// part, others with up to `precision` significant digits.
+std::string FormatDouble(double v, int precision = 6);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace scorpion

@@ -1,0 +1,125 @@
+#include "core/attribute_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+namespace {
+
+/// |Pearson correlation| between two aligned series; 0 when degenerate.
+double AbsCorrelation(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return std::fabs(sxy / std::sqrt(sxx * syy));
+}
+
+/// Correlation ratio eta^2: fraction of influence variance explained by the
+/// categorical grouping.
+double CorrelationRatio(const std::vector<int32_t>& codes,
+                        const std::vector<double>& y) {
+  const size_t n = y.size();
+  if (n < 2) return 0.0;
+  double mean = 0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  double total_ss = 0;
+  for (double v : y) total_ss += (v - mean) * (v - mean);
+  if (total_ss <= 0.0) return 0.0;
+
+  struct GroupStat {
+    double sum = 0;
+    size_t count = 0;
+  };
+  std::unordered_map<int32_t, GroupStat> groups;
+  for (size_t i = 0; i < n; ++i) {
+    GroupStat& g = groups[codes[i]];
+    g.sum += y[i];
+    ++g.count;
+  }
+  double between_ss = 0;
+  for (const auto& [code, g] : groups) {
+    (void)code;
+    double gm = g.sum / static_cast<double>(g.count);
+    between_ss += static_cast<double>(g.count) * (gm - mean) * (gm - mean);
+  }
+  return std::clamp(between_ss / total_ss, 0.0, 1.0);
+}
+
+}  // namespace
+
+Result<std::vector<AttributeScore>> RankAttributes(
+    const Scorer& scorer, const std::vector<std::string>& attributes) {
+  const std::vector<std::string>& attrs =
+      attributes.empty() ? scorer.problem().attributes : attributes;
+
+  // One pass: tuple influences over all outlier-group rows.
+  std::vector<RowId> rows;
+  std::vector<double> influences;
+  const ProblemSpec& problem = scorer.problem();
+  for (int idx : problem.outliers) {
+    for (RowId r : scorer.query_result().results[idx].input_group) {
+      double inf = scorer.TupleInfluence(idx, r);
+      if (!std::isfinite(inf)) continue;
+      rows.push_back(r);
+      influences.push_back(inf);
+    }
+  }
+
+  std::vector<AttributeScore> out;
+  out.reserve(attrs.size());
+  for (const std::string& attr : attrs) {
+    SCORPION_ASSIGN_OR_RETURN(const Column* col,
+                              scorer.table().ColumnByName(attr));
+    AttributeScore score;
+    score.attribute = attr;
+    if (col->type() == DataType::kDouble) {
+      std::vector<double> values;
+      values.reserve(rows.size());
+      for (RowId r : rows) values.push_back(col->GetDouble(r));
+      score.score = AbsCorrelation(values, influences);
+    } else {
+      std::vector<int32_t> codes;
+      codes.reserve(rows.size());
+      for (RowId r : rows) codes.push_back(col->GetCode(r));
+      score.score = CorrelationRatio(codes, influences);
+    }
+    out.push_back(std::move(score));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AttributeScore& a, const AttributeScore& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+Result<std::vector<std::string>> SelectTopAttributes(const Scorer& scorer,
+                                                     size_t k) {
+  SCORPION_ASSIGN_OR_RETURN(std::vector<AttributeScore> ranked,
+                            RankAttributes(scorer));
+  std::vector<std::string> out;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    out.push_back(ranked[i].attribute);
+  }
+  return out;
+}
+
+}  // namespace scorpion

@@ -1,0 +1,39 @@
+// Automatic explanation-attribute selection (Section 6.4).
+//
+// The paper sketches filter-based feature selection to drop non-informative
+// attributes before the search and defers it to future work, relying on the
+// user to pick attributes. This module implements that extension: it ranks
+// each candidate attribute by how much of the outlier tuples' influence
+// structure it explains, so callers (or the Scorpion facade) can keep only
+// the top-k attributes.
+//
+// Scores are normalized to [0, 1]:
+//  * continuous attributes — |Pearson correlation| between the attribute
+//    value and the tuple influence over the outlier input groups;
+//  * categorical attributes — the influence variance explained by grouping
+//    on the attribute (between-group variance / total variance, i.e. the
+//    correlation ratio eta^2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scorer.h"
+
+namespace scorpion {
+
+struct AttributeScore {
+  std::string attribute;
+  double score = 0.0;  // in [0, 1]; higher = more informative
+};
+
+/// Ranks `attributes` (defaults to problem().attributes when empty) by
+/// informativeness over the outlier input groups; descending score order.
+Result<std::vector<AttributeScore>> RankAttributes(
+    const Scorer& scorer, const std::vector<std::string>& attributes = {});
+
+/// Convenience: the top-k attribute names by RankAttributes order.
+Result<std::vector<std::string>> SelectTopAttributes(const Scorer& scorer,
+                                                     size_t k);
+
+}  // namespace scorpion

@@ -1,0 +1,493 @@
+#include "core/dt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+namespace {
+
+/// Mean and standard deviation of a vector (population std; 0 for n < 2).
+void MeanStd(const std::vector<double>& v, double* mean, double* std_dev) {
+  if (v.empty()) {
+    *mean = 0.0;
+    *std_dev = 0.0;
+    return;
+  }
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  *mean = sum / static_cast<double>(v.size());
+  if (v.size() < 2) {
+    *std_dev = 0.0;
+    return;
+  }
+  double ss = 0.0;
+  for (double x : v) ss += (x - *mean) * (x - *mean);
+  *std_dev = std::sqrt(ss / static_cast<double>(v.size()));
+}
+
+/// Weighted child deviation for one group: (nl*sl + nr*sr) / (nl+nr).
+double WeightedChildStd(const std::vector<double>& left,
+                        const std::vector<double>& right) {
+  double ml, sl, mr, sr;
+  MeanStd(left, &ml, &sl);
+  MeanStd(right, &mr, &sr);
+  double n = static_cast<double>(left.size() + right.size());
+  if (n == 0.0) return 0.0;
+  return (static_cast<double>(left.size()) * sl +
+          static_cast<double>(right.size()) * sr) /
+         n;
+}
+
+uint64_t CacheKey(int result_idx, RowId row) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(result_idx)) << 32) |
+         static_cast<uint64_t>(row);
+}
+
+}  // namespace
+
+DTPartitioner::DTPartitioner(const Scorer& scorer, DTOptions options)
+    : scorer_(scorer), options_(options), rng_(options.seed) {}
+
+double DTPartitioner::TupleInfluence(int result_idx, RowId row,
+                                     bool is_outlier) {
+  uint64_t key = CacheKey(result_idx, row);
+  auto it = influence_cache_.find(key);
+  if (it != influence_cache_.end()) return it->second;
+  ++stats_.tuple_influences;
+  double inf = scorer_.TupleInfluence(result_idx, row);
+  if (!is_outlier) inf = std::fabs(inf);  // hold-outs penalize any change
+  if (!std::isfinite(inf)) inf = 0.0;
+  influence_cache_.emplace(key, inf);
+  return inf;
+}
+
+void DTPartitioner::PopulateSample(GroupSlice* slice, double rate,
+                                   bool is_outlier) {
+  size_t n = slice->rows.size();
+  size_t k = n;
+  if (options_.use_sampling) {
+    k = static_cast<size_t>(std::ceil(rate * static_cast<double>(n)));
+    k = std::clamp(k, std::min(options_.min_sample_size, n), n);
+  }
+  if (k >= n) {
+    slice->sample = slice->rows;
+  } else {
+    std::vector<uint32_t> picks =
+        rng_.SampleWithoutReplacement(static_cast<uint32_t>(n),
+                                      static_cast<uint32_t>(k));
+    std::sort(picks.begin(), picks.end());
+    slice->sample.clear();
+    slice->sample.reserve(k);
+    for (uint32_t p : picks) slice->sample.push_back(slice->rows[p]);
+  }
+  stats_.sampled_tuples += slice->sample.size();
+  slice->inf.clear();
+  slice->inf.reserve(slice->sample.size());
+  for (RowId r : slice->sample) {
+    slice->inf.push_back(TupleInfluence(slice->result_idx, r, is_outlier));
+  }
+}
+
+DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
+    const Node& node, double parent_metric) const {
+  SplitChoice best;
+  best.metric = parent_metric;
+
+  for (const std::string& attr : scorer_.problem().attributes) {
+    const Column* col = attr_columns_.at(attr);
+    if (col->type() == DataType::kDouble) {
+      // Candidate split points: quantiles of the node's sampled values.
+      std::vector<double> values;
+      for (const GroupSlice& g : node.groups) {
+        for (RowId r : g.sample) values.push_back(col->GetDouble(r));
+      }
+      if (values.size() < 2) continue;
+      std::sort(values.begin(), values.end());
+      std::vector<double> candidates;
+      for (int q = 1; q <= options_.num_split_candidates; ++q) {
+        size_t pos = values.size() * static_cast<size_t>(q) /
+                     (static_cast<size_t>(options_.num_split_candidates) + 1);
+        pos = std::min(pos, values.size() - 1);
+        double v = values[pos];
+        if (v > values.front() && v <= values.back() &&
+            (candidates.empty() || candidates.back() != v)) {
+          candidates.push_back(v);
+        }
+      }
+      for (double split : candidates) {
+        // Combined metric: max over groups of weighted child std
+        // (Section 6.1.3).
+        double combined = 0.0;
+        size_t total_left = 0, total_right = 0;
+        for (const GroupSlice& g : node.groups) {
+          std::vector<double> left, right;
+          for (size_t i = 0; i < g.sample.size(); ++i) {
+            if (col->GetDouble(g.sample[i]) < split) {
+              left.push_back(g.inf[i]);
+            } else {
+              right.push_back(g.inf[i]);
+            }
+          }
+          total_left += left.size();
+          total_right += right.size();
+          combined = std::max(combined, WeightedChildStd(left, right));
+        }
+        if (total_left == 0 || total_right == 0) continue;
+        if (combined < best.metric) {
+          best.valid = true;
+          best.is_range = true;
+          best.attr = attr;
+          best.split_value = split;
+          best.metric = combined;
+        }
+      }
+    } else {
+      // Discrete: binary splits {v} vs rest, over the most frequent codes.
+      std::unordered_map<int32_t, size_t> freq;
+      for (const GroupSlice& g : node.groups) {
+        for (RowId r : g.sample) ++freq[col->GetCode(r)];
+      }
+      if (freq.size() < 2) continue;
+      std::vector<std::pair<int32_t, size_t>> by_freq(freq.begin(), freq.end());
+      std::sort(by_freq.begin(), by_freq.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second > b.second ||
+                         (a.second == b.second && a.first < b.first);
+                });
+      size_t limit = std::min<size_t>(
+          by_freq.size(), static_cast<size_t>(options_.max_discrete_split_values));
+      for (size_t vi = 0; vi < limit; ++vi) {
+        int32_t code = by_freq[vi].first;
+        double combined = 0.0;
+        size_t total_left = 0, total_right = 0;
+        for (const GroupSlice& g : node.groups) {
+          std::vector<double> left, right;
+          for (size_t i = 0; i < g.sample.size(); ++i) {
+            if (col->GetCode(g.sample[i]) == code) {
+              left.push_back(g.inf[i]);
+            } else {
+              right.push_back(g.inf[i]);
+            }
+          }
+          total_left += left.size();
+          total_right += right.size();
+          combined = std::max(combined, WeightedChildStd(left, right));
+        }
+        if (total_left == 0 || total_right == 0) continue;
+        if (combined < best.metric) {
+          best.valid = true;
+          best.is_range = false;
+          best.attr = attr;
+          best.code = code;
+          best.metric = combined;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+ScoredPredicate DTPartitioner::MakeLeaf(const Node& node,
+                                        bool is_outlier) const {
+  ScoredPredicate leaf;
+  leaf.pred = node.box;
+  double sum = 0.0;
+  size_t n = 0;
+  for (const GroupSlice& g : node.groups) {
+    for (double v : g.inf) sum += v;
+    n += g.inf.size();
+  }
+  double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  leaf.internal_score = mean;
+  leaf.info.mean_tuple_influence = mean;
+  if (is_outlier) {
+    leaf.info.outlier_counts.reserve(node.groups.size());
+    for (const GroupSlice& g : node.groups) {
+      leaf.info.outlier_counts.push_back(
+          static_cast<uint32_t>(g.rows.size()));
+    }
+    // Representative: sampled tuple whose influence is closest to the mean
+    // (Section 6.3's cached tuple).
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const GroupSlice& g : node.groups) {
+      for (size_t i = 0; i < g.sample.size(); ++i) {
+        double d = std::fabs(g.inf[i] - mean);
+        if (d < best_dist) {
+          best_dist = d;
+          leaf.info.representative = g.sample[i];
+          leaf.info.has_representative = true;
+        }
+      }
+    }
+  }
+  return leaf;
+}
+
+Result<std::vector<ScoredPredicate>> DTPartitioner::PartitionGroups(
+    const std::vector<int>& result_indices, bool is_outlier) {
+  std::vector<ScoredPredicate> leaves;
+  if (result_indices.empty()) return leaves;
+
+  // Initial sampling rate (Section 6.1.2): the smallest rate for which a
+  // sample contains an influential tuple with probability >= 0.95, assuming
+  // influential tuples are an epsilon fraction of the data.
+  size_t total_rows = 0;
+  for (int idx : result_indices) {
+    total_rows += scorer_.query_result().results[idx].input_group.size();
+  }
+  double initial_rate = 1.0;
+  if (options_.use_sampling && total_rows > 0 && options_.epsilon > 0.0 &&
+      options_.epsilon < 1.0) {
+    initial_rate = std::log(0.05) /
+                   (static_cast<double>(total_rows) *
+                    std::log(1.0 - options_.epsilon));
+    initial_rate = std::clamp(initial_rate, 0.0, 1.0);
+  }
+
+  Node root;
+  root.box = Predicate::True();
+  root.depth = 0;
+  for (int idx : result_indices) {
+    GroupSlice slice;
+    slice.result_idx = idx;
+    slice.rows = scorer_.query_result().results[idx].input_group;
+    PopulateSample(&slice, initial_rate, is_outlier);
+    root.groups.push_back(std::move(slice));
+  }
+
+  // Global influence bounds for the threshold curve.
+  inf_lower_ = std::numeric_limits<double>::infinity();
+  inf_upper_ = -std::numeric_limits<double>::infinity();
+  for (const GroupSlice& g : root.groups) {
+    for (double v : g.inf) {
+      inf_lower_ = std::min(inf_lower_, v);
+      inf_upper_ = std::max(inf_upper_, v);
+    }
+  }
+  if (!std::isfinite(inf_lower_) || inf_upper_ <= inf_lower_) {
+    leaves.push_back(MakeLeaf(root, is_outlier));
+    return leaves;
+  }
+
+  std::deque<Node> queue;
+  queue.push_back(std::move(root));
+  while (!queue.empty()) {
+    Node node = std::move(queue.front());
+    queue.pop_front();
+    ++stats_.nodes;
+
+    // Node statistics.
+    size_t node_rows = 0;
+    double node_max_inf = -std::numeric_limits<double>::infinity();
+    double parent_metric = 0.0;
+    for (const GroupSlice& g : node.groups) {
+      node_rows += g.rows.size();
+      double mean, sd;
+      MeanStd(g.inf, &mean, &sd);
+      parent_metric = std::max(parent_metric, sd);
+      for (double v : g.inf) node_max_inf = std::max(node_max_inf, v);
+    }
+
+    // Threshold curve (Figure 4): omega stays at tau_max until infmax passes
+    // the inflection point, then decreases linearly to tau_min at inf_upper.
+    double span = inf_upper_ - inf_lower_;
+    double x_p = inf_lower_ + options_.inflection_p * span;
+    double omega;
+    if (node_max_inf <= x_p) {
+      omega = options_.tau_max;
+    } else if (node_max_inf >= inf_upper_) {
+      omega = options_.tau_min;
+    } else {
+      double slope = (options_.tau_min - options_.tau_max) / (inf_upper_ - x_p);
+      omega = options_.tau_max + slope * (node_max_inf - x_p);
+    }
+    double threshold = omega * span;
+
+    bool stop = parent_metric <= threshold ||
+                node_rows <= options_.min_partition_size ||
+                node.depth >= options_.max_depth;
+    SplitChoice split;
+    if (!stop) {
+      split = ChooseSplit(node, parent_metric);
+      stop = !split.valid;
+    }
+    if (stop) {
+      ++stats_.leaves;
+      leaves.push_back(MakeLeaf(node, is_outlier));
+      continue;
+    }
+
+    // Build the two children and distribute rows / samples.
+    const Column* col = attr_columns_.at(split.attr);
+    Node left, right;
+    left.depth = right.depth = node.depth + 1;
+    if (split.is_range) {
+      const RangeClause* cur = node.box.FindRange(split.attr);
+      double lo = cur != nullptr ? cur->lo : domains_.at(split.attr).lo;
+      double hi = cur != nullptr ? cur->hi : domains_.at(split.attr).hi;
+      bool hi_inc = cur != nullptr ? cur->hi_inclusive : true;
+      left.box = node.box.WithRange({split.attr, lo, split.split_value, false});
+      right.box =
+          node.box.WithRange({split.attr, split.split_value, hi, hi_inc});
+    } else {
+      const SetClause* cur = node.box.FindSet(split.attr);
+      std::vector<int32_t> rest;
+      if (cur != nullptr) {
+        for (int32_t c : cur->codes) {
+          if (c != split.code) rest.push_back(c);
+        }
+      } else {
+        for (int32_t c = 0; c < col->Cardinality(); ++c) {
+          if (c != split.code) rest.push_back(c);
+        }
+      }
+      if (rest.empty()) {  // cannot split a single-valued clause
+        ++stats_.leaves;
+        leaves.push_back(MakeLeaf(node, is_outlier));
+        continue;
+      }
+      left.box = node.box.WithSet({split.attr, {split.code}});
+      right.box = node.box.WithSet({split.attr, std::move(rest)});
+    }
+
+    auto goes_left = [&](RowId r) {
+      if (split.is_range) return col->GetDouble(r) < split.split_value;
+      return col->GetCode(r) == split.code;
+    };
+
+    bool resample = options_.use_sampling;
+    // Stratified child sampling rates (Section 6.1.2): weight by each
+    // child's share of the sampled influence mass (shifted non-negative).
+    double mass_left = 0.0, mass_right = 0.0;
+    size_t sample_total = 0;
+    for (const GroupSlice& g : node.groups) {
+      sample_total += g.sample.size();
+      for (size_t i = 0; i < g.sample.size(); ++i) {
+        double shifted = g.inf[i] - inf_lower_;
+        if (goes_left(g.sample[i])) {
+          mass_left += shifted;
+        } else {
+          mass_right += shifted;
+        }
+      }
+    }
+
+    size_t left_rows_total = 0, right_rows_total = 0;
+    for (GroupSlice& g : node.groups) {
+      GroupSlice gl, gr;
+      gl.result_idx = gr.result_idx = g.result_idx;
+      for (RowId r : g.rows) {
+        (goes_left(r) ? gl.rows : gr.rows).push_back(r);
+      }
+      left_rows_total += gl.rows.size();
+      right_rows_total += gr.rows.size();
+      if (!resample) {
+        // Re-partition the existing sample and influences; no recomputation.
+        for (size_t i = 0; i < g.sample.size(); ++i) {
+          if (goes_left(g.sample[i])) {
+            gl.sample.push_back(g.sample[i]);
+            gl.inf.push_back(g.inf[i]);
+          } else {
+            gr.sample.push_back(g.sample[i]);
+            gr.inf.push_back(g.inf[i]);
+          }
+        }
+      }
+      left.groups.push_back(std::move(gl));
+      right.groups.push_back(std::move(gr));
+    }
+    if (resample) {
+      double mass = mass_left + mass_right;
+      double rate_left = 1.0, rate_right = 1.0;
+      if (mass > 0.0 && sample_total > 0) {
+        if (left_rows_total > 0) {
+          rate_left = (mass_left / mass) * static_cast<double>(sample_total) /
+                      static_cast<double>(left_rows_total);
+        }
+        if (right_rows_total > 0) {
+          rate_right = (mass_right / mass) *
+                       static_cast<double>(sample_total) /
+                       static_cast<double>(right_rows_total);
+        }
+      }
+      for (GroupSlice& g : left.groups) {
+        PopulateSample(&g, std::clamp(rate_left, 0.0, 1.0), is_outlier);
+      }
+      for (GroupSlice& g : right.groups) {
+        PopulateSample(&g, std::clamp(rate_right, 0.0, 1.0), is_outlier);
+      }
+    }
+    queue.push_back(std::move(left));
+    queue.push_back(std::move(right));
+  }
+  return leaves;
+}
+
+Result<std::vector<ScoredPredicate>> DTPartitioner::Run() {
+  const ProblemSpec& problem = scorer_.problem();
+  if (!scorer_.aggregate().is_independent()) {
+    return Status::InvalidArgument(
+        "DT requires an independent aggregate; " + scorer_.aggregate().name() +
+        " is not (use NAIVE)");
+  }
+  SCORPION_ASSIGN_OR_RETURN(
+      domains_, ComputeDomains(scorer_.table(), problem.attributes));
+  attr_columns_.clear();
+  for (const std::string& attr : problem.attributes) {
+    SCORPION_ASSIGN_OR_RETURN(const Column* col,
+                              scorer_.table().ColumnByName(attr));
+    attr_columns_[attr] = col;
+  }
+
+  SCORPION_ASSIGN_OR_RETURN(
+      std::vector<ScoredPredicate> outlier_leaves,
+      PartitionGroups(problem.outliers, /*is_outlier=*/true));
+
+  std::vector<ScoredPredicate> holdout_leaves;
+  if (!problem.holdouts.empty() && problem.lambda < 1.0) {
+    SCORPION_ASSIGN_OR_RETURN(
+        holdout_leaves, PartitionGroups(problem.holdouts, /*is_outlier=*/false));
+  }
+
+  // Combine (Section 6.1.4): split outlier partitions along influential
+  // hold-out partitions so the merger can distinguish regions that perturb
+  // hold-outs from those that only affect outliers.
+  std::vector<ScoredPredicate> candidates = outlier_leaves;
+  if (!holdout_leaves.empty()) {
+    double max_holdout_inf = 0.0;
+    for (const ScoredPredicate& h : holdout_leaves) {
+      max_holdout_inf =
+          std::max(max_holdout_inf, std::fabs(h.info.mean_tuple_influence));
+    }
+    double influential_cut = 0.5 * max_holdout_inf;
+    for (const ScoredPredicate& o : outlier_leaves) {
+      double vo = o.pred.Volume(domains_);
+      for (const ScoredPredicate& h : holdout_leaves) {
+        if (std::fabs(h.info.mean_tuple_influence) < influential_cut) continue;
+        auto inter = Predicate::Intersect(o.pred, h.pred);
+        if (!inter.has_value() || *inter == o.pred) continue;
+        ScoredPredicate refined;
+        refined.pred = std::move(*inter);
+        refined.internal_score = o.internal_score;
+        refined.info = o.info;
+        // Scale cached counts by the volume fraction retained.
+        if (vo > 0.0) {
+          double frac =
+              std::clamp(refined.pred.Volume(domains_) / vo, 0.0, 1.0);
+          for (uint32_t& n : refined.info.outlier_counts) {
+            n = static_cast<uint32_t>(std::lround(frac * n));
+          }
+        }
+        candidates.push_back(std::move(refined));
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace scorpion

@@ -1,0 +1,90 @@
+#include "core/explanation_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace scorpion {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON has no infinity literal; clamp to null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExplanationToJson(const Explanation& explanation,
+                              const Table* table) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"algorithm\": \"" << AlgorithmToString(explanation.algorithm)
+     << "\",\n";
+  os << "  \"runtime_seconds\": " << JsonNumber(explanation.runtime_seconds)
+     << ",\n";
+  os << "  \"scorer_predicate_scores\": "
+     << explanation.scorer_stats.predicate_scores << ",\n";
+  os << "  \"predicates\": [";
+  for (size_t i = 0; i < explanation.predicates.size(); ++i) {
+    const ScoredPredicate& sp = explanation.predicates[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"predicate\": \"" << JsonEscape(sp.pred.ToString(table))
+       << "\", \"influence\": " << JsonNumber(sp.influence) << "}";
+  }
+  os << "\n  ]";
+  if (!explanation.naive_checkpoints.empty()) {
+    os << ",\n  \"naive_exhausted\": "
+       << (explanation.naive_exhausted ? "true" : "false");
+    os << ",\n  \"checkpoints\": [";
+    for (size_t i = 0; i < explanation.naive_checkpoints.size(); ++i) {
+      const NaiveCheckpoint& cp = explanation.naive_checkpoints[i];
+      os << (i == 0 ? "\n" : ",\n");
+      os << "    {\"elapsed_seconds\": " << JsonNumber(cp.elapsed_seconds)
+         << ", \"influence\": " << JsonNumber(cp.influence)
+         << ", \"predicate\": \"" << JsonEscape(cp.pred.ToString(table))
+         << "\"}";
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace scorpion

@@ -1,0 +1,27 @@
+// Serialization of explanations for downstream tools (the visualization
+// front-end in the paper's Figure 2 consumes exactly this shape).
+#pragma once
+
+#include <string>
+
+#include "core/scorpion.h"
+
+namespace scorpion {
+
+/// Renders an Explanation as a JSON document:
+/// {
+///   "algorithm": "DT",
+///   "runtime_seconds": 0.42,
+///   "predicates": [ {"predicate": "...", "influence": 12.3}, ... ],
+///   "checkpoints": [ {"elapsed_seconds": ..., "influence": ...,
+///                     "predicate": "..."}, ... ]   // NAIVE only
+/// }
+/// Set clauses render dictionary strings when `table` is provided.
+std::string ExplanationToJson(const Explanation& explanation,
+                              const Table* table = nullptr);
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace scorpion

@@ -1,0 +1,263 @@
+#include "core/merger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+// Minimum exact-score improvement to accept a merge; guards against
+// floating-point churn producing endless no-op expansions.
+constexpr double kImproveEps = 1e-12;
+}  // namespace
+
+Merger::Merger(const Scorer& scorer, DomainMap domains, MergerOptions options)
+    : scorer_(scorer), domains_(std::move(domains)), options_(options) {}
+
+bool Merger::Adjacent(const Predicate& a, const Predicate& b) {
+  for (const RangeClause& ra : a.ranges()) {
+    const RangeClause* rb = b.FindRange(ra.attr);
+    if (rb == nullptr) continue;  // unconstrained side spans everything
+    if (ra.lo > rb->hi || rb->lo > ra.hi) return false;  // gap between boxes
+  }
+  // Set clauses never block adjacency: the union of two value sets is always
+  // a valid merge.
+  return true;
+}
+
+Status Merger::EnsureScored(ScoredPredicate* sp) const {
+  if (std::isfinite(sp->influence)) return Status::OK();
+  ++stats_.exact_scores;
+  SCORPION_ASSIGN_OR_RETURN(sp->influence, scorer_.Influence(sp->pred));
+  return Status::OK();
+}
+
+bool Merger::CanEstimate(const ScoredPredicate& a,
+                         const ScoredPredicate& b) const {
+  return options_.use_cached_tuple_estimate && scorer_.incremental() &&
+         a.info.has_representative && b.info.has_representative &&
+         a.info.outlier_counts.size() == scorer_.problem().outliers.size() &&
+         b.info.outlier_counts.size() == scorer_.problem().outliers.size();
+}
+
+const AggState& Merger::RepresentativeState(RowId row) const {
+  auto it = rep_state_cache_.find(row);
+  if (it != rep_state_cache_.end()) return it->second;
+  const double rep_value = scorer_.agg_column().GetDouble(row);
+  AggState state = scorer_.aggregate().State({rep_value}).ValueOrDie();
+  return rep_state_cache_.emplace(row, std::move(state)).first->second;
+}
+
+double Merger::OverlapFraction(const Predicate& q, const Predicate& box) const {
+  // Clause-wise volume of q ∩ box divided by volume of q; attributes
+  // unconstrained in q contribute the box clause's own domain share.
+  double frac = 1.0;
+  for (const RangeClause& rq : q.ranges()) {
+    const RangeClause* rb = box.FindRange(rq.attr);
+    if (rb == nullptr) continue;  // box spans q fully on this attribute
+    double width = rq.hi - rq.lo;
+    if (width <= 0.0) {
+      // Degenerate point clause: in or out.
+      if (!rb->Contains(rq.lo)) return 0.0;
+      continue;
+    }
+    double lo = std::max(rq.lo, rb->lo);
+    double hi = std::min(rq.hi, rb->hi);
+    if (hi <= lo) return 0.0;
+    frac *= (hi - lo) / width;
+  }
+  for (const RangeClause& rb : box.ranges()) {
+    if (q.FindRange(rb.attr) != nullptr) continue;
+    auto it = domains_.find(rb.attr);
+    if (it == domains_.end()) continue;
+    double width = it->second.hi - it->second.lo;
+    if (width <= 0.0) continue;
+    double lo = std::max(rb.lo, it->second.lo);
+    double hi = std::min(rb.hi, it->second.hi);
+    if (hi <= lo) return 0.0;
+    frac *= (hi - lo) / width;
+  }
+  for (const SetClause& sq : q.sets()) {
+    const SetClause* sb = box.FindSet(sq.attr);
+    if (sb == nullptr) continue;
+    size_t overlap = 0;
+    for (int32_t code : sq.codes) {
+      if (sb->Contains(code)) ++overlap;
+    }
+    if (overlap == 0) return 0.0;
+    frac *= static_cast<double>(overlap) /
+            static_cast<double>(sq.codes.size());
+  }
+  for (const SetClause& sb : box.sets()) {
+    if (q.FindSet(sb.attr) != nullptr) continue;
+    auto it = domains_.find(sb.attr);
+    if (it == domains_.end() || it->second.cardinality <= 0) continue;
+    frac *= static_cast<double>(sb.codes.size()) /
+            static_cast<double>(it->second.cardinality);
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double Merger::EstimateMergedInfluence(
+    const ScoredPredicate& a, const ScoredPredicate& b,
+    const std::vector<ScoredPredicate>& all) const {
+  ++stats_.estimated_scores;
+  const Predicate box = Predicate::BoundingBox(a.pred, b.pred);
+  const ProblemSpec& problem = scorer_.problem();
+  const Aggregate& agg = scorer_.aggregate();
+  const size_t num_groups = problem.outliers.size();
+
+  // Apportion each partition's tuples to the box by volume overlap
+  // (uniform-density assumption, Section 6.3). Partitions produced by DT
+  // tile the space disjointly, so summing overlap fractions counts each
+  // tuple at most once; this replaces the paper's explicit 0.5 * V12
+  // correction, which exists to undo double counting when the two merged
+  // regions themselves overlap.
+  std::vector<double> removed_counts(num_groups, 0.0);
+  std::vector<AggState> removed_states(num_groups);
+  for (const ScoredPredicate& q : all) {
+    if (!q.info.has_representative ||
+        q.info.outlier_counts.size() != num_groups) {
+      continue;
+    }
+    double frac = OverlapFraction(q.pred, box);
+    if (frac <= 0.0) continue;
+    const AggState& rep_state = RepresentativeState(q.info.representative);
+    for (size_t g = 0; g < num_groups; ++g) {
+      double contrib = frac * static_cast<double>(q.info.outlier_counts[g]);
+      if (contrib <= 0.0) continue;
+      removed_counts[g] += contrib;
+      if (removed_states[g].empty()) {
+        removed_states[g].assign(rep_state.size(), 0.0);
+      }
+      for (size_t k = 0; k < rep_state.size(); ++k) {
+        // k copies of the cached tuple: our removable states are all
+        // element-wise additive, so state(t x n) = n * state(t).
+        removed_states[g][k] += contrib * rep_state[k];
+      }
+    }
+  }
+
+  double sum = 0.0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    if (removed_counts[g] < 1.0) continue;  // nothing removed from this group
+    int result_idx = problem.outliers[g];
+    auto remaining =
+        agg.Remove(scorer_.outlier_states()[g], removed_states[g]);
+    if (!remaining.ok()) return kNegInf;
+    auto updated = agg.Recover(*remaining);
+    if (!updated.ok() || !std::isfinite(*updated)) return kNegInf;
+    double delta = scorer_.OriginalValue(result_idx) - *updated;
+    double denom = std::pow(removed_counts[g], problem.c);
+    sum += problem.error_vectors[g] * delta / denom;
+  }
+  return problem.lambda * sum / static_cast<double>(num_groups);
+}
+
+Result<std::vector<ScoredPredicate>> Merger::Run(
+    std::vector<ScoredPredicate> candidates) const {
+  if (candidates.empty()) return candidates;
+
+  // Dedupe by canonical form.
+  {
+    std::set<std::string> seen;
+    std::vector<ScoredPredicate> unique;
+    for (ScoredPredicate& sp : candidates) {
+      if (seen.insert(sp.pred.ToString()).second) {
+        unique.push_back(std::move(sp));
+      }
+    }
+    candidates = std::move(unique);
+  }
+  for (ScoredPredicate& sp : candidates) {
+    SCORPION_RETURN_NOT_OK(EnsureScored(&sp));
+  }
+  std::sort(candidates.begin(), candidates.end(), ByInfluenceDesc);
+
+  size_t num_seeds = candidates.size();
+  if (options_.top_quartile_only && candidates.size() >= 4) {
+    num_seeds = std::max<size_t>(1, candidates.size() / 4);
+  }
+
+  std::vector<ScoredPredicate> results = candidates;
+  for (size_t s = 0; s < num_seeds; ++s) {
+    ScoredPredicate cur = candidates[s];
+    for (int expansion = 0; expansion < options_.max_expansions_per_seed;
+         ++expansion) {
+      // Collect grow candidates: adjacent partitions not already inside cur.
+      struct Candidate {
+        const ScoredPredicate* other;
+        double estimate;
+      };
+      std::vector<Candidate> grow;
+      for (const ScoredPredicate& other : candidates) {
+        if (options_.same_attributes_only &&
+            other.pred.Attributes() != cur.pred.Attributes()) {
+          continue;
+        }
+        if (Predicate::SyntacticallyContains(cur.pred, other.pred)) continue;
+        if (!Adjacent(cur.pred, other.pred)) continue;
+        double est;
+        if (CanEstimate(cur, other)) {
+          est = EstimateMergedInfluence(cur, other, candidates);
+        } else {
+          est = other.influence;  // fall back to the neighbour's own score
+        }
+        grow.push_back({&other, est});
+        if (grow.size() >= options_.max_candidates_per_step) break;
+      }
+      if (grow.empty()) break;
+      std::sort(grow.begin(), grow.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  return a.estimate > b.estimate;
+                });
+
+      // Accept the first candidate whose *exact* merged influence improves.
+      bool accepted = false;
+      for (const Candidate& cand : grow) {
+        ScoredPredicate merged;
+        merged.pred = Predicate::BoundingBox(cur.pred, cand.other->pred);
+        if (merged.pred == cur.pred) continue;
+        SCORPION_RETURN_NOT_OK(EnsureScored(&merged));
+        if (merged.influence > cur.influence + kImproveEps) {
+          // Carry approximate metadata forward so later estimates stay
+          // possible: counts add, the higher-influence representative wins.
+          merged.info = cur.info;
+          if (cur.info.outlier_counts.size() ==
+              cand.other->info.outlier_counts.size()) {
+            for (size_t g = 0; g < merged.info.outlier_counts.size(); ++g) {
+              merged.info.outlier_counts[g] +=
+                  cand.other->info.outlier_counts[g];
+            }
+          }
+          merged.internal_score =
+              std::max(cur.internal_score, cand.other->internal_score);
+          cur = std::move(merged);
+          accepted = true;
+          ++stats_.merges_accepted;
+          break;
+        }
+      }
+      if (!accepted) break;
+    }
+    results.push_back(std::move(cur));
+  }
+
+  // Final dedupe + sort.
+  std::set<std::string> seen;
+  std::vector<ScoredPredicate> unique;
+  for (ScoredPredicate& sp : results) {
+    if (seen.insert(sp.pred.ToString()).second) {
+      unique.push_back(std::move(sp));
+    }
+  }
+  std::sort(unique.begin(), unique.end(), ByInfluenceDesc);
+  return unique;
+}
+
+}  // namespace scorpion

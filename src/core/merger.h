@@ -1,0 +1,75 @@
+// Merger: greedy bounding-box expansion of candidate predicates
+// (Section 4.3), with the Section 6.3 optimizations:
+//  1. only seeds in the top influence quartile are expanded;
+//  2. for incrementally removable aggregates, candidate merges are ranked by
+//     a cached-tuple volume-overlap approximation instead of exact scoring;
+//     accepted merges are re-scored exactly before being kept.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "core/scored_predicate.h"
+#include "core/scorer.h"
+
+namespace scorpion {
+
+/// Counters for benchmark reporting.
+struct MergerStats {
+  uint64_t exact_scores = 0;      // Scorer::Influence calls
+  uint64_t estimated_scores = 0;  // cached-tuple approximations
+  uint64_t merges_accepted = 0;
+};
+
+/// \brief Greedy predicate merger.
+class Merger {
+ public:
+  /// `scorer` must outlive the Merger. `domains` provides attribute extents
+  /// for volume computations (cached-tuple estimate).
+  Merger(const Scorer& scorer, DomainMap domains, MergerOptions options);
+
+  /// Expands `candidates` and returns the union of inputs and accepted
+  /// merges, deduplicated, exactly scored, sorted by descending influence.
+  Result<std::vector<ScoredPredicate>> Run(
+      std::vector<ScoredPredicate> candidates) const;
+
+  /// Two predicates are adjacent if their clauses touch or overlap on every
+  /// attribute constrained by both (unconstrained attributes always touch).
+  /// Adjacent predicates are merge candidates.
+  static bool Adjacent(const Predicate& a, const Predicate& b);
+
+  /// Section 6.3 approximation: influence of the bounding box of `a` and
+  /// `b`, estimated by apportioning each input partition's cached tuple by
+  /// the volume fraction of the partition inside the box. `all` supplies the
+  /// surrounding partitions (the p3's of Figure 7). Requires an
+  /// incrementally removable aggregate and PartitionInfo on the inputs;
+  /// callers must check CanEstimate() first.
+  double EstimateMergedInfluence(const ScoredPredicate& a,
+                                 const ScoredPredicate& b,
+                                 const std::vector<ScoredPredicate>& all) const;
+
+  /// True if the cached-tuple estimate is usable for these inputs.
+  bool CanEstimate(const ScoredPredicate& a, const ScoredPredicate& b) const;
+
+  MergerStats& stats() const { return stats_; }
+
+ private:
+  /// Ensures `sp.influence` holds the exact score.
+  Status EnsureScored(ScoredPredicate* sp) const;
+
+  /// state(rep value) memoized per representative row.
+  const AggState& RepresentativeState(RowId row) const;
+
+  /// Volume of (q ∩ box) / Volume(q), computed clause-wise without
+  /// materializing the intersection predicate.
+  double OverlapFraction(const Predicate& q, const Predicate& box) const;
+
+  const Scorer& scorer_;
+  DomainMap domains_;
+  MergerOptions options_;
+  mutable MergerStats stats_;
+  mutable std::unordered_map<RowId, AggState> rep_state_cache_;
+};
+
+}  // namespace scorpion

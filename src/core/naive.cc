@@ -1,0 +1,198 @@
+#include "core/naive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/timer.h"
+
+namespace scorpion {
+
+namespace {
+
+/// Advances `idx` to the next size-k combination of [0, n); false at the end.
+bool NextCombination(std::vector<int>* idx, int n) {
+  int k = static_cast<int>(idx->size());
+  for (int i = k - 1; i >= 0; --i) {
+    if ((*idx)[i] < n - (k - i)) {
+      ++(*idx)[i];
+      for (int j = i + 1; j < k; ++j) (*idx)[j] = (*idx)[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+NaivePartitioner::NaivePartitioner(const Scorer& scorer, NaiveOptions options)
+    : scorer_(scorer), options_(options) {}
+
+Result<std::vector<NaivePartitioner::TaggedClause>> NaivePartitioner::ClausesFor(
+    const std::string& attr, int round) const {
+  SCORPION_ASSIGN_OR_RETURN(const Column* col,
+                            scorer_.table().ColumnByName(attr));
+  std::vector<TaggedClause> out;
+  if (col->type() == DataType::kDouble) {
+    // All unions of consecutive equi-width base ranges. Emitted only at
+    // round 1; their complexity never grows.
+    if (round > 1) return out;
+    const int n = options_.num_continuous_splits;
+    const double lo = col->Min();
+    const double hi = col->Max();
+    if (hi <= lo) {
+      TaggedClause tc;
+      tc.is_range = true;
+      tc.range = {attr, lo, hi, /*hi_inclusive=*/true};
+      out.push_back(std::move(tc));
+      return out;
+    }
+    const double width = (hi - lo) / n;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        TaggedClause tc;
+        tc.is_range = true;
+        tc.range.attr = attr;
+        tc.range.lo = lo + i * width;
+        tc.range.hi = (j == n - 1) ? hi : lo + (j + 1) * width;
+        tc.range.hi_inclusive = (j == n - 1);
+        out.push_back(std::move(tc));
+      }
+    }
+    return out;
+  }
+
+  // Discrete: all value subsets of size exactly `round` (callers sweep
+  // rounds, so sizes < round were already enumerated).
+  const int card = col->Cardinality();
+  const int k = round;
+  if (k > card || k > options_.max_discrete_set_size) return out;
+  std::vector<int> idx(k);
+  for (int i = 0; i < k; ++i) idx[i] = i;
+  do {
+    TaggedClause tc;
+    tc.complexity = k;
+    tc.set.attr = attr;
+    for (int i : idx) tc.set.codes.push_back(i);
+    out.push_back(std::move(tc));
+  } while (NextCombination(&idx, card));
+  return out;
+}
+
+Result<NaiveResult> NaivePartitioner::Run() const {
+  const std::vector<std::string>& attrs = scorer_.problem().attributes;
+  const int num_attrs = static_cast<int>(attrs.size());
+  const int max_clauses = std::min(options_.max_clauses, num_attrs);
+
+  NaiveResult result;
+  result.best.influence = -std::numeric_limits<double>::infinity();
+  WallTimer timer;
+  double last_checkpoint = 0.0;
+  bool timed_out = false;
+
+  auto evaluate = [&](const Predicate& pred) -> Status {
+    SCORPION_ASSIGN_OR_RETURN(double inf, scorer_.Influence(pred));
+    ++result.num_evaluated;
+    bool improved = inf > result.best.influence;
+    if (improved) {
+      result.best.pred = pred;
+      result.best.influence = inf;
+    }
+    double elapsed = timer.ElapsedSeconds();
+    if ((improved || elapsed - last_checkpoint >=
+                         options_.checkpoint_interval_seconds) &&
+        std::isfinite(result.best.influence)) {
+      result.checkpoints.push_back(
+          {elapsed, result.best.influence, result.best.pred});
+      last_checkpoint = elapsed;
+    }
+    return Status::OK();
+  };
+
+  // Outer loops per Section 8.2: increasing discrete-clause complexity, then
+  // increasing clause count; inner loop over attribute combinations and the
+  // cartesian product of their clause lists.
+  for (int round = 1; round <= options_.max_discrete_set_size && !timed_out;
+       ++round) {
+    for (int k = 1; k <= max_clauses && !timed_out; ++k) {
+      std::vector<int> combo(k);
+      for (int i = 0; i < k; ++i) combo[i] = i;
+      do {
+        // Clause lists for the chosen attributes. At round r >= 2, at least
+        // one clause must have complexity exactly r (otherwise the predicate
+        // was already enumerated in an earlier round).
+        std::vector<std::vector<TaggedClause>> lists(k);
+        bool any_at_round = (round == 1);
+        for (int i = 0; i < k; ++i) {
+          const std::string& attr = attrs[combo[i]];
+          if (round == 1) {
+            SCORPION_ASSIGN_OR_RETURN(lists[i], ClausesFor(attr, 1));
+          } else {
+            // Sizes 1..round for flexibility; the exact-round constraint is
+            // enforced during recursion.
+            std::vector<TaggedClause> merged;
+            for (int r = 1; r <= round; ++r) {
+              SCORPION_ASSIGN_OR_RETURN(std::vector<TaggedClause> part,
+                                        ClausesFor(attr, r));
+              for (auto& tc : part) merged.push_back(std::move(tc));
+            }
+            lists[i] = std::move(merged);
+          }
+          if (!any_at_round) {
+            for (const TaggedClause& tc : lists[i]) {
+              if (tc.complexity == round) {
+                any_at_round = true;
+                break;
+              }
+            }
+          }
+        }
+        if (lists[0].empty() || !any_at_round) continue;
+        bool skip_combo = false;
+        for (const auto& list : lists) {
+          if (list.empty()) skip_combo = true;
+        }
+        if (skip_combo) continue;
+
+        // Depth-first cartesian product.
+        Predicate current;
+        Status status = Status::OK();
+        std::function<void(int, int)> recurse = [&](int depth,
+                                                    int max_complexity_seen) {
+          if (timed_out || !status.ok()) return;
+          if (depth == k) {
+            if (round > 1 && max_complexity_seen != round) return;
+            status = evaluate(current);
+            if (timer.ElapsedSeconds() > options_.time_budget_seconds) {
+              timed_out = true;
+            }
+            return;
+          }
+          for (const TaggedClause& tc : lists[depth]) {
+            if (timed_out || !status.ok()) return;
+            Predicate saved = current;
+            Status add = tc.is_range ? current.AddRange(tc.range)
+                                     : current.AddSet(tc.set);
+            if (add.ok()) {
+              recurse(depth + 1, std::max(max_complexity_seen, tc.complexity));
+            }
+            current = std::move(saved);
+          }
+        };
+        recurse(0, 1);
+        SCORPION_RETURN_NOT_OK(status);
+      } while (!timed_out && NextCombination(&combo, num_attrs));
+    }
+  }
+
+  result.exhausted = !timed_out;
+  if (std::isfinite(result.best.influence)) {
+    result.checkpoints.push_back(
+        {timer.ElapsedSeconds(), result.best.influence, result.best.pred});
+  }
+  return result;
+}
+
+}  // namespace scorpion

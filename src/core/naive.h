@@ -1,0 +1,64 @@
+// NAIVE partitioner (Section 4.2, with the Section 8.2 modifications):
+// exhaustively enumerates conjunctions of single-attribute clauses in order
+// of increasing complexity, under a wall-clock budget, logging the best
+// predicate over time (the data behind Figures 9-11).
+//
+// Clauses over a continuous attribute are all unions of consecutive
+// equi-width ranges (num_continuous_splits base ranges); clauses over a
+// discrete attribute are all value subsets up to max_discrete_set_size.
+#pragma once
+
+#include <vector>
+
+#include "core/options.h"
+#include "core/scored_predicate.h"
+#include "core/scorer.h"
+
+namespace scorpion {
+
+/// Best-so-far snapshot used for convergence plots (Figure 11).
+struct NaiveCheckpoint {
+  double elapsed_seconds = 0.0;
+  double influence = 0.0;
+  Predicate pred;
+};
+
+/// Outcome of a NAIVE run.
+struct NaiveResult {
+  /// The most influential predicate found.
+  ScoredPredicate best;
+  /// Best-so-far trace, appended on every improvement and at least every
+  /// checkpoint_interval_seconds.
+  std::vector<NaiveCheckpoint> checkpoints;
+  uint64_t num_evaluated = 0;
+  /// True if the full search space (under the complexity caps) was swept;
+  /// false if the time budget expired first.
+  bool exhausted = false;
+};
+
+/// \brief Exhaustive search baseline.
+class NaivePartitioner {
+ public:
+  NaivePartitioner(const Scorer& scorer, NaiveOptions options);
+
+  Result<NaiveResult> Run() const;
+
+ private:
+  /// One enumerable clause with its complexity tag (discrete set size; 1 for
+  /// ranges), applied to a predicate under construction.
+  struct TaggedClause {
+    bool is_range = false;
+    RangeClause range;
+    SetClause set;
+    int complexity = 1;
+  };
+
+  /// All clauses for one attribute at complexity <= `round`.
+  Result<std::vector<TaggedClause>> ClausesFor(const std::string& attr,
+                                               int round) const;
+
+  const Scorer& scorer_;
+  NaiveOptions options_;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,51 @@
+#include "core/problem.h"
+
+#include <algorithm>
+
+namespace scorpion {
+
+Status ProblemSpec::Validate(const QueryResult& result) const {
+  const int n = static_cast<int>(result.results.size());
+  if (outliers.empty()) {
+    return Status::InvalidArgument("at least one outlier result is required");
+  }
+  for (int idx : outliers) {
+    if (idx < 0 || idx >= n) {
+      return Status::IndexError("outlier index " + std::to_string(idx) +
+                                " out of range");
+    }
+  }
+  for (int idx : holdouts) {
+    if (idx < 0 || idx >= n) {
+      return Status::IndexError("holdout index " + std::to_string(idx) +
+                                " out of range");
+    }
+    if (std::find(outliers.begin(), outliers.end(), idx) != outliers.end()) {
+      return Status::InvalidArgument(
+          "result " + std::to_string(idx) +
+          " is flagged as both outlier and hold-out");
+    }
+  }
+  if (error_vectors.size() != outliers.size()) {
+    return Status::InvalidArgument(
+        "error_vectors size " + std::to_string(error_vectors.size()) +
+        " != outliers size " + std::to_string(outliers.size()));
+  }
+  if (lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be in [0, 1]");
+  }
+  if (c < 0.0) {
+    return Status::InvalidArgument("c must be non-negative");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument(
+        "at least one explanation attribute is required");
+  }
+  return Status::OK();
+}
+
+void ProblemSpec::SetUniformErrorVector(double direction) {
+  error_vectors.assign(outliers.size(), direction);
+}
+
+}  // namespace scorpion

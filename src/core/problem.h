@@ -1,0 +1,56 @@
+// ProblemSpec: the Influential Predicates problem instance (Section 3.3) —
+// a query result with provenance, the user's outlier/hold-out annotations,
+// error vectors, and the lambda / c knobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/groupby.h"
+
+namespace scorpion {
+
+/// How Delta(o, p) perturbs the matched tuples (the paper's footnote 3
+/// names value perturbation as the unexplored alternative to deletion).
+enum class InfluenceMode : int {
+  /// Delete p(g_o) from the input group (the paper's formulation).
+  kDelete = 0,
+  /// Replace each matched tuple's aggregate-attribute value with the input
+  /// group's mean. Keeps group cardinalities intact, so no predicate can
+  /// "annihilate" a group, at the cost of a gentler influence signal.
+  kMeanShift = 1,
+};
+
+/// \brief User annotations and knobs defining one IP problem instance.
+struct ProblemSpec {
+  /// Indices into QueryResult::results flagged as outliers (the set O).
+  std::vector<int> outliers;
+  /// Indices flagged as hold-outs (the set H). Disjoint from outliers.
+  std::vector<int> holdouts;
+  /// Error vector per outlier, aligned with `outliers`: +1 means the result
+  /// is too high (removal should decrease it), -1 too low. Scalar because all
+  /// built-in aggregates are scalar-valued; magnitudes other than 1 weight
+  /// outliers relative to each other.
+  std::vector<double> error_vectors;
+  /// Weight of outlier influence vs. hold-out penalty (Section 3.2); in
+  /// [0, 1]. 1.0 ignores hold-outs entirely.
+  double lambda = 0.5;
+  /// Cardinality exponent (Section 7): influence = Delta / |p(g_o)|^c.
+  /// c = 1 is the paper's basic definition; c = 0 ignores predicate size.
+  double c = 1.0;
+  /// Attributes predicates may mention (A_rest or a user-chosen subset,
+  /// Section 6.4).
+  std::vector<std::string> attributes;
+  /// Perturbation semantics for Delta (see InfluenceMode).
+  InfluenceMode influence_mode = InfluenceMode::kDelete;
+
+  /// Validates index ranges, disjointness, vector arities and knob domains
+  /// against a query result.
+  Status Validate(const QueryResult& result) const;
+
+  /// Convenience: marks every outlier "too high" (+1) or "too low" (-1).
+  void SetUniformErrorVector(double direction);
+};
+
+}  // namespace scorpion

@@ -1,0 +1,44 @@
+// ScoredPredicate: the exchange format between partitioners and the Merger.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "predicate/predicate.h"
+#include "table/types.h"
+
+namespace scorpion {
+
+/// Per-partition metadata the DT partitioner attaches so the Merger can run
+/// the Section 6.3 cached-tuple influence approximation without touching the
+/// dataset.
+struct PartitionInfo {
+  /// Tuple counts of this partition within each outlier input group,
+  /// aligned with ProblemSpec::outliers.
+  std::vector<uint32_t> outlier_counts;
+  /// Global row id of the cached tuple (influence closest to the partition's
+  /// mean influence).
+  RowId representative = 0;
+  bool has_representative = false;
+  /// Mean single-tuple influence over the partition's (sampled) tuples.
+  double mean_tuple_influence = 0.0;
+};
+
+/// \brief A candidate predicate with its scores.
+struct ScoredPredicate {
+  Predicate pred;
+  /// Exact inf(O, H, p, V) if computed; -infinity until scored.
+  double influence = -std::numeric_limits<double>::infinity();
+  /// Partitioner-internal ranking score (e.g. DT's mean tuple influence).
+  double internal_score = 0.0;
+  /// Optional cached-tuple metadata (DT only).
+  PartitionInfo info;
+};
+
+/// Descending-influence ordering.
+inline bool ByInfluenceDesc(const ScoredPredicate& a,
+                            const ScoredPredicate& b) {
+  return a.influence > b.influence;
+}
+
+}  // namespace scorpion

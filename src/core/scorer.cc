@@ -1,0 +1,229 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "table/selection.h"
+
+namespace scorpion {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+Result<Scorer> Scorer::Make(const Table& table, const QueryResult& result,
+                            const ProblemSpec& problem) {
+  SCORPION_RETURN_NOT_OK(problem.Validate(result));
+  Scorer scorer;
+  scorer.table_ = &table;
+  scorer.result_ = &result;
+  scorer.problem_ = &problem;
+  SCORPION_ASSIGN_OR_RETURN(scorer.agg_,
+                            GetAggregate(result.query.aggregate));
+  SCORPION_ASSIGN_OR_RETURN(scorer.agg_col_,
+                            table.ColumnByName(result.query.agg_attr));
+  if (scorer.agg_col_->type() != DataType::kDouble) {
+    return Status::TypeError("aggregate attribute must be continuous");
+  }
+  for (const std::string& attr : problem.attributes) {
+    SCORPION_RETURN_NOT_OK(table.ColumnByName(attr).status());
+  }
+
+  scorer.incremental_ = scorer.agg_->is_incrementally_removable();
+  const int n = static_cast<int>(result.results.size());
+  scorer.original_values_.resize(n);
+  scorer.group_means_.resize(n);
+  if (scorer.incremental_) scorer.states_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double> values =
+        ExtractValues(*scorer.agg_col_, result.results[i].input_group);
+    scorer.original_values_[i] = scorer.agg_->Compute(values);
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    scorer.group_means_[i] =
+        values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+    if (scorer.incremental_) {
+      SCORPION_ASSIGN_OR_RETURN(scorer.states_[i], scorer.agg_->State(values));
+    }
+  }
+  if (scorer.incremental_) {
+    for (int idx : problem.outliers) {
+      scorer.outlier_states_.push_back(scorer.states_[idx]);
+    }
+  }
+  return scorer;
+}
+
+double Scorer::Delta(int result_idx, const RowIdList& matched) const {
+  ++stats_.group_deltas;
+  if (matched.empty()) return 0.0;
+  const AggregateResult& res = result_->results[result_idx];
+  const bool mean_shift =
+      problem_->influence_mode == InfluenceMode::kMeanShift;
+  double updated;
+  if (incremental_) {
+    ++stats_.incremental_deltas;
+    const std::vector<double> removed_values =
+        ExtractValues(*agg_col_, matched);
+    // These cannot fail for removable aggregates with well-formed states.
+    AggState removed = agg_->State(removed_values).ValueOrDie();
+    AggState remaining = agg_->Remove(states_[result_idx], removed).ValueOrDie();
+    if (mean_shift) {
+      // Re-insert |matched| copies of the group mean. Our removable states
+      // are element-wise additive, so state(mean x n) = n * state([mean]).
+      AggState mean_state =
+          agg_->State({group_means_[result_idx]}).ValueOrDie();
+      for (double& v : mean_state) {
+        v *= static_cast<double>(matched.size());
+      }
+      remaining = agg_->Update({remaining, mean_state}).ValueOrDie();
+    }
+    updated = agg_->Recover(remaining).ValueOrDie();
+  } else if (mean_shift) {
+    std::vector<double> values = ExtractValues(*agg_col_, res.input_group);
+    size_t m = 0;
+    for (size_t i = 0; i < res.input_group.size(); ++i) {
+      if (m < matched.size() && res.input_group[i] == matched[m]) {
+        values[i] = group_means_[result_idx];
+        ++m;
+      }
+    }
+    updated = agg_->Compute(values);
+  } else {
+    const RowIdList remaining_rows = Difference(res.input_group, matched);
+    updated = agg_->Compute(ExtractValues(*agg_col_, remaining_rows));
+  }
+  // original - updated; NaN propagates to signal an annihilated group.
+  return original_values_[result_idx] - updated;
+}
+
+double Scorer::GroupInfluence(int result_idx, const RowIdList& matched,
+                              bool is_outlier, double error_vector) const {
+  if (matched.empty()) return 0.0;
+  double delta = Delta(result_idx, matched);
+  if (!std::isfinite(delta)) return delta;  // NaN: annihilated group
+  double denom = std::pow(static_cast<double>(matched.size()), problem_->c);
+  double inf = delta / denom;
+  return is_outlier ? inf * error_vector : inf;
+}
+
+Result<double> Scorer::InfluenceImpl(const Predicate& pred,
+                                     bool with_holdouts) const {
+  ++stats_.predicate_scores;
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+
+  double outlier_sum = 0.0;
+  for (size_t i = 0; i < problem_->outliers.size(); ++i) {
+    int idx = problem_->outliers[i];
+    const RowIdList matched =
+        bound.Filter(result_->results[idx].input_group);
+    double inf = GroupInfluence(idx, matched, /*is_outlier=*/true,
+                                problem_->error_vectors[i]);
+    if (!std::isfinite(inf)) return kNegInf;
+    outlier_sum += inf;
+  }
+  double score = problem_->lambda * outlier_sum /
+                 static_cast<double>(problem_->outliers.size());
+
+  if (with_holdouts && !problem_->holdouts.empty() && problem_->lambda < 1.0) {
+    double max_penalty = 0.0;
+    for (int idx : problem_->holdouts) {
+      const RowIdList matched =
+          bound.Filter(result_->results[idx].input_group);
+      double inf = GroupInfluence(idx, matched, /*is_outlier=*/false, 0.0);
+      if (!std::isfinite(inf)) return kNegInf;
+      max_penalty = std::max(max_penalty, std::fabs(inf));
+    }
+    score -= (1.0 - problem_->lambda) * max_penalty;
+  }
+  return score;
+}
+
+Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
+  ++stats_.predicate_scores;
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+
+  DetailedScore out;
+  double outlier_sum = 0.0;
+  bool annihilated = false;
+  for (size_t i = 0; i < problem_->outliers.size(); ++i) {
+    int idx = problem_->outliers[i];
+    RowIdList matched = bound.Filter(result_->results[idx].input_group);
+    double inf = GroupInfluence(idx, matched, /*is_outlier=*/true,
+                                problem_->error_vectors[i]);
+    if (!std::isfinite(inf)) {
+      annihilated = true;
+    } else {
+      outlier_sum += inf;
+    }
+    out.matched_outlier.push_back(std::move(matched));
+  }
+  if (annihilated) {
+    out.full = kNegInf;
+    out.outlier_only = kNegInf;
+    return out;
+  }
+  out.outlier_only = problem_->lambda * outlier_sum /
+                     static_cast<double>(problem_->outliers.size());
+  out.full = out.outlier_only;
+  if (!problem_->holdouts.empty() && problem_->lambda < 1.0) {
+    double max_penalty = 0.0;
+    for (int idx : problem_->holdouts) {
+      const RowIdList matched =
+          bound.Filter(result_->results[idx].input_group);
+      double inf = GroupInfluence(idx, matched, /*is_outlier=*/false, 0.0);
+      if (!std::isfinite(inf)) {
+        out.full = kNegInf;
+        return out;
+      }
+      max_penalty = std::max(max_penalty, std::fabs(inf));
+    }
+    out.full -= (1.0 - problem_->lambda) * max_penalty;
+  }
+  return out;
+}
+
+Result<double> Scorer::Influence(const Predicate& pred) const {
+  return InfluenceImpl(pred, /*with_holdouts=*/true);
+}
+
+Result<double> Scorer::InfluenceOutlierOnly(const Predicate& pred) const {
+  return InfluenceImpl(pred, /*with_holdouts=*/false);
+}
+
+double Scorer::TupleInfluence(int result_idx, RowId row) const {
+  ++stats_.tuple_scores;
+  const RowIdList single{row};
+  auto it = std::find(problem_->outliers.begin(), problem_->outliers.end(),
+                      result_idx);
+  if (it != problem_->outliers.end()) {
+    size_t pos = static_cast<size_t>(it - problem_->outliers.begin());
+    double delta = Delta(result_idx, single);
+    if (!std::isfinite(delta)) return kNegInf;
+    return delta * problem_->error_vectors[pos];
+  }
+  double delta = Delta(result_idx, single);
+  return std::isfinite(delta) ? delta : kNegInf;
+}
+
+double Scorer::RowSetInfluence(int result_idx, const RowIdList& rows) const {
+  auto it = std::find(problem_->outliers.begin(), problem_->outliers.end(),
+                      result_idx);
+  bool is_outlier = it != problem_->outliers.end();
+  double ev = 1.0;
+  if (is_outlier) {
+    size_t pos = static_cast<size_t>(it - problem_->outliers.begin());
+    ev = problem_->error_vectors[pos];
+  }
+  double inf = GroupInfluence(result_idx, rows, is_outlier, ev);
+  return std::isfinite(inf) ? inf : kNegInf;
+}
+
+double Scorer::UpdatedValue(int result_idx, const RowIdList& rows) const {
+  double delta = Delta(result_idx, rows);
+  return original_values_[result_idx] - delta;
+}
+
+}  // namespace scorpion

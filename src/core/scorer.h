@@ -1,0 +1,131 @@
+// Scorer: computes predicate influence (Section 3.2 / Section 7).
+//
+// The Scorer is the hot loop of every search algorithm. For incrementally
+// removable aggregates it caches state(g) per input group once and evaluates
+// Delta(p) by building state(p(g)) from only the matched tuples and calling
+// remove/recover — never rereading the unmatched part of the group
+// (Section 5.1). Black-box aggregates fall back to recomputation over the
+// complement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aggregates/aggregate.h"
+#include "core/problem.h"
+#include "predicate/predicate.h"
+#include "query/groupby.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+/// Full breakdown of a predicate's score, used by MC's pruning rules.
+struct DetailedScore {
+  /// inf(O, H, p, V).
+  double full = 0.0;
+  /// inf(O, {}, p, V) — the hold-out-free conservative bound.
+  double outlier_only = 0.0;
+  /// Rows of each outlier input group matched by the predicate, aligned
+  /// with ProblemSpec::outliers.
+  std::vector<RowIdList> matched_outlier;
+};
+
+/// Running counters, exposed so benchmarks can report scorer traffic.
+struct ScorerStats {
+  uint64_t predicate_scores = 0;   // full inf(O,H,p,V) evaluations
+  uint64_t group_deltas = 0;       // per-group Delta computations
+  uint64_t tuple_scores = 0;       // single-tuple influence computations
+  uint64_t incremental_deltas = 0; // Deltas served by the removable fast path
+};
+
+/// \brief Influence oracle bound to one (table, query result, problem).
+class Scorer {
+ public:
+  /// Builds a scorer; caches per-group aggregate values/states.
+  /// `result` and `table` must outlive the Scorer.
+  static Result<Scorer> Make(const Table& table, const QueryResult& result,
+                             const ProblemSpec& problem);
+
+  /// inf(O, H, p, V): lambda-weighted mean outlier influence minus
+  /// (1-lambda) * max hold-out |influence| (Section 3.2), with the
+  /// cardinality exponent c applied per Section 7. Returns -infinity for
+  /// predicates that annihilate a group whose aggregate is undefined on the
+  /// empty bag (e.g. AVG): deleting a whole group explains nothing.
+  Result<double> Influence(const Predicate& pred) const;
+
+  /// inf(O, {}, p, V): hold-out-free influence, the conservative bound MC
+  /// prunes with (Section 6.2, Figure 6 discussion). Still multiplied by
+  /// lambda so it upper-bounds Influence().
+  Result<double> InfluenceOutlierOnly(const Predicate& pred) const;
+
+  /// Full + hold-out-free influence and the matched outlier rows, in one
+  /// pass over the input groups.
+  Result<DetailedScore> ScoreDetailed(const Predicate& pred) const;
+
+  /// Influence of the singleton predicate matching exactly `row`, which must
+  /// belong to the input group of result `result_idx`. Uses the error vector
+  /// if the result is an outlier, |Delta| if it is a hold-out. Cardinality
+  /// exponent is irrelevant for singletons (1^c = 1).
+  double TupleInfluence(int result_idx, RowId row) const;
+
+  /// Influence of removing an explicit subset of result `result_idx`'s input
+  /// group (rows must all belong to that group). Signed by the error vector
+  /// for outliers.
+  double RowSetInfluence(int result_idx, const RowIdList& rows) const;
+
+  /// Aggregate value of group `result_idx` after removing `rows`.
+  double UpdatedValue(int result_idx, const RowIdList& rows) const;
+
+  // --- Accessors used by the partitioners ------------------------------------
+
+  const Table& table() const { return *table_; }
+  const QueryResult& query_result() const { return *result_; }
+  const ProblemSpec& problem() const { return *problem_; }
+  const Aggregate& aggregate() const { return *agg_; }
+  const Column& agg_column() const { return *agg_col_; }
+
+  /// Per-outlier-group cached states (only for removable aggregates);
+  /// indexed like problem().outliers.
+  const std::vector<AggState>& outlier_states() const { return outlier_states_; }
+
+  /// Original aggregate value agg(g_i) for result i.
+  double OriginalValue(int result_idx) const {
+    return original_values_[result_idx];
+  }
+
+  /// True if the removable fast path is active.
+  bool incremental() const { return incremental_; }
+
+  ScorerStats& stats() const { return stats_; }
+
+ private:
+  Scorer() = default;
+
+  /// Delta(result, matched rows) with sign = original - updated.
+  double Delta(int result_idx, const RowIdList& matched) const;
+
+  /// Influence contribution of one result given its matched rows.
+  /// For outliers multiplies by the error vector; hold-outs return the raw
+  /// signed influence (callers take |.|).
+  double GroupInfluence(int result_idx, const RowIdList& matched,
+                        bool is_outlier, double error_vector) const;
+
+  Result<double> InfluenceImpl(const Predicate& pred, bool with_holdouts) const;
+
+  const Table* table_ = nullptr;
+  const QueryResult* result_ = nullptr;
+  const ProblemSpec* problem_ = nullptr;
+  const Aggregate* agg_ = nullptr;
+  const Column* agg_col_ = nullptr;
+  bool incremental_ = false;
+
+  // Cached per result index (whole result set, so holdouts too).
+  std::vector<double> original_values_;   // agg(g_i)
+  std::vector<double> group_means_;       // mean of A_agg over g_i
+  std::vector<AggState> states_;          // state(g_i), removable only
+  std::vector<AggState> outlier_states_;  // states_ restricted to outliers
+
+  mutable ScorerStats stats_;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,150 @@
+#include "core/scorpion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/timer.h"
+#include "core/dt.h"
+#include "core/mc.h"
+#include "core/merger.h"
+
+namespace scorpion {
+
+const char* AlgorithmToString(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      return "NAIVE";
+    case Algorithm::kDT:
+      return "DT";
+    case Algorithm::kMC:
+      return "MC";
+  }
+  return "?";
+}
+
+Scorpion::Scorpion(ScorpionOptions options) : options_(std::move(options)) {}
+
+Result<Explanation> Scorpion::Explain(const Table& table,
+                                      const QueryResult& result,
+                                      const ProblemSpec& problem) {
+  return Run(table, result, problem, /*use_session_cache=*/false);
+}
+
+Status Scorpion::Prepare(const Table& table, const QueryResult& result,
+                         ProblemSpec problem) {
+  SCORPION_RETURN_NOT_OK(problem.Validate(result));
+  table_ = &table;
+  result_ = &result;
+  problem_ = std::move(problem);
+  prepared_ = true;
+  ClearCache();
+  return Status::OK();
+}
+
+Result<Explanation> Scorpion::ExplainWithC(double c) {
+  if (!prepared_) {
+    return Status::InvalidArgument("call Prepare() before ExplainWithC()");
+  }
+  problem_.c = c;
+  return Run(*table_, *result_, problem_, /*use_session_cache=*/true);
+}
+
+void Scorpion::ClearCache() {
+  has_cached_partitions_ = false;
+  cached_partitions_.clear();
+  merged_by_c_.clear();
+}
+
+Result<Explanation> Scorpion::Run(const Table& table,
+                                  const QueryResult& result,
+                                  const ProblemSpec& problem,
+                                  bool use_session_cache) {
+  WallTimer timer;
+  SCORPION_ASSIGN_OR_RETURN(Scorer scorer, Scorer::Make(table, result, problem));
+
+  Explanation out;
+  out.algorithm = options_.algorithm;
+
+  switch (options_.algorithm) {
+    case Algorithm::kNaive: {
+      NaivePartitioner naive(scorer, options_.naive);
+      SCORPION_ASSIGN_OR_RETURN(NaiveResult nr, naive.Run());
+      if (std::isfinite(nr.best.influence)) {
+        out.predicates.push_back(std::move(nr.best));
+      }
+      out.naive_checkpoints = std::move(nr.checkpoints);
+      out.naive_exhausted = nr.exhausted;
+      break;
+    }
+    case Algorithm::kDT: {
+      std::vector<ScoredPredicate> partitions;
+      bool from_cache = use_session_cache && cache_enabled_ &&
+                        has_cached_partitions_;
+      if (from_cache) {
+        partitions = cached_partitions_;
+      } else {
+        DTPartitioner dt(scorer, options_.dt);
+        SCORPION_ASSIGN_OR_RETURN(partitions, dt.Run());
+        if (use_session_cache && cache_enabled_) {
+          cached_partitions_ = partitions;
+          has_cached_partitions_ = true;
+        }
+      }
+      // Influence scores depend on c; force the merger to rescore.
+      for (ScoredPredicate& sp : partitions) {
+        sp.influence = -std::numeric_limits<double>::infinity();
+      }
+      // Warm start (Section 8.3.3): merge results computed at a higher c
+      // remain valid starting points when c decreases (lower c merges
+      // *more*, so prior merges are prefixes of the new merge sequence).
+      if (use_session_cache && cache_enabled_) {
+        auto it = merged_by_c_.lower_bound(problem.c);  // first key <= c...
+        // map is descending; lower_bound gives first key not greater-ordered
+        // than c, i.e. the smallest cached c' >= c is the previous element.
+        if (it != merged_by_c_.begin()) {
+          --it;  // smallest cached c' with c' >= problem.c
+          for (const ScoredPredicate& sp : it->second) {
+            ScoredPredicate seed = sp;
+            seed.influence = -std::numeric_limits<double>::infinity();
+            partitions.push_back(std::move(seed));
+          }
+        } else if (it != merged_by_c_.end() && it->first >= problem.c) {
+          for (const ScoredPredicate& sp : it->second) {
+            ScoredPredicate seed = sp;
+            seed.influence = -std::numeric_limits<double>::infinity();
+            partitions.push_back(std::move(seed));
+          }
+        }
+      }
+      SCORPION_ASSIGN_OR_RETURN(DomainMap domains,
+                                ComputeDomains(table, problem.attributes));
+      Merger merger(scorer, std::move(domains), options_.merger);
+      SCORPION_ASSIGN_OR_RETURN(std::vector<ScoredPredicate> merged,
+                                merger.Run(std::move(partitions)));
+      if (use_session_cache && cache_enabled_) {
+        merged_by_c_[problem.c] = merged;
+      }
+      out.predicates = std::move(merged);
+      break;
+    }
+    case Algorithm::kMC: {
+      MCPartitioner mc(scorer, options_.mc, options_.merger);
+      SCORPION_ASSIGN_OR_RETURN(out.predicates, mc.Run());
+      break;
+    }
+  }
+
+  if (out.predicates.size() > options_.top_k) {
+    out.predicates.resize(options_.top_k);
+  }
+  if (out.predicates.empty()) {
+    return Status::Internal("search produced no predicates");
+  }
+  out.runtime_seconds = timer.ElapsedSeconds();
+  out.scorer_stats = scorer.stats();
+  return out;
+}
+
+}  // namespace scorpion

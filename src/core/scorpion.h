@@ -1,0 +1,98 @@
+// Scorpion facade: wires provenance, scoring, partitioning and merging into
+// the end-to-end pipeline of Figure 2, and implements the cross-c result
+// cache of Section 8.3.3 (DT partitions are c-agnostic; Merger runs can be
+// warm-started from results computed at a higher c).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/naive.h"
+#include "core/options.h"
+#include "core/problem.h"
+#include "core/scored_predicate.h"
+#include "core/scorer.h"
+#include "query/groupby.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+/// \brief Result of one Scorpion run.
+struct Explanation {
+  /// Ranked predicates, most influential first (at most options.top_k).
+  std::vector<ScoredPredicate> predicates;
+  Algorithm algorithm = Algorithm::kDT;
+  double runtime_seconds = 0.0;
+  /// Scorer traffic during this run.
+  ScorerStats scorer_stats;
+  /// NAIVE convergence trace (empty for DT/MC).
+  std::vector<NaiveCheckpoint> naive_checkpoints;
+  /// True if NAIVE swept its whole space within the time budget.
+  bool naive_exhausted = false;
+
+  /// The winning predicate; predicates must be non-empty.
+  const ScoredPredicate& best() const { return predicates.front(); }
+};
+
+/// \brief End-to-end explanation engine.
+///
+/// One-shot use:
+///   Scorpion scorpion(options);
+///   auto explanation = scorpion.Explain(table, query_result, problem);
+///
+/// Session use (reusing work across c values, e.g. a UI slider):
+///   scorpion.Prepare(table, query_result, problem);
+///   auto e1 = scorpion.ExplainWithC(0.5);
+///   auto e2 = scorpion.ExplainWithC(0.1);  // reuses DT partitions + merges
+class Scorpion {
+ public:
+  explicit Scorpion(ScorpionOptions options = {});
+
+  const ScorpionOptions& options() const { return options_; }
+  ScorpionOptions& mutable_options() { return options_; }
+
+  /// Runs the configured algorithm once. `table` and `result` must outlive
+  /// the returned Explanation only for predicate printing convenience.
+  Result<Explanation> Explain(const Table& table, const QueryResult& result,
+                              const ProblemSpec& problem);
+
+  /// Fixes the problem instance for a session; clears caches. The table and
+  /// result must outlive the session.
+  Status Prepare(const Table& table, const QueryResult& result,
+                 ProblemSpec problem);
+
+  /// Runs with the session's problem at the given c. With caching enabled
+  /// (default) and algorithm kDT, the partitioning is computed once per
+  /// session and Merger output from the nearest cached higher c seeds the
+  /// merge (Section 8.3.3).
+  Result<Explanation> ExplainWithC(double c);
+
+  /// Enables/disables the cross-c cache (Figure 16's comparison knob).
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+  /// Drops cached partitions and merge results.
+  void ClearCache();
+
+ private:
+  Result<Explanation> Run(const Table& table, const QueryResult& result,
+                          const ProblemSpec& problem, bool use_session_cache);
+
+  ScorpionOptions options_;
+  bool cache_enabled_ = true;
+
+  // Session state (Prepare/ExplainWithC).
+  const Table* table_ = nullptr;
+  const QueryResult* result_ = nullptr;
+  ProblemSpec problem_;
+  bool prepared_ = false;
+
+  // Cross-c cache: DT partitions are independent of c; merged results are
+  // keyed by the c they were computed at (descending for nearest-above
+  // lookup).
+  bool has_cached_partitions_ = false;
+  std::vector<ScoredPredicate> cached_partitions_;
+  std::map<double, std::vector<ScoredPredicate>, std::greater<double>>
+      merged_by_c_;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,81 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/macros.h"
+#include "table/selection.h"
+
+namespace scorpion {
+
+Result<ProblemSpec> MakeProblem(const QueryResult& result,
+                                const std::vector<std::string>& outlier_keys,
+                                const std::vector<std::string>& holdout_keys,
+                                double error_direction, double lambda, double c,
+                                std::vector<std::string> attributes) {
+  ProblemSpec problem;
+  for (const std::string& key : outlier_keys) {
+    SCORPION_ASSIGN_OR_RETURN(int idx, result.FindResult(key));
+    problem.outliers.push_back(idx);
+  }
+  for (const std::string& key : holdout_keys) {
+    SCORPION_ASSIGN_OR_RETURN(int idx, result.FindResult(key));
+    problem.holdouts.push_back(idx);
+  }
+  problem.SetUniformErrorVector(error_direction);
+  problem.lambda = lambda;
+  problem.c = c;
+  problem.attributes = std::move(attributes);
+  SCORPION_RETURN_NOT_OK(problem.Validate(result));
+  return problem;
+}
+
+Result<RowIdList> OutlierUnion(const QueryResult& result,
+                               const ProblemSpec& problem) {
+  RowIdList out;
+  for (int idx : problem.outliers) {
+    if (idx < 0 || idx >= static_cast<int>(result.results.size())) {
+      return Status::IndexError("outlier index out of range");
+    }
+    out = Union(out, result.results[idx].input_group);
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << cells[i];
+      os << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace scorpion

@@ -1,0 +1,46 @@
+// Experiment harness helpers shared by benches, examples and tests:
+// problem construction from group keys, outlier-union provenance, and a
+// fixed-width table printer for paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/problem.h"
+#include "query/groupby.h"
+#include "table/types.h"
+
+namespace scorpion {
+
+/// Builds a ProblemSpec by resolving group key strings to result indices.
+/// `error_direction` is applied to every outlier (+1 = too high).
+Result<ProblemSpec> MakeProblem(const QueryResult& result,
+                                const std::vector<std::string>& outlier_keys,
+                                const std::vector<std::string>& holdout_keys,
+                                double error_direction, double lambda, double c,
+                                std::vector<std::string> attributes);
+
+/// Union of the outlier results' input groups (g_O), sorted.
+Result<RowIdList> OutlierUnion(const QueryResult& result,
+                               const ProblemSpec& problem);
+
+/// \brief Fixed-width console table for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scorpion

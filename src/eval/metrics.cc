@@ -1,0 +1,37 @@
+#include "eval/metrics.h"
+
+#include "common/macros.h"
+#include "table/selection.h"
+
+namespace scorpion {
+
+AccuracyStats ComputeAccuracy(const RowIdList& predicted,
+                              const RowIdList& truth) {
+  AccuracyStats stats;
+  stats.num_predicted = predicted.size();
+  stats.num_truth = truth.size();
+  stats.num_hits = Intersect(predicted, truth).size();
+  if (stats.num_predicted > 0) {
+    stats.precision = static_cast<double>(stats.num_hits) /
+                      static_cast<double>(stats.num_predicted);
+  }
+  if (stats.num_truth > 0) {
+    stats.recall = static_cast<double>(stats.num_hits) /
+                   static_cast<double>(stats.num_truth);
+  }
+  if (stats.precision + stats.recall > 0.0) {
+    stats.f_score = 2.0 * stats.precision * stats.recall /
+                    (stats.precision + stats.recall);
+  }
+  return stats;
+}
+
+Result<AccuracyStats> EvaluatePredicate(const Table& table,
+                                        const Predicate& pred,
+                                        const RowIdList& outlier_union,
+                                        const RowIdList& truth) {
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(table));
+  return ComputeAccuracy(bound.Filter(outlier_union), truth);
+}
+
+}  // namespace scorpion

@@ -1,0 +1,32 @@
+// Accuracy metrics (Section 8.2): a predicate is evaluated by comparing the
+// tuples it selects from the outlier input groups, p(g_O), to a ground-truth
+// row set.
+#pragma once
+
+#include "common/result.h"
+#include "predicate/predicate.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+struct AccuracyStats {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;  // harmonic mean of precision and recall
+  size_t num_predicted = 0;
+  size_t num_truth = 0;
+  size_t num_hits = 0;
+};
+
+/// Set-overlap statistics between two sorted row lists.
+AccuracyStats ComputeAccuracy(const RowIdList& predicted,
+                              const RowIdList& truth);
+
+/// Evaluates `pred` over the union of outlier input groups `outlier_union`
+/// and scores the matched rows against `truth`.
+Result<AccuracyStats> EvaluatePredicate(const Table& table,
+                                        const Predicate& pred,
+                                        const RowIdList& outlier_union,
+                                        const RowIdList& truth);
+
+}  // namespace scorpion

@@ -1,0 +1,308 @@
+#include "predicate/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace scorpion {
+
+namespace {
+
+/// Hand-rolled tokenizer: identifiers, numbers, quoted strings, punctuation.
+class Lexer {
+ public:
+  struct Token {
+    enum Kind {
+      kIdent,
+      kNumber,
+      kString,  // quoted
+      kPunct,   // single char: [ ] ( ) { } , & or two-char ops via kOp
+      kOp,      // < <= > >= = ==
+      kEnd,
+    };
+    Kind kind = kEnd;
+    std::string text;
+    double number = 0.0;
+  };
+
+  explicit Lexer(const std::string& input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  Status error(const std::string& msg) const {
+    return Status::InvalidArgument("predicate parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token();
+    if (pos_ >= input_.size()) {
+      current_.kind = Token::kEnd;
+      return;
+    }
+    char ch = input_[pos_];
+    if (ch == '\'' || ch == '"') {
+      char quote = ch;
+      size_t end = pos_ + 1;
+      while (end < input_.size() && input_[end] != quote) ++end;
+      current_.kind = Token::kString;
+      current_.text = input_.substr(pos_ + 1, end - pos_ - 1);
+      pos_ = end < input_.size() ? end + 1 : end;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch)) || ch == '-' ||
+        ch == '+' || ch == '.') {
+      char* end = nullptr;
+      current_.number = std::strtod(input_.c_str() + pos_, &end);
+      if (end != input_.c_str() + pos_) {
+        current_.kind = Token::kNumber;
+        current_.text = input_.substr(pos_, end - (input_.c_str() + pos_));
+        pos_ = static_cast<size_t>(end - input_.c_str());
+        return;
+      }
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      size_t end = pos_;
+      while (end < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '_' || input_[end] == '.')) {
+        ++end;
+      }
+      current_.kind = Token::kIdent;
+      current_.text = input_.substr(pos_, end - pos_);
+      pos_ = end;
+      return;
+    }
+    if (ch == '<' || ch == '>' || ch == '=') {
+      current_.kind = Token::kOp;
+      current_.text = std::string(1, ch);
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        current_.text += '=';
+        ++pos_;
+      }
+      return;
+    }
+    current_.kind = Token::kPunct;
+    current_.text = std::string(1, ch);
+    ++pos_;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+bool IEquals(const std::string& a, const char* b) {
+  size_t n = 0;
+  for (; b[n] != '\0'; ++n) {
+    if (n >= a.size() ||
+        std::tolower(static_cast<unsigned char>(a[n])) !=
+            std::tolower(static_cast<unsigned char>(b[n]))) {
+      return false;
+    }
+  }
+  return n == a.size();
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, const Table& table)
+      : lexer_(text), table_(table) {}
+
+  Result<Predicate> Parse() {
+    if (lexer_.Peek().kind == Lexer::Token::kIdent &&
+        IEquals(lexer_.Peek().text, "true")) {
+      lexer_.Take();
+      if (lexer_.Peek().kind != Lexer::Token::kEnd) {
+        return lexer_.error("unexpected input after TRUE");
+      }
+      return Predicate::True();
+    }
+    Predicate out;
+    while (true) {
+      SCORPION_RETURN_NOT_OK(ParseClause(&out));
+      const Lexer::Token& next = lexer_.Peek();
+      if (next.kind == Lexer::Token::kEnd) break;
+      bool is_and = (next.kind == Lexer::Token::kPunct && next.text == "&") ||
+                    (next.kind == Lexer::Token::kIdent &&
+                     IEquals(next.text, "and"));
+      if (!is_and) {
+        return lexer_.error("expected '&' between clauses, got '" +
+                            next.text + "'");
+      }
+      lexer_.Take();
+    }
+    return out;
+  }
+
+ private:
+  Status ParseClause(Predicate* out) {
+    Lexer::Token attr = lexer_.Take();
+    if (attr.kind != Lexer::Token::kIdent) {
+      return lexer_.error("expected attribute name");
+    }
+    SCORPION_ASSIGN_OR_RETURN(const Column* col,
+                              table_.ColumnByName(attr.text));
+
+    Lexer::Token op = lexer_.Take();
+    if (op.kind == Lexer::Token::kIdent && IEquals(op.text, "in")) {
+      return ParseInClause(attr.text, col, out);
+    }
+    if (op.kind == Lexer::Token::kOp) {
+      return ParseComparison(attr.text, col, op.text, out);
+    }
+    return lexer_.error("expected 'in' or comparison after '" + attr.text +
+                        "'");
+  }
+
+  Status ParseInClause(const std::string& attr, const Column* col,
+                       Predicate* out) {
+    Lexer::Token open = lexer_.Take();
+    if (open.kind != Lexer::Token::kPunct) {
+      return lexer_.error("expected '[', '(' or '{' after 'in'");
+    }
+    if (open.text == "{") {
+      if (col->type() != DataType::kCategorical) {
+        return Status::TypeError("set clause on continuous attribute '" +
+                                 attr + "'");
+      }
+      SetClause clause;
+      clause.attr = attr;
+      while (true) {
+        Lexer::Token v = lexer_.Take();
+        std::string value;
+        if (v.kind == Lexer::Token::kString ||
+            v.kind == Lexer::Token::kIdent) {
+          value = v.text;
+        } else if (v.kind == Lexer::Token::kNumber) {
+          value = FormatDouble(v.number);
+        } else {
+          return lexer_.error("expected a value in set clause");
+        }
+        int32_t code = col->CodeOf(value);
+        if (code < 0) {
+          return Status::KeyError("value '" + value +
+                                  "' not present in attribute '" + attr + "'");
+        }
+        clause.codes.push_back(code);
+        Lexer::Token sep = lexer_.Take();
+        if (sep.kind == Lexer::Token::kPunct && sep.text == ",") continue;
+        if (sep.kind == Lexer::Token::kPunct && sep.text == "}") break;
+        return lexer_.error("expected ',' or '}' in set clause");
+      }
+      return out->AddSet(std::move(clause));
+    }
+    if (open.text == "[" || open.text == "(") {
+      if (col->type() != DataType::kDouble) {
+        return Status::TypeError("range clause on categorical attribute '" +
+                                 attr + "'");
+      }
+      if (open.text == "(") {
+        return Status::NotImplemented(
+            "open lower bounds are not supported; ranges are closed below");
+      }
+      Lexer::Token lo = lexer_.Take();
+      if (lo.kind != Lexer::Token::kNumber) {
+        return lexer_.error("expected number for range low bound");
+      }
+      Lexer::Token comma = lexer_.Take();
+      if (comma.kind != Lexer::Token::kPunct || comma.text != ",") {
+        return lexer_.error("expected ',' in range clause");
+      }
+      Lexer::Token hi = lexer_.Take();
+      if (hi.kind != Lexer::Token::kNumber) {
+        return lexer_.error("expected number for range high bound");
+      }
+      Lexer::Token close = lexer_.Take();
+      if (close.kind != Lexer::Token::kPunct ||
+          (close.text != "]" && close.text != ")")) {
+        return lexer_.error("expected ']' or ')' closing range clause");
+      }
+      RangeClause clause;
+      clause.attr = attr;
+      clause.lo = lo.number;
+      clause.hi = hi.number;
+      clause.hi_inclusive = close.text == "]";
+      return out->AddRange(clause);
+    }
+    return lexer_.error("expected '[', '(' or '{' after 'in'");
+  }
+
+  Status ParseComparison(const std::string& attr, const Column* col,
+                         const std::string& op, Predicate* out) {
+    Lexer::Token v = lexer_.Take();
+    if (op == "=" || op == "==") {
+      if (col->type() == DataType::kCategorical) {
+        std::string value;
+        if (v.kind == Lexer::Token::kString ||
+            v.kind == Lexer::Token::kIdent) {
+          value = v.text;
+        } else if (v.kind == Lexer::Token::kNumber) {
+          value = FormatDouble(v.number);
+        } else {
+          return lexer_.error("expected a value after '='");
+        }
+        int32_t code = col->CodeOf(value);
+        if (code < 0) {
+          return Status::KeyError("value '" + value +
+                                  "' not present in attribute '" + attr + "'");
+        }
+        return out->AddSet({attr, {code}});
+      }
+      if (v.kind != Lexer::Token::kNumber) {
+        return lexer_.error("expected a number after '='");
+      }
+      return out->AddRange({attr, v.number, v.number, true});
+    }
+    // Ordered comparisons only apply to continuous attributes; desugar onto
+    // the column's observed domain.
+    if (col->type() != DataType::kDouble) {
+      return Status::TypeError("comparison '" + op +
+                               "' on categorical attribute '" + attr + "'");
+    }
+    if (v.kind != Lexer::Token::kNumber) {
+      return lexer_.error("expected a number after '" + op + "'");
+    }
+    double bound = v.number;
+    if (op == "<") return out->AddRange({attr, col->Min(), bound, false});
+    if (op == "<=") return out->AddRange({attr, col->Min(), bound, true});
+    if (op == ">=") return out->AddRange({attr, bound, col->Max(), true});
+    if (op == ">") {
+      // Strict lower bounds cannot be expressed exactly with closed-below
+      // ranges; nudge by the smallest representable step.
+      double lo = std::nextafter(bound, col->Max() + 1.0);
+      return out->AddRange({attr, lo, col->Max(), true});
+    }
+    return lexer_.error("unknown operator '" + op + "'");
+  }
+
+  Lexer lexer_;
+  const Table& table_;
+};
+
+}  // namespace
+
+Result<Predicate> ParsePredicate(const std::string& text, const Table& table) {
+  std::string trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty predicate string");
+  }
+  return Parser(trimmed, table).Parse();
+}
+
+}  // namespace scorpion

@@ -1,0 +1,31 @@
+// Predicate parsing: the inverse of Predicate::ToString, so predicates can
+// round-trip through logs, config files and command lines.
+//
+// Grammar (case-insensitive keywords, '&' or 'and' between clauses):
+//   predicate   := "TRUE" | clause ( ("&" | "and") clause )*
+//   clause      := range | set | comparison
+//   range       := attr "in" ("["|"(") num "," num ("]"|")")
+//   set         := attr "in" "{" value ("," value)* "}"
+//   comparison  := attr ("<" | "<=" | ">" | ">=" | "=" | "==") scalar
+//   value       := quoted string | bareword | number
+//
+// Comparisons desugar onto the attribute's domain in `table`:
+//   x < 5   ->  x in [min(x), 5)        x >= 5  ->  x in [5, max(x)]
+//   s = 'a' ->  s in {'a'}
+// Set values are resolved against the column dictionary; unknown values are
+// a KeyError (they could never match anyway).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "predicate/predicate.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+/// Parses `text` into a Predicate, validating attribute names/types against
+/// `table`.
+Result<Predicate> ParsePredicate(const std::string& text, const Table& table);
+
+}  // namespace scorpion

@@ -1,0 +1,400 @@
+#include "predicate/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace scorpion {
+
+// --- Clauses ----------------------------------------------------------------
+
+bool RangeClause::ContainsClause(const RangeClause& other) const {
+  if (other.lo < lo) return false;
+  if (hi_inclusive) {
+    // [lo, hi] contains [other.lo, other.hi(] or )) whenever other.hi <= hi.
+    return other.hi <= hi;
+  }
+  // [lo, hi): an inclusive-hi inner clause must end strictly before hi.
+  if (other.hi_inclusive) return other.hi < hi;
+  return other.hi <= hi;
+}
+
+bool SetClause::Contains(int32_t code) const {
+  return std::binary_search(codes.begin(), codes.end(), code);
+}
+
+bool SetClause::ContainsClause(const SetClause& other) const {
+  return std::includes(codes.begin(), codes.end(), other.codes.begin(),
+                       other.codes.end());
+}
+
+// --- Domains ----------------------------------------------------------------
+
+Result<DomainMap> ComputeDomains(const Table& table,
+                                 const std::vector<std::string>& attrs) {
+  DomainMap out;
+  for (const std::string& attr : attrs) {
+    SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attr));
+    AttrDomain d;
+    d.type = col->type();
+    if (col->type() == DataType::kDouble) {
+      d.lo = col->Min();
+      d.hi = col->Max();
+    } else {
+      d.cardinality = col->Cardinality();
+    }
+    out.emplace(attr, d);
+  }
+  return out;
+}
+
+// --- Predicate building ------------------------------------------------------
+
+namespace {
+
+template <typename ClauseT>
+typename std::vector<ClauseT>::const_iterator FindByAttr(
+    const std::vector<ClauseT>& clauses, const std::string& attr) {
+  return std::find_if(clauses.begin(), clauses.end(),
+                      [&](const ClauseT& c) { return c.attr == attr; });
+}
+
+template <typename ClauseT>
+void InsertSorted(std::vector<ClauseT>* clauses, ClauseT clause) {
+  auto pos = std::lower_bound(
+      clauses->begin(), clauses->end(), clause,
+      [](const ClauseT& a, const ClauseT& b) { return a.attr < b.attr; });
+  clauses->insert(pos, std::move(clause));
+}
+
+}  // namespace
+
+Status Predicate::AddRange(const RangeClause& clause) {
+  if (FindByAttr(sets_, clause.attr) != sets_.end()) {
+    return Status::InvalidArgument("attribute '" + clause.attr +
+                                   "' already has a set clause");
+  }
+  bool empty_range = clause.hi_inclusive ? clause.lo > clause.hi
+                                         : clause.lo >= clause.hi;
+  if (empty_range) {
+    return Status::InvalidArgument("empty range for '" + clause.attr + "'");
+  }
+  auto it = FindByAttr(ranges_, clause.attr);
+  if (it != ranges_.end()) {
+    return Status::InvalidArgument("attribute '" + clause.attr +
+                                   "' already has a range clause");
+  }
+  InsertSorted(&ranges_, clause);
+  return Status::OK();
+}
+
+Status Predicate::AddSet(SetClause clause) {
+  if (FindByAttr(ranges_, clause.attr) != ranges_.end()) {
+    return Status::InvalidArgument("attribute '" + clause.attr +
+                                   "' already has a range clause");
+  }
+  if (FindByAttr(sets_, clause.attr) != sets_.end()) {
+    return Status::InvalidArgument("attribute '" + clause.attr +
+                                   "' already has a set clause");
+  }
+  std::sort(clause.codes.begin(), clause.codes.end());
+  clause.codes.erase(std::unique(clause.codes.begin(), clause.codes.end()),
+                     clause.codes.end());
+  if (clause.codes.empty()) {
+    return Status::InvalidArgument("empty code set for '" + clause.attr + "'");
+  }
+  InsertSorted(&sets_, std::move(clause));
+  return Status::OK();
+}
+
+const RangeClause* Predicate::FindRange(const std::string& attr) const {
+  auto it = FindByAttr(ranges_, attr);
+  return it == ranges_.end() ? nullptr : &*it;
+}
+
+const SetClause* Predicate::FindSet(const std::string& attr) const {
+  auto it = FindByAttr(sets_, attr);
+  return it == sets_.end() ? nullptr : &*it;
+}
+
+std::vector<std::string> Predicate::Attributes() const {
+  std::vector<std::string> out;
+  out.reserve(ranges_.size() + sets_.size());
+  for (const auto& r : ranges_) out.push_back(r.attr);
+  for (const auto& s : sets_) out.push_back(s.attr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- Evaluation ---------------------------------------------------------------
+
+Result<BoundPredicate> Predicate::Bind(const Table& table) const {
+  BoundPredicate bound;
+  bound.num_rows_ = table.num_rows();
+  for (const RangeClause& r : ranges_) {
+    SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(r.attr));
+    if (col->type() != DataType::kDouble) {
+      return Status::TypeError("range clause on categorical attribute '" +
+                               r.attr + "'");
+    }
+    bound.ranges_.push_back({&col->doubles(), r.lo, r.hi, r.hi_inclusive});
+  }
+  for (const SetClause& s : sets_) {
+    SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(s.attr));
+    if (col->type() != DataType::kCategorical) {
+      return Status::TypeError("set clause on continuous attribute '" +
+                               s.attr + "'");
+    }
+    BoundPredicate::BoundSet bs;
+    bs.codes = &col->codes();
+    bs.member.assign(static_cast<size_t>(col->Cardinality()), 0);
+    for (int32_t code : s.codes) {
+      if (code >= 0 && static_cast<size_t>(code) < bs.member.size()) {
+        bs.member[static_cast<size_t>(code)] = 1;
+      }
+    }
+    bound.sets_.push_back(std::move(bs));
+  }
+  return bound;
+}
+
+Result<bool> Predicate::MatchesRow(const Table& table, RowId row) const {
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, Bind(table));
+  return bound.Matches(row);
+}
+
+Result<RowIdList> Predicate::Evaluate(const Table& table) const {
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, Bind(table));
+  return bound.FilterAll();
+}
+
+bool BoundPredicate::Matches(RowId row) const {
+  for (const BoundRange& r : ranges_) {
+    double v = (*r.values)[row];
+    if (v < r.lo) return false;
+    if (r.hi_inclusive ? v > r.hi : v >= r.hi) return false;
+  }
+  for (const BoundSet& s : sets_) {
+    int32_t code = (*s.codes)[row];
+    if (static_cast<size_t>(code) >= s.member.size() || !s.member[code]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RowIdList BoundPredicate::Filter(const RowIdList& rows) const {
+  RowIdList out;
+  out.reserve(rows.size());
+  for (RowId r : rows) {
+    if (Matches(r)) out.push_back(r);
+  }
+  return out;
+}
+
+RowIdList BoundPredicate::FilterAll() const {
+  RowIdList out;
+  for (RowId r = 0; r < static_cast<RowId>(num_rows_); ++r) {
+    if (Matches(r)) out.push_back(r);
+  }
+  return out;
+}
+
+size_t BoundPredicate::CountMatches(const RowIdList& rows) const {
+  size_t n = 0;
+  for (RowId r : rows) {
+    if (Matches(r)) ++n;
+  }
+  return n;
+}
+
+// --- Algebra -------------------------------------------------------------------
+
+bool Predicate::SyntacticallyContains(const Predicate& outer,
+                                      const Predicate& inner) {
+  for (const RangeClause& ro : outer.ranges_) {
+    const RangeClause* ri = inner.FindRange(ro.attr);
+    if (ri == nullptr || !ro.ContainsClause(*ri)) return false;
+  }
+  for (const SetClause& so : outer.sets_) {
+    const SetClause* si = inner.FindSet(so.attr);
+    if (si == nullptr || !so.ContainsClause(*si)) return false;
+  }
+  return true;
+}
+
+Predicate Predicate::BoundingBox(const Predicate& a, const Predicate& b) {
+  Predicate out;
+  for (const RangeClause& ra : a.ranges_) {
+    const RangeClause* rb = b.FindRange(ra.attr);
+    if (rb == nullptr) continue;  // unconstrained in b -> unconstrained hull
+    RangeClause hull;
+    hull.attr = ra.attr;
+    hull.lo = std::min(ra.lo, rb->lo);
+    if (ra.hi > rb->hi) {
+      hull.hi = ra.hi;
+      hull.hi_inclusive = ra.hi_inclusive;
+    } else if (rb->hi > ra.hi) {
+      hull.hi = rb->hi;
+      hull.hi_inclusive = rb->hi_inclusive;
+    } else {
+      hull.hi = ra.hi;
+      hull.hi_inclusive = ra.hi_inclusive || rb->hi_inclusive;
+    }
+    out.AddRange(hull).ok();  // cannot fail: hull is non-empty by construction
+  }
+  for (const SetClause& sa : a.sets_) {
+    const SetClause* sb = b.FindSet(sa.attr);
+    if (sb == nullptr) continue;
+    SetClause hull;
+    hull.attr = sa.attr;
+    hull.codes.reserve(sa.codes.size() + sb->codes.size());
+    std::set_union(sa.codes.begin(), sa.codes.end(), sb->codes.begin(),
+                   sb->codes.end(), std::back_inserter(hull.codes));
+    out.AddSet(std::move(hull)).ok();
+  }
+  return out;
+}
+
+std::optional<Predicate> Predicate::Intersect(const Predicate& a,
+                                              const Predicate& b) {
+  Predicate out;
+  // Ranges: take a's clauses, narrowing where b also constrains.
+  for (const RangeClause& ra : a.ranges_) {
+    const RangeClause* rb = b.FindRange(ra.attr);
+    RangeClause merged = ra;
+    if (rb != nullptr) {
+      merged.lo = std::max(ra.lo, rb->lo);
+      if (ra.hi < rb->hi) {
+        merged.hi = ra.hi;
+        merged.hi_inclusive = ra.hi_inclusive;
+      } else if (rb->hi < ra.hi) {
+        merged.hi = rb->hi;
+        merged.hi_inclusive = rb->hi_inclusive;
+      } else {
+        merged.hi = ra.hi;
+        merged.hi_inclusive = ra.hi_inclusive && rb->hi_inclusive;
+      }
+    }
+    if (!out.AddRange(merged).ok()) return std::nullopt;  // empty intersection
+  }
+  for (const RangeClause& rb : b.ranges_) {
+    if (a.FindRange(rb.attr) == nullptr) {
+      if (!out.AddRange(rb).ok()) return std::nullopt;
+    }
+  }
+  // Sets: intersect code lists.
+  for (const SetClause& sa : a.sets_) {
+    const SetClause* sb = b.FindSet(sa.attr);
+    SetClause merged;
+    merged.attr = sa.attr;
+    if (sb != nullptr) {
+      std::set_intersection(sa.codes.begin(), sa.codes.end(),
+                            sb->codes.begin(), sb->codes.end(),
+                            std::back_inserter(merged.codes));
+    } else {
+      merged.codes = sa.codes;
+    }
+    if (!out.AddSet(std::move(merged)).ok()) return std::nullopt;
+  }
+  for (const SetClause& sb : b.sets_) {
+    if (a.FindSet(sb.attr) == nullptr) {
+      if (!out.AddSet(sb).ok()) return std::nullopt;
+    }
+  }
+  return out;
+}
+
+Predicate Predicate::WithRange(const RangeClause& clause) const {
+  Predicate out;
+  for (const RangeClause& r : ranges_) {
+    if (r.attr != clause.attr) InsertSorted(&out.ranges_, r);
+  }
+  for (const SetClause& s : sets_) {
+    if (s.attr != clause.attr) InsertSorted(&out.sets_, s);
+  }
+  InsertSorted(&out.ranges_, clause);
+  return out;
+}
+
+Predicate Predicate::WithSet(SetClause clause) const {
+  Predicate out;
+  for (const RangeClause& r : ranges_) {
+    if (r.attr != clause.attr) InsertSorted(&out.ranges_, r);
+  }
+  for (const SetClause& s : sets_) {
+    if (s.attr != clause.attr) InsertSorted(&out.sets_, s);
+  }
+  std::sort(clause.codes.begin(), clause.codes.end());
+  clause.codes.erase(std::unique(clause.codes.begin(), clause.codes.end()),
+                     clause.codes.end());
+  InsertSorted(&out.sets_, std::move(clause));
+  return out;
+}
+
+double Predicate::Volume(const DomainMap& domains) const {
+  double vol = 1.0;
+  for (const RangeClause& r : ranges_) {
+    auto it = domains.find(r.attr);
+    if (it == domains.end()) continue;
+    double width = it->second.hi - it->second.lo;
+    if (width <= 0.0) continue;  // degenerate domain: clause can't narrow it
+    double lo = std::max(r.lo, it->second.lo);
+    double hi = std::min(r.hi, it->second.hi);
+    vol *= std::max(0.0, hi - lo) / width;
+  }
+  for (const SetClause& s : sets_) {
+    auto it = domains.find(s.attr);
+    if (it == domains.end()) continue;
+    if (it->second.cardinality <= 0) continue;
+    vol *= static_cast<double>(s.codes.size()) /
+           static_cast<double>(it->second.cardinality);
+  }
+  return vol;
+}
+
+std::string Predicate::ToString(const Table* table) const {
+  if (IsTrue()) return "TRUE";
+  std::vector<std::string> parts;
+  // Emit in global attribute order for canonical output.
+  size_t ri = 0, si = 0;
+  while (ri < ranges_.size() || si < sets_.size()) {
+    bool take_range =
+        si >= sets_.size() ||
+        (ri < ranges_.size() && ranges_[ri].attr < sets_[si].attr);
+    if (take_range) {
+      const RangeClause& r = ranges_[ri++];
+      std::ostringstream os;
+      os << r.attr << " in [" << FormatDouble(r.lo) << ", "
+         << FormatDouble(r.hi) << (r.hi_inclusive ? "]" : ")");
+      parts.push_back(os.str());
+    } else {
+      const SetClause& s = sets_[si++];
+      std::ostringstream os;
+      os << s.attr << " in {";
+      const Column* col = nullptr;
+      if (table != nullptr) {
+        auto res = table->ColumnByName(s.attr);
+        if (res.ok()) col = *res;
+      }
+      for (size_t i = 0; i < s.codes.size(); ++i) {
+        if (i > 0) os << ", ";
+        if (col != nullptr && s.codes[i] >= 0 &&
+            s.codes[i] < col->Cardinality()) {
+          os << "'" << col->dictionary()[static_cast<size_t>(s.codes[i])]
+             << "'";
+        } else {
+          os << s.codes[i];
+        }
+      }
+      os << "}";
+      parts.push_back(os.str());
+    }
+  }
+  return Join(parts, " & ");
+}
+
+}  // namespace scorpion

@@ -1,0 +1,184 @@
+// Predicates: conjunctions of range clauses over continuous attributes and
+// set-containment clauses over categorical attributes, with at most one
+// clause per attribute (Section 3.1 of the paper).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+/// `lo <= x < hi`, or `lo <= x <= hi` when hi_inclusive. Splitting algorithms
+/// produce half-open ranges so sibling partitions tile without overlap; the
+/// topmost range of a domain is closed to include the max value.
+struct RangeClause {
+  std::string attr;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool hi_inclusive = false;
+
+  bool Contains(double v) const {
+    return v >= lo && (hi_inclusive ? v <= hi : v < hi);
+  }
+  /// True if every value satisfying `other` also satisfies this clause.
+  bool ContainsClause(const RangeClause& other) const;
+  bool operator==(const RangeClause& other) const = default;
+};
+
+/// `attr IN {codes...}` over a categorical column's dictionary codes.
+/// Codes are kept sorted and unique.
+struct SetClause {
+  std::string attr;
+  std::vector<int32_t> codes;
+
+  bool Contains(int32_t code) const;
+  bool ContainsClause(const SetClause& other) const;  // other.codes ⊆ codes
+  bool operator==(const SetClause& other) const = default;
+};
+
+/// Domain metadata for an attribute, used for predicate volume and for
+/// seeding search algorithms.
+struct AttrDomain {
+  DataType type = DataType::kDouble;
+  double lo = 0.0;              // continuous
+  double hi = 0.0;              // continuous
+  int32_t cardinality = 0;      // categorical
+};
+
+using DomainMap = std::map<std::string, AttrDomain>;
+
+/// Computes domains for the named attributes over all rows of `table`.
+Result<DomainMap> ComputeDomains(const Table& table,
+                                 const std::vector<std::string>& attrs);
+
+class BoundPredicate;
+
+/// \brief Conjunctive predicate: zero or more clauses, one per attribute.
+///
+/// The empty predicate is TRUE (matches every row). Clauses are stored
+/// sorted by attribute name so that equal predicates have equal canonical
+/// string forms.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// The always-true predicate.
+  static Predicate True() { return Predicate(); }
+
+  /// Adds/merges a range clause. InvalidArgument if the attribute already
+  /// has a set clause or the range is empty (lo > hi, or lo >= hi for a
+  /// half-open range).
+  Status AddRange(const RangeClause& clause);
+
+  /// Adds a set clause (codes are normalized). InvalidArgument if the
+  /// attribute already has a range clause or the code list is empty.
+  Status AddSet(SetClause clause);
+
+  bool IsTrue() const { return ranges_.empty() && sets_.empty(); }
+  int num_clauses() const {
+    return static_cast<int>(ranges_.size() + sets_.size());
+  }
+
+  const std::vector<RangeClause>& ranges() const { return ranges_; }
+  const std::vector<SetClause>& sets() const { return sets_; }
+
+  const RangeClause* FindRange(const std::string& attr) const;
+  const SetClause* FindSet(const std::string& attr) const;
+  bool HasClauseOn(const std::string& attr) const {
+    return FindRange(attr) != nullptr || FindSet(attr) != nullptr;
+  }
+
+  /// Names of all constrained attributes, sorted.
+  std::vector<std::string> Attributes() const;
+
+  /// Resolves column references against a table for fast evaluation.
+  Result<BoundPredicate> Bind(const Table& table) const;
+
+  /// Row-at-a-time evaluation (resolves columns per call; tests/convenience).
+  Result<bool> MatchesRow(const Table& table, RowId row) const;
+
+  /// All matching rows of `table`, ascending.
+  Result<RowIdList> Evaluate(const Table& table) const;
+
+  /// Syntactic containment: every row matching `inner` also matches `outer`,
+  /// provable clause-by-clause (outer's clauses all present in inner and
+  /// looser). This is sufficient but not necessary for pi ≺_D pj.
+  static bool SyntacticallyContains(const Predicate& outer,
+                                    const Predicate& inner);
+
+  /// Minimum bounding box of two predicates: range hulls and set unions over
+  /// attributes constrained by BOTH inputs; an attribute constrained by only
+  /// one input becomes unconstrained (the bounding box over the whole other
+  /// predicate's domain extent).
+  static Predicate BoundingBox(const Predicate& a, const Predicate& b);
+
+  /// Conjunction of two predicates: clauses intersected attribute-wise.
+  /// Returns nullopt if any intersection is empty (unsatisfiable).
+  static std::optional<Predicate> Intersect(const Predicate& a,
+                                            const Predicate& b);
+
+  /// Copy of this predicate with the clause on `clause.attr` replaced (or
+  /// added). Used by space-partitioning algorithms that successively narrow
+  /// one attribute of a bounding box.
+  Predicate WithRange(const RangeClause& clause) const;
+  Predicate WithSet(SetClause clause) const;
+
+  /// Fraction of the attribute space covered, per the Section 6.3 volume
+  /// estimates: product over constrained attributes of the clause's share of
+  /// its domain. Unconstrained attributes contribute factor 1. Clauses are
+  /// clamped to the domain.
+  double Volume(const DomainMap& domains) const;
+
+  /// Canonical human-readable form, e.g.
+  /// "voltage in [2.307, 2.33] & sensorid in {'15'}". Codes are rendered as
+  /// dictionary strings when `table` is provided, else as raw codes.
+  std::string ToString(const Table* table = nullptr) const;
+
+  bool operator==(const Predicate& other) const = default;
+
+ private:
+  std::vector<RangeClause> ranges_;  // sorted by attr
+  std::vector<SetClause> sets_;      // sorted by attr
+};
+
+/// \brief A Predicate with column indices resolved against one Table.
+///
+/// Set clauses become bitmask membership tables over dictionary codes, so
+/// per-row evaluation is branch-light. Valid only as long as the Table lives
+/// and is not appended to.
+class BoundPredicate {
+ public:
+  /// True if the table row satisfies the predicate.
+  bool Matches(RowId row) const;
+
+  /// Filters a sorted candidate list, preserving order.
+  RowIdList Filter(const RowIdList& rows) const;
+
+  /// Matching rows among all rows of the bound table.
+  RowIdList FilterAll() const;
+
+  /// Number of matches among `rows` without materializing them.
+  size_t CountMatches(const RowIdList& rows) const;
+
+ private:
+  friend class Predicate;
+  struct BoundRange {
+    const std::vector<double>* values;
+    double lo, hi;
+    bool hi_inclusive;
+  };
+  struct BoundSet {
+    const std::vector<int32_t>* codes;
+    std::vector<char> member;  // indexed by dictionary code
+  };
+  std::vector<BoundRange> ranges_;
+  std::vector<BoundSet> sets_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,118 @@
+#include "query/groupby.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "aggregates/aggregate.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace scorpion {
+
+std::string GroupByQuery::ToString() const {
+  std::ostringstream os;
+  os << "SELECT " << aggregate << "(" << agg_attr << ")";
+  for (const std::string& g : group_by) os << ", " << g;
+  os << " GROUP BY " << Join(group_by, ", ");
+  return os.str();
+}
+
+Result<int> QueryResult::FindResult(const std::string& key_string) const {
+  for (int i = 0; i < static_cast<int>(results.size()); ++i) {
+    if (results[i].key_string == key_string) return i;
+  }
+  return Status::KeyError("no result group with key '" + key_string + "'");
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  os << query.ToString() << "\n";
+  for (const AggregateResult& r : results) {
+    os << "  " << r.key_string << " -> " << FormatDouble(r.value) << "  (|g|="
+       << r.input_group.size() << ")\n";
+  }
+  return os.str();
+}
+
+Result<QueryResult> ExecuteGroupBy(const Table& table,
+                                   const GroupByQuery& query) {
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument("query needs at least one GROUP BY attribute");
+  }
+  SCORPION_ASSIGN_OR_RETURN(const Aggregate* agg, GetAggregate(query.aggregate));
+  SCORPION_ASSIGN_OR_RETURN(const Column* agg_col,
+                            table.ColumnByName(query.agg_attr));
+  if (agg_col->type() != DataType::kDouble) {
+    return Status::TypeError("aggregate attribute '" + query.agg_attr +
+                             "' must be continuous");
+  }
+  std::vector<const Column*> key_cols;
+  for (const std::string& g : query.group_by) {
+    if (g == query.agg_attr) {
+      return Status::InvalidArgument(
+          "attribute '" + g + "' cannot be both grouped and aggregated");
+    }
+    SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(g));
+    key_cols.push_back(col);
+  }
+
+  // Group rows by the composite key string. std::map keeps groups in
+  // deterministic key order.
+  std::map<std::string, RowIdList> groups;
+  std::string key;
+  for (RowId r = 0; r < static_cast<RowId>(table.num_rows()); ++r) {
+    key.clear();
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      if (k > 0) key += "|";
+      const Column* col = key_cols[k];
+      if (col->type() == DataType::kDouble) {
+        key += FormatDouble(col->GetDouble(r), 12);
+      } else {
+        key += col->GetString(r);
+      }
+    }
+    groups[key].push_back(r);
+  }
+
+  QueryResult out;
+  out.query = query;
+  out.results.reserve(groups.size());
+  for (auto& [key_string, rows] : groups) {
+    AggregateResult res;
+    res.key_string = key_string;
+    RowId first = rows.front();
+    for (const Column* col : key_cols) {
+      if (col->type() == DataType::kDouble) {
+        res.key.emplace_back(col->GetDouble(first));
+      } else {
+        res.key.emplace_back(col->GetString(first));
+      }
+    }
+    res.value = agg->Compute(ExtractValues(*agg_col, rows));
+    res.input_group = std::move(rows);
+    out.results.push_back(std::move(res));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ExplanationAttributes(
+    const Table& table, const GroupByQuery& query) {
+  // Validate the referenced attributes exist.
+  SCORPION_RETURN_NOT_OK(table.ColumnByName(query.agg_attr).status());
+  for (const std::string& g : query.group_by) {
+    SCORPION_RETURN_NOT_OK(table.ColumnByName(g).status());
+  }
+  std::vector<std::string> out;
+  for (const Field& f : table.schema().fields()) {
+    if (f.name == query.agg_attr) continue;
+    if (std::find(query.group_by.begin(), query.group_by.end(), f.name) !=
+        query.group_by.end()) {
+      continue;
+    }
+    out.push_back(f.name);
+  }
+  return out;
+}
+
+}  // namespace scorpion

@@ -1,0 +1,64 @@
+// Group-by aggregate query execution with backwards provenance.
+//
+// Scorpion's input is a SELECT agg(A_agg), A_gb FROM D GROUP BY A_gb query
+// (Section 3.1). Executing it here produces, for every output row, both the
+// aggregate value and the exact set of input rows that generated it (the
+// input group g_alpha), which is the provenance the rest of the system
+// works backwards through.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+/// \brief Specification of a single-aggregate group-by query.
+struct GroupByQuery {
+  /// Registered aggregate name (see GetAggregate), e.g. "AVG".
+  std::string aggregate;
+  /// Continuous attribute the aggregate is computed over (A_agg).
+  std::string agg_attr;
+  /// Grouping attributes (A_gb); may be continuous or categorical.
+  std::vector<std::string> group_by;
+
+  std::string ToString() const;
+};
+
+/// \brief One output row of a group-by query, with provenance.
+struct AggregateResult {
+  /// Values of the group-by attributes for this group.
+  std::vector<Value> key;
+  /// Canonical display string of the key, e.g. "12PM" or "2012-06-01".
+  std::string key_string;
+  /// The aggregate value agg(g_alpha).
+  double value = 0.0;
+  /// Provenance: sorted row ids of the input group g_alpha in D.
+  RowIdList input_group;
+};
+
+/// \brief Full result set of a query over one table.
+struct QueryResult {
+  GroupByQuery query;
+  std::vector<AggregateResult> results;  // sorted by key_string
+
+  /// Index of the result with the given key string, or KeyError.
+  Result<int> FindResult(const std::string& key_string) const;
+
+  /// Formats results as a small table for display.
+  std::string ToString() const;
+};
+
+/// Executes the query over `table`. Errors if attributes are missing, the
+/// aggregate attribute is not continuous, or the aggregate name is unknown.
+Result<QueryResult> ExecuteGroupBy(const Table& table,
+                                   const GroupByQuery& query);
+
+/// The explanation attributes A_rest = all attributes minus group-by minus
+/// the aggregate attribute (Section 3.1).
+Result<std::vector<std::string>> ExplanationAttributes(
+    const Table& table, const GroupByQuery& query);
+
+}  // namespace scorpion

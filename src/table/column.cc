@@ -1,0 +1,70 @@
+#include "table/column.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace scorpion {
+
+Status Column::AppendDouble(double v) {
+  if (type_ != DataType::kDouble) {
+    return Status::TypeError("AppendDouble on a categorical column");
+  }
+  doubles_.push_back(v);
+  return Status::OK();
+}
+
+Status Column::AppendString(const std::string& v) {
+  if (type_ != DataType::kCategorical) {
+    return Status::TypeError("AppendString on a double column");
+  }
+  auto it = intern_.find(v);
+  int32_t code;
+  if (it == intern_.end()) {
+    code = static_cast<int32_t>(dictionary_.size());
+    dictionary_.push_back(v);
+    intern_.emplace(v, code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+  return Status::OK();
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (std::holds_alternative<double>(v)) {
+    if (type_ == DataType::kDouble) return AppendDouble(std::get<double>(v));
+    return AppendString(FormatDouble(std::get<double>(v)));
+  }
+  if (type_ == DataType::kCategorical) {
+    return AppendString(std::get<std::string>(v));
+  }
+  return Status::TypeError("string value appended to a double column");
+}
+
+Result<Value> Column::GetValue(RowId row) const {
+  if (static_cast<size_t>(row) >= size()) {
+    return Status::IndexError("row " + std::to_string(row) +
+                              " out of range (size " + std::to_string(size()) +
+                              ")");
+  }
+  if (type_ == DataType::kDouble) return Value(doubles_[row]);
+  return Value(dictionary_[static_cast<size_t>(codes_[row])]);
+}
+
+int32_t Column::CodeOf(const std::string& v) const {
+  auto it = intern_.find(v);
+  return it == intern_.end() ? -1 : it->second;
+}
+
+double Column::Min() const {
+  if (doubles_.empty()) return 0.0;
+  return *std::min_element(doubles_.begin(), doubles_.end());
+}
+
+double Column::Max() const {
+  if (doubles_.empty()) return 0.0;
+  return *std::max_element(doubles_.begin(), doubles_.end());
+}
+
+}  // namespace scorpion

@@ -1,0 +1,78 @@
+// Column: typed columnar storage. Doubles are stored flat; categoricals are
+// dictionary-encoded (int32 codes into a per-column string dictionary) so
+// that discrete predicate clauses evaluate as integer set membership.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/types.h"
+
+namespace scorpion {
+
+/// \brief A single column of a Table.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const {
+    return type_ == DataType::kDouble ? doubles_.size() : codes_.size();
+  }
+
+  // --- Appending -----------------------------------------------------------
+
+  /// Appends to a kDouble column. TypeError on categorical columns.
+  Status AppendDouble(double v);
+
+  /// Appends to a kCategorical column, interning the string.
+  Status AppendString(const std::string& v);
+
+  /// Appends a Value, dispatching on the column type. Numeric values appended
+  /// to a categorical column are formatted; strings appended to a double
+  /// column are a TypeError.
+  Status AppendValue(const Value& v);
+
+  // --- Access (unchecked, hot path) ---------------------------------------
+
+  double GetDouble(RowId row) const { return doubles_[row]; }
+  int32_t GetCode(RowId row) const { return codes_[row]; }
+  const std::string& GetString(RowId row) const {
+    return dictionary_[static_cast<size_t>(codes_[row])];
+  }
+
+  /// Value at `row` as a variant (bounds/type safe via Result).
+  Result<Value> GetValue(RowId row) const;
+
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+
+  // --- Dictionary ----------------------------------------------------------
+
+  /// Number of distinct values (dictionary size) for categorical columns.
+  int32_t Cardinality() const { return static_cast<int32_t>(dictionary_.size()); }
+
+  /// Dictionary code for a string, or -1 if it has never been appended.
+  int32_t CodeOf(const std::string& v) const;
+
+  // --- Statistics ----------------------------------------------------------
+
+  /// Min/max over a kDouble column (over all rows). Meaningless (0,0) on an
+  /// empty column.
+  double Min() const;
+  double Max() const;
+
+ private:
+  DataType type_;
+  std::vector<double> doubles_;          // kDouble payload
+  std::vector<int32_t> codes_;           // kCategorical payload
+  std::vector<std::string> dictionary_;  // code -> string
+  std::unordered_map<std::string, int32_t> intern_;  // string -> code
+};
+
+}  // namespace scorpion

@@ -1,0 +1,134 @@
+#include "table/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace scorpion {
+
+namespace {
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+Result<Table> BuildFromLines(const std::vector<std::string>& lines,
+                             const Schema& schema) {
+  const std::vector<std::string> header = Split(lines[0], ',');
+  // Map file column order to schema order.
+  std::vector<int> file_to_schema(header.size(), -1);
+  for (size_t i = 0; i < header.size(); ++i) {
+    std::string name = Trim(header[i]);
+    if (!schema.HasField(name)) {
+      return Status::KeyError("CSV header column '" + name +
+                              "' not present in schema");
+    }
+    SCORPION_ASSIGN_OR_RETURN(file_to_schema[i], schema.FieldIndex(name));
+  }
+
+  Table table(schema);
+  std::vector<Value> row(schema.num_fields());
+  for (size_t li = 1; li < lines.size(); ++li) {
+    const std::vector<std::string> cells = Split(lines[li], ',');
+    if (cells.size() != header.size()) {
+      return Status::IOError("CSV line " + std::to_string(li + 1) + " has " +
+                             std::to_string(cells.size()) + " cells, expected " +
+                             std::to_string(header.size()));
+    }
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
+      int si = file_to_schema[ci];
+      const std::string cell = Trim(cells[ci]);
+      if (schema.field(si).type == DataType::kDouble) {
+        double v;
+        if (!ParseDouble(cell, &v)) {
+          return Status::TypeError("CSV line " + std::to_string(li + 1) +
+                                   ": '" + cell + "' is not numeric");
+        }
+        row[si] = v;
+      } else {
+        row[si] = cell;
+      }
+    }
+    SCORPION_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& path, const Schema& schema) {
+  SCORPION_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  if (lines.empty()) return Status::IOError("'" + path + "' is empty");
+  return BuildFromLines(lines, schema);
+}
+
+Result<Table> ReadCsvInferSchema(const std::string& path) {
+  SCORPION_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  if (lines.size() < 2) {
+    return Status::IOError("'" + path + "' needs a header and one data row");
+  }
+  const std::vector<std::string> header = Split(lines[0], ',');
+  const std::vector<std::string> first = Split(lines[1], ',');
+  if (header.size() != first.size()) {
+    return Status::IOError("header/data arity mismatch in '" + path + "'");
+  }
+  std::vector<Field> fields;
+  for (size_t i = 0; i < header.size(); ++i) {
+    double unused;
+    DataType type = ParseDouble(Trim(first[i]), &unused)
+                        ? DataType::kDouble
+                        : DataType::kCategorical;
+    fields.push_back({Trim(header[i]), type});
+  }
+  return BuildFromLines(lines, Schema(std::move(fields)));
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  const Schema& schema = table.schema();
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out << ",";
+    out << schema.field(c).name;
+  }
+  out << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ",";
+      const Column& col = table.column(c);
+      if (col.type() == DataType::kDouble) {
+        out << FormatDouble(col.GetDouble(static_cast<RowId>(r)), 12);
+      } else {
+        out << col.GetString(static_cast<RowId>(r));
+      }
+    }
+    out << "\n";
+  }
+  if (!out.good()) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace scorpion

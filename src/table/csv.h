@@ -1,0 +1,23 @@
+// CSV import/export. Used by the examples to show end-to-end flows over
+// on-disk data, and by tests for round-trip coverage.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+/// Reads a CSV with a header row into a Table with the given schema.
+/// Header names must match schema field names (order-insensitive).
+Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+/// Reads a CSV with a header row, inferring each column's type from the
+/// first data row (numeric parse success -> kDouble, else kCategorical).
+Result<Table> ReadCsvInferSchema(const std::string& path);
+
+/// Writes a Table to CSV with a header row.
+Status WriteCsv(const Table& table, const std::string& path);
+
+}  // namespace scorpion

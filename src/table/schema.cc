@@ -1,0 +1,31 @@
+#include "table/schema.h"
+
+namespace scorpion {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (int i = 0; i < static_cast<int>(fields_.size()); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no field named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema(";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace scorpion

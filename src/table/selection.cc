@@ -1,0 +1,54 @@
+#include "table/selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scorpion {
+
+bool IsSortedUnique(const RowIdList& rows) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i - 1] >= rows[i]) return false;
+  }
+  return true;
+}
+
+void Normalize(RowIdList* rows) {
+  std::sort(rows->begin(), rows->end());
+  rows->erase(std::unique(rows->begin(), rows->end()), rows->end());
+}
+
+RowIdList Intersect(const RowIdList& a, const RowIdList& b) {
+  RowIdList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+RowIdList Union(const RowIdList& a, const RowIdList& b) {
+  RowIdList out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+RowIdList Difference(const RowIdList& a, const RowIdList& b) {
+  RowIdList out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+bool IsSubset(const RowIdList& a, const RowIdList& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+RowIdList AllRows(size_t n) {
+  RowIdList out(n);
+  std::iota(out.begin(), out.end(), 0u);
+  return out;
+}
+
+}  // namespace scorpion

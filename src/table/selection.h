@@ -1,0 +1,31 @@
+// Sorted row-id list algebra. Input groups, predicate matches and partition
+// memberships are all RowIdLists; the search algorithms combine them with
+// these set operations.
+#pragma once
+
+#include "table/types.h"
+
+namespace scorpion {
+
+/// True if `rows` is sorted ascending with no duplicates.
+bool IsSortedUnique(const RowIdList& rows);
+
+/// Sorts and deduplicates in place.
+void Normalize(RowIdList* rows);
+
+/// Set intersection of two sorted lists.
+RowIdList Intersect(const RowIdList& a, const RowIdList& b);
+
+/// Set union of two sorted lists.
+RowIdList Union(const RowIdList& a, const RowIdList& b);
+
+/// Elements of `a` not in `b` (both sorted).
+RowIdList Difference(const RowIdList& a, const RowIdList& b);
+
+/// True if sorted `a` ⊆ sorted `b`.
+bool IsSubset(const RowIdList& a, const RowIdList& b);
+
+/// All row ids [0, n).
+RowIdList AllRows(size_t n);
+
+}  // namespace scorpion

@@ -1,0 +1,98 @@
+#include "table/table.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace scorpion {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(schema_.num_fields()));
+  }
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    SCORPION_RETURN_NOT_OK(columns_[i].AppendValue(values[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  SCORPION_ASSIGN_OR_RETURN(int idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+Result<Value> Table::GetValue(RowId row, int col) const {
+  if (col < 0 || col >= num_columns()) {
+    return Status::IndexError("column " + std::to_string(col) +
+                              " out of range");
+  }
+  return columns_[col].GetValue(row);
+}
+
+Result<Table> Table::TakeRows(const RowIdList& rows) const {
+  Table out(schema_);
+  for (RowId r : rows) {
+    if (static_cast<size_t>(r) >= num_rows_) {
+      return Status::IndexError("row " + std::to_string(r) + " out of range");
+    }
+    for (int c = 0; c < num_columns(); ++c) {
+      const Column& col = columns_[c];
+      if (col.type() == DataType::kDouble) {
+        SCORPION_RETURN_NOT_OK(out.columns_[c].AppendDouble(col.GetDouble(r)));
+      } else {
+        SCORPION_RETURN_NOT_OK(out.columns_[c].AppendString(col.GetString(r)));
+      }
+    }
+    ++out.num_rows_;
+  }
+  return out;
+}
+
+Status Table::FinalizeColumnwiseBuild() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return Status::OK();
+  }
+  size_t n = columns_[0].size();
+  for (const Column& c : columns_) {
+    if (c.size() != n) {
+      return Status::Internal("column length mismatch after columnwise build");
+    }
+  }
+  num_rows_ = n;
+  return Status::OK();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << ", " << num_rows_ << " rows\n";
+  size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    os << "  ";
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) os << " | ";
+      const Column& col = columns_[c];
+      if (col.type() == DataType::kDouble) {
+        os << FormatDouble(col.GetDouble(static_cast<RowId>(r)));
+      } else {
+        os << col.GetString(static_cast<RowId>(r));
+      }
+    }
+    os << "\n";
+  }
+  if (shown < num_rows_) os << "  ... (" << (num_rows_ - shown) << " more)\n";
+  return os.str();
+}
+
+}  // namespace scorpion

@@ -1,0 +1,61 @@
+// Table: schema + columns. Append-oriented build, columnar read access.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace scorpion {
+
+/// \brief In-memory columnar table.
+///
+/// Built by appending rows (or via generators appending column-wise), then
+/// treated as immutable by the query/search layers.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_fields(); }
+
+  /// Appends one row; `values` must match the schema arity and types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Column by position (unchecked).
+  const Column& column(int i) const { return columns_[i]; }
+  Column& column(int i) { return columns_[i]; }
+
+  /// Column by name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Position of a named column.
+  Result<int> ColumnIndex(const std::string& name) const {
+    return schema_.FieldIndex(name);
+  }
+
+  /// Cell accessor for tests and row-oriented consumers.
+  Result<Value> GetValue(RowId row, int col) const;
+
+  /// A new table with the same schema containing only the given rows
+  /// (in the given order).
+  Result<Table> TakeRows(const RowIdList& rows) const;
+
+  /// Human-readable preview of up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 10) const;
+
+  /// Used by generators that append column-wise; validates all columns have
+  /// equal length and synchronizes num_rows.
+  Status FinalizeColumnwiseBuild();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,15 @@
+#include "table/types.h"
+
+namespace scorpion {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kCategorical:
+      return "categorical";
+  }
+  return "?";
+}
+
+}  // namespace scorpion

@@ -1,0 +1,31 @@
+// Core value/type definitions for the in-memory columnar table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace scorpion {
+
+/// Physical type of a column.
+///
+/// Continuous attributes (kDouble) support range clauses; categorical
+/// attributes (kCategorical) are dictionary-encoded strings supporting
+/// set-containment clauses. This mirrors the paper's split of predicate
+/// clauses into ranges over continuous and IN-lists over discrete attributes.
+enum class DataType : int {
+  kDouble = 0,
+  kCategorical = 1,
+};
+
+const char* DataTypeToString(DataType type);
+
+/// A single cell value as seen by row-oriented APIs (builders, CSV, tests).
+using Value = std::variant<double, std::string>;
+
+/// Row identifiers within a Table. Selections are sorted vectors of RowId.
+using RowId = uint32_t;
+using RowIdList = std::vector<RowId>;
+
+}  // namespace scorpion

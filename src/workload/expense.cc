@@ -1,0 +1,148 @@
+#include "workload/expense.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace scorpion {
+
+namespace {
+
+const char* kStates[] = {"DC", "IL", "NY", "CA", "TX", "FL", "OH", "VA",
+                         "MA", "PA", "WA", "MI", "NC", "GA", "CO", "MN"};
+const char* kOrgTypes[] = {"CORP", "LLC", "PAC", "INDIVIDUAL", "PARTNERSHIP"};
+const char* kDescriptions[] = {
+    "PAYROLL",         "TRAVEL",        "CONSULTING",   "OFFICE SUPPLIES",
+    "POLLING",         "PRINTING",      "POSTAGE",      "RENT",
+    "PHONE BANKING",   "CATERING",      "SECURITY",     "ONLINE ADVERTISING",
+    "EVENT PRODUCTION", "LEGAL SERVICES", "DIRECT MAIL", "MEDIA BUY"};
+
+}  // namespace
+
+Result<ExpenseDataset> GenerateExpense(const ExpenseOptions& options) {
+  if (options.num_outlier_days >= options.num_days) {
+    return Status::InvalidArgument("more outlier days than days");
+  }
+  Rng rng(options.seed);
+
+  ExpenseDataset out;
+  out.table = Table(Schema({{"date", DataType::kCategorical},
+                            {"recipient_nm", DataType::kCategorical},
+                            {"recipient_st", DataType::kCategorical},
+                            {"zip", DataType::kCategorical},
+                            {"org_type", DataType::kCategorical},
+                            {"disb_desc", DataType::kCategorical},
+                            {"file_num", DataType::kCategorical},
+                            {"disb_amt", DataType::kDouble}}));
+  out.query.aggregate = "SUM";
+  out.query.agg_attr = "disb_amt";
+  out.query.group_by = {"date"};
+  out.attributes = {"recipient_nm", "recipient_st", "zip",
+                    "org_type",     "disb_desc",    "file_num"};
+
+  const int num_states = static_cast<int>(std::size(kStates));
+  const int num_org_types = static_cast<int>(std::size(kOrgTypes));
+  const int num_descs = static_cast<int>(std::size(kDescriptions));
+
+  // Outlier days are spread through the calendar deterministically.
+  std::vector<bool> is_outlier_day(options.num_days, false);
+  for (int i = 0; i < options.num_outlier_days; ++i) {
+    int day = (i + 1) * options.num_days / (options.num_outlier_days + 1);
+    is_outlier_day[day] = true;
+  }
+
+  std::vector<Value> row(8);
+  auto append = [&](const std::string& date, const std::string& recipient,
+                    const std::string& state, const std::string& zip,
+                    const std::string& org, const std::string& desc,
+                    const std::string& file_num, double amount) -> Status {
+    row[0] = date;
+    row[1] = recipient;
+    row[2] = state;
+    row[3] = zip;
+    row[4] = org;
+    row[5] = desc;
+    row[6] = file_num;
+    row[7] = amount;
+    RowId row_id = static_cast<RowId>(out.table.num_rows());
+    SCORPION_RETURN_NOT_OK(out.table.AppendRow(row));
+    if (amount > 1.5e6) out.ground_truth_rows.push_back(row_id);
+    return Status::OK();
+  };
+
+  for (int day = 0; day < options.num_days; ++day) {
+    char date_key[16];
+    std::snprintf(date_key, sizeof(date_key), "d%03d", day);
+    if (is_outlier_day[day]) {
+      out.outlier_keys.push_back(date_key);
+    } else if (day % 4 == 0 && out.holdout_keys.size() < 27) {
+      // The paper flags 27 typical days as hold-outs.
+      out.holdout_keys.push_back(date_key);
+    }
+
+    for (int r = 0; r < options.rows_per_day; ++r) {
+      // No single attribute is exclusive to the planted spike rows, so the
+      // maximum-influence explanation at high c is a conjunction (like the
+      // paper's 4-clause EXPENSE result): file numbers 800316/800317 also
+      // file ordinary expenses, MEDIA BUY also describes small ad buys, and
+      // GMMB INC. also receives routine consulting payments.
+      char recipient[24], zip[16], file_num[16];
+      if (rng.Bernoulli(0.01)) {
+        std::snprintf(recipient, sizeof(recipient), "GMMB INC.");
+      } else {
+        std::snprintf(recipient, sizeof(recipient), "VENDOR %04d",
+                      static_cast<int>(
+                          rng.UniformInt(0, options.num_recipients - 1)));
+      }
+      std::snprintf(zip, sizeof(zip), "%05d",
+                    20001 + static_cast<int>(
+                                rng.UniformInt(0, options.num_zip_codes - 1)));
+      std::snprintf(file_num, sizeof(file_num), "%d",
+                    800300 + static_cast<int>(rng.UniformInt(0, 17)));
+      // Ordinary spending: log-uniform $50 .. ~$50k, mostly small (the
+      // paper notes ~$5k/day typical totals dominated by small items).
+      double amount = std::exp(rng.Uniform(std::log(50.0), std::log(5.0e4)));
+      int desc_idx = static_cast<int>(rng.UniformInt(0, num_descs - 1));
+      SCORPION_RETURN_NOT_OK(append(
+          date_key, recipient, kStates[rng.UniformInt(0, num_states - 1)],
+          zip, kOrgTypes[rng.UniformInt(0, num_org_types - 1)],
+          kDescriptions[desc_idx], file_num, amount));
+    }
+
+    if (is_outlier_day[day]) {
+      for (int b = 0; b < options.media_buys_per_outlier_day; ++b) {
+        double amount = rng.Uniform(options.media_buy_lo, options.media_buy_hi);
+        // One in three media buys is filed under a second report number,
+        // mirroring the paper's two GMMB filings where file_num 800316
+        // carries the higher average.
+        const char* file_num = (b % 3 == 2) ? "800317" : "800316";
+        if (b % 3 == 2) amount *= 0.55;
+        SCORPION_RETURN_NOT_OK(append(date_key, "GMMB INC.", "DC", "20001",
+                                      "CORP", "MEDIA BUY", file_num, amount));
+      }
+    }
+  }
+
+  // Expected high-c explanation (paper Section 8.4):
+  // recipient_st='DC' & recipient_nm='GMMB INC.' & file_num=800316 &
+  // disb_desc='MEDIA BUY'.
+  auto code_of = [&](const char* attr, const std::string& value) -> Result<int32_t> {
+    SCORPION_ASSIGN_OR_RETURN(const Column* col, out.table.ColumnByName(attr));
+    int32_t code = col->CodeOf(value);
+    if (code < 0) return Status::Internal(std::string(attr) + " value missing");
+    return code;
+  };
+  SCORPION_ASSIGN_OR_RETURN(int32_t rec, code_of("recipient_nm", "GMMB INC."));
+  SCORPION_ASSIGN_OR_RETURN(int32_t st, code_of("recipient_st", "DC"));
+  SCORPION_ASSIGN_OR_RETURN(int32_t desc, code_of("disb_desc", "MEDIA BUY"));
+  SCORPION_ASSIGN_OR_RETURN(int32_t file, code_of("file_num", "800316"));
+  SCORPION_RETURN_NOT_OK(out.expected.AddSet({"recipient_nm", {rec}}));
+  SCORPION_RETURN_NOT_OK(out.expected.AddSet({"recipient_st", {st}}));
+  SCORPION_RETURN_NOT_OK(out.expected.AddSet({"disb_desc", {desc}}));
+  SCORPION_RETURN_NOT_OK(out.expected.AddSet({"file_num", {file}}));
+  return out;
+}
+
+}  // namespace scorpion

@@ -1,0 +1,57 @@
+// Expense workload: synthetic stand-in for the FEC 2012 campaign-expense
+// dataset (Section 8.1's EXPENSE). Daily disbursement ledger with
+// high-cardinality discrete attributes; a handful of outlier days carry
+// multi-million-dollar MEDIA BUY payments to one recipient under one filing
+// number, so SUM(disb_amt) per day spikes on those days and the expected
+// high-c explanation is the recipient/state/filing/description conjunction
+// the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "predicate/predicate.h"
+#include "query/groupby.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+struct ExpenseOptions {
+  int num_days = 120;
+  /// Typical disbursement rows per day.
+  int rows_per_day = 400;
+  /// Distinct ordinary recipients (the real dataset has ~18k; 2k keeps the
+  /// cardinality profile "hundreds to thousands" while staying laptop-fast).
+  int num_recipients = 2000;
+  int num_zip_codes = 100;
+  /// Days with planted media-buy spikes (paper: 7 outlier days > $10M).
+  int num_outlier_days = 7;
+  /// Media buys per outlier day.
+  int media_buys_per_outlier_day = 6;
+  /// Media buy amount range (dollars).
+  double media_buy_lo = 1.6e6;
+  double media_buy_hi = 3.2e6;
+  uint64_t seed = 42;
+};
+
+struct ExpenseDataset {
+  Table table;
+  GroupByQuery query;  // SELECT SUM(disb_amt) ... GROUP BY date
+  /// Explanation attributes (everything but date and disb_amt).
+  std::vector<std::string> attributes;
+  std::vector<std::string> outlier_keys;   // the spike days
+  std::vector<std::string> holdout_keys;   // sampled typical days
+  /// The planted cause: recipient_nm = 'GMMB INC.' & disb_desc = 'MEDIA BUY'
+  /// & recipient_st = 'DC' & file_num = '800316'.
+  Predicate expected;
+  /// Ground truth per the paper's definition: rows with amount > $1.5M.
+  RowIdList ground_truth_rows;
+
+  ExpenseDataset() : table(Schema{}) {}
+};
+
+Result<ExpenseDataset> GenerateExpense(const ExpenseOptions& options);
+
+}  // namespace scorpion

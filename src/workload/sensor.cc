@@ -1,0 +1,100 @@
+#include "workload/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace scorpion {
+
+Result<SensorDataset> GenerateSensor(const SensorOptions& options) {
+  if (options.failing_sensor < 0 ||
+      options.failing_sensor >= options.num_sensors) {
+    return Status::InvalidArgument("failing_sensor out of range");
+  }
+  if (options.failure_start_hour <= 0 ||
+      options.failure_start_hour >= options.num_hours) {
+    return Status::InvalidArgument(
+        "failure_start_hour must leave both normal and failing hours");
+  }
+
+  Rng rng(options.seed);
+  SensorDataset out;
+  out.table = Table(Schema({{"hour", DataType::kCategorical},
+                            {"sensorid", DataType::kCategorical},
+                            {"voltage", DataType::kDouble},
+                            {"humidity", DataType::kDouble},
+                            {"light", DataType::kDouble},
+                            {"temp", DataType::kDouble}}));
+  out.query.aggregate = "STDDEV";
+  out.query.agg_attr = "temp";
+  out.query.group_by = {"hour"};
+  out.attributes = {"sensorid", "voltage", "humidity", "light"};
+
+  std::vector<Value> row(6);
+  for (int hour = 0; hour < options.num_hours; ++hour) {
+    char hour_key[16];
+    std::snprintf(hour_key, sizeof(hour_key), "h%03d", hour);
+    bool failing_hour = hour >= options.failure_start_hour;
+    (failing_hour ? out.outlier_keys : out.holdout_keys)
+        .push_back(hour_key);
+
+    // Diurnal cycle drives baseline temperature and ambient light.
+    double tod = 2.0 * M_PI * static_cast<double>(hour % 24) / 24.0;
+    double base_temp = 20.0 + 4.0 * std::sin(tod);
+    double base_light = std::max(0.0, 400.0 * std::sin(tod)) + 50.0;
+
+    for (int sensor = 0; sensor < options.num_sensors; ++sensor) {
+      char sensor_key[16];
+      std::snprintf(sensor_key, sizeof(sensor_key), "%d", sensor);
+      bool is_failing =
+          sensor == options.failing_sensor && failing_hour;
+      for (int k = 0; k < options.readings_per_sensor_per_hour; ++k) {
+        double voltage, humidity, light, temp;
+        humidity = std::clamp(rng.Normal(0.4, 0.05), 0.0, 1.0);
+        if (!is_failing) {
+          voltage = rng.Normal(2.65, 0.03);
+          light = std::max(0.0, rng.Normal(base_light, 60.0));
+          temp = rng.Normal(base_temp, 1.5);
+        } else if (options.mode == SensorFailureMode::kDyingSensor) {
+          // Dying mote: narrow low-voltage band, low light, temperatures
+          // above 100C that run hotter as voltage drops (first INTEL
+          // query's refinement structure).
+          voltage = rng.Uniform(2.307, 2.33);
+          light = rng.Uniform(0.0, 300.0);
+          temp = 100.0 + (2.33 - voltage) * 800.0 + rng.Normal(0.0, 2.0);
+        } else {
+          // Battery decay: voltage well below 2.4; readings 90-122C, with
+          // the extremes tied to a light band (second INTEL query).
+          voltage = rng.Uniform(2.30, 2.39);
+          light = std::max(0.0, rng.Normal(base_light * 0.8, 80.0));
+          bool light_band = light >= 283.0 && light <= 354.0;
+          temp = light_band ? rng.Normal(120.0, 2.0) : rng.Normal(95.0, 4.0);
+        }
+        row[0] = std::string(hour_key);
+        row[1] = std::string(sensor_key);
+        row[2] = voltage;
+        row[3] = humidity;
+        row[4] = light;
+        row[5] = temp;
+        RowId row_id = static_cast<RowId>(out.table.num_rows());
+        SCORPION_RETURN_NOT_OK(out.table.AppendRow(row));
+        if (is_failing) out.ground_truth_rows.push_back(row_id);
+      }
+    }
+  }
+
+  // Planted cause: sensorid = failing_sensor.
+  SCORPION_ASSIGN_OR_RETURN(const Column* sensor_col,
+                            out.table.ColumnByName("sensorid"));
+  int32_t code = sensor_col->CodeOf(std::to_string(options.failing_sensor));
+  if (code < 0) {
+    return Status::Internal("failing sensor id missing from dictionary");
+  }
+  SCORPION_RETURN_NOT_OK(out.expected.AddSet({"sensorid", {code}}));
+  return out;
+}
+
+}  // namespace scorpion

@@ -1,0 +1,62 @@
+// Sensor workload: synthetic stand-in for the Intel Lab dataset
+// (Section 8.1's INTEL), with the two failure modes the paper's queries
+// target planted into the trace:
+//
+//  * kDyingSensor — one mote starts emitting > 100C readings partway
+//    through the trace; its voltage sits in a narrow low band and its light
+//    readings are low, so at high c Scorpion can refine sensorid = k with
+//    voltage/light clauses (first INTEL workload).
+//  * kLowVoltage — one mote's battery decays below 2.4V, producing
+//    90-122C readings whose extremes correlate with a light band
+//    (second INTEL workload).
+//
+// Schema mirrors the paper's readings table: hour (group-by), sensorid,
+// voltage, humidity, light, temp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "predicate/predicate.h"
+#include "query/groupby.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+enum class SensorFailureMode : int {
+  kDyingSensor = 0,
+  kLowVoltage = 1,
+};
+
+struct SensorOptions {
+  int num_sensors = 61;
+  int num_hours = 36;
+  int readings_per_sensor_per_hour = 10;
+  SensorFailureMode mode = SensorFailureMode::kDyingSensor;
+  /// Mote that fails (paper: 15 for dying, 18 for low voltage).
+  int failing_sensor = 15;
+  /// Hour at which the failure begins.
+  int failure_start_hour = 18;
+  uint64_t seed = 42;
+};
+
+struct SensorDataset {
+  Table table;
+  GroupByQuery query;  // SELECT STDDEV(temp) ... GROUP BY hour
+  /// Explanation attributes: sensorid, voltage, humidity, light.
+  std::vector<std::string> attributes;
+  std::vector<std::string> outlier_keys;   // hours >= failure_start_hour
+  std::vector<std::string> holdout_keys;   // hours before the failure
+  /// The planted root cause as a predicate (sensorid = k).
+  Predicate expected;
+  /// Ground truth: the failing sensor's anomalous readings.
+  RowIdList ground_truth_rows;
+
+  SensorDataset() : table(Schema{}) {}
+};
+
+Result<SensorDataset> GenerateSensor(const SensorOptions& options);
+
+}  // namespace scorpion

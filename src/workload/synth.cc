@@ -1,0 +1,115 @@
+#include "workload/synth.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace scorpion {
+
+SynthOptions SynthPreset(int dims, bool easy, uint64_t seed) {
+  SynthOptions opts;
+  opts.dims = dims;
+  opts.mu = easy ? 80.0 : 30.0;
+  opts.seed = seed;
+  return opts;
+}
+
+Result<SynthDataset> GenerateSynth(const SynthOptions& options) {
+  if (options.dims < 1) {
+    return Status::InvalidArgument("dims must be >= 1");
+  }
+  if (options.num_groups < 2) {
+    return Status::InvalidArgument("need at least 2 groups");
+  }
+  if (options.domain_hi <= options.domain_lo) {
+    return Status::InvalidArgument("empty dimension domain");
+  }
+
+  Rng rng(options.seed);
+  const double domain_width = options.domain_hi - options.domain_lo;
+  const double n = static_cast<double>(options.dims);
+
+  // Cube side lengths from the target volume fractions.
+  const double outer_side =
+      domain_width * std::pow(options.outer_fraction, 1.0 / n);
+  const double inner_side =
+      outer_side * std::pow(options.inner_fraction, 1.0 / n);
+
+  // Random placement: outer cube inside the domain, inner inside the outer.
+  std::vector<double> outer_lo(options.dims), inner_lo(options.dims);
+  for (int d = 0; d < options.dims; ++d) {
+    outer_lo[d] = rng.Uniform(options.domain_lo,
+                              options.domain_hi - outer_side);
+    inner_lo[d] = rng.Uniform(outer_lo[d], outer_lo[d] + outer_side -
+                                               inner_side);
+  }
+
+  // Schema: Ad (group), Av (value), A1..An (dimensions).
+  std::vector<Field> fields;
+  fields.push_back({"Ad", DataType::kCategorical});
+  fields.push_back({"Av", DataType::kDouble});
+  SynthDataset out;
+  out.query.aggregate = "SUM";
+  out.query.agg_attr = "Av";
+  out.query.group_by = {"Ad"};
+  for (int d = 0; d < options.dims; ++d) {
+    std::string name = "A" + std::to_string(d + 1);
+    fields.push_back({name, DataType::kDouble});
+    out.attributes.push_back(name);
+  }
+  out.table = Table(Schema(std::move(fields)));
+
+  for (int d = 0; d < options.dims; ++d) {
+    RangeClause outer{out.attributes[d], outer_lo[d], outer_lo[d] + outer_side,
+                      /*hi_inclusive=*/true};
+    RangeClause inner{out.attributes[d], inner_lo[d], inner_lo[d] + inner_side,
+                      /*hi_inclusive=*/true};
+    SCORPION_RETURN_NOT_OK(out.outer_cube.AddRange(outer));
+    SCORPION_RETURN_NOT_OK(out.inner_cube.AddRange(inner));
+  }
+
+  // Half the groups are outlier groups (first half for determinism).
+  const int num_outlier_groups = options.num_groups / 2;
+  std::vector<Value> row(2 + options.dims);
+  std::vector<double> point(options.dims);
+  for (int g = 0; g < options.num_groups; ++g) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "g%02d", g);
+    bool outlier_group = g < num_outlier_groups;
+    (outlier_group ? out.outlier_keys : out.holdout_keys).push_back(key);
+    for (int t = 0; t < options.tuples_per_group; ++t) {
+      bool in_outer = true, in_inner = true;
+      for (int d = 0; d < options.dims; ++d) {
+        point[d] = rng.Uniform(options.domain_lo, options.domain_hi);
+        in_outer &= point[d] >= outer_lo[d] &&
+                    point[d] <= outer_lo[d] + outer_side;
+        in_inner &= point[d] >= inner_lo[d] &&
+                    point[d] <= inner_lo[d] + inner_side;
+      }
+      double av;
+      if (outlier_group && in_inner) {
+        av = rng.Normal(options.mu, options.outlier_std);
+      } else if (outlier_group && in_outer) {
+        av = rng.Normal((options.mu + options.normal_mean) / 2.0,
+                        options.outlier_std);
+      } else {
+        av = rng.Normal(options.normal_mean, options.normal_std);
+      }
+      // SUM's anti-monotonicity check requires non-negative data; the
+      // normal distribution's negative tail is clamped.
+      av = std::max(0.0, av);
+      row[0] = std::string(key);
+      row[1] = av;
+      for (int d = 0; d < options.dims; ++d) row[2 + d] = point[d];
+      RowId row_id = static_cast<RowId>(out.table.num_rows());
+      SCORPION_RETURN_NOT_OK(out.table.AppendRow(row));
+      if (outlier_group && in_outer) out.outer_rows.push_back(row_id);
+      if (outlier_group && in_inner) out.inner_rows.push_back(row_id);
+    }
+  }
+  return out;
+}
+
+}  // namespace scorpion

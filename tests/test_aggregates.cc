@@ -1,0 +1,216 @@
+// Aggregate operator tests: values, property declarations, and the
+// state/update/remove/recover laws of Section 5.1, checked both on
+// hand-picked cases and property-style over randomized data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aggregates/aggregate.h"
+#include "aggregates/standard_aggregates.h"
+#include "common/random.h"
+
+namespace scorpion {
+namespace {
+
+TEST(AggregateRegistry, LooksUpAllRegisteredNames) {
+  for (const std::string& name : RegisteredAggregates()) {
+    auto agg = GetAggregate(name);
+    ASSERT_TRUE(agg.ok()) << name;
+    EXPECT_EQ((*agg)->name(), name);
+  }
+}
+
+TEST(AggregateRegistry, IsCaseInsensitiveAndHasAliases) {
+  EXPECT_TRUE(GetAggregate("avg").ok());
+  EXPECT_TRUE(GetAggregate("Stddev").ok());
+  EXPECT_TRUE(GetAggregate("std").ok());
+  EXPECT_TRUE(GetAggregate("var").ok());
+  EXPECT_TRUE(GetAggregate("bogus").status().IsKeyError());
+}
+
+TEST(AggregateValues, HandPickedCases) {
+  std::vector<double> v = {1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(GetAggregate("COUNT").ValueOrDie()->Compute(v), 5.0);
+  EXPECT_DOUBLE_EQ(GetAggregate("SUM").ValueOrDie()->Compute(v), 110.0);
+  EXPECT_DOUBLE_EQ(GetAggregate("AVG").ValueOrDie()->Compute(v), 22.0);
+  EXPECT_DOUBLE_EQ(GetAggregate("MIN").ValueOrDie()->Compute(v), 1.0);
+  EXPECT_DOUBLE_EQ(GetAggregate("MAX").ValueOrDie()->Compute(v), 100.0);
+  EXPECT_DOUBLE_EQ(GetAggregate("MEDIAN").ValueOrDie()->Compute(v), 3.0);
+}
+
+TEST(AggregateValues, MedianEvenCountAveragesMiddlePair) {
+  MedianAggregate median;
+  EXPECT_DOUBLE_EQ(median.Compute({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median.Compute({7}), 7.0);
+  EXPECT_TRUE(std::isnan(median.Compute({})));
+}
+
+TEST(AggregateValues, VarianceAndStddevArePopulationStatistics) {
+  VarianceAggregate var;
+  StddevAggregate std_agg;
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};  // classic example
+  EXPECT_DOUBLE_EQ(var.Compute(v), 4.0);
+  EXPECT_DOUBLE_EQ(std_agg.Compute(v), 2.0);
+}
+
+TEST(AggregateValues, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(CountAggregate().Compute({}), 0.0);
+  EXPECT_DOUBLE_EQ(SumAggregate().Compute({}), 0.0);
+  EXPECT_TRUE(std::isnan(AvgAggregate().Compute({})));
+  EXPECT_TRUE(std::isnan(StddevAggregate().Compute({})));
+  EXPECT_TRUE(std::isnan(MinAggregate().Compute({})));
+}
+
+TEST(AggregateProperties, DeclarationsMatchSection5) {
+  auto props = [](const std::string& name) {
+    const Aggregate* agg = GetAggregate(name).ValueOrDie();
+    return std::make_pair(agg->is_incrementally_removable(),
+                          agg->is_independent());
+  };
+  EXPECT_EQ(props("COUNT"), std::make_pair(true, true));
+  EXPECT_EQ(props("SUM"), std::make_pair(true, true));
+  EXPECT_EQ(props("AVG"), std::make_pair(true, true));
+  EXPECT_EQ(props("STDDEV"), std::make_pair(true, true));
+  EXPECT_EQ(props("VARIANCE"), std::make_pair(true, true));
+  EXPECT_EQ(props("MIN"), std::make_pair(false, false));
+  EXPECT_EQ(props("MAX"), std::make_pair(false, false));
+  EXPECT_EQ(props("MEDIAN"), std::make_pair(false, false));
+}
+
+TEST(AggregateProperties, AntiMonotoneChecks) {
+  const Aggregate* count = GetAggregate("COUNT").ValueOrDie();
+  const Aggregate* sum = GetAggregate("SUM").ValueOrDie();
+  const Aggregate* max = GetAggregate("MAX").ValueOrDie();
+  const Aggregate* avg = GetAggregate("AVG").ValueOrDie();
+  EXPECT_TRUE(count->CheckAntiMonotone({-5, 0, 5}));
+  EXPECT_TRUE(max->CheckAntiMonotone({-5, 0, 5}));
+  EXPECT_TRUE(sum->CheckAntiMonotone({0, 1, 2}));
+  EXPECT_FALSE(sum->CheckAntiMonotone({1, -1}));  // negative value
+  EXPECT_FALSE(avg->CheckAntiMonotone({1, 2}));   // AVG never declares it
+}
+
+TEST(AggregateProperties, NonRemovableAggregatesRejectStateCalls) {
+  const Aggregate* median = GetAggregate("MEDIAN").ValueOrDie();
+  EXPECT_TRUE(median->State({1, 2}).status().IsNotImplemented());
+  EXPECT_TRUE(median->Recover({1}).status().IsNotImplemented());
+}
+
+TEST(AggregateState, AvgDecompositionMatchesPaperExample) {
+  // AVG.state(D) = [SUM(D), |D|] (Section 5.1's worked augmentation).
+  AvgAggregate avg;
+  auto state = avg.State({35, 35, 100});
+  ASSERT_TRUE(state.ok());
+  EXPECT_DOUBLE_EQ((*state)[0], 170.0);
+  EXPECT_DOUBLE_EQ((*state)[1], 3.0);
+  auto removed = avg.Remove(*state, avg.State({100}).ValueOrDie());
+  ASSERT_TRUE(removed.ok());
+  EXPECT_DOUBLE_EQ(avg.Recover(*removed).ValueOrDie(), 35.0);
+}
+
+TEST(AggregateState, ArityMismatchIsInvalidArgument) {
+  AvgAggregate avg;
+  EXPECT_TRUE(avg.Recover({1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(avg.Remove({1.0, 2.0}, {1.0}).status().IsInvalidArgument());
+}
+
+// --- Property-style sweep: remove() must agree with recomputation ----------
+
+struct RemovalCase {
+  std::string agg_name;
+  uint64_t seed;
+};
+
+class IncrementalRemovalLaw : public ::testing::TestWithParam<RemovalCase> {};
+
+TEST_P(IncrementalRemovalLaw, RemoveMatchesRecompute) {
+  const RemovalCase& param = GetParam();
+  const Aggregate* agg = GetAggregate(param.agg_name).ValueOrDie();
+  ASSERT_TRUE(agg->is_incrementally_removable());
+
+  Rng rng(param.seed);
+  const int n = 200;
+  std::vector<double> all(n);
+  for (double& v : all) v = rng.Uniform(-50.0, 150.0);
+
+  // Random subset to remove (leave at least 2 behind).
+  std::vector<double> removed, remaining;
+  for (int i = 0; i < n; ++i) {
+    if (i >= 2 && rng.Bernoulli(0.3)) {
+      removed.push_back(all[i]);
+    } else {
+      remaining.push_back(all[i]);
+    }
+  }
+
+  AggState total = agg->State(all).ValueOrDie();
+  AggState sub = agg->State(removed).ValueOrDie();
+  AggState rest = agg->Remove(total, sub).ValueOrDie();
+  double incremental = agg->Recover(rest).ValueOrDie();
+  double recomputed = agg->Compute(remaining);
+  EXPECT_NEAR(incremental, recomputed, 1e-7 * (1.0 + std::fabs(recomputed)))
+      << param.agg_name << " seed " << param.seed;
+}
+
+TEST_P(IncrementalRemovalLaw, UpdateOfDisjointPartsMatchesWhole) {
+  const RemovalCase& param = GetParam();
+  const Aggregate* agg = GetAggregate(param.agg_name).ValueOrDie();
+  Rng rng(param.seed);
+  std::vector<double> a(50), b(70), c(30);
+  for (double& v : a) v = rng.Uniform(0.0, 10.0);
+  for (double& v : b) v = rng.Uniform(-10.0, 10.0);
+  for (double& v : c) v = rng.Uniform(100.0, 200.0);
+  std::vector<double> whole = a;
+  whole.insert(whole.end(), b.begin(), b.end());
+  whole.insert(whole.end(), c.begin(), c.end());
+
+  AggState combined = agg->Update({agg->State(a).ValueOrDie(),
+                                   agg->State(b).ValueOrDie(),
+                                   agg->State(c).ValueOrDie()})
+                          .ValueOrDie();
+  double from_parts = agg->Recover(combined).ValueOrDie();
+  double direct = agg->Compute(whole);
+  EXPECT_NEAR(from_parts, direct, 1e-7 * (1.0 + std::fabs(direct)));
+}
+
+std::vector<RemovalCase> RemovalCases() {
+  std::vector<RemovalCase> cases;
+  for (const std::string name :
+       {"COUNT", "SUM", "AVG", "VARIANCE", "STDDEV"}) {
+    for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+      cases.push_back({name, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRemovableAggregates, IncrementalRemovalLaw,
+    ::testing::ValuesIn(RemovalCases()),
+    [](const ::testing::TestParamInfo<RemovalCase>& info) {
+      return info.param.agg_name + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// SUM's Delta anti-monotonicity on non-negative data: Delta(subset) <=
+// Delta(set) for any nested pair.
+TEST(AntiMonotonicity, SumDeltaOnNonNegativeData) {
+  Rng rng(99);
+  SumAggregate sum;
+  std::vector<double> data(100);
+  for (double& v : data) v = rng.Uniform(0.0, 10.0);
+  ASSERT_TRUE(sum.CheckAntiMonotone(data));
+  // Delta of removing a set = SUM(set); subsets have smaller sums.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> s, sub;
+    for (double v : data) {
+      if (rng.Bernoulli(0.4)) {
+        s.push_back(v);
+        if (rng.Bernoulli(0.5)) sub.push_back(v);
+      }
+    }
+    EXPECT_LE(sum.Compute(sub), sum.Compute(s) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace scorpion

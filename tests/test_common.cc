@@ -1,0 +1,123 @@
+// Status / Result / string / random utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace scorpion {
+namespace {
+
+TEST(Status, OkAndErrorStates) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.IsInvalidArgument());
+  EXPECT_EQ(err.message(), "bad thing");
+  EXPECT_EQ(err.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kKeyError,
+        StatusCode::kIndexError, StatusCode::kTypeError, StatusCode::kIOError,
+        StatusCode::kNotImplemented, StatusCode::kInternal,
+        StatusCode::kCancelled}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> good(7);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad(Status::KeyError("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsKeyError());
+}
+
+Result<int> Doubler(Result<int> in) {
+  SCORPION_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int v) {
+  SCORPION_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(Macros, PropagationWorks) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_TRUE(Doubler(Status::Internal("boom")).status().IsInternal());
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+TEST(StringUtil, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_TRUE(StartsWith("scorpion", "scor"));
+  EXPECT_FALSE(StartsWith("sc", "scor"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(42.0), "42");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(Random, Deterministic) {
+  Rng a(123), b(123), c(456);
+  double va = a.Uniform(0, 1);
+  EXPECT_DOUBLE_EQ(va, b.Uniform(0, 1));
+  EXPECT_NE(va, c.Uniform(0, 1));
+}
+
+TEST(Random, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    int64_t n = rng.UniformInt(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+  }
+  // Degenerate normal collapses to the mean (the N(10, 0) rerun).
+  EXPECT_DOUBLE_EQ(rng.Normal(10.0, 0.0), 10.0);
+}
+
+TEST(Random, SampleWithoutReplacement) {
+  Rng rng(9);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint32_t v : unique) EXPECT_LT(v, 100u);
+  // k >= n returns everything.
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 10).size(), 5u);
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,90 @@
+// CSV import/export round trips and error handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "table/csv.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/scorpion_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripPreservesTable) {
+  Table original = testing_helpers::PaperSensorsTable();
+  ASSERT_TRUE(WriteCsv(original, path_).ok());
+  auto loaded = ReadCsv(path_, original.schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    for (int c = 0; c < original.num_columns(); ++c) {
+      auto a = original.GetValue(static_cast<RowId>(r), c);
+      auto b = loaded->GetValue(static_cast<RowId>(r), c);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_F(CsvTest, SchemaInference) {
+  WriteFile("name,score\nalice,3.5\nbob,4\n");
+  auto table = ReadCsvInferSchema(path_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field(0).type, DataType::kCategorical);
+  EXPECT_EQ(table->schema().field(1).type, DataType::kDouble);
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table->column(1).GetDouble(1), 4.0);
+}
+
+TEST_F(CsvTest, HeaderOrderIndependence) {
+  WriteFile("b,a\n1.5,x\n");
+  Schema schema({{"a", DataType::kCategorical}, {"b", DataType::kDouble}});
+  auto table = ReadCsv(path_, schema);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column(0).GetString(0), "x");
+  EXPECT_DOUBLE_EQ(table->column(1).GetDouble(0), 1.5);
+}
+
+TEST_F(CsvTest, Errors) {
+  EXPECT_TRUE(ReadCsvInferSchema("/nonexistent/file.csv")
+                  .status()
+                  .IsIOError());
+
+  WriteFile("a,b\n1\n");  // arity mismatch
+  Schema schema({{"a", DataType::kDouble}, {"b", DataType::kDouble}});
+  EXPECT_TRUE(ReadCsv(path_, schema).status().IsIOError());
+
+  WriteFile("a,c\n1,2\n");  // unknown header column
+  EXPECT_TRUE(ReadCsv(path_, schema).status().IsKeyError());
+
+  WriteFile("a,b\n1,oops\n");  // non-numeric cell in double column
+  EXPECT_TRUE(ReadCsv(path_, schema).status().IsTypeError());
+}
+
+TEST_F(CsvTest, CarriageReturnsAndWhitespaceTrimmed) {
+  WriteFile("a, b\r\n 1 , 2 \r\n");
+  Schema schema({{"a", DataType::kDouble}, {"b", DataType::kDouble}});
+  auto table = ReadCsv(path_, schema);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_DOUBLE_EQ(table->column(0).GetDouble(0), 1.0);
+  EXPECT_DOUBLE_EQ(table->column(1).GetDouble(0), 2.0);
+}
+
+}  // namespace
+}  // namespace scorpion

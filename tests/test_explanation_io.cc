@@ -1,0 +1,71 @@
+// JSON export of explanations.
+#include <gtest/gtest.h>
+
+#include "core/explanation_io.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ExplanationToJson, RendersPredicatesAndStats) {
+  Table table = testing_helpers::PaperSensorsTable();
+  Explanation e;
+  e.algorithm = Algorithm::kMC;
+  e.runtime_seconds = 0.125;
+  e.scorer_stats.predicate_scores = 42;
+  ScoredPredicate sp;
+  auto col = table.ColumnByName("sensorid");
+  ASSERT_TRUE(sp.pred.AddSet({"sensorid", {(*col)->CodeOf("3")}}).ok());
+  sp.influence = 18.5;
+  e.predicates.push_back(sp);
+
+  std::string json = ExplanationToJson(e, &table);
+  EXPECT_NE(json.find("\"algorithm\": \"MC\""), std::string::npos);
+  EXPECT_NE(json.find("\"runtime_seconds\": 0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"scorer_predicate_scores\": 42"), std::string::npos);
+  EXPECT_NE(json.find("sensorid in {'3'}"), std::string::npos);
+  EXPECT_NE(json.find("\"influence\": 18.5"), std::string::npos);
+  EXPECT_EQ(json.find("checkpoints"), std::string::npos);  // NAIVE-only
+}
+
+TEST(ExplanationToJson, NaiveCheckpointsIncluded) {
+  Explanation e;
+  e.algorithm = Algorithm::kNaive;
+  e.naive_exhausted = true;
+  ScoredPredicate sp;
+  ASSERT_TRUE(sp.pred.AddRange({"x", 0, 1, false}).ok());
+  sp.influence = 1.0;
+  e.predicates.push_back(sp);
+  NaiveCheckpoint cp;
+  cp.elapsed_seconds = 0.5;
+  cp.influence = 1.0;
+  cp.pred = sp.pred;
+  e.naive_checkpoints.push_back(cp);
+
+  std::string json = ExplanationToJson(e);
+  EXPECT_NE(json.find("\"naive_exhausted\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"elapsed_seconds\": 0.5"), std::string::npos);
+}
+
+TEST(ExplanationToJson, NonFiniteInfluenceBecomesNull) {
+  Explanation e;
+  ScoredPredicate sp;
+  ASSERT_TRUE(sp.pred.AddRange({"x", 0, 1, false}).ok());
+  // influence stays at the default -infinity
+  e.predicates.push_back(sp);
+  std::string json = ExplanationToJson(e);
+  EXPECT_NE(json.find("\"influence\": null"), std::string::npos);
+  EXPECT_EQ(json.find("-inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scorpion

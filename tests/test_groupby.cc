@@ -1,0 +1,115 @@
+// Group-by execution and provenance.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "query/groupby.h"
+#include "table/selection.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+using testing_helpers::PaperQuery;
+using testing_helpers::PaperSensorsTable;
+
+TEST(GroupBy, PaperExampleProvenanceIsExact) {
+  Table t = PaperSensorsTable();
+  auto qr = ExecuteGroupBy(t, PaperQuery());
+  ASSERT_TRUE(qr.ok());
+  ASSERT_EQ(qr->results.size(), 3u);
+  EXPECT_EQ(qr->results[0].input_group, (RowIdList{0, 1, 2}));  // 11AM
+  EXPECT_EQ(qr->results[1].input_group, (RowIdList{3, 4, 5}));  // 12PM
+  EXPECT_EQ(qr->results[2].input_group, (RowIdList{6, 7, 8}));  // 1PM
+}
+
+TEST(GroupBy, InputGroupsPartitionTheTable) {
+  Table t = PaperSensorsTable();
+  auto qr = ExecuteGroupBy(t, PaperQuery());
+  ASSERT_TRUE(qr.ok());
+  RowIdList all;
+  size_t total = 0;
+  for (const AggregateResult& r : qr->results) {
+    total += r.input_group.size();
+    all = Union(all, r.input_group);
+  }
+  EXPECT_EQ(total, t.num_rows());           // disjoint
+  EXPECT_EQ(all.size(), t.num_rows());      // covering
+}
+
+TEST(GroupBy, MultipleGroupByAttributes) {
+  Table t = PaperSensorsTable();
+  GroupByQuery q;
+  q.aggregate = "AVG";
+  q.agg_attr = "temp";
+  q.group_by = {"time", "sensorid"};
+  auto qr = ExecuteGroupBy(t, q);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->results.size(), 9u);  // every (time, sensor) pair is unique
+  for (const AggregateResult& r : qr->results) {
+    EXPECT_EQ(r.input_group.size(), 1u);
+    EXPECT_EQ(r.key.size(), 2u);
+  }
+}
+
+TEST(GroupBy, SupportsEveryRegisteredAggregate) {
+  Table t = PaperSensorsTable();
+  for (const char* name : {"COUNT", "SUM", "AVG", "STDDEV", "VARIANCE",
+                           "MIN", "MAX", "MEDIAN"}) {
+    GroupByQuery q = PaperQuery();
+    q.aggregate = name;
+    auto qr = ExecuteGroupBy(t, q);
+    ASSERT_TRUE(qr.ok()) << name;
+  }
+  // Spot-check a few values for the 12PM group (35, 35, 100).
+  GroupByQuery q = PaperQuery();
+  q.aggregate = "MAX";
+  auto qr = ExecuteGroupBy(t, q);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_DOUBLE_EQ(qr->results[1].value, 100.0);
+  q.aggregate = "MEDIAN";
+  qr = ExecuteGroupBy(t, q);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_DOUBLE_EQ(qr->results[1].value, 35.0);
+}
+
+TEST(GroupBy, ValidationErrors) {
+  Table t = PaperSensorsTable();
+  GroupByQuery q = PaperQuery();
+  q.group_by = {};
+  EXPECT_TRUE(ExecuteGroupBy(t, q).status().IsInvalidArgument());
+
+  q = PaperQuery();
+  q.aggregate = "NOPE";
+  EXPECT_TRUE(ExecuteGroupBy(t, q).status().IsKeyError());
+
+  q = PaperQuery();
+  q.agg_attr = "sensorid";  // categorical aggregate attribute
+  EXPECT_TRUE(ExecuteGroupBy(t, q).status().IsTypeError());
+
+  q = PaperQuery();
+  q.group_by = {"temp"};  // same attr grouped and aggregated
+  EXPECT_TRUE(ExecuteGroupBy(t, q).status().IsInvalidArgument());
+}
+
+TEST(GroupBy, FindResultByKey) {
+  Table t = PaperSensorsTable();
+  auto qr = ExecuteGroupBy(t, PaperQuery());
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->FindResult("12PM").ValueOrDie(), 1);
+  EXPECT_TRUE(qr->FindResult("2PM").status().IsKeyError());
+}
+
+TEST(GroupBy, ExplanationAttributesExcludeQueryAttrs) {
+  Table t = PaperSensorsTable();
+  auto attrs = ExplanationAttributes(t, PaperQuery());
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(*attrs, (std::vector<std::string>{"sensorid", "voltage",
+                                              "humidity"}));
+  GroupByQuery bad = PaperQuery();
+  bad.agg_attr = "nope";
+  EXPECT_TRUE(ExplanationAttributes(t, bad).status().IsKeyError());
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,54 @@
+// Shared fixtures: the paper's running-example sensors table (Table 1) and
+// small builders used across test files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "query/groupby.h"
+#include "table/table.h"
+
+namespace scorpion {
+namespace testing_helpers {
+
+/// Builds Table 1 from the paper: nine readings across three sensors and
+/// three hours. AVG(temp) GROUP BY time yields Table 2's results
+/// (34.67, 56.67, 50 — the paper rounds 34.67 to 34.6 and 56.67 to 56.6).
+inline Table PaperSensorsTable() {
+  Table table(Schema({{"time", DataType::kCategorical},
+                      {"sensorid", DataType::kCategorical},
+                      {"voltage", DataType::kDouble},
+                      {"humidity", DataType::kDouble},
+                      {"temp", DataType::kDouble}}));
+  struct Row {
+    const char* time;
+    const char* sensor;
+    double voltage, humidity, temp;
+  };
+  const Row rows[] = {
+      {"11AM", "1", 2.64, 0.4, 34},  {"11AM", "2", 2.65, 0.5, 35},
+      {"11AM", "3", 2.63, 0.4, 35},  {"12PM", "1", 2.7, 0.3, 35},
+      {"12PM", "2", 2.7, 0.5, 35},   {"12PM", "3", 2.3, 0.4, 100},
+      {"1PM", "1", 2.7, 0.3, 35},    {"1PM", "2", 2.7, 0.5, 35},
+      {"1PM", "3", 2.3, 0.5, 80},
+  };
+  for (const Row& r : rows) {
+    std::vector<Value> values = {std::string(r.time), std::string(r.sensor),
+                                 r.voltage, r.humidity, r.temp};
+    auto st = table.AppendRow(values);
+    (void)st;
+  }
+  return table;
+}
+
+/// Q1 from the paper: SELECT AVG(temp) FROM sensors GROUP BY time.
+inline GroupByQuery PaperQuery() {
+  GroupByQuery q;
+  q.aggregate = "AVG";
+  q.agg_attr = "temp";
+  q.group_by = {"time"};
+  return q;
+}
+
+}  // namespace testing_helpers
+}  // namespace scorpion

@@ -1,0 +1,135 @@
+// InfluenceMode::kMeanShift (the footnote-3 alternative formulation):
+// matched tuples are replaced by the group mean instead of deleted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scorer.h"
+#include "core/scorpion.h"
+#include "eval/experiment.h"
+#include "test_helpers.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+using testing_helpers::PaperQuery;
+using testing_helpers::PaperSensorsTable;
+
+class MeanShiftMode : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = PaperSensorsTable();
+    qr_ = ExecuteGroupBy(table_, PaperQuery()).ValueOrDie();
+    problem_.outliers = {1, 2};
+    problem_.holdouts = {0};
+    problem_.SetUniformErrorVector(1.0);
+    problem_.lambda = 1.0;
+    problem_.c = 1.0;
+    problem_.attributes = {"sensorid", "voltage"};
+    problem_.influence_mode = InfluenceMode::kMeanShift;
+  }
+
+  Table table_{Schema{}};
+  QueryResult qr_;
+  ProblemSpec problem_;
+};
+
+TEST_F(MeanShiftMode, UpdatedValueReplacesWithGroupMean) {
+  auto scorer = Scorer::Make(table_, qr_, problem_);
+  ASSERT_TRUE(scorer.ok());
+  // 12PM group = {35, 35, 100}, mean 56.67. Replacing T6 (100) with the
+  // mean gives avg(35, 35, 56.67) = 42.22.
+  EXPECT_NEAR(scorer->UpdatedValue(1, {5}), (35 + 35 + 170.0 / 3) / 3.0,
+              1e-9);
+  // Replacing everything yields exactly the mean (AVG fixed point).
+  EXPECT_NEAR(scorer->UpdatedValue(1, RowIdList{3, 4, 5}), 170.0 / 3.0,
+              1e-9);
+}
+
+TEST_F(MeanShiftMode, GentlerThanDeletionButSameSign) {
+  ProblemSpec delete_mode = problem_;
+  delete_mode.influence_mode = InfluenceMode::kDelete;
+  auto shift = Scorer::Make(table_, qr_, problem_);
+  auto del = Scorer::Make(table_, qr_, delete_mode);
+  ASSERT_TRUE(shift.ok());
+  ASSERT_TRUE(del.ok());
+  double inf_shift = shift->TupleInfluence(1, 5);  // T6
+  double inf_del = del->TupleInfluence(1, 5);
+  EXPECT_GT(inf_shift, 0.0);
+  EXPECT_GT(inf_del, inf_shift);  // deletion moves the average further
+}
+
+TEST_F(MeanShiftMode, NoAnnihilationWithFullMatch) {
+  // Under deletion, TRUE annihilates AVG groups (-inf); under mean-shift it
+  // is well-defined (all values -> mean, delta = 0 for AVG).
+  auto scorer = Scorer::Make(table_, qr_, problem_);
+  ASSERT_TRUE(scorer.ok());
+  auto inf = scorer->Influence(Predicate::True());
+  ASSERT_TRUE(inf.ok());
+  EXPECT_TRUE(std::isfinite(*inf));
+  EXPECT_NEAR(*inf, 0.0, 1e-9);
+}
+
+TEST_F(MeanShiftMode, IncrementalMatchesBlackBoxRecompute) {
+  // STDDEV through the incremental path vs MEDIAN-style manual recompute
+  // of the same perturbation.
+  GroupByQuery q = PaperQuery();
+  q.aggregate = "STDDEV";
+  auto qr = ExecuteGroupBy(table_, q);
+  ASSERT_TRUE(qr.ok());
+  auto scorer = Scorer::Make(table_, *qr, problem_);
+  ASSERT_TRUE(scorer.ok());
+  ASSERT_TRUE(scorer->incremental());
+  // Replace T6 by the mean in {35, 35, 100}: stddev of {35, 35, 56.67}.
+  double m = 170.0 / 3.0;
+  std::vector<double> perturbed = {35, 35, m};
+  double mean = (35 + 35 + m) / 3;
+  double ss = 0;
+  for (double v : perturbed) ss += (v - mean) * (v - mean);
+  double expected = std::sqrt(ss / 3.0);
+  EXPECT_NEAR(scorer->UpdatedValue(1, {5}), expected, 1e-9);
+
+  // Black-box path agrees (MEDIAN is not removable).
+  GroupByQuery q2 = PaperQuery();
+  q2.aggregate = "MEDIAN";
+  auto qr2 = ExecuteGroupBy(table_, q2);
+  ASSERT_TRUE(qr2.ok());
+  auto scorer2 = Scorer::Make(table_, *qr2, problem_);
+  ASSERT_TRUE(scorer2.ok());
+  ASSERT_FALSE(scorer2->incremental());
+  // Median of {35, 35, 56.67} = 35.
+  EXPECT_NEAR(scorer2->UpdatedValue(1, {5}), 35.0, 1e-9);
+}
+
+TEST(MeanShiftEndToEnd, DTStillRecoversThePlantedCube) {
+  SynthOptions opts = SynthPreset(2, /*easy=*/true, /*seed=*/31);
+  opts.tuples_per_group = 600;
+  auto ds = GenerateSynth(opts);
+  ASSERT_TRUE(ds.ok());
+  // AVG makes mean-shift meaningful (SUM's mean-shift influence is also
+  // fine but AVG matches the motivation).
+  ds->query.aggregate = "AVG";
+  auto qr = ExecuteGroupBy(ds->table, ds->query);
+  ASSERT_TRUE(qr.ok());
+  auto problem = MakeProblem(*qr, ds->outlier_keys, ds->holdout_keys, 1.0,
+                             0.5, 0.1, ds->attributes);
+  ASSERT_TRUE(problem.ok());
+  problem->influence_mode = InfluenceMode::kMeanShift;
+
+  ScorpionOptions options;
+  options.algorithm = Algorithm::kDT;
+  Scorpion scorpion(options);
+  auto explanation = scorpion.Explain(ds->table, *qr, *problem);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  // The winner must overlap the planted cube substantially.
+  auto inter = Predicate::Intersect(explanation->best().pred,
+                                    ds->outer_cube);
+  ASSERT_TRUE(inter.has_value());
+  auto domains = ComputeDomains(ds->table, ds->attributes);
+  ASSERT_TRUE(domains.ok());
+  EXPECT_GT(inter->Volume(*domains), 0.5 * ds->outer_cube.Volume(*domains));
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,213 @@
+// Merger behaviour: adjacency, expansion semantics, top-quartile and
+// cached-tuple optimizations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/merger.h"
+#include "eval/experiment.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+Predicate Range1D(const std::string& attr, double lo, double hi,
+                  bool inc = false) {
+  Predicate p;
+  EXPECT_TRUE(p.AddRange({attr, lo, hi, inc}).ok());
+  return p;
+}
+
+TEST(MergerAdjacency, TouchingAndOverlappingRanges) {
+  // Share a boundary: adjacent.
+  EXPECT_TRUE(Merger::Adjacent(Range1D("x", 0, 5), Range1D("x", 5, 10)));
+  // Overlap: adjacent.
+  EXPECT_TRUE(Merger::Adjacent(Range1D("x", 0, 6), Range1D("x", 5, 10)));
+  // Gap: not adjacent.
+  EXPECT_FALSE(Merger::Adjacent(Range1D("x", 0, 4), Range1D("x", 5, 10)));
+  // Different attributes: unconstrained side always touches.
+  EXPECT_TRUE(Merger::Adjacent(Range1D("x", 0, 4), Range1D("y", 5, 10)));
+  // Sets never block adjacency.
+  Predicate sa, sb;
+  ASSERT_TRUE(sa.AddSet({"s", {1}}).ok());
+  ASSERT_TRUE(sb.AddSet({"s", {7}}).ok());
+  EXPECT_TRUE(Merger::Adjacent(sa, sb));
+}
+
+class MergerOnSynth : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SynthOptions opts = SynthPreset(2, /*easy=*/true, /*seed=*/13);
+    opts.tuples_per_group = 500;
+    auto ds = GenerateSynth(opts);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<SynthDataset>(std::move(*ds));
+    auto qr = ExecuteGroupBy(dataset_->table, dataset_->query);
+    ASSERT_TRUE(qr.ok());
+    qr_ = std::make_unique<QueryResult>(std::move(*qr));
+    auto problem =
+        MakeProblem(*qr_, dataset_->outlier_keys, dataset_->holdout_keys,
+                    1.0, 0.5, 0.2, dataset_->attributes);
+    ASSERT_TRUE(problem.ok());
+    problem_ = std::make_unique<ProblemSpec>(std::move(*problem));
+    auto scorer = Scorer::Make(dataset_->table, *qr_, *problem_);
+    ASSERT_TRUE(scorer.ok());
+    scorer_ = std::make_unique<Scorer>(std::move(*scorer));
+    auto domains = ComputeDomains(dataset_->table, problem_->attributes);
+    ASSERT_TRUE(domains.ok());
+    domains_ = *domains;
+  }
+
+  /// Quarter-tiles of the planted outer cube, as merge inputs.
+  std::vector<ScoredPredicate> CubeQuarters() {
+    const RangeClause* x = dataset_->outer_cube.FindRange("A1");
+    const RangeClause* y = dataset_->outer_cube.FindRange("A2");
+    double xm = (x->lo + x->hi) / 2, ym = (y->lo + y->hi) / 2;
+    std::vector<ScoredPredicate> parts;
+    for (int qx = 0; qx < 2; ++qx) {
+      for (int qy = 0; qy < 2; ++qy) {
+        ScoredPredicate sp;
+        EXPECT_TRUE(sp.pred.AddRange({"A1", qx ? xm : x->lo,
+                                      qx ? x->hi : xm, qx != 0}).ok());
+        EXPECT_TRUE(sp.pred.AddRange({"A2", qy ? ym : y->lo,
+                                      qy ? y->hi : ym, qy != 0}).ok());
+        parts.push_back(std::move(sp));
+      }
+    }
+    return parts;
+  }
+
+  std::unique_ptr<SynthDataset> dataset_;
+  std::unique_ptr<QueryResult> qr_;
+  std::unique_ptr<ProblemSpec> problem_;
+  std::unique_ptr<Scorer> scorer_;
+  DomainMap domains_;
+};
+
+TEST_F(MergerOnSynth, MergesQuartersBackIntoTheCube) {
+  MergerOptions opts;
+  opts.top_quartile_only = false;
+  opts.use_cached_tuple_estimate = false;
+  Merger merger(*scorer_, domains_, opts);
+  auto merged = merger.Run(CubeQuarters());
+  ASSERT_TRUE(merged.ok());
+  // The full cube (hull of all four quarters) must be discovered and must
+  // outrank every individual quarter.
+  const ScoredPredicate& best = merged->front();
+  EXPECT_TRUE(Predicate::SyntacticallyContains(best.pred,
+                                               CubeQuarters()[0].pred));
+  double cube_influence =
+      scorer_->Influence(dataset_->outer_cube).ValueOrDie();
+  EXPECT_GE(best.influence, cube_influence * 0.8);
+  EXPECT_GT(merger.stats().merges_accepted, 0u);
+}
+
+TEST_F(MergerOnSynth, OutputContainsInputsAndIsSortedDescending) {
+  MergerOptions opts;
+  opts.top_quartile_only = false;
+  Merger merger(*scorer_, domains_, opts);
+  auto inputs = CubeQuarters();
+  auto merged = merger.Run(inputs);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_GE(merged->size(), inputs.size());
+  for (size_t i = 1; i < merged->size(); ++i) {
+    EXPECT_GE((*merged)[i - 1].influence, (*merged)[i].influence);
+  }
+}
+
+TEST_F(MergerOnSynth, SameAttributesOnlyBlocksCrossSetHulls) {
+  MergerOptions opts;
+  opts.top_quartile_only = false;
+  opts.same_attributes_only = true;
+  Merger merger(*scorer_, domains_, opts);
+  // One x-strip and one y-strip: with same_attributes_only their hull
+  // (which would drop to TRUE) must never be produced.
+  std::vector<ScoredPredicate> parts(2);
+  parts[0].pred = Range1D("A1", 0, 50);
+  parts[1].pred = Range1D("A2", 0, 50);
+  auto merged = merger.Run(parts);
+  ASSERT_TRUE(merged.ok());
+  for (const ScoredPredicate& sp : *merged) {
+    EXPECT_FALSE(sp.pred.IsTrue());
+  }
+}
+
+TEST_F(MergerOnSynth, CachedTupleEstimateTracksExactScore) {
+  // Build two half-cube partitions with full PartitionInfo and compare the
+  // Section 6.3 estimate of their merge against the exact influence.
+  const RangeClause* x = dataset_->outer_cube.FindRange("A1");
+  const RangeClause* y = dataset_->outer_cube.FindRange("A2");
+  double xm = (x->lo + x->hi) / 2;
+
+  auto make_half = [&](bool right) {
+    ScoredPredicate sp;
+    EXPECT_TRUE(sp.pred.AddRange({"A1", right ? xm : x->lo,
+                                  right ? x->hi : xm, right}).ok());
+    EXPECT_TRUE(sp.pred.AddRange({"A2", y->lo, y->hi, true}).ok());
+    auto bound = sp.pred.Bind(dataset_->table).ValueOrDie();
+    double inf_sum = 0;
+    size_t n = 0;
+    for (size_t g = 0; g < problem_->outliers.size(); ++g) {
+      int idx = problem_->outliers[g];
+      RowIdList matched = bound.Filter(qr_->results[idx].input_group);
+      sp.info.outlier_counts.push_back(
+          static_cast<uint32_t>(matched.size()));
+      for (RowId r : matched) {
+        inf_sum += scorer_->TupleInfluence(idx, r);
+        ++n;
+        if (!sp.info.has_representative) {
+          sp.info.representative = r;
+          sp.info.has_representative = true;
+        }
+      }
+    }
+    sp.info.mean_tuple_influence = n ? inf_sum / n : 0;
+    return sp;
+  };
+  ScoredPredicate left = make_half(false);
+  ScoredPredicate right = make_half(true);
+  std::vector<ScoredPredicate> all = {left, right};
+
+  MergerOptions opts;
+  Merger merger(*scorer_, domains_, opts);
+  ASSERT_TRUE(merger.CanEstimate(left, right));
+  double estimate = merger.EstimateMergedInfluence(left, right, all);
+  Predicate box = Predicate::BoundingBox(left.pred, right.pred);
+  double exact = scorer_->InfluenceOutlierOnly(box).ValueOrDie();
+  // The estimate replaces every tuple with the cached representative, so it
+  // is approximate — but it must be the right sign and order of magnitude.
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_GT(exact, 0.0);
+  EXPECT_LT(std::fabs(estimate - exact) / std::max(1.0, std::fabs(exact)),
+            1.0);
+}
+
+TEST_F(MergerOnSynth, TopQuartileExpandsFewerSeeds) {
+  auto inputs = CubeQuarters();
+  // Add several deliberately poor far-away boxes so quartiling matters.
+  for (int i = 0; i < 8; ++i) {
+    ScoredPredicate sp;
+    sp.pred = Range1D("A1", i, i + 1.0);
+    inputs.push_back(std::move(sp));
+  }
+  MergerOptions all_opts;
+  all_opts.top_quartile_only = false;
+  all_opts.use_cached_tuple_estimate = false;
+  MergerOptions quartile_opts = all_opts;
+  quartile_opts.top_quartile_only = true;
+
+  Merger merge_all(*scorer_, domains_, all_opts);
+  Merger merge_quartile(*scorer_, domains_, quartile_opts);
+  auto r1 = merge_all.Run(inputs);
+  auto r2 = merge_quartile.Run(inputs);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // Fewer seeds -> no more exact scorer calls than the full expansion.
+  EXPECT_LE(merge_quartile.stats().exact_scores,
+            merge_all.stats().exact_scores);
+  // And the top result should still be found (it lives in the top quartile).
+  EXPECT_NEAR(r1->front().influence, r2->front().influence, 1e-9);
+}
+
+}  // namespace
+}  // namespace scorpion

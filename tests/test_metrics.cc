@@ -1,0 +1,104 @@
+// Accuracy metrics and experiment helpers.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+TEST(Metrics, PerfectDisjointAndPartial) {
+  RowIdList truth = {1, 2, 3, 4};
+  AccuracyStats perfect = ComputeAccuracy(truth, truth);
+  EXPECT_DOUBLE_EQ(perfect.precision, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.recall, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f_score, 1.0);
+
+  AccuracyStats disjoint = ComputeAccuracy({5, 6}, truth);
+  EXPECT_DOUBLE_EQ(disjoint.precision, 0.0);
+  EXPECT_DOUBLE_EQ(disjoint.recall, 0.0);
+  EXPECT_DOUBLE_EQ(disjoint.f_score, 0.0);
+
+  // predicted {1,2,5,6}: P=0.5, R=0.5, F=0.5.
+  AccuracyStats partial = ComputeAccuracy({1, 2, 5, 6}, truth);
+  EXPECT_DOUBLE_EQ(partial.precision, 0.5);
+  EXPECT_DOUBLE_EQ(partial.recall, 0.5);
+  EXPECT_DOUBLE_EQ(partial.f_score, 0.5);
+  EXPECT_EQ(partial.num_hits, 2u);
+}
+
+TEST(Metrics, EmptySetsAreWellDefined) {
+  AccuracyStats s = ComputeAccuracy({}, {1});
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f_score, 0.0);
+  s = ComputeAccuracy({}, {});
+  EXPECT_DOUBLE_EQ(s.f_score, 0.0);
+}
+
+TEST(Metrics, FScoreIsHarmonicMean) {
+  // P = 1.0 (1 of 1 predicted correct), R = 0.25 -> F = 0.4.
+  AccuracyStats s = ComputeAccuracy({1}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.25);
+  EXPECT_DOUBLE_EQ(s.f_score, 0.4);
+}
+
+TEST(Metrics, EvaluatePredicateRestrictsToOutlierUnion) {
+  Table t = testing_helpers::PaperSensorsTable();
+  Predicate p;
+  auto col = t.ColumnByName("sensorid");
+  ASSERT_TRUE(p.AddSet({"sensorid", {(*col)->CodeOf("3")}}).ok());
+  // Outlier union = 12PM and 1PM groups only; sensor 3's 11AM row (T3)
+  // must not count as predicted.
+  RowIdList outlier_union = {3, 4, 5, 6, 7, 8};
+  RowIdList truth = {5, 8};
+  auto acc = EvaluatePredicate(t, p, outlier_union, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc->precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc->recall, 1.0);
+}
+
+TEST(ExperimentHelpers, MakeProblemResolvesKeys) {
+  Table t = testing_helpers::PaperSensorsTable();
+  auto qr = ExecuteGroupBy(t, testing_helpers::PaperQuery());
+  ASSERT_TRUE(qr.ok());
+  auto problem = MakeProblem(*qr, {"12PM", "1PM"}, {"11AM"}, -1.0, 0.4, 0.2,
+                             {"sensorid"});
+  ASSERT_TRUE(problem.ok());
+  EXPECT_EQ(problem->outliers, (std::vector<int>{1, 2}));
+  EXPECT_EQ(problem->holdouts, (std::vector<int>{0}));
+  EXPECT_EQ(problem->error_vectors, (std::vector<double>{-1.0, -1.0}));
+  EXPECT_DOUBLE_EQ(problem->lambda, 0.4);
+  EXPECT_DOUBLE_EQ(problem->c, 0.2);
+
+  EXPECT_TRUE(MakeProblem(*qr, {"2PM"}, {}, 1.0, 0.5, 1.0, {"sensorid"})
+                  .status()
+                  .IsKeyError());
+}
+
+TEST(ExperimentHelpers, OutlierUnionMergesGroups) {
+  Table t = testing_helpers::PaperSensorsTable();
+  auto qr = ExecuteGroupBy(t, testing_helpers::PaperQuery());
+  ASSERT_TRUE(qr.ok());
+  auto problem =
+      MakeProblem(*qr, {"12PM", "1PM"}, {}, 1.0, 1.0, 1.0, {"sensorid"});
+  ASSERT_TRUE(problem.ok());
+  auto rows = OutlierUnion(*qr, *problem);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (RowIdList{3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ExperimentHelpers, TablePrinterAlignsColumns) {
+  TablePrinter printer({"name", "v"});
+  printer.AddRow({"alpha", "1"});
+  printer.AddRow({"b", "22"});
+  std::string s = printer.ToString();
+  EXPECT_NE(s.find("| name  | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1  |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,143 @@
+// Predicate parser: grammar coverage, ToString round trips, and errors.
+#include <gtest/gtest.h>
+
+#include "predicate/parser.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override { table_ = testing_helpers::PaperSensorsTable(); }
+
+  Predicate Parse(const std::string& text) {
+    auto result = ParsePredicate(text, table_);
+    EXPECT_TRUE(result.ok()) << text << ": " << result.status().ToString();
+    return result.ok() ? *result : Predicate();
+  }
+
+  Table table_{Schema{}};
+};
+
+TEST_F(ParserTest, TrueLiteral) {
+  EXPECT_TRUE(Parse("TRUE").IsTrue());
+  EXPECT_TRUE(Parse("  true ").IsTrue());
+}
+
+TEST_F(ParserTest, RangeClauses) {
+  Predicate p = Parse("voltage in [2.3, 2.4)");
+  const RangeClause* r = p.FindRange("voltage");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->lo, 2.3);
+  EXPECT_DOUBLE_EQ(r->hi, 2.4);
+  EXPECT_FALSE(r->hi_inclusive);
+
+  p = Parse("temp in [30, 100]");
+  r = p.FindRange("temp");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->hi_inclusive);
+}
+
+TEST_F(ParserTest, SetClauses) {
+  Predicate p = Parse("sensorid in {'1', '3'}");
+  const SetClause* s = p.FindSet("sensorid");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->codes.size(), 2u);
+  // Bare words and numbers also resolve through the dictionary.
+  EXPECT_EQ(Parse("sensorid in {1, 3}"), p);
+  EXPECT_EQ(Parse("sensorid in {\"1\", \"3\"}"), p);
+}
+
+TEST_F(ParserTest, EqualityDesugarsToSetOrPointRange) {
+  Predicate p = Parse("sensorid = '3'");
+  const SetClause* s = p.FindSet("sensorid");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->codes.size(), 1u);
+
+  Predicate q = Parse("temp == 35");
+  const RangeClause* r = q.FindRange("temp");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->lo, 35.0);
+  EXPECT_DOUBLE_EQ(r->hi, 35.0);
+  EXPECT_TRUE(r->hi_inclusive);
+  // Matches exactly the temp=35 rows.
+  auto rows = q.Evaluate(table_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);
+}
+
+TEST_F(ParserTest, OrderedComparisonsDesugarOntoDomain) {
+  // voltage < 2.4 -> [min, 2.4).
+  Predicate p = Parse("voltage < 2.4");
+  auto rows = p.Evaluate(table_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (RowIdList{5, 8}));  // the two 2.3V readings
+
+  // temp >= 80 matches T6 and T9.
+  rows = Parse("temp >= 80").Evaluate(table_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (RowIdList{5, 8}));
+
+  // temp > 80 matches only T6 (100C); the 80C reading is excluded.
+  rows = Parse("temp > 80").Evaluate(table_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (RowIdList{5}));
+
+  // temp <= 34 matches only T1.
+  rows = Parse("temp <= 34").Evaluate(table_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (RowIdList{0}));
+}
+
+TEST_F(ParserTest, ConjunctionsWithAmpersandAndAnd) {
+  Predicate a = Parse("sensorid in {'3'} & voltage < 2.4");
+  Predicate b = Parse("sensorid = '3' AND voltage < 2.4");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.num_clauses(), 2);
+}
+
+TEST_F(ParserTest, RoundTripsThroughToString) {
+  for (const char* text :
+       {"sensorid in {'3'} & voltage in [2.3, 2.4)",
+        "temp in [30, 100]",
+        "humidity in [0.3, 0.5] & sensorid in {'1', '2'}"}) {
+    Predicate p = Parse(text);
+    auto reparsed = ParsePredicate(p.ToString(&table_), table_);
+    ASSERT_TRUE(reparsed.ok()) << p.ToString(&table_);
+    EXPECT_EQ(*reparsed, p);
+  }
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_TRUE(ParsePredicate("", table_).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParsePredicate("nope in [1, 2]", table_).status().IsKeyError());
+  EXPECT_TRUE(ParsePredicate("sensorid in [1, 2]", table_)
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(ParsePredicate("voltage in {'a'}", table_)
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(ParsePredicate("sensorid in {'99'}", table_)
+                  .status()
+                  .IsKeyError());  // unknown dictionary value
+  EXPECT_TRUE(ParsePredicate("voltage < 'x'", table_)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePredicate("voltage in [1 2]", table_)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParsePredicate("sensorid < 5", table_)
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(ParsePredicate("voltage in [1, 2] voltage in [1, 2]", table_)
+                  .status()
+                  .IsInvalidArgument());  // missing '&'
+  EXPECT_TRUE(ParsePredicate("TRUE & voltage < 2", table_)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,139 @@
+// Predicate construction, evaluation and printing.
+#include <gtest/gtest.h>
+
+#include "predicate/predicate.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+using testing_helpers::PaperSensorsTable;
+
+TEST(PredicateBuild, EmptyPredicateIsTrue) {
+  Predicate p;
+  EXPECT_TRUE(p.IsTrue());
+  EXPECT_EQ(p.num_clauses(), 0);
+  EXPECT_EQ(p.ToString(), "TRUE");
+}
+
+TEST(PredicateBuild, RejectsEmptyRanges) {
+  Predicate p;
+  EXPECT_TRUE(p.AddRange({"x", 5.0, 5.0, false}).IsInvalidArgument());
+  EXPECT_TRUE(p.AddRange({"x", 5.0, 4.0, true}).IsInvalidArgument());
+  // Degenerate closed point range [5, 5] is allowed.
+  EXPECT_TRUE(p.AddRange({"x", 5.0, 5.0, true}).ok());
+}
+
+TEST(PredicateBuild, RejectsDuplicateAndConflictingClauses) {
+  Predicate p;
+  ASSERT_TRUE(p.AddRange({"x", 0.0, 1.0, false}).ok());
+  EXPECT_TRUE(p.AddRange({"x", 2.0, 3.0, false}).IsInvalidArgument());
+  EXPECT_TRUE(p.AddSet({"x", {1}}).IsInvalidArgument());
+  Predicate q;
+  ASSERT_TRUE(q.AddSet({"y", {1, 2}}).ok());
+  EXPECT_TRUE(q.AddRange({"y", 0.0, 1.0, false}).IsInvalidArgument());
+  EXPECT_TRUE(q.AddSet({"y", {3}}).IsInvalidArgument());
+}
+
+TEST(PredicateBuild, SetCodesAreNormalized) {
+  Predicate p;
+  ASSERT_TRUE(p.AddSet({"s", {3, 1, 2, 3, 1}}).ok());
+  ASSERT_EQ(p.sets().size(), 1u);
+  EXPECT_EQ(p.sets()[0].codes, (std::vector<int32_t>{1, 2, 3}));
+  Predicate q;
+  EXPECT_TRUE(q.AddSet({"s", {}}).IsInvalidArgument());
+}
+
+TEST(PredicateBuild, WithRangeReplacesClause) {
+  Predicate p;
+  ASSERT_TRUE(p.AddRange({"x", 0.0, 10.0, true}).ok());
+  ASSERT_TRUE(p.AddSet({"s", {1}}).ok());
+  Predicate narrowed = p.WithRange({"x", 2.0, 5.0, false});
+  EXPECT_EQ(narrowed.FindRange("x")->lo, 2.0);
+  EXPECT_EQ(narrowed.FindRange("x")->hi, 5.0);
+  EXPECT_NE(narrowed.FindSet("s"), nullptr);   // other clauses preserved
+  EXPECT_EQ(p.FindRange("x")->hi, 10.0);       // original untouched
+  // WithRange also adds when absent.
+  Predicate added = p.WithRange({"y", 1.0, 2.0, false});
+  EXPECT_EQ(added.num_clauses(), 3);
+}
+
+TEST(PredicateEval, RangeSemanticsHalfOpenAndClosed) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  for (double v : {0.0, 1.0, 2.0, 3.0}) {
+    ASSERT_TRUE(t.AppendRow({v}).ok());
+  }
+  Predicate half_open;
+  ASSERT_TRUE(half_open.AddRange({"x", 1.0, 3.0, false}).ok());
+  auto rows = half_open.Evaluate(t);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (RowIdList{1, 2}));  // 3.0 excluded
+
+  Predicate closed;
+  ASSERT_TRUE(closed.AddRange({"x", 1.0, 3.0, true}).ok());
+  rows = closed.Evaluate(t);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (RowIdList{1, 2, 3}));  // 3.0 included
+}
+
+TEST(PredicateEval, ConjunctionOverPaperTable) {
+  Table t = PaperSensorsTable();
+  Predicate p;
+  auto sensor_col = t.ColumnByName("sensorid");
+  ASSERT_TRUE(p.AddSet({"sensorid", {(*sensor_col)->CodeOf("3")}}).ok());
+  ASSERT_TRUE(p.AddRange({"voltage", 0.0, 2.4, false}).ok());
+  auto rows = p.Evaluate(t);
+  ASSERT_TRUE(rows.ok());
+  // Sensor 3 with voltage < 2.4: T6 (row 5) and T9 (row 8).
+  EXPECT_EQ(*rows, (RowIdList{5, 8}));
+}
+
+TEST(PredicateEval, TypeMismatchesAreErrors) {
+  Table t = PaperSensorsTable();
+  Predicate range_on_categorical;
+  ASSERT_TRUE(range_on_categorical.AddRange({"sensorid", 0, 1, false}).ok());
+  EXPECT_TRUE(range_on_categorical.Bind(t).status().IsTypeError());
+  Predicate set_on_double;
+  ASSERT_TRUE(set_on_double.AddSet({"voltage", {0}}).ok());
+  EXPECT_TRUE(set_on_double.Bind(t).status().IsTypeError());
+  Predicate unknown_attr;
+  ASSERT_TRUE(unknown_attr.AddRange({"nope", 0, 1, false}).ok());
+  EXPECT_TRUE(unknown_attr.Bind(t).status().IsKeyError());
+}
+
+TEST(PredicateEval, BoundFilterAndCountAgree) {
+  Table t = PaperSensorsTable();
+  Predicate p;
+  ASSERT_TRUE(p.AddRange({"temp", 50.0, 200.0, true}).ok());
+  auto bound = p.Bind(t);
+  ASSERT_TRUE(bound.ok());
+  RowIdList all = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  RowIdList matched = bound->Filter(all);
+  EXPECT_EQ(matched, (RowIdList{5, 8}));
+  EXPECT_EQ(bound->CountMatches(all), 2u);
+  EXPECT_EQ(bound->FilterAll(), matched);
+}
+
+TEST(PredicatePrint, CanonicalStringsAndDictionaryRendering) {
+  Table t = PaperSensorsTable();
+  Predicate p;
+  auto col = t.ColumnByName("sensorid");
+  ASSERT_TRUE(p.AddSet({"sensorid", {(*col)->CodeOf("3")}}).ok());
+  ASSERT_TRUE(p.AddRange({"voltage", 2.0, 2.4, false}).ok());
+  EXPECT_EQ(p.ToString(&t), "sensorid in {'3'} & voltage in [2, 2.4)");
+  // Without a table the codes print raw.
+  EXPECT_EQ(p.ToString(), "sensorid in {2} & voltage in [2, 2.4)");
+}
+
+TEST(PredicatePrint, EqualPredicatesHaveEqualStrings) {
+  Predicate a, b;
+  ASSERT_TRUE(a.AddRange({"x", 0.0, 1.0, false}).ok());
+  ASSERT_TRUE(a.AddSet({"s", {2, 1}}).ok());
+  ASSERT_TRUE(b.AddSet({"s", {1, 2}}).ok());
+  ASSERT_TRUE(b.AddRange({"x", 0.0, 1.0, false}).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace scorpion

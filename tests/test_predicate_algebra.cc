@@ -1,0 +1,194 @@
+// Predicate algebra: containment, bounding box, intersection, volume — with
+// a parameterized consistency sweep checking the algebra against extensional
+// (row-set) semantics on random data.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "predicate/predicate.h"
+#include "table/selection.h"
+
+namespace scorpion {
+namespace {
+
+Predicate Box2D(double x_lo, double x_hi, double y_lo, double y_hi,
+                bool closed = true) {
+  Predicate p;
+  EXPECT_TRUE(p.AddRange({"x", x_lo, x_hi, closed}).ok());
+  EXPECT_TRUE(p.AddRange({"y", y_lo, y_hi, closed}).ok());
+  return p;
+}
+
+TEST(Containment, NestedBoxes) {
+  Predicate outer = Box2D(0, 10, 0, 10);
+  Predicate inner = Box2D(2, 8, 3, 7);
+  EXPECT_TRUE(Predicate::SyntacticallyContains(outer, inner));
+  EXPECT_FALSE(Predicate::SyntacticallyContains(inner, outer));
+  // TRUE contains everything; nothing non-trivial contains TRUE.
+  EXPECT_TRUE(Predicate::SyntacticallyContains(Predicate::True(), inner));
+  EXPECT_FALSE(Predicate::SyntacticallyContains(inner, Predicate::True()));
+}
+
+TEST(Containment, HalfOpenBoundaries) {
+  Predicate closed;
+  ASSERT_TRUE(closed.AddRange({"x", 0, 10, true}).ok());
+  Predicate half;
+  ASSERT_TRUE(half.AddRange({"x", 0, 10, false}).ok());
+  // [0,10] contains [0,10); [0,10) does not contain [0,10].
+  EXPECT_TRUE(Predicate::SyntacticallyContains(closed, half));
+  EXPECT_FALSE(Predicate::SyntacticallyContains(half, closed));
+}
+
+TEST(Containment, SetSubsets) {
+  Predicate big, small;
+  ASSERT_TRUE(big.AddSet({"s", {1, 2, 3}}).ok());
+  ASSERT_TRUE(small.AddSet({"s", {2}}).ok());
+  EXPECT_TRUE(Predicate::SyntacticallyContains(big, small));
+  EXPECT_FALSE(Predicate::SyntacticallyContains(small, big));
+}
+
+TEST(BoundingBox, HullOfRangesAndSets) {
+  Predicate a = Box2D(0, 4, 0, 4);
+  Predicate b = Box2D(2, 8, 6, 9);
+  Predicate hull = Predicate::BoundingBox(a, b);
+  EXPECT_EQ(hull.FindRange("x")->lo, 0.0);
+  EXPECT_EQ(hull.FindRange("x")->hi, 8.0);
+  EXPECT_EQ(hull.FindRange("y")->lo, 0.0);
+  EXPECT_EQ(hull.FindRange("y")->hi, 9.0);
+
+  Predicate sa, sb;
+  ASSERT_TRUE(sa.AddSet({"s", {1, 2}}).ok());
+  ASSERT_TRUE(sb.AddSet({"s", {2, 5}}).ok());
+  Predicate shull = Predicate::BoundingBox(sa, sb);
+  EXPECT_EQ(shull.FindSet("s")->codes, (std::vector<int32_t>{1, 2, 5}));
+}
+
+TEST(BoundingBox, UnconstrainedAttributeDropsOut) {
+  Predicate a = Box2D(0, 4, 0, 4);
+  Predicate b;  // only constrains x
+  ASSERT_TRUE(b.AddRange({"x", 2, 8, true}).ok());
+  Predicate hull = Predicate::BoundingBox(a, b);
+  EXPECT_NE(hull.FindRange("x"), nullptr);
+  EXPECT_EQ(hull.FindRange("y"), nullptr);  // y unconstrained in b
+}
+
+TEST(Intersection, OverlapAndDisjoint) {
+  Predicate a = Box2D(0, 5, 0, 5);
+  Predicate b = Box2D(3, 8, 2, 9);
+  auto inter = Predicate::Intersect(a, b);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(inter->FindRange("x")->lo, 3.0);
+  EXPECT_EQ(inter->FindRange("x")->hi, 5.0);
+  EXPECT_EQ(inter->FindRange("y")->lo, 2.0);
+  EXPECT_EQ(inter->FindRange("y")->hi, 5.0);
+
+  Predicate c = Box2D(6, 7, 0, 1);
+  EXPECT_FALSE(Predicate::Intersect(a, c).has_value());
+
+  Predicate sa, sb;
+  ASSERT_TRUE(sa.AddSet({"s", {1, 2}}).ok());
+  ASSERT_TRUE(sb.AddSet({"s", {3}}).ok());
+  EXPECT_FALSE(Predicate::Intersect(sa, sb).has_value());
+}
+
+TEST(Intersection, DifferentAttributesConjoin) {
+  Predicate a, b;
+  ASSERT_TRUE(a.AddRange({"x", 0, 5, true}).ok());
+  ASSERT_TRUE(b.AddSet({"s", {1}}).ok());
+  auto inter = Predicate::Intersect(a, b);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(inter->num_clauses(), 2);
+}
+
+TEST(Volume, FractionsOfDomain) {
+  DomainMap domains;
+  domains["x"] = {DataType::kDouble, 0.0, 100.0, 0};
+  domains["y"] = {DataType::kDouble, 0.0, 100.0, 0};
+  domains["s"] = {DataType::kCategorical, 0.0, 0.0, 10};
+
+  Predicate p = Box2D(0, 50, 0, 10);
+  EXPECT_NEAR(p.Volume(domains), 0.5 * 0.1, 1e-12);
+
+  Predicate with_set = p;
+  ASSERT_TRUE(with_set.AddSet({"s", {1, 2}}).ok());
+  EXPECT_NEAR(with_set.Volume(domains), 0.5 * 0.1 * 0.2, 1e-12);
+
+  // Clauses exceeding the domain are clamped.
+  Predicate wide;
+  ASSERT_TRUE(wide.AddRange({"x", -100, 300, true}).ok());
+  EXPECT_NEAR(wide.Volume(domains), 1.0, 1e-12);
+
+  EXPECT_NEAR(Predicate::True().Volume(domains), 1.0, 1e-12);
+}
+
+// --- Parameterized consistency: algebra vs extensional semantics ------------
+
+class AlgebraConsistency : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Random 2-attribute table plus random box predicates.
+  void SetUp() override {
+    table_ = std::make_unique<Table>(Schema(
+        {{"x", DataType::kDouble}, {"y", DataType::kDouble}}));
+    Rng rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(
+          table_->AppendRow({rng.Uniform(0, 100), rng.Uniform(0, 100)}).ok());
+    }
+    rng_ = std::make_unique<Rng>(GetParam() + 1000);
+  }
+
+  Predicate RandomBox() {
+    double x1 = rng_->Uniform(0, 100), x2 = rng_->Uniform(0, 100);
+    double y1 = rng_->Uniform(0, 100), y2 = rng_->Uniform(0, 100);
+    return Box2D(std::min(x1, x2), std::max(x1, x2), std::min(y1, y2),
+                 std::max(y1, y2));
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(AlgebraConsistency, SyntacticContainmentImpliesRowSubset) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Predicate a = RandomBox();
+    Predicate b = RandomBox();
+    RowIdList rows_a = a.Evaluate(*table_).ValueOrDie();
+    RowIdList rows_b = b.Evaluate(*table_).ValueOrDie();
+    if (Predicate::SyntacticallyContains(a, b)) {
+      EXPECT_TRUE(IsSubset(rows_b, rows_a));
+    }
+  }
+}
+
+TEST_P(AlgebraConsistency, IntersectionMatchesRowIntersection) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Predicate a = RandomBox();
+    Predicate b = RandomBox();
+    RowIdList expected = Intersect(a.Evaluate(*table_).ValueOrDie(),
+                                   b.Evaluate(*table_).ValueOrDie());
+    auto inter = Predicate::Intersect(a, b);
+    if (inter.has_value()) {
+      EXPECT_EQ(inter->Evaluate(*table_).ValueOrDie(), expected);
+    } else {
+      EXPECT_TRUE(expected.empty());
+    }
+  }
+}
+
+TEST_P(AlgebraConsistency, BoundingBoxCoversBothInputs) {
+  for (int trial = 0; trial < 20; ++trial) {
+    Predicate a = RandomBox();
+    Predicate b = RandomBox();
+    Predicate hull = Predicate::BoundingBox(a, b);
+    RowIdList rows_hull = hull.Evaluate(*table_).ValueOrDie();
+    EXPECT_TRUE(IsSubset(a.Evaluate(*table_).ValueOrDie(), rows_hull));
+    EXPECT_TRUE(IsSubset(b.Evaluate(*table_).ValueOrDie(), rows_hull));
+    EXPECT_TRUE(Predicate::SyntacticallyContains(hull, a));
+    EXPECT_TRUE(Predicate::SyntacticallyContains(hull, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraConsistency,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace scorpion

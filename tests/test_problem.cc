@@ -1,0 +1,86 @@
+// ProblemSpec validation.
+#include <gtest/gtest.h>
+
+#include "core/problem.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+class ProblemValidation : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = testing_helpers::PaperSensorsTable();
+    qr_ = ExecuteGroupBy(table_, testing_helpers::PaperQuery()).ValueOrDie();
+  }
+
+  ProblemSpec Valid() {
+    ProblemSpec p;
+    p.outliers = {1, 2};
+    p.holdouts = {0};
+    p.SetUniformErrorVector(1.0);
+    p.attributes = {"sensorid"};
+    return p;
+  }
+
+  Table table_{Schema{}};
+  QueryResult qr_;
+};
+
+TEST_F(ProblemValidation, ValidSpecPasses) {
+  EXPECT_TRUE(Valid().Validate(qr_).ok());
+}
+
+TEST_F(ProblemValidation, RequiresOutliers) {
+  ProblemSpec p = Valid();
+  p.outliers.clear();
+  p.error_vectors.clear();
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+}
+
+TEST_F(ProblemValidation, IndexBounds) {
+  ProblemSpec p = Valid();
+  p.outliers = {5};
+  p.error_vectors = {1.0};
+  EXPECT_TRUE(p.Validate(qr_).IsIndexError());
+  p = Valid();
+  p.holdouts = {-1};
+  EXPECT_TRUE(p.Validate(qr_).IsIndexError());
+}
+
+TEST_F(ProblemValidation, OutlierHoldoutDisjointness) {
+  ProblemSpec p = Valid();
+  p.holdouts = {1};
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+}
+
+TEST_F(ProblemValidation, ErrorVectorArity) {
+  ProblemSpec p = Valid();
+  p.error_vectors = {1.0};  // two outliers, one vector
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+}
+
+TEST_F(ProblemValidation, KnobDomains) {
+  ProblemSpec p = Valid();
+  p.lambda = 1.5;
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+  p = Valid();
+  p.lambda = -0.1;
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+  p = Valid();
+  p.c = -1.0;
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+  p = Valid();
+  p.attributes.clear();
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+}
+
+TEST_F(ProblemValidation, SetUniformErrorVector) {
+  ProblemSpec p;
+  p.outliers = {0, 1, 2};
+  p.SetUniformErrorVector(-1.0);
+  EXPECT_EQ(p.error_vectors, (std::vector<double>{-1.0, -1.0, -1.0}));
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,147 @@
+// End-to-end tests: all three algorithms on the SYNTH workload must recover
+// the planted cube, and the session cache must not change results.
+#include <gtest/gtest.h>
+
+#include "core/scorpion.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+struct E2ECase {
+  Algorithm algorithm;
+  int dims;
+  bool easy;
+  double c;
+  double min_f_score;
+};
+
+class SynthEndToEnd : public ::testing::TestWithParam<E2ECase> {};
+
+TEST_P(SynthEndToEnd, RecoversPlantedCube) {
+  const E2ECase& param = GetParam();
+  SynthOptions opts = SynthPreset(param.dims, param.easy, /*seed=*/7);
+  opts.tuples_per_group = 800;  // keep the exhaustive baseline fast
+  auto dataset = GenerateSynth(opts);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+
+  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
+  ASSERT_TRUE(qr.ok());
+  auto problem =
+      MakeProblem(*qr, dataset->outlier_keys, dataset->holdout_keys,
+                  /*error_direction=*/1.0, /*lambda=*/0.5, param.c,
+                  dataset->attributes);
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+
+  ScorpionOptions options;
+  options.algorithm = param.algorithm;
+  options.naive.time_budget_seconds = 30.0;
+  options.naive.max_clauses = param.dims;
+  Scorpion scorpion(options);
+  auto explanation = scorpion.Explain(dataset->table, *qr, *problem);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  ASSERT_FALSE(explanation->predicates.empty());
+
+  auto outlier_union = OutlierUnion(*qr, *problem);
+  ASSERT_TRUE(outlier_union.ok());
+  auto accuracy =
+      EvaluatePredicate(dataset->table, explanation->best().pred,
+                        *outlier_union, dataset->outer_rows);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GE(accuracy->f_score, param.min_f_score)
+      << AlgorithmToString(param.algorithm)
+      << " found: " << explanation->best().pred.ToString(&dataset->table)
+      << " influence=" << explanation->best().influence
+      << " P=" << accuracy->precision << " R=" << accuracy->recall;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, SynthEndToEnd,
+    ::testing::Values(
+        // 2D Easy at moderate c: all three algorithms should do well.
+        E2ECase{Algorithm::kNaive, 2, true, 0.1, 0.55},
+        E2ECase{Algorithm::kDT, 2, true, 0.1, 0.55},
+        E2ECase{Algorithm::kMC, 2, true, 0.1, 0.55},
+        // Hard datasets: the signal is weaker; require a sane floor.
+        E2ECase{Algorithm::kDT, 2, false, 0.1, 0.4},
+        E2ECase{Algorithm::kMC, 2, false, 0.1, 0.4},
+        // 3D Easy.
+        E2ECase{Algorithm::kDT, 3, true, 0.1, 0.5},
+        E2ECase{Algorithm::kMC, 3, true, 0.1, 0.5}),
+    [](const ::testing::TestParamInfo<E2ECase>& info) {
+      std::string name = AlgorithmToString(info.param.algorithm);
+      name += "_" + std::to_string(info.param.dims) + "D_";
+      name += info.param.easy ? "Easy" : "Hard";
+      return name;
+    });
+
+TEST(ScorpionSession, CachedRunsMatchUncachedRuns) {
+  SynthOptions opts = SynthPreset(2, /*easy=*/true, /*seed=*/3);
+  opts.tuples_per_group = 500;
+  auto dataset = GenerateSynth(opts);
+  ASSERT_TRUE(dataset.ok());
+  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
+  ASSERT_TRUE(qr.ok());
+  auto problem = MakeProblem(*qr, dataset->outlier_keys, dataset->holdout_keys,
+                             1.0, 0.5, 0.5, dataset->attributes);
+  ASSERT_TRUE(problem.ok());
+
+  ScorpionOptions options;
+  options.algorithm = Algorithm::kDT;
+
+  // Cached session: descending c (the Figure 16 access pattern).
+  Scorpion cached(options);
+  ASSERT_TRUE(cached.Prepare(dataset->table, *qr, *problem).ok());
+  cached.set_cache_enabled(true);
+
+  Scorpion uncached(options);
+  ASSERT_TRUE(uncached.Prepare(dataset->table, *qr, *problem).ok());
+  uncached.set_cache_enabled(false);
+
+  for (double c : {0.5, 0.3, 0.1, 0.0}) {
+    auto with_cache = cached.ExplainWithC(c);
+    auto without_cache = uncached.ExplainWithC(c);
+    ASSERT_TRUE(with_cache.ok());
+    ASSERT_TRUE(without_cache.ok());
+    // The cached run sees extra warm-start seeds, so it can only do better
+    // or equal in influence; it must never be worse.
+    EXPECT_GE(with_cache->best().influence,
+              without_cache->best().influence - 1e-9)
+        << "c=" << c;
+  }
+}
+
+TEST(ScorpionSession, ExplainWithCRequiresPrepare) {
+  Scorpion scorpion;
+  EXPECT_TRUE(scorpion.ExplainWithC(0.5).status().IsInvalidArgument());
+}
+
+TEST(ScorpionValidation, RejectsBadProblems) {
+  SynthOptions opts = SynthPreset(2, true, 5);
+  opts.tuples_per_group = 50;
+  auto dataset = GenerateSynth(opts);
+  ASSERT_TRUE(dataset.ok());
+  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
+  ASSERT_TRUE(qr.ok());
+
+  Scorpion scorpion;
+  ProblemSpec empty;  // no outliers
+  empty.attributes = dataset->attributes;
+  EXPECT_TRUE(scorpion.Explain(dataset->table, *qr, empty)
+                  .status()
+                  .IsInvalidArgument());
+
+  ProblemSpec overlap;
+  overlap.outliers = {0};
+  overlap.holdouts = {0};
+  overlap.SetUniformErrorVector(1.0);
+  overlap.attributes = dataset->attributes;
+  EXPECT_TRUE(scorpion.Explain(dataset->table, *qr, overlap)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,70 @@
+// Sorted row-id set algebra.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "table/selection.h"
+
+namespace scorpion {
+namespace {
+
+TEST(Selection, BasicOps) {
+  RowIdList a = {1, 3, 5, 7};
+  RowIdList b = {3, 4, 5};
+  EXPECT_EQ(Intersect(a, b), (RowIdList{3, 5}));
+  EXPECT_EQ(Union(a, b), (RowIdList{1, 3, 4, 5, 7}));
+  EXPECT_EQ(Difference(a, b), (RowIdList{1, 7}));
+  EXPECT_EQ(Difference(b, a), (RowIdList{4}));
+}
+
+TEST(Selection, EmptyEdgeCases) {
+  RowIdList empty;
+  RowIdList a = {1, 2};
+  EXPECT_TRUE(Intersect(a, empty).empty());
+  EXPECT_EQ(Union(a, empty), a);
+  EXPECT_EQ(Difference(a, empty), a);
+  EXPECT_TRUE(Difference(empty, a).empty());
+  EXPECT_TRUE(IsSubset(empty, a));
+  EXPECT_FALSE(IsSubset(a, empty));
+}
+
+TEST(Selection, SubsetAndNormalize) {
+  RowIdList a = {2, 4};
+  RowIdList b = {1, 2, 3, 4};
+  EXPECT_TRUE(IsSubset(a, b));
+  EXPECT_FALSE(IsSubset(b, a));
+  RowIdList messy = {4, 1, 4, 2, 1};
+  EXPECT_FALSE(IsSortedUnique(messy));
+  Normalize(&messy);
+  EXPECT_EQ(messy, (RowIdList{1, 2, 4}));
+  EXPECT_TRUE(IsSortedUnique(messy));
+}
+
+TEST(Selection, AllRows) {
+  EXPECT_EQ(AllRows(3), (RowIdList{0, 1, 2}));
+  EXPECT_TRUE(AllRows(0).empty());
+}
+
+class SelectionLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionLaws, SetIdentitiesHold) {
+  Rng rng(GetParam());
+  RowIdList a, b;
+  for (uint32_t i = 0; i < 200; ++i) {
+    if (rng.Bernoulli(0.4)) a.push_back(i);
+    if (rng.Bernoulli(0.4)) b.push_back(i);
+  }
+  // |A| = |A∩B| + |A\B|.
+  EXPECT_EQ(a.size(), Intersect(a, b).size() + Difference(a, b).size());
+  // |A∪B| = |A| + |B| - |A∩B|.
+  EXPECT_EQ(Union(a, b).size(), a.size() + b.size() - Intersect(a, b).size());
+  // (A\B) ∩ B = ∅ and A∩B ⊆ both.
+  EXPECT_TRUE(Intersect(Difference(a, b), b).empty());
+  EXPECT_TRUE(IsSubset(Intersect(a, b), a));
+  EXPECT_TRUE(IsSubset(Intersect(a, b), b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionLaws,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace scorpion

@@ -1,0 +1,97 @@
+// Table, Schema and Column behaviour.
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+#include "test_helpers.h"
+
+namespace scorpion {
+namespace {
+
+TEST(Schema, FieldLookup) {
+  Schema schema({{"a", DataType::kDouble}, {"b", DataType::kCategorical}});
+  EXPECT_EQ(schema.num_fields(), 2);
+  EXPECT_EQ(schema.FieldIndex("a").ValueOrDie(), 0);
+  EXPECT_EQ(schema.FieldIndex("b").ValueOrDie(), 1);
+  EXPECT_TRUE(schema.FieldIndex("c").status().IsKeyError());
+  EXPECT_TRUE(schema.HasField("a"));
+  EXPECT_FALSE(schema.HasField("z"));
+  EXPECT_EQ(schema.ToString(), "schema(a: double, b: categorical)");
+}
+
+TEST(Column, DoubleAppendAndStats) {
+  Column col(DataType::kDouble);
+  EXPECT_TRUE(col.AppendDouble(3.0).ok());
+  EXPECT_TRUE(col.AppendDouble(-1.0).ok());
+  EXPECT_TRUE(col.AppendDouble(7.0).ok());
+  EXPECT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(col.Max(), 7.0);
+  EXPECT_DOUBLE_EQ(col.GetDouble(1), -1.0);
+  EXPECT_TRUE(col.AppendString("x").IsTypeError());
+}
+
+TEST(Column, DictionaryEncoding) {
+  Column col(DataType::kCategorical);
+  EXPECT_TRUE(col.AppendString("red").ok());
+  EXPECT_TRUE(col.AppendString("blue").ok());
+  EXPECT_TRUE(col.AppendString("red").ok());
+  EXPECT_EQ(col.Cardinality(), 2);
+  EXPECT_EQ(col.GetCode(0), col.GetCode(2));  // interned
+  EXPECT_NE(col.GetCode(0), col.GetCode(1));
+  EXPECT_EQ(col.GetString(2), "red");
+  EXPECT_EQ(col.CodeOf("blue"), 1);
+  EXPECT_EQ(col.CodeOf("green"), -1);
+  EXPECT_TRUE(col.AppendDouble(1.0).IsTypeError());
+}
+
+TEST(Column, GetValueBoundsChecked) {
+  Column col(DataType::kDouble);
+  ASSERT_TRUE(col.AppendDouble(1.0).ok());
+  EXPECT_TRUE(col.GetValue(0).ok());
+  EXPECT_TRUE(col.GetValue(1).status().IsIndexError());
+}
+
+TEST(Table, AppendRowValidatesArityAndTypes) {
+  Table t(Schema({{"x", DataType::kDouble}, {"s", DataType::kCategorical}}));
+  EXPECT_TRUE(t.AppendRow({1.0, std::string("a")}).ok());
+  EXPECT_TRUE(t.AppendRow({1.0}).IsInvalidArgument());
+  EXPECT_TRUE(t.AppendRow({std::string("oops"), std::string("a")})
+                  .IsTypeError());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, NumericValueIntoCategoricalIsFormatted) {
+  Table t(Schema({{"s", DataType::kCategorical}}));
+  ASSERT_TRUE(t.AppendRow({42.0}).ok());
+  EXPECT_EQ(t.column(0).GetString(0), "42");
+}
+
+TEST(Table, ColumnByName) {
+  Table t = testing_helpers::PaperSensorsTable();
+  auto col = t.ColumnByName("temp");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), DataType::kDouble);
+  EXPECT_TRUE(t.ColumnByName("nope").status().IsKeyError());
+}
+
+TEST(Table, TakeRowsPreservesValuesAndOrder) {
+  Table t = testing_helpers::PaperSensorsTable();
+  auto sub = t.TakeRows({5, 8, 0});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_rows(), 3u);
+  auto temp = sub->ColumnByName("temp");
+  ASSERT_TRUE(temp.ok());
+  EXPECT_DOUBLE_EQ((*temp)->GetDouble(0), 100.0);  // T6
+  EXPECT_DOUBLE_EQ((*temp)->GetDouble(1), 80.0);   // T9
+  EXPECT_DOUBLE_EQ((*temp)->GetDouble(2), 34.0);   // T1
+  EXPECT_TRUE(t.TakeRows({99}).status().IsIndexError());
+}
+
+TEST(Table, ToStringTruncates) {
+  Table t = testing_helpers::PaperSensorsTable();
+  std::string s = t.ToString(2);
+  EXPECT_NE(s.find("... (7 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scorpion

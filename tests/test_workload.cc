@@ -1,0 +1,262 @@
+// Workload generator invariants: the planted structure each experiment
+// depends on must actually be present in the generated data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aggregates/aggregate.h"
+#include "query/groupby.h"
+#include "table/selection.h"
+#include "workload/expense.h"
+#include "workload/sensor.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+// --- SYNTH -------------------------------------------------------------------
+
+class SynthGenerator : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthGenerator, StructureMatchesSection81) {
+  int dims = GetParam();
+  SynthOptions opts = SynthPreset(dims, /*easy=*/true, /*seed=*/11);
+  opts.tuples_per_group = 2000;
+  auto ds = GenerateSynth(opts);
+  ASSERT_TRUE(ds.ok());
+
+  // 10 groups of 2000 tuples; half outliers, half hold-outs.
+  EXPECT_EQ(ds->table.num_rows(), 20000u);
+  EXPECT_EQ(ds->outlier_keys.size(), 5u);
+  EXPECT_EQ(ds->holdout_keys.size(), 5u);
+  EXPECT_EQ(static_cast<int>(ds->attributes.size()), dims);
+
+  // Inner cube nested in the outer cube; inner rows subset of outer rows.
+  EXPECT_TRUE(
+      Predicate::SyntacticallyContains(ds->outer_cube, ds->inner_cube));
+  EXPECT_TRUE(IsSubset(ds->inner_rows, ds->outer_rows));
+
+  // Outer cube holds ~25% of outlier-group tuples (5 groups x 2000 x 0.25);
+  // inner holds ~25% of the outer's.
+  double outer_frac = static_cast<double>(ds->outer_rows.size()) / 10000.0;
+  double inner_frac = static_cast<double>(ds->inner_rows.size()) /
+                      static_cast<double>(ds->outer_rows.size());
+  EXPECT_NEAR(outer_frac, 0.25, 0.05);
+  EXPECT_NEAR(inner_frac, 0.25, 0.06);
+
+  // Ground-truth rows really are the rows matching the cube predicates
+  // within outlier groups.
+  auto qr = ExecuteGroupBy(ds->table, ds->query);
+  ASSERT_TRUE(qr.ok());
+  RowIdList outlier_union;
+  for (const std::string& key : ds->outlier_keys) {
+    int idx = qr->FindResult(key).ValueOrDie();
+    outlier_union = Union(outlier_union, qr->results[idx].input_group);
+  }
+  auto outer_eval = ds->outer_cube.Evaluate(ds->table);
+  ASSERT_TRUE(outer_eval.ok());
+  EXPECT_EQ(Intersect(*outer_eval, outlier_union), ds->outer_rows);
+}
+
+TEST_P(SynthGenerator, OutlierGroupsHaveHigherSums) {
+  int dims = GetParam();
+  auto ds = GenerateSynth(SynthPreset(dims, /*easy=*/true, /*seed=*/3));
+  ASSERT_TRUE(ds.ok());
+  auto qr = ExecuteGroupBy(ds->table, ds->query);
+  ASSERT_TRUE(qr.ok());
+  double min_outlier = 1e300, max_holdout = 0;
+  for (const std::string& key : ds->outlier_keys) {
+    min_outlier = std::min(
+        min_outlier, qr->results[qr->FindResult(key).ValueOrDie()].value);
+  }
+  for (const std::string& key : ds->holdout_keys) {
+    max_holdout = std::max(
+        max_holdout, qr->results[qr->FindResult(key).ValueOrDie()].value);
+  }
+  EXPECT_GT(min_outlier, max_holdout);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SynthGenerator, ::testing::Values(1, 2, 3, 4));
+
+TEST(SynthGeneratorChecks, NonNegativeValuesKeepSumAntiMonotone) {
+  // SUM's check(D) must pass on SYNTH data (clamped at zero), otherwise the
+  // MC experiments would be invalid.
+  auto ds = GenerateSynth(SynthPreset(2, /*easy=*/false, /*seed=*/5));
+  ASSERT_TRUE(ds.ok());
+  auto col = ds->table.ColumnByName("Av");
+  ASSERT_TRUE(col.ok());
+  EXPECT_GE((*col)->Min(), 0.0);
+  const Aggregate* sum = GetAggregate("SUM").ValueOrDie();
+  EXPECT_TRUE(sum->CheckAntiMonotone((*col)->doubles()));
+}
+
+TEST(SynthGeneratorChecks, DeterministicBySeed) {
+  auto a = GenerateSynth(SynthPreset(2, true, 42));
+  auto b = GenerateSynth(SynthPreset(2, true, 42));
+  auto c = GenerateSynth(SynthPreset(2, true, 43));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->outer_cube, b->outer_cube);
+  EXPECT_DOUBLE_EQ(a->table.column(1).GetDouble(0),
+                   b->table.column(1).GetDouble(0));
+  EXPECT_NE(a->outer_cube, c->outer_cube);
+}
+
+TEST(SynthGeneratorChecks, InvalidOptionsRejected) {
+  SynthOptions opts;
+  opts.dims = 0;
+  EXPECT_TRUE(GenerateSynth(opts).status().IsInvalidArgument());
+  opts = SynthOptions();
+  opts.num_groups = 1;
+  EXPECT_TRUE(GenerateSynth(opts).status().IsInvalidArgument());
+  opts = SynthOptions();
+  opts.domain_hi = opts.domain_lo;
+  EXPECT_TRUE(GenerateSynth(opts).status().IsInvalidArgument());
+}
+
+// --- SENSOR -------------------------------------------------------------------
+
+TEST(SensorGenerator, PlantedFailureIsDetectable) {
+  SensorOptions opts;
+  opts.num_sensors = 10;
+  opts.num_hours = 12;
+  opts.failure_start_hour = 6;
+  opts.failing_sensor = 3;
+  auto ds = GenerateSensor(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.num_rows(),
+            static_cast<size_t>(10 * 12 * opts.readings_per_sensor_per_hour));
+  EXPECT_EQ(ds->outlier_keys.size(), 6u);
+  EXPECT_EQ(ds->holdout_keys.size(), 6u);
+
+  // STDDEV(temp) in failing hours must exceed every normal hour's.
+  auto qr = ExecuteGroupBy(ds->table, ds->query);
+  ASSERT_TRUE(qr.ok());
+  double min_outlier = 1e300, max_holdout = 0;
+  for (const std::string& key : ds->outlier_keys) {
+    min_outlier = std::min(
+        min_outlier, qr->results[qr->FindResult(key).ValueOrDie()].value);
+  }
+  for (const std::string& key : ds->holdout_keys) {
+    max_holdout = std::max(
+        max_holdout, qr->results[qr->FindResult(key).ValueOrDie()].value);
+  }
+  EXPECT_GT(min_outlier, 2.0 * max_holdout);
+
+  // Ground truth rows are exactly the planted predicate's rows in failing
+  // hours, and all have temp > 90.
+  auto matched = ds->expected.Evaluate(ds->table);
+  ASSERT_TRUE(matched.ok());
+  EXPECT_TRUE(IsSubset(ds->ground_truth_rows, *matched));
+  auto temp = ds->table.ColumnByName("temp");
+  ASSERT_TRUE(temp.ok());
+  for (RowId r : ds->ground_truth_rows) {
+    EXPECT_GT((*temp)->GetDouble(r), 90.0);
+  }
+}
+
+TEST(SensorGenerator, LowVoltageModeCorrelatesVoltage) {
+  SensorOptions opts;
+  opts.mode = SensorFailureMode::kLowVoltage;
+  opts.num_sensors = 10;
+  opts.num_hours = 12;
+  opts.failure_start_hour = 6;
+  opts.failing_sensor = 2;
+  auto ds = GenerateSensor(opts);
+  ASSERT_TRUE(ds.ok());
+  auto voltage = ds->table.ColumnByName("voltage");
+  ASSERT_TRUE(voltage.ok());
+  for (RowId r : ds->ground_truth_rows) {
+    EXPECT_LT((*voltage)->GetDouble(r), 2.4);
+  }
+}
+
+TEST(SensorGenerator, InvalidOptionsRejected) {
+  SensorOptions opts;
+  opts.failing_sensor = 100;
+  EXPECT_TRUE(GenerateSensor(opts).status().IsInvalidArgument());
+  opts = SensorOptions();
+  opts.failure_start_hour = 0;
+  EXPECT_TRUE(GenerateSensor(opts).status().IsInvalidArgument());
+}
+
+// --- EXPENSE ------------------------------------------------------------------
+
+TEST(ExpenseGenerator, OutlierDaysSpike) {
+  ExpenseOptions opts;
+  opts.num_days = 40;
+  opts.rows_per_day = 200;
+  opts.num_outlier_days = 3;
+  auto ds = GenerateExpense(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->outlier_keys.size(), 3u);
+  ASSERT_FALSE(ds->holdout_keys.empty());
+
+  auto qr = ExecuteGroupBy(ds->table, ds->query);
+  ASSERT_TRUE(qr.ok());
+  double min_outlier = 1e300, max_normal = 0;
+  for (const AggregateResult& r : qr->results) {
+    bool is_outlier = false;
+    for (const std::string& key : ds->outlier_keys) {
+      is_outlier |= key == r.key_string;
+    }
+    if (is_outlier) {
+      min_outlier = std::min(min_outlier, r.value);
+    } else {
+      max_normal = std::max(max_normal, r.value);
+    }
+  }
+  // The paper: >$10M on outlier days vs typical days.
+  EXPECT_GT(min_outlier, max_normal);
+
+  // Every ground-truth row exceeds $1.5M and matches the planted predicate.
+  auto amt = ds->table.ColumnByName("disb_amt");
+  ASSERT_TRUE(amt.ok());
+  auto planted = ds->expected.Evaluate(ds->table);
+  ASSERT_TRUE(planted.ok());
+  for (RowId r : ds->ground_truth_rows) {
+    EXPECT_GT((*amt)->GetDouble(r), 1.5e6);
+  }
+  // The planted conjunction's rows on outlier days are high-value media
+  // buys; it must overlap the ground truth substantially.
+  EXPECT_GT(Intersect(*planted, ds->ground_truth_rows).size(),
+            ds->ground_truth_rows.size() / 2);
+}
+
+TEST(ExpenseGenerator, AllAmountsPositiveForAntiMonotonicity) {
+  ExpenseOptions opts;
+  opts.num_days = 20;
+  opts.rows_per_day = 100;
+  opts.num_outlier_days = 2;
+  auto ds = GenerateExpense(opts);
+  ASSERT_TRUE(ds.ok());
+  auto amt = ds->table.ColumnByName("disb_amt");
+  ASSERT_TRUE(amt.ok());
+  EXPECT_GT((*amt)->Min(), 0.0);
+}
+
+TEST(ExpenseGenerator, HighCardinalityProfile) {
+  ExpenseOptions opts;
+  opts.num_days = 30;
+  opts.rows_per_day = 300;
+  opts.num_outlier_days = 2;
+  auto ds = GenerateExpense(opts);
+  ASSERT_TRUE(ds.ok());
+  auto recipient = ds->table.ColumnByName("recipient_nm");
+  ASSERT_TRUE(recipient.ok());
+  EXPECT_GT((*recipient)->Cardinality(), 500);  // thousands of recipients
+  auto org = ds->table.ColumnByName("org_type");
+  ASSERT_TRUE(org.ok());
+  EXPECT_LE((*org)->Cardinality(), 5);  // low-cardinality attrs too
+}
+
+TEST(ExpenseGenerator, InvalidOptionsRejected) {
+  ExpenseOptions opts;
+  opts.num_days = 5;
+  opts.num_outlier_days = 5;
+  EXPECT_TRUE(GenerateExpense(opts).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scorpion
