@@ -1,0 +1,151 @@
+// Parallel scaling of the scorer hot path (ScorpionOptions::num_threads).
+//
+// Section 1 scores a fixed batch of predicates against a multi-group SYNTH
+// instance at 1/2/4/8 threads and reports throughput plus speedup over the
+// serial run; a bitwise checksum over all influences proves the parallel
+// runs are exact, not approximately equal. Section 2 times the end-to-end
+// DT + Merger pipeline at 1 vs 4 threads.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "core/scorer.h"
+#include "core/scorpion.h"
+
+namespace scorpion {
+namespace {
+
+/// A batch of axis-aligned boxes sweeping the attribute space, plus the
+/// planted cubes — representative of what the search algorithms score.
+std::vector<Predicate> MakePredicateBatch(const SynthDataset& dataset,
+                                          const DomainMap& domains,
+                                          int count) {
+  std::vector<Predicate> batch = {dataset.outer_cube, dataset.inner_cube};
+  for (int i = 0; static_cast<int>(batch.size()) < count; ++i) {
+    Predicate box;
+    for (const std::string& attr : dataset.attributes) {
+      const AttrDomain& dom = domains.at(attr);
+      double span = dom.hi - dom.lo;
+      double lo = dom.lo + span * (0.03 * (i % 25));
+      double width = span * (0.15 + 0.02 * (i % 10));
+      RangeClause clause{attr, lo, std::min(lo + width, dom.hi), true};
+      if (!box.AddRange(clause).ok()) break;
+    }
+    batch.push_back(std::move(box));
+  }
+  return batch;
+}
+
+int RunMain() {
+  std::printf("# hardware threads available: %d (speedup is capped by "
+              "physical cores;\n# expect ~1.0x on a 1-core machine)\n",
+              ThreadPool::DefaultNumThreads());
+
+  SynthOptions opts = SynthPreset(3, /*easy=*/true, /*seed=*/7);
+  opts.num_groups = 16;
+  opts.tuples_per_group = 5000;
+
+  auto instance = bench::MakeSynthInstance(opts);
+  BENCH_CHECK_OK(instance);
+  const SynthDataset& dataset = instance->dataset;
+
+  auto problem = MakeProblem(instance->qr, dataset.outlier_keys,
+                             dataset.holdout_keys, /*error_direction=*/1.0,
+                             /*lambda=*/0.5, /*c=*/0.5, dataset.attributes);
+  BENCH_CHECK_OK(problem);
+  auto domains = ComputeDomains(dataset.table, dataset.attributes);
+  BENCH_CHECK_OK(domains);
+  auto scorer = Scorer::Make(dataset.table, instance->qr, *problem);
+  BENCH_CHECK_OK(scorer);
+
+  const std::vector<Predicate> batch =
+      MakePredicateBatch(dataset, *domains, 32);
+  constexpr int kReps = 3;
+
+  std::printf("# scorer batch: %zu predicates x %d reps, %d groups x %d "
+              "tuples, SUM, lambda=0.5\n",
+              batch.size(), kReps, opts.num_groups, opts.tuples_per_group);
+  std::printf("%-10s %12s %14s %10s\n", "threads", "seconds", "preds/sec",
+              "speedup");
+
+  double serial_seconds = 0.0;
+  double serial_checksum = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    scorer->set_thread_pool(threads > 1 ? &pool : nullptr);
+
+    double checksum = 0.0;
+    WallTimer timer;
+    for (int rep = 0; rep < kReps; ++rep) {
+      checksum = 0.0;
+      for (const Predicate& pred : batch) {
+        auto inf = scorer->Influence(pred);
+        BENCH_CHECK_OK(inf);
+        if (std::isfinite(*inf)) checksum += *inf;
+      }
+    }
+    double seconds = timer.ElapsedSeconds();
+
+    if (threads == 1) {
+      serial_seconds = seconds;
+      serial_checksum = checksum;
+    } else if (checksum != serial_checksum) {
+      // Bitwise comparison on purpose: parallel scoring promises exact
+      // serial equivalence, not a tolerance.
+      std::fprintf(stderr, "FATAL: checksum mismatch at %d threads\n",
+                   threads);
+      return 1;
+    }
+    double per_sec =
+        static_cast<double>(batch.size() * kReps) / std::max(seconds, 1e-12);
+    std::printf("%-10d %12s %14s %9sx\n", threads,
+                bench::Fmt(seconds).c_str(), bench::Fmt(per_sec, "%.1f").c_str(),
+                bench::Fmt(serial_seconds / std::max(seconds, 1e-12), "%.2f")
+                    .c_str());
+  }
+  scorer->set_thread_pool(nullptr);
+
+  std::printf("\n# end-to-end DT + Merger (sampling on, capped expansion)\n");
+  std::printf("%-10s %12s %10s\n", "threads", "seconds", "speedup");
+  double e2e_serial = 0.0;
+  std::string serial_best;
+  for (int threads : {1, 4}) {
+    ScorpionOptions options;
+    options.algorithm = Algorithm::kDT;
+    options.dt.use_sampling = true;
+    // Keep the greedy expansion bounded so the bench measures the scoring
+    // hot path, not worst-case merge churn.
+    options.merger.max_expansions_per_seed = 8;
+    options.merger.max_candidates_per_step = 32;
+    options.num_threads = threads;
+    Scorpion scorpion(options);
+    WallTimer timer;
+    auto explanation = scorpion.Explain(dataset.table, instance->qr, *problem);
+    double seconds = timer.ElapsedSeconds();
+    BENCH_CHECK_OK(explanation);
+    std::string best = explanation->best().pred.ToString();
+    if (threads == 1) {
+      e2e_serial = seconds;
+      serial_best = best;
+    } else if (best != serial_best) {
+      std::fprintf(stderr, "FATAL: best predicate diverged at %d threads\n",
+                   threads);
+      return 1;
+    }
+    std::printf("%-10d %12s %9sx\n", threads, bench::Fmt(seconds).c_str(),
+                bench::Fmt(threads == 1
+                               ? 1.0
+                               : e2e_serial / std::max(seconds, 1e-12),
+                           "%.2f")
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scorpion
+
+int main() { return scorpion::RunMain(); }

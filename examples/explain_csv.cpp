@@ -7,6 +7,8 @@
 //               --outliers 12PM,1PM --holdouts 11AM --direction high
 //               [--attrs sensorid,voltage] [--where "voltage < 2.7"]
 //               [--algorithm DT|MC|NAIVE] [--c 0.5] [--lambda 0.8] [--json]
+//               [--threads 0]   (0 = all cores; output is thread-count
+//                                independent)
 //
 // With no arguments it writes the paper's Table 1 to a temp CSV and explains
 // it, so the binary is runnable out of the box.
@@ -164,6 +166,8 @@ int main(int argc, char** argv) {
     options.algorithm = Algorithm::kDT;
     if (demo) options.dt.min_partition_size = 1;
   }
+  // Results are bit-identical at every thread count (0 = all cores).
+  options.num_threads = std::atoi(args.Get("threads", "0").c_str());
 
   Scorpion scorpion(options);
   auto explanation = scorpion.Explain(table, *qr, problem);

@@ -1,0 +1,47 @@
+// RelaxedCounter: a copyable atomic event counter for stats structs.
+//
+// Counters incremented from parallel scoring paths must not lose updates,
+// but stats structs also need to be plain copyable aggregates (Explanation
+// snapshots them). Raw std::atomic deletes the copy operations, forcing each
+// struct to hand-write store(load) boilerplate per field; this wrapper makes
+// a struct of counters copyable with defaulted copy operations, so adding a
+// field cannot silently miss the snapshot.
+//
+// Relaxed ordering is deliberate: the counters carry no synchronization
+// duties, they are only read after the parallel region joins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace scorpion {
+
+struct RelaxedCounter {
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t v) : value(v) {}  // NOLINT(runtime/explicit)
+  RelaxedCounter(const RelaxedCounter& other) : value(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    value.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t v) {
+    value.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  RelaxedCounter& operator++() {
+    value.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t load() const { return value.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }  // NOLINT(runtime/explicit)
+
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace scorpion

@@ -1,6 +1,9 @@
 // Error-propagation macros in the Arrow style.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+
 #define SCORPION_CONCAT_IMPL(x, y) x##y
 #define SCORPION_CONCAT(x, y) SCORPION_CONCAT_IMPL(x, y)
 
@@ -26,3 +29,15 @@
 #define SCORPION_DISALLOW_COPY_AND_ASSIGN(TypeName) \
   TypeName(const TypeName&) = delete;               \
   TypeName& operator=(const TypeName&) = delete
+
+/// Aborts with a location-tagged message when `cond` is false. For contract
+/// violations that would otherwise be silent undefined behaviour (data- or
+/// IO-dependent failures should return Status instead).
+#define SCORPION_CHECK(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "SCORPION_CHECK failed at %s:%d: %s\n",     \
+                   __FILE__, __LINE__, (msg));                         \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)

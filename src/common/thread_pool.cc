@@ -1,0 +1,123 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace scorpion {
+
+namespace {
+// True while the current thread is executing a ParallelFor body; nested
+// ParallelFor calls from such a thread run inline.
+thread_local bool tl_in_parallel_body = false;
+
+struct ParallelBodyScope {
+  // Save/restore (not set/clear): a nested inline ParallelFor also opens a
+  // scope, and clearing on its exit would let the still-running outer body
+  // dispatch to the pool from a worker thread — a deadlock.
+  bool saved;
+  ParallelBodyScope() : saved(tl_in_parallel_body) {
+    tl_in_parallel_body = true;
+  }
+  ~ParallelBodyScope() { tl_in_parallel_body = saved; }
+};
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::DefaultNumThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t chunks =
+      std::min(n, static_cast<size_t>(num_threads_));
+  if (chunks <= 1 || tl_in_parallel_body) {
+    ParallelBodyScope scope;
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Contiguous chunk c covers [begin + c*base + min(c, rem), ...): the same
+  // index-to-chunk map at every thread count, so per-index outputs are
+  // placement-deterministic.
+  const size_t base = n / chunks;
+  const size_t rem = n % chunks;
+  std::vector<std::exception_ptr> errors(chunks);
+  auto run_chunk = [&, begin](size_t c) {
+    ParallelBodyScope scope;
+    size_t lo = begin + c * base + std::min(c, rem);
+    size_t hi = lo + base + (c < rem ? 1 : 0);
+    try {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += static_cast<int>(chunks - 1);
+    // Pushed in reverse so workers (popping from the back) start with the
+    // lowest-numbered — typically largest — chunks first.
+    for (size_t c = chunks - 1; c >= 1; --c) {
+      queue_.push_back([&run_chunk, c] { run_chunk(c); });
+    }
+  }
+  work_cv_.notify_all();
+
+  run_chunk(0);  // the caller participates
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+
+  for (std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void ParallelForOver(ThreadPool* pool, size_t begin, size_t end,
+                     const std::function<void(size_t)>& fn) {
+  if (pool == nullptr) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(begin, end, fn);
+}
+
+}  // namespace scorpion

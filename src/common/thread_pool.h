@@ -1,0 +1,71 @@
+// Fixed-size thread pool for the data-parallel hot paths (scorer, DT,
+// merger). The design goal is determinism, not raw task throughput: all
+// parallel work goes through ParallelFor over an index range, callers write
+// results into per-index slots, and every reduction happens serially on the
+// calling thread in index order — so a run with any thread count is
+// bit-identical to a serial run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+/// \brief Fixed pool of worker threads driving ParallelFor.
+///
+/// `num_threads` is the total parallelism: the pool spawns num_threads - 1
+/// workers and the calling thread executes the first chunk of every
+/// ParallelFor itself, so ThreadPool(1) runs everything inline.
+///
+/// ParallelFor calls issued from inside a ParallelFor body (e.g. the Merger
+/// scoring candidates in parallel while each score parallelizes over groups)
+/// run inline on the current thread instead of deadlocking or oversubscribing.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [begin, end) and blocks until all calls have
+  /// returned. Indices are dealt to threads in contiguous chunks, at most one
+  /// chunk per thread, so scheduling overhead is O(threads) per call. If one
+  /// or more bodies throw, the exception from the lowest-numbered chunk is
+  /// rethrown on the calling thread after every body has finished.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency may
+  /// report 0).
+  static int DefaultNumThreads();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task ready / stop
+  std::condition_variable done_cv_;   // signals caller: all chunks finished
+  std::vector<std::function<void()>> queue_;
+  bool stop_ = false;
+  int pending_ = 0;  // chunks handed to workers but not yet finished
+};
+
+/// ParallelFor through an optional pool: a null pool runs the loop inline.
+/// This is the form the library uses so every call site works unchanged when
+/// ScorpionOptions::num_threads == 1.
+void ParallelForOver(ThreadPool* pool, size_t begin, size_t end,
+                     const std::function<void(size_t)>& fn);
+
+}  // namespace scorpion

@@ -53,21 +53,11 @@ uint64_t CacheKey(int result_idx, RowId row) {
 DTPartitioner::DTPartitioner(const Scorer& scorer, DTOptions options)
     : scorer_(scorer), options_(options), rng_(options.seed) {}
 
-double DTPartitioner::TupleInfluence(int result_idx, RowId row,
-                                     bool is_outlier) {
-  uint64_t key = CacheKey(result_idx, row);
-  auto it = influence_cache_.find(key);
-  if (it != influence_cache_.end()) return it->second;
-  ++stats_.tuple_influences;
-  double inf = scorer_.TupleInfluence(result_idx, row);
-  if (!is_outlier) inf = std::fabs(inf);  // hold-outs penalize any change
-  if (!std::isfinite(inf)) inf = 0.0;
-  influence_cache_.emplace(key, inf);
-  return inf;
-}
-
 void DTPartitioner::PopulateSample(GroupSlice* slice, double rate,
                                    bool is_outlier) {
+  // The draw itself stays serial: RNG calls must happen in the same order at
+  // every thread count for the tree (and therefore the output) to be
+  // bit-identical.
   size_t n = slice->rows.size();
   size_t k = n;
   if (options_.use_sampling) {
@@ -86,19 +76,48 @@ void DTPartitioner::PopulateSample(GroupSlice* slice, double rate,
     for (uint32_t p : picks) slice->sample.push_back(slice->rows[p]);
   }
   stats_.sampled_tuples += slice->sample.size();
-  slice->inf.clear();
-  slice->inf.reserve(slice->sample.size());
-  for (RowId r : slice->sample) {
-    slice->inf.push_back(TupleInfluence(slice->result_idx, r, is_outlier));
+
+  // Influence per sampled row: cache hits resolve serially, misses compute
+  // in parallel (Scorer::TupleInfluence only touches immutable caches and
+  // atomic counters), then the memo is filled back serially.
+  const size_t num_sampled = slice->sample.size();
+  slice->inf.assign(num_sampled, 0.0);
+  std::vector<size_t> misses;
+  for (size_t i = 0; i < num_sampled; ++i) {
+    auto it =
+        influence_cache_.find(CacheKey(slice->result_idx, slice->sample[i]));
+    if (it != influence_cache_.end()) {
+      slice->inf[i] = it->second;
+    } else {
+      misses.push_back(i);
+    }
+  }
+  stats_.tuple_influences += misses.size();
+  ParallelForOver(scorer_.thread_pool(), 0, misses.size(), [&](size_t j) {
+    const size_t i = misses[j];
+    double inf = scorer_.TupleInfluence(slice->result_idx, slice->sample[i]);
+    if (!is_outlier) inf = std::fabs(inf);  // hold-outs penalize any change
+    if (!std::isfinite(inf)) inf = 0.0;
+    slice->inf[i] = inf;
+  });
+  for (size_t i : misses) {
+    influence_cache_.emplace(CacheKey(slice->result_idx, slice->sample[i]),
+                             slice->inf[i]);
   }
 }
 
 DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
     const Node& node, double parent_metric) const {
-  SplitChoice best;
-  best.metric = parent_metric;
-
-  for (const std::string& attr : scorer_.problem().attributes) {
+  // Attributes are scored independently (in parallel when a pool is
+  // attached); the cross-attribute argmin below stays serial in attribute
+  // order, and strict < on the metric reproduces the serial tie-break (first
+  // candidate in (attribute, split) order wins ties).
+  const std::vector<std::string>& attrs = scorer_.problem().attributes;
+  std::vector<SplitChoice> per_attr(attrs.size());
+  ParallelForOver(scorer_.thread_pool(), 0, attrs.size(), [&](size_t ai) {
+    const std::string& attr = attrs[ai];
+    SplitChoice best;
+    best.metric = parent_metric;
     const Column* col = attr_columns_.at(attr);
     if (col->type() == DataType::kDouble) {
       // Candidate split points: quantiles of the node's sampled values.
@@ -106,7 +125,7 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
       for (const GroupSlice& g : node.groups) {
         for (RowId r : g.sample) values.push_back(col->GetDouble(r));
       }
-      if (values.size() < 2) continue;
+      if (values.size() < 2) return;
       std::sort(values.begin(), values.end());
       std::vector<double> candidates;
       for (int q = 1; q <= options_.num_split_candidates; ++q) {
@@ -152,7 +171,7 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
       for (const GroupSlice& g : node.groups) {
         for (RowId r : g.sample) ++freq[col->GetCode(r)];
       }
-      if (freq.size() < 2) continue;
+      if (freq.size() < 2) return;
       std::vector<std::pair<int32_t, size_t>> by_freq(freq.begin(), freq.end());
       std::sort(by_freq.begin(), by_freq.end(),
                 [](const auto& a, const auto& b) {
@@ -188,6 +207,13 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
         }
       }
     }
+    per_attr[ai] = std::move(best);
+  });
+
+  SplitChoice best;
+  best.metric = parent_metric;
+  for (SplitChoice& cand : per_attr) {
+    if (cand.valid && cand.metric < best.metric) best = std::move(cand);
   }
   return best;
 }

@@ -74,10 +74,9 @@ class DTPartitioner {
   Result<std::vector<ScoredPredicate>> PartitionGroups(
       const std::vector<int>& result_indices, bool is_outlier);
 
-  /// Influence of one tuple, memoized across the whole run.
-  double TupleInfluence(int result_idx, RowId row, bool is_outlier);
-
-  /// Draws a sample for a fresh slice and computes its influences.
+  /// Draws a sample for a fresh slice (serially, so RNG order is fixed) and
+  /// computes its influences (in parallel under the scorer's thread pool),
+  /// memoizing per-tuple influence across the whole run.
   void PopulateSample(GroupSlice* slice, double rate, bool is_outlier);
 
   SplitChoice ChooseSplit(const Node& node, double parent_metric) const;

@@ -53,6 +53,14 @@ const AggState& Merger::RepresentativeState(RowId row) const {
   return rep_state_cache_.emplace(row, std::move(state)).first->second;
 }
 
+void Merger::PrewarmRepresentativeStates(
+    const std::vector<ScoredPredicate>& candidates) const {
+  if (!options_.use_cached_tuple_estimate || !scorer_.incremental()) return;
+  for (const ScoredPredicate& sp : candidates) {
+    if (sp.info.has_representative) RepresentativeState(sp.info.representative);
+  }
+}
+
 double Merger::OverlapFraction(const Predicate& q, const Predicate& box) const {
   // Clause-wise volume of q ∩ box divided by volume of q; attributes
   // unconstrained in q contribute the box clause's own domain share.
@@ -174,10 +182,25 @@ Result<std::vector<ScoredPredicate>> Merger::Run(
     }
     candidates = std::move(unique);
   }
-  for (ScoredPredicate& sp : candidates) {
-    SCORPION_RETURN_NOT_OK(EnsureScored(&sp));
+  // Exact-score every candidate: these Scorer::Influence calls dominate the
+  // Merger's cost, and each is independent. Statuses land in per-index slots
+  // and the first error (in candidate order) wins deterministically.
+  ThreadPool* pool = scorer_.thread_pool();
+  {
+    std::vector<Status> statuses(candidates.size());
+    ParallelForOver(pool, 0, candidates.size(), [&](size_t i) {
+      statuses[i] = EnsureScored(&candidates[i]);
+    });
+    for (const Status& st : statuses) {
+      SCORPION_RETURN_NOT_OK(st);
+    }
   }
   std::sort(candidates.begin(), candidates.end(), ByInfluenceDesc);
+
+  // All representative states the expansion loop can touch get cached now,
+  // so the parallel estimate pass below reads the memo without mutating it
+  // (merged seeds only ever inherit representatives from `candidates`).
+  PrewarmRepresentativeStates(candidates);
 
   size_t num_seeds = candidates.size();
   if (options_.top_quartile_only && candidates.size() >= 4) {
@@ -202,16 +225,22 @@ Result<std::vector<ScoredPredicate>> Merger::Run(
         }
         if (Predicate::SyntacticallyContains(cur.pred, other.pred)) continue;
         if (!Adjacent(cur.pred, other.pred)) continue;
-        double est;
-        if (CanEstimate(cur, other)) {
-          est = EstimateMergedInfluence(cur, other, candidates);
-        } else {
-          est = other.influence;  // fall back to the neighbour's own score
-        }
-        grow.push_back({&other, est});
+        grow.push_back({&other, 0.0});
         if (grow.size() >= options_.max_candidates_per_step) break;
       }
       if (grow.empty()) break;
+      // Estimating a merge is the expansion step's hot scoring loop; each
+      // candidate is independent and the representative-state memo was
+      // prewarmed, so this runs read-only in parallel.
+      ParallelForOver(pool, 0, grow.size(), [&](size_t i) {
+        if (CanEstimate(cur, *grow[i].other)) {
+          grow[i].estimate =
+              EstimateMergedInfluence(cur, *grow[i].other, candidates);
+        } else {
+          // Fall back to the neighbour's own score.
+          grow[i].estimate = grow[i].other->influence;
+        }
+      });
       std::sort(grow.begin(), grow.end(),
                 [](const Candidate& a, const Candidate& b) {
                   return a.estimate > b.estimate;

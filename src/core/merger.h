@@ -6,20 +6,23 @@
 //     accepted merges are re-scored exactly before being kept.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/atomic_counter.h"
 #include "core/options.h"
 #include "core/scored_predicate.h"
 #include "core/scorer.h"
 
 namespace scorpion {
 
-/// Counters for benchmark reporting.
+/// Counters for benchmark reporting. Atomic so they stay exact while
+/// candidates are scored/estimated in parallel; copying snapshots.
 struct MergerStats {
-  uint64_t exact_scores = 0;      // Scorer::Influence calls
-  uint64_t estimated_scores = 0;  // cached-tuple approximations
-  uint64_t merges_accepted = 0;
+  RelaxedCounter exact_scores;      // Scorer::Influence calls
+  RelaxedCounter estimated_scores;  // cached-tuple approximations
+  RelaxedCounter merges_accepted;
 };
 
 /// \brief Greedy predicate merger.
@@ -58,8 +61,15 @@ class Merger {
   /// Ensures `sp.influence` holds the exact score.
   Status EnsureScored(ScoredPredicate* sp) const;
 
-  /// state(rep value) memoized per representative row.
+  /// state(rep value) memoized per representative row. NOT thread-safe on a
+  /// cache miss: parallel sections must be preceded by
+  /// PrewarmRepresentativeStates() so every lookup inside them hits.
   const AggState& RepresentativeState(RowId row) const;
+
+  /// Fills rep_state_cache_ for every candidate's representative so that
+  /// EstimateMergedInfluence can run read-only (and thus in parallel).
+  void PrewarmRepresentativeStates(
+      const std::vector<ScoredPredicate>& candidates) const;
 
   /// Volume of (q ∩ box) / Volume(q), computed clause-wise without
   /// materializing the intersection predicate.

@@ -104,6 +104,12 @@ struct ScorpionOptions {
   MergerOptions merger;
   /// How many ranked predicates to return.
   size_t top_k = 5;
+  /// Data parallelism for the scoring hot paths (per-group influence, DT
+  /// tuple influences, Merger candidate scoring). 1 = serial; 0 = one thread
+  /// per hardware core. Results are bit-identical at every setting: parallel
+  /// work writes to per-index slots and all reductions stay serial in index
+  /// order (see src/common/thread_pool.h).
+  int num_threads = 1;
 };
 
 }  // namespace scorpion

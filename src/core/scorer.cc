@@ -11,7 +11,32 @@ namespace scorpion {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Fills (*out)[i] = eval(i) for i in [0, n). The serial path (null pool)
+/// stops at the first non-finite value — one annihilated group already
+/// forces the whole score to -infinity, so filtering the remaining groups
+/// would be wasted work; the parallel path computes every slot and checks
+/// afterwards. Returns true iff every evaluated value is finite; the values
+/// up to the first non-finite one are identical in both paths.
+template <typename Eval>
+bool FillGroupInfluences(ThreadPool* pool, size_t n, std::vector<double>* out,
+                         const Eval& eval) {
+  out->resize(n);
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      (*out)[i] = eval(i);
+      if (!std::isfinite((*out)[i])) return false;
+    }
+    return true;
+  }
+  pool->ParallelFor(0, n, [&](size_t i) { (*out)[i] = eval(i); });
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite((*out)[i])) return false;
+  }
+  return true;
 }
+
+}  // namespace
 
 Result<Scorer> Scorer::Make(const Table& table, const QueryResult& result,
                             const ProblemSpec& problem) {
@@ -114,26 +139,39 @@ Result<double> Scorer::InfluenceImpl(const Predicate& pred,
   ++stats_.predicate_scores;
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
 
+  // Per-group work runs in parallel into per-index slots; the reductions
+  // below stay serial in group order, so the result is bit-identical to a
+  // serial run.
+  const size_t num_outliers = problem_->outliers.size();
+  std::vector<double> outlier_inf;
+  bool finite = FillGroupInfluences(pool_, num_outliers, &outlier_inf,
+                                    [&](size_t i) {
+                                      int idx = problem_->outliers[i];
+                                      const RowIdList matched = bound.Filter(
+                                          result_->results[idx].input_group);
+                                      return GroupInfluence(
+                                          idx, matched, /*is_outlier=*/true,
+                                          problem_->error_vectors[i]);
+                                    });
+  if (!finite) return kNegInf;
   double outlier_sum = 0.0;
-  for (size_t i = 0; i < problem_->outliers.size(); ++i) {
-    int idx = problem_->outliers[i];
-    const RowIdList matched =
-        bound.Filter(result_->results[idx].input_group);
-    double inf = GroupInfluence(idx, matched, /*is_outlier=*/true,
-                                problem_->error_vectors[i]);
-    if (!std::isfinite(inf)) return kNegInf;
-    outlier_sum += inf;
-  }
+  for (double inf : outlier_inf) outlier_sum += inf;
   double score = problem_->lambda * outlier_sum /
-                 static_cast<double>(problem_->outliers.size());
+                 static_cast<double>(num_outliers);
 
   if (with_holdouts && !problem_->holdouts.empty() && problem_->lambda < 1.0) {
+    std::vector<double> holdout_inf;
+    finite = FillGroupInfluences(pool_, problem_->holdouts.size(), &holdout_inf,
+                                 [&](size_t i) {
+                                   int idx = problem_->holdouts[i];
+                                   const RowIdList matched = bound.Filter(
+                                       result_->results[idx].input_group);
+                                   return GroupInfluence(
+                                       idx, matched, /*is_outlier=*/false, 0.0);
+                                 });
+    if (!finite) return kNegInf;
     double max_penalty = 0.0;
-    for (int idx : problem_->holdouts) {
-      const RowIdList matched =
-          bound.Filter(result_->results[idx].input_group);
-      double inf = GroupInfluence(idx, matched, /*is_outlier=*/false, 0.0);
-      if (!std::isfinite(inf)) return kNegInf;
+    for (double inf : holdout_inf) {
       max_penalty = std::max(max_penalty, std::fabs(inf));
     }
     score -= (1.0 - problem_->lambda) * max_penalty;
@@ -146,19 +184,24 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
 
   DetailedScore out;
-  double outlier_sum = 0.0;
-  bool annihilated = false;
-  for (size_t i = 0; i < problem_->outliers.size(); ++i) {
+  const size_t num_outliers = problem_->outliers.size();
+  out.matched_outlier.resize(num_outliers);
+  std::vector<double> outlier_inf(num_outliers);
+  ParallelForOver(pool_, 0, num_outliers, [&](size_t i) {
     int idx = problem_->outliers[i];
     RowIdList matched = bound.Filter(result_->results[idx].input_group);
-    double inf = GroupInfluence(idx, matched, /*is_outlier=*/true,
-                                problem_->error_vectors[i]);
+    outlier_inf[i] = GroupInfluence(idx, matched, /*is_outlier=*/true,
+                                    problem_->error_vectors[i]);
+    out.matched_outlier[i] = std::move(matched);
+  });
+  double outlier_sum = 0.0;
+  bool annihilated = false;
+  for (double inf : outlier_inf) {
     if (!std::isfinite(inf)) {
       annihilated = true;
     } else {
       outlier_sum += inf;
     }
-    out.matched_outlier.push_back(std::move(matched));
   }
   if (annihilated) {
     out.full = kNegInf;
@@ -166,18 +209,25 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
     return out;
   }
   out.outlier_only = problem_->lambda * outlier_sum /
-                     static_cast<double>(problem_->outliers.size());
+                     static_cast<double>(num_outliers);
   out.full = out.outlier_only;
   if (!problem_->holdouts.empty() && problem_->lambda < 1.0) {
+    std::vector<double> holdout_inf;
+    bool finite =
+        FillGroupInfluences(pool_, problem_->holdouts.size(), &holdout_inf,
+                            [&](size_t i) {
+                              int idx = problem_->holdouts[i];
+                              const RowIdList matched = bound.Filter(
+                                  result_->results[idx].input_group);
+                              return GroupInfluence(idx, matched,
+                                                    /*is_outlier=*/false, 0.0);
+                            });
+    if (!finite) {
+      out.full = kNegInf;
+      return out;
+    }
     double max_penalty = 0.0;
-    for (int idx : problem_->holdouts) {
-      const RowIdList matched =
-          bound.Filter(result_->results[idx].input_group);
-      double inf = GroupInfluence(idx, matched, /*is_outlier=*/false, 0.0);
-      if (!std::isfinite(inf)) {
-        out.full = kNegInf;
-        return out;
-      }
+    for (double inf : holdout_inf) {
       max_penalty = std::max(max_penalty, std::fabs(inf));
     }
     out.full -= (1.0 - problem_->lambda) * max_penalty;

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "aggregates/aggregate.h"
+#include "common/atomic_counter.h"
+#include "common/thread_pool.h"
 #include "core/problem.h"
 #include "predicate/predicate.h"
 #include "query/groupby.h"
@@ -31,11 +33,13 @@ struct DetailedScore {
 };
 
 /// Running counters, exposed so benchmarks can report scorer traffic.
+/// The counters are atomic so they stay exact when scoring runs under
+/// ScorpionOptions::num_threads > 1; copying snapshots the current values.
 struct ScorerStats {
-  uint64_t predicate_scores = 0;   // full inf(O,H,p,V) evaluations
-  uint64_t group_deltas = 0;       // per-group Delta computations
-  uint64_t tuple_scores = 0;       // single-tuple influence computations
-  uint64_t incremental_deltas = 0; // Deltas served by the removable fast path
+  RelaxedCounter predicate_scores;   // full inf(O,H,p,V) evaluations
+  RelaxedCounter group_deltas;       // per-group Delta computations
+  RelaxedCounter tuple_scores;       // single-tuple influence computations
+  RelaxedCounter incremental_deltas; // Deltas served by the removable path
 };
 
 /// \brief Influence oracle bound to one (table, query result, problem).
@@ -96,6 +100,13 @@ class Scorer {
   /// True if the removable fast path is active.
   bool incremental() const { return incremental_; }
 
+  /// Attaches a pool for per-group parallel scoring; nullptr (the default)
+  /// scores serially. The pool must outlive the Scorer's last scoring call.
+  /// Output is bit-identical with and without a pool: per-group influences
+  /// land in per-index slots and the reduction stays serial in group order.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
   ScorerStats& stats() const { return stats_; }
 
  private:
@@ -117,6 +128,7 @@ class Scorer {
   const ProblemSpec* problem_ = nullptr;
   const Aggregate* agg_ = nullptr;
   const Column* agg_col_ = nullptr;
+  ThreadPool* pool_ = nullptr;
   bool incremental_ = false;
 
   // Cached per result index (whole result set, so holdouts too).

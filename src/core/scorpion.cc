@@ -57,12 +57,26 @@ void Scorpion::ClearCache() {
   merged_by_c_.clear();
 }
 
+ThreadPool* Scorpion::EnsurePool() {
+  int want = options_.num_threads;
+  if (want == 0) want = ThreadPool::DefaultNumThreads();
+  if (want <= 1) {
+    pool_.reset();
+    return nullptr;
+  }
+  if (pool_ == nullptr || pool_->num_threads() != want) {
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return pool_.get();
+}
+
 Result<Explanation> Scorpion::Run(const Table& table,
                                   const QueryResult& result,
                                   const ProblemSpec& problem,
                                   bool use_session_cache) {
   WallTimer timer;
   SCORPION_ASSIGN_OR_RETURN(Scorer scorer, Scorer::Make(table, result, problem));
+  scorer.set_thread_pool(EnsurePool());
 
   Explanation out;
   out.algorithm = options_.algorithm;

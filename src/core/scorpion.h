@@ -5,8 +5,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "common/macros.h"
+#include "common/thread_pool.h"
 #include "core/naive.h"
 #include "core/options.h"
 #include "core/problem.h"
@@ -30,8 +33,16 @@ struct Explanation {
   /// True if NAIVE swept its whole space within the time budget.
   bool naive_exhausted = false;
 
-  /// The winning predicate; predicates must be non-empty.
-  const ScoredPredicate& best() const { return predicates.front(); }
+  /// The winning predicate. CHECK-fails (aborts with a message) when
+  /// `predicates` is empty instead of silently dereferencing past the end;
+  /// callers that can see an empty explanation must test predicates.empty()
+  /// first. (Explain() itself never returns an empty Explanation: it reports
+  /// Status::Internal instead.)
+  const ScoredPredicate& best() const {
+    SCORPION_CHECK(!predicates.empty(),
+                   "Explanation::best() called on an empty explanation");
+    return predicates.front();
+  }
 };
 
 /// \brief End-to-end explanation engine.
@@ -77,8 +88,14 @@ class Scorpion {
   Result<Explanation> Run(const Table& table, const QueryResult& result,
                           const ProblemSpec& problem, bool use_session_cache);
 
+  /// Pool matching options_.num_threads, or nullptr when running serially.
+  /// Lazily (re)built so a facade whose options change between runs picks up
+  /// the new parallelism.
+  ThreadPool* EnsurePool();
+
   ScorpionOptions options_;
   bool cache_enabled_ = true;
+  std::unique_ptr<ThreadPool> pool_;
 
   // Session state (Prepare/ExplainWithC).
   const Table* table_ = nullptr;

@@ -287,7 +287,8 @@ TEST(MCPartitioner, HighCardinalitySeedingCapsUnits) {
                   {"s", DataType::kCategorical}}));
   Rng rng(5);
   for (int i = 0; i < 2000; ++i) {
-    std::string value = "v" + std::to_string(i % 500);
+    std::string value = "v";
+    value += std::to_string(i % 500);  // append-style: avoids GCC 12 -Wrestrict FP
     double amount = (i % 500 == 7) ? 50.0 : rng.Uniform(0.5, 1.5);
     ASSERT_TRUE(t.AppendRow({std::string(i % 2 ? "a" : "b"), amount,
                              value}).ok());

@@ -108,5 +108,23 @@ TEST(ScorpionFacade, AllAlgorithmsAgreeOnTheObviousExplanation) {
   }
 }
 
+using ExplanationDeathTest = ::testing::Test;
+
+TEST(ExplanationDeathTest, BestOnEmptyExplanationCheckFails) {
+  // best() on an empty Explanation is a contract violation; it must abort
+  // with a diagnostic rather than dereference past the end.
+  Explanation empty;
+  ASSERT_TRUE(empty.predicates.empty());
+  EXPECT_DEATH_IF_SUPPORTED(empty.best(), "empty explanation");
+}
+
+TEST(ExplanationDeathTest, BestOnNonEmptyExplanationReturnsFront) {
+  Explanation e;
+  ScoredPredicate sp;
+  sp.influence = 1.5;
+  e.predicates.push_back(sp);
+  EXPECT_EQ(e.best().influence, 1.5);
+}
+
 }  // namespace
 }  // namespace scorpion

@@ -1,0 +1,152 @@
+// ThreadPool contract: lifecycle, exact index coverage, chunk determinism,
+// exception propagation, nested-call fallback, and the null-pool serial path.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scorpion {
+namespace {
+
+TEST(ThreadPool, ConstructsAndDestructsAtVariousSizes) {
+  for (int n : {1, 2, 4, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+}
+
+TEST(ThreadPool, ClampsNonPositiveSizesToOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPool, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10007;  // prime: uneven chunking
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHonorsNonZeroBegin) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(40, 60, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(hits[i].load(), (i >= 40 && i < 60) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingletonRangesWork) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(7, 8, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PerIndexSlotsPlusSerialReduceMatchSerialExactly) {
+  // The library's determinism recipe: parallel writes to per-index slots,
+  // serial reduction in index order. The result must be bit-identical to a
+  // plain loop at any thread count.
+  constexpr size_t kN = 4096;
+  auto value_of = [](size_t i) {
+    return 1.0 / (1.0 + static_cast<double>(i) * 0.737);
+  };
+  double serial_sum = 0.0;
+  for (size_t i = 0; i < kN; ++i) serial_sum += value_of(i);
+
+  for (int threads : {1, 2, 4, 7}) {
+    ThreadPool pool(threads);
+    std::vector<double> slots(kN);
+    pool.ParallelFor(0, kN, [&](size_t i) { slots[i] = value_of(i); });
+    double sum = 0.0;
+    for (double v : slots) sum += v;
+    EXPECT_EQ(sum, serial_sum) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [&](size_t i) {
+                         if (i == 937) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+
+  // Every non-throwing index still ran, and the pool survived.
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(0, 100, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < 100; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, RethrowsLowestChunkExceptionFirst) {
+  // With every index throwing, the caller must see chunk 0's exception.
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(0, 400, [&](size_t i) {
+      throw std::runtime_error("from " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "from 0");
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(0, kOuter, [&](size_t o) {
+    pool.ParallelFor(0, kInner,
+                     [&](size_t i) { ++hits[o * kInner + i]; });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, ActuallyRunsOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(0, 64, [&](size_t) {
+    // Enough work per index that all chunks overlap in time.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ParallelForOver, NullPoolRunsSerialInCallerThread) {
+  std::vector<size_t> order;
+  ParallelForOver(nullptr, 3, 8, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{3, 4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace scorpion
