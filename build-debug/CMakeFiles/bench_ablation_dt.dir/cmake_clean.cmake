@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dt.dir/bench/bench_ablation_dt.cpp.o"
+  "CMakeFiles/bench_ablation_dt.dir/bench/bench_ablation_dt.cpp.o.d"
+  "bench_ablation_dt"
+  "bench_ablation_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

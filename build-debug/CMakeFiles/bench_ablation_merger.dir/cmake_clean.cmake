@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_merger.dir/bench/bench_ablation_merger.cpp.o"
+  "CMakeFiles/bench_ablation_merger.dir/bench/bench_ablation_merger.cpp.o.d"
+  "bench_ablation_merger"
+  "bench_ablation_merger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_merger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

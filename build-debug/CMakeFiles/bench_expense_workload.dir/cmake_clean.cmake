@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expense_workload.dir/bench/bench_expense_workload.cpp.o"
+  "CMakeFiles/bench_expense_workload.dir/bench/bench_expense_workload.cpp.o.d"
+  "bench_expense_workload"
+  "bench_expense_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expense_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

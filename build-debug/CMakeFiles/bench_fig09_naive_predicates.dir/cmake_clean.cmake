@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_naive_predicates.dir/bench/bench_fig09_naive_predicates.cpp.o"
+  "CMakeFiles/bench_fig09_naive_predicates.dir/bench/bench_fig09_naive_predicates.cpp.o.d"
+  "bench_fig09_naive_predicates"
+  "bench_fig09_naive_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_naive_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

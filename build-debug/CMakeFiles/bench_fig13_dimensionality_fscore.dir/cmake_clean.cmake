@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dimensionality_fscore.dir/bench/bench_fig13_dimensionality_fscore.cpp.o"
+  "CMakeFiles/bench_fig13_dimensionality_fscore.dir/bench/bench_fig13_dimensionality_fscore.cpp.o.d"
+  "bench_fig13_dimensionality_fscore"
+  "bench_fig13_dimensionality_fscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dimensionality_fscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

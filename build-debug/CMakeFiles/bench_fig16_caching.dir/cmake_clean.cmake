@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_caching.dir/bench/bench_fig16_caching.cpp.o"
+  "CMakeFiles/bench_fig16_caching.dir/bench/bench_fig16_caching.cpp.o.d"
+  "bench_fig16_caching"
+  "bench_fig16_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

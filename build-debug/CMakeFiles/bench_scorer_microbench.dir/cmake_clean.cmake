@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scorer_microbench.dir/bench/bench_scorer_microbench.cpp.o"
+  "CMakeFiles/bench_scorer_microbench.dir/bench/bench_scorer_microbench.cpp.o.d"
+  "bench_scorer_microbench"
+  "bench_scorer_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scorer_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

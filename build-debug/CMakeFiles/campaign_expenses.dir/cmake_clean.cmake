@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_expenses.dir/examples/campaign_expenses.cpp.o"
+  "CMakeFiles/campaign_expenses.dir/examples/campaign_expenses.cpp.o.d"
+  "campaign_expenses"
+  "campaign_expenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_expenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_costs.dir/examples/medical_costs.cpp.o"
+  "CMakeFiles/medical_costs.dir/examples/medical_costs.cpp.o.d"
+  "medical_costs"
+  "medical_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

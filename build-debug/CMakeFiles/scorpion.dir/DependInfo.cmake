@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aggregates/aggregate.cc" "CMakeFiles/scorpion.dir/src/aggregates/aggregate.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/aggregates/aggregate.cc.o.d"
+  "/root/repo/src/aggregates/standard_aggregates.cc" "CMakeFiles/scorpion.dir/src/aggregates/standard_aggregates.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/aggregates/standard_aggregates.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/scorpion.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/scorpion.dir/src/common/random.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/scorpion.dir/src/common/status.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "CMakeFiles/scorpion.dir/src/common/string_util.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/scorpion.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/attribute_ranker.cc" "CMakeFiles/scorpion.dir/src/core/attribute_ranker.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/attribute_ranker.cc.o.d"
+  "/root/repo/src/core/dt.cc" "CMakeFiles/scorpion.dir/src/core/dt.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/dt.cc.o.d"
+  "/root/repo/src/core/explanation_io.cc" "CMakeFiles/scorpion.dir/src/core/explanation_io.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/explanation_io.cc.o.d"
+  "/root/repo/src/core/mc.cc" "CMakeFiles/scorpion.dir/src/core/mc.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/mc.cc.o.d"
+  "/root/repo/src/core/merger.cc" "CMakeFiles/scorpion.dir/src/core/merger.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/merger.cc.o.d"
+  "/root/repo/src/core/naive.cc" "CMakeFiles/scorpion.dir/src/core/naive.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/naive.cc.o.d"
+  "/root/repo/src/core/problem.cc" "CMakeFiles/scorpion.dir/src/core/problem.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/problem.cc.o.d"
+  "/root/repo/src/core/scorer.cc" "CMakeFiles/scorpion.dir/src/core/scorer.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/scorer.cc.o.d"
+  "/root/repo/src/core/scorpion.cc" "CMakeFiles/scorpion.dir/src/core/scorpion.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/core/scorpion.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "CMakeFiles/scorpion.dir/src/eval/experiment.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/scorpion.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/predicate/parser.cc" "CMakeFiles/scorpion.dir/src/predicate/parser.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/predicate/parser.cc.o.d"
+  "/root/repo/src/predicate/predicate.cc" "CMakeFiles/scorpion.dir/src/predicate/predicate.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/predicate/predicate.cc.o.d"
+  "/root/repo/src/query/groupby.cc" "CMakeFiles/scorpion.dir/src/query/groupby.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/query/groupby.cc.o.d"
+  "/root/repo/src/table/column.cc" "CMakeFiles/scorpion.dir/src/table/column.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/table/column.cc.o.d"
+  "/root/repo/src/table/csv.cc" "CMakeFiles/scorpion.dir/src/table/csv.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/table/csv.cc.o.d"
+  "/root/repo/src/table/schema.cc" "CMakeFiles/scorpion.dir/src/table/schema.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/table/schema.cc.o.d"
+  "/root/repo/src/table/selection.cc" "CMakeFiles/scorpion.dir/src/table/selection.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/table/selection.cc.o.d"
+  "/root/repo/src/table/table.cc" "CMakeFiles/scorpion.dir/src/table/table.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/table/table.cc.o.d"
+  "/root/repo/src/table/types.cc" "CMakeFiles/scorpion.dir/src/table/types.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/table/types.cc.o.d"
+  "/root/repo/src/workload/expense.cc" "CMakeFiles/scorpion.dir/src/workload/expense.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/workload/expense.cc.o.d"
+  "/root/repo/src/workload/sensor.cc" "CMakeFiles/scorpion.dir/src/workload/sensor.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/workload/sensor.cc.o.d"
+  "/root/repo/src/workload/synth.cc" "CMakeFiles/scorpion.dir/src/workload/synth.cc.o" "gcc" "CMakeFiles/scorpion.dir/src/workload/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregates.dir/tests/test_aggregates.cc.o"
+  "CMakeFiles/test_aggregates.dir/tests/test_aggregates.cc.o.d"
+  "test_aggregates"
+  "test_aggregates.pdb"
+  "test_aggregates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribute_ranker.dir/tests/test_attribute_ranker.cc.o"
+  "CMakeFiles/test_attribute_ranker.dir/tests/test_attribute_ranker.cc.o.d"
+  "test_attribute_ranker"
+  "test_attribute_ranker.pdb"
+  "test_attribute_ranker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribute_ranker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

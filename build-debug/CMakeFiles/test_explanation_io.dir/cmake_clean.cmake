@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explanation_io.dir/tests/test_explanation_io.cc.o"
+  "CMakeFiles/test_explanation_io.dir/tests/test_explanation_io.cc.o.d"
+  "test_explanation_io"
+  "test_explanation_io.pdb"
+  "test_explanation_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explanation_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_groupby.dir/tests/test_groupby.cc.o"
+  "CMakeFiles/test_groupby.dir/tests/test_groupby.cc.o.d"
+  "test_groupby"
+  "test_groupby.pdb"
+  "test_groupby[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_influence_modes.dir/tests/test_influence_modes.cc.o"
+  "CMakeFiles/test_influence_modes.dir/tests/test_influence_modes.cc.o.d"
+  "test_influence_modes"
+  "test_influence_modes.pdb"
+  "test_influence_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_influence_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_workloads.dir/tests/test_integration_workloads.cc.o"
+  "CMakeFiles/test_integration_workloads.dir/tests/test_integration_workloads.cc.o.d"
+  "test_integration_workloads"
+  "test_integration_workloads.pdb"
+  "test_integration_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging_timer.dir/tests/test_logging_timer.cc.o"
+  "CMakeFiles/test_logging_timer.dir/tests/test_logging_timer.cc.o.d"
+  "test_logging_timer"
+  "test_logging_timer.pdb"
+  "test_logging_timer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_equivalence.dir/tests/test_parallel_equivalence.cc.o"
+  "CMakeFiles/test_parallel_equivalence.dir/tests/test_parallel_equivalence.cc.o.d"
+  "test_parallel_equivalence"
+  "test_parallel_equivalence.pdb"
+  "test_parallel_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

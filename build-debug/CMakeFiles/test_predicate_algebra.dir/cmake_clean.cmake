@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicate_algebra.dir/tests/test_predicate_algebra.cc.o"
+  "CMakeFiles/test_predicate_algebra.dir/tests/test_predicate_algebra.cc.o.d"
+  "test_predicate_algebra"
+  "test_predicate_algebra.pdb"
+  "test_predicate_algebra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicate_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

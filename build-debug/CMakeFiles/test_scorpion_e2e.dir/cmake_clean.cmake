@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scorpion_e2e.dir/tests/test_scorpion_e2e.cc.o"
+  "CMakeFiles/test_scorpion_e2e.dir/tests/test_scorpion_e2e.cc.o.d"
+  "test_scorpion_e2e"
+  "test_scorpion_e2e.pdb"
+  "test_scorpion_e2e[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scorpion_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scorpion_facade.dir/tests/test_scorpion_facade.cc.o"
+  "CMakeFiles/test_scorpion_facade.dir/tests/test_scorpion_facade.cc.o.d"
+  "test_scorpion_facade"
+  "test_scorpion_facade.pdb"
+  "test_scorpion_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scorpion_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

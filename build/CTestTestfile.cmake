@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/test_aggregates[1]_include.cmake")
+include("/root/repo/build/test_attribute_ranker[1]_include.cmake")
+include("/root/repo/build/test_common[1]_include.cmake")
+include("/root/repo/build/test_csv[1]_include.cmake")
+include("/root/repo/build/test_explanation_io[1]_include.cmake")
+include("/root/repo/build/test_groupby[1]_include.cmake")
+include("/root/repo/build/test_influence_modes[1]_include.cmake")
+include("/root/repo/build/test_integration_workloads[1]_include.cmake")
+include("/root/repo/build/test_logging_timer[1]_include.cmake")
+include("/root/repo/build/test_merger[1]_include.cmake")
+include("/root/repo/build/test_metrics[1]_include.cmake")
+include("/root/repo/build/test_parallel_equivalence[1]_include.cmake")
+include("/root/repo/build/test_parser[1]_include.cmake")
+include("/root/repo/build/test_partitioners[1]_include.cmake")
+include("/root/repo/build/test_predicate[1]_include.cmake")
+include("/root/repo/build/test_predicate_algebra[1]_include.cmake")
+include("/root/repo/build/test_problem[1]_include.cmake")
+include("/root/repo/build/test_scorer[1]_include.cmake")
+include("/root/repo/build/test_scorpion_e2e[1]_include.cmake")
+include("/root/repo/build/test_scorpion_facade[1]_include.cmake")
+include("/root/repo/build/test_selection[1]_include.cmake")
+include("/root/repo/build/test_table[1]_include.cmake")
+include("/root/repo/build/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/test_workload[1]_include.cmake")
