@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,7 +20,9 @@ enum class StatusCode : int {
   kIOError = 5,         // file read/write failure
   kNotImplemented = 6,
   kInternal = 7,        // invariant violation inside the library
-  kCancelled = 8,       // exceeded a user-provided budget/deadline
+  kCancelled = 8,       // explicitly cancelled, or the owner shut down
+  kDeadlineExceeded = 9,  // a request's deadline passed before completion
+  kUnavailable = 10,    // resource at capacity; the request was shed
 };
 
 /// Returns a human-readable name for a status code, e.g. "Invalid argument".
@@ -67,6 +69,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -83,6 +91,10 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -52,12 +52,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.back());
       queue_.pop_back();
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --pending_;
-    }
-    done_cv_.notify_all();
+    task();  // completion bookkeeping lives inside the closure
   }
 }
 
@@ -90,21 +85,48 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     }
   };
 
+  // Per-call completion counter (guarded by mu_): concurrent ParallelFor
+  // calls from different producer threads each wait only on their own
+  // chunks. The closures reference this stack frame; the wait below keeps
+  // it alive until every chunk has decremented the counter.
+  int remaining = static_cast<int>(chunks - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_ += static_cast<int>(chunks - 1);
     // Pushed in reverse so workers (popping from the back) start with the
     // lowest-numbered — typically largest — chunks first.
     for (size_t c = chunks - 1; c >= 1; --c) {
-      queue_.push_back([&run_chunk, c] { run_chunk(c); });
+      queue_.push_back([this, &run_chunk, &remaining, c] {
+        run_chunk(c);
+        {
+          std::lock_guard<std::mutex> inner(mu_);
+          --remaining;
+        }
+        done_cv_.notify_all();
+      });
     }
   }
   work_cv_.notify_all();
 
   run_chunk(0);  // the caller participates
 
+  // Help-first completion: while this call's chunks are outstanding, the
+  // caller executes queued tasks (its own or other producers') instead of
+  // sleeping — with more producers than workers, a call's last chunk could
+  // otherwise sit queued behind other calls' work while its producer idles.
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  while (remaining != 0) {
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.back());
+      queue_.pop_back();
+      lock.unlock();
+      task();
+      lock.lock();
+    } else {
+      done_cv_.wait(lock, [this, &remaining] {
+        return remaining == 0 || !queue_.empty();
+      });
+    }
+  }
 
   for (std::exception_ptr& err : errors) {
     if (err) std::rethrow_exception(err);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/result.h"
 
 namespace scorpion {
 
@@ -27,6 +28,11 @@ namespace scorpion {
 /// ParallelFor calls issued from inside a ParallelFor body (e.g. the Merger
 /// scoring candidates in parallel while each score parallelizes over groups)
 /// run inline on the current thread instead of deadlocking or oversubscribing.
+///
+/// ParallelFor may be called from multiple producer threads concurrently
+/// (the ExplanationService drives many requests through one shared pool):
+/// completion is tracked per call, so each caller returns as soon as its own
+/// chunks have finished, independent of other callers' in-flight work.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -56,10 +62,11 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: task ready / stop
-  std::condition_variable done_cv_;   // signals caller: all chunks finished
+  std::condition_variable done_cv_;   // signals callers: a chunk finished
+  // Each queued closure carries its own call's completion bookkeeping, so
+  // the pool needs no per-call state here.
   std::vector<std::function<void()>> queue_;
   bool stop_ = false;
-  int pending_ = 0;  // chunks handed to workers but not yet finished
 };
 
 /// ParallelFor through an optional pool: a null pool runs the loop inline.
@@ -67,5 +74,27 @@ class ThreadPool {
 /// ScorpionOptions::num_threads == 1.
 void ParallelForOver(ThreadPool* pool, size_t begin, size_t end,
                      const std::function<void(size_t)>& fn);
+
+/// Parallel map with the library's determinism recipe: fn(i) (returning
+/// Result<T>) writes into a per-index slot, and the serial sweep afterwards
+/// reports the first error in index order — exactly the error a serial loop
+/// would have returned. T must be default-constructible.
+template <typename T, typename Fn>
+Result<std::vector<T>> ParallelMapOver(ThreadPool* pool, size_t n, Fn&& fn) {
+  std::vector<T> slots(n);
+  std::vector<Status> statuses(n);
+  ParallelForOver(pool, 0, n, [&](size_t i) {
+    Result<T> result = fn(i);
+    if (result.ok()) {
+      slots[i] = result.MoveValueUnsafe();
+    } else {
+      statuses[i] = result.status();
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    SCORPION_RETURN_NOT_OK(statuses[i]);
+  }
+  return slots;
+}
 
 }  // namespace scorpion

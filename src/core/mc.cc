@@ -191,14 +191,16 @@ Result<std::vector<ScoredPredicate>> MCPartitioner::Run() {
     if (fresh.empty()) break;
     stats_.units_generated += fresh.size();
 
-    // --- Scoring ------------------------------------------------------------
-    std::vector<MCCandidate> scored;
-    scored.reserve(fresh.size());
-    for (const Predicate& p : fresh) {
-      SCORPION_ASSIGN_OR_RETURN(MCCandidate cand, ScoreCandidate(p));
-      ++stats_.predicates_scored;
-      scored.push_back(std::move(cand));
-    }
+    // --- Scoring (parallel across candidates) -------------------------------
+    // Candidates score into per-index slots; the pruning pass below stays
+    // serial in candidate order, so the output is bit-identical to a serial
+    // run.
+    SCORPION_ASSIGN_OR_RETURN(
+        std::vector<MCCandidate> scored,
+        ParallelMapOver<MCCandidate>(
+            scorer_.thread_pool(), fresh.size(),
+            [&](size_t i) { return ScoreCandidate(fresh[i]); }));
+    stats_.predicates_scored += scored.size();
 
     // --- Pruning ------------------------------------------------------------
     // Per the paper's pseudocode (line 9), the pruning threshold is the best
@@ -239,13 +241,16 @@ Result<std::vector<ScoredPredicate>> MCPartitioner::Run() {
     // predicate. The merged predicates contain themselves, so they join the
     // frontier too — intersecting two merged strips is how CLIQUE composes
     // dense 1-D regions into the 2-D cluster.
-    std::vector<MCCandidate> next;
     std::set<std::string> in_next;
+    std::vector<const ScoredPredicate*> rescore;
     for (const ScoredPredicate& m : improving) {
-      if (!in_next.insert(m.pred.ToString()).second) continue;
-      SCORPION_ASSIGN_OR_RETURN(MCCandidate cand, ScoreCandidate(m.pred));
-      next.push_back(std::move(cand));
+      if (in_next.insert(m.pred.ToString()).second) rescore.push_back(&m);
     }
+    SCORPION_ASSIGN_OR_RETURN(
+        std::vector<MCCandidate> next,
+        ParallelMapOver<MCCandidate>(
+            scorer_.thread_pool(), rescore.size(),
+            [&](size_t i) { return ScoreCandidate(rescore[i]->pred); }));
     for (MCCandidate& cand : kept) {
       if (in_next.count(cand.scored.pred.ToString()) > 0) continue;
       for (const ScoredPredicate& m : improving) {

@@ -92,21 +92,42 @@ Result<NaiveResult> NaivePartitioner::Run() const {
   double last_checkpoint = 0.0;
   bool timed_out = false;
 
-  auto evaluate = [&](const Predicate& pred) -> Status {
-    SCORPION_ASSIGN_OR_RETURN(double inf, scorer_.Influence(pred));
-    ++result.num_evaluated;
-    bool improved = inf > result.best.influence;
-    if (improved) {
-      result.best.pred = pred;
-      result.best.influence = inf;
+  // Enumerated predicates collect into a batch and score in parallel across
+  // candidates (per-index slots); the best-so-far reduction below stays
+  // serial in enumeration order, so an exhausted run is bit-identical to a
+  // serial one at any thread count. A whole batch is scored before the time
+  // budget is re-checked, so on expiry the best reflects every predicate
+  // already paid for.
+  constexpr size_t kBatchSize = 256;
+  std::vector<Predicate> pending;
+  pending.reserve(kBatchSize);
+
+  auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    SCORPION_ASSIGN_OR_RETURN(
+        std::vector<double> influences,
+        ParallelMapOver<double>(
+            scorer_.thread_pool(), pending.size(),
+            [&](size_t i) { return scorer_.Influence(pending[i]); }));
+    for (size_t i = 0; i < pending.size(); ++i) {
+      ++result.num_evaluated;
+      bool improved = influences[i] > result.best.influence;
+      if (improved) {
+        result.best.pred = pending[i];
+        result.best.influence = influences[i];
+      }
+      double elapsed = timer.ElapsedSeconds();
+      if ((improved || elapsed - last_checkpoint >=
+                           options_.checkpoint_interval_seconds) &&
+          std::isfinite(result.best.influence)) {
+        result.checkpoints.push_back(
+            {elapsed, result.best.influence, result.best.pred});
+        last_checkpoint = elapsed;
+      }
     }
-    double elapsed = timer.ElapsedSeconds();
-    if ((improved || elapsed - last_checkpoint >=
-                         options_.checkpoint_interval_seconds) &&
-        std::isfinite(result.best.influence)) {
-      result.checkpoints.push_back(
-          {elapsed, result.best.influence, result.best.pred});
-      last_checkpoint = elapsed;
+    pending.clear();
+    if (timer.ElapsedSeconds() > options_.time_budget_seconds) {
+      timed_out = true;
     }
     return Status::OK();
   };
@@ -164,10 +185,8 @@ Result<NaiveResult> NaivePartitioner::Run() const {
           if (timed_out || !status.ok()) return;
           if (depth == k) {
             if (round > 1 && max_complexity_seen != round) return;
-            status = evaluate(current);
-            if (timer.ElapsedSeconds() > options_.time_budget_seconds) {
-              timed_out = true;
-            }
+            pending.push_back(current);
+            if (pending.size() >= kBatchSize) status = flush();
             return;
           }
           for (const TaggedClause& tc : lists[depth]) {
@@ -186,6 +205,8 @@ Result<NaiveResult> NaivePartitioner::Run() const {
       } while (!timed_out && NextCombination(&combo, num_attrs));
     }
   }
+
+  SCORPION_RETURN_NOT_OK(flush());
 
   result.exhausted = !timed_out;
   if (std::isfinite(result.best.influence)) {

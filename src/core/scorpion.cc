@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "common/macros.h"
 #include "common/timer.h"
@@ -11,6 +12,40 @@
 #include "core/merger.h"
 
 namespace scorpion {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<ScoredPredicate> ExplainSession::WarmSeedsLocked(double c) const {
+  // The map is descending, so entries with key > c form a prefix; the last
+  // of them is the smallest such c'. Exact c hits are handled before this
+  // is consulted.
+  const std::vector<ScoredPredicate>* best = nullptr;
+  for (const auto& [cached_c, entry] : merged_by_c_) {
+    if (cached_c > c) {
+      best = &entry.merged;
+    } else {
+      break;
+    }
+  }
+  return best != nullptr ? *best : std::vector<ScoredPredicate>{};
+}
+
+void ExplainSession::StoreMergedLocked(double c,
+                                       std::vector<ScoredPredicate> merged) {
+  MergedEntry& entry = merged_by_c_[c];
+  entry.merged = std::move(merged);
+  entry.stamp = NextStamp();
+  while (merged_by_c_.size() > kMaxMergedEntries) {
+    // Evict the least-recently-used c (never the one just stamped).
+    auto victim = merged_by_c_.begin();
+    for (auto it = merged_by_c_.begin(); it != merged_by_c_.end(); ++it) {
+      if (it->second.stamp.load() < victim->second.stamp.load()) victim = it;
+    }
+    merged_by_c_.erase(victim);
+  }
+}
 
 const char* AlgorithmToString(Algorithm algorithm) {
   switch (algorithm) {
@@ -24,12 +59,28 @@ const char* AlgorithmToString(Algorithm algorithm) {
   return "?";
 }
 
+void ExplainSession::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  has_partitions_ = false;
+  partitions_.clear();
+  merged_by_c_.clear();
+}
+
 Scorpion::Scorpion(ScorpionOptions options) : options_(std::move(options)) {}
 
 Result<Explanation> Scorpion::Explain(const Table& table,
                                       const QueryResult& result,
                                       const ProblemSpec& problem) {
-  return Run(table, result, problem, /*use_session_cache=*/false);
+  return Run(table, result, problem, /*session=*/nullptr,
+             /*cross_c_warm_start=*/false);
+}
+
+Result<Explanation> Scorpion::ExplainShared(const Table& table,
+                                            const QueryResult& result,
+                                            const ProblemSpec& problem,
+                                            ExplainSession* session,
+                                            bool cross_c_warm_start) {
+  return Run(table, result, problem, session, cross_c_warm_start);
 }
 
 Status Scorpion::Prepare(const Table& table, const QueryResult& result,
@@ -48,16 +99,15 @@ Result<Explanation> Scorpion::ExplainWithC(double c) {
     return Status::InvalidArgument("call Prepare() before ExplainWithC()");
   }
   problem_.c = c;
-  return Run(*table_, *result_, problem_, /*use_session_cache=*/true);
+  return Run(*table_, *result_, problem_,
+             cache_enabled_ ? &session_ : nullptr,
+             /*cross_c_warm_start=*/true);
 }
 
-void Scorpion::ClearCache() {
-  has_cached_partitions_ = false;
-  cached_partitions_.clear();
-  merged_by_c_.clear();
-}
+void Scorpion::ClearCache() { session_.Clear(); }
 
 ThreadPool* Scorpion::EnsurePool() {
+  if (external_pool_ != nullptr) return external_pool_;
   int want = options_.num_threads;
   if (want == 0) want = ThreadPool::DefaultNumThreads();
   if (want <= 1) {
@@ -73,8 +123,32 @@ ThreadPool* Scorpion::EnsurePool() {
 Result<Explanation> Scorpion::Run(const Table& table,
                                   const QueryResult& result,
                                   const ProblemSpec& problem,
-                                  bool use_session_cache) {
+                                  ExplainSession* session,
+                                  bool cross_c_warm_start) {
   WallTimer timer;
+
+  // Fast path: an exact-c session hit needs no scorer, partitioner or
+  // merger — probe before paying Scorer::Make's per-group state build.
+  if (options_.algorithm == Algorithm::kDT && session != nullptr) {
+    std::shared_lock<std::shared_mutex> lock(session->mu_);
+    auto exact = session->merged_by_c_.find(problem.c);
+    if (exact != session->merged_by_c_.end()) {
+      exact->second.stamp = session->NextStamp();
+      Explanation out;
+      out.algorithm = options_.algorithm;
+      out.predicates = exact->second.merged;
+      out.cache_result_hit = true;
+      if (out.predicates.size() > options_.top_k) {
+        out.predicates.resize(options_.top_k);
+      }
+      if (out.predicates.empty()) {
+        return Status::Internal("search produced no predicates");
+      }
+      out.runtime_seconds = timer.ElapsedSeconds();
+      return out;
+    }
+  }
+
   SCORPION_ASSIGN_OR_RETURN(Scorer scorer, Scorer::Make(table, result, problem));
   scorer.set_thread_pool(EnsurePool());
 
@@ -94,51 +168,80 @@ Result<Explanation> Scorpion::Run(const Table& table,
     }
     case Algorithm::kDT: {
       std::vector<ScoredPredicate> partitions;
-      bool from_cache = use_session_cache && cache_enabled_ &&
-                        has_cached_partitions_;
-      if (from_cache) {
-        partitions = cached_partitions_;
-      } else {
-        DTPartitioner dt(scorer, options_.dt);
-        SCORPION_ASSIGN_OR_RETURN(partitions, dt.Run());
-        if (use_session_cache && cache_enabled_) {
-          cached_partitions_ = partitions;
-          has_cached_partitions_ = true;
+      std::vector<ScoredPredicate> warm_seeds;
+      bool have_partitions = false;
+      bool have_result = false;
+      if (session != nullptr) {
+        std::shared_lock<std::shared_mutex> lock(session->mu_);
+        // An exact-c entry stored since the fast-path probe above is still
+        // a whole-answer hit.
+        auto exact = session->merged_by_c_.find(problem.c);
+        if (exact != session->merged_by_c_.end()) {
+          exact->second.stamp = session->NextStamp();
+          out.predicates = exact->second.merged;
+          out.cache_result_hit = true;
+          have_result = true;
+        } else {
+          if (session->has_partitions_) {
+            partitions = session->partitions_;
+            have_partitions = true;
+            out.cache_partitions_hit = true;
+          }
+          if (cross_c_warm_start) {
+            warm_seeds = session->WarmSeedsLocked(problem.c);
+          }
         }
       }
+      if (have_result) break;
+      if (!have_partitions) {
+        if (session != nullptr) {
+          // Exclusive lock around the whole computation: concurrent requests
+          // on this session block here and reuse the winner's partitions
+          // instead of each recomputing them.
+          std::unique_lock<std::shared_mutex> lock(session->mu_);
+          // Re-check for an exact-c result: a concurrent same-(key, c)
+          // request may have stored one while we waited for the lock.
+          auto exact = session->merged_by_c_.find(problem.c);
+          if (exact != session->merged_by_c_.end()) {
+            exact->second.stamp = session->NextStamp();
+            out.predicates = exact->second.merged;
+            out.cache_result_hit = true;
+            have_result = true;
+          } else if (session->has_partitions_) {
+            partitions = session->partitions_;
+            out.cache_partitions_hit = true;
+          } else {
+            DTPartitioner dt(scorer, options_.dt);
+            SCORPION_ASSIGN_OR_RETURN(partitions, dt.Run());
+            session->partitions_ = partitions;
+            session->has_partitions_ = true;
+          }
+          if (cross_c_warm_start && warm_seeds.empty()) {
+            warm_seeds = session->WarmSeedsLocked(problem.c);
+          }
+        } else {
+          DTPartitioner dt(scorer, options_.dt);
+          SCORPION_ASSIGN_OR_RETURN(partitions, dt.Run());
+        }
+      }
+      if (have_result) break;
       // Influence scores depend on c; force the merger to rescore.
       for (ScoredPredicate& sp : partitions) {
-        sp.influence = -std::numeric_limits<double>::infinity();
+        sp.influence = kNegInf;
       }
-      // Warm start (Section 8.3.3): merge results computed at a higher c
-      // remain valid starting points when c decreases (lower c merges
-      // *more*, so prior merges are prefixes of the new merge sequence).
-      if (use_session_cache && cache_enabled_) {
-        auto it = merged_by_c_.lower_bound(problem.c);  // first key <= c...
-        // map is descending; lower_bound gives first key not greater-ordered
-        // than c, i.e. the smallest cached c' >= c is the previous element.
-        if (it != merged_by_c_.begin()) {
-          --it;  // smallest cached c' with c' >= problem.c
-          for (const ScoredPredicate& sp : it->second) {
-            ScoredPredicate seed = sp;
-            seed.influence = -std::numeric_limits<double>::infinity();
-            partitions.push_back(std::move(seed));
-          }
-        } else if (it != merged_by_c_.end() && it->first >= problem.c) {
-          for (const ScoredPredicate& sp : it->second) {
-            ScoredPredicate seed = sp;
-            seed.influence = -std::numeric_limits<double>::infinity();
-            partitions.push_back(std::move(seed));
-          }
-        }
+      for (const ScoredPredicate& sp : warm_seeds) {
+        ScoredPredicate seed = sp;
+        seed.influence = kNegInf;
+        partitions.push_back(std::move(seed));
       }
       SCORPION_ASSIGN_OR_RETURN(DomainMap domains,
                                 ComputeDomains(table, problem.attributes));
       Merger merger(scorer, std::move(domains), options_.merger);
       SCORPION_ASSIGN_OR_RETURN(std::vector<ScoredPredicate> merged,
                                 merger.Run(std::move(partitions)));
-      if (use_session_cache && cache_enabled_) {
-        merged_by_c_[problem.c] = merged;
+      if (session != nullptr) {
+        std::unique_lock<std::shared_mutex> lock(session->mu_);
+        session->StoreMergedLocked(problem.c, merged);
       }
       out.predicates = std::move(merged);
       break;

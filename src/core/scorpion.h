@@ -4,10 +4,13 @@
 // warm-started from results computed at a higher c).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
+#include "common/atomic_counter.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "core/naive.h"
@@ -32,6 +35,11 @@ struct Explanation {
   std::vector<NaiveCheckpoint> naive_checkpoints;
   /// True if NAIVE swept its whole space within the time budget.
   bool naive_exhausted = false;
+  /// True when a session served this run's DT partitions from cache.
+  bool cache_partitions_hit = false;
+  /// True when a session served the whole merged result (exact-c hit); the
+  /// run skipped partitioning and merging entirely.
+  bool cache_result_hit = false;
 
   /// The winning predicate. CHECK-fails (aborts with a message) when
   /// `predicates` is empty instead of silently dereferencing past the end;
@@ -45,6 +53,62 @@ struct Explanation {
   }
 };
 
+/// \brief Shareable Section 8.3.3 session cache.
+///
+/// Holds the c-agnostic DT partitions plus full merged result lists keyed by
+/// the c they were computed at, for one (table, query result, problem-sans-c)
+/// instance. Many threads may run Scorpion::ExplainShared() against one
+/// session concurrently: lookups take a shared lock, while computing the
+/// partitioning or storing a merged result takes the exclusive lock — so a
+/// burst of same-problem requests computes DT partitions exactly once and
+/// every other request reuses them (the property the ExplanationService's
+/// batching relies on).
+class ExplainSession {
+ public:
+  ExplainSession() = default;
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(ExplainSession);
+
+  /// Drops cached partitions and merged results.
+  void Clear();
+
+ private:
+  friend class Scorpion;
+
+  /// One cached merged result list with its recency stamp (atomic so exact-c
+  /// hits can refresh it under the shared lock).
+  struct MergedEntry {
+    std::vector<ScoredPredicate> merged;
+    RelaxedCounter stamp;
+  };
+
+  /// Cached c values kept per session; beyond this the least-recently-used
+  /// entry is evicted, so a client sweeping c continuously cannot grow the
+  /// session without bound.
+  static constexpr size_t kMaxMergedEntries = 16;
+
+  uint64_t NextStamp() {
+    return stamp_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Warm-start lookup (mu_ held): the merged list cached at the smallest
+  /// c' > c, copied out. Results merged at a higher c remain valid starting
+  /// points when c decreases (lower c merges *more*, so prior merges are
+  /// prefixes of the new merge sequence).
+  std::vector<ScoredPredicate> WarmSeedsLocked(double c) const;
+
+  /// Inserts/overwrites the merged list for c and evicts the LRU entry when
+  /// over kMaxMergedEntries (mu_ held exclusively).
+  void StoreMergedLocked(double c, std::vector<ScoredPredicate> merged);
+
+  mutable std::shared_mutex mu_;
+  bool has_partitions_ = false;
+  std::vector<ScoredPredicate> partitions_;
+  std::atomic<uint64_t> stamp_clock_{0};
+  // Merged results keyed by c, descending so the nearest-above lookup for
+  // warm starts walks prefix entries.
+  std::map<double, MergedEntry, std::greater<double>> merged_by_c_;
+};
+
 /// \brief End-to-end explanation engine.
 ///
 /// One-shot use:
@@ -55,6 +119,14 @@ struct Explanation {
 ///   scorpion.Prepare(table, query_result, problem);
 ///   auto e1 = scorpion.ExplainWithC(0.5);
 ///   auto e2 = scorpion.ExplainWithC(0.1);  // reuses DT partitions + merges
+///
+/// Shared-session use (many requests over one problem, see src/service/):
+///   ExplainSession session;
+///   auto e = scorpion.ExplainShared(table, qr, problem, &session);
+///
+/// A Scorpion instance is not safe for concurrent calls (options and the
+/// owned pool mutate between runs); concurrent callers each use their own
+/// Scorpion and share work through an ExplainSession + set_thread_pool().
 class Scorpion {
  public:
   explicit Scorpion(ScorpionOptions options = {});
@@ -66,6 +138,21 @@ class Scorpion {
   /// the returned Explanation only for predicate printing convenience.
   Result<Explanation> Explain(const Table& table, const QueryResult& result,
                               const ProblemSpec& problem);
+
+  /// Runs against a caller-owned, possibly concurrently shared session
+  /// (algorithm kDT only benefits; other algorithms ignore the session).
+  /// By default only result-invariant state is reused (DT partitions and
+  /// exact-c results), so every run is bit-identical to a sessionless
+  /// Explain(). Opting into `cross_c_warm_start` seeds the merge from
+  /// results cached at a higher c (Section 8.3.3) — influence can only
+  /// improve on a cold run, but the output then depends on which c values
+  /// were cached first, so runs are no longer bit-reproducible under
+  /// concurrency.
+  Result<Explanation> ExplainShared(const Table& table,
+                                    const QueryResult& result,
+                                    const ProblemSpec& problem,
+                                    ExplainSession* session,
+                                    bool cross_c_warm_start = false);
 
   /// Fixes the problem instance for a session; clears caches. The table and
   /// result must outlive the session.
@@ -84,32 +171,32 @@ class Scorpion {
   /// Drops cached partitions and merge results.
   void ClearCache();
 
+  /// Attaches an externally owned pool used instead of building one from
+  /// options().num_threads; the ExplanationService shares one scoring pool
+  /// across its workers this way. Pass nullptr to revert to the owned pool.
+  /// The pool must outlive this Scorpion's last Explain call.
+  void set_thread_pool(ThreadPool* pool) { external_pool_ = pool; }
+
  private:
   Result<Explanation> Run(const Table& table, const QueryResult& result,
-                          const ProblemSpec& problem, bool use_session_cache);
+                          const ProblemSpec& problem, ExplainSession* session,
+                          bool cross_c_warm_start);
 
-  /// Pool matching options_.num_threads, or nullptr when running serially.
-  /// Lazily (re)built so a facade whose options change between runs picks up
-  /// the new parallelism.
+  /// The external pool if set; otherwise a lazily (re)built owned pool
+  /// matching options_.num_threads, or nullptr when running serially.
   ThreadPool* EnsurePool();
 
   ScorpionOptions options_;
   bool cache_enabled_ = true;
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* external_pool_ = nullptr;
 
   // Session state (Prepare/ExplainWithC).
   const Table* table_ = nullptr;
   const QueryResult* result_ = nullptr;
   ProblemSpec problem_;
   bool prepared_ = false;
-
-  // Cross-c cache: DT partitions are independent of c; merged results are
-  // keyed by the c they were computed at (descending for nearest-above
-  // lookup).
-  bool has_cached_partitions_ = false;
-  std::vector<ScoredPredicate> cached_partitions_;
-  std::map<double, std::vector<ScoredPredicate>, std::greater<double>>
-      merged_by_c_;
+  ExplainSession session_;
 };
 
 }  // namespace scorpion

@@ -1,0 +1,68 @@
+// Request/Response types for the ExplanationService: one explanation job —
+// the problem instance plus serving metadata (priority, deadline) — and the
+// future the caller redeems for the result.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "core/problem.h"
+#include "core/scorpion.h"
+#include "query/groupby.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+/// \brief One explanation job submitted to the ExplanationService.
+///
+/// `table` and `query_result` are borrowed: they must stay alive until the
+/// response future is ready (the service never copies table data). Requests
+/// sharing the same table, query result, problem annotations and algorithm
+/// form one session key and share cached DT partitions / merged results.
+/// The key identifies the table and query result by address, so before
+/// freeing a served table and reusing its storage, call
+/// ExplanationService::InvalidateSessions() (or keep the table alive for
+/// the service's lifetime) — a new table at a recycled address would
+/// otherwise be served the old table's cached results.
+struct Request {
+  using Clock = std::chrono::steady_clock;
+  /// Sentinel meaning "no deadline".
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  const Table* table = nullptr;
+  const QueryResult* query_result = nullptr;
+  /// Outlier/hold-out annotations and knobs. `problem.c` is overridden by
+  /// `c` below, so one ProblemSpec can be reused across mixed-c requests.
+  ProblemSpec problem;
+  /// Cardinality exponent for this request (Section 7).
+  double c = 1.0;
+  Algorithm algorithm = Algorithm::kDT;
+  /// Higher-priority requests are dequeued first.
+  int priority = 0;
+  /// Requests not started by this instant complete with
+  /// Status::DeadlineExceeded instead of running.
+  Clock::time_point deadline = kNoDeadline;
+
+  /// Convenience: sets the deadline relative to now.
+  void set_deadline_after(double seconds) {
+    deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(seconds));
+  }
+};
+
+/// \brief Handle for a submitted request.
+///
+/// The future becomes ready with the Explanation, or with an error Status:
+///   - DeadlineExceeded: the deadline passed before the request ran.
+///   - Unavailable: shed on admission (queue full).
+///   - Cancelled: Cancel(id) or service shutdown removed it from the queue.
+struct Response {
+  /// Service-unique id, usable with ExplanationService::Cancel().
+  uint64_t id = 0;
+  std::future<Result<Explanation>> future;
+};
+
+}  // namespace scorpion

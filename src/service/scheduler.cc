@@ -1,0 +1,114 @@
+#include "service/scheduler.h"
+
+#include <utility>
+#include <vector>
+
+namespace scorpion {
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(std::move(options)) {
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+AdmissionResult Scheduler::Enqueue(ScheduledRequest item) {
+  ScheduledRequest shed_item;
+  AdmissionResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // Fulfil outside the lock, below.
+      shed_item = std::move(item);
+      result = AdmissionResult::kShutdown;
+    } else if (queue_.size() < options_.max_queue_depth) {
+      Order key = OrderOf(item);
+      queue_.emplace(key, std::move(item));
+      result = AdmissionResult::kAdmitted;
+    } else {
+      // Full: the admission loser — the incoming request or the
+      // worst-ordered queued one — is shed.
+      auto worst = std::prev(queue_.end());
+      Order key = OrderOf(item);
+      if (key < worst->first) {
+        shed_item = std::move(worst->second);
+        queue_.erase(worst);
+        queue_.emplace(key, std::move(item));
+        result = AdmissionResult::kAdmittedEvictedWorst;
+      } else {
+        shed_item = std::move(item);
+        result = AdmissionResult::kShed;
+      }
+    }
+  }
+  switch (result) {
+    case AdmissionResult::kAdmitted:
+      ready_cv_.notify_one();
+      break;
+    case AdmissionResult::kAdmittedEvictedWorst:
+      ready_cv_.notify_one();
+      shed_item.promise.set_value(
+          Status::Unavailable("request shed: queue full"));
+      break;
+    case AdmissionResult::kShed:
+      shed_item.promise.set_value(
+          Status::Unavailable("request shed: queue full"));
+      break;
+    case AdmissionResult::kShutdown:
+      shed_item.promise.set_value(
+          Status::Cancelled("scheduler is shut down"));
+      break;
+  }
+  return result;
+}
+
+bool Scheduler::Pop(ScheduledRequest* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // shutdown drained the queue
+  auto best = queue_.begin();
+  *out = std::move(best->second);
+  queue_.erase(best);
+  return true;
+}
+
+bool Scheduler::Cancel(uint64_t id) {
+  ScheduledRequest cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Linear scan: the queue is bounded by max_queue_depth and cancellation
+    // is off the serving hot path.
+    auto it = queue_.begin();
+    for (; it != queue_.end(); ++it) {
+      if (it->first.id == id) break;
+    }
+    if (it == queue_.end()) return false;
+    cancelled = std::move(it->second);
+    queue_.erase(it);
+  }
+  cancelled.promise.set_value(Status::Cancelled("request cancelled"));
+  return true;
+}
+
+size_t Scheduler::Shutdown() {
+  std::vector<ScheduledRequest> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && queue_.empty()) return 0;
+    shutdown_ = true;
+    drained.reserve(queue_.size());
+    for (auto& [key, item] : queue_) drained.push_back(std::move(item));
+    queue_.clear();
+  }
+  ready_cv_.notify_all();
+  for (ScheduledRequest& item : drained) {
+    item.promise.set_value(Status::Cancelled("service shut down"));
+  }
+  return drained.size();
+}
+
+size_t Scheduler::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace scorpion

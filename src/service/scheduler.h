@@ -1,0 +1,101 @@
+// Bounded submission queue for the ExplanationService: priority + deadline
+// ordered dequeue, admission control when full, per-request cancellation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/macros.h"
+#include "service/request.h"
+
+namespace scorpion {
+
+struct SchedulerOptions {
+  /// Maximum requests waiting to run; beyond this, admission control sheds.
+  size_t max_queue_depth = 256;
+};
+
+/// \brief One queued job: the request plus the promise its Response redeems
+/// and the submission timestamp for latency accounting.
+struct ScheduledRequest {
+  uint64_t id = 0;
+  Request request;
+  std::promise<Result<Explanation>> promise;
+  Request::Clock::time_point enqueue_time{};
+};
+
+/// How Enqueue() disposed of a request.
+enum class AdmissionResult {
+  kAdmitted,             // queued
+  kAdmittedEvictedWorst, // queued; the worst-ordered queued request was shed
+  kShed,                 // queue full and the request ordered worst; shed
+  kShutdown,             // scheduler shut down; request cancelled
+};
+
+/// \brief Bounded, priority + deadline ordered submission queue.
+///
+/// Dequeue order: higher priority first; within a priority, earlier deadline
+/// first; FIFO (by id) last. When the queue is full, the incoming request is
+/// compared against the worst-ordered queued one and the loser is shed with
+/// Status::Unavailable — producers never block on admission, and a full
+/// queue never keeps a worse request over a better one.
+///
+/// All methods are thread-safe; shed/cancelled/shutdown promises are
+/// fulfilled by the scheduler so every submitted future becomes ready.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options);
+  ~Scheduler();
+
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(Scheduler);
+
+  /// Admits `item` or sheds the admission loser (whose promise is failed
+  /// with Status::Unavailable). After Shutdown(), fails the promise with
+  /// Status::Cancelled and returns kShutdown.
+  AdmissionResult Enqueue(ScheduledRequest item);
+
+  /// Blocks until a request is available and moves the best-ordered one to
+  /// `out`. Returns false once the scheduler is shut down.
+  bool Pop(ScheduledRequest* out);
+
+  /// Removes a queued request, failing its promise with Status::Cancelled.
+  /// Returns false if the id is not queued (unknown, already popped, or
+  /// already finished).
+  bool Cancel(uint64_t id);
+
+  /// Stops admission, fails every queued request's promise with
+  /// Status::Cancelled, and wakes all Pop() callers. Idempotent. Returns
+  /// how many queued requests were cancelled.
+  size_t Shutdown();
+
+  size_t depth() const;
+
+ private:
+  /// Dequeue-order key; operator< orders best-first.
+  struct Order {
+    int priority = 0;
+    Request::Clock::time_point deadline{};
+    uint64_t id = 0;
+
+    bool operator<(const Order& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      if (deadline != other.deadline) return deadline < other.deadline;
+      return id < other.id;
+    }
+  };
+
+  static Order OrderOf(const ScheduledRequest& item) {
+    return Order{item.request.priority, item.request.deadline, item.id};
+  }
+
+  SchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::map<Order, ScheduledRequest> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace scorpion

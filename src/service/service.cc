@@ -1,0 +1,248 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace scorpion {
+
+namespace {
+
+/// Exact (bit-preserving) double rendering for key strings.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  *out += buf;
+}
+
+/// Session key: everything that fixes the DT partitioning and the merge
+/// inputs except c — the identity of the (borrowed) table and query result,
+/// the algorithm, and the problem annotations/knobs. Requests agreeing on
+/// this key can share cached partitions at any c.
+std::string ProblemKey(const Request& request) {
+  std::string key;
+  char head[96];
+  std::snprintf(head, sizeof(head), "%p|%p|%d|%d|",
+                static_cast<const void*>(request.table),
+                static_cast<const void*>(request.query_result),
+                static_cast<int>(request.algorithm),
+                static_cast<int>(request.problem.influence_mode));
+  key += head;
+  AppendDouble(&key, request.problem.lambda);
+  key += "o:";
+  for (int idx : request.problem.outliers) {
+    key += std::to_string(idx);
+    key += ',';
+  }
+  key += "h:";
+  for (int idx : request.problem.holdouts) {
+    key += std::to_string(idx);
+    key += ',';
+  }
+  key += "e:";
+  for (double ev : request.problem.error_vectors) AppendDouble(&key, ev);
+  key += "a:";
+  for (const std::string& attr : request.problem.attributes) {
+    key += attr;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+ExplanationService::ExplanationService(ServiceOptions options)
+    : options_(std::move(options)),
+      scheduler_(SchedulerOptions{options_.max_queue_depth}) {
+  if (options_.num_workers < 0) options_.num_workers = 0;
+  if (options_.session_cache_capacity == 0) options_.session_cache_capacity = 1;
+  int scoring_threads = options_.engine.num_threads;
+  if (scoring_threads == 0) scoring_threads = ThreadPool::DefaultNumThreads();
+  if (scoring_threads > 1) {
+    scoring_pool_ = std::make_unique<ThreadPool>(scoring_threads);
+  }
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExplanationService::~ExplanationService() { Shutdown(); }
+
+Response ExplanationService::Submit(Request request) {
+  Response response;
+  response.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+
+  ScheduledRequest item;
+  item.id = response.id;
+  item.enqueue_time = Request::Clock::now();
+  item.request = std::move(request);
+  response.future = item.promise.get_future();
+
+  // Fail fast before the request occupies queue space.
+  if (item.request.table == nullptr || item.request.query_result == nullptr) {
+    ++stats_.failed;
+    item.promise.set_value(
+        Status::InvalidArgument("request needs a table and a query result"));
+    return response;
+  }
+  ProblemSpec problem = item.request.problem;
+  problem.c = item.request.c;
+  Status valid = problem.Validate(*item.request.query_result);
+  if (!valid.ok()) {
+    ++stats_.failed;
+    item.promise.set_value(std::move(valid));
+    return response;
+  }
+
+  switch (scheduler_.Enqueue(std::move(item))) {
+    case AdmissionResult::kAdmitted:
+      ++stats_.submitted;
+      break;
+    case AdmissionResult::kAdmittedEvictedWorst:
+      ++stats_.submitted;
+      ++stats_.shed;
+      break;
+    case AdmissionResult::kShed:
+      ++stats_.shed;
+      break;
+    case AdmissionResult::kShutdown:
+      ++stats_.cancelled;
+      break;
+  }
+  return response;
+}
+
+std::vector<Response> ExplanationService::SubmitBatch(
+    std::vector<Request> requests) {
+  // Stable-group by session key so each key's first request computes the
+  // shared state (DT partitions) and the rest of its group arrives while it
+  // is fresh; responses keep the input order.
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<std::string, size_t> group_of_key;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::string key = ProblemKey(requests[i]);
+    auto [it, inserted] = group_of_key.emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+
+  std::vector<Response> responses(requests.size());
+  for (const std::vector<size_t>& group : groups) {
+    for (size_t i : group) {
+      responses[i] = Submit(std::move(requests[i]));
+    }
+  }
+  return responses;
+}
+
+void ExplanationService::InvalidateSessions() {
+  std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+  sessions_.clear();
+}
+
+bool ExplanationService::Cancel(uint64_t id) {
+  if (scheduler_.Cancel(id)) {
+    ++stats_.cancelled;
+    return true;
+  }
+  return false;
+}
+
+void ExplanationService::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shutdown_) return;
+  stats_.cancelled += scheduler_.Shutdown();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  shutdown_ = true;
+}
+
+ServiceStatsSnapshot ExplanationService::stats() const {
+  return stats_.Snapshot(scheduler_.depth());
+}
+
+std::shared_ptr<ExplainSession> ExplanationService::SessionFor(
+    const std::string& key) {
+  const uint64_t stamp = use_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = sessions_.find(key);
+    if (it != sessions_.end()) {
+      it->second->last_used.store(stamp, std::memory_order_relaxed);
+      return it->second->session;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    it->second->last_used.store(stamp, std::memory_order_relaxed);
+    return it->second->session;
+  }
+  if (sessions_.size() >= options_.session_cache_capacity) {
+    // Evict the least-recently-used key. Requests already holding the
+    // session keep it alive through their shared_ptr.
+    auto victim = sessions_.begin();
+    for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
+      if (cand->second->last_used.load(std::memory_order_relaxed) <
+          victim->second->last_used.load(std::memory_order_relaxed)) {
+        victim = cand;
+      }
+    }
+    sessions_.erase(victim);
+  }
+  auto entry = std::make_shared<SessionEntry>();
+  entry->last_used.store(stamp, std::memory_order_relaxed);
+  std::shared_ptr<ExplainSession> session = entry->session;
+  sessions_.emplace(key, std::move(entry));
+  return session;
+}
+
+void ExplanationService::WorkerLoop() {
+  ScheduledRequest item;
+  while (scheduler_.Pop(&item)) {
+    Execute(std::move(item));
+  }
+}
+
+void ExplanationService::Execute(ScheduledRequest item) {
+  const Request& req = item.request;
+  if (req.deadline != Request::kNoDeadline &&
+      Request::Clock::now() >= req.deadline) {
+    ++stats_.deadline_expired;
+    item.promise.set_value(
+        Status::DeadlineExceeded("deadline passed before the request ran"));
+    return;
+  }
+
+  ScorpionOptions engine_options = options_.engine;
+  engine_options.algorithm = req.algorithm;
+  Scorpion engine(engine_options);
+  engine.set_thread_pool(scoring_pool_.get());
+
+  ProblemSpec problem = req.problem;
+  problem.c = req.c;
+
+  Result<Explanation> result = [&]() -> Result<Explanation> {
+    if (options_.cache_enabled && req.algorithm == Algorithm::kDT) {
+      std::shared_ptr<ExplainSession> session = SessionFor(ProblemKey(req));
+      return engine.ExplainShared(*req.table, *req.query_result, problem,
+                                  session.get(), options_.cross_c_warm_start);
+    }
+    return engine.Explain(*req.table, *req.query_result, problem);
+  }();
+
+  if (result.ok()) {
+    ++stats_.completed;
+    if (result->cache_partitions_hit) ++stats_.cache_partition_hits;
+    if (result->cache_result_hit) ++stats_.cache_result_hits;
+    stats_.RecordLatency(std::chrono::duration<double>(
+                             Request::Clock::now() - item.enqueue_time)
+                             .count());
+  } else {
+    ++stats_.failed;
+  }
+  item.promise.set_value(std::move(result));
+}
+
+}  // namespace scorpion

@@ -1,0 +1,131 @@
+// ExplanationService: the async batched serving layer above the Scorpion
+// engine. Accepts many concurrent explanation requests, schedules them by
+// priority and deadline through a bounded queue, executes them on worker
+// threads that share one scoring ThreadPool, and reuses DT partitions /
+// merged results across requests through a keyed, LRU-bounded session cache
+// (the Section 8.3.3 cache generalized from one Prepare() session to many
+// concurrent problem keys).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "core/scorpion.h"
+#include "service/request.h"
+#include "service/scheduler.h"
+#include "service/stats.h"
+
+namespace scorpion {
+
+struct ServiceOptions {
+  /// Engine tuning shared by every request. `engine.algorithm` is overridden
+  /// per request; `engine.num_threads` sizes the shared scoring pool
+  /// (0 = one thread per hardware core, 1 = serial scoring).
+  ScorpionOptions engine;
+  /// Request-execution threads. 0 is allowed: requests queue but never run
+  /// (useful for tests and manual draining — Shutdown() cancels them).
+  int num_workers = 2;
+  /// Scheduler bound; beyond it, admission control sheds (see Scheduler).
+  size_t max_queue_depth = 256;
+  /// Problem keys kept in the session cache; least-recently-used beyond
+  /// this are evicted (in-flight requests keep their session alive).
+  size_t session_cache_capacity = 8;
+  /// Master switch for cross-request session reuse.
+  bool cache_enabled = true;
+  /// Enables Section 8.3.3 cross-c warm starts between cached c values.
+  /// Warm-started merges only improve influence, but the output then depends
+  /// on request completion order; the default keeps every response
+  /// byte-identical to a direct Scorpion::Explain() of the same request.
+  bool cross_c_warm_start = false;
+};
+
+/// \brief Async, batched front-end over the Scorpion engine.
+///
+///   ExplanationService service(options);
+///   Response r = service.Submit({.table = &t, .query_result = &qr,
+///                                .problem = problem, .c = 0.5});
+///   Result<Explanation> e = r.future.get();
+///
+/// All public methods are thread-safe. Tables and query results referenced
+/// by a request are borrowed and must outlive its future's readiness.
+class ExplanationService {
+ public:
+  explicit ExplanationService(ServiceOptions options = {});
+  ~ExplanationService();
+
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(ExplanationService);
+
+  /// Validates and enqueues one request. Never blocks on a full queue: the
+  /// future reports Unavailable when shed (see Response for the full error
+  /// contract).
+  Response Submit(Request request);
+
+  /// Submits a batch, grouped so requests sharing a session key are
+  /// enqueued back-to-back: the first request of each (table, query,
+  /// problem, algorithm) key computes the DT partitions once and the rest
+  /// of the group reuses them (and exact-c repeats reuse whole results).
+  /// Responses are returned in the order of `requests`.
+  std::vector<Response> SubmitBatch(std::vector<Request> requests);
+
+  /// Cancels a queued request (its future reports Cancelled). False if the
+  /// request already started, finished, or was never queued.
+  bool Cancel(uint64_t id);
+
+  /// Drops every cached session. Session keys identify the borrowed tables
+  /// and query results by address, so before freeing a table the service
+  /// has served (and then reusing its storage), call this — a later table
+  /// allocated at a recycled address would otherwise hit the stale
+  /// session's cached results. In-flight requests finish safely on their
+  /// own shared_ptr reference.
+  void InvalidateSessions();
+
+  /// Stops admission, cancels queued requests, and joins the workers after
+  /// their in-flight requests finish. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServiceStatsSnapshot stats() const;
+  size_t queue_depth() const { return scheduler_.depth(); }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct SessionEntry {
+    std::shared_ptr<ExplainSession> session = std::make_shared<ExplainSession>();
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  /// Looks up (shared lock) or creates (exclusive lock, LRU-evicting) the
+  /// session for a problem key.
+  std::shared_ptr<ExplainSession> SessionFor(const std::string& key);
+
+  void WorkerLoop();
+  void Execute(ScheduledRequest item);
+
+  ServiceOptions options_;
+  std::unique_ptr<ThreadPool> scoring_pool_;  // nullptr = serial scoring
+  Scheduler scheduler_;
+  ServiceStats stats_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> use_clock_{0};
+  // Serializes Shutdown(): a concurrent second caller blocks until the
+  // winner has joined the workers, so "after Shutdown() returns, nothing
+  // touches the service or the borrowed tables" holds for every caller.
+  std::mutex shutdown_mu_;
+  bool shutdown_ = false;
+
+  mutable std::shared_mutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scorpion

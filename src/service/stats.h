@@ -1,0 +1,102 @@
+// Per-service counters and latency tracking for the ExplanationService,
+// consumed by tests and bench_service_throughput.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/atomic_counter.h"
+
+namespace scorpion {
+
+/// \brief Point-in-time view of the service's traffic.
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;          // accepted into the queue
+  uint64_t completed = 0;          // future fulfilled with an Explanation
+  uint64_t failed = 0;             // engine returned an error Status
+  uint64_t shed = 0;               // rejected/evicted on admission (queue full)
+  uint64_t cancelled = 0;          // removed via Cancel() or shutdown
+  uint64_t deadline_expired = 0;   // deadline passed before the run started
+  uint64_t cache_partition_hits = 0;  // runs served DT partitions from cache
+  uint64_t cache_result_hits = 0;     // runs served the full merged result
+  size_t queue_depth = 0;          // requests waiting right now
+  double p50_latency_seconds = 0.0;  // submit-to-completion, completed only
+  double p95_latency_seconds = 0.0;
+
+  /// Fraction of completed runs that reused session state (either layer).
+  double CacheHitRate() const {
+    return completed == 0
+               ? 0.0
+               : static_cast<double>(cache_partition_hits + cache_result_hits) /
+                     static_cast<double>(completed);
+  }
+};
+
+/// \brief Mutable counters updated by the service's producer and worker
+/// threads; Snapshot() assembles the exported view.
+class ServiceStats {
+ public:
+  RelaxedCounter submitted;
+  RelaxedCounter completed;
+  RelaxedCounter failed;
+  RelaxedCounter shed;
+  RelaxedCounter cancelled;
+  RelaxedCounter deadline_expired;
+  RelaxedCounter cache_partition_hits;
+  RelaxedCounter cache_result_hits;
+
+  /// Records one completed request's submit-to-completion latency. Samples
+  /// live in a fixed-size ring, so quantiles cover the most recent
+  /// kMaxLatencySamples completions and memory stays bounded on
+  /// long-running services.
+  void RecordLatency(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (latencies_.size() < kMaxLatencySamples) {
+      latencies_.push_back(seconds);
+    } else {
+      latencies_[write_pos_] = seconds;
+      write_pos_ = (write_pos_ + 1) % kMaxLatencySamples;
+    }
+  }
+
+  ServiceStatsSnapshot Snapshot(size_t queue_depth) const {
+    ServiceStatsSnapshot snap;
+    snap.submitted = submitted.load();
+    snap.completed = completed.load();
+    snap.failed = failed.load();
+    snap.shed = shed.load();
+    snap.cancelled = cancelled.load();
+    snap.deadline_expired = deadline_expired.load();
+    snap.cache_partition_hits = cache_partition_hits.load();
+    snap.cache_result_hits = cache_result_hits.load();
+    snap.queue_depth = queue_depth;
+    std::vector<double> sorted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sorted = latencies_;
+    }
+    std::sort(sorted.begin(), sorted.end());
+    snap.p50_latency_seconds = QuantileOfSorted(sorted, 0.50);
+    snap.p95_latency_seconds = QuantileOfSorted(sorted, 0.95);
+    return snap;
+  }
+
+ private:
+  static constexpr size_t kMaxLatencySamples = 4096;
+
+  /// Nearest-rank quantile of an ascending-sorted sample.
+  static double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  mutable std::mutex mu_;
+  std::vector<double> latencies_;
+  size_t write_pos_ = 0;
+};
+
+}  // namespace scorpion

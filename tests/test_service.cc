@@ -1,0 +1,441 @@
+// ExplanationService contract: concurrent Submit from many threads produces
+// results byte-identical to direct Scorpion::Explain(), batch submission
+// reuses the keyed session cache, deadlines/shedding/cancellation surface
+// the right Status codes, and the scheduler orders by priority + deadline.
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "query/groupby.h"
+#include "service/scheduler.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+struct Fixture {
+  SynthDataset dataset;
+  QueryResult qr;
+  ProblemSpec problem;
+};
+
+Fixture MakeFixture(uint64_t seed, const std::string& aggregate = "SUM") {
+  SynthOptions opts = SynthPreset(2, /*easy=*/true, seed);
+  opts.num_groups = 6;
+  opts.tuples_per_group = 250;
+  Fixture f;
+  f.dataset = GenerateSynth(opts).ValueOrDie();
+  f.dataset.query.aggregate = aggregate;
+  f.qr = ExecuteGroupBy(f.dataset.table, f.dataset.query).ValueOrDie();
+  f.problem = MakeProblem(f.qr, f.dataset.outlier_keys,
+                          f.dataset.holdout_keys, /*error_direction=*/1.0,
+                          /*lambda=*/0.5, /*c=*/1.0, f.dataset.attributes)
+                  .ValueOrDie();
+  return f;
+}
+
+Request MakeRequest(const Fixture& f, double c,
+                    Algorithm algorithm = Algorithm::kDT) {
+  Request req;
+  req.table = &f.dataset.table;
+  req.query_result = &f.qr;
+  req.problem = f.problem;
+  req.c = c;
+  req.algorithm = algorithm;
+  return req;
+}
+
+void ExpectSameExplanation(const Explanation& expected,
+                           const Explanation& actual) {
+  ASSERT_EQ(expected.predicates.size(), actual.predicates.size());
+  for (size_t i = 0; i < expected.predicates.size(); ++i) {
+    EXPECT_EQ(expected.predicates[i].pred.ToString(),
+              actual.predicates[i].pred.ToString())
+        << "rank " << i;
+    EXPECT_EQ(expected.predicates[i].influence,
+              actual.predicates[i].influence)
+        << "rank " << i;
+  }
+}
+
+// --- Scheduler unit tests ---------------------------------------------------
+
+ScheduledRequest MakeScheduled(uint64_t id, int priority,
+                               Request::Clock::time_point deadline =
+                                   Request::kNoDeadline) {
+  ScheduledRequest item;
+  item.id = id;
+  item.request.priority = priority;
+  item.request.deadline = deadline;
+  return item;
+}
+
+TEST(Scheduler, PopsByPriorityThenDeadlineThenFifo) {
+  Scheduler scheduler(SchedulerOptions{16});
+  auto soon = Request::Clock::now() + std::chrono::seconds(1);
+  auto later = Request::Clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(scheduler.Enqueue(MakeScheduled(1, 0)), AdmissionResult::kAdmitted);
+  EXPECT_EQ(scheduler.Enqueue(MakeScheduled(2, 5, later)),
+            AdmissionResult::kAdmitted);
+  EXPECT_EQ(scheduler.Enqueue(MakeScheduled(3, 5, soon)),
+            AdmissionResult::kAdmitted);
+  EXPECT_EQ(scheduler.Enqueue(MakeScheduled(4, 0)), AdmissionResult::kAdmitted);
+
+  ScheduledRequest out;
+  ASSERT_TRUE(scheduler.Pop(&out));
+  EXPECT_EQ(out.id, 3u);  // highest priority, earliest deadline
+  ASSERT_TRUE(scheduler.Pop(&out));
+  EXPECT_EQ(out.id, 2u);  // highest priority, later deadline
+  ASSERT_TRUE(scheduler.Pop(&out));
+  EXPECT_EQ(out.id, 1u);  // FIFO within priority 0
+  ASSERT_TRUE(scheduler.Pop(&out));
+  EXPECT_EQ(out.id, 4u);
+}
+
+TEST(Scheduler, FullQueueShedsWorstNotBest) {
+  Scheduler scheduler(SchedulerOptions{2});
+  ScheduledRequest low1 = MakeScheduled(1, 1);
+  ScheduledRequest low2 = MakeScheduled(2, 1);
+  auto low2_future = low2.promise.get_future();
+  EXPECT_EQ(scheduler.Enqueue(std::move(low1)), AdmissionResult::kAdmitted);
+  EXPECT_EQ(scheduler.Enqueue(std::move(low2)), AdmissionResult::kAdmitted);
+
+  // A worse-or-equal incoming request is the admission loser.
+  ScheduledRequest low3 = MakeScheduled(3, 1);
+  auto low3_future = low3.promise.get_future();
+  EXPECT_EQ(scheduler.Enqueue(std::move(low3)), AdmissionResult::kShed);
+  EXPECT_TRUE(low3_future.get().status().IsUnavailable());
+
+  // A better incoming request evicts the worst queued one (id 2: same
+  // priority as id 1 but later FIFO order).
+  ScheduledRequest high = MakeScheduled(4, 9);
+  EXPECT_EQ(scheduler.Enqueue(std::move(high)),
+            AdmissionResult::kAdmittedEvictedWorst);
+  EXPECT_TRUE(low2_future.get().status().IsUnavailable());
+
+  ScheduledRequest out;
+  ASSERT_TRUE(scheduler.Pop(&out));
+  EXPECT_EQ(out.id, 4u);
+  ASSERT_TRUE(scheduler.Pop(&out));
+  EXPECT_EQ(out.id, 1u);
+  EXPECT_EQ(scheduler.depth(), 0u);
+}
+
+TEST(Scheduler, CancelRemovesQueuedRequest) {
+  Scheduler scheduler(SchedulerOptions{8});
+  ScheduledRequest item = MakeScheduled(7, 0);
+  auto future = item.promise.get_future();
+  EXPECT_EQ(scheduler.Enqueue(std::move(item)), AdmissionResult::kAdmitted);
+  EXPECT_TRUE(scheduler.Cancel(7));
+  EXPECT_TRUE(future.get().status().IsCancelled());
+  EXPECT_FALSE(scheduler.Cancel(7));  // already gone
+  EXPECT_EQ(scheduler.depth(), 0u);
+}
+
+TEST(Scheduler, ShutdownCancelsQueuedAndRejectsNew) {
+  Scheduler scheduler(SchedulerOptions{8});
+  ScheduledRequest item = MakeScheduled(1, 0);
+  auto queued_future = item.promise.get_future();
+  EXPECT_EQ(scheduler.Enqueue(std::move(item)), AdmissionResult::kAdmitted);
+  scheduler.Shutdown();
+  EXPECT_TRUE(queued_future.get().status().IsCancelled());
+
+  ScheduledRequest late = MakeScheduled(2, 0);
+  auto late_future = late.promise.get_future();
+  EXPECT_EQ(scheduler.Enqueue(std::move(late)), AdmissionResult::kShutdown);
+  EXPECT_TRUE(late_future.get().status().IsCancelled());
+
+  ScheduledRequest out;
+  EXPECT_FALSE(scheduler.Pop(&out));
+}
+
+// --- Service tests ----------------------------------------------------------
+
+TEST(ExplanationService, ConcurrentSubmitsMatchDirectExplainByteForByte) {
+  // The acceptance scenario: 8 concurrent clients, ~50 mixed-c requests over
+  // 2 problem keys. Every response must be byte-identical to a direct
+  // serial Scorpion::Explain() of the same request, and the repeated keys
+  // must hit the session cache.
+  Fixture fixtures[2] = {MakeFixture(17), MakeFixture(29)};
+  const std::vector<double> cs = {0.5, 0.3, 0.1};
+
+  // Direct serial baselines, one per (fixture, c).
+  Explanation expected[2][3];
+  for (int f = 0; f < 2; ++f) {
+    for (size_t ci = 0; ci < cs.size(); ++ci) {
+      Scorpion engine;  // default options: kDT, num_threads = 1
+      ProblemSpec problem = fixtures[f].problem;
+      problem.c = cs[ci];
+      auto e = engine.Explain(fixtures[f].dataset.table, fixtures[f].qr,
+                              problem);
+      ASSERT_TRUE(e.ok()) << e.status().ToString();
+      expected[f][ci] = std::move(*e);
+    }
+  }
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.engine.num_threads = 2;  // shared scoring pool, still bit-identical
+  ExplanationService service(options);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 7;  // 56 requests total
+  struct Issued {
+    int fixture;
+    size_t c_index;
+    Response response;
+  };
+  std::vector<std::vector<Issued>> per_client(kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        int f = (t + r) % 2;
+        size_t ci = static_cast<size_t>(t + 2 * r) % cs.size();
+        Issued issued;
+        issued.fixture = f;
+        issued.c_index = ci;
+        issued.response =
+            service.Submit(MakeRequest(fixtures[f], cs[ci]));
+        per_client[t].push_back(std::move(issued));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (auto& issued_list : per_client) {
+    for (Issued& issued : issued_list) {
+      auto result = issued.response.future.get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectSameExplanation(expected[issued.fixture][issued.c_index],
+                            *result);
+    }
+  }
+
+  ServiceStatsSnapshot snap = service.stats();
+  EXPECT_EQ(snap.submitted, static_cast<uint64_t>(kClients *
+                                                  kRequestsPerClient));
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.shed, 0u);
+  // 56 requests over 6 (key, c) pairs: the repeats must reuse session state.
+  EXPECT_GT(snap.cache_partition_hits + snap.cache_result_hits, 0u);
+  EXPECT_GT(snap.p95_latency_seconds, 0.0);
+  EXPECT_GE(snap.p95_latency_seconds, snap.p50_latency_seconds);
+}
+
+TEST(ExplanationService, BatchGroupsByKeyAndHitsSessionCache) {
+  Fixture f = MakeFixture(41);
+  ServiceOptions options;
+  options.num_workers = 1;  // deterministic execution order
+  ExplanationService service(options);
+
+  // Same problem key throughout: first request computes the DT partitions,
+  // the repeated c reuses the whole merged result, the fresh c reuses the
+  // partitions.
+  std::vector<Request> batch;
+  batch.push_back(MakeRequest(f, 0.5));
+  batch.push_back(MakeRequest(f, 0.5));
+  batch.push_back(MakeRequest(f, 0.2));
+  std::vector<Response> responses = service.SubmitBatch(std::move(batch));
+  ASSERT_EQ(responses.size(), 3u);
+
+  std::vector<Explanation> results;
+  for (Response& response : responses) {
+    auto result = response.future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    results.push_back(std::move(*result));
+  }
+  ExpectSameExplanation(results[0], results[1]);  // exact-c repeat
+
+  EXPECT_FALSE(results[0].cache_partitions_hit);
+  EXPECT_TRUE(results[1].cache_result_hit);
+  EXPECT_TRUE(results[2].cache_partitions_hit);
+  EXPECT_FALSE(results[2].cache_result_hit);
+
+  ServiceStatsSnapshot snap = service.stats();
+  EXPECT_GE(snap.cache_result_hits, 1u);
+  EXPECT_GE(snap.cache_partition_hits, 1u);
+  EXPECT_GT(snap.CacheHitRate(), 0.0);
+}
+
+TEST(ExplanationService, InvalidateSessionsForcesRecompute) {
+  Fixture f = MakeFixture(71);
+  ServiceOptions options;
+  options.num_workers = 1;
+  ExplanationService service(options);
+
+  auto first = service.Submit(MakeRequest(f, 0.5)).future.get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_partitions_hit);
+
+  auto warm = service.Submit(MakeRequest(f, 0.5)).future.get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_result_hit);
+
+  // After invalidation the same key recomputes from scratch — the path a
+  // client must take before retiring a served table.
+  service.InvalidateSessions();
+  auto cold = service.Submit(MakeRequest(f, 0.5)).future.get();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_partitions_hit);
+  EXPECT_FALSE(cold->cache_result_hit);
+  ExpectSameExplanation(*first, *cold);
+}
+
+TEST(ExplanationService, SessionBoundsCachedCValues) {
+  // A client sweeping c must not grow a session without bound: per-session
+  // merged results are LRU-capped (ExplainSession::kMaxMergedEntries = 16),
+  // so after 17 distinct c values the oldest is evicted while the newest
+  // still hits.
+  Fixture f = MakeFixture(73);
+  ServiceOptions options;
+  options.num_workers = 1;
+  ExplanationService service(options);
+
+  const double oldest_c = 0.90;
+  double newest_c = 0.0;
+  for (int i = 0; i < 17; ++i) {
+    newest_c = oldest_c - 0.01 * i;
+    ASSERT_TRUE(service.Submit(MakeRequest(f, newest_c)).future.get().ok());
+  }
+
+  auto newest = service.Submit(MakeRequest(f, newest_c)).future.get();
+  ASSERT_TRUE(newest.ok());
+  EXPECT_TRUE(newest->cache_result_hit);
+
+  auto evicted = service.Submit(MakeRequest(f, oldest_c)).future.get();
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_FALSE(evicted->cache_result_hit);      // recomputed...
+  EXPECT_TRUE(evicted->cache_partitions_hit);   // ...from cached partitions
+}
+
+TEST(ExplanationService, ExpiredDeadlineReturnsDeadlineExceeded) {
+  Fixture f = MakeFixture(43);
+  ServiceOptions options;
+  options.num_workers = 1;
+  ExplanationService service(options);
+
+  Request late = MakeRequest(f, 0.5);
+  late.deadline = Request::Clock::now() - std::chrono::milliseconds(1);
+  Response response = service.Submit(std::move(late));
+  EXPECT_TRUE(response.future.get().status().IsDeadlineExceeded());
+  EXPECT_GE(service.stats().deadline_expired, 1u);
+
+  // A deadline in the future still runs.
+  Request in_time = MakeRequest(f, 0.5);
+  in_time.set_deadline_after(120.0);
+  Response ok_response = service.Submit(std::move(in_time));
+  EXPECT_TRUE(ok_response.future.get().ok());
+}
+
+TEST(ExplanationService, ShedsWhenQueueIsFull) {
+  Fixture f = MakeFixture(47);
+  ServiceOptions options;
+  options.num_workers = 0;  // nothing drains the queue
+  options.max_queue_depth = 3;
+  ExplanationService service(options);
+
+  std::vector<Response> responses;
+  for (int i = 0; i < 5; ++i) {
+    responses.push_back(service.Submit(MakeRequest(f, 0.5)));
+  }
+  // Equal priority: the two submissions past the bound lose admission.
+  EXPECT_TRUE(responses[3].future.get().status().IsUnavailable());
+  EXPECT_TRUE(responses[4].future.get().status().IsUnavailable());
+  EXPECT_EQ(service.stats().shed, 2u);
+  EXPECT_EQ(service.queue_depth(), 3u);
+
+  // Shutdown cancels what never ran.
+  service.Shutdown();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(responses[i].future.get().status().IsCancelled());
+  }
+  EXPECT_EQ(service.stats().cancelled, 3u);
+}
+
+TEST(ExplanationService, CancelRemovesQueuedRequest) {
+  Fixture f = MakeFixture(53);
+  ServiceOptions options;
+  options.num_workers = 0;
+  ExplanationService service(options);
+
+  Response response = service.Submit(MakeRequest(f, 0.5));
+  EXPECT_TRUE(service.Cancel(response.id));
+  EXPECT_TRUE(response.future.get().status().IsCancelled());
+  EXPECT_FALSE(service.Cancel(response.id));
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(ExplanationService, RejectsInvalidRequestsUpFront) {
+  Fixture f = MakeFixture(59);
+
+  ExplanationService service;
+  Request no_table;
+  Response r1 = service.Submit(std::move(no_table));
+  EXPECT_TRUE(r1.future.get().status().IsInvalidArgument());
+
+  Request bad_problem = MakeRequest(f, 0.5);
+  bad_problem.problem.outliers.push_back(10'000);  // out of range
+  Response r2 = service.Submit(std::move(bad_problem));
+  EXPECT_TRUE(r2.future.get().status().IsIndexError());
+  EXPECT_EQ(service.stats().submitted, 0u);
+  EXPECT_EQ(service.stats().failed, 2u);
+}
+
+TEST(ExplanationService, ServesNaiveAndMCAlgorithms) {
+  Fixture f = MakeFixture(61);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.engine.naive.num_continuous_splits = 5;
+  options.engine.naive.time_budget_seconds = 120.0;
+  ExplanationService service(options);
+
+  Response mc = service.Submit(MakeRequest(f, 0.5, Algorithm::kMC));
+  Response naive = service.Submit(MakeRequest(f, 0.5, Algorithm::kNaive));
+
+  for (Algorithm algorithm : {Algorithm::kMC, Algorithm::kNaive}) {
+    ScorpionOptions direct_options = options.engine;
+    direct_options.algorithm = algorithm;
+    Scorpion engine(direct_options);
+    ProblemSpec problem = f.problem;
+    problem.c = 0.5;
+    auto direct = engine.Explain(f.dataset.table, f.qr, problem);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    auto served = (algorithm == Algorithm::kMC ? mc : naive).future.get();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    ExpectSameExplanation(*direct, *served);
+  }
+}
+
+TEST(ExplanationService, WarmStartModeOnlyImprovesInfluence) {
+  Fixture f = MakeFixture(67);
+  ServiceOptions options;
+  options.num_workers = 1;  // descending-c completion order, like Figure 16
+  options.cross_c_warm_start = true;
+  ExplanationService service(options);
+
+  for (double c : {0.5, 0.3, 0.1}) {
+    auto warm = service.Submit(MakeRequest(f, c)).future.get();
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+    Scorpion cold;
+    ProblemSpec problem = f.problem;
+    problem.c = c;
+    auto direct = cold.Explain(f.dataset.table, f.qr, problem);
+    ASSERT_TRUE(direct.ok());
+    // Extra warm-start seeds can only improve (or tie) the merge.
+    EXPECT_GE(warm->best().influence, direct->best().influence - 1e-12)
+        << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace scorpion

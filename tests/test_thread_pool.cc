@@ -142,6 +142,32 @@ TEST(ThreadPool, ActuallyRunsOnMultipleThreads) {
   EXPECT_GT(ids.size(), 1u);
 }
 
+TEST(ThreadPool, ConcurrentProducersEachSeeTheirOwnCompletion) {
+  // Multiple threads issue ParallelFor calls on one shared pool (the
+  // ExplanationService's usage). Completion is per call: every producer must
+  // observe all of its own indices done the moment its call returns, no
+  // matter what the other producers still have in flight.
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kRounds = 20;
+  constexpr size_t kN = 513;
+  std::vector<std::thread> producers;
+  std::atomic<int> failures{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<int> hits(kN, 0);
+        pool.ParallelFor(0, kN, [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < kN; ++i) {
+          if (hits[i] != 1) ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(ParallelForOver, NullPoolRunsSerialInCallerThread) {
   std::vector<size_t> order;
   ParallelForOver(nullptr, 3, 8, [&](size_t i) { order.push_back(i); });
