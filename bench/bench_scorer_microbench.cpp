@@ -77,7 +77,7 @@ void BM_TupleInfluence(benchmark::State& state) {
   Fixture& f = Fixture::Get("AVG");
   Scorer scorer = Scorer::Make(f.dataset.table, f.qr, f.problem).ValueOrDie();
   int outlier = f.problem.outliers[0];
-  const RowIdList& group = f.qr.results[outlier].input_group;
+  const RowIdList& group = f.qr.results[outlier].input_group.rows();
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -86,6 +86,33 @@ void BM_TupleInfluence(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TupleInfluence);
+
+// Data-plane traffic per full-influence score: how many rows a score pushes
+// through the vectorized filter kernels, how many kernel invocations that
+// takes, and whether any bitmap<->vector representation conversions happen
+// on the way (they should not: input groups and gather outputs both stay in
+// vector form on this path).
+void BM_ScorerDataPlaneStats(benchmark::State& state) {
+  Fixture& f = Fixture::Get("AVG");
+  Scorer scorer = Scorer::Make(f.dataset.table, f.qr, f.problem).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Influence(f.pred).ValueOrDie());
+  }
+  const ScorerStats& stats = scorer.stats();
+  const double per_iter = 1.0 / static_cast<double>(state.iterations());
+  state.counters["rows_filtered"] =
+      static_cast<double>(stats.rows_filtered.load()) * per_iter;
+  state.counters["filter_kernels"] =
+      static_cast<double>(stats.filter_kernels.load()) * per_iter;
+  state.counters["bitmap_to_vector"] =
+      static_cast<double>(stats.bitmap_to_vector.load()) * per_iter;
+  state.counters["vector_to_bitmap"] =
+      static_cast<double>(stats.vector_to_bitmap.load()) * per_iter;
+  state.counters["match_cache_hits"] =
+      static_cast<double>(stats.match_cache_hits.load()) * per_iter;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScorerDataPlaneStats);
 
 void BM_MergerEstimateVsExact(benchmark::State& state) {
   // Estimate path: two synthetic partitions with cached tuples.
@@ -102,7 +129,8 @@ void BM_MergerEstimateVsExact(benchmark::State& state) {
     (void)sp.pred.AddRange({"A1", lo, hi, false});
     (void)sp.pred.AddRange({"A2", lo, hi, false});
     sp.info.has_representative = true;
-    sp.info.representative = f.qr.results[f.problem.outliers[0]].input_group[0];
+    sp.info.representative =
+        f.qr.results[f.problem.outliers[0]].input_group.rows()[0];
     sp.info.outlier_counts.assign(f.problem.outliers.size(), 100);
     return sp;
   };

@@ -108,7 +108,7 @@ int main() {
   std::printf("\n== Results after deleting matching tuples ==\n");
   for (int i = 0; i < static_cast<int>(qr->results.size()); ++i) {
     const AggregateResult& r = qr->results[i];
-    RowIdList matched = bound->Filter(r.input_group);
+    Selection matched = bound->Filter(r.input_group);
     double updated = scorer->UpdatedValue(i, matched);
     std::printf("  %-5s %8.2f -> %8.2f  (%zu tuples removed)\n",
                 r.key_string.c_str(), r.value, updated, matched.size());

@@ -38,6 +38,11 @@ std::vector<double> ExtractValues(const Column& column, const RowIdList& rows) {
   return out;
 }
 
+std::vector<double> ExtractValues(const Column& column,
+                                  const Selection& selection) {
+  return ExtractValues(column, selection.rows());
+}
+
 Result<const Aggregate*> GetAggregate(const std::string& name) {
   std::string upper = name;
   std::transform(upper.begin(), upper.end(), upper.begin(),

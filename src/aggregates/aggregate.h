@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "table/column.h"
+#include "table/selection.h"
 
 namespace scorpion {
 
@@ -74,6 +75,10 @@ class Aggregate {
 
 /// Gathers `column[r]` for each row in `rows` (column must be kDouble).
 std::vector<double> ExtractValues(const Column& column, const RowIdList& rows);
+
+/// Gathers `column[r]` for each selected row, in ascending row order.
+std::vector<double> ExtractValues(const Column& column,
+                                  const Selection& selection);
 
 /// Looks up a registered aggregate by (case-insensitive) name.
 /// Registered: COUNT, SUM, AVG, VARIANCE, STDDEV, MIN, MAX, MEDIAN.

@@ -41,3 +41,13 @@
       std::abort();                                                    \
     }                                                                  \
   } while (false)
+
+/// SCORPION_CHECK compiled out of release builds; for contract checks on
+/// per-row hot paths where even the untaken branch costs throughput.
+#ifdef NDEBUG
+#define SCORPION_DCHECK(cond, msg) \
+  do {                             \
+  } while (false)
+#else
+#define SCORPION_DCHECK(cond, msg) SCORPION_CHECK(cond, msg)
+#endif

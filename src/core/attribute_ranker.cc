@@ -76,7 +76,7 @@ Result<std::vector<AttributeScore>> RankAttributes(
   std::vector<double> influences;
   const ProblemSpec& problem = scorer.problem();
   for (int idx : problem.outliers) {
-    for (RowId r : scorer.query_result().results[idx].input_group) {
+    for (RowId r : scorer.query_result().results[idx].input_group.rows()) {
       double inf = scorer.TupleInfluence(idx, r);
       if (!std::isfinite(inf)) continue;
       rows.push_back(r);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
 
@@ -71,21 +72,24 @@ void DTPartitioner::PopulateSample(GroupSlice* slice, double rate,
         rng_.SampleWithoutReplacement(static_cast<uint32_t>(n),
                                       static_cast<uint32_t>(k));
     std::sort(picks.begin(), picks.end());
-    slice->sample.clear();
-    slice->sample.reserve(k);
-    for (uint32_t p : picks) slice->sample.push_back(slice->rows[p]);
+    const RowIdList& base = slice->rows.rows();
+    RowIdList drawn;
+    drawn.reserve(k);
+    for (uint32_t p : picks) drawn.push_back(base[p]);
+    slice->sample =
+        Selection::FromSorted(std::move(drawn), slice->rows.universe_size());
   }
   stats_.sampled_tuples += slice->sample.size();
 
   // Influence per sampled row: cache hits resolve serially, misses compute
   // in parallel (Scorer::TupleInfluence only touches immutable caches and
   // atomic counters), then the memo is filled back serially.
-  const size_t num_sampled = slice->sample.size();
+  const RowIdList& sampled = slice->sample.rows();
+  const size_t num_sampled = sampled.size();
   slice->inf.assign(num_sampled, 0.0);
   std::vector<size_t> misses;
   for (size_t i = 0; i < num_sampled; ++i) {
-    auto it =
-        influence_cache_.find(CacheKey(slice->result_idx, slice->sample[i]));
+    auto it = influence_cache_.find(CacheKey(slice->result_idx, sampled[i]));
     if (it != influence_cache_.end()) {
       slice->inf[i] = it->second;
     } else {
@@ -95,13 +99,13 @@ void DTPartitioner::PopulateSample(GroupSlice* slice, double rate,
   stats_.tuple_influences += misses.size();
   ParallelForOver(scorer_.thread_pool(), 0, misses.size(), [&](size_t j) {
     const size_t i = misses[j];
-    double inf = scorer_.TupleInfluence(slice->result_idx, slice->sample[i]);
+    double inf = scorer_.TupleInfluence(slice->result_idx, sampled[i]);
     if (!is_outlier) inf = std::fabs(inf);  // hold-outs penalize any change
     if (!std::isfinite(inf)) inf = 0.0;
     slice->inf[i] = inf;
   });
   for (size_t i : misses) {
-    influence_cache_.emplace(CacheKey(slice->result_idx, slice->sample[i]),
+    influence_cache_.emplace(CacheKey(slice->result_idx, sampled[i]),
                              slice->inf[i]);
   }
 }
@@ -123,7 +127,7 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
       // Candidate split points: quantiles of the node's sampled values.
       std::vector<double> values;
       for (const GroupSlice& g : node.groups) {
-        for (RowId r : g.sample) values.push_back(col->GetDouble(r));
+        for (RowId r : g.sample.rows()) values.push_back(col->GetDouble(r));
       }
       if (values.size() < 2) return;
       std::sort(values.begin(), values.end());
@@ -145,8 +149,9 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
         size_t total_left = 0, total_right = 0;
         for (const GroupSlice& g : node.groups) {
           std::vector<double> left, right;
-          for (size_t i = 0; i < g.sample.size(); ++i) {
-            if (col->GetDouble(g.sample[i]) < split) {
+          const RowIdList& sampled = g.sample.rows();
+          for (size_t i = 0; i < sampled.size(); ++i) {
+            if (col->GetDouble(sampled[i]) < split) {
               left.push_back(g.inf[i]);
             } else {
               right.push_back(g.inf[i]);
@@ -169,7 +174,7 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
       // Discrete: binary splits {v} vs rest, over the most frequent codes.
       std::unordered_map<int32_t, size_t> freq;
       for (const GroupSlice& g : node.groups) {
-        for (RowId r : g.sample) ++freq[col->GetCode(r)];
+        for (RowId r : g.sample.rows()) ++freq[col->GetCode(r)];
       }
       if (freq.size() < 2) return;
       std::vector<std::pair<int32_t, size_t>> by_freq(freq.begin(), freq.end());
@@ -186,8 +191,9 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
         size_t total_left = 0, total_right = 0;
         for (const GroupSlice& g : node.groups) {
           std::vector<double> left, right;
-          for (size_t i = 0; i < g.sample.size(); ++i) {
-            if (col->GetCode(g.sample[i]) == code) {
+          const RowIdList& sampled = g.sample.rows();
+          for (size_t i = 0; i < sampled.size(); ++i) {
+            if (col->GetCode(sampled[i]) == code) {
               left.push_back(g.inf[i]);
             } else {
               right.push_back(g.inf[i]);
@@ -241,11 +247,12 @@ ScoredPredicate DTPartitioner::MakeLeaf(const Node& node,
     // (Section 6.3's cached tuple).
     double best_dist = std::numeric_limits<double>::infinity();
     for (const GroupSlice& g : node.groups) {
-      for (size_t i = 0; i < g.sample.size(); ++i) {
+      const RowIdList& sampled = g.sample.rows();
+      for (size_t i = 0; i < sampled.size(); ++i) {
         double d = std::fabs(g.inf[i] - mean);
         if (d < best_dist) {
           best_dist = d;
-          leaf.info.representative = g.sample[i];
+          leaf.info.representative = sampled[i];
           leaf.info.has_representative = true;
         }
       }
@@ -381,21 +388,58 @@ Result<std::vector<ScoredPredicate>> DTPartitioner::PartitionGroups(
       right.box = node.box.WithSet({split.attr, std::move(rest)});
     }
 
-    auto goes_left = [&](RowId r) {
-      if (split.is_range) return col->GetDouble(r) < split.split_value;
-      return col->GetCode(r) == split.code;
+    // Columnar child distribution: one branch-free gather pass per group
+    // computes a goes-left byte mask over the selection vector, then each
+    // side compacts in order. NaN split values compare false and go right,
+    // matching the scalar `GetDouble(r) < split` the tree used to run.
+    auto left_mask = [&](const Selection& sel) {
+      const RowIdList& rs = sel.rows();
+      std::vector<uint8_t> mask(rs.size());
+      if (split.is_range) {
+        const double* v = col->doubles().data();
+        const double cut = split.split_value;
+        for (size_t i = 0; i < rs.size(); ++i) {
+          mask[i] = static_cast<uint8_t>(v[rs[i]] < cut);
+        }
+      } else {
+        const int32_t* cd = col->codes().data();
+        const int32_t code = split.code;
+        for (size_t i = 0; i < rs.size(); ++i) {
+          mask[i] = static_cast<uint8_t>(cd[rs[i]] == code);
+        }
+      }
+      return mask;
+    };
+    auto split_selection = [](const Selection& sel,
+                              const std::vector<uint8_t>& mask, Selection* l,
+                              Selection* r) {
+      const RowIdList& rs = sel.rows();
+      size_t nl = 0;
+      for (uint8_t b : mask) nl += b;
+      RowIdList lrows, rrows;
+      lrows.reserve(nl);
+      rrows.reserve(rs.size() - nl);
+      for (size_t i = 0; i < rs.size(); ++i) {
+        (mask[i] ? lrows : rrows).push_back(rs[i]);
+      }
+      *l = Selection::FromSorted(std::move(lrows), sel.universe_size());
+      *r = Selection::FromSorted(std::move(rrows), sel.universe_size());
     };
 
     bool resample = options_.use_sampling;
     // Stratified child sampling rates (Section 6.1.2): weight by each
     // child's share of the sampled influence mass (shifted non-negative).
+    std::vector<std::vector<uint8_t>> sample_masks;
+    sample_masks.reserve(node.groups.size());
     double mass_left = 0.0, mass_right = 0.0;
     size_t sample_total = 0;
     for (const GroupSlice& g : node.groups) {
       sample_total += g.sample.size();
-      for (size_t i = 0; i < g.sample.size(); ++i) {
+      sample_masks.push_back(left_mask(g.sample));
+      const std::vector<uint8_t>& smask = sample_masks.back();
+      for (size_t i = 0; i < smask.size(); ++i) {
         double shifted = g.inf[i] - inf_lower_;
-        if (goes_left(g.sample[i])) {
+        if (smask[i]) {
           mass_left += shifted;
         } else {
           mass_right += shifted;
@@ -404,24 +448,21 @@ Result<std::vector<ScoredPredicate>> DTPartitioner::PartitionGroups(
     }
 
     size_t left_rows_total = 0, right_rows_total = 0;
-    for (GroupSlice& g : node.groups) {
+    for (size_t gi = 0; gi < node.groups.size(); ++gi) {
+      GroupSlice& g = node.groups[gi];
       GroupSlice gl, gr;
       gl.result_idx = gr.result_idx = g.result_idx;
-      for (RowId r : g.rows) {
-        (goes_left(r) ? gl.rows : gr.rows).push_back(r);
-      }
+      split_selection(g.rows, left_mask(g.rows), &gl.rows, &gr.rows);
       left_rows_total += gl.rows.size();
       right_rows_total += gr.rows.size();
       if (!resample) {
         // Re-partition the existing sample and influences; no recomputation.
-        for (size_t i = 0; i < g.sample.size(); ++i) {
-          if (goes_left(g.sample[i])) {
-            gl.sample.push_back(g.sample[i]);
-            gl.inf.push_back(g.inf[i]);
-          } else {
-            gr.sample.push_back(g.sample[i]);
-            gr.inf.push_back(g.inf[i]);
-          }
+        const std::vector<uint8_t>& smask = sample_masks[gi];
+        split_selection(g.sample, smask, &gl.sample, &gr.sample);
+        gl.inf.reserve(gl.sample.size());
+        gr.inf.reserve(gr.sample.size());
+        for (size_t i = 0; i < smask.size(); ++i) {
+          (smask[i] ? gl.inf : gr.inf).push_back(g.inf[i]);
         }
       }
       left.groups.push_back(std::move(gl));

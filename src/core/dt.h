@@ -45,11 +45,13 @@ class DTPartitioner {
   const DTStats& stats() const { return stats_; }
 
  private:
-  /// One input group's slice of a tree node.
+  /// One input group's slice of a tree node. Memberships are Selections
+  /// (vector form): node splits partition them with one columnar mask pass
+  /// per group instead of row-at-a-time pushes.
   struct GroupSlice {
     int result_idx = 0;        // index into query_result().results
-    RowIdList rows;            // full node membership for this group
-    RowIdList sample;          // sampled subset used for statistics
+    Selection rows;            // full node membership for this group
+    Selection sample;          // sampled subset used for statistics
     std::vector<double> inf;   // influence per sampled row (aligned)
   };
 

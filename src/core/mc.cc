@@ -35,8 +35,8 @@ Result<std::vector<Predicate>> MCPartitioner::InitialUnits() const {
                               scorer_.table().ColumnByName(attr));
     if (col->type() == DataType::kDouble) {
       const int n = options_.num_continuous_splits;
-      double lo = col->Min();
-      double hi = col->Max();
+      SCORPION_ASSIGN_OR_RETURN(const double lo, col->Min());
+      SCORPION_ASSIGN_OR_RETURN(const double hi, col->Max());
       if (hi <= lo) continue;
       double width = (hi - lo) / n;
       for (int i = 0; i < n; ++i) {
@@ -61,7 +61,7 @@ Result<std::vector<Predicate>> MCPartitioner::InitialUnits() const {
         std::vector<double> mass(static_cast<size_t>(card), 0.0);
         for (int idx : scorer_.problem().outliers) {
           for (RowId r :
-               scorer_.query_result().results[idx].input_group) {
+               scorer_.query_result().results[idx].input_group.rows()) {
             double inf = row_influence_[r];
             if (std::isfinite(inf) && inf > 0.0) {
               mass[static_cast<size_t>(col->GetCode(r))] += inf;
@@ -94,8 +94,8 @@ Result<MCPartitioner::MCCandidate> MCPartitioner::ScoreCandidate(
   cand.scored.influence = score.full;
   cand.outlier_only = score.outlier_only;
   cand.max_tuple_influence = kNegInf;
-  for (const RowIdList& rows : score.matched_outlier) {
-    for (RowId r : rows) {
+  for (const Selection& matched : score.matched_outlier) {
+    for (RowId r : matched.rows()) {
       double inf = row_influence_[r];
       if (std::isfinite(inf)) {
         cand.max_tuple_influence = std::max(cand.max_tuple_influence, inf);
@@ -117,9 +117,8 @@ Result<std::vector<ScoredPredicate>> MCPartitioner::Run() {
   {
     std::vector<double> values;
     for (int idx : problem.outliers) {
-      const RowIdList& rows = scorer_.query_result().results[idx].input_group;
-      const std::vector<double> group_values =
-          ExtractValues(scorer_.agg_column(), rows);
+      const std::vector<double> group_values = ExtractValues(
+          scorer_.agg_column(), scorer_.query_result().results[idx].input_group);
       values.insert(values.end(), group_values.begin(), group_values.end());
     }
     if (!agg.CheckAntiMonotone(values)) {
@@ -135,7 +134,7 @@ Result<std::vector<ScoredPredicate>> MCPartitioner::Run() {
   row_influence_.assign(scorer_.table().num_rows(), kNaN);
   for (size_t i = 0; i < problem.outliers.size(); ++i) {
     int idx = problem.outliers[i];
-    for (RowId r : scorer_.query_result().results[idx].input_group) {
+    for (RowId r : scorer_.query_result().results[idx].input_group.rows()) {
       row_influence_[r] = scorer_.TupleInfluence(idx, r);
     }
   }

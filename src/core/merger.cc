@@ -33,7 +33,10 @@ bool Merger::Adjacent(const Predicate& a, const Predicate& b) {
 Status Merger::EnsureScored(ScoredPredicate* sp) const {
   if (std::isfinite(sp->influence)) return Status::OK();
   ++stats_.exact_scores;
-  SCORPION_ASSIGN_OR_RETURN(sp->influence, scorer_.Influence(sp->pred));
+  if (sp->matches != nullptr) ++stats_.match_cache_scores;
+  // Serves the per-group match Selections from sp->matches when the session
+  // layer attached them (rescoring at a new c skips re-filtering).
+  SCORPION_ASSIGN_OR_RETURN(sp->influence, scorer_.InfluenceCached(*sp));
   return Status::OK();
 }
 

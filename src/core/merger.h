@@ -23,6 +23,8 @@ struct MergerStats {
   RelaxedCounter exact_scores;      // Scorer::Influence calls
   RelaxedCounter estimated_scores;  // cached-tuple approximations
   RelaxedCounter merges_accepted;
+  RelaxedCounter match_cache_scores;  // exact scores served from cached match
+                                      // Selections (no bind/filter pass)
 };
 
 /// \brief Greedy predicate merger.

@@ -40,8 +40,8 @@ Result<std::vector<NaivePartitioner::TaggedClause>> NaivePartitioner::ClausesFor
     // round 1; their complexity never grows.
     if (round > 1) return out;
     const int n = options_.num_continuous_splits;
-    const double lo = col->Min();
-    const double hi = col->Max();
+    SCORPION_ASSIGN_OR_RETURN(const double lo, col->Min());
+    SCORPION_ASSIGN_OR_RETURN(const double hi, col->Max());
     if (hi <= lo) {
       TaggedClause tc;
       tc.is_range = true;

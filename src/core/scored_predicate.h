@@ -2,12 +2,22 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "predicate/predicate.h"
+#include "table/selection.h"
 #include "table/types.h"
 
 namespace scorpion {
+
+/// Per-result-group match Selections for one predicate, indexed like
+/// QueryResult::results (only the outlier/hold-out slots are populated).
+/// Filtering is c-agnostic, so the session layer caches these alongside DT
+/// partitions and rescoring at a different c skips re-filtering entirely.
+/// Entries are fully materialized (vector form + count) before sharing, so
+/// concurrent readers never trigger a lazy conversion.
+using PredicateMatchCache = std::vector<Selection>;
 
 /// Per-partition metadata the DT partitioner attaches so the Merger can run
 /// the Section 6.3 cached-tuple influence approximation without touching the
@@ -33,6 +43,10 @@ struct ScoredPredicate {
   double internal_score = 0.0;
   /// Optional cached-tuple metadata (DT only).
   PartitionInfo info;
+  /// Optional cached match sets (attached by the session layer to the DT
+  /// partitions it stores; see Scorer::BuildMatchCache). Shared and
+  /// immutable, so copying a ScoredPredicate stays cheap.
+  std::shared_ptr<const PredicateMatchCache> matches;
 };
 
 /// Descending-influence ordering.

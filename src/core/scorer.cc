@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/macros.h"
 #include "table/selection.h"
@@ -78,10 +79,35 @@ Result<Scorer> Scorer::Make(const Table& table, const QueryResult& result,
       scorer.outlier_states_.push_back(scorer.states_[idx]);
     }
   }
+  const SelectionConversionStats& conv = GlobalSelectionConversionStats();
+  scorer.conv_b2v_at_make_ = conv.bitmap_to_vector.load();
+  scorer.conv_v2b_at_make_ = conv.vector_to_bitmap.load();
   return scorer;
 }
 
-double Scorer::Delta(int result_idx, const RowIdList& matched) const {
+ScorerStats& Scorer::stats() const {
+  const SelectionConversionStats& conv = GlobalSelectionConversionStats();
+  stats_.bitmap_to_vector = conv.bitmap_to_vector.load() - conv_b2v_at_make_;
+  stats_.vector_to_bitmap = conv.vector_to_bitmap.load() - conv_v2b_at_make_;
+  return stats_;
+}
+
+Selection Scorer::FilterGroup(const BoundPredicate& bound,
+                              const Selection& input) const {
+  ++stats_.filter_kernels;
+  stats_.rows_filtered += input.size();
+  Selection matched = bound.Filter(input);
+  // Keep the scoring plane in vector form. `matched` is bitmap-only when
+  // `input` was all-rows (dense kernel); materializing here — on a
+  // thread-local value — guarantees the downstream algebra (e.g. Delta's
+  // input_group.AndNot(matched)) takes the vector-vector path and never
+  // triggers a lazy conversion on the *shared* input-group Selection from
+  // a scoring thread.
+  matched.rows();
+  return matched;
+}
+
+double Scorer::Delta(int result_idx, const Selection& matched) const {
   ++stats_.group_deltas;
   if (matched.empty()) return 0.0;
   const AggregateResult& res = result_->results[result_idx];
@@ -107,24 +133,26 @@ double Scorer::Delta(int result_idx, const RowIdList& matched) const {
     }
     updated = agg_->Recover(remaining).ValueOrDie();
   } else if (mean_shift) {
-    std::vector<double> values = ExtractValues(*agg_col_, res.input_group);
+    const RowIdList& group_rows = res.input_group.rows();
+    const RowIdList& matched_rows = matched.rows();
+    std::vector<double> values = ExtractValues(*agg_col_, group_rows);
     size_t m = 0;
-    for (size_t i = 0; i < res.input_group.size(); ++i) {
-      if (m < matched.size() && res.input_group[i] == matched[m]) {
+    for (size_t i = 0; i < group_rows.size(); ++i) {
+      if (m < matched_rows.size() && group_rows[i] == matched_rows[m]) {
         values[i] = group_means_[result_idx];
         ++m;
       }
     }
     updated = agg_->Compute(values);
   } else {
-    const RowIdList remaining_rows = Difference(res.input_group, matched);
+    const Selection remaining_rows = res.input_group.AndNot(matched);
     updated = agg_->Compute(ExtractValues(*agg_col_, remaining_rows));
   }
   // original - updated; NaN propagates to signal an annihilated group.
   return original_values_[result_idx] - updated;
 }
 
-double Scorer::GroupInfluence(int result_idx, const RowIdList& matched,
+double Scorer::GroupInfluence(int result_idx, const Selection& matched,
                               bool is_outlier, double error_vector) const {
   if (matched.empty()) return 0.0;
   double delta = Delta(result_idx, matched);
@@ -134,10 +162,23 @@ double Scorer::GroupInfluence(int result_idx, const RowIdList& matched,
   return is_outlier ? inf * error_vector : inf;
 }
 
-Result<double> Scorer::InfluenceImpl(const Predicate& pred,
+Result<double> Scorer::InfluenceImpl(const Predicate* pred,
+                                     const PredicateMatchCache* matches,
                                      bool with_holdouts) const {
   ++stats_.predicate_scores;
-  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+  std::optional<BoundPredicate> bound;
+  if (matches == nullptr) {
+    SCORPION_ASSIGN_OR_RETURN(bound, pred->Bind(*table_));
+  }
+  auto group_influence = [&](int idx, bool is_outlier, double ev) {
+    if (matches != nullptr) {
+      ++stats_.match_cache_hits;
+      return GroupInfluence(idx, (*matches)[idx], is_outlier, ev);
+    }
+    const Selection matched =
+        FilterGroup(*bound, result_->results[idx].input_group);
+    return GroupInfluence(idx, matched, is_outlier, ev);
+  };
 
   // Per-group work runs in parallel into per-index slots; the reductions
   // below stay serial in group order, so the result is bit-identical to a
@@ -146,11 +187,9 @@ Result<double> Scorer::InfluenceImpl(const Predicate& pred,
   std::vector<double> outlier_inf;
   bool finite = FillGroupInfluences(pool_, num_outliers, &outlier_inf,
                                     [&](size_t i) {
-                                      int idx = problem_->outliers[i];
-                                      const RowIdList matched = bound.Filter(
-                                          result_->results[idx].input_group);
-                                      return GroupInfluence(
-                                          idx, matched, /*is_outlier=*/true,
+                                      return group_influence(
+                                          problem_->outliers[i],
+                                          /*is_outlier=*/true,
                                           problem_->error_vectors[i]);
                                     });
   if (!finite) return kNegInf;
@@ -163,11 +202,9 @@ Result<double> Scorer::InfluenceImpl(const Predicate& pred,
     std::vector<double> holdout_inf;
     finite = FillGroupInfluences(pool_, problem_->holdouts.size(), &holdout_inf,
                                  [&](size_t i) {
-                                   int idx = problem_->holdouts[i];
-                                   const RowIdList matched = bound.Filter(
-                                       result_->results[idx].input_group);
-                                   return GroupInfluence(
-                                       idx, matched, /*is_outlier=*/false, 0.0);
+                                   return group_influence(
+                                       problem_->holdouts[i],
+                                       /*is_outlier=*/false, 0.0);
                                  });
     if (!finite) return kNegInf;
     double max_penalty = 0.0;
@@ -189,7 +226,7 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
   std::vector<double> outlier_inf(num_outliers);
   ParallelForOver(pool_, 0, num_outliers, [&](size_t i) {
     int idx = problem_->outliers[i];
-    RowIdList matched = bound.Filter(result_->results[idx].input_group);
+    Selection matched = FilterGroup(bound, result_->results[idx].input_group);
     outlier_inf[i] = GroupInfluence(idx, matched, /*is_outlier=*/true,
                                     problem_->error_vectors[i]);
     out.matched_outlier[i] = std::move(matched);
@@ -217,8 +254,8 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
         FillGroupInfluences(pool_, problem_->holdouts.size(), &holdout_inf,
                             [&](size_t i) {
                               int idx = problem_->holdouts[i];
-                              const RowIdList matched = bound.Filter(
-                                  result_->results[idx].input_group);
+                              const Selection matched = FilterGroup(
+                                  bound, result_->results[idx].input_group);
                               return GroupInfluence(idx, matched,
                                                     /*is_outlier=*/false, 0.0);
                             });
@@ -236,16 +273,40 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
 }
 
 Result<double> Scorer::Influence(const Predicate& pred) const {
-  return InfluenceImpl(pred, /*with_holdouts=*/true);
+  return InfluenceImpl(&pred, /*matches=*/nullptr, /*with_holdouts=*/true);
 }
 
 Result<double> Scorer::InfluenceOutlierOnly(const Predicate& pred) const {
-  return InfluenceImpl(pred, /*with_holdouts=*/false);
+  return InfluenceImpl(&pred, /*matches=*/nullptr, /*with_holdouts=*/false);
+}
+
+Result<double> Scorer::InfluenceCached(const ScoredPredicate& sp) const {
+  if (sp.matches != nullptr) {
+    return InfluenceImpl(/*pred=*/nullptr, sp.matches.get(),
+                         /*with_holdouts=*/true);
+  }
+  return Influence(sp.pred);
+}
+
+Result<std::shared_ptr<const PredicateMatchCache>> Scorer::BuildMatchCache(
+    const Predicate& pred) const {
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+  PredicateMatchCache cache(result_->results.size());
+  auto fill = [&](int idx) {
+    // FilterGroup returns vector form, which is the only form the cached
+    // scoring path reads — so concurrent readers never trigger a lazy
+    // conversion, and no full-universe bitmap is pinned in the long-lived
+    // session cache.
+    cache[idx] = FilterGroup(bound, result_->results[idx].input_group);
+  };
+  for (int idx : problem_->outliers) fill(idx);
+  for (int idx : problem_->holdouts) fill(idx);
+  return std::make_shared<const PredicateMatchCache>(std::move(cache));
 }
 
 double Scorer::TupleInfluence(int result_idx, RowId row) const {
   ++stats_.tuple_scores;
-  const RowIdList single{row};
+  const Selection single = Selection::Single(row, table_->num_rows());
   auto it = std::find(problem_->outliers.begin(), problem_->outliers.end(),
                       result_idx);
   if (it != problem_->outliers.end()) {
@@ -258,7 +319,7 @@ double Scorer::TupleInfluence(int result_idx, RowId row) const {
   return std::isfinite(delta) ? delta : kNegInf;
 }
 
-double Scorer::RowSetInfluence(int result_idx, const RowIdList& rows) const {
+double Scorer::RowSetInfluence(int result_idx, const Selection& rows) const {
   auto it = std::find(problem_->outliers.begin(), problem_->outliers.end(),
                       result_idx);
   bool is_outlier = it != problem_->outliers.end();
@@ -271,7 +332,7 @@ double Scorer::RowSetInfluence(int result_idx, const RowIdList& rows) const {
   return std::isfinite(inf) ? inf : kNegInf;
 }
 
-double Scorer::UpdatedValue(int result_idx, const RowIdList& rows) const {
+double Scorer::UpdatedValue(int result_idx, const Selection& rows) const {
   double delta = Delta(result_idx, rows);
   return original_values_[result_idx] - delta;
 }

@@ -1,22 +1,28 @@
 // Scorer: computes predicate influence (Section 3.2 / Section 7).
 //
-// The Scorer is the hot loop of every search algorithm. For incrementally
-// removable aggregates it caches state(g) per input group once and evaluates
-// Delta(p) by building state(p(g)) from only the matched tuples and calling
-// remove/recover — never rereading the unmatched part of the group
-// (Section 5.1). Black-box aggregates fall back to recomputation over the
-// complement.
+// The Scorer is the hot loop of every search algorithm. Candidate match sets
+// flow through it as columnar Selections: BoundPredicate's vectorized
+// kernels produce them, the Selection algebra combines them, and only the
+// value-gather for aggregate states touches the sorted row form. For
+// incrementally removable aggregates it caches state(g) per input group once
+// and evaluates Delta(p) by building state(p(g)) from only the matched
+// tuples and calling remove/recover — never rereading the unmatched part of
+// the group (Section 5.1). Black-box aggregates fall back to recomputation
+// over the complement.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "aggregates/aggregate.h"
 #include "common/atomic_counter.h"
 #include "common/thread_pool.h"
 #include "core/problem.h"
+#include "core/scored_predicate.h"
 #include "predicate/predicate.h"
 #include "query/groupby.h"
+#include "table/selection.h"
 #include "table/table.h"
 
 namespace scorpion {
@@ -29,7 +35,7 @@ struct DetailedScore {
   double outlier_only = 0.0;
   /// Rows of each outlier input group matched by the predicate, aligned
   /// with ProblemSpec::outliers.
-  std::vector<RowIdList> matched_outlier;
+  std::vector<Selection> matched_outlier;
 };
 
 /// Running counters, exposed so benchmarks can report scorer traffic.
@@ -40,6 +46,17 @@ struct ScorerStats {
   RelaxedCounter group_deltas;       // per-group Delta computations
   RelaxedCounter tuple_scores;       // single-tuple influence computations
   RelaxedCounter incremental_deltas; // Deltas served by the removable path
+  // Data-plane kernel traffic (see the selection-vector data plane in the
+  // README). rows_filtered counts input rows pushed through the vectorized
+  // filter kernels; match_cache_hits counts group filters skipped because a
+  // PredicateMatchCache supplied the match set; the conversion counters are
+  // deltas of the process-wide Selection counters since Scorer::Make (exact
+  // when one scorer is active, an upper bound otherwise).
+  RelaxedCounter rows_filtered;
+  RelaxedCounter filter_kernels;
+  RelaxedCounter match_cache_hits;
+  RelaxedCounter bitmap_to_vector;
+  RelaxedCounter vector_to_bitmap;
 };
 
 /// \brief Influence oracle bound to one (table, query result, problem).
@@ -62,6 +79,18 @@ class Scorer {
   /// lambda so it upper-bounds Influence().
   Result<double> InfluenceOutlierOnly(const Predicate& pred) const;
 
+  /// Influence of a ScoredPredicate, serving the per-group match sets from
+  /// sp.matches when attached (skipping bind + filter entirely) and falling
+  /// back to Influence(sp.pred) otherwise. Bit-identical either way: both
+  /// paths share one evaluation routine and reduction order.
+  Result<double> InfluenceCached(const ScoredPredicate& sp) const;
+
+  /// Filters every outlier/hold-out input group by `pred` into a shareable,
+  /// fully materialized match cache (the c-agnostic half of a score; see
+  /// PredicateMatchCache).
+  Result<std::shared_ptr<const PredicateMatchCache>> BuildMatchCache(
+      const Predicate& pred) const;
+
   /// Full + hold-out-free influence and the matched outlier rows, in one
   /// pass over the input groups.
   Result<DetailedScore> ScoreDetailed(const Predicate& pred) const;
@@ -75,10 +104,10 @@ class Scorer {
   /// Influence of removing an explicit subset of result `result_idx`'s input
   /// group (rows must all belong to that group). Signed by the error vector
   /// for outliers.
-  double RowSetInfluence(int result_idx, const RowIdList& rows) const;
+  double RowSetInfluence(int result_idx, const Selection& rows) const;
 
   /// Aggregate value of group `result_idx` after removing `rows`.
-  double UpdatedValue(int result_idx, const RowIdList& rows) const;
+  double UpdatedValue(int result_idx, const Selection& rows) const;
 
   // --- Accessors used by the partitioners ------------------------------------
 
@@ -107,21 +136,31 @@ class Scorer {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
-  ScorerStats& stats() const { return stats_; }
+  /// Counter snapshot accessor; refreshes the Selection-conversion deltas.
+  ScorerStats& stats() const;
 
  private:
   Scorer() = default;
 
+  /// Filters `input` through `bound`, counting kernel traffic.
+  Selection FilterGroup(const BoundPredicate& bound,
+                        const Selection& input) const;
+
   /// Delta(result, matched rows) with sign = original - updated.
-  double Delta(int result_idx, const RowIdList& matched) const;
+  double Delta(int result_idx, const Selection& matched) const;
 
   /// Influence contribution of one result given its matched rows.
   /// For outliers multiplies by the error vector; hold-outs return the raw
   /// signed influence (callers take |.|).
-  double GroupInfluence(int result_idx, const RowIdList& matched,
+  double GroupInfluence(int result_idx, const Selection& matched,
                         bool is_outlier, double error_vector) const;
 
-  Result<double> InfluenceImpl(const Predicate& pred, bool with_holdouts) const;
+  /// Shared evaluation core. Exactly one of `pred` / `matches` is consulted
+  /// for match sets; the reduction structure is identical for both, so a
+  /// cached rescoring is bit-identical to a cold one.
+  Result<double> InfluenceImpl(const Predicate* pred,
+                               const PredicateMatchCache* matches,
+                               bool with_holdouts) const;
 
   const Table* table_ = nullptr;
   const QueryResult* result_ = nullptr;
@@ -136,6 +175,10 @@ class Scorer {
   std::vector<double> group_means_;       // mean of A_agg over g_i
   std::vector<AggState> states_;          // state(g_i), removable only
   std::vector<AggState> outlier_states_;  // states_ restricted to outliers
+
+  // Global Selection conversion counts at Make() time, for per-run deltas.
+  uint64_t conv_b2v_at_make_ = 0;
+  uint64_t conv_v2b_at_make_ = 0;
 
   mutable ScorerStats stats_;
 };

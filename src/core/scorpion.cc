@@ -15,6 +15,29 @@ namespace scorpion {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Attaches per-group match Selections (Scorer::BuildMatchCache) to each
+/// partition. Done once when fresh DT partitions enter a session: filtering
+/// is c-agnostic like the partitions themselves, so every later run against
+/// the session rescoras them without touching the table. Statuses land in
+/// per-index slots; the first error in partition order wins.
+Status AttachMatchCaches(const Scorer& scorer,
+                         std::vector<ScoredPredicate>* partitions) {
+  std::vector<Status> statuses(partitions->size());
+  ParallelForOver(scorer.thread_pool(), 0, partitions->size(), [&](size_t i) {
+    auto built = scorer.BuildMatchCache((*partitions)[i].pred);
+    if (built.ok()) {
+      (*partitions)[i].matches = built.MoveValueUnsafe();
+    } else {
+      statuses[i] = built.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    SCORPION_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<ScoredPredicate> ExplainSession::WarmSeedsLocked(double c) const {
@@ -213,6 +236,9 @@ Result<Explanation> Scorpion::Run(const Table& table,
           } else {
             DTPartitioner dt(scorer, options_.dt);
             SCORPION_ASSIGN_OR_RETURN(partitions, dt.Run());
+            // Cache the c-agnostic match Selections with the partitions, so
+            // later runs (any c) skip re-filtering the table entirely.
+            SCORPION_RETURN_NOT_OK(AttachMatchCaches(scorer, &partitions));
             session->partitions_ = partitions;
             session->has_partitions_ = true;
           }
@@ -239,6 +265,9 @@ Result<Explanation> Scorpion::Run(const Table& table,
       Merger merger(scorer, std::move(domains), options_.merger);
       SCORPION_ASSIGN_OR_RETURN(std::vector<ScoredPredicate> merged,
                                 merger.Run(std::move(partitions)));
+      // Match caches live on the session's partitions only; results keep
+      // their footprint small.
+      for (ScoredPredicate& sp : merged) sp.matches.reset();
       if (session != nullptr) {
         std::unique_lock<std::shared_mutex> lock(session->mu_);
         session->StoreMergedLocked(problem.c, merged);

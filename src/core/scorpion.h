@@ -55,7 +55,9 @@ struct Explanation {
 
 /// \brief Shareable Section 8.3.3 session cache.
 ///
-/// Holds the c-agnostic DT partitions plus full merged result lists keyed by
+/// Holds the c-agnostic DT partitions — each carrying its per-group match
+/// Selections (PredicateMatchCache), so rescoring cached partitions at a new
+/// c never re-filters the table — plus full merged result lists keyed by
 /// the c they were computed at, for one (table, query result, problem-sans-c)
 /// instance. Many threads may run Scorpion::ExplainShared() against one
 /// session concurrently: lookups take a shared lock, while computing the

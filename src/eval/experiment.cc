@@ -38,7 +38,7 @@ Result<RowIdList> OutlierUnion(const QueryResult& result,
     if (idx < 0 || idx >= static_cast<int>(result.results.size())) {
       return Status::IndexError("outlier index out of range");
     }
-    out = Union(out, result.results[idx].input_group);
+    out = Union(out, result.results[idx].input_group.rows());
   }
   return out;
 }

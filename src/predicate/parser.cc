@@ -279,14 +279,19 @@ class Parser {
       return lexer_.error("expected a number after '" + op + "'");
     }
     double bound = v.number;
-    if (op == "<") return out->AddRange({attr, col->Min(), bound, false});
-    if (op == "<=") return out->AddRange({attr, col->Min(), bound, true});
-    if (op == ">=") return out->AddRange({attr, bound, col->Max(), true});
-    if (op == ">") {
-      // Strict lower bounds cannot be expressed exactly with closed-below
-      // ranges; nudge by the smallest representable step.
-      double lo = std::nextafter(bound, col->Max() + 1.0);
-      return out->AddRange({attr, lo, col->Max(), true});
+    if (op == "<" || op == "<=") {
+      SCORPION_ASSIGN_OR_RETURN(const double col_min, col->Min());
+      return out->AddRange({attr, col_min, bound, op == "<="});
+    }
+    if (op == ">=" || op == ">") {
+      SCORPION_ASSIGN_OR_RETURN(const double col_max, col->Max());
+      double lo = bound;
+      if (op == ">") {
+        // Strict lower bounds cannot be expressed exactly with closed-below
+        // ranges; nudge by the smallest representable step.
+        lo = std::nextafter(bound, col_max + 1.0);
+      }
+      return out->AddRange({attr, lo, col_max, true});
     }
     return lexer_.error("unknown operator '" + op + "'");
   }

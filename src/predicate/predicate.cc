@@ -1,7 +1,10 @@
 #include "predicate/predicate.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include "common/macros.h"
@@ -41,8 +44,8 @@ Result<DomainMap> ComputeDomains(const Table& table,
     AttrDomain d;
     d.type = col->type();
     if (col->type() == DataType::kDouble) {
-      d.lo = col->Min();
-      d.hi = col->Max();
+      SCORPION_ASSIGN_OR_RETURN(d.lo, col->Min());
+      SCORPION_ASSIGN_OR_RETURN(d.hi, col->Max());
     } else {
       d.cardinality = col->Cardinality();
     }
@@ -134,6 +137,7 @@ std::vector<std::string> Predicate::Attributes() const {
 Result<BoundPredicate> Predicate::Bind(const Table& table) const {
   BoundPredicate bound;
   bound.num_rows_ = table.num_rows();
+  bound.table_ = &table;
   for (const RangeClause& r : ranges_) {
     SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(r.attr));
     if (col->type() != DataType::kDouble) {
@@ -168,10 +172,18 @@ Result<bool> Predicate::MatchesRow(const Table& table, RowId row) const {
 
 Result<RowIdList> Predicate::Evaluate(const Table& table) const {
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, Bind(table));
-  return bound.FilterAll();
+  return bound.FilterAll().rows();
+}
+
+void BoundPredicate::CheckNotStale() const {
+  SCORPION_CHECK(table_ == nullptr || table_->num_rows() == num_rows_,
+                 "BoundPredicate evaluated after its Table was appended to; "
+                 "re-Bind() the predicate");
 }
 
 bool BoundPredicate::Matches(RowId row) const {
+  SCORPION_DCHECK(table_ == nullptr || table_->num_rows() == num_rows_,
+                  "BoundPredicate::Matches after the Table was appended to");
   for (const BoundRange& r : ranges_) {
     double v = (*r.values)[row];
     if (v < r.lo) return false;
@@ -186,7 +198,252 @@ bool BoundPredicate::Matches(RowId row) const {
   return true;
 }
 
+// The mask kernels mirror Matches() exactly — including its NaN behaviour
+// (NaN fails neither `v < lo` nor `v > hi`, so NaN rows match a range) — so
+// vectorized and scalar evaluation stay bit-identical. Each clause is one
+// branch-free pass over its column (hi_inclusive and first/AND resolved
+// outside the loop); the first clause writes the mask, later clauses AND
+// into it, so no mask initialization pass is needed.
+//
+// Baseline x86-64 (SSE2) cannot auto-vectorize a double-compare producing a
+// byte mask, so the per-clause loops are compiled with target_clones: the
+// loader picks the best clone (AVX2 / AVX-512) for the machine at runtime
+// while the binary stays portable. `__restrict__` matters too: the byte
+// mask is unsigned char, which the aliasing rules let overlap any column.
+
+namespace {
+
+// IFUNC resolvers produced by target_clones run before sanitizer runtimes
+// initialize and crash them at startup, so clones are disabled under TSan /
+// ASan (those builds check semantics, not throughput).
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) &&   \
+    defined(__ELF__) && !defined(__SANITIZE_THREAD__) &&                 \
+    !defined(__SANITIZE_ADDRESS__)
+#define SCORPION_KERNEL_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#else
+#define SCORPION_KERNEL_CLONES
+#endif
+
+SCORPION_KERNEL_CLONES
+void RangeMaskDense(const double* __restrict__ v, size_t n, double lo,
+                    double hi, bool hi_inclusive, bool first,
+                    uint8_t* __restrict__ m) {
+  if (first) {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] = static_cast<uint8_t>(!(v[i] < lo)) &
+               static_cast<uint8_t>(!(v[i] > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] = static_cast<uint8_t>(!(v[i] < lo)) &
+               static_cast<uint8_t>(!(v[i] >= hi));
+      }
+    }
+  } else {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] &= static_cast<uint8_t>(!(v[i] < lo)) &
+                static_cast<uint8_t>(!(v[i] > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] &= static_cast<uint8_t>(!(v[i] < lo)) &
+                static_cast<uint8_t>(!(v[i] >= hi));
+      }
+    }
+  }
+}
+
+SCORPION_KERNEL_CLONES
+void RangeMaskGather(const double* __restrict__ v,
+                     const RowId* __restrict__ rows, size_t n, double lo,
+                     double hi, bool hi_inclusive, bool first,
+                     uint8_t* __restrict__ m) {
+  if (first) {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] = static_cast<uint8_t>(!(x < lo)) &
+               static_cast<uint8_t>(!(x > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] = static_cast<uint8_t>(!(x < lo)) &
+               static_cast<uint8_t>(!(x >= hi));
+      }
+    }
+  } else {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] &= static_cast<uint8_t>(!(x < lo)) &
+                static_cast<uint8_t>(!(x > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] &= static_cast<uint8_t>(!(x < lo)) &
+                static_cast<uint8_t>(!(x >= hi));
+      }
+    }
+  }
+}
+
+SCORPION_KERNEL_CLONES
+void SetMaskDense(const int32_t* __restrict__ codes, size_t n,
+                  const uint8_t* __restrict__ member, bool first,
+                  uint8_t* __restrict__ m) {
+  if (first) {
+    for (size_t i = 0; i < n; ++i) m[i] = member[codes[i]];
+  } else {
+    for (size_t i = 0; i < n; ++i) m[i] &= member[codes[i]];
+  }
+}
+
+SCORPION_KERNEL_CLONES
+void SetMaskGather(const int32_t* __restrict__ codes,
+                   const RowId* __restrict__ rows, size_t n,
+                   const uint8_t* __restrict__ member, bool first,
+                   uint8_t* __restrict__ m) {
+  if (first) {
+    for (size_t i = 0; i < n; ++i) m[i] = member[codes[rows[i]]];
+  } else {
+    for (size_t i = 0; i < n; ++i) m[i] &= member[codes[rows[i]]];
+  }
+}
+
+/// Per-thread mask scratch: filter calls are frequent and short-lived, and
+/// the mask never escapes a call, so one growable buffer per thread removes
+/// the allocation + clear from every evaluation. Memory held is bounded by
+/// the largest table filtered on the thread.
+std::vector<uint8_t>& MaskScratch(size_t n) {
+  thread_local std::vector<uint8_t> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return scratch;
+}
+
+}  // namespace
+
+void BoundPredicate::FillMaskGather(const RowId* rows, size_t n,
+                                    uint8_t* mask) const {
+  bool first = true;
+  for (const BoundRange& r : ranges_) {
+    RangeMaskGather(r.values->data(), rows, n, r.lo, r.hi, r.hi_inclusive,
+                    first, mask);
+    first = false;
+  }
+  for (const BoundSet& s : sets_) {
+    SetMaskGather(s.codes->data(), rows, n, s.member.data(), first, mask);
+    first = false;
+  }
+}
+
+void BoundPredicate::FillMaskDense(uint8_t* mask) const {
+  const size_t n = num_rows_;
+  bool first = true;
+  for (const BoundRange& r : ranges_) {
+    RangeMaskDense(r.values->data(), n, r.lo, r.hi, r.hi_inclusive, first,
+                   mask);
+    first = false;
+  }
+  for (const BoundSet& s : sets_) {
+    SetMaskDense(s.codes->data(), n, s.member.data(), first, mask);
+    first = false;
+  }
+}
+
+Selection BoundPredicate::Filter(const Selection& input) const {
+  CheckNotStale();
+  SCORPION_CHECK(input.universe_size() == num_rows_,
+                 "Filter input universe does not match the bound table");
+  if (ranges_.empty() && sets_.empty()) return input;  // TRUE predicate
+  if (input.IsAll()) return FilterAll();
+  const RowIdList& rows = input.rows();
+  const size_t n = rows.size();
+  uint8_t* mask = MaskScratch(n).data();
+  FillMaskGather(rows.data(), n, mask);
+  RowIdList out;
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) kept += mask[i];
+  out.reserve(kept);
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i]) out.push_back(rows[i]);
+  }
+  return Selection::FromSorted(std::move(out), num_rows_);
+}
+
+Selection BoundPredicate::FilterAll() const {
+  CheckNotStale();
+  const size_t n = num_rows_;
+  if (ranges_.empty() && sets_.empty()) return Selection::All(n);
+  uint8_t* mask = MaskScratch(n).data();
+  FillMaskDense(mask);
+  std::vector<uint64_t> words((n + 63) / 64, 0);
+  size_t count = 0;
+  // Pack 8 mask bytes (each 0/1) into 8 bits per multiply: bit position
+  // 56 + 8i - 7j of x * C receives exactly one (i, j) term for i, j in
+  // [0, 8), so the top byte of the product is b7..b0 with no carries. The
+  // trick reads the bytes through a uint64_t and so assumes little-endian;
+  // other targets take the plain byte loop.
+  constexpr uint64_t kPack = 0x0102040810204080ULL;
+  const size_t full_words = n / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    const uint8_t* base = mask + (w << 6);
+    uint64_t word = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      for (size_t g = 0; g < 8; ++g) {
+        uint64_t x;
+        std::memcpy(&x, base + (g << 3), sizeof(x));
+        word |= ((x * kPack) >> 56) << (g << 3);
+      }
+    } else {
+      for (size_t b = 0; b < 64; ++b) {
+        word |= static_cast<uint64_t>(base[b]) << b;
+      }
+    }
+    words[w] = word;
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  if (full_words < words.size()) {
+    const size_t base = full_words << 6;
+    uint64_t word = 0;
+    for (size_t b = 0; b < n - base; ++b) {
+      word |= static_cast<uint64_t>(mask[base + b]) << b;
+    }
+    words[full_words] = word;
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  return Selection::FromBitmapCounted(std::move(words), n, count);
+}
+
+size_t BoundPredicate::Count(const Selection& input) const {
+  CheckNotStale();
+  SCORPION_CHECK(input.universe_size() == num_rows_,
+                 "Count input universe does not match the bound table");
+  if (ranges_.empty() && sets_.empty()) return input.size();
+  if (input.IsAll()) {
+    // Dense mask + byte sum; no bitmap materialization for a bare count.
+    const size_t n = num_rows_;
+    uint8_t* mask = MaskScratch(n).data();
+    FillMaskDense(mask);
+    size_t kept = 0;
+    for (size_t i = 0; i < n; ++i) kept += mask[i];
+    return kept;
+  }
+  const RowIdList& rows = input.rows();
+  const size_t n = rows.size();
+  uint8_t* mask = MaskScratch(n).data();
+  FillMaskGather(rows.data(), n, mask);
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) kept += mask[i];
+  return kept;
+}
+
 RowIdList BoundPredicate::Filter(const RowIdList& rows) const {
+  CheckNotStale();
   RowIdList out;
   out.reserve(rows.size());
   for (RowId r : rows) {
@@ -195,15 +452,8 @@ RowIdList BoundPredicate::Filter(const RowIdList& rows) const {
   return out;
 }
 
-RowIdList BoundPredicate::FilterAll() const {
-  RowIdList out;
-  for (RowId r = 0; r < static_cast<RowId>(num_rows_); ++r) {
-    if (Matches(r)) out.push_back(r);
-  }
-  return out;
-}
-
 size_t BoundPredicate::CountMatches(const RowIdList& rows) const {
+  CheckNotStale();
   size_t n = 0;
   for (RowId r : rows) {
     if (Matches(r)) ++n;

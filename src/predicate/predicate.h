@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "table/selection.h"
 #include "table/table.h"
 
 namespace scorpion {
@@ -102,7 +103,8 @@ class Predicate {
   /// Row-at-a-time evaluation (resolves columns per call; tests/convenience).
   Result<bool> MatchesRow(const Table& table, RowId row) const;
 
-  /// All matching rows of `table`, ascending.
+  /// All matching rows of `table`, ascending (boundary shim over the
+  /// vectorized FilterAll kernel).
   Result<RowIdList> Evaluate(const Table& table) const;
 
   /// Syntactic containment: every row matching `inner` also matches `outer`,
@@ -148,22 +150,44 @@ class Predicate {
 
 /// \brief A Predicate with column indices resolved against one Table.
 ///
-/// Set clauses become bitmask membership tables over dictionary codes, so
-/// per-row evaluation is branch-light. Valid only as long as the Table lives
-/// and is not appended to.
+/// Evaluation is columnar: each clause runs one branch-free pass over its
+/// column (ranges compare against Column::doubles(); set clauses index the
+/// membership byte-table with Column::codes()), writing into a shared byte
+/// mask that the clause passes AND together. Sparse inputs use a gather
+/// kernel over the selection vector; all-rows inputs use a dense kernel that
+/// packs the mask into a bitmap Selection.
+///
+/// Valid only as long as the Table lives and is not appended to. The bound
+/// row count is recorded at Bind() time and checked on every batch
+/// evaluation call (per-row Matches() checks it in debug builds only), so
+/// appending to the table after binding aborts instead of reading stale or
+/// reallocated column storage.
 class BoundPredicate {
  public:
-  /// True if the table row satisfies the predicate.
+  /// True if the table row satisfies the predicate (row-at-a-time reference
+  /// path; the vectorized kernels below are the hot path).
   bool Matches(RowId row) const;
 
-  /// Filters a sorted candidate list, preserving order.
+  /// Vectorized: the matching subset of `input`. Output keeps vector form
+  /// for sparse inputs and bitmap form for all-rows inputs.
+  Selection Filter(const Selection& input) const;
+
+  /// Vectorized: matching rows among all rows of the bound table, as a
+  /// bitmap Selection.
+  Selection FilterAll() const;
+
+  /// Number of matches in `input` without materializing them.
+  size_t Count(const Selection& input) const;
+
+  /// Scalar row-at-a-time reference implementation over a sorted list
+  /// (boundary shim; also what the kernel equivalence tests compare against).
   RowIdList Filter(const RowIdList& rows) const;
 
-  /// Matching rows among all rows of the bound table.
-  RowIdList FilterAll() const;
-
-  /// Number of matches among `rows` without materializing them.
+  /// Scalar count over a sorted list (boundary shim).
   size_t CountMatches(const RowIdList& rows) const;
+
+  /// Row count of the bound table at Bind() time.
+  size_t num_rows() const { return num_rows_; }
 
  private:
   friend class Predicate;
@@ -174,11 +198,24 @@ class BoundPredicate {
   };
   struct BoundSet {
     const std::vector<int32_t>* codes;
-    std::vector<char> member;  // indexed by dictionary code
+    std::vector<uint8_t> member;  // indexed by dictionary code
   };
+
+  /// Aborts if the bound table has been appended to since Bind().
+  void CheckNotStale() const;
+
+  /// Fills `mask[i] = matches(rows[i])` clause by clause (gather kernel);
+  /// requires at least one clause (the first writes, the rest AND).
+  void FillMaskGather(const RowId* rows, size_t n, uint8_t* mask) const;
+
+  /// Fills `mask[i] = matches(i)` for i in [0, num_rows_) (dense kernel);
+  /// requires at least one clause.
+  void FillMaskDense(uint8_t* mask) const;
+
   std::vector<BoundRange> ranges_;
   std::vector<BoundSet> sets_;
   size_t num_rows_ = 0;
+  const Table* table_ = nullptr;
 };
 
 }  // namespace scorpion

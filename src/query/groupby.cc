@@ -90,7 +90,8 @@ Result<QueryResult> ExecuteGroupBy(const Table& table,
       }
     }
     res.value = agg->Compute(ExtractValues(*agg_col, rows));
-    res.input_group = std::move(rows);
+    // Row-scan order is ascending, so the list is already sorted.
+    res.input_group = Selection::FromSorted(std::move(rows), table.num_rows());
     out.results.push_back(std::move(res));
   }
   return out;

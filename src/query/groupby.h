@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "table/selection.h"
 #include "table/table.h"
 
 namespace scorpion {
@@ -35,8 +36,10 @@ struct AggregateResult {
   std::string key_string;
   /// The aggregate value agg(g_alpha).
   double value = 0.0;
-  /// Provenance: sorted row ids of the input group g_alpha in D.
-  RowIdList input_group;
+  /// Provenance: the input group g_alpha as a Selection over D's rows
+  /// (vector form, already materialized — safe to share across scoring
+  /// threads; use input_group.rows() for the sorted id list).
+  Selection input_group;
 };
 
 /// \brief Full result set of a query over one table.

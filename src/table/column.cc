@@ -57,13 +57,23 @@ int32_t Column::CodeOf(const std::string& v) const {
   return it == intern_.end() ? -1 : it->second;
 }
 
-double Column::Min() const {
-  if (doubles_.empty()) return 0.0;
+Result<double> Column::Min() const {
+  if (type_ != DataType::kDouble) {
+    return Status::TypeError("Min() on a categorical column");
+  }
+  if (doubles_.empty()) {
+    return Status::InvalidArgument("Min() on an empty column");
+  }
   return *std::min_element(doubles_.begin(), doubles_.end());
 }
 
-double Column::Max() const {
-  if (doubles_.empty()) return 0.0;
+Result<double> Column::Max() const {
+  if (type_ != DataType::kDouble) {
+    return Status::TypeError("Max() on a categorical column");
+  }
+  if (doubles_.empty()) {
+    return Status::InvalidArgument("Max() on an empty column");
+  }
   return *std::max_element(doubles_.begin(), doubles_.end());
 }
 

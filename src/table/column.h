@@ -62,10 +62,11 @@ class Column {
 
   // --- Statistics ----------------------------------------------------------
 
-  /// Min/max over a kDouble column (over all rows). Meaningless (0,0) on an
-  /// empty column.
-  double Min() const;
-  double Max() const;
+  /// Min/max over a kDouble column (over all rows). InvalidArgument on an
+  /// empty or categorical column: min/max of no values is undefined, and
+  /// the old (0, 0) answer silently poisoned domain computations.
+  Result<double> Min() const;
+  Result<double> Max() const;
 
  private:
   DataType type_;

@@ -1,7 +1,10 @@
 #include "table/selection.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
+
+#include "common/macros.h"
 
 namespace scorpion {
 
@@ -49,6 +52,193 @@ RowIdList AllRows(size_t n) {
   RowIdList out(n);
   std::iota(out.begin(), out.end(), 0u);
   return out;
+}
+
+// --- Selection --------------------------------------------------------------
+
+namespace {
+
+size_t NumWords(size_t universe) { return (universe + 63) / 64; }
+
+size_t Popcount(const std::vector<uint64_t>& words) {
+  size_t n = 0;
+  for (uint64_t w : words) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace
+
+SelectionConversionStats& GlobalSelectionConversionStats() {
+  static SelectionConversionStats stats;
+  return stats;
+}
+
+Selection Selection::Empty(size_t universe) {
+  Selection s;
+  s.universe_ = universe;
+  return s;
+}
+
+Selection Selection::All(size_t universe) {
+  Selection s;
+  s.universe_ = universe;
+  s.count_ = universe;
+  s.has_vec_ = false;
+  s.has_bits_ = true;
+  s.bits_.assign(NumWords(universe), ~uint64_t{0});
+  if (universe % 64 != 0 && !s.bits_.empty()) {
+    s.bits_.back() = (uint64_t{1} << (universe % 64)) - 1;
+  }
+  return s;
+}
+
+Selection Selection::Single(RowId row, size_t universe) {
+  SCORPION_DCHECK(static_cast<size_t>(row) < universe,
+                  "Selection::Single row outside universe");
+  Selection s;
+  s.universe_ = universe;
+  s.count_ = 1;
+  s.vec_.push_back(row);
+  return s;
+}
+
+Selection Selection::FromSorted(RowIdList rows, size_t universe) {
+  SCORPION_DCHECK(IsSortedUnique(rows), "FromSorted: rows not sorted/unique");
+  SCORPION_DCHECK(rows.empty() || static_cast<size_t>(rows.back()) < universe,
+                  "FromSorted: row outside universe");
+  Selection s;
+  s.universe_ = universe;
+  s.count_ = rows.size();
+  s.vec_ = std::move(rows);
+  return s;
+}
+
+Selection Selection::FromUnsorted(RowIdList rows, size_t universe) {
+  Normalize(&rows);
+  return FromSorted(std::move(rows), universe);
+}
+
+Selection Selection::FromBitmap(std::vector<uint64_t> words, size_t universe) {
+  size_t count = Popcount(words);
+  return FromBitmapCounted(std::move(words), universe, count);
+}
+
+Selection Selection::FromBitmapCounted(std::vector<uint64_t> words,
+                                       size_t universe, size_t count) {
+  SCORPION_DCHECK(words.size() == NumWords(universe),
+                  "FromBitmap: word count does not match universe");
+  SCORPION_DCHECK(count == Popcount(words), "FromBitmap: count mismatch");
+  Selection s;
+  s.universe_ = universe;
+  s.count_ = count;
+  s.has_vec_ = false;
+  s.has_bits_ = true;
+  s.bits_ = std::move(words);
+  return s;
+}
+
+bool Selection::Contains(RowId row) const {
+  if (static_cast<size_t>(row) >= universe_) return false;
+  if (has_bits_) {
+    return (bits_[row >> 6] >> (row & 63)) & 1;
+  }
+  return std::binary_search(vec_.begin(), vec_.end(), row);
+}
+
+const RowIdList& Selection::rows() const { return EnsureVector(); }
+
+const std::vector<uint64_t>& Selection::bitmap() const {
+  return EnsureBitmap();
+}
+
+const RowIdList& Selection::EnsureVector() const {
+  if (!has_vec_) {
+    ++GlobalSelectionConversionStats().bitmap_to_vector;
+    vec_.clear();
+    vec_.reserve(count_);
+    for (size_t w = 0; w < bits_.size(); ++w) {
+      uint64_t word = bits_[w];
+      const RowId base = static_cast<RowId>(w << 6);
+      while (word != 0) {
+        vec_.push_back(base + static_cast<RowId>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+    has_vec_ = true;
+  }
+  return vec_;
+}
+
+const std::vector<uint64_t>& Selection::EnsureBitmap() const {
+  if (!has_bits_) {
+    ++GlobalSelectionConversionStats().vector_to_bitmap;
+    bits_.assign(NumWords(universe_), 0);
+    for (RowId r : vec_) {
+      bits_[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+    has_bits_ = true;
+  }
+  return bits_;
+}
+
+Selection Selection::And(const Selection& other) const {
+  SCORPION_CHECK(universe_ == other.universe_,
+                 "Selection::And universe mismatch");
+  if (has_vec_ && other.has_vec_) {
+    return FromSorted(Intersect(vec_, other.vec_), universe_);
+  }
+  const std::vector<uint64_t>& a = EnsureBitmap();
+  const std::vector<uint64_t>& b = other.EnsureBitmap();
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+  return FromBitmap(std::move(out), universe_);
+}
+
+Selection Selection::Or(const Selection& other) const {
+  SCORPION_CHECK(universe_ == other.universe_,
+                 "Selection::Or universe mismatch");
+  if (has_vec_ && other.has_vec_) {
+    return FromSorted(Union(vec_, other.vec_), universe_);
+  }
+  const std::vector<uint64_t>& a = EnsureBitmap();
+  const std::vector<uint64_t>& b = other.EnsureBitmap();
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] | b[i];
+  return FromBitmap(std::move(out), universe_);
+}
+
+Selection Selection::AndNot(const Selection& other) const {
+  SCORPION_CHECK(universe_ == other.universe_,
+                 "Selection::AndNot universe mismatch");
+  if (has_vec_ && other.has_vec_) {
+    return FromSorted(Difference(vec_, other.vec_), universe_);
+  }
+  const std::vector<uint64_t>& a = EnsureBitmap();
+  const std::vector<uint64_t>& b = other.EnsureBitmap();
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] & ~b[i];
+  return FromBitmap(std::move(out), universe_);
+}
+
+bool Selection::IsSubsetOf(const Selection& other) const {
+  SCORPION_CHECK(universe_ == other.universe_,
+                 "Selection::IsSubsetOf universe mismatch");
+  if (count_ > other.count_) return false;
+  if (has_vec_ && other.has_vec_) {
+    return IsSubset(vec_, other.vec_);
+  }
+  const std::vector<uint64_t>& a = EnsureBitmap();
+  const std::vector<uint64_t>& b = other.EnsureBitmap();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Selection::operator==(const Selection& other) const {
+  if (universe_ != other.universe_ || count_ != other.count_) return false;
+  if (has_vec_ && other.has_vec_) return vec_ == other.vec_;
+  return EnsureBitmap() == other.EnsureBitmap();
 }
 
 }  // namespace scorpion

@@ -1,11 +1,29 @@
-// Sorted row-id list algebra. Input groups, predicate matches and partition
-// memberships are all RowIdLists; the search algorithms combine them with
-// these set operations.
+// Selection: the columnar data plane's row-set representation.
+//
+// A Selection is a set of row ids over a fixed universe [0, universe_size),
+// stored as a dense bitmap, a sorted selection vector, or both. The two
+// representations trade off differently: bitmaps make the set algebra
+// (And/Or/AndNot) word-wise and branch-free and shard trivially by row
+// range; sorted vectors drive gather kernels and ordered iteration.
+// Conversions are lazy and cached, so a Selection pays for at most one
+// conversion in each direction over its lifetime; the element count is
+// always known eagerly (vector size or popcount at construction).
+//
+// The legacy sorted-RowIdList algebra is kept below as the reference
+// implementation: boundary APIs (eval metrics, CSV output) still exchange
+// RowIdLists, and the property tests in tests/test_selection_vector.cc
+// check every Selection operation against it.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "common/atomic_counter.h"
 #include "table/types.h"
 
 namespace scorpion {
+
+// --- Sorted row-id list algebra (reference implementation / boundary) -------
 
 /// True if `rows` is sorted ascending with no duplicates.
 bool IsSortedUnique(const RowIdList& rows);
@@ -27,5 +45,100 @@ bool IsSubset(const RowIdList& a, const RowIdList& b);
 
 /// All row ids [0, n).
 RowIdList AllRows(size_t n);
+
+// --- Selection --------------------------------------------------------------
+
+/// Process-wide counters for representation conversions, reported by
+/// Scorer::stats() so benchmarks can see data-plane behavior. Attribution is
+/// process-wide: exact when one scorer is active, an upper bound otherwise.
+struct SelectionConversionStats {
+  RelaxedCounter bitmap_to_vector;
+  RelaxedCounter vector_to_bitmap;
+};
+
+SelectionConversionStats& GlobalSelectionConversionStats();
+
+/// \brief Hybrid bitmap / sorted-vector row set over a fixed universe.
+///
+/// Value semantics; cheap to move. The lazy representation caches are
+/// `mutable` and unsynchronized: materialize (rows()/bitmap(), or
+/// MaterializeAll()) before sharing one instance across threads that may
+/// trigger the missing form. Every producer in the hot path (the filter
+/// kernels, the vector-vector algebra) returns fully usable forms, so in
+/// practice conversions only happen at representation seams.
+class Selection {
+ public:
+  /// The empty selection over an empty universe.
+  Selection() = default;
+
+  static Selection Empty(size_t universe);
+  static Selection All(size_t universe);
+  static Selection Single(RowId row, size_t universe);
+
+  /// Wraps a sorted, duplicate-free row list (checked in debug builds).
+  static Selection FromSorted(RowIdList rows, size_t universe);
+
+  /// Normalizes (sorts + dedups) and wraps an arbitrary row list.
+  static Selection FromUnsorted(RowIdList rows, size_t universe);
+
+  /// Wraps an LSB-first word bitmap of ceil(universe/64) words; bits at or
+  /// beyond `universe` must be zero. The count is computed eagerly.
+  static Selection FromBitmap(std::vector<uint64_t> words, size_t universe);
+
+  /// Same, for producers that already know the popcount (filter kernels).
+  static Selection FromBitmapCounted(std::vector<uint64_t> words,
+                                     size_t universe, size_t count);
+
+  size_t universe_size() const { return universe_; }
+
+  /// Number of selected rows. Always O(1): tracked at construction.
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool IsAll() const { return count_ == universe_; }
+
+  bool Contains(RowId row) const;
+
+  /// Representation queries (for tests and conversion-conscious callers).
+  bool has_vector() const { return has_vec_; }
+  bool has_bitmap() const { return has_bits_; }
+
+  /// Sorted row ids, materializing the vector form if absent.
+  const RowIdList& rows() const;
+
+  /// LSB-first word bitmap, materializing the bitmap form if absent.
+  const std::vector<uint64_t>& bitmap() const;
+
+  /// Materializes both forms; call before sharing across threads.
+  void MaterializeAll() const {
+    rows();
+    bitmap();
+  }
+
+  // --- Set algebra ----------------------------------------------------------
+  // Operands must share a universe. When both operands hold vectors the ops
+  // run as linear merges and return vector form; otherwise they run word-wise
+  // over bitmaps and return bitmap form.
+
+  Selection And(const Selection& other) const;
+  Selection Or(const Selection& other) const;
+  /// this \ other.
+  Selection AndNot(const Selection& other) const;
+  bool IsSubsetOf(const Selection& other) const;
+
+  /// Same universe and same members (representation-agnostic).
+  bool operator==(const Selection& other) const;
+
+ private:
+  const std::vector<uint64_t>& EnsureBitmap() const;
+  const RowIdList& EnsureVector() const;
+
+  size_t universe_ = 0;
+  size_t count_ = 0;
+  // A default Selection is the empty set with the (empty) vector form.
+  mutable bool has_vec_ = true;
+  mutable bool has_bits_ = false;
+  mutable RowIdList vec_;
+  mutable std::vector<uint64_t> bits_;
+};
 
 }  // namespace scorpion

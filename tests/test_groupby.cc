@@ -18,9 +18,9 @@ TEST(GroupBy, PaperExampleProvenanceIsExact) {
   auto qr = ExecuteGroupBy(t, PaperQuery());
   ASSERT_TRUE(qr.ok());
   ASSERT_EQ(qr->results.size(), 3u);
-  EXPECT_EQ(qr->results[0].input_group, (RowIdList{0, 1, 2}));  // 11AM
-  EXPECT_EQ(qr->results[1].input_group, (RowIdList{3, 4, 5}));  // 12PM
-  EXPECT_EQ(qr->results[2].input_group, (RowIdList{6, 7, 8}));  // 1PM
+  EXPECT_EQ(qr->results[0].input_group.rows(), (RowIdList{0, 1, 2}));  // 11AM
+  EXPECT_EQ(qr->results[1].input_group.rows(), (RowIdList{3, 4, 5}));  // 12PM
+  EXPECT_EQ(qr->results[2].input_group.rows(), (RowIdList{6, 7, 8}));  // 1PM
 }
 
 TEST(GroupBy, InputGroupsPartitionTheTable) {
@@ -31,7 +31,7 @@ TEST(GroupBy, InputGroupsPartitionTheTable) {
   size_t total = 0;
   for (const AggregateResult& r : qr->results) {
     total += r.input_group.size();
-    all = Union(all, r.input_group);
+    all = Union(all, r.input_group.rows());
   }
   EXPECT_EQ(total, t.num_rows());           // disjoint
   EXPECT_EQ(all.size(), t.num_rows());      // covering

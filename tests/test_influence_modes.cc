@@ -40,10 +40,14 @@ TEST_F(MeanShiftMode, UpdatedValueReplacesWithGroupMean) {
   ASSERT_TRUE(scorer.ok());
   // 12PM group = {35, 35, 100}, mean 56.67. Replacing T6 (100) with the
   // mean gives avg(35, 35, 56.67) = 42.22.
-  EXPECT_NEAR(scorer->UpdatedValue(1, {5}), (35 + 35 + 170.0 / 3) / 3.0,
+  EXPECT_NEAR(scorer->UpdatedValue(
+                  1, Selection::Single(5, table_.num_rows())),
+              (35 + 35 + 170.0 / 3) / 3.0,
               1e-9);
   // Replacing everything yields exactly the mean (AVG fixed point).
-  EXPECT_NEAR(scorer->UpdatedValue(1, RowIdList{3, 4, 5}), 170.0 / 3.0,
+  EXPECT_NEAR(scorer->UpdatedValue(1, Selection::FromSorted(
+                                       {3, 4, 5}, table_.num_rows())),
+              170.0 / 3.0,
               1e-9);
 }
 
@@ -88,7 +92,8 @@ TEST_F(MeanShiftMode, IncrementalMatchesBlackBoxRecompute) {
   double ss = 0;
   for (double v : perturbed) ss += (v - mean) * (v - mean);
   double expected = std::sqrt(ss / 3.0);
-  EXPECT_NEAR(scorer->UpdatedValue(1, {5}), expected, 1e-9);
+  EXPECT_NEAR(scorer->UpdatedValue(1, Selection::Single(5, table_.num_rows())),
+              expected, 1e-9);
 
   // Black-box path agrees (MEDIAN is not removable).
   GroupByQuery q2 = PaperQuery();
@@ -99,7 +104,8 @@ TEST_F(MeanShiftMode, IncrementalMatchesBlackBoxRecompute) {
   ASSERT_TRUE(scorer2.ok());
   ASSERT_FALSE(scorer2->incremental());
   // Median of {35, 35, 56.67} = 35.
-  EXPECT_NEAR(scorer2->UpdatedValue(1, {5}), 35.0, 1e-9);
+  EXPECT_NEAR(scorer2->UpdatedValue(1, Selection::Single(5, table_.num_rows())),
+              35.0, 1e-9);
 }
 
 TEST(MeanShiftEndToEnd, DTStillRecoversThePlantedCube) {

@@ -149,10 +149,10 @@ TEST_F(MergerOnSynth, CachedTupleEstimateTracksExactScore) {
     size_t n = 0;
     for (size_t g = 0; g < problem_->outliers.size(); ++g) {
       int idx = problem_->outliers[g];
-      RowIdList matched = bound.Filter(qr_->results[idx].input_group);
+      Selection matched = bound.Filter(qr_->results[idx].input_group);
       sp.info.outlier_counts.push_back(
           static_cast<uint32_t>(matched.size()));
-      for (RowId r : matched) {
+      for (RowId r : matched.rows()) {
         inf_sum += scorer_->TupleInfluence(idx, r);
         ++n;
         if (!sp.info.has_representative) {

@@ -137,7 +137,7 @@ TEST(DTPartitioner, PartitionsTileTheSpaceDisjointly) {
   // Every outlier-group row falls in exactly one partition.
   RowIdList outlier_union;
   for (int idx : inst.problem.outliers) {
-    outlier_union = Union(outlier_union, inst.qr.results[idx].input_group);
+    outlier_union = Union(outlier_union, inst.qr.results[idx].input_group.rows());
   }
   std::vector<int> hits(inst.dataset.table.num_rows(), 0);
   for (const ScoredPredicate& sp : *parts) {

@@ -111,7 +111,26 @@ TEST(PredicateEval, BoundFilterAndCountAgree) {
   RowIdList matched = bound->Filter(all);
   EXPECT_EQ(matched, (RowIdList{5, 8}));
   EXPECT_EQ(bound->CountMatches(all), 2u);
-  EXPECT_EQ(bound->FilterAll(), matched);
+  EXPECT_EQ(bound->FilterAll().rows(), matched);
+  EXPECT_EQ(bound->Count(Selection::All(t.num_rows())), 2u);
+}
+
+TEST(PredicateEvalDeathTest, EvaluationAfterAppendAborts) {
+  Table t = PaperSensorsTable();
+  Predicate p;
+  ASSERT_TRUE(p.AddRange({"temp", 50.0, 200.0, true}).ok());
+  auto bound = p.Bind(t);
+  ASSERT_TRUE(bound.ok());
+  // Appending after Bind() invalidates the bound column snapshots; the
+  // batch evaluation entry points must abort instead of reading stale (or
+  // reallocated) storage.
+  ASSERT_TRUE(
+      t.AppendRow({std::string("2PM"), std::string("9"), 2.31, 0.6, 90.0})
+          .ok());
+  EXPECT_DEATH(bound->FilterAll(), "appended");
+  EXPECT_DEATH(bound->Filter(Selection::All(t.num_rows())), "appended");
+  EXPECT_DEATH(bound->Filter(RowIdList{0, 1}), "appended");
+  EXPECT_DEATH(bound->CountMatches(RowIdList{0}), "appended");
 }
 
 TEST(PredicatePrint, CanonicalStringsAndDictionaryRendering) {

@@ -182,8 +182,8 @@ TEST_F(ScorerPaperExample, DetailedScoreMatchesInfluence) {
   EXPECT_NEAR(detailed->full, *full, 1e-12);
   EXPECT_NEAR(detailed->outlier_only, *outlier_only, 1e-12);
   ASSERT_EQ(detailed->matched_outlier.size(), 2u);
-  EXPECT_EQ(detailed->matched_outlier[0], RowIdList{5});  // T6
-  EXPECT_EQ(detailed->matched_outlier[1], RowIdList{8});  // T9
+  EXPECT_EQ(detailed->matched_outlier[0].rows(), RowIdList{5});  // T6
+  EXPECT_EQ(detailed->matched_outlier[1].rows(), RowIdList{8});  // T9
   // Outlier-only upper-bounds the full score.
   EXPECT_GE(detailed->outlier_only, detailed->full);
 }
@@ -197,9 +197,12 @@ TEST_F(ScorerPaperExample, IncrementalMatchesBlackBoxPath) {
   ASSERT_TRUE(scorer.ok());
   EXPECT_TRUE(scorer->incremental());
   // Remove T6 from 12PM: avg(35,35) = 35.
-  EXPECT_NEAR(scorer->UpdatedValue(1, {5}), 35.0, 1e-9);
+  EXPECT_NEAR(scorer->UpdatedValue(1, Selection::Single(5, table_.num_rows())),
+              35.0, 1e-9);
   // Remove T4,T5: avg(100) = 100.
-  EXPECT_NEAR(scorer->UpdatedValue(1, RowIdList{3, 4}), 100.0, 1e-9);
+  EXPECT_NEAR(scorer->UpdatedValue(1, Selection::FromSorted(
+                                       {3, 4}, table_.num_rows())),
+              100.0, 1e-9);
 }
 
 }  // namespace

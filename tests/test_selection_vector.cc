@@ -1,0 +1,225 @@
+// Property-style randomized equivalence suite for the columnar data plane:
+// every Selection algebra operation and every vectorized filter kernel is
+// checked against the sorted-RowIdList reference implementation, across
+// representation combinations (vector / bitmap) and the empty / all-rows /
+// single-row edges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "predicate/predicate.h"
+#include "table/selection.h"
+#include "table/table.h"
+
+namespace scorpion {
+namespace {
+
+/// Draws a random subset of [0, universe) with the given density; density
+/// <= 0 gives the empty set, >= 1 every row.
+RowIdList RandomSubset(Rng* rng, size_t universe, double density) {
+  RowIdList out;
+  for (size_t i = 0; i < universe; ++i) {
+    if (rng->Bernoulli(density)) out.push_back(static_cast<RowId>(i));
+  }
+  return out;
+}
+
+/// Builds the selection in a randomly chosen representation: vector form,
+/// bitmap form (round-tripped through FromBitmap), or vector with the bitmap
+/// also materialized.
+Selection BuildSelection(Rng* rng, const RowIdList& rows, size_t universe) {
+  const int repr = static_cast<int>(rng->UniformInt(0, 2));
+  Selection vec = Selection::FromSorted(rows, universe);
+  if (repr == 0) return vec;
+  if (repr == 1) return Selection::FromBitmap(vec.bitmap(), universe);
+  Selection both = vec;
+  both.MaterializeAll();
+  return both;
+}
+
+class SelectionAlgebraProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionAlgebraProperty, MatchesRowIdListReference) {
+  Rng rng(GetParam());
+  const double densities[] = {0.0, 0.02, 0.3, 0.7, 1.0};
+  for (size_t universe : {0ul, 1ul, 63ul, 64ul, 65ul, 257ul, 1000ul}) {
+    for (double da : densities) {
+      for (double db : densities) {
+        const RowIdList ra = RandomSubset(&rng, universe, da);
+        const RowIdList rb = RandomSubset(&rng, universe, db);
+        const Selection a = BuildSelection(&rng, ra, universe);
+        const Selection b = BuildSelection(&rng, rb, universe);
+
+        EXPECT_EQ(a.size(), ra.size());
+        EXPECT_EQ(a.rows(), ra);
+        EXPECT_EQ(a.And(b).rows(), Intersect(ra, rb));
+        EXPECT_EQ(a.Or(b).rows(), Union(ra, rb));
+        EXPECT_EQ(a.AndNot(b).rows(), Difference(ra, rb));
+        EXPECT_EQ(b.AndNot(a).rows(), Difference(rb, ra));
+        EXPECT_EQ(a.IsSubsetOf(b), IsSubset(ra, rb));
+        EXPECT_EQ(a.And(b).IsSubsetOf(a), true);
+        EXPECT_EQ(a == b, ra == rb);
+
+        // Count caching survives algebra and conversions.
+        Selection u = a.Or(b);
+        EXPECT_EQ(u.size(), Union(ra, rb).size());
+        EXPECT_EQ(Selection::FromBitmap(u.bitmap(), universe).rows(),
+                  u.rows());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionAlgebraProperty,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(SelectionEdges, EmptyAllAndSingle) {
+  EXPECT_TRUE(Selection().empty());
+  EXPECT_EQ(Selection().universe_size(), 0u);
+  EXPECT_TRUE(Selection::Empty(100).empty());
+  EXPECT_EQ(Selection::All(100).size(), 100u);
+  EXPECT_TRUE(Selection::All(100).IsAll());
+  EXPECT_EQ(Selection::All(0).size(), 0u);
+  EXPECT_EQ(Selection::All(64).rows(), AllRows(64));
+  EXPECT_EQ(Selection::All(65).rows(), AllRows(65));
+  Selection single = Selection::Single(7, 100);
+  EXPECT_EQ(single.rows(), RowIdList{7});
+  EXPECT_TRUE(single.Contains(7));
+  EXPECT_FALSE(single.Contains(8));
+  EXPECT_TRUE(single.IsSubsetOf(Selection::All(100)));
+  EXPECT_TRUE(Selection::Empty(100).IsSubsetOf(single));
+}
+
+TEST(SelectionEdges, ContainsAgreesAcrossRepresentations) {
+  Rng rng(99);
+  const size_t universe = 200;
+  RowIdList rows = RandomSubset(&rng, universe, 0.25);
+  Selection vec = Selection::FromSorted(rows, universe);
+  Selection bits = Selection::FromBitmap(vec.bitmap(), universe);
+  for (RowId r = 0; r < static_cast<RowId>(universe); ++r) {
+    EXPECT_EQ(vec.Contains(r), bits.Contains(r));
+  }
+  EXPECT_FALSE(vec.Contains(static_cast<RowId>(universe)));  // out of universe
+}
+
+TEST(SelectionConversions, CountersAdvance) {
+  SelectionConversionStats& stats = GlobalSelectionConversionStats();
+  const uint64_t v2b = stats.vector_to_bitmap.load();
+  const uint64_t b2v = stats.bitmap_to_vector.load();
+  Selection s = Selection::FromSorted({1, 5, 9}, 16);
+  s.bitmap();  // vector -> bitmap
+  Selection t = Selection::FromBitmap(s.bitmap(), 16);
+  t.rows();  // bitmap -> vector
+  EXPECT_GE(stats.vector_to_bitmap.load(), v2b + 1);
+  EXPECT_GE(stats.bitmap_to_vector.load(), b2v + 1);
+  // Conversions are cached: repeating costs nothing further.
+  const uint64_t v2b_after = stats.vector_to_bitmap.load();
+  s.bitmap();
+  EXPECT_EQ(stats.vector_to_bitmap.load(), v2b_after);
+}
+
+// --- Vectorized kernels vs the scalar reference -----------------------------
+
+/// Random table with two double columns (one containing NaNs — the kernels
+/// must preserve Matches()'s NaN semantics exactly) and one categorical.
+Table RandomTable(Rng* rng, size_t n) {
+  Table t(Schema({{"x", DataType::kDouble},
+                  {"y", DataType::kDouble},
+                  {"cat", DataType::kCategorical}}));
+  const char* cats[] = {"a", "b", "c", "d", "e"};
+  for (size_t i = 0; i < n; ++i) {
+    double y = rng->Bernoulli(0.05)
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : rng->Uniform(-50.0, 50.0);
+    std::vector<Value> row = {rng->Uniform(0.0, 100.0), y,
+                              std::string(cats[rng->UniformInt(0, 4)])};
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+Predicate RandomPredicate(Rng* rng) {
+  Predicate p;
+  if (rng->Bernoulli(0.8)) {
+    double lo = rng->Uniform(0.0, 80.0);
+    EXPECT_TRUE(
+        p.AddRange({"x", lo, lo + rng->Uniform(1.0, 40.0),
+                    rng->Bernoulli(0.5)})
+            .ok());
+  }
+  if (rng->Bernoulli(0.5)) {
+    double lo = rng->Uniform(-60.0, 30.0);
+    EXPECT_TRUE(
+        p.AddRange({"y", lo, lo + rng->Uniform(1.0, 60.0),
+                    rng->Bernoulli(0.5)})
+            .ok());
+  }
+  if (rng->Bernoulli(0.6)) {
+    std::vector<int32_t> codes;
+    for (int32_t c = 0; c < 5; ++c) {
+      if (rng->Bernoulli(0.4)) codes.push_back(c);
+    }
+    if (!codes.empty()) {
+      EXPECT_TRUE(p.AddSet({"cat", codes}).ok());
+    }
+  }
+  return p;  // may be TRUE: that edge is worth covering too
+}
+
+class FilterKernelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterKernelProperty, VectorizedMatchesScalarReference) {
+  Rng rng(GetParam());
+  const size_t n = 500;
+  Table t = RandomTable(&rng, n);
+  for (int trial = 0; trial < 20; ++trial) {
+    Predicate p = RandomPredicate(&rng);
+    auto bound = p.Bind(t);
+    ASSERT_TRUE(bound.ok());
+
+    // Dense kernel (FilterAll / all-rows input) vs scalar over all rows.
+    const RowIdList all = AllRows(n);
+    const RowIdList expected_all = bound->Filter(all);  // scalar reference
+    EXPECT_EQ(bound->FilterAll().rows(), expected_all);
+    EXPECT_EQ(bound->Filter(Selection::All(n)).rows(), expected_all);
+    EXPECT_EQ(bound->Count(Selection::All(n)), expected_all.size());
+
+    // Gather kernel over random sparse inputs vs the scalar reference.
+    for (double density : {0.0, 0.1, 0.5, 1.0}) {
+      RowIdList input = RandomSubset(&rng, n, density);
+      const RowIdList expected = bound->Filter(input);  // scalar reference
+      Selection sel = Selection::FromSorted(input, n);
+      EXPECT_EQ(bound->Filter(sel).rows(), expected);
+      EXPECT_EQ(bound->Count(sel), expected.size());
+      EXPECT_EQ(bound->CountMatches(input), expected.size());
+    }
+
+    // Single-row inputs.
+    for (int k = 0; k < 5; ++k) {
+      RowId r = static_cast<RowId>(rng.UniformInt(0, n - 1));
+      Selection single = Selection::Single(r, n);
+      EXPECT_EQ(bound->Filter(single).size(), bound->Matches(r) ? 1u : 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterKernelProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(FilterKernel, TruePredicateReturnsInputUnchanged) {
+  Rng rng(7);
+  Table t = RandomTable(&rng, 64);
+  auto bound = Predicate::True().Bind(t);
+  ASSERT_TRUE(bound.ok());
+  Selection input = Selection::FromSorted({3, 9, 41}, 64);
+  EXPECT_EQ(bound->Filter(input).rows(), input.rows());
+  EXPECT_TRUE(bound->FilterAll().IsAll());
+  EXPECT_EQ(bound->Count(input), input.size());
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -24,10 +24,20 @@ TEST(Column, DoubleAppendAndStats) {
   EXPECT_TRUE(col.AppendDouble(-1.0).ok());
   EXPECT_TRUE(col.AppendDouble(7.0).ok());
   EXPECT_EQ(col.size(), 3u);
-  EXPECT_DOUBLE_EQ(col.Min(), -1.0);
-  EXPECT_DOUBLE_EQ(col.Max(), 7.0);
+  EXPECT_DOUBLE_EQ(col.Min().ValueOrDie(), -1.0);
+  EXPECT_DOUBLE_EQ(col.Max().ValueOrDie(), 7.0);
   EXPECT_DOUBLE_EQ(col.GetDouble(1), -1.0);
   EXPECT_TRUE(col.AppendString("x").IsTypeError());
+}
+
+TEST(Column, MinMaxErrorOnEmptyOrCategorical) {
+  Column empty(DataType::kDouble);
+  EXPECT_TRUE(empty.Min().status().IsInvalidArgument());
+  EXPECT_TRUE(empty.Max().status().IsInvalidArgument());
+  Column cat(DataType::kCategorical);
+  EXPECT_TRUE(cat.AppendString("x").ok());
+  EXPECT_TRUE(cat.Min().status().IsTypeError());
+  EXPECT_TRUE(cat.Max().status().IsTypeError());
 }
 
 TEST(Column, DictionaryEncoding) {

@@ -51,7 +51,7 @@ TEST_P(SynthGenerator, StructureMatchesSection81) {
   RowIdList outlier_union;
   for (const std::string& key : ds->outlier_keys) {
     int idx = qr->FindResult(key).ValueOrDie();
-    outlier_union = Union(outlier_union, qr->results[idx].input_group);
+    outlier_union = Union(outlier_union, qr->results[idx].input_group.rows());
   }
   auto outer_eval = ds->outer_cube.Evaluate(ds->table);
   ASSERT_TRUE(outer_eval.ok());
@@ -85,7 +85,7 @@ TEST(SynthGeneratorChecks, NonNegativeValuesKeepSumAntiMonotone) {
   ASSERT_TRUE(ds.ok());
   auto col = ds->table.ColumnByName("Av");
   ASSERT_TRUE(col.ok());
-  EXPECT_GE((*col)->Min(), 0.0);
+  EXPECT_GE((*col)->Min().ValueOrDie(), 0.0);
   const Aggregate* sum = GetAggregate("SUM").ValueOrDie();
   EXPECT_TRUE(sum->CheckAntiMonotone((*col)->doubles()));
 }
@@ -233,7 +233,7 @@ TEST(ExpenseGenerator, AllAmountsPositiveForAntiMonotonicity) {
   ASSERT_TRUE(ds.ok());
   auto amt = ds->table.ColumnByName("disb_amt");
   ASSERT_TRUE(amt.ok());
-  EXPECT_GT((*amt)->Min(), 0.0);
+  EXPECT_GT((*amt)->Min().ValueOrDie(), 0.0);
 }
 
 TEST(ExpenseGenerator, HighCardinalityProfile) {
