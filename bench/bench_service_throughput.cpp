@@ -72,13 +72,13 @@ int main(int argc, char** argv) {
     for (int t = 0; t < clients; ++t) {
       client_threads.emplace_back([&, t] {
         for (int r = 0; r < requests_per_client; ++r) {
-          Request request;
-          request.table = &dataset->table;
-          request.query_result = &*qr;
-          request.problem = *problem;
-          request.c = cs[static_cast<size_t>(t + r) % cs.size()];
+          Job job;
+          job.table = &dataset->table;
+          job.query_result = &*qr;
+          job.problem = *problem;
+          job.problem.c = cs[static_cast<size_t>(t + r) % cs.size()];
           responses[static_cast<size_t>(t)].push_back(
-              service.Submit(std::move(request)));
+              service.Submit(std::move(job)));
         }
       });
     }

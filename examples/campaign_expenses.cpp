@@ -5,10 +5,11 @@
 // explanation is the tight conjunction
 //   recipient_nm='GMMB INC.' & disb_desc='MEDIA BUY' & ... & file_num=800316
 // and lowering c relaxes clauses (the paper observes the file_num clause
-// dropping below c ~ 0.1).
+// dropping below c ~ 0.1). One Dataset serves the whole sweep; each step is
+// the same request at a different c.
 #include <cstdio>
 
-#include "core/scorpion.h"
+#include "api/dataset.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "workload/expense.h"
@@ -17,7 +18,7 @@ using namespace scorpion;
 
 #define CHECK_OK(expr)                                                 \
   do {                                                                 \
-    const auto& _res = (expr);                                         \
+    const auto& _res = (expr);                                          \
     if (!_res.ok()) {                                                  \
       std::fprintf(stderr, "%s failed: %s\n", #expr,                   \
                    _res.status().ToString().c_str());                  \
@@ -27,22 +28,23 @@ using namespace scorpion;
 
 int main() {
   ExpenseOptions opts;
-  auto dataset = GenerateExpense(opts);
-  CHECK_OK(dataset);
+  auto dataset_gen = GenerateExpense(opts);
+  CHECK_OK(dataset_gen);
   std::printf("Generated %zu disbursement rows over %d days "
               "(%d outlier days with planted media buys).\n\n",
-              dataset->table.num_rows(), opts.num_days,
+              dataset_gen->table.num_rows(), opts.num_days,
               opts.num_outlier_days);
 
-  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
-  CHECK_OK(qr);
+  Engine engine;
+  auto dataset = engine.Open(dataset_gen->table, dataset_gen->query);
+  CHECK_OK(dataset);
 
   // Show the daily totals around one outlier day.
   std::printf("Sample of daily totals (SUM(disb_amt) GROUP BY date):\n");
   int shown = 0;
-  for (const AggregateResult& r : qr->results) {
+  for (const AggregateResult& r : dataset->result().results) {
     bool outlier_day = false;
-    for (const std::string& key : dataset->outlier_keys) {
+    for (const std::string& key : dataset_gen->outlier_keys) {
       outlier_day |= key == r.key_string;
     }
     if (outlier_day || shown < 3) {
@@ -53,32 +55,33 @@ int main() {
   }
   std::printf("\n");
 
-  ScorpionOptions options;
-  options.algorithm = Algorithm::kMC;
-  Scorpion scorpion(options);
+  ExplainRequest base;
+  for (const std::string& key : dataset_gen->outlier_keys) {
+    base.FlagTooHigh(key);
+  }
+  base.Holdouts(dataset_gen->holdout_keys)
+      .WithAttributes(dataset_gen->attributes)
+      .WithAlgorithm(Algorithm::kMC)
+      .WithLambda(0.8);
 
-  auto base_problem =
-      MakeProblem(*qr, dataset->outlier_keys, dataset->holdout_keys,
-                  /*error_direction=*/+1.0, /*lambda=*/0.8, /*c=*/1.0,
-                  dataset->attributes);
-  CHECK_OK(base_problem);
-  auto outlier_union = OutlierUnion(*qr, *base_problem);
+  auto problem = dataset->Resolve(base);
+  CHECK_OK(problem);
+  auto outlier_union = OutlierUnion(dataset->result(), *problem);
   CHECK_OK(outlier_union);
 
   std::printf("%-5s %-13s %-8s %s\n", "c", "influence", "F", "predicate");
   for (double c : {1.0, 0.5, 0.2, 0.05, 0.0}) {
-    ProblemSpec problem = *base_problem;
-    problem.c = c;
-    auto explanation = scorpion.Explain(dataset->table, *qr, problem);
-    CHECK_OK(explanation);
-    const ScoredPredicate& best = explanation->best();
-    auto acc = EvaluatePredicate(dataset->table, best.pred, *outlier_union,
-                                 dataset->ground_truth_rows);
+    auto response = dataset->Explain(ExplainRequest(base).WithC(c));
+    CHECK_OK(response);
+    const RankedPredicate& best = response->best();
+    auto acc = EvaluatePredicate(dataset_gen->table, best.pred,
+                                 *outlier_union,
+                                 dataset_gen->ground_truth_rows);
     CHECK_OK(acc);
     std::printf("%-5.2f %-13.5g %-8.3f %s\n", c, best.influence, acc->f_score,
-                best.pred.ToString(&dataset->table).c_str());
+                best.display.c_str());
   }
   std::printf("\nPlanted cause: %s\n",
-              dataset->expected.ToString(&dataset->table).c_str());
+              dataset_gen->expected.ToString(&dataset_gen->table).c_str());
   return 0;
 }

@@ -1,6 +1,8 @@
 // explain_csv: command-line Scorpion over any CSV file — the closest thing
 // in this repo to the paper's end-to-end exploration tool (Figure 2) for
-// people without the visualization front-end.
+// people without the visualization front-end. Built on the public API: the
+// CLI flags assemble one ExplainRequest (keys, not indices), Engine::Open
+// executes the query, and --json emits the response's wire format.
 //
 // Usage:
 //   explain_csv --csv data.csv --agg AVG --agg-attr temp --group-by time
@@ -18,11 +20,10 @@
 #include <map>
 #include <string>
 
+#include "api/dataset.h"
+#include "api/serialization.h"
 #include "common/string_util.h"
-#include "core/explanation_io.h"
-#include "core/scorpion.h"
 #include "predicate/parser.h"
-#include "query/groupby.h"
 #include "table/csv.h"
 
 using namespace scorpion;
@@ -120,70 +121,65 @@ int main(int argc, char** argv) {
        Split(args.Get("group-by", demo ? "time" : ""), ',')) {
     if (!g.empty()) query.group_by.push_back(Trim(g));
   }
-  auto qr = ExecuteGroupBy(table, query);
-  if (!qr.ok()) return Fail(qr.status(), "executing query");
-  std::printf("%s\n", qr->ToString().c_str());
 
-  ProblemSpec problem;
+  EngineOptions options;
+  std::string algo = args.Get("algorithm", "DT");
+  if (algo == "NAIVE") {
+    options.engine.naive.time_budget_seconds =
+        std::atof(args.Get("budget", "30").c_str());
+  } else if (algo == "DT" && demo) {
+    options.engine.dt.min_partition_size = 1;
+  }
+  // Results are bit-identical at every thread count (0 = all cores).
+  options.engine.num_threads = std::atoi(args.Get("threads", "0").c_str());
+
+  Engine engine(options);
+  auto dataset = engine.Open(table, query);
+  if (!dataset.ok()) return Fail(dataset.status(), "executing query");
+  std::printf("%s\n", dataset->result().ToString().c_str());
+
+  // One typed request carries every annotation and knob; keys resolve to
+  // result indices when the engine binds them, so a bad key is one clean
+  // KeyError instead of a ValueOrDie crash.
+  ExplainRequest request;
+  auto algorithm = AlgorithmFromString(algo);
+  if (!algorithm.ok()) return Fail(algorithm.status(), "--algorithm");
+  request.WithAlgorithm(*algorithm)
+      .WithLambda(std::atof(args.Get("lambda", "0.8").c_str()))
+      .WithC(std::atof(args.Get("c", "0.5").c_str()));
+
+  const double direction =
+      args.Get("direction", "high") == "low" ? -1.0 : +1.0;
   for (const std::string& key :
        Split(args.Get("outliers", demo ? "12PM,1PM" : ""), ',')) {
-    if (key.empty()) continue;
-    auto idx = qr->FindResult(Trim(key));
-    if (!idx.ok()) return Fail(idx.status(), "--outliers");
-    problem.outliers.push_back(*idx);
+    if (!key.empty()) request.Flag(Trim(key), direction);
   }
   for (const std::string& key :
        Split(args.Get("holdouts", demo ? "11AM" : ""), ',')) {
-    if (key.empty()) continue;
-    auto idx = qr->FindResult(Trim(key));
-    if (!idx.ok()) return Fail(idx.status(), "--holdouts");
-    problem.holdouts.push_back(*idx);
+    if (!key.empty()) request.Holdout(Trim(key));
   }
-  problem.SetUniformErrorVector(
-      args.Get("direction", "high") == "low" ? -1.0 : +1.0);
-  problem.lambda = std::atof(args.Get("lambda", "0.8").c_str());
-  problem.c = std::atof(args.Get("c", "0.5").c_str());
+
   if (args.Has("attrs")) {
+    std::vector<std::string> attrs;
     for (const std::string& a : Split(args.Get("attrs"), ',')) {
-      if (!a.empty()) problem.attributes.push_back(Trim(a));
+      if (!a.empty()) attrs.push_back(Trim(a));
     }
+    request.WithAttributes(std::move(attrs));
+  } else if (demo) {
+    request.WithAttributes({"sensorid", "voltage"});
   } else {
     auto attrs = ExplanationAttributes(table, query);
     if (!attrs.ok()) return Fail(attrs.status(), "deriving attributes");
-    problem.attributes = *attrs;
-    if (demo) problem.attributes = {"sensorid", "voltage"};
+    request.WithAttributes(*attrs);
   }
 
-  ScorpionOptions options;
-  std::string algo = args.Get("algorithm", "DT");
-  if (algo == "MC") {
-    options.algorithm = Algorithm::kMC;
-  } else if (algo == "NAIVE") {
-    options.algorithm = Algorithm::kNaive;
-    options.naive.time_budget_seconds =
-        std::atof(args.Get("budget", "30").c_str());
-  } else {
-    options.algorithm = Algorithm::kDT;
-    if (demo) options.dt.min_partition_size = 1;
-  }
-  // Results are bit-identical at every thread count (0 = all cores).
-  options.num_threads = std::atoi(args.Get("threads", "0").c_str());
-
-  Scorpion scorpion(options);
-  auto explanation = scorpion.Explain(table, *qr, problem);
-  if (!explanation.ok()) return Fail(explanation.status(), "explaining");
+  auto response = dataset->Explain(request);
+  if (!response.ok()) return Fail(response.status(), "explaining");
 
   if (args.Has("json")) {
-    std::fputs(ExplanationToJson(*explanation, &table).c_str(), stdout);
+    std::fputs((response->ToJson() + "\n").c_str(), stdout);
   } else {
-    std::printf("top explanations (%s, %.3fs):\n",
-                AlgorithmToString(explanation->algorithm),
-                explanation->runtime_seconds);
-    for (size_t i = 0; i < explanation->predicates.size(); ++i) {
-      const ScoredPredicate& sp = explanation->predicates[i];
-      std::printf("  #%zu influence=%.4g  %s\n", i + 1, sp.influence,
-                  sp.pred.ToString(&table).c_str());
-    }
+    std::fputs(response->ToString().c_str(), stdout);
   }
   return 0;
 }

@@ -1,17 +1,16 @@
 // Medical-cost analysis: the hospital use case from Section 2. A per-visit
 // cost table where a small set of doctors over-prescribe chemotherapy and
 // radiation, inflating AVG(cost) for cancer patients in some months.
-// Scorpion explains the high-cost months with a predicate over treatment
+// The engine explains the high-cost months with a predicate over treatment
 // and doctor attributes — the "description of high cost areas that can be
-// targeted for cost-cutting" the hospital wanted.
+// targeted for cost-cutting" the hospital wanted. The response's built-in
+// what-if view shows each month's average with those visits removed.
 #include <cstdio>
 #include <string>
 
+#include "api/dataset.h"
 #include "common/macros.h"
 #include "common/random.h"
-#include "core/scorpion.h"
-#include "eval/experiment.h"
-#include "query/groupby.h"
 #include "table/table.h"
 
 using namespace scorpion;
@@ -83,39 +82,36 @@ int main() {
   query.aggregate = "AVG";
   query.agg_attr = "cost";
   query.group_by = {"month"};
-  auto qr = ExecuteGroupBy(*table, query);
-  CHECK_OK(qr);
+
+  Engine engine;
+  auto dataset = engine.Open(*table, query);
+  CHECK_OK(dataset);
   std::printf("AVG(cost) per month:\n");
-  for (const AggregateResult& r : qr->results) {
+  for (const AggregateResult& r : dataset->result().results) {
     std::printf("  %s  $%.0f\n", r.key_string.c_str(), r.value);
   }
 
-  std::vector<std::string> outlier_keys, holdout_keys;
+  // Late months are flagged too-high; the clean early months are hold-outs.
+  ExplainRequest request;
   for (int m = 0; m < kMonths; ++m) {
     char key[8];
     std::snprintf(key, sizeof(key), "m%02d", m);
-    (m >= kOverprescribingStart ? outlier_keys : holdout_keys)
-        .push_back(key);
+    if (m >= kOverprescribingStart) {
+      request.FlagTooHigh(key);
+    } else {
+      request.Holdout(key);
+    }
   }
-  auto problem = MakeProblem(
-      *qr, outlier_keys, holdout_keys, /*error_direction=*/+1.0,
-      /*lambda=*/0.7, /*c=*/0.3,
-      {"doctor", "treatment", "service", "age"});
-  CHECK_OK(problem);
+  request.WithAttributes({"doctor", "treatment", "service", "age"})
+      .WithLambda(0.7)
+      .WithC(0.3)
+      .WithTopK(3);
 
-  ScorpionOptions options;
-  options.algorithm = Algorithm::kDT;
-  Scorpion scorpion(options);
-  auto explanation = scorpion.Explain(*table, *qr, *problem);
-  CHECK_OK(explanation);
+  auto response = dataset->Explain(request);
+  CHECK_OK(response);
 
-  std::printf("\nTop explanations for the cost spike (c=%.1f):\n",
-              problem->c);
-  for (size_t i = 0; i < explanation->predicates.size() && i < 3; ++i) {
-    const ScoredPredicate& sp = explanation->predicates[i];
-    std::printf("  #%zu influence=%10.2f  %s\n", i + 1, sp.influence,
-                sp.pred.ToString(&*table).c_str());
-  }
+  std::printf("\nTop explanations for the cost spike (c=%.1f):\n%s",
+              request.c(), response->ToString().c_str());
   std::printf("\nPlanted cause: doctors dr07/dr13 over-prescribing "
               "CHEMOTHERAPY/RADIATION from month m%02d.\n",
               kOverprescribingStart);

@@ -1,15 +1,25 @@
-// Quickstart: the paper's running example end-to-end (Tables 1-2, query Q1).
+// Quickstart: the paper's running example end-to-end (Tables 1-2, query Q1)
+// on the public API.
 //
 // Builds the nine-row sensors table, runs
 //   SELECT avg(temp), time FROM sensors GROUP BY time
 // flags the 12PM and 1PM results as "too high" with 11AM as the hold-out,
-// and asks Scorpion for the most influential predicate. The expected answer
-// is sensorid = '3' (possibly refined with its low voltage band): sensor 3
-// produced the 100C and 80C readings.
+// and asks the engine for the most influential predicate. The expected
+// answer is sensorid = '3' (possibly refined with its low voltage band):
+// sensor 3 produced the 100C and 80C readings. The core is five lines:
+//
+//   Engine engine;
+//   auto dataset = engine.Open(table, query);
+//   auto response = dataset->Explain(ExplainRequest()
+//       .FlagTooHigh("12PM").FlagTooHigh("1PM").Holdout("11AM")
+//       .WithAttributes({"sensorid", "voltage"}).WithLambda(0.8).WithC(0.5));
+//
+// The response carries the ranked predicates AND the per-result "what if"
+// view (each group's value with the winning predicate's tuples deleted) —
+// no Scorer plumbing required.
 #include <cstdio>
 
-#include "core/scorpion.h"
-#include "query/groupby.h"
+#include "api/dataset.h"
 #include "table/table.h"
 
 using namespace scorpion;
@@ -67,51 +77,34 @@ int main() {
   query.agg_attr = "temp";
   query.group_by = {"time"};
 
-  auto qr = ExecuteGroupBy(table, query);
-  CHECK_OK(qr);
-  std::printf("== Query result (Table 2) ==\n%s\n", qr->ToString().c_str());
+  EngineOptions options;
+  options.engine.dt.min_partition_size = 1;  // tiny dataset: split all the way
+  Engine engine(options);
+
+  auto dataset = engine.Open(table, query);
+  CHECK_OK(dataset);
+  std::printf("== Query result (Table 2) ==\n%s\n",
+              dataset->result().ToString().c_str());
 
   // The analyst flags 12PM and 1PM as too high; 11AM looks normal.
-  ProblemSpec problem;
-  CHECK_OK(qr->FindResult("12PM"));
-  problem.outliers = {qr->FindResult("12PM").ValueOrDie(),
-                      qr->FindResult("1PM").ValueOrDie()};
-  problem.holdouts = {qr->FindResult("11AM").ValueOrDie()};
-  problem.SetUniformErrorVector(+1.0);  // "too high"
-  problem.lambda = 0.8;
-  problem.c = 0.5;
-  problem.attributes = {"sensorid", "voltage"};
+  ExplainRequest request = ExplainRequest()
+                               .FlagTooHigh("12PM")
+                               .FlagTooHigh("1PM")
+                               .Holdout("11AM")
+                               .WithAttributes({"sensorid", "voltage"})
+                               .WithLambda(0.8)
+                               .WithC(0.5);
 
-  ScorpionOptions options;
-  options.algorithm = Algorithm::kDT;
-  options.dt.min_partition_size = 1;  // tiny dataset: split all the way
-  Scorpion scorpion(options);
-  auto explanation = scorpion.Explain(table, *qr, problem);
-  CHECK_OK(explanation);
+  auto response = dataset->Explain(request);
+  CHECK_OK(response);
 
-  std::printf("== Scorpion explanation (algorithm=%s, %.1f ms) ==\n",
-              AlgorithmToString(explanation->algorithm),
-              explanation->runtime_seconds * 1e3);
-  for (size_t i = 0; i < explanation->predicates.size(); ++i) {
-    const ScoredPredicate& sp = explanation->predicates[i];
-    std::printf("  #%zu influence=%8.3f  %s\n", i + 1, sp.influence,
-                sp.pred.ToString(&table).c_str());
-  }
+  // Ranked predicates and the built-in "what if" view (the UI's
+  // click-through in Figure 2).
+  std::printf("== Scorpion explanation ==\n%s\n",
+              response->ToString().c_str());
 
-  // Show the "what if" view: query results with the top predicate's tuples
-  // deleted (the UI's click-through in Figure 2).
-  auto scorer = Scorer::Make(table, *qr, problem);
-  CHECK_OK(scorer);
-  const Predicate& best = explanation->best().pred;
-  auto bound = best.Bind(table);
-  CHECK_OK(bound);
-  std::printf("\n== Results after deleting matching tuples ==\n");
-  for (int i = 0; i < static_cast<int>(qr->results.size()); ++i) {
-    const AggregateResult& r = qr->results[i];
-    Selection matched = bound->Filter(r.input_group);
-    double updated = scorer->UpdatedValue(i, matched);
-    std::printf("  %-5s %8.2f -> %8.2f  (%zu tuples removed)\n",
-                r.key_string.c_str(), r.value, updated, matched.size());
-  }
+  // The same request is a wire-format value: this JSON is what a remote
+  // front-end would send.
+  std::printf("== Request on the wire ==\n%s\n", request.ToJson().c_str());
   return 0;
 }

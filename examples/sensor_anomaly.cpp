@@ -1,12 +1,19 @@
 // Sensor anomaly walkthrough: the first INTEL workload from Section 8.4 on
 // the synthetic sensor trace. A mote starts emitting >100C readings halfway
-// through the trace; STDDEV(temp) per hour explodes. Scorpion (DT) is asked
-// to explain the anomalous hours at several c values: at low c it returns
-// the bare sensorid clause, at high c it refines with the voltage/light
-// bands the failing mote exhibits — the paper's qualitative result.
+// through the trace; STDDEV(temp) per hour explodes. The engine (DT) is
+// asked to explain the anomalous hours at several c values: at low c it
+// returns the bare sensorid clause, at high c it refines with the
+// voltage/light bands the failing mote exhibits — the paper's qualitative
+// result.
+//
+// The c sweep is submitted through Dataset::ExplainAsync: all five requests
+// are in flight at once, and because they share the dataset's session the
+// DT partitioning is computed once and every other request rescans only the
+// merge (the Section 8.3.3 cache, no Prepare() choreography).
 #include <cstdio>
+#include <vector>
 
-#include "core/scorpion.h"
+#include "api/dataset.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "workload/sensor.h"
@@ -27,51 +34,69 @@ int main() {
   SensorOptions opts;
   opts.mode = SensorFailureMode::kDyingSensor;
   opts.failing_sensor = 15;
-  auto dataset = GenerateSensor(opts);
-  CHECK_OK(dataset);
+  auto dataset_gen = GenerateSensor(opts);
+  CHECK_OK(dataset_gen);
   std::printf("Generated %zu readings from %d sensors over %d hours.\n",
-              dataset->table.num_rows(), opts.num_sensors, opts.num_hours);
+              dataset_gen->table.num_rows(), opts.num_sensors,
+              opts.num_hours);
   std::printf("Planted failure: sensor %d dies at hour %d (temp > 100C).\n\n",
               opts.failing_sensor, opts.failure_start_hour);
 
-  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
-  CHECK_OK(qr);
-  std::printf("Query: %s\n", dataset->query.ToString().c_str());
+  Engine engine;
+  auto dataset = engine.Open(dataset_gen->table, dataset_gen->query);
+  CHECK_OK(dataset);
+  std::printf("Query: %s\n", dataset_gen->query.ToString().c_str());
   std::printf("  %zu hourly groups; %zu flagged as outliers (stddev spike), "
               "%zu hold-outs.\n\n",
-              qr->results.size(), dataset->outlier_keys.size(),
-              dataset->holdout_keys.size());
+              dataset->result().results.size(),
+              dataset_gen->outlier_keys.size(),
+              dataset_gen->holdout_keys.size());
 
-  auto outlier_union_problem =
-      MakeProblem(*qr, dataset->outlier_keys, dataset->holdout_keys,
-                  /*error_direction=*/+1.0, /*lambda=*/0.7, /*c=*/0.0,
-                  dataset->attributes);
-  CHECK_OK(outlier_union_problem);
-  auto outlier_union = OutlierUnion(*qr, *outlier_union_problem);
+  ExplainRequest base;
+  for (const std::string& key : dataset_gen->outlier_keys) {
+    base.FlagTooHigh(key);
+  }
+  base.Holdouts(dataset_gen->holdout_keys)
+      .WithAttributes(dataset_gen->attributes)
+      .WithLambda(0.7);
+
+  // Ground-truth row set for F-score reporting (evaluation-side helper; the
+  // resolved ProblemSpec comes straight from the request).
+  auto problem = dataset->Resolve(base);
+  CHECK_OK(problem);
+  auto outlier_union = OutlierUnion(dataset->result(), *problem);
   CHECK_OK(outlier_union);
 
-  ScorpionOptions options;
-  options.algorithm = Algorithm::kDT;
-  Scorpion scorpion(options);
-  auto prep = scorpion.Prepare(dataset->table, *qr, *outlier_union_problem);
-  if (!prep.ok()) {
-    std::fprintf(stderr, "Prepare failed: %s\n", prep.ToString().c_str());
-    return 1;
+  // Submit the whole c sweep asynchronously; the shared session computes
+  // the DT partitioning exactly once.
+  const std::vector<double> cs = {0.0, 0.25, 0.5, 0.75, 1.0};
+  std::vector<PendingExplanation> pending;
+  for (double c : cs) {
+    auto handle = dataset->ExplainAsync(ExplainRequest(base).WithC(c));
+    CHECK_OK(handle);
+    pending.push_back(std::move(*handle));
   }
 
   std::printf("%-5s %-12s %-10s %s\n", "c", "influence", "F-score",
               "predicate");
-  for (double c : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    auto explanation = scorpion.ExplainWithC(c);
-    CHECK_OK(explanation);
-    const ScoredPredicate& best = explanation->best();
-    auto acc = EvaluatePredicate(dataset->table, best.pred, *outlier_union,
-                                 dataset->ground_truth_rows);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    auto response = pending[i].Get();
+    CHECK_OK(response);
+    const RankedPredicate& best = response->best();
+    auto acc = EvaluatePredicate(dataset_gen->table, best.pred,
+                                 *outlier_union,
+                                 dataset_gen->ground_truth_rows);
     CHECK_OK(acc);
-    std::printf("%-5.2f %-12.4g %-10.3f %s\n", c, best.influence,
-                acc->f_score, best.pred.ToString(&dataset->table).c_str());
+    std::printf("%-5.2f %-12.4g %-10.3f %s\n", cs[i], best.influence,
+                acc->f_score, best.display.c_str());
   }
-  std::printf("\nPlanted cause: %s\n",
-              dataset->expected.ToString(&dataset->table).c_str());
+  ServiceStatsSnapshot stats = engine.service_stats();
+  std::printf("\nasync sweep: %llu requests, %llu served from the session "
+              "cache\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.cache_partition_hits +
+                                              stats.cache_result_hits));
+  std::printf("Planted cause: %s\n",
+              dataset_gen->expected.ToString(&dataset_gen->table).c_str());
   return 0;
 }

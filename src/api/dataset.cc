@@ -1,0 +1,277 @@
+#include "api/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "core/scorer.h"
+
+namespace scorpion {
+
+namespace {
+
+/// Everything that fixes an ExplainSession's validity except c: the shared
+/// annotation serialization (core/problem.h). The table and query result
+/// are fixed per Dataset, so unlike the service's ProblemKey no identity
+/// prefix is needed. Requests agreeing on this key share cached DT
+/// partitions at any c; requests differing in it must NOT share a session —
+/// an exact-c hit would hand one problem the other's results.
+std::string AnnotationKey(const ProblemSpec& problem, Algorithm algorithm) {
+  std::string key;
+  AppendAnnotationKey(problem, algorithm, &key);
+  return key;
+}
+
+/// Assembles the public response from an engine Explanation: ranked
+/// predicates with display strings, the per-result what-if view for the
+/// winning predicate, and stats. Free-standing so PendingExplanation can
+/// build responses without the (possibly moved-from) Dataset.
+Result<ExplainResponse> BuildResponse(const Table& table,
+                                      const QueryResult& result,
+                                      const ProblemSpec& problem,
+                                      bool with_what_if,
+                                      Explanation explanation) {
+  ExplainResponse response;
+  response.algorithm = explanation.algorithm;
+  response.predicates.reserve(explanation.predicates.size());
+  for (const ScoredPredicate& sp : explanation.predicates) {
+    RankedPredicate rp;
+    rp.pred = sp.pred;
+    rp.influence = sp.influence;
+    rp.display = sp.pred.ToString(&table);
+    response.predicates.push_back(std::move(rp));
+  }
+  response.checkpoints.reserve(explanation.naive_checkpoints.size());
+  for (const NaiveCheckpoint& cp : explanation.naive_checkpoints) {
+    CheckpointEntry entry;
+    entry.elapsed_seconds = cp.elapsed_seconds;
+    entry.influence = cp.influence;
+    entry.pred = cp.pred;
+    response.checkpoints.push_back(std::move(entry));
+  }
+  response.naive_exhausted = explanation.naive_exhausted;
+  response.stats.runtime_seconds = explanation.runtime_seconds;
+  response.stats.cache_partitions_hit = explanation.cache_partitions_hit;
+  response.stats.cache_result_hit = explanation.cache_result_hit;
+  response.stats.predicate_scores = explanation.scorer_stats.predicate_scores;
+  response.stats.group_deltas = explanation.scorer_stats.group_deltas;
+  response.stats.tuple_scores = explanation.scorer_stats.tuple_scores;
+  response.stats.rows_filtered = explanation.scorer_stats.rows_filtered;
+  response.stats.match_cache_hits =
+      explanation.scorer_stats.match_cache_hits;
+
+  // The built-in what-if view (Figure 2's click-through): every result
+  // group's value with the winning predicate's tuples deleted. Costs one
+  // pass over the table, so requests can opt out (WithWhatIf(false)).
+  if (with_what_if && !response.predicates.empty()) {
+    SCORPION_ASSIGN_OR_RETURN(Scorer scorer,
+                              Scorer::Make(table, result, problem));
+    const Predicate& best = response.predicates.front().pred;
+    SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, best.Bind(table));
+    response.what_if.reserve(result.results.size());
+    for (int i = 0; i < static_cast<int>(result.results.size()); ++i) {
+      const AggregateResult& r = result.results[i];
+      Selection matched = bound.Filter(r.input_group);
+      WhatIfEntry entry;
+      entry.key = r.key_string;
+      entry.original = r.value;
+      entry.updated = scorer.UpdatedValue(i, matched);
+      entry.tuples_removed = matched.size();
+      entry.is_outlier =
+          std::find(problem.outliers.begin(), problem.outliers.end(), i) !=
+          problem.outliers.end();
+      entry.is_holdout =
+          std::find(problem.holdouts.begin(), problem.holdouts.end(), i) !=
+          problem.holdouts.end();
+      response.what_if.push_back(std::move(entry));
+    }
+  }
+  return response;
+}
+
+}  // namespace
+
+// --- Engine ------------------------------------------------------------------
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  int scoring_threads = options_.engine.num_threads;
+  if (scoring_threads == 0) scoring_threads = ThreadPool::DefaultNumThreads();
+  if (scoring_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(scoring_threads);
+  }
+}
+
+Engine::~Engine() = default;
+
+Result<Dataset> Engine::Open(const Table& table, GroupByQuery query) {
+  SCORPION_ASSIGN_OR_RETURN(QueryResult result,
+                            ExecuteGroupBy(table, query));
+  return Dataset(this, &table,
+                 std::make_shared<QueryResult>(std::move(result)));
+}
+
+bool Engine::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  if (service_ == nullptr) return false;
+  return service_->Cancel(id);
+}
+
+ServiceStatsSnapshot Engine::service_stats() const {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  if (service_ == nullptr) return ServiceStatsSnapshot{};
+  return service_->stats();
+}
+
+ExplanationService& Engine::service() {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  if (service_ == nullptr) {
+    ServiceOptions service_options;
+    service_options.engine = options_.engine;
+    service_options.num_workers = options_.num_workers;
+    service_options.max_queue_depth = options_.max_queue_depth;
+    service_options.cache_enabled = options_.cache_enabled;
+    service_options.cross_c_warm_start = options_.cross_c_warm_start;
+    service_ = std::make_unique<ExplanationService>(service_options);
+  }
+  return *service_;
+}
+
+// --- Dataset -----------------------------------------------------------------
+
+/// Keyed session store: one internally synchronized ExplainSession per
+/// annotation set, LRU-bounded so a client cycling through annotation sets
+/// cannot grow a dataset without bound.
+struct Dataset::SessionStore {
+  struct Entry {
+    std::shared_ptr<ExplainSession> session;
+    uint64_t last_used = 0;
+  };
+
+  static constexpr size_t kMaxSessions = 8;
+
+  std::mutex mu;
+  uint64_t clock = 0;
+  std::map<std::string, Entry> sessions;
+};
+
+Dataset::Dataset(Engine* engine, const Table* table,
+                 std::shared_ptr<QueryResult> result)
+    : engine_(engine),
+      table_(table),
+      result_(std::move(result)),
+      sessions_(std::make_unique<SessionStore>()) {}
+
+Dataset::Dataset(Dataset&&) noexcept = default;
+Dataset& Dataset::operator=(Dataset&&) noexcept = default;
+Dataset::~Dataset() = default;
+
+Result<ProblemSpec> Dataset::Resolve(const ExplainRequest& request) const {
+  return request.Resolve(*result_);
+}
+
+void Dataset::ClearCache() {
+  std::lock_guard<std::mutex> lock(sessions_->mu);
+  for (auto& [key, entry] : sessions_->sessions) entry.session->Clear();
+}
+
+std::shared_ptr<ExplainSession> Dataset::SessionFor(
+    const ProblemSpec& problem, Algorithm algorithm) const {
+  if (!engine_->options().cache_enabled) return nullptr;
+  // Only DT consults a session (Scorpion::Run's other branches ignore it);
+  // storing entries for NAIVE/MC would let useless keys evict live DT ones.
+  if (algorithm != Algorithm::kDT) return nullptr;
+  const std::string key = AnnotationKey(problem, algorithm);
+  std::lock_guard<std::mutex> lock(sessions_->mu);
+  SessionStore::Entry& entry = sessions_->sessions[key];
+  if (entry.session == nullptr) {
+    entry.session = std::make_shared<ExplainSession>();
+    if (sessions_->sessions.size() > SessionStore::kMaxSessions) {
+      // Evict the least-recently-used *other* key (map nodes are stable, so
+      // `entry` survives); in-flight jobs keep an evicted session alive
+      // through their shared_ptr.
+      auto victim = sessions_->sessions.end();
+      for (auto it = sessions_->sessions.begin();
+           it != sessions_->sessions.end(); ++it) {
+        if (it->first == key) continue;
+        if (victim == sessions_->sessions.end() ||
+            it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+      if (victim != sessions_->sessions.end()) {
+        sessions_->sessions.erase(victim);
+      }
+    }
+  }
+  entry.last_used = ++sessions_->clock;
+  return entry.session;
+}
+
+Result<ExplainResponse> Dataset::Explain(const ExplainRequest& request) const {
+  SCORPION_ASSIGN_OR_RETURN(ProblemSpec problem, Resolve(request));
+
+  ScorpionOptions engine_options = engine_->options().engine;
+  engine_options.algorithm = request.algorithm();
+  if (request.top_k() > 0) engine_options.top_k = request.top_k();
+  Scorpion engine(engine_options);
+  engine.set_thread_pool(engine_->scoring_pool());
+
+  std::shared_ptr<ExplainSession> session =
+      SessionFor(problem, request.algorithm());
+  Result<Explanation> explanation =
+      session != nullptr
+          ? engine.ExplainShared(*table_, *result_, problem, session.get(),
+                                 engine_->options().cross_c_warm_start)
+          : engine.Explain(*table_, *result_, problem);
+  if (!explanation.ok()) return explanation.status();
+  return BuildResponse(*table_, *result_, problem, request.what_if(),
+                       std::move(*explanation));
+}
+
+Result<PendingExplanation> Dataset::ExplainAsync(
+    const ExplainRequest& request) const {
+  SCORPION_ASSIGN_OR_RETURN(ProblemSpec problem, Resolve(request));
+
+  Job job;
+  job.table = table_;
+  job.query_result = result_.get();
+  job.query_result_owner = result_;  // outlives dropped handles + Dataset
+  job.problem = problem;
+  job.algorithm = request.algorithm();
+  job.top_k = request.top_k();
+  job.priority = request.priority();
+  if (request.deadline_seconds().has_value()) {
+    SCORPION_RETURN_NOT_OK(
+        job.set_deadline_after(*request.deadline_seconds()));
+  }
+  job.session = SessionFor(problem, request.algorithm());
+
+  Response response = engine_->service().Submit(std::move(job));
+  return PendingExplanation(table_, result_, std::move(problem),
+                            request.what_if(), std::move(response));
+}
+
+// --- PendingExplanation ------------------------------------------------------
+
+PendingExplanation::PendingExplanation(
+    const Table* table, std::shared_ptr<const QueryResult> result,
+    ProblemSpec problem, bool with_what_if, Response response)
+    : table_(table),
+      result_(std::move(result)),
+      problem_(std::move(problem)),
+      with_what_if_(with_what_if),
+      response_(std::move(response)) {}
+
+Result<ExplainResponse> PendingExplanation::Get() {
+  if (!response_.future.valid()) {
+    return Status::InvalidArgument(
+        "PendingExplanation::Get() may only be called once");
+  }
+  Result<Explanation> explanation = response_.future.get();
+  if (!explanation.ok()) return explanation.status();
+  return BuildResponse(*table_, *result_, problem_, with_what_if_,
+                       std::move(*explanation));
+}
+
+}  // namespace scorpion

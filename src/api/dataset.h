@@ -1,0 +1,196 @@
+// The public entry point: Engine::Open(table, query) executes the group-by
+// and returns a Dataset handle owning the QueryResult and an ExplainSession.
+// All explanation traffic goes through the handle —
+//
+//   Engine engine;
+//   auto dataset = engine.Open(table, query);
+//   auto response = dataset->Explain(ExplainRequest()
+//       .FlagTooHigh("12PM").Holdout("11AM")
+//       .WithAttributes({"sensorid", "voltage"}).WithC(0.5));
+//
+// — replacing the three Scorpion entry modes (Explain / ExplainShared /
+// Prepare+ExplainWithC) on the old surface. Scorpion remains the internal
+// engine this facade drives. Sync and async explains share the dataset's
+// session, so a c-slider sweep reuses DT partitions and merged results
+// (Section 8.3.3) with no Prepare() choreography, and results stay
+// byte-identical to a direct engine run unless cross-c warm starts are
+// explicitly enabled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/explain_request.h"
+#include "api/explain_response.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/scorpion.h"
+#include "query/groupby.h"
+#include "service/service.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+class Dataset;
+class PendingExplanation;
+
+/// Engine-wide tuning: the inner Scorpion knobs plus the serving knobs the
+/// async path (one ExplanationService per Engine) runs with.
+struct EngineOptions {
+  /// Inner engine tuning. `engine.algorithm` and `engine.top_k` act as
+  /// defaults a request can override; `engine.num_threads` sizes the scoring
+  /// pool shared by every dataset (0 = one thread per core, 1 = serial).
+  ScorpionOptions engine;
+  /// Worker threads executing async requests.
+  int num_workers = 2;
+  /// Async queue bound; beyond it admission control sheds (Unavailable).
+  size_t max_queue_depth = 256;
+  /// Master switch for session caching across a dataset's explains.
+  bool cache_enabled = true;
+  /// Opt-in Section 8.3.3 cross-c warm starts: influence can only improve,
+  /// but results then depend on which c values ran first. Off by default so
+  /// every response is byte-identical to a direct Scorpion::Explain().
+  bool cross_c_warm_start = false;
+};
+
+/// \brief Factory for Dataset handles; owns the scoring pool and the async
+/// serving stack they share. Must outlive every Dataset it opened.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  /// Executes `query` over `table` and returns the handle for explaining
+  /// its results. The table is borrowed and must outlive the Dataset; the
+  /// executed QueryResult is owned by the handle.
+  Result<Dataset> Open(const Table& table, GroupByQuery query);
+
+  /// Cancels a queued async request by id (see PendingExplanation::id());
+  /// false if it already started, finished, or was never queued.
+  bool Cancel(uint64_t id);
+
+  /// Serving-side counters of the async path (zeros until the first
+  /// ExplainAsync call starts the service).
+  ServiceStatsSnapshot service_stats() const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  friend class Dataset;
+
+  /// The shared scoring pool (nullptr = serial).
+  ThreadPool* scoring_pool() { return pool_.get(); }
+
+  /// The async service, started on first use so sync-only engines spawn no
+  /// worker threads.
+  ExplanationService& service();
+
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex service_mu_;
+  std::unique_ptr<ExplanationService> service_;
+};
+
+/// \brief Handle over one executed query: owns the QueryResult and the
+/// ExplainSessions its explains share. Movable; not for concurrent
+/// mutation, but Explain()/ExplainAsync() are const and safe to call from
+/// many threads (session lookup and the sessions themselves are internally
+/// synchronized).
+///
+/// Sessions are keyed by annotation set: an ExplainSession is only valid
+/// for one (problem-sans-c) instance, so requests differing in outliers,
+/// hold-outs, lambda, weights, attributes or algorithm get distinct
+/// sessions (LRU-bounded), while a c sweep over one annotation set shares
+/// its session across the sync and async paths.
+class Dataset {
+ public:
+  Dataset(Dataset&&) noexcept;
+  Dataset& operator=(Dataset&&) noexcept;
+  ~Dataset();
+
+  const Table& table() const { return *table_; }
+  const QueryResult& result() const { return *result_; }
+
+  /// Resolves a request's keyed annotations against this dataset's query
+  /// result (the one place keys become indices). Exposed for callers that
+  /// need the engine-level ProblemSpec, e.g. for evaluation harnesses.
+  Result<ProblemSpec> Resolve(const ExplainRequest& request) const;
+
+  /// Runs the request synchronously. Deterministic by default: the response
+  /// is byte-identical to a direct engine run of the resolved problem, and
+  /// repeated explains at different c reuse this dataset's session cache.
+  Result<ExplainResponse> Explain(const ExplainRequest& request) const;
+
+  /// Submits the request to the engine's async service (priority, deadline
+  /// and admission control apply) and returns a pending handle. The dataset
+  /// must outlive the handle's resolution.
+  Result<PendingExplanation> ExplainAsync(const ExplainRequest& request) const;
+
+  /// Drops this dataset's cached partitions and merged results (every
+  /// annotation set's session).
+  void ClearCache();
+
+ private:
+  friend class Engine;
+
+  Dataset(Engine* engine, const Table* table,
+          std::shared_ptr<QueryResult> result);
+
+  /// The session for one annotation set (created on first use, LRU-bounded;
+  /// see the class comment). Disabled caching returns nullptr.
+  std::shared_ptr<ExplainSession> SessionFor(const ProblemSpec& problem,
+                                             Algorithm algorithm) const;
+
+  Engine* engine_;
+  const Table* table_;
+  // shared_ptr keeps the result alive (and its address stable) for
+  // in-flight async jobs and PendingExplanations even if the Dataset is
+  // moved or destroyed first.
+  std::shared_ptr<QueryResult> result_;
+  // Keyed session store behind a pointer so the Dataset stays movable (the
+  // store holds a mutex).
+  struct SessionStore;
+  std::unique_ptr<SessionStore> sessions_;
+};
+
+/// \brief Handle for one in-flight ExplainAsync request.
+///
+/// Get() blocks until the engine finishes (or the request is shed, expires,
+/// or is cancelled — see the service error contract) and can be called
+/// once. The handle shares ownership of the query result, so it stays
+/// valid even if the Dataset that issued it is moved or destroyed; only
+/// the table (borrowed) and the Engine must outlive it.
+class PendingExplanation {
+ public:
+  PendingExplanation(PendingExplanation&&) = default;
+  PendingExplanation& operator=(PendingExplanation&&) = default;
+
+  /// Service-unique id, usable with Engine::Cancel().
+  uint64_t id() const { return response_.id; }
+
+  /// True until Get() consumes the result.
+  bool valid() const { return response_.future.valid(); }
+
+  Result<ExplainResponse> Get();
+
+ private:
+  friend class Dataset;
+
+  PendingExplanation(const Table* table,
+                     std::shared_ptr<const QueryResult> result,
+                     ProblemSpec problem, bool with_what_if,
+                     Response response);
+
+  const Table* table_;
+  std::shared_ptr<const QueryResult> result_;
+  ProblemSpec problem_;
+  bool with_what_if_ = true;
+  Response response_;
+};
+
+}  // namespace scorpion

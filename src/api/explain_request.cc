@@ -1,0 +1,156 @@
+#include "api/explain_request.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+ExplainRequest& ExplainRequest::FlagTooHigh(std::string key) {
+  return Flag(std::move(key), +1.0);
+}
+
+ExplainRequest& ExplainRequest::FlagTooLow(std::string key) {
+  return Flag(std::move(key), -1.0);
+}
+
+ExplainRequest& ExplainRequest::Flag(std::string key, double error) {
+  outliers_.push_back(OutlierFlag{std::move(key), error});
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::Holdout(std::string key) {
+  holdouts_.push_back(std::move(key));
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::Holdouts(const std::vector<std::string>& keys) {
+  holdouts_.insert(holdouts_.end(), keys.begin(), keys.end());
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithAttributes(
+    std::vector<std::string> attributes) {
+  attributes_ = std::move(attributes);
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithAlgorithm(Algorithm algorithm) {
+  algorithm_ = algorithm;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithC(double c) {
+  c_ = c;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithLambda(double lambda) {
+  lambda_ = lambda;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithInfluenceMode(InfluenceMode mode) {
+  influence_mode_ = mode;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithTopK(size_t top_k) {
+  top_k_ = top_k;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithWhatIf(bool enabled) {
+  what_if_ = enabled;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithPriority(int priority) {
+  priority_ = priority;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithDeadlineAfter(double seconds) {
+  deadline_seconds_ = seconds;
+  return *this;
+}
+
+ExplainRequest& ExplainRequest::WithoutDeadline() {
+  deadline_seconds_.reset();
+  return *this;
+}
+
+Status ExplainRequest::Validate() const {
+  if (outliers_.empty()) {
+    return Status::InvalidArgument(
+        "at least one outlier flag is required (FlagTooHigh/FlagTooLow)");
+  }
+  std::set<std::string> outlier_keys;
+  for (const OutlierFlag& flag : outliers_) {
+    if (!outlier_keys.insert(flag.key).second) {
+      return Status::InvalidArgument("result '" + flag.key +
+                                     "' is flagged as an outlier twice");
+    }
+    if (!std::isfinite(flag.error) || flag.error == 0.0) {
+      return Status::InvalidArgument("outlier '" + flag.key +
+                                     "' needs a finite, non-zero error weight");
+    }
+  }
+  std::set<std::string> holdout_keys;
+  for (const std::string& key : holdouts_) {
+    if (!holdout_keys.insert(key).second) {
+      return Status::InvalidArgument("result '" + key +
+                                     "' is marked as a hold-out twice");
+    }
+    if (outlier_keys.count(key) > 0) {
+      return Status::InvalidArgument(
+          "result '" + key + "' is flagged as both outlier and hold-out");
+    }
+  }
+  if (!std::isfinite(lambda_) || lambda_ < 0.0 || lambda_ > 1.0) {
+    return Status::InvalidArgument("lambda must be finite and in [0, 1]");
+  }
+  if (!std::isfinite(c_) || c_ < 0.0) {
+    return Status::InvalidArgument("c must be finite and non-negative");
+  }
+  if (attributes_.empty()) {
+    return Status::InvalidArgument(
+        "at least one explanation attribute is required (WithAttributes)");
+  }
+  std::set<std::string> attr_set(attributes_.begin(), attributes_.end());
+  if (attr_set.size() != attributes_.size()) {
+    return Status::InvalidArgument("duplicate explanation attribute");
+  }
+  if (deadline_seconds_.has_value() &&
+      (!std::isfinite(*deadline_seconds_) || *deadline_seconds_ < 0.0)) {
+    return Status::InvalidArgument(
+        "deadline must be finite and non-negative seconds");
+  }
+  return Status::OK();
+}
+
+Result<ProblemSpec> ExplainRequest::Resolve(const QueryResult& result) const {
+  SCORPION_RETURN_NOT_OK(Validate());
+
+  std::vector<std::string> outlier_keys;
+  outlier_keys.reserve(outliers_.size());
+  for (const OutlierFlag& flag : outliers_) outlier_keys.push_back(flag.key);
+
+  ProblemSpec problem;
+  SCORPION_ASSIGN_OR_RETURN(problem.outliers,
+                            result.FindResults(outlier_keys));
+  SCORPION_ASSIGN_OR_RETURN(problem.holdouts, result.FindResults(holdouts_));
+  problem.error_vectors.reserve(outliers_.size());
+  for (const OutlierFlag& flag : outliers_) {
+    problem.error_vectors.push_back(flag.error);
+  }
+  problem.lambda = lambda_;
+  problem.c = c_;
+  problem.attributes = attributes_;
+  problem.influence_mode = influence_mode_;
+  SCORPION_RETURN_NOT_OK(problem.Validate(result));
+  return problem;
+}
+
+}  // namespace scorpion

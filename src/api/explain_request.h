@@ -1,0 +1,144 @@
+// ExplainRequest: the one typed, serializable description of an explanation
+// job on the public API surface. Annotations are **key-based** — analysts
+// flag result groups by their key string ("12PM"), the way the paper's
+// Figure 2 UI works — and are resolved to QueryResult indices exactly once,
+// when the request is bound to a Dataset's query result. This replaces the
+// raw-index ProblemSpec assembly (FindResult().ValueOrDie() per key) and the
+// service Request's dual-c footgun on the old surface.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "core/problem.h"
+#include "query/groupby.h"
+
+namespace scorpion {
+
+/// One outlier annotation: a result-group key plus its error direction and
+/// weight. `error` > 0 means the result is too high (removal should lower
+/// it), < 0 too low; magnitudes other than 1 weight outliers relative to
+/// each other (the ProblemSpec error-vector semantics, keyed).
+struct OutlierFlag {
+  std::string key;
+  double error = 1.0;
+
+  bool operator==(const OutlierFlag& other) const = default;
+};
+
+/// \brief Fluent, validated builder for one explanation job.
+///
+///   ExplainRequest request = ExplainRequest()
+///       .FlagTooHigh("12PM").FlagTooHigh("1PM").Holdout("11AM")
+///       .WithAttributes({"sensorid", "voltage"})
+///       .WithLambda(0.8).WithC(0.5);
+///   auto response = dataset.Explain(request);
+///
+/// The builder holds keys, not indices; Resolve() binds them against a
+/// concrete QueryResult (Dataset::Explain calls it for you). Requests are
+/// plain values: copyable, comparable, and JSON-serializable (ToJson /
+/// FromJson round-trip bit-identically), so they can cross a process
+/// boundary — the wire format the ROADMAP's multi-process service speaks.
+class ExplainRequest {
+ public:
+  ExplainRequest() = default;
+
+  // --- Annotations -----------------------------------------------------------
+
+  /// Flags the result group with key `key` as "too high" (error +1).
+  ExplainRequest& FlagTooHigh(std::string key);
+  /// Flags the result group as "too low" (error -1).
+  ExplainRequest& FlagTooLow(std::string key);
+  /// Flags with an explicit signed error weight (must be finite, non-zero).
+  ExplainRequest& Flag(std::string key, double error);
+  /// Marks the result group as a hold-out (its value should not move).
+  ExplainRequest& Holdout(std::string key);
+  /// Convenience: marks every key in `keys` as a hold-out.
+  ExplainRequest& Holdouts(const std::vector<std::string>& keys);
+
+  // --- Knobs -----------------------------------------------------------------
+
+  /// Attributes predicates may mention (required; A_rest or a subset).
+  ExplainRequest& WithAttributes(std::vector<std::string> attributes);
+  ExplainRequest& WithAlgorithm(Algorithm algorithm);
+  /// Cardinality exponent (Section 7); must be finite and >= 0.
+  ExplainRequest& WithC(double c);
+  /// Outlier-vs-holdout weight (Section 3.2); must be finite, in [0, 1].
+  ExplainRequest& WithLambda(double lambda);
+  ExplainRequest& WithInfluenceMode(InfluenceMode mode);
+  /// Ranked predicates to return; 0 keeps the engine default.
+  ExplainRequest& WithTopK(size_t top_k);
+  /// Whether the response carries the per-result what-if view (default
+  /// true). Building it costs one pass over the table, which dominates a
+  /// session-cache hit — latency-sensitive repeat callers turn it off.
+  ExplainRequest& WithWhatIf(bool enabled);
+
+  // --- Serving metadata (used by Dataset::ExplainAsync) ----------------------
+
+  /// Higher-priority requests are dequeued first.
+  ExplainRequest& WithPriority(int priority);
+  /// Relative deadline: if the request has not started running this many
+  /// seconds after submission it completes with DeadlineExceeded. Must be
+  /// finite and >= 0; kept relative so it serializes meaningfully.
+  ExplainRequest& WithDeadlineAfter(double seconds);
+  /// Removes a previously set deadline.
+  ExplainRequest& WithoutDeadline();
+
+  // --- Introspection ---------------------------------------------------------
+
+  const std::vector<OutlierFlag>& outliers() const { return outliers_; }
+  const std::vector<std::string>& holdouts() const { return holdouts_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  Algorithm algorithm() const { return algorithm_; }
+  double c() const { return c_; }
+  double lambda() const { return lambda_; }
+  InfluenceMode influence_mode() const { return influence_mode_; }
+  size_t top_k() const { return top_k_; }
+  bool what_if() const { return what_if_; }
+  int priority() const { return priority_; }
+  const std::optional<double>& deadline_seconds() const {
+    return deadline_seconds_;
+  }
+
+  // --- Validation and binding ------------------------------------------------
+
+  /// Key-level validation (no query result needed): at least one outlier,
+  /// no duplicate outlier/hold-out keys, no key flagged as both, finite
+  /// non-zero error weights, knob domains, a non-empty attribute list, and
+  /// a finite non-negative deadline when one is set.
+  Status Validate() const;
+
+  /// Resolves the keyed annotations against a concrete query result —
+  /// exactly once per binding — into the engine's ProblemSpec. Unknown keys
+  /// report KeyError naming the key. The resolved spec is index-based and
+  /// carries this request's c, so nothing downstream can disagree about it.
+  Result<ProblemSpec> Resolve(const QueryResult& result) const;
+
+  // --- Wire format -----------------------------------------------------------
+
+  /// Serializes to the JSON wire format. FromJson(ToJson(r)) == r, and
+  /// ToJson(FromJson(ToJson(r))) is byte-identical to ToJson(r).
+  std::string ToJson() const;
+  static Result<ExplainRequest> FromJson(const std::string& json);
+
+  bool operator==(const ExplainRequest& other) const = default;
+
+ private:
+  std::vector<OutlierFlag> outliers_;
+  std::vector<std::string> holdouts_;
+  std::vector<std::string> attributes_;
+  Algorithm algorithm_ = Algorithm::kDT;
+  double c_ = 1.0;
+  double lambda_ = 0.5;
+  InfluenceMode influence_mode_ = InfluenceMode::kDelete;
+  size_t top_k_ = 0;  // 0 = engine default
+  bool what_if_ = true;
+  int priority_ = 0;
+  std::optional<double> deadline_seconds_;
+};
+
+}  // namespace scorpion

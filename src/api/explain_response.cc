@@ -1,0 +1,48 @@
+#include "api/explain_response.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+const RankedPredicate& ExplainResponse::best() const {
+  SCORPION_CHECK(!predicates.empty(),
+                 "ExplainResponse::best() called on an empty response");
+  return predicates.front();
+}
+
+std::string ExplainResponse::ToString() const {
+  // Only fixed-width numeric fields go through the bounded snprintf buffer;
+  // display strings and keys are unbounded and appended as std::strings so
+  // a long predicate can never truncate (and eat the newline of) its line.
+  std::ostringstream os;
+  char num[128];
+  std::snprintf(num, sizeof(num), "%.1f", stats.runtime_seconds * 1e3);
+  os << "explanation (" << AlgorithmToString(algorithm) << ", " << num
+     << " ms" << (stats.cache_partitions_hit ? ", cached partitions" : "")
+     << (stats.cache_result_hit ? ", cached result" : "") << ")\n";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    std::snprintf(num, sizeof(num), "%10.4g", predicates[i].influence);
+    os << "  #" << (i + 1) << " influence=" << num << "  "
+       << predicates[i].display << "\n";
+  }
+  if (!what_if.empty()) {
+    os << "what if " << best().display << " were deleted:\n";
+    for (const WhatIfEntry& entry : what_if) {
+      os << "  " << entry.key;
+      for (size_t pad = entry.key.size(); pad < 12; ++pad) os << ' ';
+      std::snprintf(num, sizeof(num), " %10.2f -> %10.2f  (%llu tuples removed)",
+                    entry.original, entry.updated,
+                    static_cast<unsigned long long>(entry.tuples_removed));
+      os << num
+         << (entry.is_outlier ? "  <- outlier"
+                              : (entry.is_holdout ? "  <- hold-out" : ""))
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace scorpion

@@ -1,0 +1,97 @@
+// ExplainResponse: the serializable result of one explanation job — ranked
+// predicates, the built-in per-result "what if" view for the winning
+// predicate (the Figure 2 click-through every caller used to hand-roll from
+// Scorer internals), and cache/scorer statistics. Like ExplainRequest it is
+// a plain value with a JSON wire format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "predicate/predicate.h"
+
+namespace scorpion {
+
+/// One ranked explanation predicate. `display` is the human-readable form
+/// with dictionary codes resolved against the dataset's table — carried on
+/// the response so a remote consumer needs no table access to render it.
+struct RankedPredicate {
+  Predicate pred;
+  double influence = 0.0;
+  std::string display;
+
+  bool operator==(const RankedPredicate& other) const = default;
+};
+
+/// "What if" view of one result group under the winning predicate: the
+/// aggregate value before and after deleting the matched tuples.
+struct WhatIfEntry {
+  std::string key;             // result group key, e.g. "12PM"
+  double original = 0.0;       // agg(g)
+  double updated = 0.0;        // agg(g minus matched tuples)
+  uint64_t tuples_removed = 0; // |p(g)|
+  bool is_outlier = false;
+  bool is_holdout = false;
+
+  bool operator==(const WhatIfEntry& other) const = default;
+};
+
+/// Best-so-far trace point of a NAIVE run (Figure 11 convergence data).
+struct CheckpointEntry {
+  double elapsed_seconds = 0.0;
+  double influence = 0.0;
+  Predicate pred;
+
+  bool operator==(const CheckpointEntry& other) const = default;
+};
+
+/// Engine-side statistics for one run: wall clock, session-cache outcomes,
+/// and scorer/data-plane traffic.
+struct ResponseStats {
+  double runtime_seconds = 0.0;
+  /// The run reused cached DT partitions / a whole cached merged result.
+  bool cache_partitions_hit = false;
+  bool cache_result_hit = false;
+  uint64_t predicate_scores = 0;
+  uint64_t group_deltas = 0;
+  uint64_t tuple_scores = 0;
+  uint64_t rows_filtered = 0;
+  uint64_t match_cache_hits = 0;
+
+  bool operator==(const ResponseStats& other) const = default;
+};
+
+/// \brief Result of one Dataset::Explain / ExplainAsync call.
+struct ExplainResponse {
+  Algorithm algorithm = Algorithm::kDT;
+  /// Ranked predicates, most influential first (at most the request's or
+  /// engine's top_k).
+  std::vector<RankedPredicate> predicates;
+  /// Per result group, the effect of deleting best()'s matched tuples;
+  /// aligned with (and keyed like) the dataset's QueryResult::results.
+  /// Empty when the run produced no predicates.
+  std::vector<WhatIfEntry> what_if;
+  /// NAIVE convergence trace (empty for DT/MC); `naive_exhausted` is true
+  /// when NAIVE swept its whole space within the time budget.
+  std::vector<CheckpointEntry> checkpoints;
+  bool naive_exhausted = false;
+  ResponseStats stats;
+
+  /// The winning predicate; SCORPION_CHECK-fails on an empty response
+  /// (Dataset::Explain never returns one — it reports Status instead).
+  const RankedPredicate& best() const;
+
+  /// Pretty console rendering: ranked predicates then the what-if table.
+  std::string ToString() const;
+
+  /// JSON wire format; FromJson(ToJson(r)) == r bit-identically.
+  std::string ToJson() const;
+  static Result<ExplainResponse> FromJson(const std::string& json);
+
+  bool operator==(const ExplainResponse& other) const = default;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,43 @@
+// JSON wire format for the public API types. ExplainRequest / ExplainResponse
+// expose ToJson/FromJson as members (declared on the types, implemented
+// here); Predicate and ProblemSpec are core types the api layer serializes
+// via these free functions, so src/core keeps no JSON dependency.
+//
+// Every FromJson is strict: malformed documents, type mismatches, out-of-
+// domain values, and unknown fields are all InvalidArgument (a document from
+// a newer schema is rejected, never half-applied). Every ToJson is
+// deterministic and bit-stable through a parse/re-serialize cycle (see
+// common/json.h).
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "core/options.h"
+#include "core/problem.h"
+#include "predicate/predicate.h"
+
+namespace scorpion {
+
+/// Wire names for the Algorithm enum ("NAIVE" / "DT" / "MC", matching
+/// AlgorithmToString) and the InfluenceMode enum ("delete" / "mean_shift").
+Result<Algorithm> AlgorithmFromString(const std::string& name);
+const char* InfluenceModeToString(InfluenceMode mode);
+Result<InfluenceMode> InfluenceModeFromString(const std::string& name);
+
+/// Predicate <-> JSON value tree / document. Set clauses carry dictionary
+/// codes; the optional display string on response predicates is where
+/// humans look.
+JsonValue PredicateToJsonValue(const Predicate& pred);
+Result<Predicate> PredicateFromJsonValue(const JsonValue& value);
+std::string PredicateToJson(const Predicate& pred);
+Result<Predicate> PredicateFromJson(const std::string& json);
+
+/// ProblemSpec <-> JSON (index-based, the resolved form of a request).
+JsonValue ProblemSpecToJsonValue(const ProblemSpec& problem);
+Result<ProblemSpec> ProblemSpecFromJsonValue(const JsonValue& value);
+std::string ProblemSpecToJson(const ProblemSpec& problem);
+Result<ProblemSpec> ProblemSpecFromJson(const std::string& json);
+
+}  // namespace scorpion

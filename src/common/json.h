@@ -1,0 +1,171 @@
+// Minimal JSON document model for the public-API wire format: an
+// order-preserving value tree, a strict recursive-descent parser, and a
+// deterministic writer. Self-contained on purpose — the wire format a future
+// multi-process service speaks must not depend on an external library being
+// present on every node.
+//
+// Determinism contract: Dump() renders object members in insertion order and
+// doubles with the shortest decimal form that parses back to the same bits,
+// so Parse(Dump(v)) reproduces v exactly and Dump(Parse(Dump(v))) is
+// byte-identical to Dump(v). This is what makes ToJson/FromJson round trips
+// of the api types bit-stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scorpion {
+
+/// \brief One JSON value: null, bool, number, string, array or object.
+///
+/// Objects preserve member insertion order (serialization stays
+/// deterministic) and reject duplicate keys at parse time.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Appends to an array value.
+  void Append(JsonValue item) { items_.push_back(std::move(item)); }
+
+  /// Appends a member to an object value (no duplicate-key check; writers
+  /// control their own keys).
+  void Add(std::string key, JsonValue value) {
+    members_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Member lookup on an object value; nullptr when absent (or not an
+  /// object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). All errors are InvalidArgument with an offset-tagged message.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  /// Deterministic serialization (see the header comment). `indent` < 0
+  /// renders compactly; >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;    // kArray
+  std::vector<Member> members_;     // kObject
+};
+
+/// Shortest decimal rendering of a finite double that strtod()s back to the
+/// same bits ("1", "0.5", "2.6456"). Non-finite values render as "null"
+/// (JSON has no literal for them); FromJson readers requiring a number then
+/// reject them, which is the desired fate of non-finite knobs on the wire.
+std::string JsonNumberToString(double v);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscapeString(const std::string& s);
+
+/// \brief Checked field access over one object with unknown-field rejection.
+///
+/// Readers take the fields they know; Finish() fails with InvalidArgument if
+/// any member was never consumed — a request from a newer writer (or a typo)
+/// is rejected instead of silently half-applied.
+class JsonObjectReader {
+ public:
+  /// Fails with InvalidArgument if `value` is not an object. `context`
+  /// prefixes every error message ("explain_request: ...").
+  static Result<JsonObjectReader> Make(const JsonValue& value,
+                                       std::string context);
+
+  /// Required typed fields (missing or mistyped ⇒ InvalidArgument).
+  Result<bool> GetBool(const std::string& key);
+  Result<double> GetDouble(const std::string& key);
+  /// Requires an integral number that fits the target type exactly.
+  Result<int64_t> GetInt(const std::string& key);
+  Result<std::string> GetString(const std::string& key);
+  /// Borrowed pointers into the underlying value; valid while it lives.
+  Result<const JsonValue*> GetArray(const std::string& key);
+  Result<const JsonValue*> GetObject(const std::string& key);
+  /// Required member of any kind (callers doing custom decoding).
+  Result<const JsonValue*> GetMember(const std::string& key);
+
+  /// Optional fields: the fallback when the key is absent, an error when
+  /// present with the wrong type.
+  Result<bool> GetBoolOr(const std::string& key, bool fallback);
+  Result<double> GetDoubleOr(const std::string& key, double fallback);
+  Result<int64_t> GetIntOr(const std::string& key, int64_t fallback);
+  Result<std::string> GetStringOr(const std::string& key,
+                                  std::string fallback);
+  /// nullptr when absent.
+  Result<const JsonValue*> GetArrayOrNull(const std::string& key);
+
+  /// True if the key is present (does not mark it consumed).
+  bool Has(const std::string& key) const;
+
+  /// Unknown-field rejection: InvalidArgument naming the first member no
+  /// Get*() call consumed.
+  Status Finish() const;
+
+  Status Error(const std::string& message) const;
+
+ private:
+  JsonObjectReader(const JsonValue* value, std::string context);
+
+  const JsonValue* Take(const std::string& key);
+
+  const JsonValue* value_;
+  std::string context_;
+  std::vector<bool> consumed_;  // aligned with value_->members()
+};
+
+}  // namespace scorpion

@@ -1,90 +1,45 @@
 #include "core/explanation_io.h"
 
-#include <cmath>
-#include <cstdio>
-#include <sstream>
+#include "common/json.h"
 
 namespace scorpion {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
-
-namespace {
-
-/// JSON has no infinity literal; clamp to null.
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
-}
-
-}  // namespace
+std::string JsonEscape(const std::string& s) { return JsonEscapeString(s); }
 
 std::string ExplanationToJson(const Explanation& explanation,
                               const Table* table) {
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"algorithm\": \"" << AlgorithmToString(explanation.algorithm)
-     << "\",\n";
-  os << "  \"runtime_seconds\": " << JsonNumber(explanation.runtime_seconds)
-     << ",\n";
-  os << "  \"scorer_predicate_scores\": "
-     << explanation.scorer_stats.predicate_scores << ",\n";
-  os << "  \"predicates\": [";
-  for (size_t i = 0; i < explanation.predicates.size(); ++i) {
-    const ScoredPredicate& sp = explanation.predicates[i];
-    os << (i == 0 ? "\n" : ",\n");
-    os << "    {\"predicate\": \"" << JsonEscape(sp.pred.ToString(table))
-       << "\", \"influence\": " << JsonNumber(sp.influence) << "}";
+  // Built on the shared JSON writer (common/json.h) — one escaping/number
+  // implementation for this legacy export and the api/ wire format alike.
+  // Non-finite numbers render as null here (the historical shape of this
+  // document); the api wire format uses sentinel strings instead.
+  JsonValue doc = JsonValue::Object();
+  doc.Add("algorithm",
+          JsonValue::String(AlgorithmToString(explanation.algorithm)));
+  doc.Add("runtime_seconds", JsonValue::Number(explanation.runtime_seconds));
+  doc.Add("scorer_predicate_scores",
+          JsonValue::Number(static_cast<double>(
+              explanation.scorer_stats.predicate_scores)));
+  JsonValue predicates = JsonValue::Array();
+  for (const ScoredPredicate& sp : explanation.predicates) {
+    JsonValue p = JsonValue::Object();
+    p.Add("predicate", JsonValue::String(sp.pred.ToString(table)));
+    p.Add("influence", JsonValue::Number(sp.influence));
+    predicates.Append(std::move(p));
   }
-  os << "\n  ]";
+  doc.Add("predicates", std::move(predicates));
   if (!explanation.naive_checkpoints.empty()) {
-    os << ",\n  \"naive_exhausted\": "
-       << (explanation.naive_exhausted ? "true" : "false");
-    os << ",\n  \"checkpoints\": [";
-    for (size_t i = 0; i < explanation.naive_checkpoints.size(); ++i) {
-      const NaiveCheckpoint& cp = explanation.naive_checkpoints[i];
-      os << (i == 0 ? "\n" : ",\n");
-      os << "    {\"elapsed_seconds\": " << JsonNumber(cp.elapsed_seconds)
-         << ", \"influence\": " << JsonNumber(cp.influence)
-         << ", \"predicate\": \"" << JsonEscape(cp.pred.ToString(table))
-         << "\"}";
+    doc.Add("naive_exhausted", JsonValue::Bool(explanation.naive_exhausted));
+    JsonValue checkpoints = JsonValue::Array();
+    for (const NaiveCheckpoint& cp : explanation.naive_checkpoints) {
+      JsonValue c = JsonValue::Object();
+      c.Add("elapsed_seconds", JsonValue::Number(cp.elapsed_seconds));
+      c.Add("influence", JsonValue::Number(cp.influence));
+      c.Add("predicate", JsonValue::String(cp.pred.ToString(table)));
+      checkpoints.Append(std::move(c));
     }
-    os << "\n  ]";
+    doc.Add("checkpoints", std::move(checkpoints));
   }
-  os << "\n}\n";
-  return os.str();
+  return doc.Dump(/*indent=*/2) + "\n";
 }
 
 }  // namespace scorpion

@@ -21,7 +21,8 @@ std::string ExplanationToJson(const Explanation& explanation,
                               const Table* table = nullptr);
 
 /// Escapes a string for embedding in JSON (quotes, backslashes, control
-/// characters).
+/// characters). Thin alias for JsonEscapeString in common/json.h, kept for
+/// source compatibility.
 std::string JsonEscape(const std::string& s);
 
 }  // namespace scorpion

@@ -1,24 +1,76 @@
 #include "core/problem.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
 
 namespace scorpion {
+
+namespace {
+
+/// Exact (bit-preserving) double rendering for key strings.
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  *out += buf;
+}
+
+}  // namespace
+
+void AppendAnnotationKey(const ProblemSpec& problem, Algorithm algorithm,
+                         std::string* out) {
+  *out += std::to_string(static_cast<int>(algorithm));
+  *out += '|';
+  *out += std::to_string(static_cast<int>(problem.influence_mode));
+  *out += '|';
+  AppendDouble(out, problem.lambda);
+  *out += "o:";
+  for (int idx : problem.outliers) {
+    *out += std::to_string(idx);
+    *out += ',';
+  }
+  *out += "h:";
+  for (int idx : problem.holdouts) {
+    *out += std::to_string(idx);
+    *out += ',';
+  }
+  *out += "e:";
+  for (double ev : problem.error_vectors) AppendDouble(out, ev);
+  *out += "a:";
+  for (const std::string& attr : problem.attributes) {
+    *out += attr;
+    *out += '\x1f';
+  }
+}
 
 Status ProblemSpec::Validate(const QueryResult& result) const {
   const int n = static_cast<int>(result.results.size());
   if (outliers.empty()) {
     return Status::InvalidArgument("at least one outlier result is required");
   }
+  std::set<int> seen_outliers;
   for (int idx : outliers) {
     if (idx < 0 || idx >= n) {
       return Status::IndexError("outlier index " + std::to_string(idx) +
                                 " out of range");
     }
+    if (!seen_outliers.insert(idx).second) {
+      // A repeated outlier would have its influence (and error vector)
+      // double-counted in the Section 3.2 mean.
+      return Status::InvalidArgument("outlier index " + std::to_string(idx) +
+                                     " is listed twice");
+    }
   }
+  std::set<int> seen_holdouts;
   for (int idx : holdouts) {
     if (idx < 0 || idx >= n) {
       return Status::IndexError("holdout index " + std::to_string(idx) +
                                 " out of range");
+    }
+    if (!seen_holdouts.insert(idx).second) {
+      return Status::InvalidArgument("holdout index " + std::to_string(idx) +
+                                     " is listed twice");
     }
     if (std::find(outliers.begin(), outliers.end(), idx) != outliers.end()) {
       return Status::InvalidArgument(
@@ -31,11 +83,18 @@ Status ProblemSpec::Validate(const QueryResult& result) const {
         "error_vectors size " + std::to_string(error_vectors.size()) +
         " != outliers size " + std::to_string(outliers.size()));
   }
-  if (lambda < 0.0 || lambda > 1.0) {
-    return Status::InvalidArgument("lambda must be in [0, 1]");
+  for (double v : error_vectors) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("error vector entries must be finite");
+    }
   }
-  if (c < 0.0) {
-    return Status::InvalidArgument("c must be non-negative");
+  // The range checks alone let NaN through (every comparison with NaN is
+  // false), and a NaN knob poisons every influence downstream.
+  if (!std::isfinite(lambda) || lambda < 0.0 || lambda > 1.0) {
+    return Status::InvalidArgument("lambda must be finite and in [0, 1]");
+  }
+  if (!std::isfinite(c) || c < 0.0) {
+    return Status::InvalidArgument("c must be finite and non-negative");
   }
   if (attributes.empty()) {
     return Status::InvalidArgument(

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/options.h"
 #include "query/groupby.h"
 
 namespace scorpion {
@@ -52,5 +53,15 @@ struct ProblemSpec {
   /// Convenience: marks every outlier "too high" (+1) or "too low" (-1).
   void SetUniformErrorVector(double direction);
 };
+
+/// Appends a canonical serialization of everything that fixes an
+/// ExplainSession's validity except c and the data identity: the algorithm,
+/// influence mode, lambda, annotations, error vectors (bit-exact) and
+/// attributes. The ONE key both session caches build on — the service's
+/// keyed cache prepends the table/query-result identity, the api Dataset's
+/// per-annotation store uses it as-is — so the two can never diverge on
+/// which problems may share cached partitions.
+void AppendAnnotationKey(const ProblemSpec& problem, Algorithm algorithm,
+                         std::string* out);
 
 }  // namespace scorpion

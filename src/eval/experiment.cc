@@ -15,14 +15,8 @@ Result<ProblemSpec> MakeProblem(const QueryResult& result,
                                 double error_direction, double lambda, double c,
                                 std::vector<std::string> attributes) {
   ProblemSpec problem;
-  for (const std::string& key : outlier_keys) {
-    SCORPION_ASSIGN_OR_RETURN(int idx, result.FindResult(key));
-    problem.outliers.push_back(idx);
-  }
-  for (const std::string& key : holdout_keys) {
-    SCORPION_ASSIGN_OR_RETURN(int idx, result.FindResult(key));
-    problem.holdouts.push_back(idx);
-  }
+  SCORPION_ASSIGN_OR_RETURN(problem.outliers, result.FindResults(outlier_keys));
+  SCORPION_ASSIGN_OR_RETURN(problem.holdouts, result.FindResults(holdout_keys));
   problem.SetUniformErrorVector(error_direction);
   problem.lambda = lambda;
   problem.c = c;

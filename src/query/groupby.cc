@@ -25,6 +25,24 @@ Result<int> QueryResult::FindResult(const std::string& key_string) const {
   return Status::KeyError("no result group with key '" + key_string + "'");
 }
 
+Result<std::vector<int>> QueryResult::FindResults(
+    const std::vector<std::string>& keys) const {
+  std::map<std::string, int> index_of;
+  for (int i = 0; i < static_cast<int>(results.size()); ++i) {
+    index_of.emplace(results[i].key_string, i);
+  }
+  std::vector<int> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    auto it = index_of.find(key);
+    if (it == index_of.end()) {
+      return Status::KeyError("no result group with key '" + key + "'");
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
 std::string QueryResult::ToString() const {
   std::ostringstream os;
   os << query.ToString() << "\n";

@@ -50,6 +50,13 @@ struct QueryResult {
   /// Index of the result with the given key string, or KeyError.
   Result<int> FindResult(const std::string& key_string) const;
 
+  /// Batch lookup: indices for every key in `keys`, in input order, or a
+  /// KeyError naming the first missing key. One pass over the results
+  /// instead of a scan per key — and one error check instead of the
+  /// CHECK_OK + ValueOrDie pair per key the scan-per-key pattern invited.
+  Result<std::vector<int>> FindResults(
+      const std::vector<std::string>& keys) const;
+
   /// Formats results as a small table for display.
   std::string ToString() const;
 };

@@ -11,8 +11,8 @@ Scheduler::Scheduler(SchedulerOptions options) : options_(std::move(options)) {
 
 Scheduler::~Scheduler() { Shutdown(); }
 
-AdmissionResult Scheduler::Enqueue(ScheduledRequest item) {
-  ScheduledRequest shed_item;
+AdmissionResult Scheduler::Enqueue(ScheduledJob item) {
+  ScheduledJob shed_item;
   AdmissionResult result;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -61,7 +61,7 @@ AdmissionResult Scheduler::Enqueue(ScheduledRequest item) {
   return result;
 }
 
-bool Scheduler::Pop(ScheduledRequest* out) {
+bool Scheduler::Pop(ScheduledJob* out) {
   std::unique_lock<std::mutex> lock(mu_);
   ready_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
   if (queue_.empty()) return false;  // shutdown drained the queue
@@ -72,7 +72,7 @@ bool Scheduler::Pop(ScheduledRequest* out) {
 }
 
 bool Scheduler::Cancel(uint64_t id) {
-  ScheduledRequest cancelled;
+  ScheduledJob cancelled;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Linear scan: the queue is bounded by max_queue_depth and cancellation
@@ -90,7 +90,7 @@ bool Scheduler::Cancel(uint64_t id) {
 }
 
 size_t Scheduler::Shutdown() {
-  std::vector<ScheduledRequest> drained;
+  std::vector<ScheduledJob> drained;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ && queue_.empty()) return 0;
@@ -100,7 +100,7 @@ size_t Scheduler::Shutdown() {
     queue_.clear();
   }
   ready_cv_.notify_all();
-  for (ScheduledRequest& item : drained) {
+  for (ScheduledJob& item : drained) {
     item.promise.set_value(Status::Cancelled("service shut down"));
   }
   return drained.size();

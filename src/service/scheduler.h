@@ -9,7 +9,7 @@
 #include <mutex>
 
 #include "common/macros.h"
-#include "service/request.h"
+#include "service/job.h"
 
 namespace scorpion {
 
@@ -18,13 +18,13 @@ struct SchedulerOptions {
   size_t max_queue_depth = 256;
 };
 
-/// \brief One queued job: the request plus the promise its Response redeems
+/// \brief One queued job: the Job plus the promise its Response redeems
 /// and the submission timestamp for latency accounting.
-struct ScheduledRequest {
+struct ScheduledJob {
   uint64_t id = 0;
-  Request request;
+  Job job;
   std::promise<Result<Explanation>> promise;
-  Request::Clock::time_point enqueue_time{};
+  Job::Clock::time_point enqueue_time{};
 };
 
 /// How Enqueue() disposed of a request.
@@ -55,11 +55,11 @@ class Scheduler {
   /// Admits `item` or sheds the admission loser (whose promise is failed
   /// with Status::Unavailable). After Shutdown(), fails the promise with
   /// Status::Cancelled and returns kShutdown.
-  AdmissionResult Enqueue(ScheduledRequest item);
+  AdmissionResult Enqueue(ScheduledJob item);
 
   /// Blocks until a request is available and moves the best-ordered one to
   /// `out`. Returns false once the scheduler is shut down.
-  bool Pop(ScheduledRequest* out);
+  bool Pop(ScheduledJob* out);
 
   /// Removes a queued request, failing its promise with Status::Cancelled.
   /// Returns false if the id is not queued (unknown, already popped, or
@@ -77,7 +77,7 @@ class Scheduler {
   /// Dequeue-order key; operator< orders best-first.
   struct Order {
     int priority = 0;
-    Request::Clock::time_point deadline{};
+    Job::Clock::time_point deadline{};
     uint64_t id = 0;
 
     bool operator<(const Order& other) const {
@@ -87,14 +87,14 @@ class Scheduler {
     }
   };
 
-  static Order OrderOf(const ScheduledRequest& item) {
-    return Order{item.request.priority, item.request.deadline, item.id};
+  static Order OrderOf(const ScheduledJob& item) {
+    return Order{item.job.priority, item.job.deadline, item.id};
   }
 
   SchedulerOptions options_;
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
-  std::map<Order, ScheduledRequest> queue_;
+  std::map<Order, ScheduledJob> queue_;
   bool shutdown_ = false;
 };
 

@@ -8,44 +8,18 @@ namespace scorpion {
 
 namespace {
 
-/// Exact (bit-preserving) double rendering for key strings.
-void AppendDouble(std::string* out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%a,", v);
-  *out += buf;
-}
-
 /// Session key: everything that fixes the DT partitioning and the merge
 /// inputs except c — the identity of the (borrowed) table and query result,
-/// the algorithm, and the problem annotations/knobs. Requests agreeing on
-/// this key can share cached partitions at any c.
-std::string ProblemKey(const Request& request) {
+/// then the shared annotation serialization (see AppendAnnotationKey). Jobs
+/// agreeing on this key can share cached partitions at any c.
+std::string ProblemKey(const Job& job) {
   std::string key;
-  char head[96];
-  std::snprintf(head, sizeof(head), "%p|%p|%d|%d|",
-                static_cast<const void*>(request.table),
-                static_cast<const void*>(request.query_result),
-                static_cast<int>(request.algorithm),
-                static_cast<int>(request.problem.influence_mode));
+  char head[64];
+  std::snprintf(head, sizeof(head), "%p|%p|",
+                static_cast<const void*>(job.table),
+                static_cast<const void*>(job.query_result));
   key += head;
-  AppendDouble(&key, request.problem.lambda);
-  key += "o:";
-  for (int idx : request.problem.outliers) {
-    key += std::to_string(idx);
-    key += ',';
-  }
-  key += "h:";
-  for (int idx : request.problem.holdouts) {
-    key += std::to_string(idx);
-    key += ',';
-  }
-  key += "e:";
-  for (double ev : request.problem.error_vectors) AppendDouble(&key, ev);
-  key += "a:";
-  for (const std::string& attr : request.problem.attributes) {
-    key += attr;
-    key += '\x1f';
-  }
+  AppendAnnotationKey(job.problem, job.algorithm, &key);
   return key;
 }
 
@@ -69,26 +43,24 @@ ExplanationService::ExplanationService(ServiceOptions options)
 
 ExplanationService::~ExplanationService() { Shutdown(); }
 
-Response ExplanationService::Submit(Request request) {
+Response ExplanationService::Submit(Job job) {
   Response response;
   response.id = next_id_.fetch_add(1, std::memory_order_relaxed);
 
-  ScheduledRequest item;
+  ScheduledJob item;
   item.id = response.id;
-  item.enqueue_time = Request::Clock::now();
-  item.request = std::move(request);
+  item.enqueue_time = Job::Clock::now();
+  item.job = std::move(job);
   response.future = item.promise.get_future();
 
-  // Fail fast before the request occupies queue space.
-  if (item.request.table == nullptr || item.request.query_result == nullptr) {
+  // Fail fast before the job occupies queue space.
+  if (item.job.table == nullptr || item.job.query_result == nullptr) {
     ++stats_.failed;
     item.promise.set_value(
-        Status::InvalidArgument("request needs a table and a query result"));
+        Status::InvalidArgument("job needs a table and a query result"));
     return response;
   }
-  ProblemSpec problem = item.request.problem;
-  problem.c = item.request.c;
-  Status valid = problem.Validate(*item.request.query_result);
+  Status valid = item.job.problem.Validate(*item.job.query_result);
   if (!valid.ok()) {
     ++stats_.failed;
     item.promise.set_value(std::move(valid));
@@ -113,24 +85,23 @@ Response ExplanationService::Submit(Request request) {
   return response;
 }
 
-std::vector<Response> ExplanationService::SubmitBatch(
-    std::vector<Request> requests) {
-  // Stable-group by session key so each key's first request computes the
-  // shared state (DT partitions) and the rest of its group arrives while it
-  // is fresh; responses keep the input order.
+std::vector<Response> ExplanationService::SubmitBatch(std::vector<Job> jobs) {
+  // Stable-group by session key so each key's first job computes the shared
+  // state (DT partitions) and the rest of its group arrives while it is
+  // fresh; responses keep the input order.
   std::vector<std::vector<size_t>> groups;
   std::unordered_map<std::string, size_t> group_of_key;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const std::string key = ProblemKey(requests[i]);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const std::string key = ProblemKey(jobs[i]);
     auto [it, inserted] = group_of_key.emplace(key, groups.size());
     if (inserted) groups.emplace_back();
     groups[it->second].push_back(i);
   }
 
-  std::vector<Response> responses(requests.size());
+  std::vector<Response> responses(jobs.size());
   for (const std::vector<size_t>& group : groups) {
     for (size_t i : group) {
-      responses[i] = Submit(std::move(requests[i]));
+      responses[i] = Submit(std::move(jobs[i]));
     }
   }
   return responses;
@@ -180,8 +151,8 @@ std::shared_ptr<ExplainSession> ExplanationService::SessionFor(
     return it->second->session;
   }
   if (sessions_.size() >= options_.session_cache_capacity) {
-    // Evict the least-recently-used key. Requests already holding the
-    // session keep it alive through their shared_ptr.
+    // Evict the least-recently-used key. Jobs already holding the session
+    // keep it alive through their shared_ptr.
     auto victim = sessions_.begin();
     for (auto cand = sessions_.begin(); cand != sessions_.end(); ++cand) {
       if (cand->second->last_used.load(std::memory_order_relaxed) <
@@ -199,37 +170,43 @@ std::shared_ptr<ExplainSession> ExplanationService::SessionFor(
 }
 
 void ExplanationService::WorkerLoop() {
-  ScheduledRequest item;
+  ScheduledJob item;
   while (scheduler_.Pop(&item)) {
     Execute(std::move(item));
   }
 }
 
-void ExplanationService::Execute(ScheduledRequest item) {
-  const Request& req = item.request;
-  if (req.deadline != Request::kNoDeadline &&
-      Request::Clock::now() >= req.deadline) {
+void ExplanationService::Execute(ScheduledJob item) {
+  const Job& job = item.job;
+  if (job.deadline != Job::kNoDeadline &&
+      Job::Clock::now() >= job.deadline) {
     ++stats_.deadline_expired;
     item.promise.set_value(
-        Status::DeadlineExceeded("deadline passed before the request ran"));
+        Status::DeadlineExceeded("deadline passed before the job ran"));
     return;
   }
 
   ScorpionOptions engine_options = options_.engine;
-  engine_options.algorithm = req.algorithm;
+  engine_options.algorithm = job.algorithm;
+  if (job.top_k > 0) engine_options.top_k = job.top_k;
   Scorpion engine(engine_options);
   engine.set_thread_pool(scoring_pool_.get());
 
-  ProblemSpec problem = req.problem;
-  problem.c = req.c;
-
   Result<Explanation> result = [&]() -> Result<Explanation> {
-    if (options_.cache_enabled && req.algorithm == Algorithm::kDT) {
-      std::shared_ptr<ExplainSession> session = SessionFor(ProblemKey(req));
-      return engine.ExplainShared(*req.table, *req.query_result, problem,
+    // A caller-pinned session always wins (api::Dataset shares one session
+    // between its sync and async paths); otherwise DT jobs go through the
+    // keyed cache. ExplainShared ignores the session for non-DT algorithms.
+    if (job.session != nullptr) {
+      return engine.ExplainShared(*job.table, *job.query_result, job.problem,
+                                  job.session.get(),
+                                  options_.cross_c_warm_start);
+    }
+    if (options_.cache_enabled && job.algorithm == Algorithm::kDT) {
+      std::shared_ptr<ExplainSession> session = SessionFor(ProblemKey(job));
+      return engine.ExplainShared(*job.table, *job.query_result, job.problem,
                                   session.get(), options_.cross_c_warm_start);
     }
-    return engine.Explain(*req.table, *req.query_result, problem);
+    return engine.Explain(*job.table, *job.query_result, job.problem);
   }();
 
   if (result.ok()) {
@@ -237,7 +214,7 @@ void ExplanationService::Execute(ScheduledRequest item) {
     if (result->cache_partitions_hit) ++stats_.cache_partition_hits;
     if (result->cache_result_hit) ++stats_.cache_result_hits;
     stats_.RecordLatency(std::chrono::duration<double>(
-                             Request::Clock::now() - item.enqueue_time)
+                             Job::Clock::now() - item.enqueue_time)
                              .count());
   } else {
     ++stats_.failed;

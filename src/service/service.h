@@ -20,7 +20,7 @@
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "core/scorpion.h"
-#include "service/request.h"
+#include "service/job.h"
 #include "service/scheduler.h"
 #include "service/stats.h"
 
@@ -52,11 +52,14 @@ struct ServiceOptions {
 ///
 ///   ExplanationService service(options);
 ///   Response r = service.Submit({.table = &t, .query_result = &qr,
-///                                .problem = problem, .c = 0.5});
+///                                .problem = problem});
 ///   Result<Explanation> e = r.future.get();
 ///
+/// (The typed public surface for this is api::Dataset::ExplainAsync, which
+/// resolves an ExplainRequest into a Job and pins the dataset's session.)
+///
 /// All public methods are thread-safe. Tables and query results referenced
-/// by a request are borrowed and must outlive its future's readiness.
+/// by a job are borrowed and must outlive its future's readiness.
 class ExplanationService {
  public:
   explicit ExplanationService(ServiceOptions options = {});
@@ -64,20 +67,20 @@ class ExplanationService {
 
   SCORPION_DISALLOW_COPY_AND_ASSIGN(ExplanationService);
 
-  /// Validates and enqueues one request. Never blocks on a full queue: the
+  /// Validates and enqueues one job. Never blocks on a full queue: the
   /// future reports Unavailable when shed (see Response for the full error
   /// contract).
-  Response Submit(Request request);
+  Response Submit(Job job);
 
-  /// Submits a batch, grouped so requests sharing a session key are
-  /// enqueued back-to-back: the first request of each (table, query,
-  /// problem, algorithm) key computes the DT partitions once and the rest
-  /// of the group reuses them (and exact-c repeats reuse whole results).
-  /// Responses are returned in the order of `requests`.
-  std::vector<Response> SubmitBatch(std::vector<Request> requests);
+  /// Submits a batch, grouped so jobs sharing a session key are enqueued
+  /// back-to-back: the first job of each (table, query, problem, algorithm)
+  /// key computes the DT partitions once and the rest of the group reuses
+  /// them (and exact-c repeats reuse whole results). Responses are returned
+  /// in the order of `jobs`.
+  std::vector<Response> SubmitBatch(std::vector<Job> jobs);
 
-  /// Cancels a queued request (its future reports Cancelled). False if the
-  /// request already started, finished, or was never queued.
+  /// Cancels a queued job (its future reports Cancelled). False if the job
+  /// already started, finished, or was never queued.
   bool Cancel(uint64_t id);
 
   /// Drops every cached session. Session keys identify the borrowed tables
@@ -108,7 +111,7 @@ class ExplanationService {
   std::shared_ptr<ExplainSession> SessionFor(const std::string& key);
 
   void WorkerLoop();
-  void Execute(ScheduledRequest item);
+  void Execute(ScheduledJob item);
 
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> scoring_pool_;  // nullptr = serial scoring

@@ -100,6 +100,22 @@ TEST(GroupBy, FindResultByKey) {
   EXPECT_TRUE(qr->FindResult("2PM").status().IsKeyError());
 }
 
+TEST(GroupBy, FindResultsBatchLookup) {
+  Table t = PaperSensorsTable();
+  auto qr = ExecuteGroupBy(t, PaperQuery());
+  ASSERT_TRUE(qr.ok());
+  // Input order is preserved (it defines error-vector alignment), repeats
+  // are allowed at this layer, and the empty batch is the empty list.
+  auto found = qr->FindResults({"1PM", "11AM", "1PM"});
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, (std::vector<int>{2, 0, 2}));
+  EXPECT_TRUE(qr->FindResults({}).ValueOrDie().empty());
+  // The error names the missing key.
+  auto missing = qr->FindResults({"11AM", "2PM"});
+  EXPECT_TRUE(missing.status().IsKeyError());
+  EXPECT_NE(missing.status().message().find("2PM"), std::string::npos);
+}
+
 TEST(GroupBy, ExplanationAttributesExcludeQueryAttrs) {
   Table t = PaperSensorsTable();
   auto attrs = ExplanationAttributes(t, PaperQuery());

@@ -1,9 +1,9 @@
-// Integration tests over the real-world-shaped workloads: the full
-// pipeline must recover the planted causes (the Section 8.4 case studies,
-// asserted instead of eyeballed).
+// Integration tests over the real-world-shaped workloads, driven through
+// the public API: the full pipeline must recover the planted causes (the
+// Section 8.4 case studies, asserted instead of eyeballed).
 #include <gtest/gtest.h>
 
-#include "core/scorpion.h"
+#include "api/dataset.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "table/selection.h"
@@ -12,6 +12,19 @@
 
 namespace scorpion {
 namespace {
+
+/// Keyed request carrying a workload's planted annotations.
+ExplainRequest WorkloadRequest(const std::vector<std::string>& outlier_keys,
+                               const std::vector<std::string>& holdout_keys,
+                               std::vector<std::string> attributes,
+                               double lambda, double c) {
+  ExplainRequest request;
+  for (const std::string& key : outlier_keys) request.FlagTooHigh(key);
+  return request.Holdouts(holdout_keys)
+      .WithAttributes(std::move(attributes))
+      .WithLambda(lambda)
+      .WithC(c);
+}
 
 TEST(SensorIntegration, DyingSensorRecoveredAcrossC) {
   SensorOptions opts;
@@ -22,31 +35,34 @@ TEST(SensorIntegration, DyingSensorRecoveredAcrossC) {
   opts.failure_start_hour = 12;
   auto ds = GenerateSensor(opts);
   ASSERT_TRUE(ds.ok());
-  auto qr = ExecuteGroupBy(ds->table, ds->query);
-  ASSERT_TRUE(qr.ok());
-  auto problem = MakeProblem(*qr, ds->outlier_keys, ds->holdout_keys, 1.0,
-                             0.7, 1.0, ds->attributes);
-  ASSERT_TRUE(problem.ok());
-  auto outlier_union = OutlierUnion(*qr, *problem);
-  ASSERT_TRUE(outlier_union.ok());
 
-  ScorpionOptions options;
-  options.algorithm = Algorithm::kDT;
-  Scorpion scorpion(options);
-  ASSERT_TRUE(scorpion.Prepare(ds->table, *qr, *problem).ok());
+  Engine engine;
+  auto dataset = engine.Open(ds->table, ds->query);
+  ASSERT_TRUE(dataset.ok());
+
+  ExplainRequest base = WorkloadRequest(ds->outlier_keys, ds->holdout_keys,
+                                        ds->attributes, 0.7, 1.0);
+  auto problem = dataset->Resolve(base);
+  ASSERT_TRUE(problem.ok());
+  auto outlier_union = OutlierUnion(dataset->result(), *problem);
+  ASSERT_TRUE(outlier_union.ok());
 
   auto sensor_col = ds->table.ColumnByName("sensorid");
   ASSERT_TRUE(sensor_col.ok());
   int32_t failing_code = (*sensor_col)->CodeOf("15");
 
+  // The c sweep rides the dataset's session (no Prepare() choreography):
+  // the first run computes the DT partitions, the rest reuse them.
+  bool any_partition_hit = false;
   for (double c : {1.0, 0.5, 0.0}) {
-    auto explanation = scorpion.ExplainWithC(c);
-    ASSERT_TRUE(explanation.ok());
-    const Predicate& best = explanation->best().pred;
+    auto response = dataset->Explain(ExplainRequest(base).WithC(c));
+    ASSERT_TRUE(response.ok());
+    any_partition_hit |= response->stats.cache_partitions_hit;
+    const Predicate& best = response->best().pred;
     // The sensorid clause must include the failing mote at every c.
     const SetClause* clause = best.FindSet("sensorid");
     ASSERT_NE(clause, nullptr) << "c=" << c << " -> "
-                               << best.ToString(&ds->table);
+                               << response->best().display;
     EXPECT_TRUE(clause->Contains(failing_code)) << "c=" << c;
     EXPECT_LE(clause->codes.size(), 3u) << "c=" << c;
     // With the cardinality penalty active the predicate must be surgical;
@@ -59,6 +75,7 @@ TEST(SensorIntegration, DyingSensorRecoveredAcrossC) {
       EXPECT_GE(acc->f_score, 0.8) << "c=" << c;
     }
   }
+  EXPECT_TRUE(any_partition_hit) << "session cache never engaged";
 }
 
 TEST(SensorIntegration, LowVoltageModeFindsVoltageStructure) {
@@ -70,22 +87,24 @@ TEST(SensorIntegration, LowVoltageModeFindsVoltageStructure) {
   opts.failure_start_hour = 12;
   auto ds = GenerateSensor(opts);
   ASSERT_TRUE(ds.ok());
-  auto qr = ExecuteGroupBy(ds->table, ds->query);
-  ASSERT_TRUE(qr.ok());
-  auto problem = MakeProblem(*qr, ds->outlier_keys, ds->holdout_keys, 1.0,
-                             0.7, 0.5, ds->attributes);
+
+  Engine engine;
+  auto dataset = engine.Open(ds->table, ds->query);
+  ASSERT_TRUE(dataset.ok());
+
+  ExplainRequest request = WorkloadRequest(ds->outlier_keys, ds->holdout_keys,
+                                           ds->attributes, 0.7, 0.5);
+  auto problem = dataset->Resolve(request);
   ASSERT_TRUE(problem.ok());
-  auto outlier_union = OutlierUnion(*qr, *problem);
+  auto outlier_union = OutlierUnion(dataset->result(), *problem);
   ASSERT_TRUE(outlier_union.ok());
 
-  Scorpion scorpion;
-  auto explanation = scorpion.Explain(ds->table, *qr, *problem);
-  ASSERT_TRUE(explanation.ok());
-  auto acc = EvaluatePredicate(ds->table, explanation->best().pred,
+  auto response = dataset->Explain(request);
+  ASSERT_TRUE(response.ok());
+  auto acc = EvaluatePredicate(ds->table, response->best().pred,
                                *outlier_union, ds->ground_truth_rows);
   ASSERT_TRUE(acc.ok());
-  EXPECT_GE(acc->f_score, 0.8)
-      << explanation->best().pred.ToString(&ds->table);
+  EXPECT_GE(acc->f_score, 0.8) << response->best().display;
 }
 
 TEST(ExpenseIntegration, MCRecoversMediaBuysAtHighC) {
@@ -95,29 +114,30 @@ TEST(ExpenseIntegration, MCRecoversMediaBuysAtHighC) {
   opts.num_outlier_days = 5;
   auto ds = GenerateExpense(opts);
   ASSERT_TRUE(ds.ok());
-  auto qr = ExecuteGroupBy(ds->table, ds->query);
-  ASSERT_TRUE(qr.ok());
-  auto problem = MakeProblem(*qr, ds->outlier_keys, ds->holdout_keys, 1.0,
-                             0.8, 1.0, ds->attributes);
+
+  Engine engine;
+  auto dataset = engine.Open(ds->table, ds->query);
+  ASSERT_TRUE(dataset.ok());
+
+  ExplainRequest request = WorkloadRequest(ds->outlier_keys, ds->holdout_keys,
+                                           ds->attributes, 0.8, 1.0)
+                               .WithAlgorithm(Algorithm::kMC);
+  auto problem = dataset->Resolve(request);
   ASSERT_TRUE(problem.ok());
-  auto outlier_union = OutlierUnion(*qr, *problem);
+  auto outlier_union = OutlierUnion(dataset->result(), *problem);
   ASSERT_TRUE(outlier_union.ok());
 
-  ScorpionOptions options;
-  options.algorithm = Algorithm::kMC;
-  Scorpion scorpion(options);
-  auto explanation = scorpion.Explain(ds->table, *qr, *problem);
-  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  auto response = dataset->Explain(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
 
-  auto acc = EvaluatePredicate(ds->table, explanation->best().pred,
+  auto acc = EvaluatePredicate(ds->table, response->best().pred,
                                *outlier_union, ds->ground_truth_rows);
   ASSERT_TRUE(acc.ok());
   // The paper reports F ~ 0.6 on the real data; the synthetic plant is
   // cleaner, so demand at least that.
-  EXPECT_GE(acc->f_score, 0.6)
-      << explanation->best().pred.ToString(&ds->table);
+  EXPECT_GE(acc->f_score, 0.6) << response->best().display;
   // At c=1 the predicate should be a tight multi-clause conjunction.
-  EXPECT_GE(explanation->best().pred.num_clauses(), 2);
+  EXPECT_GE(response->best().pred.num_clauses(), 2);
 }
 
 TEST(ExpenseIntegration, LowCRelaxesThePredicate) {
@@ -127,23 +147,20 @@ TEST(ExpenseIntegration, LowCRelaxesThePredicate) {
   opts.num_outlier_days = 5;
   auto ds = GenerateExpense(opts);
   ASSERT_TRUE(ds.ok());
-  auto qr = ExecuteGroupBy(ds->table, ds->query);
-  ASSERT_TRUE(qr.ok());
-  auto base = MakeProblem(*qr, ds->outlier_keys, ds->holdout_keys, 1.0,
-                          0.8, 1.0, ds->attributes);
-  ASSERT_TRUE(base.ok());
 
-  ScorpionOptions options;
-  options.algorithm = Algorithm::kMC;
-  Scorpion scorpion(options);
+  Engine engine;
+  auto dataset = engine.Open(ds->table, ds->query);
+  ASSERT_TRUE(dataset.ok());
+
+  ExplainRequest base = WorkloadRequest(ds->outlier_keys, ds->holdout_keys,
+                                        ds->attributes, 0.8, 1.0)
+                            .WithAlgorithm(Algorithm::kMC);
 
   auto count_matched = [&](double c) -> size_t {
-    ProblemSpec problem = *base;
-    problem.c = c;
-    auto explanation = scorpion.Explain(ds->table, *qr, problem);
-    EXPECT_TRUE(explanation.ok());
-    if (!explanation.ok()) return 0;
-    auto rows = explanation->best().pred.Evaluate(ds->table);
+    auto response = dataset->Explain(ExplainRequest(base).WithC(c));
+    EXPECT_TRUE(response.ok());
+    if (!response.ok()) return 0;
+    auto rows = response->best().pred.Evaluate(ds->table);
     EXPECT_TRUE(rows.ok());
     return rows.ok() ? rows->size() : 0;
   };

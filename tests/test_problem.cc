@@ -1,6 +1,8 @@
 // ProblemSpec validation.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/problem.h"
 #include "test_helpers.h"
 
@@ -51,6 +53,44 @@ TEST_F(ProblemValidation, IndexBounds) {
 TEST_F(ProblemValidation, OutlierHoldoutDisjointness) {
   ProblemSpec p = Valid();
   p.holdouts = {1};
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+}
+
+TEST_F(ProblemValidation, RejectsDuplicateOutliers) {
+  // A repeated outlier index double-counts that group's influence in the
+  // Section 3.2 mean (and its error vector entry), silently skewing every
+  // score.
+  ProblemSpec p = Valid();
+  p.outliers = {1, 1};
+  p.SetUniformErrorVector(1.0);
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+}
+
+TEST_F(ProblemValidation, RejectsDuplicateHoldouts) {
+  ProblemSpec p = Valid();
+  p.holdouts = {0, 0};
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+}
+
+TEST_F(ProblemValidation, RejectsNonFiniteKnobs) {
+  // NaN slides through plain range checks (every comparison is false), so
+  // the validator must test finiteness explicitly.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  ProblemSpec p = Valid();
+  p.lambda = nan;
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+  p = Valid();
+  p.lambda = inf;
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+  p = Valid();
+  p.c = nan;
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+  p = Valid();
+  p.c = inf;
+  EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
+  p = Valid();
+  p.error_vectors[0] = nan;
   EXPECT_TRUE(p.Validate(qr_).IsInvalidArgument());
 }
 

@@ -1,7 +1,9 @@
-// End-to-end tests: all three algorithms on the SYNTH workload must recover
-// the planted cube, and the session cache must not change results.
+// End-to-end tests through the public API: all three algorithms on the
+// SYNTH workload must recover the planted cube via Engine::Open +
+// ExplainRequest, and the internal session cache must not change results.
 #include <gtest/gtest.h>
 
+#include "api/dataset.h"
 #include "core/scorpion.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
@@ -24,36 +26,42 @@ TEST_P(SynthEndToEnd, RecoversPlantedCube) {
   const E2ECase& param = GetParam();
   SynthOptions opts = SynthPreset(param.dims, param.easy, /*seed=*/7);
   opts.tuples_per_group = 800;  // keep the exhaustive baseline fast
-  auto dataset = GenerateSynth(opts);
+  auto dataset_gen = GenerateSynth(opts);
+  ASSERT_TRUE(dataset_gen.ok()) << dataset_gen.status().ToString();
+
+  EngineOptions options;
+  options.engine.naive.time_budget_seconds = 30.0;
+  options.engine.naive.max_clauses = param.dims;
+  Engine engine(options);
+  auto dataset = engine.Open(dataset_gen->table, dataset_gen->query);
   ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
 
-  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
-  ASSERT_TRUE(qr.ok());
-  auto problem =
-      MakeProblem(*qr, dataset->outlier_keys, dataset->holdout_keys,
-                  /*error_direction=*/1.0, /*lambda=*/0.5, param.c,
-                  dataset->attributes);
-  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  ExplainRequest request;
+  for (const std::string& key : dataset_gen->outlier_keys) {
+    request.FlagTooHigh(key);
+  }
+  request.Holdouts(dataset_gen->holdout_keys)
+      .WithAttributes(dataset_gen->attributes)
+      .WithAlgorithm(param.algorithm)
+      .WithLambda(0.5)
+      .WithC(param.c);
 
-  ScorpionOptions options;
-  options.algorithm = param.algorithm;
-  options.naive.time_budget_seconds = 30.0;
-  options.naive.max_clauses = param.dims;
-  Scorpion scorpion(options);
-  auto explanation = scorpion.Explain(dataset->table, *qr, *problem);
-  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
-  ASSERT_FALSE(explanation->predicates.empty());
+  auto response = dataset->Explain(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_FALSE(response->predicates.empty());
 
-  auto outlier_union = OutlierUnion(*qr, *problem);
+  auto problem = dataset->Resolve(request);
+  ASSERT_TRUE(problem.ok());
+  auto outlier_union = OutlierUnion(dataset->result(), *problem);
   ASSERT_TRUE(outlier_union.ok());
   auto accuracy =
-      EvaluatePredicate(dataset->table, explanation->best().pred,
-                        *outlier_union, dataset->outer_rows);
+      EvaluatePredicate(dataset_gen->table, response->best().pred,
+                        *outlier_union, dataset_gen->outer_rows);
   ASSERT_TRUE(accuracy.ok());
   EXPECT_GE(accuracy->f_score, param.min_f_score)
       << AlgorithmToString(param.algorithm)
-      << " found: " << explanation->best().pred.ToString(&dataset->table)
-      << " influence=" << explanation->best().influence
+      << " found: " << response->best().display
+      << " influence=" << response->best().influence
       << " P=" << accuracy->precision << " R=" << accuracy->recall;
 }
 
@@ -80,6 +88,8 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ScorpionSession, CachedRunsMatchUncachedRuns) {
+  // Internal-engine invariant: the facade's session caching sits on
+  // Scorpion::Prepare/ExplainWithC, which must never make results worse.
   SynthOptions opts = SynthPreset(2, /*easy=*/true, /*seed=*/3);
   opts.tuples_per_group = 500;
   auto dataset = GenerateSynth(opts);
@@ -123,24 +133,27 @@ TEST(ScorpionSession, ExplainWithCRequiresPrepare) {
 TEST(ScorpionValidation, RejectsBadProblems) {
   SynthOptions opts = SynthPreset(2, true, 5);
   opts.tuples_per_group = 50;
-  auto dataset = GenerateSynth(opts);
-  ASSERT_TRUE(dataset.ok());
-  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
-  ASSERT_TRUE(qr.ok());
+  auto dataset_gen = GenerateSynth(opts);
+  ASSERT_TRUE(dataset_gen.ok());
 
-  Scorpion scorpion;
-  ProblemSpec empty;  // no outliers
-  empty.attributes = dataset->attributes;
-  EXPECT_TRUE(scorpion.Explain(dataset->table, *qr, empty)
+  Engine engine;
+  auto dataset = engine.Open(dataset_gen->table, dataset_gen->query);
+  ASSERT_TRUE(dataset.ok());
+
+  // No outliers.
+  EXPECT_TRUE(dataset
+                  ->Explain(ExplainRequest().WithAttributes(
+                      dataset_gen->attributes))
                   .status()
                   .IsInvalidArgument());
 
-  ProblemSpec overlap;
-  overlap.outliers = {0};
-  overlap.holdouts = {0};
-  overlap.SetUniformErrorVector(1.0);
-  overlap.attributes = dataset->attributes;
-  EXPECT_TRUE(scorpion.Explain(dataset->table, *qr, overlap)
+  // The same key flagged as outlier and hold-out.
+  const std::string key = dataset->result().results[0].key_string;
+  EXPECT_TRUE(dataset
+                  ->Explain(ExplainRequest()
+                                .FlagTooHigh(key)
+                                .Holdout(key)
+                                .WithAttributes(dataset_gen->attributes))
                   .status()
                   .IsInvalidArgument());
 }

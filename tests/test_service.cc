@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,15 +43,15 @@ Fixture MakeFixture(uint64_t seed, const std::string& aggregate = "SUM") {
   return f;
 }
 
-Request MakeRequest(const Fixture& f, double c,
-                    Algorithm algorithm = Algorithm::kDT) {
-  Request req;
-  req.table = &f.dataset.table;
-  req.query_result = &f.qr;
-  req.problem = f.problem;
-  req.c = c;
-  req.algorithm = algorithm;
-  return req;
+Job MakeJob(const Fixture& f, double c,
+            Algorithm algorithm = Algorithm::kDT) {
+  Job job;
+  job.table = &f.dataset.table;
+  job.query_result = &f.qr;
+  job.problem = f.problem;
+  job.problem.c = c;  // the one and only c for this job
+  job.algorithm = algorithm;
+  return job;
 }
 
 void ExpectSameExplanation(const Explanation& expected,
@@ -68,20 +69,20 @@ void ExpectSameExplanation(const Explanation& expected,
 
 // --- Scheduler unit tests ---------------------------------------------------
 
-ScheduledRequest MakeScheduled(uint64_t id, int priority,
-                               Request::Clock::time_point deadline =
-                                   Request::kNoDeadline) {
-  ScheduledRequest item;
+ScheduledJob MakeScheduled(uint64_t id, int priority,
+                           Job::Clock::time_point deadline =
+                               Job::kNoDeadline) {
+  ScheduledJob item;
   item.id = id;
-  item.request.priority = priority;
-  item.request.deadline = deadline;
+  item.job.priority = priority;
+  item.job.deadline = deadline;
   return item;
 }
 
 TEST(Scheduler, PopsByPriorityThenDeadlineThenFifo) {
   Scheduler scheduler(SchedulerOptions{16});
-  auto soon = Request::Clock::now() + std::chrono::seconds(1);
-  auto later = Request::Clock::now() + std::chrono::hours(1);
+  auto soon = Job::Clock::now() + std::chrono::seconds(1);
+  auto later = Job::Clock::now() + std::chrono::hours(1);
   EXPECT_EQ(scheduler.Enqueue(MakeScheduled(1, 0)), AdmissionResult::kAdmitted);
   EXPECT_EQ(scheduler.Enqueue(MakeScheduled(2, 5, later)),
             AdmissionResult::kAdmitted);
@@ -89,7 +90,7 @@ TEST(Scheduler, PopsByPriorityThenDeadlineThenFifo) {
             AdmissionResult::kAdmitted);
   EXPECT_EQ(scheduler.Enqueue(MakeScheduled(4, 0)), AdmissionResult::kAdmitted);
 
-  ScheduledRequest out;
+  ScheduledJob out;
   ASSERT_TRUE(scheduler.Pop(&out));
   EXPECT_EQ(out.id, 3u);  // highest priority, earliest deadline
   ASSERT_TRUE(scheduler.Pop(&out));
@@ -102,26 +103,26 @@ TEST(Scheduler, PopsByPriorityThenDeadlineThenFifo) {
 
 TEST(Scheduler, FullQueueShedsWorstNotBest) {
   Scheduler scheduler(SchedulerOptions{2});
-  ScheduledRequest low1 = MakeScheduled(1, 1);
-  ScheduledRequest low2 = MakeScheduled(2, 1);
+  ScheduledJob low1 = MakeScheduled(1, 1);
+  ScheduledJob low2 = MakeScheduled(2, 1);
   auto low2_future = low2.promise.get_future();
   EXPECT_EQ(scheduler.Enqueue(std::move(low1)), AdmissionResult::kAdmitted);
   EXPECT_EQ(scheduler.Enqueue(std::move(low2)), AdmissionResult::kAdmitted);
 
   // A worse-or-equal incoming request is the admission loser.
-  ScheduledRequest low3 = MakeScheduled(3, 1);
+  ScheduledJob low3 = MakeScheduled(3, 1);
   auto low3_future = low3.promise.get_future();
   EXPECT_EQ(scheduler.Enqueue(std::move(low3)), AdmissionResult::kShed);
   EXPECT_TRUE(low3_future.get().status().IsUnavailable());
 
   // A better incoming request evicts the worst queued one (id 2: same
   // priority as id 1 but later FIFO order).
-  ScheduledRequest high = MakeScheduled(4, 9);
+  ScheduledJob high = MakeScheduled(4, 9);
   EXPECT_EQ(scheduler.Enqueue(std::move(high)),
             AdmissionResult::kAdmittedEvictedWorst);
   EXPECT_TRUE(low2_future.get().status().IsUnavailable());
 
-  ScheduledRequest out;
+  ScheduledJob out;
   ASSERT_TRUE(scheduler.Pop(&out));
   EXPECT_EQ(out.id, 4u);
   ASSERT_TRUE(scheduler.Pop(&out));
@@ -131,7 +132,7 @@ TEST(Scheduler, FullQueueShedsWorstNotBest) {
 
 TEST(Scheduler, CancelRemovesQueuedRequest) {
   Scheduler scheduler(SchedulerOptions{8});
-  ScheduledRequest item = MakeScheduled(7, 0);
+  ScheduledJob item = MakeScheduled(7, 0);
   auto future = item.promise.get_future();
   EXPECT_EQ(scheduler.Enqueue(std::move(item)), AdmissionResult::kAdmitted);
   EXPECT_TRUE(scheduler.Cancel(7));
@@ -142,18 +143,18 @@ TEST(Scheduler, CancelRemovesQueuedRequest) {
 
 TEST(Scheduler, ShutdownCancelsQueuedAndRejectsNew) {
   Scheduler scheduler(SchedulerOptions{8});
-  ScheduledRequest item = MakeScheduled(1, 0);
+  ScheduledJob item = MakeScheduled(1, 0);
   auto queued_future = item.promise.get_future();
   EXPECT_EQ(scheduler.Enqueue(std::move(item)), AdmissionResult::kAdmitted);
   scheduler.Shutdown();
   EXPECT_TRUE(queued_future.get().status().IsCancelled());
 
-  ScheduledRequest late = MakeScheduled(2, 0);
+  ScheduledJob late = MakeScheduled(2, 0);
   auto late_future = late.promise.get_future();
   EXPECT_EQ(scheduler.Enqueue(std::move(late)), AdmissionResult::kShutdown);
   EXPECT_TRUE(late_future.get().status().IsCancelled());
 
-  ScheduledRequest out;
+  ScheduledJob out;
   EXPECT_FALSE(scheduler.Pop(&out));
 }
 
@@ -204,7 +205,7 @@ TEST(ExplanationService, ConcurrentSubmitsMatchDirectExplainByteForByte) {
         issued.fixture = f;
         issued.c_index = ci;
         issued.response =
-            service.Submit(MakeRequest(fixtures[f], cs[ci]));
+            service.Submit(MakeJob(fixtures[f], cs[ci]));
         per_client[t].push_back(std::move(issued));
       }
     });
@@ -240,10 +241,10 @@ TEST(ExplanationService, BatchGroupsByKeyAndHitsSessionCache) {
   // Same problem key throughout: first request computes the DT partitions,
   // the repeated c reuses the whole merged result, the fresh c reuses the
   // partitions.
-  std::vector<Request> batch;
-  batch.push_back(MakeRequest(f, 0.5));
-  batch.push_back(MakeRequest(f, 0.5));
-  batch.push_back(MakeRequest(f, 0.2));
+  std::vector<Job> batch;
+  batch.push_back(MakeJob(f, 0.5));
+  batch.push_back(MakeJob(f, 0.5));
+  batch.push_back(MakeJob(f, 0.2));
   std::vector<Response> responses = service.SubmitBatch(std::move(batch));
   ASSERT_EQ(responses.size(), 3u);
 
@@ -272,18 +273,18 @@ TEST(ExplanationService, InvalidateSessionsForcesRecompute) {
   options.num_workers = 1;
   ExplanationService service(options);
 
-  auto first = service.Submit(MakeRequest(f, 0.5)).future.get();
+  auto first = service.Submit(MakeJob(f, 0.5)).future.get();
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->cache_partitions_hit);
 
-  auto warm = service.Submit(MakeRequest(f, 0.5)).future.get();
+  auto warm = service.Submit(MakeJob(f, 0.5)).future.get();
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->cache_result_hit);
 
   // After invalidation the same key recomputes from scratch — the path a
   // client must take before retiring a served table.
   service.InvalidateSessions();
-  auto cold = service.Submit(MakeRequest(f, 0.5)).future.get();
+  auto cold = service.Submit(MakeJob(f, 0.5)).future.get();
   ASSERT_TRUE(cold.ok());
   EXPECT_FALSE(cold->cache_partitions_hit);
   EXPECT_FALSE(cold->cache_result_hit);
@@ -304,14 +305,14 @@ TEST(ExplanationService, SessionBoundsCachedCValues) {
   double newest_c = 0.0;
   for (int i = 0; i < 17; ++i) {
     newest_c = oldest_c - 0.01 * i;
-    ASSERT_TRUE(service.Submit(MakeRequest(f, newest_c)).future.get().ok());
+    ASSERT_TRUE(service.Submit(MakeJob(f, newest_c)).future.get().ok());
   }
 
-  auto newest = service.Submit(MakeRequest(f, newest_c)).future.get();
+  auto newest = service.Submit(MakeJob(f, newest_c)).future.get();
   ASSERT_TRUE(newest.ok());
   EXPECT_TRUE(newest->cache_result_hit);
 
-  auto evicted = service.Submit(MakeRequest(f, oldest_c)).future.get();
+  auto evicted = service.Submit(MakeJob(f, oldest_c)).future.get();
   ASSERT_TRUE(evicted.ok());
   EXPECT_FALSE(evicted->cache_result_hit);      // recomputed...
   EXPECT_TRUE(evicted->cache_partitions_hit);   // ...from cached partitions
@@ -323,17 +324,68 @@ TEST(ExplanationService, ExpiredDeadlineReturnsDeadlineExceeded) {
   options.num_workers = 1;
   ExplanationService service(options);
 
-  Request late = MakeRequest(f, 0.5);
-  late.deadline = Request::Clock::now() - std::chrono::milliseconds(1);
+  Job late = MakeJob(f, 0.5);
+  late.deadline = Job::Clock::now() - std::chrono::milliseconds(1);
   Response response = service.Submit(std::move(late));
   EXPECT_TRUE(response.future.get().status().IsDeadlineExceeded());
   EXPECT_GE(service.stats().deadline_expired, 1u);
 
   // A deadline in the future still runs.
-  Request in_time = MakeRequest(f, 0.5);
-  in_time.set_deadline_after(120.0);
+  Job in_time = MakeJob(f, 0.5);
+  ASSERT_TRUE(in_time.set_deadline_after(120.0).ok());
   Response ok_response = service.Submit(std::move(in_time));
   EXPECT_TRUE(ok_response.future.get().ok());
+}
+
+TEST(JobDeadline, SetDeadlineAfterRejectsNegativeAndNonFinite) {
+  // A negative relative deadline would put the absolute deadline in the
+  // past and silently dead-letter the job; NaN would compare false against
+  // now() forever. Both are caller bugs the API must surface.
+  Job job;
+  for (double bad : {-1.0, -1e-9,
+                     std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity()}) {
+    EXPECT_TRUE(job.set_deadline_after(bad).IsInvalidArgument()) << bad;
+    EXPECT_EQ(job.deadline, Job::kNoDeadline) << "deadline must be unchanged";
+  }
+  ASSERT_TRUE(job.set_deadline_after(0.5).ok());
+  EXPECT_NE(job.deadline, Job::kNoDeadline);
+  EXPECT_GT(job.deadline, Job::Clock::now());
+  // Absurdly far deadlines clamp to "none" instead of overflowing the
+  // integral clock duration (UB) and wrapping negative.
+  ASSERT_TRUE(job.set_deadline_after(1e12).ok());
+  EXPECT_EQ(job.deadline, Job::kNoDeadline);
+}
+
+TEST(ExplanationService, CallerPinnedSessionWinsOverKeyedCache) {
+  // api::Dataset pins its own session on every job so its sync and async
+  // paths share one cache; the service must honor it even across
+  // InvalidateSessions() (which only drops the keyed cache).
+  Fixture f = MakeFixture(79);
+  ServiceOptions options;
+  options.num_workers = 1;
+  ExplanationService service(options);
+
+  auto session = std::make_shared<ExplainSession>();
+  Job first = MakeJob(f, 0.5);
+  first.session = session;
+  auto r1 = service.Submit(std::move(first)).future.get();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(r1->cache_partitions_hit);
+
+  Job second = MakeJob(f, 0.2);
+  second.session = session;
+  auto r2 = service.Submit(std::move(second)).future.get();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->cache_partitions_hit);
+
+  service.InvalidateSessions();
+  Job third = MakeJob(f, 0.5);
+  third.session = session;
+  auto r3 = service.Submit(std::move(third)).future.get();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->cache_result_hit);
+  ExpectSameExplanation(*r1, *r3);
 }
 
 TEST(ExplanationService, ShedsWhenQueueIsFull) {
@@ -345,7 +397,7 @@ TEST(ExplanationService, ShedsWhenQueueIsFull) {
 
   std::vector<Response> responses;
   for (int i = 0; i < 5; ++i) {
-    responses.push_back(service.Submit(MakeRequest(f, 0.5)));
+    responses.push_back(service.Submit(MakeJob(f, 0.5)));
   }
   // Equal priority: the two submissions past the bound lose admission.
   EXPECT_TRUE(responses[3].future.get().status().IsUnavailable());
@@ -367,7 +419,7 @@ TEST(ExplanationService, CancelRemovesQueuedRequest) {
   options.num_workers = 0;
   ExplanationService service(options);
 
-  Response response = service.Submit(MakeRequest(f, 0.5));
+  Response response = service.Submit(MakeJob(f, 0.5));
   EXPECT_TRUE(service.Cancel(response.id));
   EXPECT_TRUE(response.future.get().status().IsCancelled());
   EXPECT_FALSE(service.Cancel(response.id));
@@ -378,11 +430,11 @@ TEST(ExplanationService, RejectsInvalidRequestsUpFront) {
   Fixture f = MakeFixture(59);
 
   ExplanationService service;
-  Request no_table;
+  Job no_table;
   Response r1 = service.Submit(std::move(no_table));
   EXPECT_TRUE(r1.future.get().status().IsInvalidArgument());
 
-  Request bad_problem = MakeRequest(f, 0.5);
+  Job bad_problem = MakeJob(f, 0.5);
   bad_problem.problem.outliers.push_back(10'000);  // out of range
   Response r2 = service.Submit(std::move(bad_problem));
   EXPECT_TRUE(r2.future.get().status().IsIndexError());
@@ -398,8 +450,8 @@ TEST(ExplanationService, ServesNaiveAndMCAlgorithms) {
   options.engine.naive.time_budget_seconds = 120.0;
   ExplanationService service(options);
 
-  Response mc = service.Submit(MakeRequest(f, 0.5, Algorithm::kMC));
-  Response naive = service.Submit(MakeRequest(f, 0.5, Algorithm::kNaive));
+  Response mc = service.Submit(MakeJob(f, 0.5, Algorithm::kMC));
+  Response naive = service.Submit(MakeJob(f, 0.5, Algorithm::kNaive));
 
   for (Algorithm algorithm : {Algorithm::kMC, Algorithm::kNaive}) {
     ScorpionOptions direct_options = options.engine;
@@ -423,7 +475,7 @@ TEST(ExplanationService, WarmStartModeOnlyImprovesInfluence) {
   ExplanationService service(options);
 
   for (double c : {0.5, 0.3, 0.1}) {
-    auto warm = service.Submit(MakeRequest(f, c)).future.get();
+    auto warm = service.Submit(MakeJob(f, c)).future.get();
     ASSERT_TRUE(warm.ok()) << warm.status().ToString();
 
     Scorpion cold;
