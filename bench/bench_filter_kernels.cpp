@@ -1,33 +1,51 @@
-// Filter-kernel throughput: scalar row-at-a-time BoundPredicate evaluation
-// vs the vectorized selection-vector kernels, across selectivities and
-// clause mixes. Reports rows/s and the vectorized/scalar speedup for
-//   * the dense kernel (FilterAll / all-rows input -> bitmap Selection);
-//   * the gather kernel (sparse selection-vector input);
-// plus the Selection conversion counters, so data-plane behavior is visible.
+// Filter data-plane throughput: scalar row-at-a-time BoundPredicate
+// evaluation vs the vectorized selection-vector kernels vs the zone-map
+// block-pruned plane, across selectivities, clause mixes, and data layouts.
+// Reports rows/s for
+//   * the scalar reference (row-at-a-time Filter(RowIdList), test-only);
+//   * the dense kernel with pruning off (FilterAll, every row through SIMD);
+//   * the dense kernel with pruning on (NONE blocks skipped, ALL blocks
+//     word-filled, PARTIAL blocks through SIMD);
+//   * the gather kernel with pruning on (sparse selection-vector input);
+// plus the per-case pruning counters, so data-plane behavior is visible.
+// Zone maps only bite when values cluster by row range, so cases run over
+// both a uniform-random table and a group-clustered table (values
+// correlated with row position, the shape group-by provenance produces).
 //
-// Usage: bench_filter_kernels [--tiny]
-//   --tiny   CI smoke configuration: small table, one rep, and a hard
-//            equality check of kernel vs scalar outputs.
+// Usage: bench_filter_kernels [--tiny] [--json <path>]
+//   --tiny         CI smoke configuration: small table, one rep, and hard
+//                  checks that pruned/unpruned/scalar outputs agree and
+//                  that pruning actually pruned on the clustered cases.
+//   --json <path>  Also write the measurements as JSON (schema documented
+//                  in README "Benchmarks"); the CI perf-trajectory artifact.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "eval/experiment.h"
 #include "predicate/predicate.h"
+#include "table/block_stats.h"
 #include "table/selection.h"
 #include "table/table.h"
 
 namespace scorpion {
 namespace {
 
-Table BuildTable(size_t n, Rng* rng) {
-  Table t(Schema({{"x", DataType::kDouble},
-                  {"y", DataType::kDouble},
-                  {"cat", DataType::kCategorical}}));
+Schema BenchSchema() {
+  return Schema({{"x", DataType::kDouble},
+                 {"y", DataType::kDouble},
+                 {"cat", DataType::kCategorical}});
+}
+
+/// Uniform-random table: zone maps are useless here except at the extremes
+/// (every block spans nearly the full domain) — the honest baseline.
+Table BuildUniformTable(size_t n, Rng* rng) {
+  Table t(BenchSchema());
   for (size_t i = 0; i < n; ++i) {
     (void)t.column(0).AppendDouble(rng->Uniform(0.0, 100.0));
     (void)t.column(1).AppendDouble(rng->Uniform(0.0, 100.0));
@@ -40,11 +58,50 @@ Table BuildTable(size_t n, Rng* rng) {
   return t;
 }
 
-struct Measurement {
-  double scalar_rows_per_s = 0.0;
-  double dense_rows_per_s = 0.0;
-  double gather_rows_per_s = 0.0;
+/// Group-clustered table: x ramps with the row position (plus jitter) and
+/// cat changes in contiguous runs — the layout tables have when rows arrive
+/// grouped, and the case zone maps are built for.
+Table BuildClusteredTable(size_t n, Rng* rng) {
+  Table t(BenchSchema());
+  for (size_t i = 0; i < n; ++i) {
+    double base = 100.0 * static_cast<double>(i) / static_cast<double>(n);
+    (void)t.column(0).AppendDouble(base + rng->Uniform(0.0, 0.05));
+    (void)t.column(1).AppendDouble(rng->Uniform(0.0, 100.0));
+    char cat[8];
+    std::snprintf(cat, sizeof(cat), "c%d",
+                  static_cast<int>(i * 16 / n));
+    (void)t.column(2).AppendString(cat);
+  }
+  (void)t.FinalizeColumnwiseBuild();
+  return t;
+}
+
+struct PruneCounters {
+  uint64_t none = 0, all = 0, partial = 0, rows_skipped = 0;
+};
+
+PruneCounters CountersSince(const PruneCounters& start) {
+  const BlockPruningStats& g = GlobalBlockPruningStats();
+  return {g.blocks_pruned_none.load() - start.none,
+          g.blocks_pruned_all.load() - start.all,
+          g.blocks_partial.load() - start.partial,
+          g.rows_skipped_by_pruning.load() - start.rows_skipped};
+}
+
+PruneCounters CountersNow() { return CountersSince(PruneCounters{}); }
+
+struct CaseResult {
+  std::string name;
+  std::string table;
   size_t matched = 0;
+  double scalar_rows_per_s = 0.0;
+  double dense_unpruned_rows_per_s = 0.0;
+  double dense_pruned_rows_per_s = 0.0;
+  double gather_pruned_rows_per_s = 0.0;
+  double pruned_speedup = 0.0;  // dense pruned / dense unpruned
+  PruneCounters pruning;        // one pruned FilterAll + one pruned Filter
+  bool outputs_match = true;
+  bool clustered_expect_pruning = false;
 };
 
 /// Times `fn()` over `reps` runs and returns rows/s for `rows_per_run`.
@@ -57,11 +114,128 @@ double Throughput(int reps, size_t rows_per_run, const Fn& fn) {
   return static_cast<double>(rows_per_run) * reps / secs;
 }
 
-int Run(bool tiny) {
-  const size_t n = tiny ? 20'000 : 2'000'000;
+struct Case {
+  std::string name;
+  std::string table;  // "uniform" | "clustered"
+  Predicate pred;
+  bool expect_pruning = false;  // tiny mode asserts none+all > 0
+};
+
+std::vector<Case> BuildCases() {
+  std::vector<Case> cases;
+  for (double sel : {0.01, 0.5, 0.99}) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "uniform range sel=%.2f", sel);
+    Case c;
+    c.name = buf;
+    c.table = "uniform";
+    (void)c.pred.AddRange({"x", 0.0, sel * 100.0, false});
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "uniform 2 ranges + set";
+    c.table = "uniform";
+    (void)c.pred.AddRange({"x", 10.0, 90.0, false});
+    (void)c.pred.AddRange({"y", 25.0, 75.0, true});
+    (void)c.pred.AddSet({"cat", {0, 1, 2, 3, 4, 5, 6, 7}});
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;  // ~1% of blocks PARTIAL/ALL, rest NONE
+    c.name = "clustered range low-sel";
+    c.table = "clustered";
+    c.expect_pruning = true;
+    (void)c.pred.AddRange({"x", 0.0, 1.0, false});
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;  // almost every block ALL (word-fill path)
+    c.name = "clustered range high-sel";
+    c.table = "clustered";
+    c.expect_pruning = true;
+    (void)c.pred.AddRange({"x", 0.0, 101.0, false});
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;  // two of 16 contiguous cat runs: most blocks NONE
+    c.name = "clustered group set";
+    c.table = "clustered";
+    c.expect_pruning = true;
+    (void)c.pred.AddSet({"cat", {2, 3}});
+    cases.push_back(std::move(c));
+  }
+  {
+    Case c;
+    c.name = "clustered range + set";
+    c.table = "clustered";
+    c.expect_pruning = true;
+    (void)c.pred.AddRange({"x", 10.0, 30.0, false});
+    (void)c.pred.AddSet({"cat", {2, 3, 4}});
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+JsonValue ToJson(const std::vector<CaseResult>& results, size_t n, int reps,
+                 bool tiny) {
+  JsonValue root = JsonValue::Object();
+  root.Add("bench", JsonValue::String("filter_kernels"));
+  root.Add("version", JsonValue::Number(1));
+  root.Add("rows", JsonValue::Number(static_cast<double>(n)));
+  root.Add("reps", JsonValue::Number(reps));
+  root.Add("tiny", JsonValue::Bool(tiny));
+  root.Add("block_size", JsonValue::Number(static_cast<double>(kBlockSize)));
+  JsonValue cases = JsonValue::Array();
+  PruneCounters totals;
+  for (const CaseResult& r : results) {
+    JsonValue c = JsonValue::Object();
+    c.Add("name", JsonValue::String(r.name));
+    c.Add("table", JsonValue::String(r.table));
+    c.Add("matched", JsonValue::Number(static_cast<double>(r.matched)));
+    c.Add("scalar_rows_per_s", JsonValue::Number(r.scalar_rows_per_s));
+    c.Add("dense_unpruned_rows_per_s",
+          JsonValue::Number(r.dense_unpruned_rows_per_s));
+    c.Add("dense_pruned_rows_per_s",
+          JsonValue::Number(r.dense_pruned_rows_per_s));
+    c.Add("gather_pruned_rows_per_s",
+          JsonValue::Number(r.gather_pruned_rows_per_s));
+    c.Add("pruned_vs_unpruned_speedup", JsonValue::Number(r.pruned_speedup));
+    c.Add("blocks_pruned_none",
+          JsonValue::Number(static_cast<double>(r.pruning.none)));
+    c.Add("blocks_pruned_all",
+          JsonValue::Number(static_cast<double>(r.pruning.all)));
+    c.Add("blocks_partial",
+          JsonValue::Number(static_cast<double>(r.pruning.partial)));
+    c.Add("rows_skipped_by_pruning",
+          JsonValue::Number(static_cast<double>(r.pruning.rows_skipped)));
+    c.Add("outputs_match", JsonValue::Bool(r.outputs_match));
+    cases.Append(std::move(c));
+    totals.none += r.pruning.none;
+    totals.all += r.pruning.all;
+    totals.partial += r.pruning.partial;
+    totals.rows_skipped += r.pruning.rows_skipped;
+  }
+  root.Add("cases", std::move(cases));
+  JsonValue tot = JsonValue::Object();
+  tot.Add("blocks_pruned_none",
+          JsonValue::Number(static_cast<double>(totals.none)));
+  tot.Add("blocks_pruned_all",
+          JsonValue::Number(static_cast<double>(totals.all)));
+  tot.Add("blocks_partial",
+          JsonValue::Number(static_cast<double>(totals.partial)));
+  tot.Add("rows_skipped_by_pruning",
+          JsonValue::Number(static_cast<double>(totals.rows_skipped)));
+  root.Add("totals", std::move(tot));
+  return root;
+}
+
+int Run(bool tiny, const std::string& json_path) {
+  const size_t n = tiny ? 64'000 : 2'000'000;
   const int reps = tiny ? 1 : 10;
   Rng rng(42);
-  Table table = BuildTable(n, &rng);
+  Table uniform = BuildUniformTable(n, &rng);
+  Table clustered = BuildClusteredTable(n, &rng);
 
   // Sparse input for the gather kernel: every third row.
   RowIdList sparse_rows;
@@ -69,77 +243,92 @@ int Run(bool tiny) {
   for (size_t i = 0; i < n; i += 3) sparse_rows.push_back(static_cast<RowId>(i));
   const Selection sparse = Selection::FromSorted(sparse_rows, n);
   const RowIdList all_list = AllRows(n);
-  const Selection all_sel = Selection::All(n);
 
-  struct Case {
-    std::string name;
-    Predicate pred;
-  };
-  std::vector<Case> cases;
-  for (double sel : {0.01, 0.1, 0.5, 0.9, 0.99}) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "range sel=%.2f", sel);
-    Case c;
-    c.name = buf;
-    (void)c.pred.AddRange({"x", 0.0, sel * 100.0, false});
-    cases.push_back(std::move(c));
-  }
-  {
-    Case c;
-    c.name = "2 ranges + set";
-    (void)c.pred.AddRange({"x", 10.0, 90.0, false});
-    (void)c.pred.AddRange({"y", 25.0, 75.0, true});
-    (void)c.pred.AddSet({"cat", {0, 1, 2, 3, 4, 5, 6, 7}});
-    cases.push_back(std::move(c));
-  }
+  std::vector<Case> cases = BuildCases();
 
-  std::printf("bench_filter_kernels: %zu rows, %d reps (%s)\n\n", n, reps,
-              tiny ? "tiny/CI config" : "full config");
+  std::printf("bench_filter_kernels: %zu rows, %d reps, %zu-row blocks (%s)\n\n",
+              n, reps, kBlockSize, tiny ? "tiny/CI config" : "full config");
   TablePrinter printer({"case", "matched", "scalar Mrows/s", "dense Mrows/s",
-                        "gather Mrows/s", "dense speedup", "gather speedup"});
+                        "pruned Mrows/s", "gather Mrows/s", "prune speedup",
+                        "blocks n/a/p"});
 
-  double min_dense_speedup = 1e300;
+  std::vector<CaseResult> results;
   bool all_equal = true;
-  for (const Case& c : cases) {
+  bool pruned_where_expected = true;
+  double min_clustered_speedup = 1e300;
+  for (Case& c : cases) {
+    const Table& table = c.table == "uniform" ? uniform : clustered;
     auto bound_or = c.pred.Bind(table);
     if (!bound_or.ok()) {
       std::fprintf(stderr, "bind failed: %s\n",
                    bound_or.status().ToString().c_str());
       return 1;
     }
-    const BoundPredicate& bound = *bound_or;
+    BoundPredicate& bound = *bound_or;
 
-    // Correctness cross-check: kernels must reproduce the scalar reference.
+    CaseResult r;
+    r.name = c.name;
+    r.table = c.table;
+    r.clustered_expect_pruning = c.expect_pruning;
+
+    // Correctness cross-check: the pruned plane and the unpruned kernels
+    // must both reproduce the scalar reference exactly.
     const RowIdList scalar_all = bound.Filter(all_list);
     const RowIdList scalar_sparse = bound.Filter(sparse.rows());
-    if (bound.FilterAll().rows() != scalar_all ||
-        bound.Filter(all_sel).rows() != scalar_all ||
-        bound.Filter(sparse).rows() != scalar_sparse) {
-      all_equal = false;
+    bound.set_enable_pruning(false);
+    const bool unpruned_ok = bound.FilterAll().rows() == scalar_all &&
+                             bound.Filter(sparse).rows() == scalar_sparse;
+    bound.set_enable_pruning(true);
+    const PruneCounters before = CountersNow();
+    const bool pruned_ok = bound.FilterAll().rows() == scalar_all &&
+                           bound.Filter(sparse).rows() == scalar_sparse;
+    r.pruning = CountersSince(before);
+    r.outputs_match = unpruned_ok && pruned_ok;
+    all_equal = all_equal && r.outputs_match;
+    if (c.expect_pruning && r.pruning.none + r.pruning.all == 0) {
+      pruned_where_expected = false;
     }
+    r.matched = scalar_all.size();
 
-    Measurement m;
-    m.matched = scalar_all.size();
-    m.scalar_rows_per_s =
-        Throughput(reps, n, [&] { volatile size_t k = bound.Filter(all_list).size(); (void)k; });
-    m.dense_rows_per_s =
-        Throughput(reps, n, [&] { volatile size_t k = bound.FilterAll().size(); (void)k; });
-    m.gather_rows_per_s = Throughput(reps, sparse.size(), [&] {
+    r.scalar_rows_per_s = Throughput(reps, n, [&] {
+      volatile size_t k = bound.Filter(all_list).size();
+      (void)k;
+    });
+    bound.set_enable_pruning(false);
+    r.dense_unpruned_rows_per_s = Throughput(reps, n, [&] {
+      volatile size_t k = bound.FilterAll().size();
+      (void)k;
+    });
+    bound.set_enable_pruning(true);
+    r.dense_pruned_rows_per_s = Throughput(reps, n, [&] {
+      volatile size_t k = bound.FilterAll().size();
+      (void)k;
+    });
+    r.gather_pruned_rows_per_s = Throughput(reps, sparse.size(), [&] {
       volatile size_t k = bound.Filter(sparse).size();
       (void)k;
     });
+    r.pruned_speedup = r.dense_unpruned_rows_per_s > 0.0
+                           ? r.dense_pruned_rows_per_s /
+                                 r.dense_unpruned_rows_per_s
+                           : 0.0;
+    if (c.expect_pruning) {
+      min_clustered_speedup = std::min(min_clustered_speedup, r.pruned_speedup);
+    }
 
-    double dense_speedup = m.dense_rows_per_s / m.scalar_rows_per_s;
-    double gather_speedup = m.gather_rows_per_s / m.scalar_rows_per_s;
-    min_dense_speedup = std::min(min_dense_speedup, dense_speedup);
-    char b1[32], b2[32], b3[32], b4[32], b5[32], b6[32];
-    std::snprintf(b1, sizeof(b1), "%zu", m.matched);
-    std::snprintf(b2, sizeof(b2), "%.1f", m.scalar_rows_per_s / 1e6);
-    std::snprintf(b3, sizeof(b3), "%.1f", m.dense_rows_per_s / 1e6);
-    std::snprintf(b4, sizeof(b4), "%.1f", m.gather_rows_per_s / 1e6);
-    std::snprintf(b5, sizeof(b5), "%.2fx", dense_speedup);
-    std::snprintf(b6, sizeof(b6), "%.2fx", gather_speedup);
-    printer.AddRow({c.name, b1, b2, b3, b4, b5, b6});
+    char b1[32], b2[32], b3[32], b4[32], b5[32], b6[32], b7[48];
+    std::snprintf(b1, sizeof(b1), "%zu", r.matched);
+    std::snprintf(b2, sizeof(b2), "%.1f", r.scalar_rows_per_s / 1e6);
+    std::snprintf(b3, sizeof(b3), "%.1f", r.dense_unpruned_rows_per_s / 1e6);
+    std::snprintf(b4, sizeof(b4), "%.1f", r.dense_pruned_rows_per_s / 1e6);
+    std::snprintf(b5, sizeof(b5), "%.1f", r.gather_pruned_rows_per_s / 1e6);
+    std::snprintf(b6, sizeof(b6), "%.2fx", r.pruned_speedup);
+    std::snprintf(b7, sizeof(b7), "%llu/%llu/%llu",
+                  static_cast<unsigned long long>(r.pruning.none),
+                  static_cast<unsigned long long>(r.pruning.all),
+                  static_cast<unsigned long long>(r.pruning.partial));
+    printer.AddRow({c.name, b1, b2, b3, b4, b5, b6, b7});
+    results.push_back(std::move(r));
   }
   printer.Print();
 
@@ -148,15 +337,38 @@ int Run(bool tiny) {
               "vector->bitmap %llu\n",
               static_cast<unsigned long long>(conv.bitmap_to_vector.load()),
               static_cast<unsigned long long>(conv.vector_to_bitmap.load()));
-  std::printf("min dense speedup over scalar: %.2fx\n", min_dense_speedup);
+  if (min_clustered_speedup < 1e300) {
+    std::printf("min pruned/unpruned speedup on clustered cases: %.2fx\n",
+                min_clustered_speedup);
+  }
+
+  if (!json_path.empty()) {
+    JsonValue doc = ToJson(results, n, reps, tiny);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    const std::string text = doc.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   if (!all_equal) {
     std::fprintf(stderr,
-                 "FAIL: vectorized kernel output diverged from the scalar "
+                 "FAIL: a kernel or pruned output diverged from the scalar "
                  "reference\n");
     return 1;
   }
-  std::printf("kernel outputs match the scalar reference on every case\n");
+  if (!pruned_where_expected) {
+    std::fprintf(stderr,
+                 "FAIL: zone maps pruned no blocks on a clustered case\n");
+    return 1;
+  }
+  std::printf("pruned and unpruned outputs match the scalar reference on "
+              "every case\n");
   return 0;
 }
 
@@ -165,8 +377,13 @@ int Run(bool tiny) {
 
 int main(int argc, char** argv) {
   bool tiny = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
   }
-  return scorpion::Run(tiny);
+  return scorpion::Run(tiny, json_path);
 }

@@ -2,13 +2,27 @@
 //  * incrementally removable scoring vs. black-box recomputation
 //    (the Section 5.1 claim: influence from cached state reads only the
 //    matched tuples);
-//  * predicate binding + filtering throughput;
+//  * predicate binding + filtering throughput, with and without zone-map
+//    block pruning;
 //  * the Merger's cached-tuple estimate vs. an exact score (Section 6.3).
+//
+// Usage: bench_scorer_microbench [--tiny] [--json <path>] [gbench flags]
+//   --tiny         CI smoke configuration (short measurement time).
+//   --json <path>  Also write every run (name, times, counters) as JSON
+//                  (schema documented in README "Benchmarks").
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/random.h"
 #include "core/merger.h"
 #include "core/scorer.h"
 #include "eval/experiment.h"
+#include "table/block_stats.h"
 #include "table/selection.h"
 #include "workload/synth.h"
 
@@ -89,9 +103,10 @@ BENCHMARK(BM_TupleInfluence);
 
 // Data-plane traffic per full-influence score: how many rows a score pushes
 // through the vectorized filter kernels, how many kernel invocations that
-// takes, and whether any bitmap<->vector representation conversions happen
-// on the way (they should not: input groups and gather outputs both stay in
-// vector form on this path).
+// takes, whether any bitmap<->vector representation conversions happen on
+// the way (they should not: input groups and gather outputs both stay in
+// vector form on this path), and how much of the work the zone maps
+// answered from statistics alone.
 void BM_ScorerDataPlaneStats(benchmark::State& state) {
   Fixture& f = Fixture::Get("AVG");
   Scorer scorer = Scorer::Make(f.dataset.table, f.qr, f.problem).ValueOrDie();
@@ -110,9 +125,47 @@ void BM_ScorerDataPlaneStats(benchmark::State& state) {
       static_cast<double>(stats.vector_to_bitmap.load()) * per_iter;
   state.counters["match_cache_hits"] =
       static_cast<double>(stats.match_cache_hits.load()) * per_iter;
+  state.counters["blocks_pruned_none"] =
+      static_cast<double>(stats.blocks_pruned_none.load()) * per_iter;
+  state.counters["blocks_pruned_all"] =
+      static_cast<double>(stats.blocks_pruned_all.load()) * per_iter;
+  state.counters["blocks_partial"] =
+      static_cast<double>(stats.blocks_partial.load()) * per_iter;
+  state.counters["rows_skipped_by_pruning"] =
+      static_cast<double>(stats.rows_skipped_by_pruning.load()) * per_iter;
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ScorerDataPlaneStats);
+
+// Zone-map A/B on a group-clustered table (values correlated with row
+// position, the layout the block stats are built for): FilterAll with
+// pruning off pushes every row through the SIMD kernels; with pruning on,
+// NONE blocks are skipped and ALL blocks word-filled. Arg(1) = pruned.
+void BM_FilterAllPruning(benchmark::State& state) {
+  static Table* table = [] {
+    constexpr size_t kRows = 1 << 18;
+    Rng rng(7);
+    auto* t = new Table(Schema({{"x", DataType::kDouble}}));
+    for (size_t i = 0; i < kRows; ++i) {
+      (void)t->column(0).AppendDouble(
+          100.0 * static_cast<double>(i) / kRows + rng.Uniform(0.0, 0.05));
+    }
+    (void)t->FinalizeColumnwiseBuild();
+    return t;
+  }();
+  Predicate pred;
+  (void)pred.AddRange({"x", 0.0, 2.0, false});  // low selectivity, clustered
+  BoundPredicate bound = pred.Bind(*table).ValueOrDie();
+  const bool pruned = state.range(0) == 1;
+  bound.set_enable_pruning(pruned);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bound.FilterAll().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table->num_rows()));
+  state.SetLabel(pruned ? "pruned" : "unpruned");
+}
+BENCHMARK(BM_FilterAllPruning)->Arg(0)->Arg(1);
 
 void BM_MergerEstimateVsExact(benchmark::State& state) {
   // Estimate path: two synthetic partitions with cached tuples.
@@ -152,7 +205,89 @@ void BM_MergerEstimateVsExact(benchmark::State& state) {
 }
 BENCHMARK(BM_MergerEstimateVsExact)->Arg(0)->Arg(1);
 
+// Console reporter that also captures every completed run so main() can
+// serialize them with the deterministic JSON writer the wire format uses —
+// the machine-readable perf trajectory CI archives.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (!run.error_occurred) captured_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  JsonValue ToJson(bool tiny) const {
+    JsonValue root = JsonValue::Object();
+    root.Add("bench", JsonValue::String("scorer_microbench"));
+    root.Add("version", JsonValue::Number(1));
+    root.Add("tiny", JsonValue::Bool(tiny));
+    JsonValue runs = JsonValue::Array();
+    for (const Run& run : captured_) {
+      JsonValue r = JsonValue::Object();
+      r.Add("name", JsonValue::String(run.benchmark_name()));
+      if (!run.report_label.empty()) {
+        r.Add("label", JsonValue::String(run.report_label));
+      }
+      r.Add("iterations",
+            JsonValue::Number(static_cast<double>(run.iterations)));
+      r.Add("real_time", JsonValue::Number(run.GetAdjustedRealTime()));
+      r.Add("cpu_time", JsonValue::Number(run.GetAdjustedCPUTime()));
+      r.Add("time_unit",
+            JsonValue::String(benchmark::GetTimeUnitString(run.time_unit)));
+      JsonValue counters = JsonValue::Object();
+      for (const auto& [name, counter] : run.counters) {
+        counters.Add(name, JsonValue::Number(counter.value));
+      }
+      r.Add("counters", std::move(counters));
+      runs.Append(std::move(r));
+    }
+    root.Add("benchmarks", std::move(runs));
+    return root;
+  }
+
+ private:
+  std::vector<Run> captured_;
+};
+
 }  // namespace
 }  // namespace scorpion
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool tiny = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.01";
+  if (tiny) args.push_back(min_time_flag);
+  int gbench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&gbench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc, args.data())) {
+    return 1;
+  }
+  scorpion::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    const std::string text = reporter.ToJson(tiny).Dump(2);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

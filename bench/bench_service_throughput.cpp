@@ -58,6 +58,8 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"clients", "requests", "wall(s)", "req/s", "p50(ms)",
                       "p95(ms)", "cache-hit", "shed"});
+  uint64_t total_blocks_pruned = 0;
+  uint64_t total_rows_skipped = 0;
   for (int clients : {1, 2, 4, 8}) {
     ServiceOptions service_options;
     service_options.num_workers = 4;
@@ -98,6 +100,8 @@ int main(int argc, char** argv) {
     }
 
     ServiceStatsSnapshot snap = service.stats();
+    total_blocks_pruned += snap.blocks_pruned;
+    total_rows_skipped += snap.rows_skipped_by_pruning;
     char requests_buf[16], wall_buf[16], rps_buf[16], p50_buf[16],
         p95_buf[16], hit_buf[16], shed_buf[16], clients_buf[16];
     std::snprintf(clients_buf, sizeof(clients_buf), "%d", clients);
@@ -122,6 +126,10 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+  std::printf("zone-map pruning across all runs: %llu blocks answered from "
+              "stats, %llu rows never read\n",
+              static_cast<unsigned long long>(total_blocks_pruned),
+              static_cast<unsigned long long>(total_rows_skipped));
   std::printf("note: single-core machines serialize the workers; the "
               "cache-hit column is the scaling story there.\n");
   return 0;

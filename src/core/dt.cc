@@ -123,6 +123,10 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
     SplitChoice best;
     best.metric = parent_metric;
     const Column* col = attr_columns_.at(attr);
+    // Influence partitions are cleared and refilled per (candidate, group)
+    // instead of allocated fresh: capacity persists across the candidate
+    // loop, so a node's split search allocates at most once per side.
+    std::vector<double> left, right;
     if (col->type() == DataType::kDouble) {
       // Candidate split points: quantiles of the node's sampled values.
       std::vector<double> values;
@@ -148,7 +152,8 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
         double combined = 0.0;
         size_t total_left = 0, total_right = 0;
         for (const GroupSlice& g : node.groups) {
-          std::vector<double> left, right;
+          left.clear();
+          right.clear();
           const RowIdList& sampled = g.sample.rows();
           for (size_t i = 0; i < sampled.size(); ++i) {
             if (col->GetDouble(sampled[i]) < split) {
@@ -190,7 +195,8 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
         double combined = 0.0;
         size_t total_left = 0, total_right = 0;
         for (const GroupSlice& g : node.groups) {
-          std::vector<double> left, right;
+          left.clear();
+          right.clear();
           const RowIdList& sampled = g.sample.rows();
           for (size_t i = 0; i < sampled.size(); ++i) {
             if (col->GetCode(sampled[i]) == code) {
@@ -392,23 +398,31 @@ Result<std::vector<ScoredPredicate>> DTPartitioner::PartitionGroups(
     // computes a goes-left byte mask over the selection vector, then each
     // side compacts in order. NaN split values compare false and go right,
     // matching the scalar `GetDouble(r) < split` the tree used to run.
-    auto left_mask = [&](const Selection& sel) {
+    //
+    // The masks never outlive one group's iteration, so they live in
+    // thread-local scratch (reused across every split of every node this
+    // thread processes; thread-local because concurrent service requests
+    // can run DT partitioners on different workers). Child row/sample
+    // vectors are preallocated to exact sizes from the mask popcount.
+    thread_local std::vector<uint8_t> row_mask_scratch;
+    thread_local std::vector<uint8_t> sample_mask_scratch;
+    auto fill_left_mask = [&](const Selection& sel,
+                              std::vector<uint8_t>* mask) {
       const RowIdList& rs = sel.rows();
-      std::vector<uint8_t> mask(rs.size());
+      mask->resize(rs.size());
       if (split.is_range) {
         const double* v = col->doubles().data();
         const double cut = split.split_value;
         for (size_t i = 0; i < rs.size(); ++i) {
-          mask[i] = static_cast<uint8_t>(v[rs[i]] < cut);
+          (*mask)[i] = static_cast<uint8_t>(v[rs[i]] < cut);
         }
       } else {
         const int32_t* cd = col->codes().data();
         const int32_t code = split.code;
         for (size_t i = 0; i < rs.size(); ++i) {
-          mask[i] = static_cast<uint8_t>(cd[rs[i]] == code);
+          (*mask)[i] = static_cast<uint8_t>(cd[rs[i]] == code);
         }
       }
-      return mask;
     };
     auto split_selection = [](const Selection& sel,
                               const std::vector<uint8_t>& mask, Selection* l,
@@ -427,42 +441,36 @@ Result<std::vector<ScoredPredicate>> DTPartitioner::PartitionGroups(
     };
 
     bool resample = options_.use_sampling;
-    // Stratified child sampling rates (Section 6.1.2): weight by each
-    // child's share of the sampled influence mass (shifted non-negative).
-    std::vector<std::vector<uint8_t>> sample_masks;
-    sample_masks.reserve(node.groups.size());
+    // One pass per group: sample mass for the stratified child sampling
+    // rates (Section 6.1.2, shifted non-negative), row distribution, and —
+    // when not resampling — re-partition of the existing sample and
+    // influences without recomputation.
     double mass_left = 0.0, mass_right = 0.0;
     size_t sample_total = 0;
-    for (const GroupSlice& g : node.groups) {
+    size_t left_rows_total = 0, right_rows_total = 0;
+    for (GroupSlice& g : node.groups) {
       sample_total += g.sample.size();
-      sample_masks.push_back(left_mask(g.sample));
-      const std::vector<uint8_t>& smask = sample_masks.back();
-      for (size_t i = 0; i < smask.size(); ++i) {
+      fill_left_mask(g.sample, &sample_mask_scratch);
+      for (size_t i = 0; i < sample_mask_scratch.size(); ++i) {
         double shifted = g.inf[i] - inf_lower_;
-        if (smask[i]) {
+        if (sample_mask_scratch[i]) {
           mass_left += shifted;
         } else {
           mass_right += shifted;
         }
       }
-    }
-
-    size_t left_rows_total = 0, right_rows_total = 0;
-    for (size_t gi = 0; gi < node.groups.size(); ++gi) {
-      GroupSlice& g = node.groups[gi];
       GroupSlice gl, gr;
       gl.result_idx = gr.result_idx = g.result_idx;
-      split_selection(g.rows, left_mask(g.rows), &gl.rows, &gr.rows);
+      fill_left_mask(g.rows, &row_mask_scratch);
+      split_selection(g.rows, row_mask_scratch, &gl.rows, &gr.rows);
       left_rows_total += gl.rows.size();
       right_rows_total += gr.rows.size();
       if (!resample) {
-        // Re-partition the existing sample and influences; no recomputation.
-        const std::vector<uint8_t>& smask = sample_masks[gi];
-        split_selection(g.sample, smask, &gl.sample, &gr.sample);
+        split_selection(g.sample, sample_mask_scratch, &gl.sample, &gr.sample);
         gl.inf.reserve(gl.sample.size());
         gr.inf.reserve(gr.sample.size());
-        for (size_t i = 0; i < smask.size(); ++i) {
-          (smask[i] ? gl.inf : gr.inf).push_back(g.inf[i]);
+        for (size_t i = 0; i < sample_mask_scratch.size(); ++i) {
+          (sample_mask_scratch[i] ? gl.inf : gr.inf).push_back(g.inf[i]);
         }
       }
       left.groups.push_back(std::move(gl));

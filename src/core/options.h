@@ -110,6 +110,13 @@ struct ScorpionOptions {
   /// work writes to per-index slots and all reductions stay serial in index
   /// order (see src/common/thread_pool.h).
   int num_threads = 1;
+  /// Zone-map block pruning in the filter data plane (see
+  /// src/table/block_stats.h): classify each ~4096-row block against the
+  /// predicate from per-block statistics, skip blocks that cannot match,
+  /// word-fill blocks that fully match, and run the SIMD kernels only on
+  /// the rest. Bit-identical output either way; the switch exists so the
+  /// benches can A/B it and as an escape hatch.
+  bool enable_block_pruning = true;
 };
 
 }  // namespace scorpion

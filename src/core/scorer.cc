@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/macros.h"
+#include "table/block_stats.h"
 #include "table/selection.h"
 
 namespace scorpion {
@@ -89,7 +90,23 @@ ScorerStats& Scorer::stats() const {
   const SelectionConversionStats& conv = GlobalSelectionConversionStats();
   stats_.bitmap_to_vector = conv.bitmap_to_vector.load() - conv_b2v_at_make_;
   stats_.vector_to_bitmap = conv.vector_to_bitmap.load() - conv_v2b_at_make_;
+  stats_.blocks_pruned_none = prune_stats_.blocks_pruned_none.load();
+  stats_.blocks_pruned_all = prune_stats_.blocks_pruned_all.load();
+  stats_.blocks_partial = prune_stats_.blocks_partial.load();
+  stats_.rows_skipped_by_pruning =
+      prune_stats_.rows_skipped_by_pruning.load();
   return stats_;
+}
+
+void Scorer::ConfigureBound(BoundPredicate* bound) const {
+  bound->set_enable_pruning(enable_block_pruning_);
+  // Exact per-scorer pruning attribution: the bound reports into this
+  // scorer's sink instead of the process-wide counters.
+  bound->set_pruning_stats(&prune_stats_);
+  // Block-level parallelism composes with the per-group ParallelFor above
+  // it: nested calls run inline, so only top-level large filters (e.g.
+  // BuildMatchCache's serial group loop) fan out over blocks.
+  bound->set_thread_pool(pool_);
 }
 
 Selection Scorer::FilterGroup(const BoundPredicate& bound,
@@ -169,6 +186,7 @@ Result<double> Scorer::InfluenceImpl(const Predicate* pred,
   std::optional<BoundPredicate> bound;
   if (matches == nullptr) {
     SCORPION_ASSIGN_OR_RETURN(bound, pred->Bind(*table_));
+    ConfigureBound(&*bound);
   }
   auto group_influence = [&](int idx, bool is_outlier, double ev) {
     if (matches != nullptr) {
@@ -219,6 +237,7 @@ Result<double> Scorer::InfluenceImpl(const Predicate* pred,
 Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
   ++stats_.predicate_scores;
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+  ConfigureBound(&bound);
 
   DetailedScore out;
   const size_t num_outliers = problem_->outliers.size();
@@ -291,6 +310,7 @@ Result<double> Scorer::InfluenceCached(const ScoredPredicate& sp) const {
 Result<std::shared_ptr<const PredicateMatchCache>> Scorer::BuildMatchCache(
     const Predicate& pred) const {
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+  ConfigureBound(&bound);
   PredicateMatchCache cache(result_->results.size());
   auto fill = [&](int idx) {
     // FilterGroup returns vector form, which is the only form the cached

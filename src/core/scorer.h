@@ -57,6 +57,15 @@ struct ScorerStats {
   RelaxedCounter match_cache_hits;
   RelaxedCounter bitmap_to_vector;
   RelaxedCounter vector_to_bitmap;
+  // Zone-map block pruning (src/table/block_stats.h): blocks classified
+  // NONE (skipped), ALL (word-filled) or PARTIAL (kernels ran), and the
+  // rows of NONE/ALL blocks whose column data was never read. Exact per
+  // scorer (every bound predicate reports into a scorer-owned sink), so
+  // they stay correct when many requests score concurrently.
+  RelaxedCounter blocks_pruned_none;
+  RelaxedCounter blocks_pruned_all;
+  RelaxedCounter blocks_partial;
+  RelaxedCounter rows_skipped_by_pruning;
 };
 
 /// \brief Influence oracle bound to one (table, query result, problem).
@@ -136,11 +145,22 @@ class Scorer {
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
   ThreadPool* thread_pool() const { return pool_; }
 
+  /// Arms/disarms zone-map block pruning on every predicate this scorer
+  /// binds (ScorpionOptions::enable_block_pruning; bit-identical output
+  /// either way).
+  void set_enable_block_pruning(bool enabled) {
+    enable_block_pruning_ = enabled;
+  }
+
   /// Counter snapshot accessor; refreshes the Selection-conversion deltas.
   ScorerStats& stats() const;
 
  private:
   Scorer() = default;
+
+  /// Applies the scorer's data-plane configuration (pruning flag, thread
+  /// pool) to a freshly bound predicate.
+  void ConfigureBound(BoundPredicate* bound) const;
 
   /// Filters `input` through `bound`, counting kernel traffic.
   Selection FilterGroup(const BoundPredicate& bound,
@@ -169,6 +189,7 @@ class Scorer {
   const Column* agg_col_ = nullptr;
   ThreadPool* pool_ = nullptr;
   bool incremental_ = false;
+  bool enable_block_pruning_ = true;
 
   // Cached per result index (whole result set, so holdouts too).
   std::vector<double> original_values_;   // agg(g_i)
@@ -179,6 +200,10 @@ class Scorer {
   // Global Selection conversion counts at Make() time, for per-run deltas.
   uint64_t conv_b2v_at_make_ = 0;
   uint64_t conv_v2b_at_make_ = 0;
+
+  // Scorer-local pruning sink installed on every bound predicate; exact
+  // attribution regardless of concurrent scorers.
+  mutable BlockPruningStats prune_stats_;
 
   mutable ScorerStats stats_;
 };

@@ -31,7 +31,12 @@ Result<AccuracyStats> EvaluatePredicate(const Table& table,
                                         const RowIdList& outlier_union,
                                         const RowIdList& truth) {
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(table));
-  return ComputeAccuracy(bound.Filter(outlier_union), truth);
+  // Through the vectorized (and zone-map pruned) kernel path, not the
+  // scalar row-at-a-time shim — eval entry points get the same data plane
+  // as the engine.
+  const Selection matched =
+      bound.Filter(Selection::FromSorted(outlier_union, table.num_rows()));
+  return ComputeAccuracy(matched.rows(), truth);
 }
 
 }  // namespace scorpion

@@ -9,6 +9,8 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "table/block_stats.h"
 
 namespace scorpion {
 
@@ -138,29 +140,45 @@ Result<BoundPredicate> Predicate::Bind(const Table& table) const {
   BoundPredicate bound;
   bound.num_rows_ = table.num_rows();
   bound.table_ = &table;
+  bound.pruning_enabled_ = BlockPruningDefault();
+  bound.prune_stats_ = &GlobalBlockPruningStats();
   for (const RangeClause& r : ranges_) {
-    SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(r.attr));
+    SCORPION_ASSIGN_OR_RETURN(int col_idx, table.ColumnIndex(r.attr));
+    const Column* col = &table.column(col_idx);
     if (col->type() != DataType::kDouble) {
       return Status::TypeError("range clause on categorical attribute '" +
                                r.attr + "'");
     }
-    bound.ranges_.push_back({&col->doubles(), r.lo, r.hi, r.hi_inclusive});
+    bound.ranges_.push_back(
+        {&col->doubles(), r.lo, r.hi, r.hi_inclusive, col_idx});
   }
   for (const SetClause& s : sets_) {
-    SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(s.attr));
+    SCORPION_ASSIGN_OR_RETURN(int col_idx, table.ColumnIndex(s.attr));
+    const Column* col = &table.column(col_idx);
     if (col->type() != DataType::kCategorical) {
       return Status::TypeError("set clause on continuous attribute '" +
                                s.attr + "'");
     }
     BoundPredicate::BoundSet bs;
     bs.codes = &col->codes();
+    bs.col = col_idx;
     bs.member.assign(static_cast<size_t>(col->Cardinality()), 0);
+    // Same hash rule as the stats builder: identity when the cardinality
+    // fits the bitset, code & (kBlockCodeBits - 1) otherwise.
+    bs.exact_bits = bs.member.size() <= kBlockCodeBits;
+    std::fill(std::begin(bs.query_bits), std::end(bs.query_bits), 0);
     for (int32_t code : s.codes) {
       if (code >= 0 && static_cast<size_t>(code) < bs.member.size()) {
         bs.member[static_cast<size_t>(code)] = 1;
+        const uint32_t bit =
+            static_cast<uint32_t>(code) & (kBlockCodeBits - 1);
+        bs.query_bits[bit >> 6] |= uint64_t{1} << (bit & 63);
       }
     }
     bound.sets_.push_back(std::move(bs));
+  }
+  if (bound.num_rows_ > 0 && !(bound.ranges_.empty() && bound.sets_.empty())) {
+    bound.block_stats_ = table.block_stats();
   }
   return bound;
 }
@@ -325,6 +343,62 @@ std::vector<uint8_t>& MaskScratch(size_t n) {
   return scratch;
 }
 
+/// Packs the 0/1 bytes mask[0 .. end-begin) into `words` at bit positions
+/// [begin, end) and returns the popcount. `begin` must be 64-aligned (block
+/// starts are: kBlockSize is a multiple of 64).
+///
+/// Packing 8 mask bytes per multiply: bit position 56 + 8i - 7j of x * C
+/// receives exactly one (i, j) term for i, j in [0, 8), so the top byte of
+/// the product is b7..b0 with no carries. The trick reads the bytes through
+/// a uint64_t and so assumes little-endian; other targets take the plain
+/// byte loop.
+size_t PackMaskIntoWords(const uint8_t* mask, size_t begin, size_t end,
+                         uint64_t* words) {
+  const size_t len = end - begin;
+  uint64_t* out = words + (begin >> 6);
+  size_t count = 0;
+  constexpr uint64_t kPack = 0x0102040810204080ULL;
+  const size_t full_words = len / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    const uint8_t* base = mask + (w << 6);
+    uint64_t word = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      for (size_t g = 0; g < 8; ++g) {
+        uint64_t x;
+        std::memcpy(&x, base + (g << 3), sizeof(x));
+        word |= ((x * kPack) >> 56) << (g << 3);
+      }
+    } else {
+      for (size_t b = 0; b < 64; ++b) {
+        word |= static_cast<uint64_t>(base[b]) << b;
+      }
+    }
+    out[w] = word;
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  if (full_words * 64 < len) {
+    const size_t base = full_words << 6;
+    uint64_t word = 0;
+    for (size_t b = 0; b < len - base; ++b) {
+      word |= static_cast<uint64_t>(mask[base + b]) << b;
+    }
+    out[full_words] = word;
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+/// Byte-sum of a 0/1 mask.
+size_t SumMask(const uint8_t* mask, size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) kept += mask[i];
+  return kept;
+}
+
+/// Parallelize per-block work only when there is enough of it to amortize
+/// the ParallelFor handoff.
+constexpr size_t kMinBlocksForParallel = 4;
+
 }  // namespace
 
 void BoundPredicate::FillMaskGather(const RowId* rows, size_t n,
@@ -341,19 +415,99 @@ void BoundPredicate::FillMaskGather(const RowId* rows, size_t n,
   }
 }
 
-void BoundPredicate::FillMaskDense(uint8_t* mask) const {
-  const size_t n = num_rows_;
+void BoundPredicate::FillMaskDenseRange(size_t begin, size_t end,
+                                        uint8_t* mask) const {
+  const size_t n = end - begin;
   bool first = true;
   for (const BoundRange& r : ranges_) {
-    RangeMaskDense(r.values->data(), n, r.lo, r.hi, r.hi_inclusive, first,
-                   mask);
+    RangeMaskDense(r.values->data() + begin, n, r.lo, r.hi, r.hi_inclusive,
+                   first, mask);
     first = false;
   }
   for (const BoundSet& s : sets_) {
-    SetMaskDense(s.codes->data(), n, s.member.data(), first, mask);
+    SetMaskDense(s.codes->data() + begin, n, s.member.data(), first, mask);
     first = false;
   }
 }
+
+bool BoundPredicate::PreparePlan(PruningPlan* plan) const {
+  if (!pruning_enabled_ || block_stats_ == nullptr) return false;
+  plan->stats = block_stats_;
+  plan->range_stats.reserve(ranges_.size());
+  for (const BoundRange& r : ranges_) {
+    plan->range_stats.push_back(plan->stats->ForColumn(r.col).data());
+  }
+  plan->set_stats.reserve(sets_.size());
+  for (const BoundSet& s : sets_) {
+    const BlockStat* stats = plan->stats->ForColumn(s.col).data();
+    // Exactness is a pure function of the cardinality, which cannot change
+    // without an append (which invalidates both the stats and this bound
+    // predicate) — so bind-time and build-time verdicts agree.
+    SCORPION_DCHECK(plan->stats->CodeBitsExact(s.col) == s.exact_bits,
+                    "code bitset exactness diverged between stats and bind");
+    plan->set_stats.push_back(stats);
+  }
+  return true;
+}
+
+BlockMatch BoundPredicate::ClassifyBlock(const PruningPlan& plan,
+                                         size_t b) const {
+  const size_t rows_in_block =
+      plan.stats->block_end(b) - plan.stats->block_begin(b);
+  BlockMatch verdict = BlockMatch::kAll;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    const BoundRange& r = ranges_[i];
+    const BlockMatch m = ClassifyRangeBlock(plan.range_stats[i][b],
+                                            rows_in_block, r.lo, r.hi,
+                                            r.hi_inclusive);
+    if (m == BlockMatch::kNone) return BlockMatch::kNone;
+    if (m == BlockMatch::kPartial) verdict = BlockMatch::kPartial;
+  }
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    const BoundSet& s = sets_[i];
+    const BlockMatch m =
+        ClassifySetBlock(plan.set_stats[i][b], s.query_bits, s.exact_bits);
+    if (m == BlockMatch::kNone) return BlockMatch::kNone;
+    if (m == BlockMatch::kPartial) verdict = BlockMatch::kPartial;
+  }
+  return verdict;
+}
+
+namespace {
+
+/// One maximal run of a sorted sparse input falling inside a single
+/// statistics block, with the block's conjunction verdict.
+struct SparseSpan {
+  size_t block;
+  size_t lo, hi;  // index range into the input row vector
+  BlockMatch verdict;
+};
+
+/// Splits a sorted row vector into per-block spans and classifies each
+/// block through `classify`. The span vector is thread-local scratch:
+/// valid until the calling thread's next ComputeSparseSpans call.
+template <typename Classify>
+std::vector<SparseSpan>& ComputeSparseSpans(const RowIdList& rows,
+                                            const Classify& classify) {
+  thread_local std::vector<SparseSpan> spans;
+  spans.clear();
+  const size_t n = rows.size();
+  size_t i = 0;
+  while (i < n) {
+    const size_t b = static_cast<size_t>(rows[i]) / kBlockSize;
+    const size_t limit = (b + 1) * kBlockSize;
+    const size_t j = static_cast<size_t>(
+        std::partition_point(
+            rows.begin() + static_cast<ptrdiff_t>(i), rows.end(),
+            [&](RowId r) { return static_cast<size_t>(r) < limit; }) -
+        rows.begin());
+    spans.push_back({b, i, j, classify(b)});
+    i = j;
+  }
+  return spans;
+}
+
+}  // namespace
 
 Selection BoundPredicate::Filter(const Selection& input) const {
   CheckNotStale();
@@ -364,11 +518,61 @@ Selection BoundPredicate::Filter(const Selection& input) const {
   const RowIdList& rows = input.rows();
   const size_t n = rows.size();
   uint8_t* mask = MaskScratch(n).data();
+  PruningPlan plan;
+  if (n > 0 && PreparePlan(&plan)) {
+    std::vector<SparseSpan>& spans = ComputeSparseSpans(
+        rows, [&](size_t b) { return ClassifyBlock(plan, b); });
+    BlockPruningStats& pstats = *prune_stats_;
+    // Kernel masks and per-span kept counts land in disjoint slots, so the
+    // spans can run block-parallel; the compaction below stays serial in
+    // block order — output is identical at every thread count.
+    std::vector<size_t> kept(spans.size(), 0);
+    auto do_span = [&](size_t si) {
+      const SparseSpan& sp = spans[si];
+      const size_t len = sp.hi - sp.lo;
+      switch (sp.verdict) {
+        case BlockMatch::kNone:
+          ++pstats.blocks_pruned_none;
+          pstats.rows_skipped_by_pruning += len;
+          break;
+        case BlockMatch::kAll:
+          ++pstats.blocks_pruned_all;
+          pstats.rows_skipped_by_pruning += len;
+          kept[si] = len;
+          break;
+        case BlockMatch::kPartial:
+          ++pstats.blocks_partial;
+          FillMaskGather(rows.data() + sp.lo, len, mask + sp.lo);
+          kept[si] = SumMask(mask + sp.lo, len);
+          break;
+      }
+    };
+    if (pool_ != nullptr && spans.size() >= kMinBlocksForParallel) {
+      pool_->ParallelFor(0, spans.size(), do_span);
+    } else {
+      for (size_t si = 0; si < spans.size(); ++si) do_span(si);
+    }
+    size_t total = 0;
+    for (size_t k : kept) total += k;
+    RowIdList out;
+    out.reserve(total);
+    for (const SparseSpan& sp : spans) {
+      if (sp.verdict == BlockMatch::kNone) continue;
+      if (sp.verdict == BlockMatch::kAll) {
+        // Dense range-append: the whole span matches, no mask to consult.
+        out.insert(out.end(), rows.begin() + static_cast<ptrdiff_t>(sp.lo),
+                   rows.begin() + static_cast<ptrdiff_t>(sp.hi));
+        continue;
+      }
+      for (size_t i = sp.lo; i < sp.hi; ++i) {
+        if (mask[i]) out.push_back(rows[i]);
+      }
+    }
+    return Selection::FromSorted(std::move(out), num_rows_);
+  }
   FillMaskGather(rows.data(), n, mask);
   RowIdList out;
-  size_t kept = 0;
-  for (size_t i = 0; i < n; ++i) kept += mask[i];
-  out.reserve(kept);
+  out.reserve(SumMask(mask, n));
   for (size_t i = 0; i < n; ++i) {
     if (mask[i]) out.push_back(rows[i]);
   }
@@ -379,42 +583,47 @@ Selection BoundPredicate::FilterAll() const {
   CheckNotStale();
   const size_t n = num_rows_;
   if (ranges_.empty() && sets_.empty()) return Selection::All(n);
-  uint8_t* mask = MaskScratch(n).data();
-  FillMaskDense(mask);
   std::vector<uint64_t> words((n + 63) / 64, 0);
   size_t count = 0;
-  // Pack 8 mask bytes (each 0/1) into 8 bits per multiply: bit position
-  // 56 + 8i - 7j of x * C receives exactly one (i, j) term for i, j in
-  // [0, 8), so the top byte of the product is b7..b0 with no carries. The
-  // trick reads the bytes through a uint64_t and so assumes little-endian;
-  // other targets take the plain byte loop.
-  constexpr uint64_t kPack = 0x0102040810204080ULL;
-  const size_t full_words = n / 64;
-  for (size_t w = 0; w < full_words; ++w) {
-    const uint8_t* base = mask + (w << 6);
-    uint64_t word = 0;
-    if constexpr (std::endian::native == std::endian::little) {
-      for (size_t g = 0; g < 8; ++g) {
-        uint64_t x;
-        std::memcpy(&x, base + (g << 3), sizeof(x));
-        word |= ((x * kPack) >> 56) << (g << 3);
+  PruningPlan plan;
+  if (PreparePlan(&plan)) {
+    BlockPruningStats& pstats = *prune_stats_;
+    const size_t nb = plan.stats->num_blocks();
+    // Blocks own disjoint word ranges (kBlockSize is a multiple of 64), so
+    // per-block writes need no synchronization; per-block counts land in
+    // slots and the sum stays serial in block order.
+    auto do_block = [&](size_t b) -> size_t {
+      const size_t begin = plan.stats->block_begin(b);
+      const size_t end = plan.stats->block_end(b);
+      switch (ClassifyBlock(plan, b)) {
+        case BlockMatch::kNone:
+          ++pstats.blocks_pruned_none;
+          pstats.rows_skipped_by_pruning += end - begin;
+          return 0;
+        case BlockMatch::kAll:
+          ++pstats.blocks_pruned_all;
+          pstats.rows_skipped_by_pruning += end - begin;
+          BitmapSetRange(&words, begin, end);
+          return end - begin;
+        case BlockMatch::kPartial:
+          break;
       }
+      ++pstats.blocks_partial;
+      uint8_t* mask = MaskScratch(end - begin).data();
+      FillMaskDenseRange(begin, end, mask);
+      return PackMaskIntoWords(mask, begin, end, words.data());
+    };
+    if (pool_ != nullptr && nb >= kMinBlocksForParallel) {
+      std::vector<size_t> counts(nb, 0);
+      pool_->ParallelFor(0, nb, [&](size_t b) { counts[b] = do_block(b); });
+      for (size_t c : counts) count += c;
     } else {
-      for (size_t b = 0; b < 64; ++b) {
-        word |= static_cast<uint64_t>(base[b]) << b;
-      }
+      for (size_t b = 0; b < nb; ++b) count += do_block(b);
     }
-    words[w] = word;
-    count += static_cast<size_t>(std::popcount(word));
-  }
-  if (full_words < words.size()) {
-    const size_t base = full_words << 6;
-    uint64_t word = 0;
-    for (size_t b = 0; b < n - base; ++b) {
-      word |= static_cast<uint64_t>(mask[base + b]) << b;
-    }
-    words[full_words] = word;
-    count += static_cast<size_t>(std::popcount(word));
+  } else {
+    uint8_t* mask = MaskScratch(n).data();
+    FillMaskDenseRange(0, n, mask);
+    count = PackMaskIntoWords(mask, 0, n, words.data());
   }
   return Selection::FromBitmapCounted(std::move(words), n, count);
 }
@@ -424,22 +633,87 @@ size_t BoundPredicate::Count(const Selection& input) const {
   SCORPION_CHECK(input.universe_size() == num_rows_,
                  "Count input universe does not match the bound table");
   if (ranges_.empty() && sets_.empty()) return input.size();
+  PruningPlan plan;
   if (input.IsAll()) {
     // Dense mask + byte sum; no bitmap materialization for a bare count.
     const size_t n = num_rows_;
+    if (PreparePlan(&plan)) {
+      BlockPruningStats& pstats = *prune_stats_;
+      const size_t nb = plan.stats->num_blocks();
+      auto count_block = [&](size_t b) -> size_t {
+        const size_t begin = plan.stats->block_begin(b);
+        const size_t end = plan.stats->block_end(b);
+        switch (ClassifyBlock(plan, b)) {
+          case BlockMatch::kNone:
+            ++pstats.blocks_pruned_none;
+            pstats.rows_skipped_by_pruning += end - begin;
+            return 0;
+          case BlockMatch::kAll:
+            ++pstats.blocks_pruned_all;
+            pstats.rows_skipped_by_pruning += end - begin;
+            return end - begin;
+          case BlockMatch::kPartial:
+            break;
+        }
+        ++pstats.blocks_partial;
+        uint8_t* mask = MaskScratch(end - begin).data();
+        FillMaskDenseRange(begin, end, mask);
+        return SumMask(mask, end - begin);
+      };
+      size_t kept = 0;
+      if (pool_ != nullptr && nb >= kMinBlocksForParallel) {
+        std::vector<size_t> counts(nb, 0);
+        pool_->ParallelFor(0, nb,
+                           [&](size_t b) { counts[b] = count_block(b); });
+        for (size_t c : counts) kept += c;
+      } else {
+        for (size_t b = 0; b < nb; ++b) kept += count_block(b);
+      }
+      return kept;
+    }
     uint8_t* mask = MaskScratch(n).data();
-    FillMaskDense(mask);
-    size_t kept = 0;
-    for (size_t i = 0; i < n; ++i) kept += mask[i];
-    return kept;
+    FillMaskDenseRange(0, n, mask);
+    return SumMask(mask, n);
   }
   const RowIdList& rows = input.rows();
   const size_t n = rows.size();
   uint8_t* mask = MaskScratch(n).data();
+  if (n > 0 && PreparePlan(&plan)) {
+    std::vector<SparseSpan>& spans = ComputeSparseSpans(
+        rows, [&](size_t b) { return ClassifyBlock(plan, b); });
+    BlockPruningStats& pstats = *prune_stats_;
+    std::vector<size_t> kept(spans.size(), 0);
+    auto count_span = [&](size_t si) {
+      const SparseSpan& sp = spans[si];
+      const size_t len = sp.hi - sp.lo;
+      switch (sp.verdict) {
+        case BlockMatch::kNone:
+          ++pstats.blocks_pruned_none;
+          pstats.rows_skipped_by_pruning += len;
+          break;
+        case BlockMatch::kAll:
+          ++pstats.blocks_pruned_all;
+          pstats.rows_skipped_by_pruning += len;
+          kept[si] = len;
+          break;
+        case BlockMatch::kPartial:
+          ++pstats.blocks_partial;
+          FillMaskGather(rows.data() + sp.lo, len, mask + sp.lo);
+          kept[si] = SumMask(mask + sp.lo, len);
+          break;
+      }
+    };
+    if (pool_ != nullptr && spans.size() >= kMinBlocksForParallel) {
+      pool_->ParallelFor(0, spans.size(), count_span);
+    } else {
+      for (size_t si = 0; si < spans.size(); ++si) count_span(si);
+    }
+    size_t total = 0;
+    for (size_t k : kept) total += k;
+    return total;
+  }
   FillMaskGather(rows.data(), n, mask);
-  size_t kept = 0;
-  for (size_t i = 0; i < n; ++i) kept += mask[i];
-  return kept;
+  return SumMask(mask, n);
 }
 
 RowIdList BoundPredicate::Filter(const RowIdList& rows) const {

@@ -9,10 +9,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "table/block_stats.h"
 #include "table/selection.h"
 #include "table/table.h"
 
 namespace scorpion {
+
+class ThreadPool;
 
 /// `lo <= x < hi`, or `lo <= x <= hi` when hi_inclusive. Splitting algorithms
 /// produce half-open ranges so sibling partitions tile without overlap; the
@@ -104,7 +107,8 @@ class Predicate {
   Result<bool> MatchesRow(const Table& table, RowId row) const;
 
   /// All matching rows of `table`, ascending (boundary shim over the
-  /// vectorized FilterAll kernel).
+  /// vectorized, zone-map-pruned FilterAll path, so CSV/eval entry points
+  /// get the same data plane as the engine).
   Result<RowIdList> Evaluate(const Table& table) const;
 
   /// Syntactic containment: every row matching `inner` also matches `outer`,
@@ -157,11 +161,23 @@ class Predicate {
 /// kernel over the selection vector; all-rows inputs use a dense kernel that
 /// packs the mask into a bitmap Selection.
 ///
+/// On top of the kernels sits zone-map block pruning (table/block_stats.h):
+/// each kBlockSize-row block is classified against the clauses as NONE /
+/// ALL / PARTIAL; NONE blocks are skipped, ALL blocks are emitted via the
+/// bitmap word-fill / dense range-append fast paths without reading column
+/// data, and only PARTIAL blocks run the kernels. The verdicts mirror the
+/// kernel semantics exactly (including NaN-matches-every-range), so pruned
+/// output is bit-identical to unpruned output. Large filters additionally
+/// run block-parallel over an attached ThreadPool, with per-block outputs
+/// landing in disjoint slots concatenated in block order — still
+/// bit-identical.
+///
 /// Valid only as long as the Table lives and is not appended to. The bound
 /// row count is recorded at Bind() time and checked on every batch
 /// evaluation call (per-row Matches() checks it in debug builds only), so
 /// appending to the table after binding aborts instead of reading stale or
-/// reallocated column storage.
+/// reallocated column storage (and therefore also before stale block stats
+/// could be consulted).
 class BoundPredicate {
  public:
   /// True if the table row satisfies the predicate (row-at-a-time reference
@@ -179,15 +195,36 @@ class BoundPredicate {
   /// Number of matches in `input` without materializing them.
   size_t Count(const Selection& input) const;
 
-  /// Scalar row-at-a-time reference implementation over a sorted list
-  /// (boundary shim; also what the kernel equivalence tests compare against).
+  /// Scalar row-at-a-time reference implementation over a sorted list.
+  /// Test-only: nothing in src/ calls it anymore — it exists as the ground
+  /// truth the kernel/pruning equivalence tests and benches compare
+  /// against.
   RowIdList Filter(const RowIdList& rows) const;
 
-  /// Scalar count over a sorted list (boundary shim).
+  /// Scalar count over a sorted list (test-only reference, like Filter).
   size_t CountMatches(const RowIdList& rows) const;
 
   /// Row count of the bound table at Bind() time.
   size_t num_rows() const { return num_rows_; }
+
+  /// Enables/disables zone-map block pruning for this bound predicate.
+  /// Bind() arms it from the process-wide BlockPruningDefault(); the Scorer
+  /// overrides it from ScorpionOptions::enable_block_pruning. Output is
+  /// bit-identical either way.
+  void set_enable_pruning(bool enabled) { pruning_enabled_ = enabled; }
+  bool pruning_enabled() const { return pruning_enabled_; }
+
+  /// Attaches a pool for block-parallel filtering of large inputs; nullptr
+  /// (the default) filters on the calling thread. Per-block outputs land in
+  /// disjoint slots and concatenate in block order, so results are
+  /// bit-identical at every thread count.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Redirects pruning counters to `stats` (must outlive the predicate's
+  /// last evaluation). Defaults to GlobalBlockPruningStats(); the Scorer
+  /// installs its own instance so per-scorer numbers stay exact when many
+  /// requests filter concurrently.
+  void set_pruning_stats(BlockPruningStats* stats) { prune_stats_ = stats; }
 
  private:
   friend class Predicate;
@@ -195,27 +232,56 @@ class BoundPredicate {
     const std::vector<double>* values;
     double lo, hi;
     bool hi_inclusive;
+    int col;  // column index for zone-map lookup
   };
   struct BoundSet {
     const std::vector<int32_t>* codes;
     std::vector<uint8_t> member;  // indexed by dictionary code
+    int col;
+    /// Allowed codes hashed with the block-stats rule, for classification.
+    uint64_t query_bits[kBlockCodeWords];
+    /// True when the column cardinality fits kBlockCodeBits, so the hash is
+    /// the identity and ALL verdicts are sound.
+    bool exact_bits;
+  };
+
+  /// Resolved zone-map context for one evaluation call: per-clause pointers
+  /// into the (lazily built) per-column block stats.
+  struct PruningPlan {
+    const TableBlockStats* stats = nullptr;
+    std::vector<const BlockStat*> range_stats;  // aligned with ranges_
+    std::vector<const BlockStat*> set_stats;    // aligned with sets_
   };
 
   /// Aborts if the bound table has been appended to since Bind().
   void CheckNotStale() const;
 
+  /// Builds the zone-map plan; false when pruning is disabled or stats are
+  /// unavailable (callers then take the unpruned kernel path).
+  bool PreparePlan(PruningPlan* plan) const;
+
+  /// Conjunction verdict for block `b`: NONE if any clause is NONE, ALL if
+  /// every clause is ALL, PARTIAL otherwise.
+  BlockMatch ClassifyBlock(const PruningPlan& plan, size_t b) const;
+
   /// Fills `mask[i] = matches(rows[i])` clause by clause (gather kernel);
   /// requires at least one clause (the first writes, the rest AND).
   void FillMaskGather(const RowId* rows, size_t n, uint8_t* mask) const;
 
-  /// Fills `mask[i] = matches(i)` for i in [0, num_rows_) (dense kernel);
-  /// requires at least one clause.
-  void FillMaskDense(uint8_t* mask) const;
+  /// Fills `mask[i - begin] = matches(i)` for i in [begin, end) (dense
+  /// kernel); requires at least one clause.
+  void FillMaskDenseRange(size_t begin, size_t end, uint8_t* mask) const;
 
   std::vector<BoundRange> ranges_;
   std::vector<BoundSet> sets_;
   size_t num_rows_ = 0;
   const Table* table_ = nullptr;
+  /// Owned by the table's BlockStatsCache; valid while the table keeps the
+  /// bound row count, which CheckNotStale() enforces before every use.
+  const TableBlockStats* block_stats_ = nullptr;
+  BlockPruningStats* prune_stats_ = nullptr;  // set at Bind()
+  bool pruning_enabled_ = true;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace scorpion

@@ -213,6 +213,10 @@ void ExplanationService::Execute(ScheduledJob item) {
     ++stats_.completed;
     if (result->cache_partitions_hit) ++stats_.cache_partition_hits;
     if (result->cache_result_hit) ++stats_.cache_result_hits;
+    stats_.blocks_pruned += result->scorer_stats.blocks_pruned_none.load() +
+                            result->scorer_stats.blocks_pruned_all.load();
+    stats_.rows_skipped_by_pruning +=
+        result->scorer_stats.rows_skipped_by_pruning.load();
     stats_.RecordLatency(std::chrono::duration<double>(
                              Job::Clock::now() - item.enqueue_time)
                              .count());

@@ -22,6 +22,12 @@ struct ServiceStatsSnapshot {
   uint64_t deadline_expired = 0;   // deadline passed before the run started
   uint64_t cache_partition_hits = 0;  // runs served DT partitions from cache
   uint64_t cache_result_hits = 0;     // runs served the full merged result
+  // Zone-map pruning totals summed over completed runs' ScorerStats (which
+  // are exact per run — each run's scorer owns its counter sink): blocks
+  // answered from statistics alone (NONE skipped + ALL word-filled) and
+  // the rows whose column data was never read.
+  uint64_t blocks_pruned = 0;
+  uint64_t rows_skipped_by_pruning = 0;
   size_t queue_depth = 0;          // requests waiting right now
   double p50_latency_seconds = 0.0;  // submit-to-completion, completed only
   double p95_latency_seconds = 0.0;
@@ -47,6 +53,8 @@ class ServiceStats {
   RelaxedCounter deadline_expired;
   RelaxedCounter cache_partition_hits;
   RelaxedCounter cache_result_hits;
+  RelaxedCounter blocks_pruned;
+  RelaxedCounter rows_skipped_by_pruning;
 
   /// Records one completed request's submit-to-completion latency. Samples
   /// live in a fixed-size ring, so quantiles cover the most recent
@@ -72,6 +80,8 @@ class ServiceStats {
     snap.deadline_expired = deadline_expired.load();
     snap.cache_partition_hits = cache_partition_hits.load();
     snap.cache_result_hits = cache_result_hits.load();
+    snap.blocks_pruned = blocks_pruned.load();
+    snap.rows_skipped_by_pruning = rows_skipped_by_pruning.load();
     snap.queue_depth = queue_depth;
     std::vector<double> sorted;
     {

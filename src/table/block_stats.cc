@@ -1,0 +1,126 @@
+#include "table/block_stats.h"
+
+#include <atomic>
+
+#include "table/table.h"
+
+namespace scorpion {
+
+BlockPruningStats& GlobalBlockPruningStats() {
+  static BlockPruningStats stats;
+  return stats;
+}
+
+namespace {
+std::atomic<bool> g_pruning_default{true};
+}  // namespace
+
+bool BlockPruningDefault() {
+  return g_pruning_default.load(std::memory_order_relaxed);
+}
+
+void SetBlockPruningDefault(bool enabled) {
+  g_pruning_default.store(enabled, std::memory_order_relaxed);
+}
+
+BlockMatch ClassifyRangeBlock(const BlockStat& s, size_t rows_in_block,
+                              double lo, double hi, bool hi_inclusive) {
+  // All-NaN block: NaN fails neither bound check in the kernels, so every
+  // row matches any range.
+  if (s.nan_count == rows_in_block) return BlockMatch::kAll;
+  // Every non-NaN value inside the clause (NaN rows match anyway). The
+  // comparisons are written so a NaN clause bound (which the kernels treat
+  // as matching everything) falls through to PARTIAL — conservative.
+  if (s.min >= lo && (hi_inclusive ? s.max <= hi : s.max < hi)) {
+    return BlockMatch::kAll;
+  }
+  // No row matches: requires no NaN rows (they would match) and the whole
+  // non-NaN value range outside the clause.
+  if (s.nan_count == 0 &&
+      (s.max < lo || (hi_inclusive ? s.min > hi : s.min >= hi))) {
+    return BlockMatch::kNone;
+  }
+  return BlockMatch::kPartial;
+}
+
+BlockMatch ClassifySetBlock(const BlockStat& s, const uint64_t* query_bits,
+                            bool exact) {
+  uint64_t overlap = 0;
+  uint64_t outside = 0;
+  for (size_t w = 0; w < kBlockCodeWords; ++w) {
+    overlap |= s.code_bits[w] & query_bits[w];
+    outside |= s.code_bits[w] & ~query_bits[w];
+  }
+  // A code present in both block and query sets a common bit even under
+  // hashing, so zero overlap proves NONE regardless of exactness.
+  if (overlap == 0) return BlockMatch::kNone;
+  // ALL needs the block's code set to be a subset of the allowed codes,
+  // which only the collision-free (exact) encoding can prove.
+  if (exact && outside == 0) return BlockMatch::kAll;
+  return BlockMatch::kPartial;
+}
+
+TableBlockStats::TableBlockStats(const Table& table)
+    : table_(&table), num_rows_(table.num_rows()) {
+  num_blocks_ = (num_rows_ + kBlockSize - 1) / kBlockSize;
+  columns_.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    columns_.push_back(std::make_unique<ColumnEntry>());
+  }
+}
+
+const std::vector<BlockStat>& TableBlockStats::ForColumn(int col) const {
+  ColumnEntry& entry = *columns_[col];
+  std::call_once(entry.once, [this, col, &entry] { BuildColumn(col, &entry); });
+  return entry.blocks;
+}
+
+void TableBlockStats::BuildColumn(int col, ColumnEntry* entry) const {
+  entry->blocks.assign(num_blocks_, BlockStat{});
+  const Column& column = table_->column(col);
+  if (column.type() == DataType::kDouble) {
+    const double* v = column.doubles().data();
+    for (size_t b = 0; b < num_blocks_; ++b) {
+      BlockStat& s = entry->blocks[b];
+      const size_t end = block_end(b);
+      for (size_t i = block_begin(b); i < end; ++i) {
+        const double x = v[i];
+        if (x != x) {  // NaN
+          ++s.nan_count;
+        } else {
+          if (x < s.min) s.min = x;
+          if (x > s.max) s.max = x;
+        }
+      }
+    }
+  } else {
+    // Codes are always < cardinality, so when the cardinality fits the
+    // bitset the `& (kBlockCodeBits - 1)` hash is the identity and the
+    // bitset is exact.
+    entry->exact =
+        static_cast<size_t>(column.Cardinality()) <= kBlockCodeBits;
+    const int32_t* codes = column.codes().data();
+    for (size_t b = 0; b < num_blocks_; ++b) {
+      BlockStat& s = entry->blocks[b];
+      const size_t end = block_end(b);
+      for (size_t i = block_begin(b); i < end; ++i) {
+        const uint32_t bit =
+            static_cast<uint32_t>(codes[i]) & (kBlockCodeBits - 1);
+        s.code_bits[bit >> 6] |= uint64_t{1} << (bit & 63);
+      }
+    }
+  }
+}
+
+const TableBlockStats* BlockStatsCache::Get(const Table& table) const {
+  const TableBlockStats* fast = fast_.load(std::memory_order_acquire);
+  if (fast != nullptr && fast->num_rows() == table.num_rows()) return fast;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_ == nullptr || stats_->num_rows() != table.num_rows()) {
+    stats_ = std::make_shared<const TableBlockStats>(table);
+  }
+  fast_.store(stats_.get(), std::memory_order_release);
+  return stats_.get();
+}
+
+}  // namespace scorpion

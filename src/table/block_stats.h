@@ -1,0 +1,179 @@
+// Zone maps for the predicate data plane: per-(block, column) statistics
+// over fixed-size row blocks, so predicate evaluation can answer most blocks
+// without reading column data.
+//
+// Each table's row universe is partitioned into kBlockSize-row blocks.
+// For a continuous column a block records min/max over its non-NaN values
+// plus the NaN count (the filter kernels treat NaN as matching every range
+// clause — see the kernel comment in predicate.cc — so NaN rows must be
+// accounted for separately from the min/max). For a categorical column a
+// block records a kBlockCodeBits-wide presence bitset over dictionary codes,
+// exact when the column's cardinality fits and hashed (code modulo the
+// bitset width) otherwise — hash collisions can only widen a would-be NONE
+// verdict to PARTIAL, never produce a wrong answer.
+//
+// BoundPredicate classifies each block against each clause as NONE (no row
+// can match), ALL (every row matches) or PARTIAL, skips NONE blocks, emits
+// ALL blocks via the Selection word-fill fast path, and runs the SIMD
+// kernels only on PARTIAL blocks. Results are bit-identical to the unpruned
+// kernels by construction; the block grid is also the unit of the
+// block-parallel filter path (kBlockSize is a multiple of 64, so each block
+// owns a disjoint word range of a bitmap Selection).
+//
+// Stats are owned by the Table, built lazily per column on first use
+// (thread-safe), and keyed to the table's row count: appending rows
+// invalidates them the same way it invalidates a BoundPredicate (the
+// evaluate-after-append guard aborts stale bound predicates before they can
+// consult stale stats).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/atomic_counter.h"
+
+namespace scorpion {
+
+class Table;
+
+/// Rows per statistics block. A multiple of 64 so blocks map to disjoint
+/// word ranges of a bitmap Selection (the block-parallel dense filter path
+/// writes per-block word ranges with no synchronization).
+inline constexpr size_t kBlockSize = 4096;
+
+/// Width of the categorical code-presence bitset.
+inline constexpr size_t kBlockCodeBits = 256;
+inline constexpr size_t kBlockCodeWords = kBlockCodeBits / 64;
+
+/// Statistics for one (block, column) pair. Continuous and categorical
+/// columns use disjoint fields of the same struct so a column's stats are
+/// one flat vector.
+struct BlockStat {
+  /// Min/max over the block's non-NaN values (kDouble columns). A block of
+  /// only NaNs keeps the +inf/-inf init values; classification treats it
+  /// via nan_count.
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint32_t nan_count = 0;
+  /// Presence bitset over `code & (kBlockCodeBits - 1)` (kCategorical).
+  uint64_t code_bits[kBlockCodeWords] = {0, 0, 0, 0};
+};
+
+/// Verdict for one block against a (set of) clause(s).
+enum class BlockMatch : uint8_t {
+  kNone = 0,     // no row of the block can match
+  kAll = 1,      // every row of the block matches
+  kPartial = 2,  // undecided: run the kernels
+};
+
+/// Classifies a block against `lo <= x < hi` (or <= hi). Mirrors the kernel
+/// semantics exactly, including NaN-matches-every-range.
+BlockMatch ClassifyRangeBlock(const BlockStat& s, size_t rows_in_block,
+                              double lo, double hi, bool hi_inclusive);
+
+/// Classifies a block against a set clause whose allowed codes hash to
+/// `query_bits` (same `code & (kBlockCodeBits - 1)` rule as the builder).
+/// ALL requires `exact` (cardinality fit the bitset, so bits are identities).
+BlockMatch ClassifySetBlock(const BlockStat& s, const uint64_t* query_bits,
+                            bool exact);
+
+/// Pruning counters. Every BoundPredicate reports into a sink of this type:
+/// the process-wide one below by default (what the benches and standalone
+/// Bind() users read), or a per-scorer instance installed by
+/// Scorer::ConfigureBound — so ScorerStats pruning numbers are exact per
+/// scorer even when many requests run concurrently.
+struct BlockPruningStats {
+  RelaxedCounter blocks_pruned_none;     // blocks skipped entirely
+  RelaxedCounter blocks_pruned_all;      // blocks emitted via word-fill
+  RelaxedCounter blocks_partial;         // blocks that ran the kernels
+  RelaxedCounter rows_skipped_by_pruning;  // rows never read from columns
+};
+
+BlockPruningStats& GlobalBlockPruningStats();
+
+/// Process-wide default for whether Bind() arms block pruning on new
+/// BoundPredicates (benches A/B with this; ScorpionOptions::
+/// enable_block_pruning overrides it per engine). Defaults to enabled.
+bool BlockPruningDefault();
+void SetBlockPruningDefault(bool enabled);
+
+/// \brief Lazily-built per-column zone maps for one Table snapshot.
+///
+/// The container is cheap to construct (no column is scanned until its
+/// stats are first requested); ForColumn() builds a column's stats exactly
+/// once, thread-safely, and is wait-free afterwards. Valid only while the
+/// owning Table is alive with the same row count — the same lifetime
+/// contract as a BoundPredicate, which is the only consumer.
+class TableBlockStats {
+ public:
+  explicit TableBlockStats(const Table& table);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_blocks() const { return num_blocks_; }
+  size_t block_begin(size_t b) const { return b * kBlockSize; }
+  size_t block_end(size_t b) const {
+    size_t end = (b + 1) * kBlockSize;
+    return end < num_rows_ ? end : num_rows_;
+  }
+
+  /// Per-block stats for column `col`, built on first call.
+  const std::vector<BlockStat>& ForColumn(int col) const;
+
+  /// True if `col` is categorical with cardinality <= kBlockCodeBits, so
+  /// its code bitsets are exact (required for ALL verdicts on set clauses).
+  /// Only meaningful after ForColumn(col).
+  bool CodeBitsExact(int col) const { return columns_[col]->exact; }
+
+ private:
+  struct ColumnEntry {
+    std::once_flag once;
+    bool exact = false;
+    std::vector<BlockStat> blocks;
+  };
+
+  void BuildColumn(int col, ColumnEntry* entry) const;
+
+  const Table* table_;
+  size_t num_rows_ = 0;
+  size_t num_blocks_ = 0;
+  mutable std::vector<std::unique_ptr<ColumnEntry>> columns_;
+};
+
+/// \brief Copyable/movable holder for a Table's lazily built stats.
+///
+/// Copying or moving a Table drops the cache (stats rebuild on demand
+/// against the new object's storage), which keeps Table itself trivially
+/// copyable/movable despite the mutex inside.
+///
+/// Get() is called on every Predicate::Bind — including from the engines'
+/// parallel candidate-scoring loops — so the steady state is a lock-free
+/// atomic load; the mutex is only taken to (re)build. The returned pointer
+/// is owned by the cache and stays valid as long as the row count does:
+/// a rebuild can only be triggered by an append, and every consumer
+/// (BoundPredicate) aborts on the evaluate-after-append guard before it
+/// could touch stats from the old row count.
+class BlockStatsCache {
+ public:
+  BlockStatsCache() = default;
+  BlockStatsCache(const BlockStatsCache&) {}
+  BlockStatsCache& operator=(const BlockStatsCache&) { return *this; }
+  BlockStatsCache(BlockStatsCache&&) noexcept {}
+  BlockStatsCache& operator=(BlockStatsCache&&) noexcept { return *this; }
+
+  /// The stats for `table`'s current row count, building (or rebuilding,
+  /// after an append changed the row count) if needed. Thread-safe.
+  const TableBlockStats* Get(const Table& table) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const TableBlockStats> stats_;  // guarded by mu_
+  /// Published view of stats_.get() for the lock-free fast path.
+  mutable std::atomic<const TableBlockStats*> fast_{nullptr};
+};
+
+}  // namespace scorpion

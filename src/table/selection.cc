@@ -54,6 +54,24 @@ RowIdList AllRows(size_t n) {
   return out;
 }
 
+void BitmapSetRange(std::vector<uint64_t>* words, size_t begin, size_t end) {
+  if (begin >= end) return;
+  const size_t first_word = begin >> 6;
+  const size_t last_word = (end - 1) >> 6;
+  const uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+  const uint64_t last_mask =
+      (end & 63) != 0 ? (uint64_t{1} << (end & 63)) - 1 : ~uint64_t{0};
+  if (first_word == last_word) {
+    (*words)[first_word] |= first_mask & last_mask;
+    return;
+  }
+  (*words)[first_word] |= first_mask;
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    (*words)[w] = ~uint64_t{0};
+  }
+  (*words)[last_word] |= last_mask;
+}
+
 // --- Selection --------------------------------------------------------------
 
 namespace {

@@ -46,6 +46,12 @@ bool IsSubset(const RowIdList& a, const RowIdList& b);
 /// All row ids [0, n).
 RowIdList AllRows(size_t n);
 
+/// Sets bits [begin, end) of an LSB-first word bitmap — the word-fill fast
+/// path the block-pruned filter plane uses to emit whole all-matching
+/// blocks without touching column data. `words` must already span `end`
+/// bits.
+void BitmapSetRange(std::vector<uint64_t>* words, size_t begin, size_t end);
+
 // --- Selection --------------------------------------------------------------
 
 /// Process-wide counters for representation conversions, reported by

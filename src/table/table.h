@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "table/block_stats.h"
 #include "table/column.h"
 #include "table/schema.h"
 
@@ -52,10 +53,20 @@ class Table {
   /// equal length and synchronizes num_rows.
   Status FinalizeColumnwiseBuild();
 
+  /// Per-block zone maps for the predicate data plane (see
+  /// table/block_stats.h). Built lazily, shared by every BoundPredicate
+  /// bound to this table, and rebuilt automatically after appends change
+  /// the row count. Thread-safe (lock-free once built); the pointer stays
+  /// valid while the table lives with this row count.
+  const TableBlockStats* block_stats() const {
+    return block_stats_cache_.Get(*this);
+  }
+
  private:
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
+  BlockStatsCache block_stats_cache_;
 };
 
 }  // namespace scorpion

@@ -1,0 +1,483 @@
+// Zone-map block pruning equivalence suite: the pruned filter plane must be
+// bit-identical to the unpruned SIMD kernels and to the scalar row-at-a-time
+// reference, across randomized predicates × data layouts × block layouts
+// (empty / single-row / block-aligned / block-straddling universes), NaN
+// columns, all-match / no-match blocks, hashed categorical bitsets with
+// deliberate code collisions, the block-parallel path, and append
+// invalidation of the statistics. Also covers the NONE/ALL/PARTIAL
+// classifiers directly and whole-engine equivalence (pruning on vs off) for
+// every algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/scorpion.h"
+#include "eval/experiment.h"
+#include "predicate/predicate.h"
+#include "query/groupby.h"
+#include "table/block_stats.h"
+#include "table/selection.h"
+#include "table/table.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Schema PruneSchema() {
+  return Schema({{"x", DataType::kDouble},
+                 {"y", DataType::kDouble},
+                 {"cat", DataType::kCategorical}});
+}
+
+/// Random table; `clustered` makes x ramp with the row position (so zone
+/// maps actually produce NONE/ALL verdicts), `nan_frac` poisons x with NaNs.
+Table BuildTable(Rng* rng, size_t n, bool clustered, double nan_frac,
+                 int cat_cardinality) {
+  Table t(PruneSchema());
+  for (size_t i = 0; i < n; ++i) {
+    double x = clustered
+                   ? 100.0 * static_cast<double>(i) /
+                         static_cast<double>(n > 0 ? n : 1)
+                   : rng->Uniform(0.0, 100.0);
+    if (nan_frac > 0.0 && rng->Bernoulli(nan_frac)) x = kNaN;
+    (void)t.column(0).AppendDouble(x);
+    (void)t.column(1).AppendDouble(rng->Uniform(0.0, 100.0));
+    (void)t.column(2).AppendString(
+        "v" + std::to_string(rng->UniformInt(0, cat_cardinality - 1)));
+  }
+  (void)t.FinalizeColumnwiseBuild();
+  return t;
+}
+
+Predicate RandomPredicate(Rng* rng, const Table& table) {
+  Predicate p;
+  if (rng->Bernoulli(0.7)) {
+    double a = rng->Uniform(-10.0, 110.0);
+    double b = rng->Uniform(-10.0, 110.0);
+    if (b < a) std::swap(a, b);
+    if (b == a) b = a + 1.0;
+    (void)p.AddRange({"x", a, b, rng->Bernoulli(0.5)});
+  }
+  if (rng->Bernoulli(0.3)) {
+    double a = rng->Uniform(0.0, 100.0);
+    double b = rng->Uniform(0.0, 100.0);
+    if (b < a) std::swap(a, b);
+    if (b == a) b = a + 1.0;
+    (void)p.AddRange({"y", a, b, rng->Bernoulli(0.5)});
+  }
+  if (rng->Bernoulli(0.5)) {
+    const Column* cat = table.ColumnByName("cat").ValueOrDie();
+    SetClause s;
+    s.attr = "cat";
+    const int draws = static_cast<int>(rng->UniformInt(1, 4));
+    for (int i = 0; i < draws; ++i) {
+      s.codes.push_back(static_cast<int32_t>(
+          rng->UniformInt(0, std::max<int64_t>(cat->Cardinality() - 1, 0))));
+    }
+    (void)p.AddSet(std::move(s));
+  }
+  if (p.IsTrue()) {
+    (void)p.AddRange({"x", 0.0, 50.0, false});
+  }
+  return p;
+}
+
+/// Random sparse subset of [0, n) that always includes the block-boundary
+/// neighborhoods, so span edges are exercised.
+RowIdList BoundaryHeavySubset(Rng* rng, size_t n, double density) {
+  RowIdList out;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = i % kBlockSize;
+    const bool boundary = pos == 0 || pos == kBlockSize - 1;
+    if (boundary || rng->Bernoulli(density)) {
+      out.push_back(static_cast<RowId>(i));
+    }
+  }
+  return out;
+}
+
+/// Asserts pruned, unpruned and scalar evaluation agree exactly for
+/// FilterAll / Filter / Count on the given inputs.
+void ExpectEquivalent(const Table& table, const Predicate& pred,
+                      const RowIdList& sparse_rows,
+                      ThreadPool* pool = nullptr) {
+  auto bound_or = pred.Bind(table);
+  ASSERT_TRUE(bound_or.ok()) << bound_or.status().ToString();
+  BoundPredicate& bound = *bound_or;
+  bound.set_thread_pool(pool);
+  const size_t n = table.num_rows();
+
+  const RowIdList all_list = AllRows(n);
+  const RowIdList scalar_all = bound.Filter(all_list);
+  const RowIdList scalar_sparse = bound.Filter(sparse_rows);
+  const Selection sparse = Selection::FromSorted(sparse_rows, n);
+
+  bound.set_enable_pruning(false);
+  const RowIdList unpruned_all = bound.FilterAll().rows();
+  const RowIdList unpruned_sparse = bound.Filter(sparse).rows();
+  const size_t unpruned_count_all = bound.Count(Selection::All(n));
+  const size_t unpruned_count_sparse = bound.Count(sparse);
+
+  bound.set_enable_pruning(true);
+  const RowIdList pruned_all = bound.FilterAll().rows();
+  const RowIdList pruned_sparse = bound.Filter(sparse).rows();
+  const size_t pruned_count_all = bound.Count(Selection::All(n));
+  const size_t pruned_count_sparse = bound.Count(sparse);
+
+  EXPECT_EQ(pruned_all, scalar_all);
+  EXPECT_EQ(unpruned_all, scalar_all);
+  EXPECT_EQ(pruned_sparse, scalar_sparse);
+  EXPECT_EQ(unpruned_sparse, scalar_sparse);
+  EXPECT_EQ(pruned_count_all, scalar_all.size());
+  EXPECT_EQ(unpruned_count_all, scalar_all.size());
+  EXPECT_EQ(pruned_count_sparse, scalar_sparse.size());
+  EXPECT_EQ(unpruned_count_sparse, scalar_sparse.size());
+}
+
+class BlockPruningProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockPruningProperty, PrunedMatchesUnprunedAndScalar) {
+  Rng rng(GetParam());
+  // Block layouts: below / exactly / just past one block, a single-row tail
+  // block, and several full blocks.
+  const size_t sizes[] = {1,
+                          5,
+                          kBlockSize - 1,
+                          kBlockSize,
+                          kBlockSize + 1,
+                          2 * kBlockSize + 17,
+                          3 * kBlockSize};
+  for (size_t n : sizes) {
+    for (bool clustered : {false, true}) {
+      for (double nan_frac : {0.0, 0.3}) {
+        Table table = BuildTable(&rng, n, clustered, nan_frac,
+                                 /*cat_cardinality=*/12);
+        const RowIdList sparse = BoundaryHeavySubset(&rng, n, 0.25);
+        for (int rep = 0; rep < 3; ++rep) {
+          Predicate pred = RandomPredicate(&rng, table);
+          ExpectEquivalent(table, pred, sparse);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockPruningProperty,
+                         ::testing::Values(3u, 17u, 95u));
+
+TEST(BlockPruning, AllNaNColumnMatchesEveryRange) {
+  Table t(Schema({{"x", DataType::kDouble}}));
+  const size_t n = kBlockSize + 100;
+  for (size_t i = 0; i < n; ++i) (void)t.column(0).AppendDouble(kNaN);
+  (void)t.FinalizeColumnwiseBuild();
+  Predicate p;
+  (void)p.AddRange({"x", 10.0, 20.0, false});
+  // The kernels let NaN pass both bound checks, so every row matches; the
+  // classifier must call these blocks ALL, not NONE.
+  auto bound = p.Bind(t).ValueOrDie();
+  const auto& prune = GlobalBlockPruningStats();
+  const uint64_t all_before = prune.blocks_pruned_all.load();
+  EXPECT_EQ(bound.FilterAll().size(), n);
+  EXPECT_EQ(prune.blocks_pruned_all.load() - all_before, 2u);
+}
+
+TEST(BlockPruning, AllMatchAndNoMatchBlocks) {
+  Rng rng(11);
+  Table table = BuildTable(&rng, 2 * kBlockSize + 7, /*clustered=*/true,
+                           /*nan_frac=*/0.0, /*cat_cardinality=*/8);
+  const RowIdList sparse = BoundaryHeavySubset(&rng, table.num_rows(), 0.1);
+  Predicate all_match;  // hull of the whole domain
+  (void)all_match.AddRange({"x", -1.0, 1e9, true});
+  ExpectEquivalent(table, all_match, sparse);
+  Predicate no_match;
+  (void)no_match.AddRange({"x", 1e6, 2e6, false});
+  ExpectEquivalent(table, no_match, sparse);
+
+  const auto& prune = GlobalBlockPruningStats();
+  const uint64_t none_before = prune.blocks_pruned_none.load();
+  const uint64_t all_before = prune.blocks_pruned_all.load();
+  auto bound_all = all_match.Bind(table).ValueOrDie();
+  EXPECT_EQ(bound_all.FilterAll().size(), table.num_rows());
+  EXPECT_EQ(prune.blocks_pruned_all.load() - all_before, 3u);
+  auto bound_none = no_match.Bind(table).ValueOrDie();
+  EXPECT_EQ(bound_none.FilterAll().size(), 0u);
+  EXPECT_EQ(prune.blocks_pruned_none.load() - none_before, 3u);
+}
+
+TEST(BlockPruning, BlockBoundaryRowIds) {
+  Rng rng(23);
+  const size_t n = 3 * kBlockSize;
+  Table table = BuildTable(&rng, n, /*clustered=*/true, /*nan_frac=*/0.0,
+                           /*cat_cardinality=*/8);
+  // Sparse input consisting solely of the first/last row of each block.
+  RowIdList edges;
+  for (size_t b = 0; b < 3; ++b) {
+    edges.push_back(static_cast<RowId>(b * kBlockSize));
+    edges.push_back(static_cast<RowId>((b + 1) * kBlockSize - 1));
+  }
+  for (int rep = 0; rep < 5; ++rep) {
+    ExpectEquivalent(table, RandomPredicate(&rng, table), edges);
+  }
+}
+
+TEST(BlockPruning, HashedCodeBitsetCollisionsStayCorrect) {
+  // Cardinality 300 > kBlockCodeBits forces the hashed bitset: code 261
+  // collides with code 5 (261 & 255 == 5). A block holding only "v261"
+  // must classify PARTIAL (not ALL, and not NONE despite the collision)
+  // against cat IN {v5}, and the kernels must still return the exact rows.
+  Table t(Schema({{"cat", DataType::kCategorical}}));
+  // Intern v0..v299 in order so the dictionary code of "vi" is i.
+  for (int i = 0; i < 300; ++i) {
+    (void)t.column(0).AppendString("v" + std::to_string(i));
+  }
+  // One block of pure v261 (collides with v5), one block of pure v5.
+  for (size_t i = 300; i < kBlockSize; ++i) {
+    (void)t.column(0).AppendString("v261");
+  }
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    (void)t.column(0).AppendString("v5");
+  }
+  (void)t.FinalizeColumnwiseBuild();
+  ASSERT_GT(t.column(0).Cardinality(), static_cast<int32_t>(kBlockCodeBits));
+
+  Predicate p;
+  (void)p.AddSet({"cat", {5}});
+  auto bound = p.Bind(t).ValueOrDie();
+  const auto& prune = GlobalBlockPruningStats();
+  const uint64_t partial_before = prune.blocks_partial.load();
+  const uint64_t all_before = prune.blocks_pruned_all.load();
+  const RowIdList rows = bound.FilterAll().rows();
+  // Exactly the seed row of v5 plus the second block.
+  ASSERT_EQ(rows.size(), kBlockSize + 1);
+  EXPECT_EQ(rows.front(), 5u);
+  EXPECT_EQ(rows.back(), static_cast<RowId>(2 * kBlockSize - 1));
+  // Hashed bitsets can never produce an ALL verdict; both blocks that
+  // overlap the query hash-wise ran the kernels.
+  EXPECT_EQ(prune.blocks_pruned_all.load(), all_before);
+  EXPECT_EQ(prune.blocks_partial.load() - partial_before, 2u);
+
+  // And the full differential check on the same table.
+  Rng rng(29);
+  ExpectEquivalent(t, p, BoundaryHeavySubset(&rng, t.num_rows(), 0.2));
+}
+
+TEST(BlockPruning, ExactCodeBitsetPrunesWholeBlocks) {
+  // Cardinality <= kBlockCodeBits: blocks of a foreign code are NONE,
+  // single-code blocks fully inside the query are ALL.
+  Table t(Schema({{"cat", DataType::kCategorical}}));
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    (void)t.column(0).AppendString("a");
+  }
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    (void)t.column(0).AppendString("b");
+  }
+  (void)t.FinalizeColumnwiseBuild();
+  Predicate p;
+  (void)p.AddSet({"cat", {t.column(0).CodeOf("b")}});
+  auto bound = p.Bind(t).ValueOrDie();
+  const auto& prune = GlobalBlockPruningStats();
+  const uint64_t none_before = prune.blocks_pruned_none.load();
+  const uint64_t all_before = prune.blocks_pruned_all.load();
+  const uint64_t skipped_before = prune.rows_skipped_by_pruning.load();
+  const RowIdList rows = bound.FilterAll().rows();
+  ASSERT_EQ(rows.size(), kBlockSize);
+  EXPECT_EQ(rows.front(), kBlockSize);
+  EXPECT_EQ(prune.blocks_pruned_none.load() - none_before, 1u);
+  EXPECT_EQ(prune.blocks_pruned_all.load() - all_before, 1u);
+  EXPECT_EQ(prune.rows_skipped_by_pruning.load() - skipped_before,
+            2 * kBlockSize);
+}
+
+TEST(BlockPruning, DisabledPruningTouchesNoCounters) {
+  Rng rng(31);
+  Table table = BuildTable(&rng, 2 * kBlockSize, /*clustered=*/true,
+                           /*nan_frac=*/0.0, /*cat_cardinality=*/8);
+  Predicate p;
+  (void)p.AddRange({"x", 0.0, 1.0, false});
+  auto bound = p.Bind(table).ValueOrDie();
+  bound.set_enable_pruning(false);
+  const auto& prune = GlobalBlockPruningStats();
+  const uint64_t none_before = prune.blocks_pruned_none.load();
+  const uint64_t all_before = prune.blocks_pruned_all.load();
+  const uint64_t partial_before = prune.blocks_partial.load();
+  (void)bound.FilterAll();
+  (void)bound.Count(Selection::All(table.num_rows()));
+  EXPECT_EQ(prune.blocks_pruned_none.load(), none_before);
+  EXPECT_EQ(prune.blocks_pruned_all.load(), all_before);
+  EXPECT_EQ(prune.blocks_partial.load(), partial_before);
+}
+
+TEST(BlockPruning, BlockParallelFilteringIsIdentical) {
+  Rng rng(37);
+  const size_t n = 8 * kBlockSize + 9;
+  Table table = BuildTable(&rng, n, /*clustered=*/true, /*nan_frac=*/0.1,
+                           /*cat_cardinality=*/12);
+  ThreadPool pool(4);
+  const RowIdList sparse = BoundaryHeavySubset(&rng, n, 0.2);
+  for (int rep = 0; rep < 4; ++rep) {
+    Predicate pred = RandomPredicate(&rng, table);
+    // Serial vs block-parallel, pruned vs unpruned, all against scalar.
+    ExpectEquivalent(table, pred, sparse, /*pool=*/nullptr);
+    ExpectEquivalent(table, pred, sparse, &pool);
+  }
+}
+
+TEST(BlockPruning, AppendInvalidatesStats) {
+  Table t(PruneSchema());
+  Rng rng(41);
+  const size_t n0 = kBlockSize + 50;
+  for (size_t i = 0; i < n0; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<double>(i)),
+                             Value(rng.Uniform(0.0, 100.0)),
+                             Value(std::string("g") +
+                                   std::to_string(i % 4))})
+                    .ok());
+  }
+  Predicate p;
+  (void)p.AddRange({"x", 0.0, 1e12, true});
+  {
+    auto bound = p.Bind(t).ValueOrDie();
+    EXPECT_EQ(bound.FilterAll().size(), n0);  // builds stats for n0 rows
+  }
+  const TableBlockStats* stats_before = t.block_stats();
+  EXPECT_EQ(stats_before->num_rows(), n0);
+
+  // Append past the old row count: stats must rebuild, and a fresh bind
+  // must see the new rows (the old bound would abort via the
+  // evaluate-after-append guard, death-tested in test_predicate.cc).
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<double>(n0 + i)),
+                             Value(1.0), Value(std::string("g0"))})
+                    .ok());
+  }
+  const TableBlockStats* stats_after = t.block_stats();
+  EXPECT_NE(stats_before, stats_after);
+  EXPECT_EQ(stats_after->num_rows(), n0 + kBlockSize);
+  auto rebound = p.Bind(t).ValueOrDie();
+  EXPECT_EQ(rebound.FilterAll().size(), n0 + kBlockSize);
+  ExpectEquivalent(t, p, BoundaryHeavySubset(&rng, t.num_rows(), 0.3));
+}
+
+// --- Classifier unit tests ---------------------------------------------------
+
+TEST(BlockClassifiers, RangeVerdicts) {
+  BlockStat s;
+  s.min = 10.0;
+  s.max = 20.0;
+  s.nan_count = 0;
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 0.0, 30.0, false), BlockMatch::kAll);
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 10.0, 20.0, true), BlockMatch::kAll);
+  // Half-open [10, 20): max == 20 is excluded, so not ALL.
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 10.0, 20.0, false),
+            BlockMatch::kPartial);
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 30.0, 40.0, false), BlockMatch::kNone);
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 0.0, 5.0, false), BlockMatch::kNone);
+  // Half-open upper bound exactly at min: nothing matches.
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 0.0, 10.0, false), BlockMatch::kNone);
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 0.0, 10.0, true), BlockMatch::kPartial);
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 15.0, 30.0, false),
+            BlockMatch::kPartial);
+  // NaN rows match every range: they veto NONE and survive inside ALL.
+  s.nan_count = 1;
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 30.0, 40.0, false),
+            BlockMatch::kPartial);
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 0.0, 30.0, false), BlockMatch::kAll);
+  // All-NaN block: ALL regardless of the clause.
+  s.nan_count = 100;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ClassifyRangeBlock(s, 100, 30.0, 40.0, false), BlockMatch::kAll);
+}
+
+TEST(BlockClassifiers, SetVerdicts) {
+  BlockStat s;
+  s.code_bits[0] = 0b1010;  // codes {1, 3}
+  uint64_t query[kBlockCodeWords] = {0b1010, 0, 0, 0};
+  EXPECT_EQ(ClassifySetBlock(s, query, /*exact=*/true), BlockMatch::kAll);
+  // Hashed bitsets must refuse ALL even on a perfect overlap.
+  EXPECT_EQ(ClassifySetBlock(s, query, /*exact=*/false), BlockMatch::kPartial);
+  uint64_t disjoint[kBlockCodeWords] = {0b0101, 0, 0, 0};
+  EXPECT_EQ(ClassifySetBlock(s, disjoint, true), BlockMatch::kNone);
+  EXPECT_EQ(ClassifySetBlock(s, disjoint, false), BlockMatch::kNone);
+  uint64_t partial[kBlockCodeWords] = {0b0010, 0, 0, 0};
+  EXPECT_EQ(ClassifySetBlock(s, partial, true), BlockMatch::kPartial);
+}
+
+TEST(BlockPruning, BitmapSetRangeMatchesNaiveLoop) {
+  Rng rng(43);
+  for (int rep = 0; rep < 50; ++rep) {
+    const size_t universe = 1 + static_cast<size_t>(rng.UniformInt(0, 400));
+    const size_t a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(universe)));
+    const size_t b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(universe)));
+    const size_t lo = std::min(a, b), hi = std::max(a, b);
+    std::vector<uint64_t> words((universe + 63) / 64, 0);
+    BitmapSetRange(&words, lo, hi);
+    std::vector<uint64_t> expected((universe + 63) / 64, 0);
+    for (size_t i = lo; i < hi; ++i) {
+      expected[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+    EXPECT_EQ(words, expected) << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+// --- Whole-engine equivalence ------------------------------------------------
+
+class PruningAlgorithmEquivalence : public ::testing::TestWithParam<Algorithm> {
+};
+
+TEST_P(PruningAlgorithmEquivalence, ExplainMatchesUnprunedBitForBit) {
+  SynthOptions opts = SynthPreset(2, /*easy=*/true, /*seed=*/17);
+  opts.num_groups = 8;
+  opts.tuples_per_group = 400;
+  SynthDataset dataset = GenerateSynth(opts).ValueOrDie();
+  QueryResult qr = ExecuteGroupBy(dataset.table, dataset.query).ValueOrDie();
+  ProblemSpec problem =
+      MakeProblem(qr, dataset.outlier_keys, dataset.holdout_keys,
+                  /*error_direction=*/1.0, /*lambda=*/0.5, /*c=*/0.2,
+                  dataset.attributes)
+          .ValueOrDie();
+
+  ScorpionOptions options;
+  options.algorithm = GetParam();
+  options.naive.time_budget_seconds = 300.0;
+  options.naive.max_clauses = 2;
+
+  options.enable_block_pruning = false;
+  Scorpion unpruned_engine(options);
+  auto unpruned = unpruned_engine.Explain(dataset.table, qr, problem);
+  ASSERT_TRUE(unpruned.ok()) << unpruned.status().ToString();
+
+  options.enable_block_pruning = true;
+  Scorpion pruned_engine(options);
+  auto pruned = pruned_engine.Explain(dataset.table, qr, problem);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+
+  ASSERT_EQ(unpruned->predicates.size(), pruned->predicates.size());
+  for (size_t i = 0; i < unpruned->predicates.size(); ++i) {
+    EXPECT_EQ(unpruned->predicates[i].pred.ToString(&dataset.table),
+              pruned->predicates[i].pred.ToString(&dataset.table))
+        << "rank " << i;
+    EXPECT_EQ(unpruned->predicates[i].influence,
+              pruned->predicates[i].influence)
+        << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, PruningAlgorithmEquivalence,
+                         ::testing::Values(Algorithm::kDT, Algorithm::kMC,
+                                           Algorithm::kNaive),
+                         [](const auto& info) {
+                           return std::string(AlgorithmToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace scorpion
