@@ -31,6 +31,8 @@ Result<ExplainResponse> BuildResponse(const Table& table,
                                       const QueryResult& result,
                                       const ProblemSpec& problem,
                                       bool with_what_if,
+                                      bool enable_block_pruning,
+                                      ThreadPool* pool,
                                       Explanation explanation) {
   ExplainResponse response;
   response.algorithm = explanation.algorithm;
@@ -67,8 +69,15 @@ Result<ExplainResponse> BuildResponse(const Table& table,
   if (with_what_if && !response.predicates.empty()) {
     SCORPION_ASSIGN_OR_RETURN(Scorer scorer,
                               Scorer::Make(table, result, problem));
+    // The what-if bind follows the engine's data-plane configuration
+    // (ScorpionOptions::enable_block_pruning, shared scoring pool) like
+    // every scorer-internal bind, and reports pruning counters into this
+    // scorer's sink rather than the process-global one.
+    scorer.set_enable_block_pruning(enable_block_pruning);
+    scorer.set_thread_pool(pool);
     const Predicate& best = response.predicates.front().pred;
     SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, best.Bind(table));
+    scorer.ConfigureBound(&bound);
     response.what_if.reserve(result.results.size());
     for (int i = 0; i < static_cast<int>(result.results.size()); ++i) {
       const AggregateResult& r = result.results[i];
@@ -226,7 +235,8 @@ Result<ExplainResponse> Dataset::Explain(const ExplainRequest& request) const {
           : engine.Explain(*table_, *result_, problem);
   if (!explanation.ok()) return explanation.status();
   return BuildResponse(*table_, *result_, problem, request.what_if(),
-                       std::move(*explanation));
+                       engine_options.enable_block_pruning,
+                       engine_->scoring_pool(), std::move(*explanation));
 }
 
 Result<PendingExplanation> Dataset::ExplainAsync(
@@ -248,19 +258,24 @@ Result<PendingExplanation> Dataset::ExplainAsync(
   job.session = SessionFor(problem, request.algorithm());
 
   Response response = engine_->service().Submit(std::move(job));
-  return PendingExplanation(table_, result_, std::move(problem),
-                            request.what_if(), std::move(response));
+  return PendingExplanation(
+      table_, result_, std::move(problem), request.what_if(),
+      engine_->options().engine.enable_block_pruning,
+      engine_->scoring_pool(), std::move(response));
 }
 
 // --- PendingExplanation ------------------------------------------------------
 
 PendingExplanation::PendingExplanation(
     const Table* table, std::shared_ptr<const QueryResult> result,
-    ProblemSpec problem, bool with_what_if, Response response)
+    ProblemSpec problem, bool with_what_if, bool enable_block_pruning,
+    ThreadPool* pool, Response response)
     : table_(table),
       result_(std::move(result)),
       problem_(std::move(problem)),
       with_what_if_(with_what_if),
+      enable_block_pruning_(enable_block_pruning),
+      pool_(pool),
       response_(std::move(response)) {}
 
 Result<ExplainResponse> PendingExplanation::Get() {
@@ -271,6 +286,7 @@ Result<ExplainResponse> PendingExplanation::Get() {
   Result<Explanation> explanation = response_.future.get();
   if (!explanation.ok()) return explanation.status();
   return BuildResponse(*table_, *result_, problem_, with_what_if_,
+                       enable_block_pruning_, pool_,
                        std::move(*explanation));
 }
 

@@ -184,12 +184,19 @@ class PendingExplanation {
   PendingExplanation(const Table* table,
                      std::shared_ptr<const QueryResult> result,
                      ProblemSpec problem, bool with_what_if,
+                     bool enable_block_pruning, ThreadPool* pool,
                      Response response);
 
   const Table* table_;
   std::shared_ptr<const QueryResult> result_;
   ProblemSpec problem_;
   bool with_what_if_ = true;
+  // Engine data-plane configuration captured at submit time, so the
+  // what-if bind in Get() follows ScorpionOptions::enable_block_pruning
+  // and the shared scoring pool (the Engine must outlive this handle —
+  // already part of the handle's contract).
+  bool enable_block_pruning_ = true;
+  ThreadPool* pool_ = nullptr;
   Response response_;
 };
 

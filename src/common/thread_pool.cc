@@ -42,6 +42,8 @@ int ThreadPool::DefaultNumThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+bool ThreadPool::InParallelBody() { return tl_in_parallel_body; }
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

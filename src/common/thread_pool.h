@@ -54,6 +54,15 @@ class ThreadPool {
   /// report 0).
   static int DefaultNumThreads();
 
+  /// True while the current thread is inside a ParallelFor body (a worker
+  /// chunk or an inline nested call). A ParallelFor issued from such a
+  /// thread runs inline and never blocks in the help-first loop; a
+  /// top-level dispatch, by contrast, may execute OTHER producers' queued
+  /// tasks while blocked — so callers that keep thread-local scratch live
+  /// across a dispatch must switch to function-local buffers exactly when
+  /// this returns false.
+  static bool InParallelBody();
+
  private:
   void WorkerLoop();
 

@@ -115,7 +115,10 @@ struct ScorpionOptions {
   /// predicate from per-block statistics, skip blocks that cannot match,
   /// word-fill blocks that fully match, and run the SIMD kernels only on
   /// the rest. Bit-identical output either way; the switch exists so the
-  /// benches can A/B it and as an escape hatch.
+  /// benches can A/B it and as an escape hatch. Governs every predicate
+  /// this engine binds (scorer-internal binds and the API what-if bind);
+  /// standalone Predicate::Bind() users (e.g. the eval harness helpers)
+  /// follow the process-wide SetBlockPruningDefault() instead.
   bool enable_block_pruning = true;
 };
 

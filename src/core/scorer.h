@@ -155,12 +155,14 @@ class Scorer {
   /// Counter snapshot accessor; refreshes the Selection-conversion deltas.
   ScorerStats& stats() const;
 
+  /// Applies the scorer's data-plane configuration (pruning flag, thread
+  /// pool, per-scorer pruning-counter sink) to a freshly bound predicate.
+  /// Public so API-layer binds (e.g. the Dataset what-if view) follow the
+  /// engine's configuration instead of the process-wide defaults.
+  void ConfigureBound(BoundPredicate* bound) const;
+
  private:
   Scorer() = default;
-
-  /// Applies the scorer's data-plane configuration (pruning flag, thread
-  /// pool) to a freshly bound predicate.
-  void ConfigureBound(BoundPredicate* bound) const;
 
   /// Filters `input` through `bound`, counting kernel traffic.
   Selection FilterGroup(const BoundPredicate& bound,

@@ -33,7 +33,11 @@ Result<AccuracyStats> EvaluatePredicate(const Table& table,
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(table));
   // Through the vectorized (and zone-map pruned) kernel path, not the
   // scalar row-at-a-time shim — eval entry points get the same data plane
-  // as the engine.
+  // as the engine. This is a standalone harness helper with no engine
+  // context, so — like every bare Predicate::Bind() — pruning follows the
+  // process-wide BlockPruningDefault() (not any particular engine's
+  // ScorpionOptions::enable_block_pruning) and counters land in the
+  // global sink. Output is bit-identical either way.
   const Selection matched =
       bound.Filter(Selection::FromSorted(outlier_union, table.num_rows()));
   return ComputeAccuracy(matched.rows(), truth);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <sstream>
 
 #include "common/macros.h"
@@ -485,7 +486,10 @@ struct SparseSpan {
 
 /// Splits a sorted row vector into per-block spans and classifies each
 /// block through `classify`. The span vector is thread-local scratch:
-/// valid until the calling thread's next ComputeSparseSpans call.
+/// valid until the calling thread's next ComputeSparseSpans call — which,
+/// under ThreadPool's help-first stealing, can happen in the middle of a
+/// blocked ParallelFor (a stolen task may run a whole filter on this
+/// thread). Callers that dispatch to a pool must copy the spans first.
 template <typename Classify>
 std::vector<SparseSpan>& ComputeSparseSpans(const RowIdList& rows,
                                             const Classify& classify) {
@@ -507,6 +511,152 @@ std::vector<SparseSpan>& ComputeSparseSpans(const RowIdList& rows,
   return spans;
 }
 
+/// \brief One pruned evaluation over a sorted sparse row vector — the core
+/// shared by Filter(Selection) and Count(Selection): span classification,
+/// pruning counters, gather kernels on PARTIAL spans, per-span kept counts
+/// in disjoint slots. Filter compacts via spans()/mask(); Count just reads
+/// total_kept().
+///
+/// A top-level pool dispatch blocks in ThreadPool's help-first loop, where
+/// the calling thread can execute OTHER producers' queued tasks; any filter
+/// work they run reuses this thread's MaskScratch / ComputeSparseSpans
+/// buffers while this run still reads them after the join. The parallel
+/// path therefore snapshots the spans and fills a function-local mask; the
+/// serial path — including nested-inline calls, which never steal — keeps
+/// the zero-allocation thread-local scratch. When no span is PARTIAL the
+/// verdicts alone decide: the kernels never run and the mask is neither
+/// allocated nor cleared.
+///
+/// Must stay a function-local value: spans()/mask() can point into members.
+class SparsePrunedRun {
+ public:
+  /// `classify` maps a block index to its conjunction verdict; `fill` is
+  /// the gather kernel (rows, len, mask) for PARTIAL spans.
+  template <typename Classify, typename Fill>
+  SparsePrunedRun(const RowIdList& rows, ThreadPool* pool,
+                  BlockPruningStats* pstats, const Classify& classify,
+                  const Fill& fill) {
+    std::vector<SparseSpan>& tl_spans = ComputeSparseSpans(rows, classify);
+    bool any_partial = false;
+    for (const SparseSpan& sp : tl_spans) {
+      if (sp.verdict == BlockMatch::kPartial) {
+        any_partial = true;
+        break;
+      }
+    }
+    const bool parallel = any_partial && pool != nullptr &&
+                          !ThreadPool::InParallelBody() &&
+                          tl_spans.size() >= kMinBlocksForParallel;
+    if (parallel) {
+      span_storage_ = tl_spans;
+      // Uninitialized on purpose (matching MaskScratch's no-clear reuse):
+      // the gather kernels fully overwrite PARTIAL spans' ranges and
+      // nothing reads the mask outside them, so an O(rows) zero-fill would
+      // only tax the heavily-pruned inputs this path exists to speed up.
+      mask_storage_.reset(new uint8_t[rows.size()]);
+      spans_ = &span_storage_;
+      mask_ = mask_storage_.get();
+    } else {
+      spans_ = &tl_spans;
+      mask_ = any_partial ? MaskScratch(rows.size()).data() : nullptr;
+    }
+    const std::vector<SparseSpan>& spans = *spans_;
+    kept_.assign(spans.size(), 0);
+    auto do_span = [&](size_t si) {
+      const SparseSpan& sp = spans[si];
+      const size_t len = sp.hi - sp.lo;
+      switch (sp.verdict) {
+        case BlockMatch::kNone:
+          ++pstats->blocks_pruned_none;
+          pstats->rows_skipped_by_pruning += len;
+          break;
+        case BlockMatch::kAll:
+          ++pstats->blocks_pruned_all;
+          pstats->rows_skipped_by_pruning += len;
+          kept_[si] = len;
+          break;
+        case BlockMatch::kPartial:
+          ++pstats->blocks_partial;
+          fill(rows.data() + sp.lo, len, mask_ + sp.lo);
+          kept_[si] = SumMask(mask_ + sp.lo, len);
+          break;
+      }
+    };
+    if (parallel) {
+      pool->ParallelFor(0, spans.size(), do_span);
+    } else {
+      for (size_t si = 0; si < spans.size(); ++si) do_span(si);
+    }
+    for (size_t k : kept_) total_kept_ += k;
+  }
+
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(SparsePrunedRun);
+
+  /// Spans in block order.
+  const std::vector<SparseSpan>& spans() const { return *spans_; }
+  /// Gather mask aligned with the input rows; valid only over PARTIAL
+  /// spans' index ranges (nullptr when no span is PARTIAL).
+  const uint8_t* mask() const { return mask_; }
+  /// Total matching rows across all spans.
+  size_t total_kept() const { return total_kept_; }
+
+ private:
+  std::vector<SparseSpan> span_storage_;     // parallel-path span snapshot
+  std::unique_ptr<uint8_t[]> mask_storage_;  // parallel-path mask
+  const std::vector<SparseSpan>* spans_ = nullptr;
+  uint8_t* mask_ = nullptr;
+  std::vector<size_t> kept_;
+  size_t total_kept_ = 0;
+};
+
+/// Shared pruned-dense driver for FilterAll / Count over all rows:
+/// classifies every block, updates counters, calls `on_all(begin, end)` on
+/// ALL blocks and `fill` + `consume(mask, begin, end)` on PARTIAL blocks,
+/// and returns the total kept count. Block-parallel when a pool is
+/// attached: blocks own disjoint outputs (kBlockSize is a multiple of 64,
+/// so bitmap word ranges don't overlap), per-block counts land in slots,
+/// and the sum stays serial in block order. Unlike the sparse paths,
+/// MaskScratch here is acquired and fully consumed inside one task
+/// invocation, so a help-first-stolen task clobbering the thread-local
+/// scratch between tasks is harmless.
+template <typename Classify, typename Fill, typename OnAll, typename Consume>
+size_t RunPrunedDenseBlocks(const TableBlockStats& stats, ThreadPool* pool,
+                            BlockPruningStats* pstats,
+                            const Classify& classify, const Fill& fill,
+                            const OnAll& on_all, const Consume& consume) {
+  const size_t nb = stats.num_blocks();
+  auto do_block = [&](size_t b) -> size_t {
+    const size_t begin = stats.block_begin(b);
+    const size_t end = stats.block_end(b);
+    switch (classify(b)) {
+      case BlockMatch::kNone:
+        ++pstats->blocks_pruned_none;
+        pstats->rows_skipped_by_pruning += end - begin;
+        return 0;
+      case BlockMatch::kAll:
+        ++pstats->blocks_pruned_all;
+        pstats->rows_skipped_by_pruning += end - begin;
+        on_all(begin, end);
+        return end - begin;
+      case BlockMatch::kPartial:
+        break;
+    }
+    ++pstats->blocks_partial;
+    uint8_t* mask = MaskScratch(end - begin).data();
+    fill(begin, end, mask);
+    return consume(mask, begin, end);
+  };
+  size_t total = 0;
+  if (pool != nullptr && nb >= kMinBlocksForParallel) {
+    std::vector<size_t> counts(nb, 0);
+    pool->ParallelFor(0, nb, [&](size_t b) { counts[b] = do_block(b); });
+    for (size_t c : counts) total += c;
+  } else {
+    for (size_t b = 0; b < nb; ++b) total += do_block(b);
+  }
+  return total;
+}
+
 }  // namespace
 
 Selection BoundPredicate::Filter(const Selection& input) const {
@@ -517,46 +667,20 @@ Selection BoundPredicate::Filter(const Selection& input) const {
   if (input.IsAll()) return FilterAll();
   const RowIdList& rows = input.rows();
   const size_t n = rows.size();
-  uint8_t* mask = MaskScratch(n).data();
   PruningPlan plan;
   if (n > 0 && PreparePlan(&plan)) {
-    std::vector<SparseSpan>& spans = ComputeSparseSpans(
-        rows, [&](size_t b) { return ClassifyBlock(plan, b); });
-    BlockPruningStats& pstats = *prune_stats_;
-    // Kernel masks and per-span kept counts land in disjoint slots, so the
-    // spans can run block-parallel; the compaction below stays serial in
-    // block order — output is identical at every thread count.
-    std::vector<size_t> kept(spans.size(), 0);
-    auto do_span = [&](size_t si) {
-      const SparseSpan& sp = spans[si];
-      const size_t len = sp.hi - sp.lo;
-      switch (sp.verdict) {
-        case BlockMatch::kNone:
-          ++pstats.blocks_pruned_none;
-          pstats.rows_skipped_by_pruning += len;
-          break;
-        case BlockMatch::kAll:
-          ++pstats.blocks_pruned_all;
-          pstats.rows_skipped_by_pruning += len;
-          kept[si] = len;
-          break;
-        case BlockMatch::kPartial:
-          ++pstats.blocks_partial;
-          FillMaskGather(rows.data() + sp.lo, len, mask + sp.lo);
-          kept[si] = SumMask(mask + sp.lo, len);
-          break;
-      }
-    };
-    if (pool_ != nullptr && spans.size() >= kMinBlocksForParallel) {
-      pool_->ParallelFor(0, spans.size(), do_span);
-    } else {
-      for (size_t si = 0; si < spans.size(); ++si) do_span(si);
-    }
-    size_t total = 0;
-    for (size_t k : kept) total += k;
+    SparsePrunedRun run(
+        rows, pool_, prune_stats_,
+        [&](size_t b) { return ClassifyBlock(plan, b); },
+        [&](const RowId* r, size_t len, uint8_t* m) {
+          FillMaskGather(r, len, m);
+        });
+    // Serial compaction in block order — output is identical at every
+    // thread count.
+    const uint8_t* mask = run.mask();
     RowIdList out;
-    out.reserve(total);
-    for (const SparseSpan& sp : spans) {
+    out.reserve(run.total_kept());
+    for (const SparseSpan& sp : run.spans()) {
       if (sp.verdict == BlockMatch::kNone) continue;
       if (sp.verdict == BlockMatch::kAll) {
         // Dense range-append: the whole span matches, no mask to consult.
@@ -570,6 +694,7 @@ Selection BoundPredicate::Filter(const Selection& input) const {
     }
     return Selection::FromSorted(std::move(out), num_rows_);
   }
+  uint8_t* mask = MaskScratch(n).data();
   FillMaskGather(rows.data(), n, mask);
   RowIdList out;
   out.reserve(SumMask(mask, n));
@@ -587,39 +712,16 @@ Selection BoundPredicate::FilterAll() const {
   size_t count = 0;
   PruningPlan plan;
   if (PreparePlan(&plan)) {
-    BlockPruningStats& pstats = *prune_stats_;
-    const size_t nb = plan.stats->num_blocks();
-    // Blocks own disjoint word ranges (kBlockSize is a multiple of 64), so
-    // per-block writes need no synchronization; per-block counts land in
-    // slots and the sum stays serial in block order.
-    auto do_block = [&](size_t b) -> size_t {
-      const size_t begin = plan.stats->block_begin(b);
-      const size_t end = plan.stats->block_end(b);
-      switch (ClassifyBlock(plan, b)) {
-        case BlockMatch::kNone:
-          ++pstats.blocks_pruned_none;
-          pstats.rows_skipped_by_pruning += end - begin;
-          return 0;
-        case BlockMatch::kAll:
-          ++pstats.blocks_pruned_all;
-          pstats.rows_skipped_by_pruning += end - begin;
-          BitmapSetRange(&words, begin, end);
-          return end - begin;
-        case BlockMatch::kPartial:
-          break;
-      }
-      ++pstats.blocks_partial;
-      uint8_t* mask = MaskScratch(end - begin).data();
-      FillMaskDenseRange(begin, end, mask);
-      return PackMaskIntoWords(mask, begin, end, words.data());
-    };
-    if (pool_ != nullptr && nb >= kMinBlocksForParallel) {
-      std::vector<size_t> counts(nb, 0);
-      pool_->ParallelFor(0, nb, [&](size_t b) { counts[b] = do_block(b); });
-      for (size_t c : counts) count += c;
-    } else {
-      for (size_t b = 0; b < nb; ++b) count += do_block(b);
-    }
+    count = RunPrunedDenseBlocks(
+        *plan.stats, pool_, prune_stats_,
+        [&](size_t b) { return ClassifyBlock(plan, b); },
+        [&](size_t begin, size_t end, uint8_t* mask) {
+          FillMaskDenseRange(begin, end, mask);
+        },
+        [&](size_t begin, size_t end) { BitmapSetRange(&words, begin, end); },
+        [&](const uint8_t* mask, size_t begin, size_t end) {
+          return PackMaskIntoWords(mask, begin, end, words.data());
+        });
   } else {
     uint8_t* mask = MaskScratch(n).data();
     FillMaskDenseRange(0, n, mask);
@@ -638,38 +740,16 @@ size_t BoundPredicate::Count(const Selection& input) const {
     // Dense mask + byte sum; no bitmap materialization for a bare count.
     const size_t n = num_rows_;
     if (PreparePlan(&plan)) {
-      BlockPruningStats& pstats = *prune_stats_;
-      const size_t nb = plan.stats->num_blocks();
-      auto count_block = [&](size_t b) -> size_t {
-        const size_t begin = plan.stats->block_begin(b);
-        const size_t end = plan.stats->block_end(b);
-        switch (ClassifyBlock(plan, b)) {
-          case BlockMatch::kNone:
-            ++pstats.blocks_pruned_none;
-            pstats.rows_skipped_by_pruning += end - begin;
-            return 0;
-          case BlockMatch::kAll:
-            ++pstats.blocks_pruned_all;
-            pstats.rows_skipped_by_pruning += end - begin;
-            return end - begin;
-          case BlockMatch::kPartial:
-            break;
-        }
-        ++pstats.blocks_partial;
-        uint8_t* mask = MaskScratch(end - begin).data();
-        FillMaskDenseRange(begin, end, mask);
-        return SumMask(mask, end - begin);
-      };
-      size_t kept = 0;
-      if (pool_ != nullptr && nb >= kMinBlocksForParallel) {
-        std::vector<size_t> counts(nb, 0);
-        pool_->ParallelFor(0, nb,
-                           [&](size_t b) { counts[b] = count_block(b); });
-        for (size_t c : counts) kept += c;
-      } else {
-        for (size_t b = 0; b < nb; ++b) kept += count_block(b);
-      }
-      return kept;
+      return RunPrunedDenseBlocks(
+          *plan.stats, pool_, prune_stats_,
+          [&](size_t b) { return ClassifyBlock(plan, b); },
+          [&](size_t begin, size_t end, uint8_t* mask) {
+            FillMaskDenseRange(begin, end, mask);
+          },
+          [](size_t, size_t) {},  // a bare count materializes nothing
+          [](const uint8_t* mask, size_t begin, size_t end) {
+            return SumMask(mask, end - begin);
+          });
     }
     uint8_t* mask = MaskScratch(n).data();
     FillMaskDenseRange(0, n, mask);
@@ -677,41 +757,16 @@ size_t BoundPredicate::Count(const Selection& input) const {
   }
   const RowIdList& rows = input.rows();
   const size_t n = rows.size();
-  uint8_t* mask = MaskScratch(n).data();
   if (n > 0 && PreparePlan(&plan)) {
-    std::vector<SparseSpan>& spans = ComputeSparseSpans(
-        rows, [&](size_t b) { return ClassifyBlock(plan, b); });
-    BlockPruningStats& pstats = *prune_stats_;
-    std::vector<size_t> kept(spans.size(), 0);
-    auto count_span = [&](size_t si) {
-      const SparseSpan& sp = spans[si];
-      const size_t len = sp.hi - sp.lo;
-      switch (sp.verdict) {
-        case BlockMatch::kNone:
-          ++pstats.blocks_pruned_none;
-          pstats.rows_skipped_by_pruning += len;
-          break;
-        case BlockMatch::kAll:
-          ++pstats.blocks_pruned_all;
-          pstats.rows_skipped_by_pruning += len;
-          kept[si] = len;
-          break;
-        case BlockMatch::kPartial:
-          ++pstats.blocks_partial;
-          FillMaskGather(rows.data() + sp.lo, len, mask + sp.lo);
-          kept[si] = SumMask(mask + sp.lo, len);
-          break;
-      }
-    };
-    if (pool_ != nullptr && spans.size() >= kMinBlocksForParallel) {
-      pool_->ParallelFor(0, spans.size(), count_span);
-    } else {
-      for (size_t si = 0; si < spans.size(); ++si) count_span(si);
-    }
-    size_t total = 0;
-    for (size_t k : kept) total += k;
-    return total;
+    SparsePrunedRun run(
+        rows, pool_, prune_stats_,
+        [&](size_t b) { return ClassifyBlock(plan, b); },
+        [&](const RowId* r, size_t len, uint8_t* m) {
+          FillMaskGather(r, len, m);
+        });
+    return run.total_kept();
   }
+  uint8_t* mask = MaskScratch(n).data();
   FillMaskGather(rows.data(), n, mask);
   return SumMask(mask, n);
 }

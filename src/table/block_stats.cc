@@ -112,11 +112,29 @@ void TableBlockStats::BuildColumn(int col, ColumnEntry* entry) const {
   }
 }
 
+void BlockStatsCache::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fast_.store(nullptr, std::memory_order_release);
+  stats_.reset();
+  prev_.reset();
+}
+
 const TableBlockStats* BlockStatsCache::Get(const Table& table) const {
   const TableBlockStats* fast = fast_.load(std::memory_order_acquire);
   if (fast != nullptr && fast->num_rows() == table.num_rows()) return fast;
   std::lock_guard<std::mutex> lock(mu_);
   if (stats_ == nullptr || stats_->num_rows() != table.num_rows()) {
+    // Retire — don't free — the superseded generation: a concurrent Get can
+    // already have loaded fast_ and be about to compare num_rows() through
+    // the raw pointer. An append racing an evaluation violates the Table /
+    // BoundPredicate contract anyway, but the likeliest failure mode (one
+    // racing rebuild) should be the row-count mismatch here (and the
+    // evaluate-after-append abort), not a use-after-free. Row counts only
+    // grow, so the retired generation can never satisfy the fast-path
+    // comparison again. One generation deep is hardening, not a guarantee:
+    // a reader stalled across TWO rebuilds still loses, and retaining every
+    // generation would grow without bound under append-heavy loops.
+    prev_ = std::move(stats_);
     stats_ = std::make_shared<const TableBlockStats>(table);
   }
   fast_.store(stats_.get(), std::memory_order_release);

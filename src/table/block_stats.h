@@ -156,22 +156,46 @@ class TableBlockStats {
 /// is owned by the cache and stays valid as long as the row count does:
 /// a rebuild can only be triggered by an append, and every consumer
 /// (BoundPredicate) aborts on the evaluate-after-append guard before it
-/// could touch stats from the old row count.
+/// could touch stats from the old row count. As hardening (not a full
+/// guarantee), a rebuild retires the one generation it replaces, so a Get
+/// racing a single append-triggered rebuild dereferences a live object and
+/// fails cleanly on the row-count check instead of reading freed memory;
+/// a reader stalled across two rebuilds — or across an assignment, which
+/// frees the columns themselves — is beyond what stats retention can
+/// protect.
 class BlockStatsCache {
  public:
   BlockStatsCache() = default;
   BlockStatsCache(const BlockStatsCache&) {}
-  BlockStatsCache& operator=(const BlockStatsCache&) { return *this; }
+  BlockStatsCache& operator=(const BlockStatsCache&) {
+    Reset();
+    return *this;
+  }
   BlockStatsCache(BlockStatsCache&&) noexcept {}
-  BlockStatsCache& operator=(BlockStatsCache&&) noexcept { return *this; }
+  BlockStatsCache& operator=(BlockStatsCache&&) noexcept {
+    Reset();
+    return *this;
+  }
 
   /// The stats for `table`'s current row count, building (or rebuilding,
   /// after an append changed the row count) if needed. Thread-safe.
   const TableBlockStats* Get(const Table& table) const;
 
  private:
+  /// Drops every generation. Assignment replaces the owning Table's column
+  /// storage, and stats are keyed on row count alone — a same-row-count
+  /// assignment must not leave zone maps built from the old columns.
+  void Reset();
+
   mutable std::mutex mu_;
   mutable std::shared_ptr<const TableBlockStats> stats_;  // guarded by mu_
+  /// The generation `stats_` last replaced, kept alive so a reader that
+  /// loaded `fast_` just before a rebuild dereferences a live object: its
+  /// row-count check then misses (row counts only grow) and the reader
+  /// takes the locked path — or its BoundPredicate dies on the
+  /// evaluate-after-append abort — instead of a use-after-free. One
+  /// generation deep: see the class comment for the limits.
+  mutable std::shared_ptr<const TableBlockStats> prev_;  // guarded by mu_
   /// Published view of stats_.get() for the lock-free fast path.
   mutable std::atomic<const TableBlockStats*> fast_{nullptr};
 };

@@ -9,9 +9,11 @@
 // every algorithm.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -329,6 +331,68 @@ TEST(BlockPruning, BlockParallelFilteringIsIdentical) {
   }
 }
 
+TEST(BlockPruning, ConcurrentProducersSharingOnePool) {
+  // Regression test for the help-first stealing hazard: while a block-
+  // parallel filter blocks in ThreadPool::ParallelFor, its thread executes
+  // other producers' queued tasks, and any filter work those run used to
+  // clobber the thread-local mask/span scratch the in-flight call still
+  // read after the join (dangling mask pointer / silently wrong results).
+  // Several producer threads drive sparse and dense filters — including
+  // scorer-style nested batches whose stolen tasks each run a whole
+  // filter — through one shared pool; every result is checked against the
+  // scalar reference computed up front.
+  Rng rng(47);
+  const size_t n = 16 * kBlockSize + 9;
+  Table table = BuildTable(&rng, n, /*clustered=*/true, /*nan_frac=*/0.1,
+                           /*cat_cardinality=*/12);
+  const RowIdList sparse_rows = BoundaryHeavySubset(&rng, n, 0.3);
+  const Selection sparse = Selection::FromSorted(sparse_rows, n);
+
+  struct Case {
+    Predicate pred;
+    RowIdList expect_sparse;
+    RowIdList expect_all;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < 6; ++i) {
+    Case c;
+    c.pred = RandomPredicate(&rng, table);
+    auto bound = c.pred.Bind(table).ValueOrDie();
+    c.expect_sparse = bound.Filter(sparse_rows);  // scalar reference
+    c.expect_all = bound.Filter(AllRows(n));
+    cases.push_back(std::move(c));
+  }
+
+  ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kRepsPerProducer = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int rep = 0; rep < kRepsPerProducer; ++rep) {
+        const Case& c = cases[static_cast<size_t>(p + rep) % cases.size()];
+        auto bound = c.pred.Bind(table).ValueOrDie();
+        bound.set_thread_pool(&pool);
+        if (bound.Filter(sparse).rows() != c.expect_sparse) ++failures;
+        if (bound.Count(sparse) != c.expect_sparse.size()) ++failures;
+        if (bound.FilterAll().rows() != c.expect_all) ++failures;
+        // Scorer-style nesting: queued tasks that each run a whole filter,
+        // so a producer blocked in its own ParallelFor can steal a task
+        // that calls MaskScratch / ComputeSparseSpans on its thread.
+        pool.ParallelFor(0, 4, [&](size_t) {
+          auto inner = c.pred.Bind(table).ValueOrDie();
+          inner.set_thread_pool(&pool);
+          if (inner.Filter(sparse).rows() != c.expect_sparse) ++failures;
+        });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(BlockPruning, AppendInvalidatesStats) {
   Table t(PruneSchema());
   Rng rng(41);
@@ -363,6 +427,33 @@ TEST(BlockPruning, AppendInvalidatesStats) {
   auto rebound = p.Bind(t).ValueOrDie();
   EXPECT_EQ(rebound.FilterAll().size(), n0 + kBlockSize);
   ExpectEquivalent(t, p, BoundaryHeavySubset(&rng, t.num_rows(), 0.3));
+}
+
+TEST(BlockPruning, TableAssignmentDropsStaleStats) {
+  // Stats are keyed on row count alone, so assigning a same-row-count table
+  // over one whose stats were already built must reset the cache — stale
+  // zone maps over the new columns would classify blocks wrongly and break
+  // the bit-identical guarantee silently.
+  const size_t n = 2 * kBlockSize;
+  auto build = [&](double value) {
+    Table t(Schema({{"x", DataType::kDouble}}));
+    for (size_t i = 0; i < n; ++i) (void)t.column(0).AppendDouble(value);
+    (void)t.FinalizeColumnwiseBuild();
+    return t;
+  };
+  Table low = build(0.0);
+  Predicate p;
+  (void)p.AddRange({"x", 500.0, 2000.0, true});
+  {
+    // Builds low's stats: every block is NONE for the clause.
+    auto bound = p.Bind(low).ValueOrDie();
+    EXPECT_EQ(bound.FilterAll().size(), 0u);
+  }
+  low = build(1000.0);  // same row count, every row now matches
+  auto rebound = p.Bind(low).ValueOrDie();
+  EXPECT_EQ(rebound.FilterAll().size(), n);
+  Rng rng(53);
+  ExpectEquivalent(low, p, BoundaryHeavySubset(&rng, n, 0.2));
 }
 
 // --- Classifier unit tests ---------------------------------------------------
