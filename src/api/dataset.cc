@@ -121,19 +121,19 @@ Result<Dataset> Engine::Open(const Table& table, GroupByQuery query) {
 }
 
 bool Engine::Cancel(uint64_t id) {
-  std::lock_guard<std::mutex> lock(service_mu_);
+  MutexLock lock(service_mu_);
   if (service_ == nullptr) return false;
   return service_->Cancel(id);
 }
 
 ServiceStatsSnapshot Engine::service_stats() const {
-  std::lock_guard<std::mutex> lock(service_mu_);
+  MutexLock lock(service_mu_);
   if (service_ == nullptr) return ServiceStatsSnapshot{};
   return service_->stats();
 }
 
 ExplanationService& Engine::service() {
-  std::lock_guard<std::mutex> lock(service_mu_);
+  MutexLock lock(service_mu_);
   if (service_ == nullptr) {
     ServiceOptions service_options;
     service_options.engine = options_.engine;
@@ -159,9 +159,9 @@ struct Dataset::SessionStore {
 
   static constexpr size_t kMaxSessions = 8;
 
-  std::mutex mu;
-  uint64_t clock = 0;
-  std::map<std::string, Entry> sessions;
+  Mutex mu;
+  uint64_t clock SCORPION_GUARDED_BY(mu) = 0;
+  std::map<std::string, Entry> sessions SCORPION_GUARDED_BY(mu);
 };
 
 Dataset::Dataset(Engine* engine, const Table* table,
@@ -180,7 +180,7 @@ Result<ProblemSpec> Dataset::Resolve(const ExplainRequest& request) const {
 }
 
 void Dataset::ClearCache() {
-  std::lock_guard<std::mutex> lock(sessions_->mu);
+  MutexLock lock(sessions_->mu);
   for (auto& [key, entry] : sessions_->sessions) entry.session->Clear();
 }
 
@@ -191,7 +191,7 @@ std::shared_ptr<ExplainSession> Dataset::SessionFor(
   // storing entries for NAIVE/MC would let useless keys evict live DT ones.
   if (algorithm != Algorithm::kDT) return nullptr;
   const std::string key = AnnotationKey(problem, algorithm);
-  std::lock_guard<std::mutex> lock(sessions_->mu);
+  MutexLock lock(sessions_->mu);
   SessionStore::Entry& entry = sessions_->sessions[key];
   if (entry.session == nullptr) {
     entry.session = std::make_shared<ExplainSession>();

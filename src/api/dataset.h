@@ -19,12 +19,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "api/explain_request.h"
 #include "api/explain_response.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/scorpion.h"
@@ -92,8 +92,8 @@ class Engine {
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
-  mutable std::mutex service_mu_;
-  std::unique_ptr<ExplanationService> service_;
+  mutable Mutex service_mu_;
+  std::unique_ptr<ExplanationService> service_ SCORPION_GUARDED_BY(service_mu_);
 };
 
 /// \brief Handle over one executed query: owns the QueryResult and the

@@ -51,3 +51,72 @@
 #else
 #define SCORPION_DCHECK(cond, msg) SCORPION_CHECK(cond, msg)
 #endif
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis capability annotations.
+//
+// Applied to the annotated wrappers in common/mutex.h and to every
+// mutex-protected member in the tree, these let `clang -Wthread-safety`
+// prove at compile time that each guarded invariant is only touched with
+// its lock held (the CI `thread-safety` job builds with -Wthread-safety
+// -Werror). They expand to nothing on GCC and MSVC, so the regular build is
+// unaffected. Attribute reference:
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// ---------------------------------------------------------------------------
+#if defined(__clang__)
+#define SCORPION_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SCORPION_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" in diagnostics).
+#define SCORPION_CAPABILITY(x) SCORPION_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCORPION_SCOPED_CAPABILITY SCORPION_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable only with `x` held (shared suffices), writable only
+/// with `x` held exclusively.
+#define SCORPION_GUARDED_BY(x) SCORPION_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define SCORPION_PT_GUARDED_BY(x) SCORPION_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called with the given capabilities held exclusively
+/// (…_SHARED: held at least shared); they are NOT released on return.
+#define SCORPION_REQUIRES(...) \
+  SCORPION_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SCORPION_REQUIRES_SHARED(...) \
+  SCORPION_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not already be held).
+#define SCORPION_ACQUIRE(...) \
+  SCORPION_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SCORPION_ACQUIRE_SHARED(...) \
+  SCORPION_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define SCORPION_RELEASE(...) \
+  SCORPION_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SCORPION_RELEASE_SHARED(...) \
+  SCORPION_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return value
+/// that signals success.
+#define SCORPION_TRY_ACQUIRE(...) \
+  SCORPION_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the given capabilities held (deadlock
+/// documentation for non-reentrant locks).
+#define SCORPION_EXCLUDES(...) \
+  SCORPION_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (for accessors).
+#define SCORPION_RETURN_CAPABILITY(x) \
+  SCORPION_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct but beyond the analysis
+/// (e.g. lock handoff between functions). Use sparingly, with a comment.
+#define SCORPION_NO_THREAD_SAFETY_ANALYSIS \
+  SCORPION_THREAD_ANNOTATION(no_thread_safety_analysis)

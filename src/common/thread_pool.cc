@@ -31,10 +31,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -48,8 +48,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Condition re-checked inline (not via a wait predicate) so the
+      // analysis sees the guarded reads where the capability is held.
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.back());
       queue_.pop_back();
@@ -93,21 +95,21 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // it alive until every chunk has decremented the counter.
   int remaining = static_cast<int>(chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Pushed in reverse so workers (popping from the back) start with the
     // lowest-numbered — typically largest — chunks first.
     for (size_t c = chunks - 1; c >= 1; --c) {
       queue_.push_back([this, &run_chunk, &remaining, c] {
         run_chunk(c);
         {
-          std::lock_guard<std::mutex> inner(mu_);
+          MutexLock inner(mu_);
           --remaining;
         }
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   run_chunk(0);  // the caller participates
 
@@ -115,20 +117,24 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // caller executes queued tasks (its own or other producers') instead of
   // sleeping — with more producers than workers, a call's last chunk could
   // otherwise sit queued behind other calls' work while its producer idles.
-  std::unique_lock<std::mutex> lock(mu_);
+  // Manual Lock/Unlock (not a scoped lock): the capability is dropped
+  // around task() and both loop arms re-hold it at the back edge, which the
+  // analysis verifies per path.
+  mu_.Lock();
   while (remaining != 0) {
     if (!queue_.empty()) {
       std::function<void()> task = std::move(queue_.back());
       queue_.pop_back();
-      lock.unlock();
+      mu_.Unlock();
       task();
-      lock.lock();
+      mu_.Lock();
     } else {
-      done_cv_.wait(lock, [this, &remaining] {
-        return remaining == 0 || !queue_.empty();
-      });
+      // Wakes on a finished chunk or new queued work; the loop re-checks
+      // both conditions, so a bare Wait needs no predicate.
+      done_cv_.Wait(mu_);
     }
   }
+  mu_.Unlock();
 
   for (std::exception_ptr& err : errors) {
     if (err) std::rethrow_exception(err);

@@ -6,15 +6,14 @@
 // bit-identical to a serial run.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace scorpion {
@@ -69,13 +68,13 @@ class ThreadPool {
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers: task ready / stop
-  std::condition_variable done_cv_;   // signals callers: a chunk finished
+  Mutex mu_;
+  CondVar work_cv_;   // signals workers: task ready / stop
+  CondVar done_cv_;   // signals callers: a chunk finished
   // Each queued closure carries its own call's completion bookkeeping, so
   // the pool needs no per-call state here.
-  std::vector<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::vector<std::function<void()>> queue_ SCORPION_GUARDED_BY(mu_);
+  bool stop_ SCORPION_GUARDED_BY(mu_) = false;
 };
 
 /// ParallelFor through an optional pool: a null pool runs the loop inline.

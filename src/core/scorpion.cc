@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "core/dt.h"
 #include "core/mc.h"
@@ -39,6 +39,15 @@ Status AttachMatchCaches(const Scorer& scorer,
 }
 
 }  // namespace
+
+bool ExplainSession::LookupMergedLocked(
+    double c, std::vector<ScoredPredicate>* out) const {
+  auto it = merged_by_c_.find(c);
+  if (it == merged_by_c_.end()) return false;
+  it->second.stamp = NextStamp();
+  *out = it->second.merged;
+  return true;
+}
 
 std::vector<ScoredPredicate> ExplainSession::WarmSeedsLocked(double c) const {
   // The map is descending, so entries with key > c form a prefix; the last
@@ -83,7 +92,7 @@ const char* AlgorithmToString(Algorithm algorithm) {
 }
 
 void ExplainSession::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   has_partitions_ = false;
   partitions_.clear();
   merged_by_c_.clear();
@@ -153,13 +162,14 @@ Result<Explanation> Scorpion::Run(const Table& table,
   // Fast path: an exact-c session hit needs no scorer, partitioner or
   // merger — probe before paying Scorer::Make's per-group state build.
   if (options_.algorithm == Algorithm::kDT && session != nullptr) {
-    std::shared_lock<std::shared_mutex> lock(session->mu_);
-    auto exact = session->merged_by_c_.find(problem.c);
-    if (exact != session->merged_by_c_.end()) {
-      exact->second.stamp = session->NextStamp();
-      Explanation out;
+    Explanation out;
+    bool hit = false;
+    {
+      ReaderMutexLock lock(session->mu_);
+      hit = session->LookupMergedLocked(problem.c, &out.predicates);
+    }
+    if (hit) {
       out.algorithm = options_.algorithm;
-      out.predicates = exact->second.merged;
       out.cache_result_hit = true;
       if (out.predicates.size() > options_.top_k) {
         out.predicates.resize(options_.top_k);
@@ -196,13 +206,10 @@ Result<Explanation> Scorpion::Run(const Table& table,
       bool have_partitions = false;
       bool have_result = false;
       if (session != nullptr) {
-        std::shared_lock<std::shared_mutex> lock(session->mu_);
+        ReaderMutexLock lock(session->mu_);
         // An exact-c entry stored since the fast-path probe above is still
         // a whole-answer hit.
-        auto exact = session->merged_by_c_.find(problem.c);
-        if (exact != session->merged_by_c_.end()) {
-          exact->second.stamp = session->NextStamp();
-          out.predicates = exact->second.merged;
+        if (session->LookupMergedLocked(problem.c, &out.predicates)) {
           out.cache_result_hit = true;
           have_result = true;
         } else {
@@ -222,13 +229,10 @@ Result<Explanation> Scorpion::Run(const Table& table,
           // Exclusive lock around the whole computation: concurrent requests
           // on this session block here and reuse the winner's partitions
           // instead of each recomputing them.
-          std::unique_lock<std::shared_mutex> lock(session->mu_);
+          WriterMutexLock lock(session->mu_);
           // Re-check for an exact-c result: a concurrent same-(key, c)
           // request may have stored one while we waited for the lock.
-          auto exact = session->merged_by_c_.find(problem.c);
-          if (exact != session->merged_by_c_.end()) {
-            exact->second.stamp = session->NextStamp();
-            out.predicates = exact->second.merged;
+          if (session->LookupMergedLocked(problem.c, &out.predicates)) {
             out.cache_result_hit = true;
             have_result = true;
           } else if (session->has_partitions_) {
@@ -270,7 +274,7 @@ Result<Explanation> Scorpion::Run(const Table& table,
       // their footprint small.
       for (ScoredPredicate& sp : merged) sp.matches.reset();
       if (session != nullptr) {
-        std::unique_lock<std::shared_mutex> lock(session->mu_);
+        WriterMutexLock lock(session->mu_);
         session->StoreMergedLocked(problem.c, merged);
       }
       out.predicates = std::move(merged);

@@ -7,11 +7,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "common/atomic_counter.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "core/naive.h"
 #include "core/options.h"
@@ -76,11 +76,12 @@ class ExplainSession {
  private:
   friend class Scorpion;
 
-  /// One cached merged result list with its recency stamp (atomic so exact-c
-  /// hits can refresh it under the shared lock).
+  /// One cached merged result list with its recency stamp (atomic — and
+  /// mutable, so exact-c hits can refresh it under the shared lock through
+  /// the const lookup path).
   struct MergedEntry {
     std::vector<ScoredPredicate> merged;
-    RelaxedCounter stamp;
+    mutable RelaxedCounter stamp;
   };
 
   /// Cached c values kept per session; beyond this the least-recently-used
@@ -88,27 +89,37 @@ class ExplainSession {
   /// session without bound.
   static constexpr size_t kMaxMergedEntries = 16;
 
-  uint64_t NextStamp() {
+  uint64_t NextStamp() const {
     return stamp_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  /// Warm-start lookup (mu_ held): the merged list cached at the smallest
-  /// c' > c, copied out. Results merged at a higher c remain valid starting
-  /// points when c decreases (lower c merges *more*, so prior merges are
-  /// prefixes of the new merge sequence).
-  std::vector<ScoredPredicate> WarmSeedsLocked(double c) const;
+  /// Exact-c lookup: copies the merged list cached for `c` into *out,
+  /// refreshing the entry's recency stamp (atomic, so a shared lock
+  /// suffices), and reports whether an entry existed.
+  bool LookupMergedLocked(double c, std::vector<ScoredPredicate>* out) const
+      SCORPION_REQUIRES_SHARED(mu_);
+
+  /// Warm-start lookup: the merged list cached at the smallest c' > c,
+  /// copied out. Results merged at a higher c remain valid starting points
+  /// when c decreases (lower c merges *more*, so prior merges are prefixes
+  /// of the new merge sequence).
+  std::vector<ScoredPredicate> WarmSeedsLocked(double c) const
+      SCORPION_REQUIRES_SHARED(mu_);
 
   /// Inserts/overwrites the merged list for c and evicts the LRU entry when
-  /// over kMaxMergedEntries (mu_ held exclusively).
-  void StoreMergedLocked(double c, std::vector<ScoredPredicate> merged);
+  /// over kMaxMergedEntries.
+  void StoreMergedLocked(double c, std::vector<ScoredPredicate> merged)
+      SCORPION_REQUIRES(mu_);
 
-  mutable std::shared_mutex mu_;
-  bool has_partitions_ = false;
-  std::vector<ScoredPredicate> partitions_;
-  std::atomic<uint64_t> stamp_clock_{0};
+  mutable SharedMutex mu_;
+  bool has_partitions_ SCORPION_GUARDED_BY(mu_) = false;
+  std::vector<ScoredPredicate> partitions_ SCORPION_GUARDED_BY(mu_);
+  // The stamp clock is lock-free (mutable so const lookups can tick it).
+  mutable std::atomic<uint64_t> stamp_clock_{0};
   // Merged results keyed by c, descending so the nearest-above lookup for
   // warm starts walks prefix entries.
-  std::map<double, MergedEntry, std::greater<double>> merged_by_c_;
+  std::map<double, MergedEntry, std::greater<double>> merged_by_c_
+      SCORPION_GUARDED_BY(mu_);
 };
 
 /// \brief End-to-end explanation engine.

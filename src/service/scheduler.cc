@@ -15,7 +15,7 @@ AdmissionResult Scheduler::Enqueue(ScheduledJob item) {
   ScheduledJob shed_item;
   AdmissionResult result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       // Fulfil outside the lock, below.
       shed_item = std::move(item);
@@ -42,10 +42,10 @@ AdmissionResult Scheduler::Enqueue(ScheduledJob item) {
   }
   switch (result) {
     case AdmissionResult::kAdmitted:
-      ready_cv_.notify_one();
+      ready_cv_.NotifyOne();
       break;
     case AdmissionResult::kAdmittedEvictedWorst:
-      ready_cv_.notify_one();
+      ready_cv_.NotifyOne();
       shed_item.promise.set_value(
           Status::Unavailable("request shed: queue full"));
       break;
@@ -62,8 +62,10 @@ AdmissionResult Scheduler::Enqueue(ScheduledJob item) {
 }
 
 bool Scheduler::Pop(ScheduledJob* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ready_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  MutexLock lock(mu_);
+  // Inline re-check (not a wait predicate) so the analysis sees the guarded
+  // reads under the held capability.
+  while (!shutdown_ && queue_.empty()) ready_cv_.Wait(mu_);
   if (queue_.empty()) return false;  // shutdown drained the queue
   auto best = queue_.begin();
   *out = std::move(best->second);
@@ -74,7 +76,7 @@ bool Scheduler::Pop(ScheduledJob* out) {
 bool Scheduler::Cancel(uint64_t id) {
   ScheduledJob cancelled;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Linear scan: the queue is bounded by max_queue_depth and cancellation
     // is off the serving hot path.
     auto it = queue_.begin();
@@ -92,14 +94,14 @@ bool Scheduler::Cancel(uint64_t id) {
 size_t Scheduler::Shutdown() {
   std::vector<ScheduledJob> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_ && queue_.empty()) return 0;
     shutdown_ = true;
     drained.reserve(queue_.size());
     for (auto& [key, item] : queue_) drained.push_back(std::move(item));
     queue_.clear();
   }
-  ready_cv_.notify_all();
+  ready_cv_.NotifyAll();
   for (ScheduledJob& item : drained) {
     item.promise.set_value(Status::Cancelled("service shut down"));
   }
@@ -107,7 +109,7 @@ size_t Scheduler::Shutdown() {
 }
 
 size_t Scheduler::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

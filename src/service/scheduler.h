@@ -2,13 +2,12 @@
 // ordered dequeue, admission control when full, per-request cancellation.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "service/job.h"
 
 namespace scorpion {
@@ -92,10 +91,10 @@ class Scheduler {
   }
 
   SchedulerOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::map<Order, ScheduledJob> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar ready_cv_;
+  std::map<Order, ScheduledJob> queue_ SCORPION_GUARDED_BY(mu_);
+  bool shutdown_ SCORPION_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace scorpion

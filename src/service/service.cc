@@ -108,7 +108,7 @@ std::vector<Response> ExplanationService::SubmitBatch(std::vector<Job> jobs) {
 }
 
 void ExplanationService::InvalidateSessions() {
-  std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+  WriterMutexLock lock(sessions_mu_);
   sessions_.clear();
 }
 
@@ -121,7 +121,7 @@ bool ExplanationService::Cancel(uint64_t id) {
 }
 
 void ExplanationService::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(shutdown_mu_);
   if (shutdown_) return;
   stats_.cancelled += scheduler_.Shutdown();
   for (std::thread& worker : workers_) worker.join();
@@ -137,14 +137,19 @@ std::shared_ptr<ExplainSession> ExplanationService::SessionFor(
     const std::string& key) {
   const uint64_t stamp = use_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
-    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
-    auto it = sessions_.find(key);
-    if (it != sessions_.end()) {
+    ReaderMutexLock lock(sessions_mu_);
+    // Const view: the shared lock permits reads only, and the analysis
+    // treats non-const map calls as writes. The entries themselves are
+    // behind shared_ptr and their recency stamp is atomic, so refreshing it
+    // under the shared lock is safe.
+    const auto& sessions = sessions_;
+    auto it = sessions.find(key);
+    if (it != sessions.end()) {
       it->second->last_used.store(stamp, std::memory_order_relaxed);
       return it->second->session;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+  WriterMutexLock lock(sessions_mu_);
   auto it = sessions_.find(key);
   if (it != sessions_.end()) {
     it->second->last_used.store(stamp, std::memory_order_relaxed);

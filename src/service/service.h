@@ -10,14 +10,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "core/scorpion.h"
 #include "service/job.h"
@@ -122,13 +121,15 @@ class ExplanationService {
   // Serializes Shutdown(): a concurrent second caller blocks until the
   // winner has joined the workers, so "after Shutdown() returns, nothing
   // touches the service or the borrowed tables" holds for every caller.
-  std::mutex shutdown_mu_;
-  bool shutdown_ = false;
+  Mutex shutdown_mu_;
+  bool shutdown_ SCORPION_GUARDED_BY(shutdown_mu_) = false;
 
-  mutable std::shared_mutex sessions_mu_;
-  std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  mutable SharedMutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_
+      SCORPION_GUARDED_BY(sessions_mu_);
 
-  std::vector<std::thread> workers_;
+  // Spawned in the constructor, joined+cleared only by the Shutdown winner.
+  std::vector<std::thread> workers_ SCORPION_GUARDED_BY(shutdown_mu_);
 };
 
 }  // namespace scorpion

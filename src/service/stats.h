@@ -5,10 +5,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/atomic_counter.h"
+#include "common/mutex.h"
 
 namespace scorpion {
 
@@ -61,7 +61,7 @@ class ServiceStats {
   /// kMaxLatencySamples completions and memory stays bounded on
   /// long-running services.
   void RecordLatency(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (latencies_.size() < kMaxLatencySamples) {
       latencies_.push_back(seconds);
     } else {
@@ -85,7 +85,7 @@ class ServiceStats {
     snap.queue_depth = queue_depth;
     std::vector<double> sorted;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       sorted = latencies_;
     }
     std::sort(sorted.begin(), sorted.end());
@@ -104,9 +104,9 @@ class ServiceStats {
     return sorted[std::min(rank, sorted.size() - 1)];
   }
 
-  mutable std::mutex mu_;
-  std::vector<double> latencies_;
-  size_t write_pos_ = 0;
+  mutable Mutex mu_;
+  std::vector<double> latencies_ SCORPION_GUARDED_BY(mu_);
+  size_t write_pos_ SCORPION_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace scorpion

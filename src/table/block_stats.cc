@@ -113,7 +113,7 @@ void TableBlockStats::BuildColumn(int col, ColumnEntry* entry) const {
 }
 
 void BlockStatsCache::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fast_.store(nullptr, std::memory_order_release);
   stats_.reset();
   prev_.reset();
@@ -122,7 +122,7 @@ void BlockStatsCache::Reset() {
 const TableBlockStats* BlockStatsCache::Get(const Table& table) const {
   const TableBlockStats* fast = fast_.load(std::memory_order_acquire);
   if (fast != nullptr && fast->num_rows() == table.num_rows()) return fast;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stats_ == nullptr || stats_->num_rows() != table.num_rows()) {
     // Retire — don't free — the superseded generation: a concurrent Get can
     // already have loaded fast_ and be about to compare num_rows() through

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/atomic_counter.h"
+#include "common/mutex.h"
 
 namespace scorpion {
 
@@ -187,15 +188,15 @@ class BlockStatsCache {
   /// assignment must not leave zone maps built from the old columns.
   void Reset();
 
-  mutable std::mutex mu_;
-  mutable std::shared_ptr<const TableBlockStats> stats_;  // guarded by mu_
+  mutable Mutex mu_;
+  mutable std::shared_ptr<const TableBlockStats> stats_ SCORPION_GUARDED_BY(mu_);
   /// The generation `stats_` last replaced, kept alive so a reader that
   /// loaded `fast_` just before a rebuild dereferences a live object: its
   /// row-count check then misses (row counts only grow) and the reader
   /// takes the locked path — or its BoundPredicate dies on the
   /// evaluate-after-append abort — instead of a use-after-free. One
   /// generation deep: see the class comment for the limits.
-  mutable std::shared_ptr<const TableBlockStats> prev_;  // guarded by mu_
+  mutable std::shared_ptr<const TableBlockStats> prev_ SCORPION_GUARDED_BY(mu_);
   /// Published view of stats_.get() for the lock-free fast path.
   mutable std::atomic<const TableBlockStats*> fast_{nullptr};
 };
