@@ -583,6 +583,9 @@ class SparsePrunedRun {
       }
     };
     if (parallel) {
+      // On this branch spans_/mask_ point at the span_storage_/mask_storage_
+      // snapshots made above, never at the thread-local scratch (class
+      // comment). scratch-escape-audited: parallel branch uses snapshots.
       pool->ParallelFor(0, spans.size(), do_span);
     } else {
       for (size_t si = 0; si < spans.size(); ++si) do_span(si);

@@ -1,0 +1,21 @@
+// A thread_local buffer declared directly in the function and read after a
+// ParallelFor join. Stolen tasks executed by the blocked caller can resize
+// or overwrite the buffer before the read.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void ParallelFor(size_t begin, size_t end, F&& body);
+};
+
+uint8_t FirstMaskByte(ThreadPool* pool, size_t rows) {
+  thread_local std::vector<uint8_t> mask;
+  mask.assign(rows, 1);
+  pool->ParallelFor(0, rows / 64, [&](size_t w) {
+    // per-word work that does not touch mask
+    (void)w;
+  });
+  return mask.empty() ? 0 : mask[0];  // BUG: mask may be stale
+}

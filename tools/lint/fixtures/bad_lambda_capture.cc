@@ -1,0 +1,32 @@
+// The dispatched work itself writes through a pointer into thread-local
+// scratch captured by a named lambda defined before the dispatch. Every
+// worker (and any stolen task on the caller) shares one buffer — a data race
+// and the exact shape of the pre-fix sparse filter path.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void ParallelFor(size_t begin, size_t end, F&& body);
+};
+
+namespace {
+
+std::vector<uint8_t>& MaskScratch(size_t n) {
+  thread_local std::vector<uint8_t> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return scratch;
+}
+
+}  // namespace
+
+void FillBlocks(ThreadPool* pool, size_t blocks, size_t block_rows) {
+  std::vector<uint8_t>& mask = MaskScratch(blocks * block_rows);
+  auto do_block = [&](size_t b) {
+    for (size_t r = 0; r < block_rows; ++r) {
+      mask[b * block_rows + r] = 1;  // BUG: shared thread_local target
+    }
+  };
+  pool->ParallelFor(0, blocks, do_block);
+}

@@ -1,0 +1,49 @@
+// Minimized repro of the PR 5 bug: a thread_local span list obtained through
+// a scratch accessor stays live across ParallelFor. While the caller blocks
+// in the dispatch, the help-first completion loop runs other producers'
+// queued tasks on this thread — and their filter work rebuilds the same
+// thread_local vector, invalidating `spans` mid-iteration.
+//
+// The lint must flag `spans` (bound via ComputeSparseSpans) as live across
+// the dispatch at the read after the join.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void ParallelFor(size_t begin, size_t end, F&& body);
+};
+
+struct Span {
+  size_t begin;
+  size_t end;
+};
+
+namespace {
+
+const std::vector<Span>& ComputeSparseSpans(size_t rows) {
+  thread_local std::vector<Span> spans;
+  spans.clear();
+  for (size_t r = 0; r < rows; r += 64) {
+    spans.push_back({r, r + 64});
+  }
+  return spans;
+}
+
+}  // namespace
+
+size_t CountSparse(ThreadPool* pool, size_t rows,
+                   std::vector<uint32_t>* counts) {
+  const std::vector<Span>& spans = ComputeSparseSpans(rows);
+  counts->assign(spans.size(), 0);
+  pool->ParallelFor(0, spans.size(), [&](size_t i) {
+    (*counts)[i] = static_cast<uint32_t>(spans[i].end - spans[i].begin);
+  });
+  size_t total = 0;
+  // BUG: `spans` may have been rebuilt by a stolen task during the dispatch.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    total += (*counts)[i];
+  }
+  return total;
+}

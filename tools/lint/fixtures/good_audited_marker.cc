@@ -1,0 +1,45 @@
+// Exercises the inline suppression: the binding is textually live across the
+// dispatch, but the audited marker on its line records that the parallel
+// branch provably never executes with the thread_local-backed binding (the
+// shape of predicate.cc's SparsePrunedRun serial path). Must pass.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void ParallelFor(size_t begin, size_t end, F&& body);
+};
+
+namespace {
+
+std::vector<uint8_t>& MaskScratch(size_t n) {
+  thread_local std::vector<uint8_t> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return scratch;
+}
+
+}  // namespace
+
+void Run(ThreadPool* pool, size_t rows, bool parallel,
+         std::vector<uint8_t>* out) {
+  std::vector<uint8_t> local_storage;
+  uint8_t* mask = nullptr;
+  if (parallel) {
+    local_storage.assign(rows, 0);
+    mask = local_storage.data();
+  } else {
+    // Serial branch only; the parallel branch above uses function-local
+    // storage, so the thread_local never crosses the dispatch below.
+    // scratch-escape-audited: serial-only binding, see the branch above.
+    mask = MaskScratch(rows).data();
+  }
+  if (parallel) {
+    pool->ParallelFor(0, rows / 64, [&](size_t w) {
+      for (size_t r = w * 64; r < (w + 1) * 64 && r < rows; ++r) mask[r] = 1;
+    });
+  } else {
+    for (size_t r = 0; r < rows; ++r) mask[r] = 1;
+  }
+  out->assign(mask, mask + rows);
+}

@@ -1,0 +1,44 @@
+// Thread-local scratch used and fully consumed *before* the dispatch: the
+// results are copied into function-local storage, and nothing after the
+// ParallelFor touches the scratch. Stolen tasks may clobber the buffer
+// during the dispatch, but no live reference observes that. Must pass.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct ThreadPool {
+  template <typename F>
+  void ParallelFor(size_t begin, size_t end, F&& body);
+};
+
+struct Span {
+  size_t begin;
+  size_t end;
+};
+
+namespace {
+
+const std::vector<Span>& ComputeSparseSpans(size_t rows) {
+  thread_local std::vector<Span> spans;
+  spans.clear();
+  for (size_t r = 0; r < rows; r += 64) {
+    spans.push_back({r, r + 64});
+  }
+  return spans;
+}
+
+}  // namespace
+
+size_t CountSparse(ThreadPool* pool, size_t rows,
+                   std::vector<uint32_t>* counts) {
+  std::vector<Span> snapshot = ComputeSparseSpans(rows);
+  counts->assign(snapshot.size(), 0);
+  pool->ParallelFor(0, snapshot.size(), [&](size_t i) {
+    (*counts)[i] = static_cast<uint32_t>(snapshot[i].end - snapshot[i].begin);
+  });
+  size_t total = 0;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    total += (*counts)[i];
+  }
+  return total;
+}
