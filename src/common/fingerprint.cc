@@ -1,0 +1,114 @@
+#include "common/fingerprint.h"
+
+#include <cstring>
+
+namespace scorpion {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit permutation.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr uint64_t kLaneATweak = 0x9e3779b97f4a7c15ULL;  // golden ratio
+constexpr uint64_t kLaneBTweak = 0xc2b2ae3d27d4eb4fULL;  // xxhash prime
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void AppendHex64(uint64_t v, std::string* out) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHexDigits[(v >> shift) & 0xF]);
+  }
+}
+
+}  // namespace
+
+std::string Fingerprint::ToHex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(hi, &out);
+  AppendHex64(lo, &out);
+  return out;
+}
+
+Result<Fingerprint> Fingerprint::FromHex(const std::string& hex) {
+  if (hex.size() != 32) {
+    return Status::InvalidArgument("fingerprint hex must be 32 digits, got " +
+                                   std::to_string(hex.size()));
+  }
+  uint64_t halves[2] = {0, 0};
+  for (size_t i = 0; i < 32; ++i) {
+    char ch = hex[i];
+    uint64_t nibble;
+    if (ch >= '0' && ch <= '9') {
+      nibble = static_cast<uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      nibble = static_cast<uint64_t>(ch - 'a' + 10);
+    } else {
+      return Status::InvalidArgument(
+          "fingerprint hex must be lowercase hex digits");
+    }
+    halves[i / 16] = (halves[i / 16] << 4) | nibble;
+  }
+  return Fingerprint{halves[0], halves[1]};
+}
+
+void Fingerprinter::Absorb(uint64_t v) {
+  ++n_;
+  // Distinct per-position tweaks keep the lanes decorrelated: identical
+  // streams into both lanes would halve the effective width.
+  a_ = Mix64((a_ ^ v) + kLaneATweak * n_);
+  b_ = Mix64((b_ + v) ^ (kLaneBTweak * n_));
+}
+
+Fingerprinter& Fingerprinter::U64(uint64_t v) {
+  Absorb(v);
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::Double(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  Absorb(bits);
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::Bytes(const void* data, size_t n) {
+  Absorb(static_cast<uint64_t>(n));
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Byte order of the absorbed words must not depend on the host:
+    // normalize to little-endian by assembling explicitly.
+    uint64_t le = 0;
+    for (int j = 7; j >= 0; --j) le = (le << 8) | p[i + static_cast<size_t>(j)];
+    Absorb(le);
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    for (size_t j = n; j > i; --j) tail = (tail << 8) | p[j - 1];
+    Absorb(tail);
+  }
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::Str(const std::string& s) {
+  return Bytes(s.data(), s.size());
+}
+
+Fingerprint Fingerprinter::Finish() const {
+  // Cross-mix the lanes so Finish() depends on both, then stamp the length
+  // once more (an empty stream still yields a distinctive digest).
+  uint64_t hi = Mix64(a_ ^ Mix64(b_ + kLaneBTweak) ^ n_);
+  uint64_t lo = Mix64(b_ + Mix64(a_ ^ kLaneATweak) + n_);
+  return Fingerprint{hi, lo};
+}
+
+}  // namespace scorpion

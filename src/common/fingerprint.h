@@ -1,0 +1,73 @@
+// Content-addressed identity for the distributed service: a stable 128-bit
+// fingerprint over arbitrary byte/number streams, so a coordinator and its
+// workers can agree that they hold the same table, problem and session
+// without comparing the data itself. Replaces process-local pointer keys on
+// every wire-crossing identity.
+//
+// Stability contract: the digest is a pure function of the absorbed stream
+// (values and call order), independent of platform, process, or build — it
+// must never change once golden vectors exist (tests/test_fingerprint.cc),
+// because coordinators and workers from different builds compare digests.
+// This is NOT a cryptographic hash: it defends against accidents (stale
+// data, mismatched sessions, reordered rows), not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace scorpion {
+
+/// \brief 128-bit digest value. Comparable, hex-round-trippable.
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& other) const = default;
+
+  /// 32 lowercase hex digits, hi half first.
+  std::string ToHex() const;
+
+  /// Parses ToHex() output; InvalidArgument on anything else.
+  static Result<Fingerprint> FromHex(const std::string& hex);
+};
+
+/// \brief Streaming fingerprint builder.
+///
+/// Two 64-bit lanes absorb every input word through a splitmix64-style
+/// finalizer with per-position tweaks, so the digest depends on value order
+/// (absorbing [a, b] and [b, a] differ) and on the absorbed count
+/// (truncations never collide with their prefix). Inputs are framed:
+/// strings/bytes absorb their length before their payload, so consecutive
+/// strings cannot alias across their boundary ("ab","c" vs "a","bc").
+class Fingerprinter {
+ public:
+  /// Absorbs one 64-bit word.
+  Fingerprinter& U64(uint64_t v);
+
+  /// Absorbs a double by bit pattern — exact for every value including NaN
+  /// payloads and signed zeros, which is what keeps table fingerprints
+  /// stable across a JSON wire transfer that preserves bits.
+  Fingerprinter& Double(double v);
+
+  /// Absorbs `n` raw bytes, length-prefixed.
+  Fingerprinter& Bytes(const void* data, size_t n);
+
+  /// Absorbs a string, length-prefixed.
+  Fingerprinter& Str(const std::string& s);
+
+  /// The digest of everything absorbed so far (does not reset, and further
+  /// absorbs continue the same stream).
+  Fingerprint Finish() const;
+
+ private:
+  void Absorb(uint64_t v);
+
+  uint64_t a_ = 0x6a09e667f3bcc908ULL;  // sqrt(2), the usual IV choice
+  uint64_t b_ = 0xbb67ae8584caa73bULL;  // sqrt(3)
+  uint64_t n_ = 0;                      // words absorbed
+};
+
+}  // namespace scorpion

@@ -42,6 +42,41 @@ Status Column::AppendValue(const Value& v) {
   return Status::TypeError("string value appended to a double column");
 }
 
+Status Column::SetDoubleData(std::vector<double> values) {
+  if (type_ != DataType::kDouble) {
+    return Status::TypeError("SetDoubleData on a categorical column");
+  }
+  doubles_ = std::move(values);
+  return Status::OK();
+}
+
+Status Column::SetCategoricalData(std::vector<int32_t> codes,
+                                  std::vector<std::string> dictionary) {
+  if (type_ != DataType::kCategorical) {
+    return Status::TypeError("SetCategoricalData on a double column");
+  }
+  std::unordered_map<std::string, int32_t> intern;
+  intern.reserve(dictionary.size());
+  for (size_t i = 0; i < dictionary.size(); ++i) {
+    auto [it, inserted] = intern.emplace(dictionary[i], static_cast<int32_t>(i));
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate dictionary entry '" +
+                                     dictionary[i] + "'");
+    }
+  }
+  for (int32_t code : codes) {
+    if (code < 0 || static_cast<size_t>(code) >= dictionary.size()) {
+      return Status::InvalidArgument("categorical code " +
+                                     std::to_string(code) +
+                                     " outside the dictionary");
+    }
+  }
+  codes_ = std::move(codes);
+  dictionary_ = std::move(dictionary);
+  intern_ = std::move(intern);
+  return Status::OK();
+}
+
 Result<Value> Column::GetValue(RowId row) const {
   if (static_cast<size_t>(row) >= size()) {
     return Status::IndexError("row " + std::to_string(row) +

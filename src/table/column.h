@@ -37,6 +37,23 @@ class Column {
   /// column are a TypeError.
   Status AppendValue(const Value& v);
 
+  // --- Bulk restore (wire deserialization) ---------------------------------
+  // A table travelling the distributed wire must rebuild with the *exact*
+  // storage of the original — dictionary order and code assignment included —
+  // because predicates carry dictionary codes and fingerprints hash the
+  // encoded form. Append-path interning assigns codes by first appearance,
+  // which need not match an arbitrary source column, so deserializers
+  // restore the encoded payload directly.
+
+  /// Replaces a kDouble column's payload.
+  Status SetDoubleData(std::vector<double> values);
+
+  /// Replaces a kCategorical column's payload. Validates that every code
+  /// indexes the dictionary and that dictionary entries are distinct (the
+  /// intern map is rebuilt from them).
+  Status SetCategoricalData(std::vector<int32_t> codes,
+                            std::vector<std::string> dictionary);
+
   // --- Access (unchecked, hot path) ---------------------------------------
 
   double GetDouble(RowId row) const { return doubles_[row]; }

@@ -74,6 +74,44 @@ Status Table::FinalizeColumnwiseBuild() {
   return Status::OK();
 }
 
+Fingerprint TableFingerprint(const Table& table) {
+  Fingerprinter fp;
+  fp.Str("scorpion.table.v1");
+  const Schema& schema = table.schema();
+  fp.U64(static_cast<uint64_t>(schema.num_fields()));
+  for (const Field& field : schema.fields()) {
+    fp.Str(field.name);
+    fp.U64(static_cast<uint64_t>(field.type));
+  }
+  fp.U64(table.num_rows());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.type() == DataType::kDouble) {
+      for (double v : col.doubles()) fp.Double(v);
+    } else {
+      fp.U64(static_cast<uint64_t>(col.dictionary().size()));
+      for (const std::string& s : col.dictionary()) fp.Str(s);
+      for (int32_t code : col.codes()) fp.U64(static_cast<uint64_t>(code));
+    }
+  }
+  return fp.Finish();
+}
+
+Fingerprint FingerprintCache::Get(const Table& table) const {
+  MutexLock lock(mu_);
+  if (!valid_ || rows_ != table.num_rows()) {
+    fp_ = TableFingerprint(table);
+    rows_ = table.num_rows();
+    valid_ = true;
+  }
+  return fp_;
+}
+
+void FingerprintCache::Reset() {
+  MutexLock lock(mu_);
+  valid_ = false;
+}
+
 std::string Table::ToString(size_t max_rows) const {
   std::ostringstream os;
   os << schema_.ToString() << ", " << num_rows_ << " rows\n";

@@ -5,12 +5,53 @@
 #include <string>
 #include <vector>
 
+#include "common/fingerprint.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "table/block_stats.h"
 #include "table/column.h"
 #include "table/schema.h"
 
 namespace scorpion {
+
+class Table;
+
+/// \brief Copyable/movable holder for a Table's cached content fingerprint.
+///
+/// Same shape as BlockStatsCache: copying or moving the owning Table drops
+/// the cache (it recomputes on demand), keeping Table copyable despite the
+/// mutex. The digest is keyed on the row count — the only mutation a built
+/// Table supports is appending rows — so appends invalidate it and
+/// everything else serves the cached value under a brief lock. Fingerprint
+/// consumers (session setup, dataset publication) are far off the scoring
+/// hot path, so no lock-free fast path is needed.
+class FingerprintCache {
+ public:
+  FingerprintCache() = default;
+  FingerprintCache(const FingerprintCache&) {}
+  FingerprintCache& operator=(const FingerprintCache&) {
+    Reset();
+    return *this;
+  }
+  FingerprintCache(FingerprintCache&&) noexcept {}
+  FingerprintCache& operator=(FingerprintCache&&) noexcept {
+    Reset();
+    return *this;
+  }
+
+  /// The fingerprint of `table`'s current contents, computing (or
+  /// recomputing, after an append changed the row count) if needed.
+  /// Thread-safe.
+  Fingerprint Get(const Table& table) const;
+
+ private:
+  void Reset();
+
+  mutable Mutex mu_;
+  mutable bool valid_ SCORPION_GUARDED_BY(mu_) = false;
+  mutable size_t rows_ SCORPION_GUARDED_BY(mu_) = 0;
+  mutable Fingerprint fp_ SCORPION_GUARDED_BY(mu_);
+};
 
 /// \brief In-memory columnar table.
 ///
@@ -62,11 +103,25 @@ class Table {
     return block_stats_cache_.Get(*this);
   }
 
+  /// Content fingerprint over schema + encoded column data (see
+  /// TableFingerprint); the distributed service's data identity. Cached;
+  /// recomputed after appends change the row count.
+  Fingerprint fingerprint() const { return fingerprint_cache_.Get(*this); }
+
  private:
   Schema schema_;
   std::vector<Column> columns_;
   size_t num_rows_ = 0;
   BlockStatsCache block_stats_cache_;
+  FingerprintCache fingerprint_cache_;
 };
+
+/// Uncached fingerprint of a table's contents: schema (field names + types),
+/// row count, then per column the encoded payload — double bit patterns for
+/// continuous columns; dictionary strings and codes for categorical columns.
+/// Hashing the *encoded* form (dictionary order and code assignment
+/// included) is deliberate: predicates on the wire carry dictionary codes,
+/// so two tables only count as "the same data" when their encodings agree.
+Fingerprint TableFingerprint(const Table& table);
 
 }  // namespace scorpion
