@@ -16,7 +16,8 @@ namespace {
 /// hostile document cannot blow the stack.
 class Parser {
  public:
-  Parser(const char* begin, const char* end) : cur_(begin), begin_(begin), end_(end) {}
+  Parser(const char* begin, const char* end, const JsonParseLimits& limits)
+      : cur_(begin), begin_(begin), end_(end), limits_(limits) {}
 
   Result<JsonValue> ParseDocument() {
     SkipWhitespace();
@@ -28,8 +29,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 64;
-
   Status Error(const std::string& message) const {
     return Status::InvalidArgument(
         "JSON parse error at offset " + std::to_string(cur_ - begin_) + ": " +
@@ -52,7 +51,11 @@ class Parser {
   }
 
   Status ParseValue(JsonValue* out, int depth) {
-    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (depth > limits_.max_depth) return Error("nesting too deep");
+    if (limits_.max_nodes != 0 && ++nodes_ > limits_.max_nodes) {
+      return Error("document exceeds the node limit (" +
+                   std::to_string(limits_.max_nodes) + " values)");
+    }
     if (cur_ == end_) return Error("unexpected end of input");
     switch (*cur_) {
       case 'n':
@@ -286,6 +289,8 @@ class Parser {
   const char* cur_;
   const char* begin_;
   const char* end_;
+  const JsonParseLimits& limits_;
+  size_t nodes_ = 0;
 };
 
 void DumpTo(const JsonValue& value, int indent, int level, std::string* out) {
@@ -355,7 +360,12 @@ const JsonValue* JsonValue::Find(const std::string& key) const {
 }
 
 Result<JsonValue> JsonValue::Parse(const std::string& text) {
-  Parser parser(text.data(), text.data() + text.size());
+  return Parse(text, JsonParseLimits{});
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text,
+                                   const JsonParseLimits& limits) {
+  Parser parser(text.data(), text.data() + text.size(), limits);
   return parser.ParseDocument();
 }
 

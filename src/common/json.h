@@ -20,6 +20,23 @@
 
 namespace scorpion {
 
+/// \brief Resource limits for Parse.
+///
+/// A JsonValue node costs ~100 bytes of heap regardless of how few input
+/// characters produced it, so a hostile peer can amplify a frame of "[0," *
+/// N into two orders of magnitude more memory than it sent. Wire-facing
+/// parsers (the distributed service) must cap nodes in proportion to what
+/// they are willing to allocate, not to the payload size; the defaults here
+/// keep the historical behaviour (depth 64, nodes effectively unbounded)
+/// for trusted local documents.
+struct JsonParseLimits {
+  /// Maximum container nesting depth.
+  int max_depth = 64;
+  /// Maximum total JsonValue nodes in the document (every scalar, array and
+  /// object counts as one). 0 means unlimited.
+  size_t max_nodes = 0;
+};
+
 /// \brief One JSON value: null, bool, number, string, array or object.
 ///
 /// Objects preserve member insertion order (serialization stays
@@ -92,6 +109,11 @@ class JsonValue {
   /// Strict parse of a complete JSON document (trailing garbage is an
   /// error). All errors are InvalidArgument with an offset-tagged message.
   static Result<JsonValue> Parse(const std::string& text);
+
+  /// Parse under explicit resource limits (see JsonParseLimits). The
+  /// default-limit overload above is equivalent to Parse(text, {}).
+  static Result<JsonValue> Parse(const std::string& text,
+                                 const JsonParseLimits& limits);
 
   /// Deterministic serialization (see the header comment). `indent` < 0
   /// renders compactly; >= 0 pretty-prints with that many spaces per level.

@@ -1,0 +1,50 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace scorpion {
+
+void EncodeFrameHeader(size_t payload_size, uint8_t* out) {
+  SCORPION_CHECK(payload_size <= 0xFFFFFFFFu,
+                 "frame payload exceeds the 32-bit length field");
+  std::memcpy(out, kFrameMagic, sizeof(kFrameMagic));
+  uint32_t len = static_cast<uint32_t>(payload_size);
+  out[4] = static_cast<uint8_t>(len >> 24);
+  out[5] = static_cast<uint8_t>(len >> 16);
+  out[6] = static_cast<uint8_t>(len >> 8);
+  out[7] = static_cast<uint8_t>(len);
+}
+
+Result<size_t> DecodeFrameHeader(const uint8_t* data, size_t n,
+                                 const FrameLimits& limits) {
+  if (n < kFrameHeaderSize) {
+    return Status::InvalidArgument(
+        "truncated frame header: " + std::to_string(n) + " of " +
+        std::to_string(kFrameHeaderSize) + " bytes");
+  }
+  if (std::memcmp(data, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Status::InvalidArgument(
+        "bad frame magic: peer is not speaking the scorpion wire protocol");
+  }
+  size_t len = (static_cast<size_t>(data[4]) << 24) |
+               (static_cast<size_t>(data[5]) << 16) |
+               (static_cast<size_t>(data[6]) << 8) | static_cast<size_t>(data[7]);
+  if (len > limits.max_payload_bytes) {
+    return Status::InvalidArgument(
+        "oversized frame: " + std::to_string(len) + " bytes exceeds the " +
+        std::to_string(limits.max_payload_bytes) + "-byte payload cap");
+  }
+  return len;
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string out;
+  out.resize(kFrameHeaderSize);
+  EncodeFrameHeader(payload.size(), reinterpret_cast<uint8_t*>(out.data()));
+  out += payload;
+  return out;
+}
+
+}  // namespace scorpion

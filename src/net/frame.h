@@ -1,0 +1,49 @@
+// Length-prefixed framing for the distributed wire: every message is one
+// JSON payload wrapped in an 8-byte header — a 4-byte magic ("SCP1") and a
+// 4-byte big-endian payload length. The magic catches peers speaking the
+// wrong protocol (or a stream that lost sync) before a bogus length is
+// trusted; the length cap bounds what a single frame can make the receiver
+// allocate. Header encode/decode is pure (no sockets), so the framing edge
+// cases — truncated, oversized, garbage-prefixed — are unit-testable
+// without I/O.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace scorpion {
+
+/// Frame header size: 4 magic bytes + u32 big-endian payload length.
+inline constexpr size_t kFrameHeaderSize = 8;
+
+/// Protocol magic, first on the wire in every frame.
+inline constexpr char kFrameMagic[4] = {'S', 'C', 'P', '1'};
+
+/// \brief Receiver-side resource caps for one frame.
+struct FrameLimits {
+  /// Largest payload a peer may send; larger lengths are rejected at the
+  /// header, before any payload is read or allocated.
+  size_t max_payload_bytes = 64u << 20;  // 64 MiB
+};
+
+/// Writes the header for a `payload_size`-byte payload into `out`
+/// (kFrameHeaderSize bytes). `payload_size` must fit in 32 bits.
+void EncodeFrameHeader(size_t payload_size, uint8_t* out);
+
+/// Decodes a header from `data` (`n` bytes available). Errors:
+/// InvalidArgument("truncated...") when n < kFrameHeaderSize,
+/// InvalidArgument("bad frame magic...") on a garbage prefix, and
+/// InvalidArgument("oversized...") when the length exceeds the limit.
+/// On success returns the payload length.
+Result<size_t> DecodeFrameHeader(const uint8_t* data, size_t n,
+                                 const FrameLimits& limits);
+
+/// One complete frame (header + payload) as a byte string, ready to write.
+/// CHECK-fails if the payload exceeds 32 bits (callers cap payloads far
+/// below that via FrameLimits on the peer).
+std::string EncodeFrame(const std::string& payload);
+
+}  // namespace scorpion

@@ -1,0 +1,275 @@
+#include "net/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace scorpion {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+bool IsTimeout(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+Status SetSocketTimeout(int fd, int optname, double seconds) {
+  if (seconds < 0.0) {
+    return Status::InvalidArgument("socket timeout must be non-negative");
+  }
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(timeout)");
+  }
+  return Status::OK();
+}
+
+/// getaddrinfo over host + numeric port; caller owns the returned list.
+Result<struct addrinfo*> Resolve(const std::string& host, int port,
+                                 bool passive) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* list = nullptr;
+  int rc = getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                       &list);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ":" + std::to_string(port) +
+                           ": " + gai_strerror(rc));
+  }
+  return list;
+}
+
+}  // namespace
+
+// --- Conn --------------------------------------------------------------------
+
+Conn::~Conn() { Close(); }
+
+Conn::Conn(Conn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      bytes_sent_(std::exchange(other.bytes_sent_, 0)),
+      bytes_received_(std::exchange(other.bytes_received_, 0)) {}
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    bytes_sent_ = std::exchange(other.bytes_sent_, 0);
+    bytes_received_ = std::exchange(other.bytes_received_, 0);
+  }
+  return *this;
+}
+
+void Conn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Conn::ShutdownRW() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<Conn> Conn::Dial(const std::string& host, int port,
+                        double timeout_seconds) {
+  SCORPION_ASSIGN_OR_RETURN(struct addrinfo * list,
+                            Resolve(host, port, /*passive=*/false));
+  Status last = Status::IOError("no addresses for " + host);
+  int fd = -1;
+  for (struct addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    // A connect timeout needs non-blocking connect + poll; for the small
+    // trusted deployments this transport serves, the send timeout doubles
+    // as the connect bound (SO_SNDTIMEO applies to blocking connect on
+    // Linux).
+    Status st = SetSocketTimeout(fd, SO_SNDTIMEO, timeout_seconds);
+    if (st.ok() && ::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      st = IsTimeout(errno) || errno == EINPROGRESS
+               ? Status::DeadlineExceeded("connect to " + host + ":" +
+                                          std::to_string(port) + " timed out")
+               : Errno("connect " + host + ":" + std::to_string(port));
+    }
+    if (!st.ok()) {
+      ::close(fd);
+      fd = -1;
+      last = std::move(st);
+      continue;
+    }
+    break;
+  }
+  freeaddrinfo(list);
+  if (fd < 0) return last;
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Conn conn(fd);
+  SCORPION_RETURN_NOT_OK(conn.SetTimeout(timeout_seconds));
+  return conn;
+}
+
+Status Conn::SetTimeout(double seconds) {
+  if (fd_ < 0) return Status::IOError("SetTimeout on a closed connection");
+  SCORPION_RETURN_NOT_OK(SetSocketTimeout(fd_, SO_RCVTIMEO, seconds));
+  return SetSocketTimeout(fd_, SO_SNDTIMEO, seconds);
+}
+
+Status Conn::WriteFrame(const std::string& payload) {
+  if (fd_ < 0) return Status::IOError("write on a closed connection");
+  const std::string frame = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-write surfaces as EPIPE instead of
+    // killing the process with SIGPIPE.
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeout(errno)) {
+        return Status::DeadlineExceeded("frame write timed out");
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+    bytes_sent_ += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Conn::ReadFully(uint8_t* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeout(errno)) {
+        return Status::DeadlineExceeded("frame read timed out");
+      }
+      return Errno("recv");
+    }
+    if (r == 0) {
+      return Status::IOError(got == 0 ? "connection closed by peer"
+                                      : "connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+    bytes_received_ += static_cast<uint64_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Conn::ReadFrame(const FrameLimits& limits) {
+  if (fd_ < 0) return Status::IOError("read on a closed connection");
+  uint8_t header[kFrameHeaderSize];
+  SCORPION_RETURN_NOT_OK(ReadFully(header, kFrameHeaderSize));
+  SCORPION_ASSIGN_OR_RETURN(size_t len,
+                            DecodeFrameHeader(header, kFrameHeaderSize, limits));
+  std::string payload;
+  payload.resize(len);
+  if (len > 0) {
+    SCORPION_RETURN_NOT_OK(
+        ReadFully(reinterpret_cast<uint8_t*>(payload.data()), len));
+  }
+  return payload;
+}
+
+// --- Listener ----------------------------------------------------------------
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Listen(const std::string& host, int port) {
+  SCORPION_ASSIGN_OR_RETURN(struct addrinfo * list,
+                            Resolve(host, port, /*passive=*/true));
+  Status last = Status::IOError("no addresses for " + host);
+  int fd = -1;
+  for (struct addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 || ::listen(fd, 16) != 0) {
+      last = Errno("bind/listen " + host + ":" + std::to_string(port));
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    break;
+  }
+  freeaddrinfo(list);
+  if (fd < 0) return last;
+  // Resolve the actual port (meaningful when asked for port 0).
+  struct sockaddr_storage addr;
+  socklen_t addr_len = sizeof(addr);
+  int bound_port = port;
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) ==
+      0) {
+    if (addr.ss_family == AF_INET) {
+      bound_port =
+          ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+    } else if (addr.ss_family == AF_INET6) {
+      bound_port =
+          ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+    }
+  }
+  return Listener(fd, bound_port);
+}
+
+Result<Conn> Listener::Accept() {
+  if (fd_ < 0) return Status::Cancelled("listener is shut down");
+  while (true) {
+    int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      int one = 1;
+      setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Conn(cfd);
+    }
+    if (errno == EINTR) continue;
+    // Shutdown() wakes a blocked accept with EINVAL (Linux); a closed or
+    // invalidated fd surfaces as EBADF. Both mean "stop accepting".
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::Cancelled("listener is shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void Listener::Shutdown() {
+  // shutdown() rather than close(): the fd stays valid (no reuse race with
+  // a concurrently blocked Accept), which then wakes and reports Cancelled.
+  // The destructor closes the fd.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace scorpion

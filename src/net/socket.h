@@ -1,0 +1,112 @@
+// Minimal blocking TCP for the distributed service: a connection that
+// exchanges length-prefixed frames (net/frame.h) with read/write timeouts,
+// and a listener that accepts them. POSIX sockets only — the transport is
+// deliberately tiny (scatter/gather RPC between a coordinator and a handful
+// of workers on a trusted network), not a general networking layer.
+//
+// Threading: a Conn is not internally synchronized. One thread may use it,
+// or callers serialize (the Coordinator guards each worker's Conn with a
+// mutex). A Listener's Accept may block in one thread while Shutdown is
+// called from another — that is the supported way to stop an accept loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "net/frame.h"
+
+namespace scorpion {
+
+/// \brief One established TCP connection exchanging frames.
+class Conn {
+ public:
+  Conn() = default;
+  ~Conn();
+
+  Conn(Conn&& other) noexcept;
+  Conn& operator=(Conn&& other) noexcept;
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(Conn);
+
+  /// Connects to host:port (numeric or resolvable host). IOError on failure.
+  static Result<Conn> Dial(const std::string& host, int port,
+                           double timeout_seconds);
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// Applies `seconds` as both the receive and send timeout for subsequent
+  /// frame operations (0 = block forever).
+  Status SetTimeout(double seconds);
+
+  /// Writes one complete frame. IOError on a broken connection,
+  /// DeadlineExceeded when the send timeout expires.
+  Status WriteFrame(const std::string& payload);
+
+  /// Reads one complete frame payload. IOError when the peer closed or the
+  /// stream broke, DeadlineExceeded on timeout, InvalidArgument on a
+  /// malformed or over-limit header (see DecodeFrameHeader) — after which
+  /// the stream is out of sync and the connection should be dropped.
+  Result<std::string> ReadFrame(const FrameLimits& limits);
+
+  /// Total bytes written / read over this connection (headers included).
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+  void Close();
+
+  /// Half-closes both directions without releasing the fd, waking any
+  /// thread blocked in ReadFrame on this connection (it sees "connection
+  /// closed"). Safe to call from another thread while that read is in
+  /// flight — the fd stays valid, so there is no reuse race; Close() (or
+  /// the destructor) still runs afterwards to release it.
+  void ShutdownRW();
+
+ private:
+  friend class Listener;
+  explicit Conn(int fd) : fd_(fd) {}
+
+  /// Reads exactly `n` bytes into `out`.
+  Status ReadFully(uint8_t* out, size_t n);
+
+  int fd_ = -1;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+/// \brief Listening socket accepting Conns.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  SCORPION_DISALLOW_COPY_AND_ASSIGN(Listener);
+
+  /// Binds and listens on host:port. Port 0 picks an ephemeral port —
+  /// read it back with port().
+  static Result<Listener> Listen(const std::string& host, int port);
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// The bound port (resolved after Listen, also for port 0).
+  int port() const { return port_; }
+
+  /// Blocks until a connection arrives. Cancelled when Shutdown() closed
+  /// the socket, IOError on other failures.
+  Result<Conn> Accept();
+
+  /// Unblocks a concurrent Accept() (which then returns Cancelled) and
+  /// closes the listening socket. Safe to call from another thread.
+  void Shutdown();
+
+ private:
+  explicit Listener(int fd, int port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace scorpion

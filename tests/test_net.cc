@@ -1,0 +1,241 @@
+// Wire-format edge cases: frame header encode/decode, hostile bytes on a
+// real loopback socket, and the JSON parser resource limits that keep a
+// malicious peer from exhausting the coordinator.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace scorpion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pure header codec.
+// ---------------------------------------------------------------------------
+
+TEST(Frame, HeaderRoundTrip) {
+  const std::string frame = EncodeFrame("hello");
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 5);
+  EXPECT_EQ(frame.substr(0, 4), "SCP1");
+  auto size = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), frame.size(), {});
+  ASSERT_TRUE(size.ok()) << size.status().ToString();
+  EXPECT_EQ(*size, 5u);
+}
+
+TEST(Frame, EmptyPayload) {
+  const std::string frame = EncodeFrame("");
+  auto size = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), frame.size(), {});
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+}
+
+TEST(Frame, TruncatedHeaderRejected) {
+  const std::string frame = EncodeFrame("hello");
+  for (size_t n = 0; n < kFrameHeaderSize; ++n) {
+    auto size = DecodeFrameHeader(
+        reinterpret_cast<const uint8_t*>(frame.data()), n, {});
+    ASSERT_FALSE(size.ok()) << "accepted a " << n << "-byte header";
+    EXPECT_TRUE(size.status().IsInvalidArgument());
+    EXPECT_NE(size.status().ToString().find("truncated"), std::string::npos);
+  }
+}
+
+TEST(Frame, GarbagePrefixRejected) {
+  std::string frame = EncodeFrame("hello");
+  frame[0] = 'X';
+  auto size = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), frame.size(), {});
+  ASSERT_FALSE(size.ok());
+  EXPECT_TRUE(size.status().IsInvalidArgument());
+  EXPECT_NE(size.status().ToString().find("magic"), std::string::npos);
+}
+
+TEST(Frame, OversizedLengthRejected) {
+  const std::string frame = EncodeFrame(std::string(64, 'x'));
+  FrameLimits limits;
+  limits.max_payload_bytes = 63;
+  auto size = DecodeFrameHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), frame.size(), limits);
+  ASSERT_FALSE(size.ok());
+  EXPECT_TRUE(size.status().IsInvalidArgument());
+  EXPECT_NE(size.status().ToString().find("oversized"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile peers on a real socket. The attacker side writes raw bytes so the
+// tests control exactly what hits the Conn.
+// ---------------------------------------------------------------------------
+
+int RawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void RawSend(int fd, const std::string& bytes) {
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+class SocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto listener = Listener::Listen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::make_unique<Listener>(std::move(*listener));
+  }
+
+  std::unique_ptr<Listener> listener_;
+};
+
+TEST_F(SocketTest, FrameRoundTrip) {
+  std::thread server([&] {
+    auto conn = listener_->Accept();
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    auto payload = conn->ReadFrame({});
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    ASSERT_TRUE(conn->WriteFrame("echo: " + *payload).ok());
+  });
+  auto client = Conn::Dial("127.0.0.1", listener_->port(), 5.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->WriteFrame("ping").ok());
+  auto reply = client->ReadFrame({});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "echo: ping");
+  EXPECT_GT(client->bytes_sent(), 0u);
+  EXPECT_GT(client->bytes_received(), 0u);
+  server.join();
+}
+
+TEST_F(SocketTest, GarbageMagicOnWire) {
+  std::thread attacker([port = listener_->port()] {
+    const int fd = RawConnect(port);
+    RawSend(fd, "NOTSCORPION-AT-ALL");
+    ::close(fd);
+  });
+  auto conn = listener_->Accept();
+  ASSERT_TRUE(conn.ok());
+  auto payload = conn->ReadFrame({});
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(payload.status().IsInvalidArgument());
+  EXPECT_NE(payload.status().ToString().find("magic"), std::string::npos);
+  attacker.join();
+}
+
+TEST_F(SocketTest, TruncatedFrameOnWire) {
+  std::thread attacker([port = listener_->port()] {
+    const int fd = RawConnect(port);
+    // A valid header claiming 100 bytes, then only 3 before close.
+    uint8_t header[kFrameHeaderSize];
+    EncodeFrameHeader(100, header);
+    RawSend(fd, std::string(reinterpret_cast<char*>(header), sizeof(header)));
+    RawSend(fd, "abc");
+    ::close(fd);
+  });
+  auto conn = listener_->Accept();
+  ASSERT_TRUE(conn.ok());
+  auto payload = conn->ReadFrame({});
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(payload.status().IsIOError());
+  EXPECT_NE(payload.status().ToString().find("closed"), std::string::npos);
+  attacker.join();
+}
+
+TEST_F(SocketTest, OversizedFrameOnWire) {
+  std::thread attacker([port = listener_->port()] {
+    const int fd = RawConnect(port);
+    // Claims a 1 GiB payload; the receiver must reject at the header,
+    // before allocating anything.
+    uint8_t header[kFrameHeaderSize];
+    EncodeFrameHeader(1u << 30, header);
+    RawSend(fd, std::string(reinterpret_cast<char*>(header), sizeof(header)));
+    ::close(fd);
+  });
+  auto conn = listener_->Accept();
+  ASSERT_TRUE(conn.ok());
+  auto payload = conn->ReadFrame({});
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(payload.status().IsInvalidArgument());
+  EXPECT_NE(payload.status().ToString().find("oversized"), std::string::npos);
+  attacker.join();
+}
+
+TEST_F(SocketTest, ReadTimesOut) {
+  std::thread attacker([port = listener_->port()] {
+    const int fd = RawConnect(port);
+    // Say nothing; the reader's deadline must fire.
+    ::usleep(500 * 1000);
+    ::close(fd);
+  });
+  auto conn = listener_->Accept();
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->SetTimeout(0.1).ok());
+  auto payload = conn->ReadFrame({});
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(payload.status().IsDeadlineExceeded());
+  attacker.join();
+}
+
+TEST_F(SocketTest, ShutdownWakesBlockedAccept) {
+  std::thread closer([&] {
+    ::usleep(50 * 1000);
+    listener_->Shutdown();
+  });
+  auto conn = listener_->Accept();
+  EXPECT_FALSE(conn.ok());
+  EXPECT_TRUE(conn.status().IsCancelled());
+  closer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Parser resource limits: what protects the coordinator once a frame has
+// been accepted.
+// ---------------------------------------------------------------------------
+
+TEST(JsonLimits, DepthWithinLimitParses) {
+  std::string text = std::string(10, '[') + "1" + std::string(10, ']');
+  auto parsed = JsonValue::Parse(text, {});
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(JsonLimits, DeepNestingRejected) {
+  // 100 levels exceeds the default cap of 64. A malicious peer cannot
+  // trigger unbounded recursion with a tiny payload.
+  std::string text = std::string(100, '[') + "1" + std::string(100, ']');
+  auto parsed = JsonValue::Parse(text, {});
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  EXPECT_NE(parsed.status().ToString().find("too deep"), std::string::npos);
+}
+
+TEST(JsonLimits, NodeBudgetRejected) {
+  std::string text = "[1,2,3,4,5,6,7,8,9,10]";
+  JsonParseLimits limits;
+  limits.max_nodes = 5;
+  auto parsed = JsonValue::Parse(text, limits);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  limits.max_nodes = 11;  // array node + 10 numbers
+  EXPECT_TRUE(JsonValue::Parse(text, limits).ok());
+}
+
+}  // namespace
+}  // namespace scorpion
