@@ -1,6 +1,7 @@
 #include "api/serialization.h"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "api/explain_request.h"
@@ -95,6 +96,69 @@ Result<uint64_t> CountFromDouble(double d, const std::string& context) {
                                              "integer");
   }
   return static_cast<uint64_t>(d);
+}
+
+/// Table-data doubles must survive the wire bit-exactly (the content
+/// fingerprint hashes bit patterns). Finite values round-trip through the
+/// shortest-round-trip number writer; non-finite ones (JSON has no syntax
+/// for them) ride as 16-hex-digit bit-pattern strings, NaN payload included.
+JsonValue WireDoubleToJson(double v) {
+  if (std::isfinite(v)) return JsonValue::Number(v);
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[17];
+  static const char* kHex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHex[bits & 0xF];
+    bits >>= 4;
+  }
+  buf[16] = '\0';
+  return JsonValue::String(buf);
+}
+
+Result<double> WireDoubleFromJson(const JsonValue& value,
+                                  const std::string& context) {
+  if (value.is_number()) return value.number_value();
+  if (value.is_string()) {
+    const std::string& s = value.string_value();
+    if (s.size() == 16) {
+      uint64_t bits = 0;
+      for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else {
+          return Status::InvalidArgument(
+              context + ": bad bit-pattern string '" + s + "'");
+        }
+        bits = (bits << 4) | static_cast<uint64_t>(digit);
+      }
+      double v;
+      std::memcpy(&v, &bits, sizeof(v));
+      if (std::isfinite(v)) {
+        // Finite values must use the number form — two encodings of one
+        // value would break the "ToJson is deterministic" contract.
+        return Status::InvalidArgument(
+            context + ": finite double encoded as a bit-pattern string");
+      }
+      return v;
+    }
+  }
+  return Status::InvalidArgument(
+      context + ": expected a number or a 16-hex-digit bit-pattern string");
+}
+
+const char* DataTypeToWire(DataType type) {
+  return type == DataType::kDouble ? "double" : "categorical";
+}
+
+Result<DataType> DataTypeFromWire(const std::string& name) {
+  if (name == "double") return DataType::kDouble;
+  if (name == "categorical") return DataType::kCategorical;
+  return Status::InvalidArgument("unknown column type '" + name +
+                                 "' (expected double or categorical)");
 }
 
 }  // namespace
@@ -269,6 +333,157 @@ std::string ProblemSpecToJson(const ProblemSpec& problem) {
 Result<ProblemSpec> ProblemSpecFromJson(const std::string& json) {
   SCORPION_ASSIGN_OR_RETURN(JsonValue value, JsonValue::Parse(json));
   return ProblemSpecFromJsonValue(value);
+}
+
+// --- Table -------------------------------------------------------------------
+
+JsonValue TableToJsonValue(const Table& table) {
+  JsonValue out = JsonValue::Object();
+  JsonValue schema = JsonValue::Array();
+  for (const Field& field : table.schema().fields()) {
+    JsonValue f = JsonValue::Object();
+    f.Add("name", JsonValue::String(field.name));
+    f.Add("type", JsonValue::String(DataTypeToWire(field.type)));
+    schema.Append(std::move(f));
+  }
+  out.Add("schema", std::move(schema));
+  out.Add("num_rows",
+          JsonValue::Number(static_cast<double>(table.num_rows())));
+  JsonValue columns = JsonValue::Array();
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    JsonValue j = JsonValue::Object();
+    if (col.type() == DataType::kDouble) {
+      JsonValue values = JsonValue::Array();
+      for (double v : col.doubles()) values.Append(WireDoubleToJson(v));
+      j.Add("values", std::move(values));
+    } else {
+      JsonValue dictionary = JsonValue::Array();
+      for (const std::string& s : col.dictionary()) {
+        dictionary.Append(JsonValue::String(s));
+      }
+      j.Add("dictionary", std::move(dictionary));
+      JsonValue codes = JsonValue::Array();
+      for (int32_t code : col.codes()) {
+        codes.Append(JsonValue::Number(static_cast<double>(code)));
+      }
+      j.Add("codes", std::move(codes));
+    }
+    columns.Append(std::move(j));
+  }
+  out.Add("columns", std::move(columns));
+  return out;
+}
+
+Result<Table> TableFromJsonValue(const JsonValue& value) {
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(value, "table"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* schema_json,
+                            reader.GetArray("schema"));
+  std::vector<Field> fields;
+  for (const JsonValue& item : schema_json->items()) {
+    SCORPION_ASSIGN_OR_RETURN(JsonObjectReader field_reader,
+                              JsonObjectReader::Make(item, "table field"));
+    Field field;
+    SCORPION_ASSIGN_OR_RETURN(field.name, field_reader.GetString("name"));
+    SCORPION_ASSIGN_OR_RETURN(std::string type,
+                              field_reader.GetString("type"));
+    SCORPION_ASSIGN_OR_RETURN(field.type, DataTypeFromWire(type));
+    SCORPION_RETURN_NOT_OK(field_reader.Finish());
+    fields.push_back(std::move(field));
+  }
+  SCORPION_ASSIGN_OR_RETURN(double rows_raw, reader.GetDouble("num_rows"));
+  SCORPION_ASSIGN_OR_RETURN(uint64_t num_rows,
+                            CountFromDouble(rows_raw, "table num_rows"));
+
+  Table table{Schema(fields)};
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* columns,
+                            reader.GetArray("columns"));
+  if (columns->items().size() != fields.size()) {
+    return Status::InvalidArgument(
+        "table: " + std::to_string(columns->items().size()) +
+        " columns for " + std::to_string(fields.size()) + " schema fields");
+  }
+  for (size_t c = 0; c < fields.size(); ++c) {
+    const JsonValue& item = columns->items()[c];
+    SCORPION_ASSIGN_OR_RETURN(
+        JsonObjectReader col_reader,
+        JsonObjectReader::Make(item, "table column '" + fields[c].name + "'"));
+    if (fields[c].type == DataType::kDouble) {
+      SCORPION_ASSIGN_OR_RETURN(const JsonValue* values,
+                                col_reader.GetArray("values"));
+      std::vector<double> data;
+      data.reserve(values->items().size());
+      for (const JsonValue& v : values->items()) {
+        SCORPION_ASSIGN_OR_RETURN(
+            double d,
+            WireDoubleFromJson(v, "table column '" + fields[c].name + "'"));
+        data.push_back(d);
+      }
+      SCORPION_RETURN_NOT_OK(
+          table.column(static_cast<int>(c)).SetDoubleData(std::move(data)));
+    } else {
+      SCORPION_ASSIGN_OR_RETURN(const JsonValue* dictionary,
+                                col_reader.GetArray("dictionary"));
+      SCORPION_ASSIGN_OR_RETURN(
+          std::vector<std::string> dict,
+          StringArray(dictionary, "table column dictionary"));
+      SCORPION_ASSIGN_OR_RETURN(const JsonValue* codes,
+                                col_reader.GetArray("codes"));
+      SCORPION_ASSIGN_OR_RETURN(std::vector<int> code_ints,
+                                IntArray(codes, "table column codes"));
+      std::vector<int32_t> code_data(code_ints.begin(), code_ints.end());
+      SCORPION_RETURN_NOT_OK(
+          table.column(static_cast<int>(c))
+              .SetCategoricalData(std::move(code_data), std::move(dict)));
+    }
+    SCORPION_RETURN_NOT_OK(col_reader.Finish());
+  }
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  SCORPION_RETURN_NOT_OK(table.FinalizeColumnwiseBuild());
+  if (table.num_rows() != num_rows) {
+    return Status::InvalidArgument(
+        "table: declared " + std::to_string(num_rows) + " rows but columns " +
+        "carry " + std::to_string(table.num_rows()));
+  }
+  return table;
+}
+
+std::string TableToJson(const Table& table) {
+  return TableToJsonValue(table).Dump();
+}
+
+Result<Table> TableFromJson(const std::string& json) {
+  SCORPION_ASSIGN_OR_RETURN(JsonValue value, JsonValue::Parse(json));
+  return TableFromJsonValue(value);
+}
+
+// --- GroupByQuery ------------------------------------------------------------
+
+JsonValue GroupByQueryToJsonValue(const GroupByQuery& query) {
+  JsonValue out = JsonValue::Object();
+  out.Add("aggregate", JsonValue::String(query.aggregate));
+  out.Add("agg_attr", JsonValue::String(query.agg_attr));
+  JsonValue group_by = JsonValue::Array();
+  for (const std::string& attr : query.group_by) {
+    group_by.Append(JsonValue::String(attr));
+  }
+  out.Add("group_by", std::move(group_by));
+  return out;
+}
+
+Result<GroupByQuery> GroupByQueryFromJsonValue(const JsonValue& value) {
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(value, "group_by_query"));
+  GroupByQuery query;
+  SCORPION_ASSIGN_OR_RETURN(query.aggregate, reader.GetString("aggregate"));
+  SCORPION_ASSIGN_OR_RETURN(query.agg_attr, reader.GetString("agg_attr"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* group_by,
+                            reader.GetArray("group_by"));
+  SCORPION_ASSIGN_OR_RETURN(query.group_by,
+                            StringArray(group_by, "group_by_query group_by"));
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  return query;
 }
 
 // --- ExplainRequest ----------------------------------------------------------

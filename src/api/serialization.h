@@ -17,6 +17,8 @@
 #include "core/options.h"
 #include "core/problem.h"
 #include "predicate/predicate.h"
+#include "query/groupby.h"
+#include "table/table.h"
 
 namespace scorpion {
 
@@ -39,5 +41,22 @@ JsonValue ProblemSpecToJsonValue(const ProblemSpec& problem);
 Result<ProblemSpec> ProblemSpecFromJsonValue(const JsonValue& value);
 std::string ProblemSpecToJson(const ProblemSpec& problem);
 Result<ProblemSpec> ProblemSpecFromJson(const std::string& json);
+
+/// Table <-> JSON: schema (names + types), row count, and the full encoded
+/// column payloads — double values for continuous columns, dictionary plus
+/// codes for categorical ones. The deserialized table reproduces the
+/// sender's encoding exactly (same dictionary order, same codes), so wire
+/// predicates carrying dictionary codes and content fingerprints both stay
+/// valid across the hop. Finite doubles ride as JSON numbers (the writer is
+/// shortest-round-trip, so the bit pattern survives); non-finite ones as
+/// 16-hex-digit bit-pattern strings, preserving NaN payloads.
+JsonValue TableToJsonValue(const Table& table);
+Result<Table> TableFromJsonValue(const JsonValue& value);
+std::string TableToJson(const Table& table);
+Result<Table> TableFromJson(const std::string& json);
+
+/// GroupByQuery <-> JSON.
+JsonValue GroupByQueryToJsonValue(const GroupByQuery& query);
+Result<GroupByQuery> GroupByQueryFromJsonValue(const JsonValue& value);
 
 }  // namespace scorpion

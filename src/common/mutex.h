@@ -15,6 +15,7 @@
 // mutex is not a cost that shows up.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -112,6 +113,13 @@ class CondVar {
 
   /// Atomically releases `mu`, blocks, and reacquires `mu` before returning.
   void Wait(Mutex& mu) SCORPION_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed Wait(): returns false if `seconds` elapsed without a notify.
+  /// Spurious wakeups return true, so re-check the condition either way.
+  bool WaitFor(Mutex& mu, double seconds) SCORPION_REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -8,6 +8,8 @@
 
 namespace scorpion {
 
+class PredicateMatchSource;
+
 /// Which partitioning algorithm the Scorpion facade runs.
 enum class Algorithm : int {
   kNaive = 0,  // Section 4.2, exhaustive with a time budget
@@ -120,6 +122,12 @@ struct ScorpionOptions {
   /// standalone Predicate::Bind() users (e.g. the eval harness helpers)
   /// follow the process-wide SetBlockPruningDefault() instead.
   bool enable_block_pruning = true;
+  /// When set, the engine's Scorer fetches predicate match sets from this
+  /// source instead of filtering the local table (see core/scorer.h). The
+  /// distributed Coordinator installs itself here so the search algorithms
+  /// run unchanged while the filter data plane executes on remote workers.
+  /// Not owned; must outlive every Explain call made with these options.
+  PredicateMatchSource* match_source = nullptr;
 };
 
 }  // namespace scorpion

@@ -179,18 +179,37 @@ double Scorer::GroupInfluence(int result_idx, const Selection& matched,
   return is_outlier ? inf * error_vector : inf;
 }
 
+Result<PredicateMatchCache> Scorer::FetchMatches(const Predicate& pred) const {
+  ++stats_.remote_match_fetches;
+  SCORPION_ASSIGN_OR_RETURN(PredicateMatchCache cache,
+                            match_source_->Matches(pred));
+  if (cache.size() != result_->results.size()) {
+    return Status::Internal(
+        "match source returned " + std::to_string(cache.size()) +
+        " group slots, expected " + std::to_string(result_->results.size()));
+  }
+  return cache;
+}
+
 Result<double> Scorer::InfluenceImpl(const Predicate* pred,
                                      const PredicateMatchCache* matches,
                                      bool with_holdouts) const {
   ++stats_.predicate_scores;
+  const bool cache_provided = matches != nullptr;
+  PredicateMatchCache fetched;
   std::optional<BoundPredicate> bound;
-  if (matches == nullptr) {
-    SCORPION_ASSIGN_OR_RETURN(bound, pred->Bind(*table_));
-    ConfigureBound(&*bound);
+  if (!cache_provided) {
+    if (match_source_ != nullptr) {
+      SCORPION_ASSIGN_OR_RETURN(fetched, FetchMatches(*pred));
+      matches = &fetched;
+    } else {
+      SCORPION_ASSIGN_OR_RETURN(bound, pred->Bind(*table_));
+      ConfigureBound(&*bound);
+    }
   }
   auto group_influence = [&](int idx, bool is_outlier, double ev) {
     if (matches != nullptr) {
-      ++stats_.match_cache_hits;
+      if (cache_provided) ++stats_.match_cache_hits;
       return GroupInfluence(idx, (*matches)[idx], is_outlier, ev);
     }
     const Selection matched =
@@ -236,8 +255,21 @@ Result<double> Scorer::InfluenceImpl(const Predicate* pred,
 
 Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
   ++stats_.predicate_scores;
-  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
-  ConfigureBound(&bound);
+  PredicateMatchCache fetched;
+  std::optional<BoundPredicate> bound;
+  if (match_source_ != nullptr) {
+    SCORPION_ASSIGN_OR_RETURN(fetched, FetchMatches(pred));
+  } else {
+    SCORPION_ASSIGN_OR_RETURN(bound, pred.Bind(*table_));
+    ConfigureBound(&*bound);
+  }
+  // Same Selection either way (the bit-identity contract on
+  // PredicateMatchSource), so the influence math below cannot diverge.
+  auto matched_for = [&](int idx) {
+    return match_source_ != nullptr
+               ? fetched[idx]
+               : FilterGroup(*bound, result_->results[idx].input_group);
+  };
 
   DetailedScore out;
   const size_t num_outliers = problem_->outliers.size();
@@ -245,7 +277,7 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
   std::vector<double> outlier_inf(num_outliers);
   ParallelForOver(pool_, 0, num_outliers, [&](size_t i) {
     int idx = problem_->outliers[i];
-    Selection matched = FilterGroup(bound, result_->results[idx].input_group);
+    Selection matched = matched_for(idx);
     outlier_inf[i] = GroupInfluence(idx, matched, /*is_outlier=*/true,
                                     problem_->error_vectors[i]);
     out.matched_outlier[i] = std::move(matched);
@@ -273,8 +305,7 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
         FillGroupInfluences(pool_, problem_->holdouts.size(), &holdout_inf,
                             [&](size_t i) {
                               int idx = problem_->holdouts[i];
-                              const Selection matched = FilterGroup(
-                                  bound, result_->results[idx].input_group);
+                              const Selection matched = matched_for(idx);
                               return GroupInfluence(idx, matched,
                                                     /*is_outlier=*/false, 0.0);
                             });
@@ -309,6 +340,11 @@ Result<double> Scorer::InfluenceCached(const ScoredPredicate& sp) const {
 
 Result<std::shared_ptr<const PredicateMatchCache>> Scorer::BuildMatchCache(
     const Predicate& pred) const {
+  if (match_source_ != nullptr) {
+    // The source already returns the fully materialized per-group cache.
+    SCORPION_ASSIGN_OR_RETURN(PredicateMatchCache cache, FetchMatches(pred));
+    return std::make_shared<const PredicateMatchCache>(std::move(cache));
+  }
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
   ConfigureBound(&bound);
   PredicateMatchCache cache(result_->results.size());

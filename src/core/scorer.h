@@ -27,6 +27,30 @@
 
 namespace scorpion {
 
+/// \brief Pluggable producer of predicate match sets.
+///
+/// When installed on a Scorer (ScorpionOptions::match_source), every filter
+/// the scorer would run locally — bind + per-group Filter over the outlier
+/// and hold-out input groups — is replaced by one Matches() call, and the
+/// influence math runs over the returned Selections through the exact same
+/// cached-match code path used by ScoredPredicate::matches. Bit-identity
+/// contract: Matches() must return, for every outlier/hold-out result index,
+/// precisely the row set the local filter would produce (sorted row-id
+/// vector form over the same universe). The distributed Coordinator meets
+/// this by having workers filter disjoint block ranges of the same encoded
+/// table and concatenating the pieces in block order.
+///
+/// Matches() may be called from the engine's scoring threads; implementations
+/// must either be thread-safe or internally serialize.
+class PredicateMatchSource {
+ public:
+  virtual ~PredicateMatchSource() = default;
+
+  /// Match Selections for `pred`, indexed like QueryResult::results. Only
+  /// the outlier/hold-out slots are read; other slots may stay empty.
+  virtual Result<PredicateMatchCache> Matches(const Predicate& pred) = 0;
+};
+
 /// Full breakdown of a predicate's score, used by MC's pruning rules.
 struct DetailedScore {
   /// inf(O, H, p, V).
@@ -55,6 +79,10 @@ struct ScorerStats {
   RelaxedCounter rows_filtered;
   RelaxedCounter filter_kernels;
   RelaxedCounter match_cache_hits;
+  // Match sets fetched from an installed PredicateMatchSource (one per
+  // scored predicate when the distributed data plane is active). Disjoint
+  // from match_cache_hits, which counts only caller-provided caches.
+  RelaxedCounter remote_match_fetches;
   RelaxedCounter bitmap_to_vector;
   RelaxedCounter vector_to_bitmap;
   // Zone-map block pruning (src/table/block_stats.h): blocks classified
@@ -152,6 +180,15 @@ class Scorer {
     enable_block_pruning_ = enabled;
   }
 
+  /// Routes all match-set production through `source` (nullptr restores
+  /// local filtering). Not owned; must outlive the Scorer's scoring calls.
+  /// Caller-provided caches (ScoredPredicate::matches) still win: they are
+  /// consulted before the source.
+  void set_match_source(PredicateMatchSource* source) {
+    match_source_ = source;
+  }
+  PredicateMatchSource* match_source() const { return match_source_; }
+
   /// Counter snapshot accessor; refreshes the Selection-conversion deltas.
   ScorerStats& stats() const;
 
@@ -177,12 +214,16 @@ class Scorer {
   double GroupInfluence(int result_idx, const Selection& matched,
                         bool is_outlier, double error_vector) const;
 
-  /// Shared evaluation core. Exactly one of `pred` / `matches` is consulted
-  /// for match sets; the reduction structure is identical for both, so a
-  /// cached rescoring is bit-identical to a cold one.
+  /// Shared evaluation core. Match sets come from `matches` when non-null,
+  /// else from the installed match source, else from binding and filtering
+  /// `pred` locally; the reduction structure is identical for all three, so
+  /// a cached or remote rescoring is bit-identical to a cold local one.
   Result<double> InfluenceImpl(const Predicate* pred,
                                const PredicateMatchCache* matches,
                                bool with_holdouts) const;
+
+  /// One Matches() round-trip to the installed source, with counting.
+  Result<PredicateMatchCache> FetchMatches(const Predicate& pred) const;
 
   const Table* table_ = nullptr;
   const QueryResult* result_ = nullptr;
@@ -190,6 +231,7 @@ class Scorer {
   const Aggregate* agg_ = nullptr;
   const Column* agg_col_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  PredicateMatchSource* match_source_ = nullptr;
   bool incremental_ = false;
   bool enable_block_pruning_ = true;
 

@@ -1,0 +1,481 @@
+#include "distributed/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "api/serialization.h"
+#include "common/macros.h"
+#include "table/block_stats.h"
+
+namespace scorpion {
+
+namespace {
+
+Result<std::pair<std::string, int>> ParseEndpoint(const std::string& ep) {
+  const size_t colon = ep.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == ep.size()) {
+    return Status::InvalidArgument("endpoint '" + ep +
+                                   "' is not host:port");
+  }
+  const std::string port_str = ep.substr(colon + 1);
+  int port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("endpoint '" + ep + "' has a bad port");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("endpoint '" + ep +
+                                     "' port out of range");
+    }
+  }
+  return std::make_pair(ep.substr(0, colon), port);
+}
+
+void Backoff(double base_seconds, int retry_index) {
+  double seconds = base_seconds * static_cast<double>(1 << retry_index);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Coordinator>> Coordinator::Connect(
+    const std::vector<std::string>& endpoints, CoordinatorOptions options) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("coordinator needs at least one worker");
+  }
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  workers.reserve(endpoints.size());
+  for (const std::string& ep : endpoints) {
+    SCORPION_ASSIGN_OR_RETURN(auto host_port, ParseEndpoint(ep));
+    SCORPION_ASSIGN_OR_RETURN(
+        Conn conn, Conn::Dial(host_port.first, host_port.second,
+                              options.connect_timeout_seconds));
+    auto worker = std::make_unique<WorkerState>();
+    worker->host = host_port.first;
+    worker->port = host_port.second;
+    {
+      MutexLock lock(worker->mu);
+      worker->conn = std::move(conn);
+    }
+    workers.push_back(std::move(worker));
+  }
+  std::unique_ptr<Coordinator> coordinator(
+      new Coordinator(std::move(workers), std::move(options)));
+  // Strict connect: every endpoint must answer a ping before we hand the
+  // coordinator out, so a dead entry in the worker list fails loudly here.
+  for (const std::unique_ptr<WorkerState>& worker : coordinator->workers_) {
+    SCORPION_RETURN_NOT_OK(
+        coordinator
+            ->Call(*worker, kOpPing, JsonValue::Object(),
+                   coordinator->options_.request_timeout_seconds)
+            .status());
+  }
+  if (coordinator->options_.heartbeat_interval_seconds > 0.0) {
+    coordinator->heartbeat_thread_ =
+        std::thread([c = coordinator.get()] { c->HeartbeatLoop(); });
+  }
+  return coordinator;
+}
+
+Coordinator::Coordinator(std::vector<std::unique_ptr<WorkerState>> workers,
+                         CoordinatorOptions options)
+    : options_(std::move(options)), workers_(std::move(workers)) {}
+
+Coordinator::~Coordinator() {
+  {
+    MutexLock lock(heartbeat_mu_);
+    stopping_ = true;
+    heartbeat_cv_.NotifyAll();
+  }
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+size_t Coordinator::num_workers() const { return workers_.size(); }
+
+size_t Coordinator::num_live_workers() const {
+  size_t live = 0;
+  for (const std::unique_ptr<WorkerState>& worker : workers_) {
+    MutexLock lock(worker->mu);
+    if (worker->alive) ++live;
+  }
+  return live;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats stats;
+  stats.workers_lost = workers_lost_.load();
+  stats.ranges_redispatched = ranges_redispatched_.load();
+  stats.bytes_on_wire = bytes_on_wire_.load();
+  stats.shard_requests = shard_requests_.load();
+  stats.local_fallback_ranges = local_fallback_ranges_.load();
+  return stats;
+}
+
+Result<JsonValue> Coordinator::Call(WorkerState& worker, const std::string& op,
+                                    JsonValue body, double timeout_seconds) {
+  MutexLock lock(worker.mu);
+  if (!worker.alive) {
+    return Status::Unavailable("worker " + worker.host + ":" +
+                               std::to_string(worker.port) + " is lost");
+  }
+  const uint64_t id = worker.next_id++;
+  const uint64_t bytes_before =
+      worker.conn.bytes_sent() + worker.conn.bytes_received();
+  // Transport failures (broken stream, missed deadline) mean the worker can
+  // no longer be trusted to stay in frame sync: declare it lost and close.
+  // A well-formed error *envelope* is not a transport failure — the worker
+  // answered — so it comes back as a plain remote Status below.
+  auto lost = [&](Status status) SCORPION_REQUIRES(worker.mu) {
+    worker.alive = false;
+    worker.conn.Close();
+    ++workers_lost_;
+    if (options_.service_stats != nullptr) {
+      ++options_.service_stats->workers_lost;
+    }
+    return status;
+  };
+  auto account_bytes = [&]() SCORPION_REQUIRES(worker.mu) {
+    const uint64_t delta = worker.conn.bytes_sent() +
+                           worker.conn.bytes_received() - bytes_before;
+    bytes_on_wire_ += delta;
+    if (options_.service_stats != nullptr) {
+      options_.service_stats->bytes_on_wire += delta;
+    }
+  };
+
+  Status status = worker.conn.SetTimeout(timeout_seconds);
+  if (!status.ok()) return lost(std::move(status));
+  status = worker.conn.WriteFrame(EncodeRequest(op, id, std::move(body)));
+  if (!status.ok()) {
+    account_bytes();
+    return lost(std::move(status));
+  }
+  Result<std::string> payload = worker.conn.ReadFrame(options_.frame_limits);
+  account_bytes();
+  if (!payload.ok()) return lost(payload.status());
+  return ParseResponse(*payload, id, WireParseLimits());
+}
+
+Status Coordinator::Publish(const Table& table, const QueryResult& result,
+                            const ProblemSpec& problem) {
+  MutexLock lock(scatter_mu_);
+  SCORPION_RETURN_NOT_OK(problem.Validate(result));
+  const Fingerprint table_fp = table.fingerprint();
+  const Fingerprint session =
+      SessionFingerprint(table_fp, result.query, problem);
+  const uint64_t num_blocks = (table.num_rows() + kBlockSize - 1) / kBlockSize;
+
+  const JsonValue table_json = TableToJsonValue(table);
+  const JsonValue query_json = GroupByQueryToJsonValue(result.query);
+  const JsonValue problem_json = ProblemSpecToJsonValue(problem);
+
+  size_t published = 0;
+  Status first_error = Status::Unavailable("no workers reachable");
+  bool have_error = false;
+  for (const std::unique_ptr<WorkerState>& worker : workers_) {
+    Status status = [&]() -> Status {
+      JsonValue publish_body = JsonValue::Object();
+      publish_body.Add("table", table_json);
+      publish_body.Add("query", query_json);
+      publish_body.Add("table_fp", JsonValue::String(table_fp.ToHex()));
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonValue publish_resp,
+          Call(*worker, kOpPublishDataset, std::move(publish_body),
+               options_.publish_timeout_seconds));
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonObjectReader publish_reader,
+          JsonObjectReader::Make(publish_resp, "publish_dataset response"));
+      SCORPION_ASSIGN_OR_RETURN(int64_t worker_blocks,
+                                publish_reader.GetInt("num_blocks"));
+      SCORPION_RETURN_NOT_OK(publish_reader.Finish());
+      if (static_cast<uint64_t>(worker_blocks) != num_blocks) {
+        return Status::Internal(
+            "worker sees " + std::to_string(worker_blocks) +
+            " blocks, coordinator " + std::to_string(num_blocks));
+      }
+
+      JsonValue prepare_body = JsonValue::Object();
+      prepare_body.Add("table_fp", JsonValue::String(table_fp.ToHex()));
+      prepare_body.Add("problem", problem_json);
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonValue prepare_resp,
+          Call(*worker, kOpPrepareProblem, std::move(prepare_body),
+               options_.request_timeout_seconds));
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonObjectReader prepare_reader,
+          JsonObjectReader::Make(prepare_resp, "prepare_problem response"));
+      SCORPION_ASSIGN_OR_RETURN(std::string worker_session,
+                                prepare_reader.GetString("session_fp"));
+      SCORPION_RETURN_NOT_OK(prepare_reader.Finish());
+      // Both sides derive the session id independently; a mismatch means
+      // they disagree about the data and this worker must not serve.
+      if (worker_session != session.ToHex()) {
+        return Status::Internal("worker session fingerprint " +
+                                worker_session + " != coordinator's " +
+                                session.ToHex());
+      }
+      return Status::OK();
+    }();
+    if (status.ok()) {
+      ++published;
+      continue;
+    }
+    if (!have_error) {
+      first_error = status;
+      have_error = true;
+    }
+    // Transport failures already marked the worker lost inside Call();
+    // semantic disagreements (fingerprint/block mismatches) do it here.
+    MutexLock worker_lock(worker->mu);
+    if (worker->alive) {
+      worker->alive = false;
+      worker->conn.Close();
+      ++workers_lost_;
+      if (options_.service_stats != nullptr) {
+        ++options_.service_stats->workers_lost;
+      }
+    }
+  }
+  if (published == 0) return first_error;
+
+  table_ = &table;
+  result_ = &result;
+  problem_ = &problem;
+  num_blocks_ = num_blocks;
+  session_ = session;
+  std::set<int> relevant(problem.outliers.begin(), problem.outliers.end());
+  relevant.insert(problem.holdouts.begin(), problem.holdouts.end());
+  relevant_.assign(relevant.begin(), relevant.end());
+  return Status::OK();
+}
+
+Result<std::vector<ShardGroupMatches>> Coordinator::ShardOnWorker(
+    WorkerState& worker, const Predicate& pred, const BlockRange& range) {
+  ShardFilterRequest request;
+  request.session = session_;
+  request.pred = pred;
+  request.block_begin = range.begin;
+  request.block_end = range.end;
+  ++shard_requests_;
+  SCORPION_ASSIGN_OR_RETURN(
+      JsonValue body,
+      Call(worker, kOpShardFilter, ShardFilterRequestToJson(request),
+           options_.request_timeout_seconds));
+  return ShardFilterResponseFromJson(body);
+}
+
+Result<std::vector<ShardGroupMatches>> Coordinator::FilterRangeLocally(
+    const Predicate& pred, const BlockRange& range) const {
+  // Mirrors Worker::HandleShardFilter exactly — same slicing, same filter —
+  // so a fallback range is indistinguishable from a remote one downstream.
+  const uint64_t begin_block = std::min(range.begin, num_blocks_);
+  const uint64_t end_block = std::min(range.end, num_blocks_);
+  const RowId begin_row = static_cast<RowId>(begin_block * kBlockSize);
+  const RowId end_row = static_cast<RowId>(
+      std::min<uint64_t>(end_block * kBlockSize, table_->num_rows()));
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+  std::vector<ShardGroupMatches> groups;
+  groups.reserve(relevant_.size());
+  for (int idx : relevant_) {
+    const RowIdList& rows = result_->results[idx].input_group.rows();
+    auto lo = std::lower_bound(rows.begin(), rows.end(), begin_row);
+    auto hi = std::lower_bound(rows.begin(), rows.end(), end_row);
+    Selection input =
+        Selection::FromSorted(RowIdList(lo, hi), table_->num_rows());
+    Selection matched = bound.Filter(input);
+    ShardGroupMatches group;
+    group.index = idx;
+    group.rows = matched.rows();
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+Result<std::vector<ShardGroupMatches>> Coordinator::DispatchRange(
+    const Predicate& pred, const BlockRange& range, size_t preferred) {
+  Status last = Status::Unavailable("no live workers");
+  const size_t n = workers_.size();
+  for (int attempt = 0; attempt < options_.max_attempts_per_range; ++attempt) {
+    // Next live worker, preferred first; later attempts rotate onward so a
+    // re-dispatched range lands on a survivor, not the same dead peer.
+    WorkerState* chosen = nullptr;
+    size_t chosen_index = 0;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = (preferred + static_cast<size_t>(attempt) + k) % n;
+      MutexLock lock(workers_[i]->mu);
+      if (workers_[i]->alive) {
+        chosen = workers_[i].get();
+        chosen_index = i;
+        break;
+      }
+    }
+    if (chosen == nullptr) break;
+    if (attempt > 0) {
+      Backoff(options_.retry_backoff_seconds, attempt - 1);
+    }
+    if (chosen_index != preferred) {
+      ++ranges_redispatched_;
+      if (options_.service_stats != nullptr) {
+        ++options_.service_stats->ranges_redispatched;
+      }
+    }
+    Result<std::vector<ShardGroupMatches>> result =
+        ShardOnWorker(*chosen, pred, range);
+    if (result.ok()) return result;
+    last = result.status();
+  }
+  if (options_.allow_local_fallback && table_ != nullptr) {
+    ++local_fallback_ranges_;
+    return FilterRangeLocally(pred, range);
+  }
+  return last;
+}
+
+Result<PredicateMatchCache> Coordinator::Matches(const Predicate& pred) {
+  MutexLock lock(scatter_mu_);
+  if (table_ == nullptr) {
+    return Status::Internal("Coordinator::Matches before Publish");
+  }
+
+  std::vector<size_t> live;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    MutexLock worker_lock(workers_[i]->mu);
+    if (workers_[i]->alive) live.push_back(i);
+  }
+
+  // Contiguous block ranges, one per live worker (fewer when there are
+  // fewer blocks than workers). Contiguity is what makes the gather a
+  // plain in-order concatenation.
+  std::vector<BlockRange> ranges;
+  std::vector<size_t> preferred;
+  if (live.empty()) {
+    if (!options_.allow_local_fallback) {
+      return Status::Unavailable("all workers lost");
+    }
+    if (num_blocks_ > 0) {
+      ranges.push_back({0, num_blocks_});
+      preferred.push_back(0);  // DispatchRange falls through to local
+    }
+  } else {
+    const uint64_t parts = std::min<uint64_t>(live.size(), num_blocks_);
+    for (uint64_t p = 0; p < parts; ++p) {
+      BlockRange range;
+      range.begin = num_blocks_ * p / parts;
+      range.end = num_blocks_ * (p + 1) / parts;
+      ranges.push_back(range);
+      preferred.push_back(live[static_cast<size_t>(p)]);
+    }
+  }
+
+  std::vector<std::optional<Result<std::vector<ShardGroupMatches>>>> shard(
+      ranges.size());
+  if (ranges.size() == 1) {
+    shard[0] = DispatchRange(pred, ranges[0], preferred[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(ranges.size());
+    for (size_t r = 0; r < ranges.size(); ++r) {
+      threads.emplace_back([this, &pred, &ranges, &preferred, &shard, r] {
+        shard[r] = DispatchRange(pred, ranges[r], preferred[r]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Gather: concatenate each group's rows across ranges in block order.
+  // Ranges partition [0, num_blocks) left to right, and each piece is
+  // strictly ascending (validated at parse), so the concatenation is the
+  // sorted full match list — exactly what the local filter produces.
+  PredicateMatchCache cache(result_->results.size());
+  std::vector<RowIdList> merged(result_->results.size());
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    SCORPION_CHECK(shard[r].has_value(), "unscattered range");
+    SCORPION_RETURN_NOT_OK(shard[r]->status());
+    const uint64_t range_first_row = ranges[r].begin * kBlockSize;
+    const uint64_t range_end_row = ranges[r].end * kBlockSize;
+    std::vector<bool> seen(result_->results.size(), false);
+    for (const ShardGroupMatches& group : **shard[r]) {
+      if (static_cast<size_t>(group.index) >= merged.size()) {
+        return Status::Internal("worker returned out-of-range group index " +
+                                std::to_string(group.index));
+      }
+      seen[group.index] = true;
+      RowIdList& rows = merged[group.index];
+      for (RowId row : group.rows) {
+        // A row outside its range (or overlapping the previous piece)
+        // would silently corrupt bit-identity; refuse instead.
+        if (row < range_first_row || row >= range_end_row ||
+            (!rows.empty() && row <= rows.back())) {
+          return Status::Internal(
+              "worker returned row " + std::to_string(row) +
+              " outside its block range [" +
+              std::to_string(range_first_row) + ", " +
+              std::to_string(range_end_row) + ")");
+        }
+        rows.push_back(row);
+      }
+    }
+    for (int idx : relevant_) {
+      if (!seen[idx]) {
+        return Status::Internal("worker response missing group " +
+                                std::to_string(idx));
+      }
+    }
+  }
+  for (int idx : relevant_) {
+    cache[idx] =
+        Selection::FromSorted(std::move(merged[idx]), table_->num_rows());
+    // Materialize vector form up front; the scoring planes only read it.
+    cache[idx].rows();
+  }
+  return cache;
+}
+
+Result<Explanation> Coordinator::Explain(ScorpionOptions options) {
+  if (table_ == nullptr) {
+    return Status::Internal("Coordinator::Explain before Publish");
+  }
+  options.match_source = this;
+  Scorpion engine(options);
+  return engine.Explain(*table_, *result_, *problem_);
+}
+
+void Coordinator::ShutdownWorkers() {
+  for (const std::unique_ptr<WorkerState>& worker : workers_) {
+    Call(*worker, kOpShutdown, JsonValue::Object(),
+         options_.request_timeout_seconds)
+        .status()
+        .ok();  // best effort
+  }
+}
+
+void Coordinator::HeartbeatLoop() {
+  while (true) {
+    {
+      MutexLock lock(heartbeat_mu_);
+      if (stopping_) return;
+      heartbeat_cv_.WaitFor(heartbeat_mu_,
+                            options_.heartbeat_interval_seconds);
+      if (stopping_) return;
+    }
+    for (const std::unique_ptr<WorkerState>& worker : workers_) {
+      // Probe only idle workers: a worker mid-request is covered by that
+      // request's own deadline, and queueing a ping behind a long shard
+      // would tell us nothing sooner.
+      if (!worker->mu.TryLock()) continue;
+      const bool alive = worker->alive;
+      worker->mu.Unlock();
+      if (!alive) continue;
+      Call(*worker, kOpPing, JsonValue::Object(),
+           options_.request_timeout_seconds)
+          .status()
+          .ok();  // failure marks the worker lost inside Call
+    }
+  }
+}
+
+}  // namespace scorpion

@@ -1,0 +1,180 @@
+// Coordinator side of the distributed explanation service.
+//
+// The coordinator runs the full search engine locally and delegates only
+// the filter data plane: every predicate the engine scores turns into
+// shard_filter requests scattered over disjoint block ranges of the PR-5
+// block grid, one contiguous range per live worker. Workers return the
+// matched row ids of each outlier/hold-out group restricted to their range;
+// the coordinator concatenates the pieces in block order, which reproduces
+// — row for row — the sorted match list the local filter would build. All
+// influence arithmetic then runs through the engine's existing cached-match
+// path, so the distributed result is bit-identical to the in-process one
+// (asserted by test_distributed.cc for DT, MC and NAIVE).
+//
+// Robustness: each request carries a deadline; a failed worker is declared
+// lost (once), its ranges re-dispatched to survivors with exponential
+// backoff, and an optional heartbeat thread probes idle workers between
+// scatters. When every worker is gone the coordinator can fall back to
+// filtering the range locally (it holds the published table), so an explain
+// in flight degrades instead of failing. All of it is observable through
+// CoordinatorStats and the ServiceStats sink.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_counter.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "core/scorer.h"
+#include "core/scorpion.h"
+#include "distributed/protocol.h"
+#include "net/socket.h"
+#include "service/stats.h"
+
+namespace scorpion {
+
+struct CoordinatorOptions {
+  /// Dial timeout per worker during Connect().
+  double connect_timeout_seconds = 5.0;
+  /// Deadline for one request/response round trip (liveness bound: a worker
+  /// that cannot answer a shard within this is treated as lost).
+  double request_timeout_seconds = 30.0;
+  /// Deadline for publish_dataset, which ships the whole table.
+  double publish_timeout_seconds = 120.0;
+  /// Attempts per block range across workers before giving up on remote
+  /// execution for that range.
+  int max_attempts_per_range = 3;
+  /// Sleep before the k-th retry is backoff * 2^(k-1).
+  double retry_backoff_seconds = 0.02;
+  /// Probe interval of the background heartbeat thread; 0 disables it
+  /// (liveness is then detected by request deadlines alone).
+  double heartbeat_interval_seconds = 0.0;
+  /// When no worker can serve a range, filter it locally instead of
+  /// failing the explain. Bit-identical either way.
+  bool allow_local_fallback = true;
+  FrameLimits frame_limits;
+  /// Optional service-level sink mirroring workers_lost /
+  /// ranges_redispatched / bytes_on_wire. Not owned.
+  ServiceStats* service_stats = nullptr;
+};
+
+/// Point-in-time counters (see also ServiceStatsSnapshot).
+struct CoordinatorStats {
+  uint64_t workers_lost = 0;
+  uint64_t ranges_redispatched = 0;
+  uint64_t bytes_on_wire = 0;
+  uint64_t shard_requests = 0;
+  uint64_t local_fallback_ranges = 0;
+};
+
+/// \brief Scatter/gather client over a fixed worker set; plugs into the
+/// engine as its PredicateMatchSource.
+class Coordinator : public PredicateMatchSource {
+ public:
+  ~Coordinator() override;
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Dials every "host:port" endpoint. Fails unless every endpoint answers
+  /// a ping — a misspelled worker list should fail loudly at connect time,
+  /// not as mysterious lost-worker counters later.
+  static Result<std::unique_ptr<Coordinator>> Connect(
+      const std::vector<std::string>& endpoints,
+      CoordinatorOptions options = {});
+
+  /// Ships (table, query result, problem) to every live worker and prepares
+  /// the shared session. Verifies each worker independently derives the
+  /// same table fingerprint, block count and session fingerprint. Keeps
+  /// borrowed pointers; all three must outlive the coordinator's last call.
+  Status Publish(const Table& table, const QueryResult& result,
+                 const ProblemSpec& problem);
+
+  /// PredicateMatchSource: scatter the predicate over the block grid,
+  /// gather per-group matches in block order. Thread-safe (serialized
+  /// internally); requires Publish() first.
+  Result<PredicateMatchCache> Matches(const Predicate& pred) override;
+
+  /// Convenience: run a full explain of the published problem with this
+  /// coordinator as the engine's match source.
+  Result<Explanation> Explain(ScorpionOptions options);
+
+  size_t num_workers() const;
+  size_t num_live_workers() const;
+  CoordinatorStats stats() const;
+
+  /// Sends shutdown to every live worker (best effort).
+  void ShutdownWorkers();
+
+ private:
+  /// One worker endpoint. The per-worker mutex serializes use of the
+  /// connection (scatter threads and the heartbeat thread both send on it).
+  struct WorkerState {
+    std::string host;
+    int port = 0;
+    mutable Mutex mu;
+    Conn conn SCORPION_GUARDED_BY(mu);
+    bool alive SCORPION_GUARDED_BY(mu) = true;
+    uint64_t next_id SCORPION_GUARDED_BY(mu) = 1;
+  };
+
+  struct BlockRange {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  Coordinator(std::vector<std::unique_ptr<WorkerState>> workers,
+              CoordinatorOptions options);
+
+  /// One request/response round trip on `worker` (locks worker.mu). On any
+  /// failure the worker is marked lost and the error returned.
+  Result<JsonValue> Call(WorkerState& worker, const std::string& op,
+                         JsonValue body, double timeout_seconds);
+
+  /// Executes one shard over one specific worker.
+  Result<std::vector<ShardGroupMatches>> ShardOnWorker(
+      WorkerState& worker, const Predicate& pred, const BlockRange& range);
+
+  /// Runs `range` against survivors with retry/backoff, then the local
+  /// fallback. `preferred` indexes workers_.
+  Result<std::vector<ShardGroupMatches>> DispatchRange(
+      const Predicate& pred, const BlockRange& range, size_t preferred);
+
+  /// The in-process equivalent of ShardOnWorker, same restriction logic.
+  Result<std::vector<ShardGroupMatches>> FilterRangeLocally(
+      const Predicate& pred, const BlockRange& range) const;
+
+  void HeartbeatLoop();
+
+  const CoordinatorOptions options_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+
+  // Published problem (borrowed).
+  const Table* table_ = nullptr;
+  const QueryResult* result_ = nullptr;
+  const ProblemSpec* problem_ = nullptr;
+  std::vector<int> relevant_;
+  uint64_t num_blocks_ = 0;
+  Fingerprint session_;
+
+  /// Serializes Matches() end to end: the engine may score from several
+  /// threads, but one scatter at a time keeps per-worker queueing trivial
+  /// and the failure accounting exact.
+  Mutex scatter_mu_;
+
+  RelaxedCounter workers_lost_;
+  RelaxedCounter ranges_redispatched_;
+  RelaxedCounter bytes_on_wire_;
+  RelaxedCounter shard_requests_;
+  RelaxedCounter local_fallback_ranges_;
+
+  std::thread heartbeat_thread_;
+  Mutex heartbeat_mu_;
+  CondVar heartbeat_cv_;
+  bool stopping_ SCORPION_GUARDED_BY(heartbeat_mu_) = false;
+};
+
+}  // namespace scorpion

@@ -1,0 +1,233 @@
+#include "distributed/protocol.h"
+
+#include <cmath>
+
+#include "api/serialization.h"
+#include "common/macros.h"
+
+namespace scorpion {
+
+namespace {
+
+Result<uint64_t> U64Field(JsonObjectReader& reader, const std::string& key) {
+  SCORPION_ASSIGN_OR_RETURN(double raw, reader.GetDouble(key));
+  if (raw < 0.0 || raw > 9007199254740992.0 || raw != std::floor(raw)) {
+    return reader.Error(key + " must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(raw);
+}
+
+}  // namespace
+
+JsonParseLimits WireParseLimits() {
+  JsonParseLimits limits;
+  limits.max_nodes = 16u << 20;  // 16M values; see header rationale
+  return limits;
+}
+
+std::string EncodeRequest(const std::string& op, uint64_t id, JsonValue body) {
+  JsonValue out = JsonValue::Object();
+  out.Add("scorpion_wire",
+          JsonValue::Number(static_cast<double>(kDistributedWireVersion)));
+  out.Add("op", JsonValue::String(op));
+  out.Add("id", JsonValue::Number(static_cast<double>(id)));
+  out.Add("body", std::move(body));
+  return out.Dump();
+}
+
+Result<WireRequest> ParseRequest(const std::string& payload,
+                                 const JsonParseLimits& limits) {
+  SCORPION_ASSIGN_OR_RETURN(JsonValue value,
+                            JsonValue::Parse(payload, limits));
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(value, "wire request"));
+  SCORPION_ASSIGN_OR_RETURN(int64_t version, reader.GetInt("scorpion_wire"));
+  if (version != kDistributedWireVersion) {
+    return reader.Error("unsupported wire version " +
+                        std::to_string(version));
+  }
+  WireRequest request;
+  SCORPION_ASSIGN_OR_RETURN(request.op, reader.GetString("op"));
+  SCORPION_ASSIGN_OR_RETURN(request.id, U64Field(reader, "id"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* body, reader.GetObject("body"));
+  request.body = *body;
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  return request;
+}
+
+std::string EncodeResponse(uint64_t id, JsonValue body) {
+  JsonValue out = JsonValue::Object();
+  out.Add("scorpion_wire",
+          JsonValue::Number(static_cast<double>(kDistributedWireVersion)));
+  out.Add("id", JsonValue::Number(static_cast<double>(id)));
+  out.Add("ok", JsonValue::Bool(true));
+  out.Add("body", std::move(body));
+  return out.Dump();
+}
+
+std::string EncodeErrorResponse(uint64_t id, const Status& status) {
+  JsonValue error = JsonValue::Object();
+  error.Add("code",
+            JsonValue::Number(static_cast<double>(
+                static_cast<int>(status.code()))));
+  error.Add("message", JsonValue::String(status.message()));
+  JsonValue out = JsonValue::Object();
+  out.Add("scorpion_wire",
+          JsonValue::Number(static_cast<double>(kDistributedWireVersion)));
+  out.Add("id", JsonValue::Number(static_cast<double>(id)));
+  out.Add("ok", JsonValue::Bool(false));
+  out.Add("error", std::move(error));
+  return out.Dump();
+}
+
+Result<JsonValue> ParseResponse(const std::string& payload, uint64_t expect_id,
+                                const JsonParseLimits& limits) {
+  SCORPION_ASSIGN_OR_RETURN(JsonValue value,
+                            JsonValue::Parse(payload, limits));
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(value, "wire response"));
+  SCORPION_ASSIGN_OR_RETURN(int64_t version, reader.GetInt("scorpion_wire"));
+  if (version != kDistributedWireVersion) {
+    return reader.Error("unsupported wire version " +
+                        std::to_string(version));
+  }
+  SCORPION_ASSIGN_OR_RETURN(uint64_t id, U64Field(reader, "id"));
+  if (id != expect_id) {
+    return reader.Error("response id " + std::to_string(id) +
+                        " does not match request id " +
+                        std::to_string(expect_id));
+  }
+  SCORPION_ASSIGN_OR_RETURN(bool ok, reader.GetBool("ok"));
+  if (!ok) {
+    SCORPION_ASSIGN_OR_RETURN(const JsonValue* error,
+                              reader.GetObject("error"));
+    SCORPION_ASSIGN_OR_RETURN(
+        JsonObjectReader error_reader,
+        JsonObjectReader::Make(*error, "wire response error"));
+    SCORPION_ASSIGN_OR_RETURN(int64_t code, error_reader.GetInt("code"));
+    SCORPION_ASSIGN_OR_RETURN(std::string message,
+                              error_reader.GetString("message"));
+    SCORPION_RETURN_NOT_OK(error_reader.Finish());
+    SCORPION_RETURN_NOT_OK(reader.Finish());
+    if (code <= static_cast<int64_t>(StatusCode::kOk) ||
+        code > static_cast<int64_t>(StatusCode::kUnavailable)) {
+      // Unknown codes (newer peer?) degrade to Internal, never to kOk.
+      return Status::Internal("remote: " + message);
+    }
+    return Status(static_cast<StatusCode>(code), "remote: " + message);
+  }
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* body, reader.GetObject("body"));
+  JsonValue out = *body;
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  return out;
+}
+
+JsonValue ShardFilterRequestToJson(const ShardFilterRequest& request) {
+  JsonValue out = JsonValue::Object();
+  out.Add("session_fp", JsonValue::String(request.session.ToHex()));
+  out.Add("predicate", PredicateToJsonValue(request.pred));
+  out.Add("block_begin",
+          JsonValue::Number(static_cast<double>(request.block_begin)));
+  out.Add("block_end",
+          JsonValue::Number(static_cast<double>(request.block_end)));
+  return out;
+}
+
+Result<ShardFilterRequest> ShardFilterRequestFromJson(const JsonValue& value) {
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(value, "shard_filter"));
+  ShardFilterRequest request;
+  SCORPION_ASSIGN_OR_RETURN(std::string session,
+                            reader.GetString("session_fp"));
+  SCORPION_ASSIGN_OR_RETURN(request.session, Fingerprint::FromHex(session));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* pred,
+                            reader.GetMember("predicate"));
+  SCORPION_ASSIGN_OR_RETURN(request.pred, PredicateFromJsonValue(*pred));
+  SCORPION_ASSIGN_OR_RETURN(request.block_begin,
+                            U64Field(reader, "block_begin"));
+  SCORPION_ASSIGN_OR_RETURN(request.block_end, U64Field(reader, "block_end"));
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  if (request.block_begin > request.block_end) {
+    return Status::InvalidArgument("shard_filter: inverted block range");
+  }
+  return request;
+}
+
+JsonValue ShardFilterResponseToJson(
+    const std::vector<ShardGroupMatches>& groups) {
+  JsonValue arr = JsonValue::Array();
+  for (const ShardGroupMatches& group : groups) {
+    JsonValue g = JsonValue::Object();
+    g.Add("index", JsonValue::Number(static_cast<double>(group.index)));
+    JsonValue rows = JsonValue::Array();
+    for (RowId row : group.rows) {
+      rows.Append(JsonValue::Number(static_cast<double>(row)));
+    }
+    g.Add("rows", std::move(rows));
+    arr.Append(std::move(g));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Add("groups", std::move(arr));
+  return out;
+}
+
+Result<std::vector<ShardGroupMatches>> ShardFilterResponseFromJson(
+    const JsonValue& value) {
+  SCORPION_ASSIGN_OR_RETURN(
+      JsonObjectReader reader,
+      JsonObjectReader::Make(value, "shard_filter response"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* groups,
+                            reader.GetArray("groups"));
+  std::vector<ShardGroupMatches> out;
+  out.reserve(groups->items().size());
+  for (const JsonValue& item : groups->items()) {
+    SCORPION_ASSIGN_OR_RETURN(
+        JsonObjectReader group_reader,
+        JsonObjectReader::Make(item, "shard_filter group"));
+    ShardGroupMatches group;
+    SCORPION_ASSIGN_OR_RETURN(int64_t index, group_reader.GetInt("index"));
+    if (index < 0) return group_reader.Error("negative group index");
+    group.index = static_cast<int>(index);
+    SCORPION_ASSIGN_OR_RETURN(const JsonValue* rows,
+                              group_reader.GetArray("rows"));
+    group.rows.reserve(rows->items().size());
+    RowId prev = 0;
+    bool first = true;
+    for (const JsonValue& r : rows->items()) {
+      if (!r.is_number()) {
+        return group_reader.Error("rows must be numbers");
+      }
+      double d = r.number_value();
+      if (d < 0.0 || d > 4294967295.0 || d != std::floor(d)) {
+        return group_reader.Error("row id out of range");
+      }
+      RowId row = static_cast<RowId>(d);
+      // Ascending and duplicate-free is part of the bit-identity contract
+      // (Selection::FromSorted requires it); reject rather than sort so a
+      // disagreeing peer is caught, not papered over.
+      if (!first && row <= prev) {
+        return group_reader.Error("rows must be strictly ascending");
+      }
+      prev = row;
+      first = false;
+      group.rows.push_back(row);
+    }
+    SCORPION_RETURN_NOT_OK(group_reader.Finish());
+    out.push_back(std::move(group));
+  }
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  return out;
+}
+
+Fingerprint SessionFingerprint(const Fingerprint& table_fp,
+                               const GroupByQuery& query,
+                               const ProblemSpec& problem) {
+  Fingerprinter fp;
+  fp.Str("scorpion.session.v1");
+  fp.U64(table_fp.hi).U64(table_fp.lo);
+  fp.Str(GroupByQueryToJsonValue(query).Dump());
+  fp.Str(ProblemSpecToJsonValue(problem).Dump());
+  return fp.Finish();
+}
+
+}  // namespace scorpion

@@ -1,0 +1,107 @@
+// Wire protocol for the distributed explanation service.
+//
+// Every message is one JSON document inside one frame (net/frame.h).
+// Requests: {"scorpion_wire":1,"op":"...","id":N,"body":{...}}. Responses:
+// {"scorpion_wire":1,"id":N,"ok":true,"body":{...}} on success, or
+// {"scorpion_wire":1,"id":N,"ok":false,"error":{"code":C,"message":"..."}}
+// where C is the sender's StatusCode — the caller gets the remote failure
+// back as a local Status with the same code.
+//
+// Ops:
+//   ping            {}                            -> {}
+//   publish_dataset {table, query, table_fp}      -> {num_blocks}
+//   prepare_problem {table_fp, problem}           -> {session_fp}
+//   shard_filter    {session_fp, predicate,
+//                    block_begin, block_end}      -> {groups:[{index,rows}]}
+//   shutdown        {}                            -> {}
+//
+// Both sides parse peer payloads under WireParseLimits() so a malicious or
+// broken peer cannot OOM them with deep nesting or node amplification; the
+// frame-level payload cap (FrameLimits) bounds raw bytes first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "core/problem.h"
+#include "predicate/predicate.h"
+#include "query/groupby.h"
+#include "table/types.h"
+
+namespace scorpion {
+
+/// Version stamped on every envelope; peers reject anything else.
+inline constexpr int64_t kDistributedWireVersion = 1;
+
+inline constexpr char kOpPing[] = "ping";
+inline constexpr char kOpPublishDataset[] = "publish_dataset";
+inline constexpr char kOpPrepareProblem[] = "prepare_problem";
+inline constexpr char kOpShardFilter[] = "shard_filter";
+inline constexpr char kOpShutdown[] = "shutdown";
+
+/// Parse limits for documents received from a peer. Depth stays at the
+/// parser default; the node cap corresponds to roughly a frame-cap-sized
+/// table payload of short numbers, far above any legitimate message given
+/// FrameLimits, but it bounds heap amplification from pathological inputs.
+JsonParseLimits WireParseLimits();
+
+/// \brief One decoded request envelope.
+struct WireRequest {
+  std::string op;
+  uint64_t id = 0;
+  JsonValue body;
+};
+
+/// Request/response envelope codecs. Encoders produce the full frame
+/// payload (the JSON text, not the frame header).
+std::string EncodeRequest(const std::string& op, uint64_t id, JsonValue body);
+Result<WireRequest> ParseRequest(const std::string& payload,
+                                 const JsonParseLimits& limits);
+
+std::string EncodeResponse(uint64_t id, JsonValue body);
+std::string EncodeErrorResponse(uint64_t id, const Status& status);
+
+/// Decodes a response envelope. A well-formed error envelope becomes the
+/// remote Status (same code, message prefixed with "remote: "); an id other
+/// than `expect_id` is an InvalidArgument (the stream lost sync).
+Result<JsonValue> ParseResponse(const std::string& payload, uint64_t expect_id,
+                                const JsonParseLimits& limits);
+
+/// \brief shard_filter request: filter one block range under one session.
+struct ShardFilterRequest {
+  Fingerprint session;
+  Predicate pred;
+  /// Block range [block_begin, block_end) over the PR-5 block grid
+  /// (table/block_stats.h, kBlockSize rows per block).
+  uint64_t block_begin = 0;
+  uint64_t block_end = 0;
+};
+
+/// \brief Matched rows of one result group within the requested range.
+struct ShardGroupMatches {
+  int index = 0;     // result index (QueryResult::results position)
+  RowIdList rows;    // matched row ids, ascending
+};
+
+JsonValue ShardFilterRequestToJson(const ShardFilterRequest& request);
+Result<ShardFilterRequest> ShardFilterRequestFromJson(const JsonValue& value);
+
+JsonValue ShardFilterResponseToJson(
+    const std::vector<ShardGroupMatches>& groups);
+Result<std::vector<ShardGroupMatches>> ShardFilterResponseFromJson(
+    const JsonValue& value);
+
+/// Content identity of one explanation session: table fingerprint, the
+/// query, and the problem annotations, hashed over their canonical JSON.
+/// Coordinator and worker compute it independently; a mismatch after
+/// prepare_problem means the two sides disagree on the data and the
+/// coordinator refuses to serve.
+Fingerprint SessionFingerprint(const Fingerprint& table_fp,
+                               const GroupByQuery& query,
+                               const ProblemSpec& problem);
+
+}  // namespace scorpion

@@ -1,0 +1,252 @@
+#include "distributed/worker.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "api/serialization.h"
+#include "common/macros.h"
+#include "table/block_stats.h"
+#include "table/selection.h"
+
+namespace scorpion {
+
+Result<std::unique_ptr<Worker>> Worker::Start(const std::string& host,
+                                              int port,
+                                              WorkerOptions options) {
+  SCORPION_ASSIGN_OR_RETURN(Listener listener, Listener::Listen(host, port));
+  std::unique_ptr<Worker> worker(
+      new Worker(std::move(listener), std::move(options)));
+  worker->accept_thread_ = std::thread([w = worker.get()] { w->AcceptLoop(); });
+  return worker;
+}
+
+Worker::Worker(Listener listener, WorkerOptions options)
+    : options_(std::move(options)), listener_(std::move(listener)) {}
+
+Worker::~Worker() { Stop(); }
+
+bool Worker::stopped() const {
+  MutexLock lock(mu_);
+  return halted_;
+}
+
+void Worker::Halt() {
+  MutexLock lock(mu_);
+  if (halted_) return;
+  halted_ = true;
+  listener_.Shutdown();
+  for (Conn* conn : live_conns_) conn->ShutdownRW();
+}
+
+void Worker::Stop() {
+  Halt();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited, so no new threads are being registered;
+  // take the list and join outside the lock (the threads themselves lock
+  // mu_ to deregister their connections).
+  std::vector<std::thread> threads;
+  {
+    MutexLock lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Worker::AcceptLoop() {
+  while (true) {
+    Result<Conn> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // Cancelled by Halt, or a fatal error
+    // The connection is heap-allocated so Halt() can shut it down through
+    // the registry while its serving thread owns it.
+    auto conn = std::make_unique<Conn>(std::move(*accepted));
+    MutexLock lock(mu_);
+    if (halted_) return;
+    Conn* raw = conn.get();
+    live_conns_.push_back(raw);
+    conn_threads_.emplace_back(
+        [this, owned = std::move(conn)]() mutable { Serve(owned.get()); });
+  }
+}
+
+void Worker::Serve(Conn* conn) {
+  while (true) {
+    Result<std::string> payload = conn->ReadFrame(options_.frame_limits);
+    if (!payload.ok()) break;
+    Result<WireRequest> request = ParseRequest(*payload, WireParseLimits());
+    if (!request.ok()) {
+      // Frame boundaries are still intact (the frame itself decoded), so
+      // report the bad envelope and keep serving this connection.
+      if (!conn->WriteFrame(EncodeErrorResponse(0, request.status())).ok()) {
+        break;
+      }
+      continue;
+    }
+
+    if (request->op == kOpShardFilter && options_.die_on_shard_request > 0) {
+      bool die = false;
+      {
+        MutexLock lock(mu_);
+        die = ++shard_requests_seen_ >= options_.die_on_shard_request;
+      }
+      if (die) {
+        // Crash simulation: no response, every connection dropped.
+        Halt();
+        if (options_.on_die) options_.on_die();
+        break;
+      }
+    }
+
+    bool shutdown = false;
+    Result<JsonValue> body = Handle(*request, &shutdown);
+    const std::string response =
+        body.ok() ? EncodeResponse(request->id, std::move(*body))
+                  : EncodeErrorResponse(request->id, body.status());
+    if (!conn->WriteFrame(response).ok()) break;
+    if (shutdown) {
+      Halt();
+      break;
+    }
+  }
+  MutexLock lock(mu_);
+  live_conns_.erase(
+      std::remove(live_conns_.begin(), live_conns_.end(), conn),
+      live_conns_.end());
+}
+
+Result<JsonValue> Worker::Handle(const WireRequest& request, bool* shutdown) {
+  if (request.op == kOpPing) return JsonValue::Object();
+  if (request.op == kOpShutdown) {
+    *shutdown = true;
+    return JsonValue::Object();
+  }
+  if (request.op == kOpPublishDataset) {
+    return HandlePublishDataset(request.body);
+  }
+  if (request.op == kOpPrepareProblem) {
+    return HandlePrepareProblem(request.body);
+  }
+  if (request.op == kOpShardFilter) return HandleShardFilter(request.body);
+  return Status::InvalidArgument("unknown op '" + request.op + "'");
+}
+
+Result<JsonValue> Worker::HandlePublishDataset(const JsonValue& body) {
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(body, "publish_dataset"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* table_json,
+                            reader.GetMember("table"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* query_json,
+                            reader.GetMember("query"));
+  SCORPION_ASSIGN_OR_RETURN(std::string claimed_fp,
+                            reader.GetString("table_fp"));
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+
+  SCORPION_ASSIGN_OR_RETURN(Table table, TableFromJsonValue(*table_json));
+  // Verify the rebuilt table is byte-equivalent to the sender's: same
+  // schema, same values, same dictionary encoding. Catches both wire
+  // corruption and encoder/decoder drift before any result depends on it.
+  const std::string actual_fp = table.fingerprint().ToHex();
+  if (actual_fp != claimed_fp) {
+    return Status::InvalidArgument(
+        "publish_dataset: rebuilt table fingerprint " + actual_fp +
+        " does not match sender's " + claimed_fp);
+  }
+  SCORPION_ASSIGN_OR_RETURN(GroupByQuery query,
+                            GroupByQueryFromJsonValue(*query_json));
+  SCORPION_ASSIGN_OR_RETURN(QueryResult result,
+                            ExecuteGroupBy(table, query));
+
+  const uint64_t num_blocks =
+      (table.num_rows() + kBlockSize - 1) / kBlockSize;
+  auto state = std::make_unique<DatasetState>(
+      DatasetState{std::move(table), std::move(result)});
+  {
+    MutexLock lock(mu_);
+    datasets_[actual_fp] = std::move(state);
+  }
+  JsonValue resp = JsonValue::Object();
+  resp.Add("num_blocks", JsonValue::Number(static_cast<double>(num_blocks)));
+  return resp;
+}
+
+Result<JsonValue> Worker::HandlePrepareProblem(const JsonValue& body) {
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(body, "prepare_problem"));
+  SCORPION_ASSIGN_OR_RETURN(std::string table_fp_hex,
+                            reader.GetString("table_fp"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* problem_json,
+                            reader.GetMember("problem"));
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  SCORPION_ASSIGN_OR_RETURN(Fingerprint table_fp,
+                            Fingerprint::FromHex(table_fp_hex));
+  SCORPION_ASSIGN_OR_RETURN(ProblemSpec problem,
+                            ProblemSpecFromJsonValue(*problem_json));
+
+  Fingerprint session;
+  {
+    MutexLock lock(mu_);
+    auto it = datasets_.find(table_fp_hex);
+    if (it == datasets_.end()) {
+      return Status::KeyError("prepare_problem: no dataset with fingerprint " +
+                              table_fp_hex);
+    }
+    const DatasetState& ds = *it->second;
+    SCORPION_RETURN_NOT_OK(problem.Validate(ds.result));
+    session = SessionFingerprint(table_fp, ds.result.query, problem);
+    std::set<int> relevant(problem.outliers.begin(), problem.outliers.end());
+    relevant.insert(problem.holdouts.begin(), problem.holdouts.end());
+    SessionState state;
+    state.table_fp_hex = table_fp_hex;
+    state.relevant.assign(relevant.begin(), relevant.end());
+    sessions_[session.ToHex()] = std::move(state);
+  }
+  JsonValue resp = JsonValue::Object();
+  resp.Add("session_fp", JsonValue::String(session.ToHex()));
+  return resp;
+}
+
+Result<JsonValue> Worker::HandleShardFilter(const JsonValue& body) {
+  SCORPION_ASSIGN_OR_RETURN(ShardFilterRequest request,
+                            ShardFilterRequestFromJson(body));
+  MutexLock lock(mu_);
+  auto session_it = sessions_.find(request.session.ToHex());
+  if (session_it == sessions_.end()) {
+    return Status::KeyError("shard_filter: unknown session " +
+                            request.session.ToHex());
+  }
+  const SessionState& session = session_it->second;
+  auto dataset_it = datasets_.find(session.table_fp_hex);
+  SCORPION_CHECK(dataset_it != datasets_.end(),
+                 "session points at an evicted dataset");
+  const DatasetState& ds = *dataset_it->second;
+
+  const uint64_t num_blocks =
+      (ds.table.num_rows() + kBlockSize - 1) / kBlockSize;
+  const uint64_t begin_block = std::min(request.block_begin, num_blocks);
+  const uint64_t end_block = std::min(request.block_end, num_blocks);
+  const RowId begin_row = static_cast<RowId>(begin_block * kBlockSize);
+  const RowId end_row = static_cast<RowId>(
+      std::min<uint64_t>(end_block * kBlockSize, ds.table.num_rows()));
+
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound,
+                            request.pred.Bind(ds.table));
+  std::vector<ShardGroupMatches> groups;
+  groups.reserve(session.relevant.size());
+  for (int idx : session.relevant) {
+    const RowIdList& rows = ds.result.results[idx].input_group.rows();
+    auto lo = std::lower_bound(rows.begin(), rows.end(), begin_row);
+    auto hi = std::lower_bound(rows.begin(), rows.end(), end_row);
+    Selection input =
+        Selection::FromSorted(RowIdList(lo, hi), ds.table.num_rows());
+    Selection matched = bound.Filter(input);
+    ShardGroupMatches group;
+    group.index = idx;
+    group.rows = matched.rows();
+    groups.push_back(std::move(group));
+  }
+  return ShardFilterResponseToJson(groups);
+}
+
+}  // namespace scorpion

@@ -61,6 +61,10 @@ struct Job {
   /// async explains share one cache). When null, the service's keyed
   /// session cache supplies one.
   std::shared_ptr<ExplainSession> session;
+  /// Optional remote match-set data plane for this job (see
+  /// ScorpionOptions::match_source). Not owned; must outlive the response
+  /// future. The distributed Coordinator submits jobs with itself here.
+  PredicateMatchSource* match_source = nullptr;
 
   /// Sets the deadline relative to now. Rejects negative or non-finite
   /// seconds with InvalidArgument (a negative deadline would silently

@@ -194,6 +194,9 @@ void ExplanationService::Execute(ScheduledJob item) {
   ScorpionOptions engine_options = options_.engine;
   engine_options.algorithm = job.algorithm;
   if (job.top_k > 0) engine_options.top_k = job.top_k;
+  if (job.match_source != nullptr) {
+    engine_options.match_source = job.match_source;
+  }
   Scorpion engine(engine_options);
   engine.set_thread_pool(scoring_pool_.get());
 

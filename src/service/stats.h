@@ -28,6 +28,13 @@ struct ServiceStatsSnapshot {
   // the rows whose column data was never read.
   uint64_t blocks_pruned = 0;
   uint64_t rows_skipped_by_pruning = 0;
+  // Distributed data plane (src/distributed/): workers declared dead
+  // (missed heartbeats or exhausted request retries), block ranges
+  // re-dispatched to surviving workers after a failure, and total frame
+  // bytes (headers included) exchanged with workers.
+  uint64_t workers_lost = 0;
+  uint64_t ranges_redispatched = 0;
+  uint64_t bytes_on_wire = 0;
   size_t queue_depth = 0;          // requests waiting right now
   double p50_latency_seconds = 0.0;  // submit-to-completion, completed only
   double p95_latency_seconds = 0.0;
@@ -55,6 +62,9 @@ class ServiceStats {
   RelaxedCounter cache_result_hits;
   RelaxedCounter blocks_pruned;
   RelaxedCounter rows_skipped_by_pruning;
+  RelaxedCounter workers_lost;
+  RelaxedCounter ranges_redispatched;
+  RelaxedCounter bytes_on_wire;
 
   /// Records one completed request's submit-to-completion latency. Samples
   /// live in a fixed-size ring, so quantiles cover the most recent
@@ -82,6 +92,9 @@ class ServiceStats {
     snap.cache_result_hits = cache_result_hits.load();
     snap.blocks_pruned = blocks_pruned.load();
     snap.rows_skipped_by_pruning = rows_skipped_by_pruning.load();
+    snap.workers_lost = workers_lost.load();
+    snap.ranges_redispatched = ranges_redispatched.load();
+    snap.bytes_on_wire = bytes_on_wire.load();
     snap.queue_depth = queue_depth;
     std::vector<double> sorted;
     {

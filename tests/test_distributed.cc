@@ -1,0 +1,300 @@
+// Coordinator/worker differential tests, in-process over loopback.
+//
+// The load-bearing assertion of the distributed service: an explain whose
+// filter data plane is scattered over worker shards is BIT-identical to the
+// in-process engine — same predicates, same influence doubles — for every
+// algorithm, including runs where a worker dies mid-request and its block
+// ranges are re-dispatched to survivors.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scorpion.h"
+#include "distributed/coordinator.h"
+#include "distributed/worker.h"
+#include "eval/experiment.h"
+#include "query/groupby.h"
+#include "workload/synth.h"
+
+namespace scorpion {
+namespace {
+
+// 10 groups x 1200 rows = 12000 rows = 3 blocks of 4096: every scatter
+// spans multiple blocks and (with two workers) multiple ranges.
+constexpr int kTuplesPerGroup = 1200;
+
+struct Instance {
+  SynthDataset dataset;
+  QueryResult qr;
+  ProblemSpec problem;
+};
+
+Instance MakeInstance() {
+  SynthOptions synth;
+  synth.dims = 2;
+  synth.tuples_per_group = kTuplesPerGroup;
+  auto dataset = GenerateSynth(synth);
+  SCORPION_CHECK(dataset.ok(), "synth generation failed");
+  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
+  SCORPION_CHECK(qr.ok(), "group-by failed");
+  auto problem =
+      MakeProblem(*qr, dataset->outlier_keys, dataset->holdout_keys,
+                  /*error_direction=*/1.0, /*lambda=*/0.5, /*c=*/0.5,
+                  dataset->attributes);
+  SCORPION_CHECK(problem.ok(), "problem construction failed");
+  Instance inst{std::move(*dataset), std::move(*qr), std::move(*problem)};
+  return inst;
+}
+
+ScorpionOptions EngineOptions(Algorithm algorithm) {
+  ScorpionOptions options;
+  options.algorithm = algorithm;
+  // NAIVE determinism: a budget it never exhausts plus an interval that
+  // suppresses wall-clock checkpoints, so two runs sweep identically. The
+  // coarse split count keeps the exhaustive sweep (one wire round trip per
+  // scored predicate) test-sized.
+  options.naive.time_budget_seconds = 300.0;
+  options.naive.max_clauses = 2;
+  options.naive.num_continuous_splits = 6;
+  options.naive.checkpoint_interval_seconds = 1e9;
+  return options;
+}
+
+std::vector<std::unique_ptr<Worker>> StartWorkers(
+    int n, WorkerOptions options = {}) {
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int i = 0; i < n; ++i) {
+    auto worker = Worker::Start("127.0.0.1", 0, options);
+    SCORPION_CHECK(worker.ok(), "worker start failed");
+    workers.push_back(std::move(*worker));
+  }
+  return workers;
+}
+
+std::vector<std::string> Endpoints(
+    const std::vector<std::unique_ptr<Worker>>& workers) {
+  std::vector<std::string> endpoints;
+  for (const auto& w : workers) {
+    endpoints.push_back("127.0.0.1:" + std::to_string(w->port()));
+  }
+  return endpoints;
+}
+
+void ExpectBitIdentical(const Explanation& remote, const Explanation& local) {
+  ASSERT_EQ(remote.predicates.size(), local.predicates.size());
+  for (size_t i = 0; i < remote.predicates.size(); ++i) {
+    EXPECT_EQ(remote.predicates[i].pred.ToString(),
+              local.predicates[i].pred.ToString())
+        << "predicate " << i << " diverged";
+    // Exact double equality on purpose: the distributed gather must feed
+    // the scorer the very rows the local filter finds, in the same order,
+    // so every influence comes out of identical arithmetic.
+    EXPECT_EQ(remote.predicates[i].influence, local.predicates[i].influence)
+        << "influence " << i << " diverged";
+  }
+}
+
+class DistributedExplain : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(DistributedExplain, BitIdenticalToLocal) {
+  const Instance inst = MakeInstance();
+  const ScorpionOptions options = EngineOptions(GetParam());
+
+  Scorpion local_engine(options);
+  auto local = local_engine.Explain(inst.dataset.table, inst.qr,
+                                    inst.problem);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+
+  auto workers = StartWorkers(2);
+  auto coordinator = Coordinator::Connect(Endpoints(workers));
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  ASSERT_TRUE(
+      (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
+  auto remote = (*coordinator)->Explain(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  ExpectBitIdentical(*remote, *local);
+  // The data plane really went over the wire.
+  EXPECT_GT(remote->scorer_stats.remote_match_fetches.load(), 0u);
+  const CoordinatorStats stats = (*coordinator)->stats();
+  EXPECT_GT(stats.shard_requests, 0u);
+  EXPECT_GT(stats.bytes_on_wire, 0u);
+  EXPECT_EQ(stats.workers_lost, 0u);
+  EXPECT_EQ(stats.local_fallback_ranges, 0u);
+  EXPECT_EQ((*coordinator)->num_live_workers(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, DistributedExplain,
+                         ::testing::Values(Algorithm::kDT, Algorithm::kMC,
+                                           Algorithm::kNaive),
+                         [](const auto& info) {
+                           return AlgorithmToString(info.param);
+                         });
+
+TEST(DistributedFaults, WorkerDeathTriggersRedispatch) {
+  const Instance inst = MakeInstance();
+  const ScorpionOptions options = EngineOptions(Algorithm::kDT);
+
+  Scorpion local_engine(options);
+  auto local = local_engine.Explain(inst.dataset.table, inst.qr,
+                                    inst.problem);
+  ASSERT_TRUE(local.ok());
+
+  // The second worker drops every connection upon receiving its first
+  // shard_filter, without responding — a crash as the coordinator sees it.
+  auto healthy = StartWorkers(1);
+  WorkerOptions dying_options;
+  dying_options.die_on_shard_request = 1;
+  auto dying = StartWorkers(1, std::move(dying_options));
+
+  CoordinatorOptions coordinator_options;
+  coordinator_options.retry_backoff_seconds = 0.001;
+  std::vector<std::string> endpoints = Endpoints(healthy);
+  endpoints.push_back("127.0.0.1:" + std::to_string(dying[0]->port()));
+  auto coordinator =
+      Coordinator::Connect(endpoints, std::move(coordinator_options));
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  ASSERT_TRUE(
+      (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
+
+  auto remote = (*coordinator)->Explain(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ExpectBitIdentical(*remote, *local);
+
+  const CoordinatorStats stats = (*coordinator)->stats();
+  EXPECT_GE(stats.workers_lost, 1u);
+  EXPECT_GE(stats.ranges_redispatched, 1u);
+  // The survivor absorbed the dead worker's ranges; nothing fell back to
+  // local filtering.
+  EXPECT_EQ(stats.local_fallback_ranges, 0u);
+  EXPECT_EQ((*coordinator)->num_live_workers(), 1u);
+}
+
+TEST(DistributedFaults, AllWorkersDeadFallsBackLocally) {
+  const Instance inst = MakeInstance();
+  const ScorpionOptions options = EngineOptions(Algorithm::kDT);
+
+  Scorpion local_engine(options);
+  auto local = local_engine.Explain(inst.dataset.table, inst.qr,
+                                    inst.problem);
+  ASSERT_TRUE(local.ok());
+
+  WorkerOptions dying_options;
+  dying_options.die_on_shard_request = 1;
+  auto workers = StartWorkers(1, std::move(dying_options));
+
+  CoordinatorOptions coordinator_options;
+  coordinator_options.retry_backoff_seconds = 0.001;
+  coordinator_options.max_attempts_per_range = 2;
+  auto coordinator =
+      Coordinator::Connect(Endpoints(workers), std::move(coordinator_options));
+  ASSERT_TRUE(coordinator.ok());
+  ASSERT_TRUE(
+      (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
+
+  auto remote = (*coordinator)->Explain(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ExpectBitIdentical(*remote, *local);
+
+  const CoordinatorStats stats = (*coordinator)->stats();
+  EXPECT_GE(stats.workers_lost, 1u);
+  EXPECT_GE(stats.local_fallback_ranges, 1u);
+  EXPECT_EQ((*coordinator)->num_live_workers(), 0u);
+}
+
+TEST(DistributedFaults, NoLocalFallbackSurfacesUnavailable) {
+  const Instance inst = MakeInstance();
+  WorkerOptions dying_options;
+  dying_options.die_on_shard_request = 1;
+  auto workers = StartWorkers(1, std::move(dying_options));
+
+  CoordinatorOptions coordinator_options;
+  coordinator_options.retry_backoff_seconds = 0.001;
+  coordinator_options.max_attempts_per_range = 2;
+  coordinator_options.allow_local_fallback = false;
+  auto coordinator =
+      Coordinator::Connect(Endpoints(workers), std::move(coordinator_options));
+  ASSERT_TRUE(coordinator.ok());
+  ASSERT_TRUE(
+      (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
+
+  auto remote = (*coordinator)->Explain(EngineOptions(Algorithm::kDT));
+  ASSERT_FALSE(remote.ok());
+}
+
+TEST(DistributedService, StatsFlowIntoServiceSink) {
+  const Instance inst = MakeInstance();
+  auto workers = StartWorkers(2);
+  ServiceStats sink;
+  CoordinatorOptions coordinator_options;
+  coordinator_options.service_stats = &sink;
+  auto coordinator =
+      Coordinator::Connect(Endpoints(workers), std::move(coordinator_options));
+  ASSERT_TRUE(coordinator.ok());
+  ASSERT_TRUE(
+      (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
+  auto remote = (*coordinator)->Explain(EngineOptions(Algorithm::kDT));
+  ASSERT_TRUE(remote.ok());
+  const ServiceStatsSnapshot snapshot = sink.Snapshot(/*queue_depth=*/0);
+  EXPECT_GT(snapshot.bytes_on_wire, 0u);
+  EXPECT_EQ(snapshot.workers_lost, 0u);
+  EXPECT_EQ(snapshot.ranges_redispatched, 0u);
+}
+
+TEST(DistributedService, MatchesBeforePublishFails) {
+  auto workers = StartWorkers(1);
+  auto coordinator = Coordinator::Connect(Endpoints(workers));
+  ASSERT_TRUE(coordinator.ok());
+  Predicate pred;
+  auto matches = (*coordinator)->Matches(pred);
+  EXPECT_FALSE(matches.ok());
+  EXPECT_TRUE(matches.status().IsInternal());
+}
+
+TEST(DistributedService, ConnectFailsOnDeadEndpoint) {
+  auto workers = StartWorkers(1);
+  std::vector<std::string> endpoints = Endpoints(workers);
+  // A listener that immediately stops: the port is (almost certainly)
+  // unreachable by the time the coordinator dials it.
+  {
+    auto doomed = StartWorkers(1);
+    endpoints.push_back("127.0.0.1:" + std::to_string(doomed[0]->port()));
+    doomed[0]->Stop();
+  }
+  CoordinatorOptions options;
+  options.connect_timeout_seconds = 1.0;
+  auto coordinator = Coordinator::Connect(endpoints, std::move(options));
+  EXPECT_FALSE(coordinator.ok());
+}
+
+TEST(DistributedProtocol, RemoteErrorsReconstructTheStatus) {
+  auto workers = StartWorkers(1);
+  auto conn = Conn::Dial("127.0.0.1", workers[0]->port(), 5.0);
+  ASSERT_TRUE(conn.ok());
+  // Unknown op: the worker answers with an error envelope the client turns
+  // back into a Status of the original code, message prefixed "remote: ".
+  ASSERT_TRUE(
+      conn->WriteFrame(EncodeRequest("bogus_op", 7, JsonValue::Object()))
+          .ok());
+  auto payload = conn->ReadFrame({});
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  auto response = ParseResponse(*payload, 7, WireParseLimits());
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument());
+  EXPECT_NE(response.status().ToString().find("remote: "), std::string::npos);
+  EXPECT_NE(response.status().ToString().find("bogus_op"), std::string::npos);
+}
+
+TEST(DistributedProtocol, SessionFingerprintSeparatesProblems) {
+  const Instance inst = MakeInstance();
+  const Fingerprint table_fp = inst.dataset.table.fingerprint();
+  ProblemSpec other = inst.problem;
+  other.lambda += 0.25;
+  EXPECT_NE(SessionFingerprint(table_fp, inst.qr.query, inst.problem),
+            SessionFingerprint(table_fp, inst.qr.query, other));
+}
+
+}  // namespace
+}  // namespace scorpion
