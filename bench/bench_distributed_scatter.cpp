@@ -1,0 +1,146 @@
+// Distributed scatter/gather vs the in-process engine: runtime, wire
+// traffic, and a hard differential check that the distributed answer is
+// bit-identical to the local one (the whole point of the row-id wire
+// contract). Workers run in-process on loopback, so the numbers measure
+// protocol + serialization overhead, not datacenter RTTs.
+//
+// Usage: bench_distributed_scatter [--tiny] [--json <path>]
+//   --tiny         CI smoke configuration (one small instance, 2 workers).
+//   --json <path>  Also write the measurements as JSON (the CI
+//                  perf-trajectory artifact, BENCH_distributed.json).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/timer.h"
+#include "core/scorpion.h"
+#include "distributed/coordinator.h"
+#include "distributed/worker.h"
+#include "eval/experiment.h"
+#include "query/groupby.h"
+#include "workload/synth.h"
+
+using namespace scorpion;
+
+template <typename T>
+const Status& AsStatus(const Result<T>& r) {
+  return r.status();
+}
+inline const Status& AsStatus(const Status& s) { return s; }
+
+#define BENCH_CHECK_OK(expr)                                         \
+  do {                                                               \
+    const auto& _res = (expr);                                       \
+    if (!_res.ok()) {                                                \
+      std::fprintf(stderr, "FATAL %s: %s\n", #expr,                  \
+                   AsStatus(_res).ToString().c_str());               \
+      return 1;                                                      \
+    }                                                                \
+  } while (false)
+
+int main(int argc, char** argv) {
+  bool tiny = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  SynthOptions synth;
+  synth.dims = 2;
+  synth.tuples_per_group = tiny ? 1200 : 20000;
+  auto dataset = GenerateSynth(synth);
+  BENCH_CHECK_OK(dataset);
+  auto qr = ExecuteGroupBy(dataset->table, dataset->query);
+  BENCH_CHECK_OK(qr);
+  auto problem = MakeProblem(*qr, dataset->outlier_keys,
+                             dataset->holdout_keys, /*error_direction=*/1.0,
+                             /*lambda=*/0.5, /*c=*/0.5, dataset->attributes);
+  BENCH_CHECK_OK(problem);
+
+  ScorpionOptions options;
+  options.algorithm = Algorithm::kDT;
+
+  std::printf("=== distributed scatter/gather (%s, %zu rows) ===\n",
+              tiny ? "tiny/CI config" : "full config",
+              dataset->table.num_rows());
+
+  WallTimer local_timer;
+  Scorpion local_engine(options);
+  auto local = local_engine.Explain(dataset->table, *qr, *problem);
+  BENCH_CHECK_OK(local);
+  const double local_seconds = local_timer.ElapsedSeconds();
+
+  const int num_workers = 2;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < num_workers; ++i) {
+    auto worker = Worker::Start("127.0.0.1", 0);
+    BENCH_CHECK_OK(worker);
+    endpoints.push_back("127.0.0.1:" + std::to_string((*worker)->port()));
+    workers.push_back(std::move(*worker));
+  }
+
+  auto coordinator = Coordinator::Connect(endpoints);
+  BENCH_CHECK_OK(coordinator);
+  WallTimer publish_timer;
+  BENCH_CHECK_OK((*coordinator)->Publish(dataset->table, *qr, *problem));
+  const double publish_seconds = publish_timer.ElapsedSeconds();
+
+  WallTimer remote_timer;
+  auto remote = (*coordinator)->Explain(options);
+  BENCH_CHECK_OK(remote);
+  const double remote_seconds = remote_timer.ElapsedSeconds();
+
+  const bool outputs_match =
+      remote->predicates.size() == local->predicates.size() &&
+      remote->best().pred.ToString() == local->best().pred.ToString() &&
+      remote->best().influence == local->best().influence;
+
+  const CoordinatorStats stats = (*coordinator)->stats();
+  std::printf("local    %.3fs\n", local_seconds);
+  std::printf("publish  %.3fs\n", publish_seconds);
+  std::printf("remote   %.3fs  (%.2fx local)\n", remote_seconds,
+              local_seconds > 0 ? remote_seconds / local_seconds : 0.0);
+  std::printf("shards   %llu requests, %llu bytes on wire\n",
+              static_cast<unsigned long long>(stats.shard_requests),
+              static_cast<unsigned long long>(stats.bytes_on_wire));
+  std::printf("match    %s\n", outputs_match ? "bit-identical" : "DIVERGED");
+
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Add("bench", JsonValue::String("distributed_scatter"));
+    doc.Add("config", JsonValue::String(tiny ? "tiny" : "full"));
+    doc.Add("rows",
+            JsonValue::Number(static_cast<double>(dataset->table.num_rows())));
+    doc.Add("workers", JsonValue::Number(num_workers));
+    doc.Add("local_seconds", JsonValue::Number(local_seconds));
+    doc.Add("publish_seconds", JsonValue::Number(publish_seconds));
+    doc.Add("remote_seconds", JsonValue::Number(remote_seconds));
+    doc.Add("shard_requests",
+            JsonValue::Number(static_cast<double>(stats.shard_requests)));
+    doc.Add("bytes_on_wire",
+            JsonValue::Number(static_cast<double>(stats.bytes_on_wire)));
+    doc.Add("workers_lost",
+            JsonValue::Number(static_cast<double>(stats.workers_lost)));
+    doc.Add("ranges_redispatched",
+            JsonValue::Number(static_cast<double>(stats.ranges_redispatched)));
+    doc.Add("outputs_match", JsonValue::Bool(outputs_match));
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", doc.Dump(2).c_str());
+    std::fclose(f);
+  }
+
+  (*coordinator)->ShutdownWorkers();
+  return outputs_match ? 0 : 1;
+}

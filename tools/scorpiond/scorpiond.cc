@@ -1,0 +1,225 @@
+// scorpiond: the distributed explanation service on the command line.
+//
+//   scorpiond worker --listen <port> [--host <addr>] [--die-after-shards N]
+//     Serves the wire protocol until a shutdown op arrives. Prints
+//     "LISTENING <port>" on stdout once bound (port 0 picks an ephemeral
+//     port), which is what examples/run_distributed_loopback.sh and the
+//     multi-process ctest driver wait for. --die-after-shards makes the
+//     process _exit upon receiving its N-th shard_filter request, for
+//     exercising the coordinator's re-dispatch path end to end.
+//
+//   scorpiond coordinate --workers <host:port,...> [--algorithm dt|mc|naive]
+//             [--tuples-per-group N] [--verify-local] [--shutdown-workers]
+//     Generates a deterministic SYNTH instance, publishes it to the
+//     workers, runs a distributed explain, and prints a JSON summary.
+//     --verify-local also runs the in-process engine on the same problem
+//     and fails (exit 1) unless the distributed answer is bit-identical.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "core/scorpion.h"
+#include "distributed/coordinator.h"
+#include "distributed/worker.h"
+#include "eval/experiment.h"
+#include "query/groupby.h"
+#include "workload/synth.h"
+
+namespace {
+
+using namespace scorpion;  // NOLINT(google-build-using-namespace)
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  scorpiond worker --listen <port> [--host <addr>]"
+      " [--die-after-shards N]\n"
+      "  scorpiond coordinate --workers <host:port,...>"
+      " [--algorithm dt|mc|naive] [--tuples-per-group N]"
+      " [--verify-local] [--shutdown-workers]\n");
+  return 2;
+}
+
+template <typename T>
+const Status& AsStatus(const Result<T>& r) {
+  return r.status();
+}
+inline const Status& AsStatus(const Status& s) { return s; }
+
+#define TOOL_CHECK_OK(expr)                                \
+  do {                                                     \
+    const auto& _res = (expr);                             \
+    if (!_res.ok()) {                                      \
+      std::fprintf(stderr, "scorpiond: %s: %s\n", #expr,   \
+                   AsStatus(_res).ToString().c_str());     \
+      return 1;                                            \
+    }                                                      \
+  } while (false)
+
+int RunWorker(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  int die_after_shards = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--die-after-shards" && i + 1 < argc) {
+      die_after_shards = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (port < 0) return Usage();
+
+  WorkerOptions options;
+  options.die_on_shard_request = die_after_shards;
+  if (die_after_shards > 0) {
+    // A real crash: no destructors, no flushes, the sockets just vanish.
+    options.on_die = [] { std::_Exit(0); };
+  }
+  Result<std::unique_ptr<Worker>> worker =
+      Worker::Start(host, port, std::move(options));
+  TOOL_CHECK_OK(worker);
+  std::printf("LISTENING %d\n", (*worker)->port());
+  std::fflush(stdout);
+  while (!(*worker)->stopped()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  (*worker)->Stop();
+  return 0;
+}
+
+std::vector<std::string> SplitEndpoints(const std::string& list) {
+  std::vector<std::string> endpoints;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) endpoints.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+int RunCoordinate(int argc, char** argv) {
+  std::string workers_arg;
+  Algorithm algorithm = Algorithm::kDT;
+  int tuples_per_group = 2000;
+  bool verify_local = false;
+  bool shutdown_workers = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers" && i + 1 < argc) {
+      workers_arg = argv[++i];
+    } else if (arg == "--algorithm" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "dt") {
+        algorithm = Algorithm::kDT;
+      } else if (name == "mc") {
+        algorithm = Algorithm::kMC;
+      } else if (name == "naive") {
+        algorithm = Algorithm::kNaive;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--tuples-per-group" && i + 1 < argc) {
+      tuples_per_group = std::atoi(argv[++i]);
+    } else if (arg == "--verify-local") {
+      verify_local = true;
+    } else if (arg == "--shutdown-workers") {
+      shutdown_workers = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (workers_arg.empty()) return Usage();
+
+  // The same deterministic instance every run, so two invocations (or the
+  // local verification below) are comparable.
+  SynthOptions synth;
+  synth.dims = 2;
+  synth.tuples_per_group = tuples_per_group;
+  Result<SynthDataset> dataset = GenerateSynth(synth);
+  TOOL_CHECK_OK(dataset);
+  Result<QueryResult> qr = ExecuteGroupBy(dataset->table, dataset->query);
+  TOOL_CHECK_OK(qr);
+  Result<ProblemSpec> problem =
+      MakeProblem(*qr, dataset->outlier_keys, dataset->holdout_keys,
+                  /*error_direction=*/1.0, /*lambda=*/0.5, /*c=*/0.5,
+                  dataset->attributes);
+  TOOL_CHECK_OK(problem);
+
+  CoordinatorOptions coordinator_options;
+  coordinator_options.heartbeat_interval_seconds = 2.0;
+  Result<std::unique_ptr<Coordinator>> coordinator = Coordinator::Connect(
+      SplitEndpoints(workers_arg), std::move(coordinator_options));
+  TOOL_CHECK_OK(coordinator);
+  TOOL_CHECK_OK((*coordinator)->Publish(dataset->table, *qr, *problem));
+
+  ScorpionOptions engine_options;
+  engine_options.algorithm = algorithm;
+  // NAIVE's wall-clock checkpoints are nondeterministic; the huge interval
+  // disables them so --verify-local can demand bit-identity.
+  engine_options.naive.checkpoint_interval_seconds = 1e9;
+  Result<Explanation> remote = (*coordinator)->Explain(engine_options);
+  TOOL_CHECK_OK(remote);
+
+  const CoordinatorStats stats = (*coordinator)->stats();
+  JsonValue out = JsonValue::Object();
+  out.Add("algorithm", JsonValue::String(AlgorithmToString(algorithm)));
+  out.Add("workers", JsonValue::Number(
+                         static_cast<double>((*coordinator)->num_workers())));
+  out.Add("live_workers",
+          JsonValue::Number(
+              static_cast<double>((*coordinator)->num_live_workers())));
+  out.Add("predicate",
+          JsonValue::String(remote->best().pred.ToString(&dataset->table)));
+  out.Add("influence", JsonValue::Number(remote->best().influence));
+  out.Add("runtime_seconds", JsonValue::Number(remote->runtime_seconds));
+  out.Add("shard_requests",
+          JsonValue::Number(static_cast<double>(stats.shard_requests)));
+  out.Add("bytes_on_wire",
+          JsonValue::Number(static_cast<double>(stats.bytes_on_wire)));
+  out.Add("workers_lost",
+          JsonValue::Number(static_cast<double>(stats.workers_lost)));
+  out.Add("ranges_redispatched",
+          JsonValue::Number(static_cast<double>(stats.ranges_redispatched)));
+  out.Add("local_fallback_ranges",
+          JsonValue::Number(static_cast<double>(stats.local_fallback_ranges)));
+
+  int exit_code = 0;
+  if (verify_local) {
+    Scorpion engine(engine_options);
+    Result<Explanation> local =
+        engine.Explain(dataset->table, *qr, *problem);
+    TOOL_CHECK_OK(local);
+    const bool match =
+        remote->best().pred.ToString() == local->best().pred.ToString() &&
+        remote->best().influence == local->best().influence;
+    out.Add("matches_local", JsonValue::Bool(match));
+    if (!match) exit_code = 1;
+  }
+  if (shutdown_workers) (*coordinator)->ShutdownWorkers();
+
+  std::printf("%s\n", out.Dump().c_str());
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  if (mode == "worker") return RunWorker(argc - 2, argv + 2);
+  if (mode == "coordinate") return RunCoordinate(argc - 2, argv + 2);
+  return Usage();
+}
