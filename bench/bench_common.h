@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "common/macros.h"
@@ -49,10 +50,14 @@ inline Result<SynthInstance> MakeSynthInstance(const SynthOptions& opts) {
   return inst;
 }
 
-inline Result<SynthRun> RunOnSynth(const SynthInstance& inst,
-                                   Algorithm algorithm, double c,
-                                   double naive_budget_seconds = 30.0,
-                                   double lambda = 0.5) {
+/// Runs one algorithm on a prepared instance. `customize`, when set, edits
+/// the engine options after the defaults are filled in — the A/B benches
+/// use it to flip data-plane switches (pruning, candidate batching) without
+/// growing this signature per flag.
+inline Result<SynthRun> RunOnSynth(
+    const SynthInstance& inst, Algorithm algorithm, double c,
+    double naive_budget_seconds = 30.0, double lambda = 0.5,
+    const std::function<void(ScorpionOptions*)>& customize = {}) {
   SCORPION_ASSIGN_OR_RETURN(
       ProblemSpec problem,
       MakeProblem(inst.qr, inst.dataset.outlier_keys,
@@ -64,6 +69,7 @@ inline Result<SynthRun> RunOnSynth(const SynthInstance& inst,
   options.naive.time_budget_seconds = naive_budget_seconds;
   options.naive.max_clauses =
       static_cast<int>(inst.dataset.attributes.size());
+  if (customize) customize(&options);
   Scorpion scorpion(options);
   SCORPION_ASSIGN_OR_RETURN(
       Explanation explanation,

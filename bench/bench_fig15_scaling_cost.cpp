@@ -4,35 +4,103 @@
 // Paper shape: runtime is linear in the dataset size, with a slope that
 // grows super-linearly with dimensionality (more candidate splits and
 // merges).
+//
+// Each DT configuration also runs with candidate batching disabled
+// (ScorpionOptions::enable_candidate_batching = false) so the wall-clock
+// win of the batched data plane is visible per size, and the two outputs
+// are checked for exact agreement.
+//
+// Usage: bench_fig15_scaling_cost [--tiny] [--json <path>]
+//   --tiny         CI smoke configuration (one size, 2D only).
+//   --json <path>  Also write per-config timings + outputs_match as JSON.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "common/json.h"
 
 using namespace scorpion;
 using namespace scorpion::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    }
+  }
+
   std::printf("=== Figure 15: cost vs dataset size (Easy, c=0.1) ===\n");
-  const int kTuplesPerGroup[] = {500, 1000, 2500, 5000, 10000};
-  for (int dims : {2, 3, 4}) {
+  const std::vector<int> tuples_per_group =
+      tiny ? std::vector<int>{500} : std::vector<int>{500, 1000, 2500, 5000,
+                                                      10000};
+  const std::vector<int> dims_list =
+      tiny ? std::vector<int>{2} : std::vector<int>{2, 3, 4};
+
+  JsonValue configs = JsonValue::Array();
+  for (int dims : dims_list) {
     std::printf("\n--- %dD ---\n", dims);
-    TablePrinter table({"tuples(total)", "DT(s)", "MC(s)"});
-    for (int per_group : kTuplesPerGroup) {
+    TablePrinter table(
+        {"tuples(total)", "DT(s)", "DT-unbatched(s)", "MC(s)", "match"});
+    for (int per_group : tuples_per_group) {
       SynthOptions opts = SynthPreset(dims, /*easy=*/true);
       opts.tuples_per_group = per_group;
       auto inst = MakeSynthInstance(opts);
       BENCH_CHECK_OK(inst);
       auto dt = RunOnSynth(*inst, Algorithm::kDT, 0.1);
+      auto dt_unbatched = RunOnSynth(
+          *inst, Algorithm::kDT, 0.1, /*naive_budget_seconds=*/30.0,
+          /*lambda=*/0.5,
+          [](ScorpionOptions* o) { o->enable_candidate_batching = false; });
       auto mc = RunOnSynth(*inst, Algorithm::kMC, 0.1);
       BENCH_CHECK_OK(dt);
+      BENCH_CHECK_OK(dt_unbatched);
       BENCH_CHECK_OK(mc);
-      table.AddRow({std::to_string(per_group * 10),
-                    Fmt(dt->runtime_seconds), Fmt(mc->runtime_seconds)});
+      // The batched path is bit-identical by contract; surface any drift
+      // loudly (CI greps for MISMATCH and asserts outputs_match in the
+      // JSON).
+      const bool match = dt->best.ToString() == dt_unbatched->best.ToString() &&
+                         dt->influence == dt_unbatched->influence;
+      table.AddRow({std::to_string(per_group * 10), Fmt(dt->runtime_seconds),
+                    Fmt(dt_unbatched->runtime_seconds),
+                    Fmt(mc->runtime_seconds), match ? "yes" : "MISMATCH"});
+      JsonValue c = JsonValue::Object();
+      c.Add("dims", JsonValue::Number(dims));
+      c.Add("tuples_total", JsonValue::Number(per_group * 10));
+      c.Add("dt_seconds_batched", JsonValue::Number(dt->runtime_seconds));
+      c.Add("dt_seconds_unbatched",
+            JsonValue::Number(dt_unbatched->runtime_seconds));
+      c.Add("mc_seconds", JsonValue::Number(mc->runtime_seconds));
+      c.Add("outputs_match", JsonValue::Bool(match));
+      configs.Append(std::move(c));
     }
     table.Print();
   }
   std::printf("\nExpected shape (paper): linear growth in rows; slope rises\n"
               "with dimensionality. (NAIVE is omitted here as in the paper's\n"
               "figure it is the flat 40-minute budget line.)\n");
+
+  if (!json_path.empty()) {
+    JsonValue root = JsonValue::Object();
+    root.Add("bench", JsonValue::String("fig15_scaling_cost"));
+    root.Add("version", JsonValue::Number(1));
+    root.Add("tiny", JsonValue::Bool(tiny));
+    root.Add("configs", std::move(configs));
+    const std::string text = root.Dump(2);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

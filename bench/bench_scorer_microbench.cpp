@@ -21,6 +21,7 @@
 #include "common/random.h"
 #include "core/merger.h"
 #include "core/scorer.h"
+#include "core/split_sweep.h"
 #include "eval/experiment.h"
 #include "table/block_stats.h"
 #include "table/selection.h"
@@ -166,6 +167,76 @@ void BM_FilterAllPruning(benchmark::State& state) {
   state.SetLabel(pruned ? "pruned" : "unpruned");
 }
 BENCHMARK(BM_FilterAllPruning)->Arg(0)->Arg(1);
+
+// Split-search A/B: the DT ChooseSplit hot loop evaluated one candidate
+// threshold per pass over the groups (reference) vs. one pass that scores
+// the whole threshold set (sweep) — the tentpole candidate-batched path.
+// Clustered data, K thresholds, several interleaved groups. The counters
+// carry checksums over the resulting split metrics and left-counts so CI
+// can assert the two modes agree bit-for-bit; items/sec counts
+// candidate-row evaluations (rows x thresholds) for both modes, so the
+// throughput ratio reads directly as the batching speedup. Arg(1) = batched.
+void BM_SplitSearch(benchmark::State& state) {
+  constexpr size_t kRows = 1 << 18;
+  constexpr size_t kThresholds = 32;
+  constexpr size_t kGroups = 4;
+  static Table* table = [] {
+    Rng rng(13);
+    auto* t = new Table(Schema({{"x", DataType::kDouble}}));
+    for (size_t i = 0; i < kRows; ++i) {
+      (void)t->column(0).AppendDouble(
+          100.0 * static_cast<double>(i) / kRows + rng.Uniform(0.0, 0.5));
+    }
+    (void)t->FinalizeColumnwiseBuild();
+    return t;
+  }();
+  static auto* rows = [] {
+    auto* r = new std::vector<RowIdList>(kGroups);
+    for (size_t i = 0; i < kRows; ++i) {
+      (*r)[i % kGroups].push_back(static_cast<RowId>(i));
+    }
+    return r;
+  }();
+  static auto* infs = [] {
+    Rng rng(29);
+    auto* v = new std::vector<std::vector<double>>(kGroups);
+    for (size_t g = 0; g < kGroups; ++g) {
+      for (size_t i = 0; i < (*rows)[g].size(); ++i) {
+        (*v)[g].push_back(rng.Uniform(-1.0, 1.0));
+      }
+    }
+    return v;
+  }();
+  std::vector<SplitGroup> groups;
+  for (size_t g = 0; g < kGroups; ++g) {
+    groups.push_back({&(*rows)[g], &(*infs)[g]});
+  }
+  std::vector<double> thresholds;
+  for (size_t j = 1; j <= kThresholds; ++j) {
+    thresholds.push_back(100.0 * static_cast<double>(j) /
+                         static_cast<double>(kThresholds + 1));
+  }
+  const Column& col = table->column(0);
+  const bool batched = state.range(0) == 1;
+  SplitEval eval;
+  for (auto _ : state) {
+    eval = batched ? RangeSplitSweep(col, groups, thresholds)
+                   : RangeSplitReference(col, groups, thresholds);
+    benchmark::DoNotOptimize(eval.metric.data());
+  }
+  double metric_sum = 0.0;
+  double left_sum = 0.0;
+  for (size_t j = 0; j < eval.metric.size(); ++j) {
+    metric_sum += eval.metric[j];
+    left_sum += static_cast<double>(eval.total_left[j]);
+  }
+  state.counters["metric_checksum"] = metric_sum;
+  state.counters["left_checksum"] = left_sum;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kRows * kThresholds));
+  state.SetLabel(batched ? "batched" : "unbatched");
+}
+BENCHMARK(BM_SplitSearch)->Arg(0)->Arg(1);
 
 void BM_MergerEstimateVsExact(benchmark::State& state) {
   // Estimate path: two synthetic partitions with cached tuples.

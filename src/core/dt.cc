@@ -7,42 +7,11 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "core/split_sweep.h"
 
 namespace scorpion {
 
 namespace {
-
-/// Mean and standard deviation of a vector (population std; 0 for n < 2).
-void MeanStd(const std::vector<double>& v, double* mean, double* std_dev) {
-  if (v.empty()) {
-    *mean = 0.0;
-    *std_dev = 0.0;
-    return;
-  }
-  double sum = 0.0;
-  for (double x : v) sum += x;
-  *mean = sum / static_cast<double>(v.size());
-  if (v.size() < 2) {
-    *std_dev = 0.0;
-    return;
-  }
-  double ss = 0.0;
-  for (double x : v) ss += (x - *mean) * (x - *mean);
-  *std_dev = std::sqrt(ss / static_cast<double>(v.size()));
-}
-
-/// Weighted child deviation for one group: (nl*sl + nr*sr) / (nl+nr).
-double WeightedChildStd(const std::vector<double>& left,
-                        const std::vector<double>& right) {
-  double ml, sl, mr, sr;
-  MeanStd(left, &ml, &sl);
-  MeanStd(right, &mr, &sr);
-  double n = static_cast<double>(left.size() + right.size());
-  if (n == 0.0) return 0.0;
-  return (static_cast<double>(left.size()) * sl +
-          static_cast<double>(right.size()) * sr) /
-         n;
-}
 
 uint64_t CacheKey(int result_idx, RowId row) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(result_idx)) << 32) |
@@ -117,16 +86,24 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
   // order, and strict < on the metric reproduces the serial tie-break (first
   // candidate in (attribute, split) order wins ties).
   const std::vector<std::string>& attrs = scorer_.problem().attributes;
+  // One shared view of the node's sampled rows and influences, consumed by
+  // every attribute's split evaluation (samples are vector-form Selections,
+  // so rows() is a plain accessor here).
+  std::vector<SplitGroup> slices;
+  slices.reserve(node.groups.size());
+  for (const GroupSlice& g : node.groups) {
+    slices.push_back({&g.sample.rows(), &g.inf});
+  }
+  // Batched: one sweep pass over the samples scores the whole candidate
+  // set per attribute (core/split_sweep.h), bit-identical to the reference
+  // per-candidate loop it replaces.
+  const bool batched = scorer_.candidate_batching_enabled();
   std::vector<SplitChoice> per_attr(attrs.size());
   ParallelForOver(scorer_.thread_pool(), 0, attrs.size(), [&](size_t ai) {
     const std::string& attr = attrs[ai];
     SplitChoice best;
     best.metric = parent_metric;
     const Column* col = attr_columns_.at(attr);
-    // Influence partitions are cleared and refilled per (candidate, group)
-    // instead of allocated fresh: capacity persists across the candidate
-    // loop, so a node's split search allocates at most once per side.
-    std::vector<double> left, right;
     if (col->type() == DataType::kDouble) {
       // Candidate split points: quantiles of the node's sampled values.
       std::vector<double> values;
@@ -146,33 +123,25 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
           candidates.push_back(v);
         }
       }
-      for (double split : candidates) {
-        // Combined metric: max over groups of weighted child std
-        // (Section 6.1.3).
-        double combined = 0.0;
-        size_t total_left = 0, total_right = 0;
-        for (const GroupSlice& g : node.groups) {
-          left.clear();
-          right.clear();
-          const RowIdList& sampled = g.sample.rows();
-          for (size_t i = 0; i < sampled.size(); ++i) {
-            if (col->GetDouble(sampled[i]) < split) {
-              left.push_back(g.inf[i]);
-            } else {
-              right.push_back(g.inf[i]);
-            }
+      // Combined metric: max over groups of weighted child std
+      // (Section 6.1.3). The sweep scores every candidate in one pass over
+      // the samples; the selection loop below stays serial in candidate
+      // order (strict <), preserving the sequential argmin tie-break.
+      if (!candidates.empty()) {
+        const SplitEval eval = batched
+                                   ? RangeSplitSweep(*col, slices, candidates)
+                                   : RangeSplitReference(*col, slices,
+                                                         candidates);
+        if (batched) scorer_.NoteCandidateBatch();
+        for (size_t ci = 0; ci < candidates.size(); ++ci) {
+          if (eval.total_left[ci] == 0 || eval.total_right[ci] == 0) continue;
+          if (eval.metric[ci] < best.metric) {
+            best.valid = true;
+            best.is_range = true;
+            best.attr = attr;
+            best.split_value = candidates[ci];
+            best.metric = eval.metric[ci];
           }
-          total_left += left.size();
-          total_right += right.size();
-          combined = std::max(combined, WeightedChildStd(left, right));
-        }
-        if (total_left == 0 || total_right == 0) continue;
-        if (combined < best.metric) {
-          best.valid = true;
-          best.is_range = true;
-          best.attr = attr;
-          best.split_value = split;
-          best.metric = combined;
         }
       }
     } else {
@@ -190,32 +159,23 @@ DTPartitioner::SplitChoice DTPartitioner::ChooseSplit(
                 });
       size_t limit = std::min<size_t>(
           by_freq.size(), static_cast<size_t>(options_.max_discrete_split_values));
-      for (size_t vi = 0; vi < limit; ++vi) {
-        int32_t code = by_freq[vi].first;
-        double combined = 0.0;
-        size_t total_left = 0, total_right = 0;
-        for (const GroupSlice& g : node.groups) {
-          left.clear();
-          right.clear();
-          const RowIdList& sampled = g.sample.rows();
-          for (size_t i = 0; i < sampled.size(); ++i) {
-            if (col->GetCode(sampled[i]) == code) {
-              left.push_back(g.inf[i]);
-            } else {
-              right.push_back(g.inf[i]);
-            }
+      std::vector<int32_t> codes;
+      codes.reserve(limit);
+      for (size_t vi = 0; vi < limit; ++vi) codes.push_back(by_freq[vi].first);
+      if (!codes.empty()) {
+        const SplitEval eval =
+            batched ? DiscreteSplitSweep(*col, slices, codes)
+                    : DiscreteSplitReference(*col, slices, codes);
+        if (batched) scorer_.NoteCandidateBatch();
+        for (size_t ci = 0; ci < codes.size(); ++ci) {
+          if (eval.total_left[ci] == 0 || eval.total_right[ci] == 0) continue;
+          if (eval.metric[ci] < best.metric) {
+            best.valid = true;
+            best.is_range = false;
+            best.attr = attr;
+            best.code = codes[ci];
+            best.metric = eval.metric[ci];
           }
-          total_left += left.size();
-          total_right += right.size();
-          combined = std::max(combined, WeightedChildStd(left, right));
-        }
-        if (total_left == 0 || total_right == 0) continue;
-        if (combined < best.metric) {
-          best.valid = true;
-          best.is_range = false;
-          best.attr = attr;
-          best.code = code;
-          best.metric = combined;
         }
       }
     }

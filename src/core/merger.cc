@@ -189,7 +189,35 @@ Result<std::vector<ScoredPredicate>> Merger::Run(
   // Merger's cost, and each is independent. Statuses land in per-index slots
   // and the first error (in candidate order) wins deterministically.
   ThreadPool* pool = scorer_.thread_pool();
-  {
+  if (scorer_.candidate_batching_enabled()) {
+    // Candidates carrying a cached match Selection must score through
+    // InfluenceCached; the rest — the common case, fresh DT leaves whose
+    // neighbours differ in a single clause — route through InfluenceAll so
+    // the batched filter plane shares block work across them. Scores are
+    // bit-identical either way.
+    std::vector<size_t> plain;
+    std::vector<size_t> cached;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (std::isfinite(candidates[i].influence)) continue;
+      (candidates[i].matches != nullptr ? cached : plain).push_back(i);
+    }
+    std::vector<Predicate> preds;
+    preds.reserve(plain.size());
+    for (size_t i : plain) preds.push_back(candidates[i].pred);
+    SCORPION_ASSIGN_OR_RETURN(std::vector<double> scores,
+                              scorer_.InfluenceAll(preds));
+    stats_.exact_scores += plain.size();
+    for (size_t j = 0; j < plain.size(); ++j) {
+      candidates[plain[j]].influence = scores[j];
+    }
+    std::vector<Status> statuses(cached.size());
+    ParallelForOver(pool, 0, cached.size(), [&](size_t j) {
+      statuses[j] = EnsureScored(&candidates[cached[j]]);
+    });
+    for (const Status& st : statuses) {
+      SCORPION_RETURN_NOT_OK(st);
+    }
+  } else {
     std::vector<Status> statuses(candidates.size());
     ParallelForOver(pool, 0, candidates.size(), [&](size_t i) {
       statuses[i] = EnsureScored(&candidates[i]);
@@ -251,28 +279,99 @@ Result<std::vector<ScoredPredicate>> Merger::Run(
 
       // Accept the first candidate whose *exact* merged influence improves.
       bool accepted = false;
-      for (const Candidate& cand : grow) {
-        ScoredPredicate merged;
-        merged.pred = Predicate::BoundingBox(cur.pred, cand.other->pred);
-        if (merged.pred == cur.pred) continue;
-        SCORPION_RETURN_NOT_OK(EnsureScored(&merged));
-        if (merged.influence > cur.influence + kImproveEps) {
-          // Carry approximate metadata forward so later estimates stay
-          // possible: counts add, the higher-influence representative wins.
-          merged.info = cur.info;
-          if (cur.info.outlier_counts.size() ==
-              cand.other->info.outlier_counts.size()) {
-            for (size_t g = 0; g < merged.info.outlier_counts.size(); ++g) {
-              merged.info.outlier_counts[g] +=
-                  cand.other->info.outlier_counts[g];
-            }
+      if (scorer_.candidate_batching_enabled()) {
+        // Exact merged influences are computed a chunk at a time through
+        // the batched filter plane (bounding boxes of one seed against its
+        // neighbours usually differ in a single clause), but the accept
+        // decision still takes the FIRST improving candidate in estimate
+        // order — the accepted merge, and hence the whole expansion
+        // trajectory, is identical to the sequential path below. Chunk
+        // sizing follows the (already computed, descending) estimates:
+        // while the estimate itself predicts an improvement the candidate
+        // is scored alone — an accept there would throw a speculative
+        // batch away — and once estimates drop below the accept threshold
+        // the remaining tail, which the sequential path would grind
+        // through one scan at a time, is batched at full width.
+        constexpr size_t kMaxChunk = 8;
+        for (size_t start = 0; start < grow.size() && !accepted;) {
+          const size_t lim =
+              grow[start].estimate > cur.influence + kImproveEps
+                  ? start + 1
+                  : std::min(start + kMaxChunk, grow.size());
+          std::vector<size_t> idx;
+          std::vector<Predicate> merged_preds;
+          for (size_t i = start; i < lim; ++i) {
+            Predicate box =
+                Predicate::BoundingBox(cur.pred, grow[i].other->pred);
+            if (box == cur.pred) continue;
+            idx.push_back(i);
+            merged_preds.push_back(std::move(box));
           }
-          merged.internal_score =
-              std::max(cur.internal_score, cand.other->internal_score);
-          cur = std::move(merged);
-          accepted = true;
-          ++stats_.merges_accepted;
-          break;
+          if (merged_preds.empty()) {
+            start = lim;
+            continue;
+          }
+          std::vector<double> scores;
+          if (merged_preds.size() == 1) {
+            // Likely-accept head: score inline, skipping the batch
+            // machinery a single candidate cannot use.
+            SCORPION_ASSIGN_OR_RETURN(double score,
+                                      scorer_.Influence(merged_preds[0]));
+            scores.push_back(score);
+          } else {
+            SCORPION_ASSIGN_OR_RETURN(scores,
+                                      scorer_.InfluenceAll(merged_preds));
+          }
+          stats_.exact_scores += merged_preds.size();
+          for (size_t j = 0; j < idx.size(); ++j) {
+            if (!(scores[j] > cur.influence + kImproveEps)) continue;
+            const Candidate& cand = grow[idx[j]];
+            // Carry approximate metadata forward so later estimates stay
+            // possible: counts add, the higher-influence representative wins.
+            ScoredPredicate merged;
+            merged.pred = std::move(merged_preds[j]);
+            merged.influence = scores[j];
+            merged.info = cur.info;
+            if (cur.info.outlier_counts.size() ==
+                cand.other->info.outlier_counts.size()) {
+              for (size_t g = 0; g < merged.info.outlier_counts.size(); ++g) {
+                merged.info.outlier_counts[g] +=
+                    cand.other->info.outlier_counts[g];
+              }
+            }
+            merged.internal_score =
+                std::max(cur.internal_score, cand.other->internal_score);
+            cur = std::move(merged);
+            accepted = true;
+            ++stats_.merges_accepted;
+            break;
+          }
+          start = lim;
+        }
+      } else {
+        for (const Candidate& cand : grow) {
+          ScoredPredicate merged;
+          merged.pred = Predicate::BoundingBox(cur.pred, cand.other->pred);
+          if (merged.pred == cur.pred) continue;
+          SCORPION_RETURN_NOT_OK(EnsureScored(&merged));
+          if (merged.influence > cur.influence + kImproveEps) {
+            // Carry approximate metadata forward so later estimates stay
+            // possible: counts add, the higher-influence representative wins.
+            merged.info = cur.info;
+            if (cur.info.outlier_counts.size() ==
+                cand.other->info.outlier_counts.size()) {
+              for (size_t g = 0; g < merged.info.outlier_counts.size(); ++g) {
+                merged.info.outlier_counts[g] +=
+                    cand.other->info.outlier_counts[g];
+              }
+            }
+            merged.internal_score =
+                std::max(cur.internal_score, cand.other->internal_score);
+            cur = std::move(merged);
+            accepted = true;
+            ++stats_.merges_accepted;
+            break;
+          }
         }
       }
       if (!accepted) break;

@@ -104,11 +104,12 @@ Result<NaiveResult> NaivePartitioner::Run() const {
 
   auto flush = [&]() -> Status {
     if (pending.empty()) return Status::OK();
-    SCORPION_ASSIGN_OR_RETURN(
-        std::vector<double> influences,
-        ParallelMapOver<double>(
-            scorer_.thread_pool(), pending.size(),
-            [&](size_t i) { return scorer_.Influence(pending[i]); }));
+    // InfluenceAll batches consecutive predicates that differ in one clause
+    // (the cartesian enumeration's innermost loop produces exactly such
+    // runs) through the candidate-batched filter plane; scores are
+    // bit-identical to per-candidate Influence calls.
+    SCORPION_ASSIGN_OR_RETURN(std::vector<double> influences,
+                              scorer_.InfluenceAll(pending));
     for (size_t i = 0; i < pending.size(); ++i) {
       ++result.num_evaluated;
       bool improved = influences[i] > result.best.influence;

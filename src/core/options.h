@@ -122,6 +122,14 @@ struct ScorpionOptions {
   /// standalone Predicate::Bind() users (e.g. the eval harness helpers)
   /// follow the process-wide SetBlockPruningDefault() instead.
   bool enable_block_pruning = true;
+  /// When enabled (default), scoring loops that hold many candidate
+  /// predicates differing in one clause — DT split search, Merger
+  /// expansion, NAIVE enumeration — evaluate them as a CandidateBatch:
+  /// each block's column slice is loaded once and scored against the whole
+  /// candidate set (see predicate/candidate_batch.h). Bit-identical output
+  /// either way; the switch exists so the benches can A/B it and as an
+  /// escape hatch.
+  bool enable_candidate_batching = true;
   /// When set, the engine's Scorer fetches predicate match sets from this
   /// source instead of filtering the local table (see core/scorer.h). The
   /// distributed Coordinator installs itself here so the search algorithms

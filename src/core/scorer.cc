@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/macros.h"
+#include "predicate/candidate_batch.h"
 #include "table/block_stats.h"
 #include "table/selection.h"
 
@@ -328,6 +329,125 @@ Result<double> Scorer::Influence(const Predicate& pred) const {
 
 Result<double> Scorer::InfluenceOutlierOnly(const Predicate& pred) const {
   return InfluenceImpl(&pred, /*matches=*/nullptr, /*with_holdouts=*/false);
+}
+
+Result<std::vector<double>> Scorer::InfluenceAll(
+    const std::vector<Predicate>& preds) const {
+  const size_t n = preds.size();
+  if (!enable_candidate_batching_ || match_source_ != nullptr || n < 2) {
+    return ParallelMapOver<double>(
+        pool_, n, [&](size_t i) { return Influence(preds[i]); });
+  }
+  const std::vector<CandidateBatchPlan> plan = PlanCandidateBatches(preds);
+  std::vector<double> out(n);
+  std::vector<Status> statuses(plan.size());
+  ParallelForOver(pool_, 0, plan.size(), [&](size_t gi) {
+    const CandidateBatchPlan& group = plan[gi];
+    if (group.batch.has_value()) {
+      Result<std::vector<double>> scores = InfluenceBatch(*group.batch);
+      if (scores.ok()) {
+        std::copy(scores->begin(), scores->end(),
+                  out.begin() + static_cast<ptrdiff_t>(group.begin));
+      } else {
+        statuses[gi] = scores.status();
+      }
+    } else {
+      Result<double> score = Influence(preds[group.begin]);
+      if (score.ok()) {
+        out[group.begin] = *score;
+      } else {
+        statuses[gi] = score.status();
+      }
+    }
+  });
+  for (const Status& s : statuses) {
+    SCORPION_RETURN_NOT_OK(s);
+  }
+  return out;
+}
+
+Result<std::vector<double>> Scorer::InfluenceBatch(
+    const CandidateBatch& batch) const {
+  const size_t k = batch.size();
+  stats_.predicate_scores += k;
+  ++stats_.candidate_batches;
+  SCORPION_ASSIGN_OR_RETURN(BoundCandidateBatch bound, batch.Bind(*table_));
+  // Same data-plane configuration as ConfigureBound, plus the batch-only
+  // shared-slice accounting.
+  bound.set_enable_pruning(enable_block_pruning_);
+  bound.set_pruning_stats(&prune_stats_);
+  bound.set_thread_pool(pool_);
+  bound.set_shared_blocks_counter(&stats_.blocks_shared_across_candidates);
+
+  const bool with_holdouts =
+      !problem_->holdouts.empty() && problem_->lambda < 1.0;
+  const size_t num_outliers = problem_->outliers.size();
+  const size_t num_groups =
+      num_outliers + (with_holdouts ? problem_->holdouts.size() : 0);
+
+  // One FilterBatch per input group; per-(group, candidate) influences land
+  // in per-group slots so the group loop can run in parallel.
+  std::vector<std::vector<double>> group_inf(num_groups);
+  ParallelForOver(pool_, 0, num_groups, [&](size_t gi) {
+    const bool is_outlier = gi < num_outliers;
+    const int idx = is_outlier
+                        ? problem_->outliers[gi]
+                        : problem_->holdouts[gi - num_outliers];
+    const Selection& input = result_->results[idx].input_group;
+    ++stats_.filter_kernels;
+    stats_.rows_filtered += input.size();
+    std::vector<Selection> matched = bound.FilterBatch(input);
+    std::vector<double>& slot = group_inf[gi];
+    slot.resize(k);
+    for (size_t c = 0; c < k; ++c) {
+      // Keep the scoring plane in vector form (see FilterGroup).
+      matched[c].rows();
+      slot[c] = GroupInfluence(
+          static_cast<int>(idx), matched[c], is_outlier,
+          is_outlier ? problem_->error_vectors[gi] : 0.0);
+    }
+  });
+
+  // Per-candidate serial reduction in group order — the exact operation
+  // sequence of InfluenceImpl, so batched scores are bit-identical to k
+  // Influence() calls.
+  std::vector<double> out(k);
+  for (size_t c = 0; c < k; ++c) {
+    bool finite = true;
+    double outlier_sum = 0.0;
+    for (size_t gi = 0; gi < num_outliers; ++gi) {
+      const double inf = group_inf[gi][c];
+      if (!std::isfinite(inf)) {
+        finite = false;
+        break;
+      }
+      outlier_sum += inf;
+    }
+    if (!finite) {
+      out[c] = kNegInf;
+      continue;
+    }
+    double score =
+        problem_->lambda * outlier_sum / static_cast<double>(num_outliers);
+    if (with_holdouts) {
+      double max_penalty = 0.0;
+      for (size_t gi = num_outliers; gi < num_groups && finite; ++gi) {
+        const double inf = group_inf[gi][c];
+        if (!std::isfinite(inf)) {
+          finite = false;
+          break;
+        }
+        max_penalty = std::max(max_penalty, std::fabs(inf));
+      }
+      if (!finite) {
+        out[c] = kNegInf;
+        continue;
+      }
+      score -= (1.0 - problem_->lambda) * max_penalty;
+    }
+    out[c] = score;
+  }
+  return out;
 }
 
 Result<double> Scorer::InfluenceCached(const ScoredPredicate& sp) const {

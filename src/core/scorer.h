@@ -27,6 +27,8 @@
 
 namespace scorpion {
 
+struct CandidateBatch;
+
 /// \brief Pluggable producer of predicate match sets.
 ///
 /// When installed on a Scorer (ScorpionOptions::match_source), every filter
@@ -94,6 +96,12 @@ struct ScorerStats {
   RelaxedCounter blocks_pruned_all;
   RelaxedCounter blocks_partial;
   RelaxedCounter rows_skipped_by_pruning;
+  // Candidate-batched evaluation (predicate/candidate_batch.h): batches
+  // dispatched (InfluenceAll runs plus DT one-pass split sweeps), and
+  // column block loads saved because several candidates shared one loaded
+  // block slice instead of each loading it.
+  RelaxedCounter candidate_batches;
+  RelaxedCounter blocks_shared_across_candidates;
 };
 
 /// \brief Influence oracle bound to one (table, query result, problem).
@@ -121,6 +129,17 @@ class Scorer {
   /// back to Influence(sp.pred) otherwise. Bit-identical either way: both
   /// paths share one evaluation routine and reduction order.
   Result<double> InfluenceCached(const ScoredPredicate& sp) const;
+
+  /// Influence of every predicate, in input order. With candidate batching
+  /// enabled, consecutive predicates that differ in exactly one clause on
+  /// one attribute are factored into CandidateBatches and scored through
+  /// the one-pass-per-block FilterBatch plane; everything else (and the
+  /// whole list when batching is off or a match source is installed) goes
+  /// through per-predicate Influence in a ParallelMapOver. Bit-identical
+  /// either way: the batched filter and the batched reduction reproduce
+  /// Influence's exact row sets and floating-point operation order.
+  Result<std::vector<double>> InfluenceAll(
+      const std::vector<Predicate>& preds) const;
 
   /// Filters every outlier/hold-out input group by `pred` into a shareable,
   /// fully materialized match cache (the c-agnostic half of a score; see
@@ -180,6 +199,20 @@ class Scorer {
     enable_block_pruning_ = enabled;
   }
 
+  /// Arms/disarms candidate-batched evaluation (InfluenceAll batching and
+  /// the DT one-pass split sweep; ScorpionOptions::enable_candidate_batching).
+  /// Bit-identical output either way.
+  void set_enable_candidate_batching(bool enabled) {
+    enable_candidate_batching_ = enabled;
+  }
+  bool candidate_batching_enabled() const {
+    return enable_candidate_batching_;
+  }
+
+  /// Counts one candidate batch dispatched outside InfluenceAll (the DT
+  /// split sweep evaluates batches without filtering). Thread-safe.
+  void NoteCandidateBatch() const { ++stats_.candidate_batches; }
+
   /// Routes all match-set production through `source` (nullptr restores
   /// local filtering). Not owned; must outlive the Scorer's scoring calls.
   /// Caller-provided caches (ScoredPredicate::matches) still win: they are
@@ -225,6 +258,10 @@ class Scorer {
   /// One Matches() round-trip to the installed source, with counting.
   Result<PredicateMatchCache> FetchMatches(const Predicate& pred) const;
 
+  /// Scores every candidate of one batch: one FilterBatch per input group,
+  /// then a per-candidate serial reduction identical to InfluenceImpl's.
+  Result<std::vector<double>> InfluenceBatch(const CandidateBatch& batch) const;
+
   const Table* table_ = nullptr;
   const QueryResult* result_ = nullptr;
   const ProblemSpec* problem_ = nullptr;
@@ -234,6 +271,7 @@ class Scorer {
   PredicateMatchSource* match_source_ = nullptr;
   bool incremental_ = false;
   bool enable_block_pruning_ = true;
+  bool enable_candidate_batching_ = true;
 
   // Cached per result index (whole result set, so holdouts too).
   std::vector<double> original_values_;   // agg(g_i)

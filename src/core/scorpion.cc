@@ -185,6 +185,7 @@ Result<Explanation> Scorpion::Run(const Table& table,
   SCORPION_ASSIGN_OR_RETURN(Scorer scorer, Scorer::Make(table, result, problem));
   scorer.set_thread_pool(EnsurePool());
   scorer.set_enable_block_pruning(options_.enable_block_pruning);
+  scorer.set_enable_candidate_batching(options_.enable_candidate_batching);
   scorer.set_match_source(options_.match_source);
 
   Explanation out;

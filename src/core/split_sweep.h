@@ -1,0 +1,89 @@
+// One-pass candidate-batched split evaluation for the DT partitioner's
+// ChooseSplit (Section 6.1.3 metric: max over groups of the weighted child
+// standard deviation).
+//
+// The reference path scores each candidate split with its own full pass
+// over the node's sampled rows — K candidates pull the attribute column
+// through memory K times. The sweep path loads each row's attribute value
+// once and updates every candidate's accumulators from it: for a range
+// split, a row with value v goes LEFT of exactly the ascending thresholds
+// greater than v (a suffix, found with one upper_bound); for a discrete
+// split, it goes LEFT of exactly the candidate whose code it carries.
+//
+// Bit-identity contract (differential-tested in test_candidate_batch.cc):
+// the sweep produces, for every candidate, the exact same doubles as the
+// reference. This holds because every floating-point accumulator receives
+// the exact same additions in the exact same order as the reference —
+// per-candidate sums and squared-deviation sums accumulate in row order
+// within each group (the outer row loop preserves it), counts are exact
+// integers, and the cross-group max is taken in group order (std::max of
+// two doubles is exact, and the comparison sequence matches the
+// reference's group-inner loop). Shortcuts that would change the
+// association (bucket histograms + suffix sums) are deliberately NOT used.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "table/column.h"
+#include "table/types.h"
+
+namespace scorpion {
+
+/// Mean and standard deviation of a vector (population std; 0 for n < 2).
+/// Shared by the DT partitioner's node statistics and the reference split
+/// evaluation below; one definition so parent and child metrics can never
+/// drift apart numerically.
+void MeanStd(const std::vector<double>& v, double* mean, double* std_dev);
+
+/// Weighted child deviation for one group: (nl*sl + nr*sr) / (nl+nr).
+double WeightedChildStd(const std::vector<double>& left,
+                        const std::vector<double>& right);
+
+/// One group of a DT node, as the split search sees it: the sampled row
+/// ids and the influence value aligned with each sampled row.
+struct SplitGroup {
+  const RowIdList* rows;            // sampled row ids, ascending
+  const std::vector<double>* inf;   // influence per sampled row
+};
+
+/// Per-candidate results of one split evaluation, aligned with the
+/// candidate list passed in.
+struct SplitEval {
+  /// max over groups of WeightedChildStd(left, right).
+  std::vector<double> metric;
+  /// Sampled rows going left / right, summed over groups.
+  std::vector<size_t> total_left, total_right;
+};
+
+/// Reference range evaluation: per candidate threshold t, rows with
+/// value < t go left. One full pass over every group per candidate —
+/// the exact loop the DT partitioner ran before batching, kept as the
+/// differential-test ground truth and the enable_candidate_batching=false
+/// path.
+SplitEval RangeSplitReference(const Column& col,
+                              const std::vector<SplitGroup>& groups,
+                              const std::vector<double>& thresholds);
+
+/// One-pass range evaluation, bit-identical to RangeSplitReference.
+/// `thresholds` must be ascending (DT's quantile candidates are by
+/// construction; checked in debug builds).
+SplitEval RangeSplitSweep(const Column& col,
+                          const std::vector<SplitGroup>& groups,
+                          const std::vector<double>& thresholds);
+
+/// Reference discrete evaluation: per candidate code c, rows carrying c go
+/// left ({v} vs rest binary split). `codes` need not be sorted (DT orders
+/// them by frequency).
+SplitEval DiscreteSplitReference(const Column& col,
+                                 const std::vector<SplitGroup>& groups,
+                                 const std::vector<int32_t>& codes);
+
+/// One-pass discrete evaluation, bit-identical to DiscreteSplitReference.
+/// Candidate codes must be distinct.
+SplitEval DiscreteSplitSweep(const Column& col,
+                             const std::vector<SplitGroup>& groups,
+                             const std::vector<int32_t>& codes);
+
+}  // namespace scorpion

@@ -1,0 +1,169 @@
+// Candidate-batched predicate evaluation: one pass per block scores a
+// whole candidate set.
+//
+// Search algorithms (NAIVE enumeration, Merger expansion) score many
+// predicates that differ in exactly ONE clause on ONE attribute — N
+// thresholds on a column, or N categorical code sets. Evaluated one at a
+// time, each candidate re-reads every block of every shared clause's column
+// and re-gathers the varying column N times. A CandidateBatch factors the
+// candidates into a shared base predicate plus per-candidate clause
+// variants; BoundCandidateBatch::FilterBatch then
+//   1. classifies each candidate x block cell NONE / ALL / PARTIAL before
+//      any data is touched, by combining the base's zone-map verdict (one
+//      per block) with each variant clause's verdict (CombineBlockMatch —
+//      equal to classifying the full conjunction directly);
+//   2. loads each PARTIAL block's varying-column slice ONCE and runs the
+//      cheap dense kernel per candidate over the in-cache copy;
+//   3. evaluates the base's mask once per block and ANDs it into every
+//      candidate's mask.
+//
+// Bit-identity contract (differential-tested in test_candidate_batch.cc):
+// FilterBatch()[i] equals Candidate(i).Bind(table)->Filter(input) exactly —
+// same rows, same Selection form (vector for sparse inputs, counted bitmap
+// for all-rows inputs) — and the pruning counters advance exactly as N
+// separate filters would (verdict combination is lossless). The byte masks
+// are 0/1-valued and each row's verdict is a pure function of its column
+// values, so sharing the base mask and gathering slices cannot change any
+// output bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/atomic_counter.h"
+#include "common/result.h"
+#include "predicate/predicate.h"
+#include "table/block_stats.h"
+#include "table/selection.h"
+#include "table/table.h"
+
+namespace scorpion {
+
+class ThreadPool;
+class BoundCandidateBatch;
+
+/// \brief A base predicate plus N single-clause variants on one attribute.
+///
+/// Candidate i is `base` with the i-th variant clause added on `attr`
+/// (exactly Predicate::WithRange / WithSet). `base` must not constrain
+/// `attr`; variants must all be on `attr` and match the batch kind.
+struct CandidateBatch {
+  Predicate base;
+  std::string attr;
+  bool is_range = true;
+  std::vector<RangeClause> range_variants;  // used when is_range
+  std::vector<SetClause> set_variants;      // used when !is_range
+
+  size_t size() const {
+    return is_range ? range_variants.size() : set_variants.size();
+  }
+
+  /// The i-th candidate as a plain Predicate (the unbatched equivalent).
+  Predicate Candidate(size_t i) const;
+
+  /// Resolves columns against `table`; validates the base/variant contract.
+  Result<BoundCandidateBatch> Bind(const Table& table) const;
+};
+
+/// \brief A CandidateBatch with columns resolved against one Table.
+///
+/// Same lifetime contract as BoundPredicate: valid while the table lives
+/// and is not appended to (checked on every FilterBatch call).
+class BoundCandidateBatch {
+ public:
+  size_t size() const {
+    return var_is_range_ ? range_vars_.size() : set_vars_.size();
+  }
+
+  /// Vectorized: the matching subset of `input` for every candidate, in
+  /// candidate order. Each result is bit-identical to what the unbatched
+  /// BoundPredicate::Filter would return for that candidate.
+  std::vector<Selection> FilterBatch(const Selection& input) const;
+
+  /// Mirrors BoundPredicate::set_enable_pruning; also governs the shared
+  /// base's plan. Output is bit-identical either way.
+  void set_enable_pruning(bool enabled) {
+    pruning_enabled_ = enabled;
+    base_.set_enable_pruning(enabled);
+  }
+
+  /// Block-parallel evaluation of large inputs (see BoundPredicate).
+  void set_thread_pool(ThreadPool* pool) {
+    pool_ = pool;
+    base_.set_thread_pool(nullptr);  // parallelism lives at the batch level
+  }
+
+  /// Redirects pruning counters (advanced per candidate x block cell, so
+  /// they match N unbatched filters exactly).
+  void set_pruning_stats(BlockPruningStats* stats) {
+    prune_stats_ = stats;
+    base_.set_pruning_stats(stats);
+  }
+
+  /// Counter receiving, per loaded varying-column block slice, the number
+  /// of ADDITIONAL candidates that consumed it (i.e. loads saved vs the
+  /// unbatched plane). Nullptr disables accounting.
+  void set_shared_blocks_counter(RelaxedCounter* counter) {
+    shared_counter_ = counter;
+  }
+
+ private:
+  friend struct CandidateBatch;
+
+  struct RangeVariant {
+    double lo, hi;
+    bool hi_inclusive;
+  };
+  struct SetVariant {
+    std::vector<uint8_t> member;  // indexed by dictionary code
+    uint64_t query_bits[kBlockCodeWords];
+    bool exact_bits;
+  };
+
+  std::vector<Selection> FilterAllBatch() const;
+
+  BoundPredicate base_;
+  bool base_has_clauses_ = false;
+  bool var_is_range_ = true;
+  int var_col_ = -1;
+  const std::vector<double>* var_values_ = nullptr;   // range batches
+  const std::vector<int32_t>* var_codes_ = nullptr;   // set batches
+  std::vector<RangeVariant> range_vars_;
+  std::vector<SetVariant> set_vars_;
+  size_t num_rows_ = 0;
+  const Table* table_ = nullptr;
+  const TableBlockStats* block_stats_ = nullptr;
+  BlockPruningStats* prune_stats_ = nullptr;
+  bool pruning_enabled_ = true;
+  ThreadPool* pool_ = nullptr;
+  RelaxedCounter* shared_counter_ = nullptr;
+};
+
+/// One planned group of a candidate list: `count` consecutive predicates
+/// starting at `begin`, batched when `batch` is set (runs of >= 2 that
+/// factor into base + single-clause variants), singleton otherwise.
+/// Concatenating the groups reproduces the input order exactly.
+struct CandidateBatchPlan {
+  size_t begin = 0;
+  size_t count = 0;
+  std::optional<CandidateBatch> batch;
+};
+
+/// Shortest run worth batching: FilterBatch's once-per-block slice gather
+/// has to amortize across the variants, and below this length the batch
+/// path measures slower than independent per-candidate filters.
+inline constexpr size_t kMinProfitableBatch = 3;
+
+/// Greedily factors `preds` into maximal batchable runs: consecutive
+/// predicates that share all clauses except one same-kind clause on one
+/// common attribute, emitted as a batch when the run reaches
+/// kMinProfitableBatch (shorter runs come back as singletons).
+/// Order-preserving and lossless — the i-th input is always group g's
+/// Candidate(i - g.begin) (or the singleton pred itself).
+std::vector<CandidateBatchPlan> PlanCandidateBatches(
+    const std::vector<Predicate>& preds);
+
+}  // namespace scorpion

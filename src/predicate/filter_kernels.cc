@@ -1,0 +1,165 @@
+#include "predicate/filter_kernels.h"
+
+#include <bit>
+#include <cstring>
+
+namespace scorpion {
+namespace kernels {
+
+// Baseline x86-64 (SSE2) cannot auto-vectorize a double-compare producing a
+// byte mask, so the per-clause loops are compiled with target_clones: the
+// loader picks the best clone (AVX2 / AVX-512) for the machine at runtime
+// while the binary stays portable. `__restrict__` matters too: the byte
+// mask is unsigned char, which the aliasing rules let overlap any column.
+//
+// IFUNC resolvers produced by target_clones run before sanitizer runtimes
+// initialize and crash them at startup, so clones are disabled under TSan /
+// ASan (those builds check semantics, not throughput).
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) &&   \
+    defined(__ELF__) && !defined(__SANITIZE_THREAD__) &&                 \
+    !defined(__SANITIZE_ADDRESS__)
+#define SCORPION_KERNEL_CLONES \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#else
+#define SCORPION_KERNEL_CLONES
+#endif
+
+SCORPION_KERNEL_CLONES
+void RangeMaskDense(const double* __restrict__ v, size_t n, double lo,
+                    double hi, bool hi_inclusive, bool first,
+                    uint8_t* __restrict__ m) {
+  if (first) {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] = static_cast<uint8_t>(!(v[i] < lo)) &
+               static_cast<uint8_t>(!(v[i] > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] = static_cast<uint8_t>(!(v[i] < lo)) &
+               static_cast<uint8_t>(!(v[i] >= hi));
+      }
+    }
+  } else {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] &= static_cast<uint8_t>(!(v[i] < lo)) &
+                static_cast<uint8_t>(!(v[i] > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        m[i] &= static_cast<uint8_t>(!(v[i] < lo)) &
+                static_cast<uint8_t>(!(v[i] >= hi));
+      }
+    }
+  }
+}
+
+SCORPION_KERNEL_CLONES
+void RangeMaskGather(const double* __restrict__ v,
+                     const RowId* __restrict__ rows, size_t n, double lo,
+                     double hi, bool hi_inclusive, bool first,
+                     uint8_t* __restrict__ m) {
+  if (first) {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] = static_cast<uint8_t>(!(x < lo)) &
+               static_cast<uint8_t>(!(x > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] = static_cast<uint8_t>(!(x < lo)) &
+               static_cast<uint8_t>(!(x >= hi));
+      }
+    }
+  } else {
+    if (hi_inclusive) {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] &= static_cast<uint8_t>(!(x < lo)) &
+                static_cast<uint8_t>(!(x > hi));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = v[rows[i]];
+        m[i] &= static_cast<uint8_t>(!(x < lo)) &
+                static_cast<uint8_t>(!(x >= hi));
+      }
+    }
+  }
+}
+
+SCORPION_KERNEL_CLONES
+void SetMaskDense(const int32_t* __restrict__ codes, size_t n,
+                  const uint8_t* __restrict__ member, bool first,
+                  uint8_t* __restrict__ m) {
+  if (first) {
+    for (size_t i = 0; i < n; ++i) m[i] = member[codes[i]];
+  } else {
+    for (size_t i = 0; i < n; ++i) m[i] &= member[codes[i]];
+  }
+}
+
+SCORPION_KERNEL_CLONES
+void SetMaskGather(const int32_t* __restrict__ codes,
+                   const RowId* __restrict__ rows, size_t n,
+                   const uint8_t* __restrict__ member, bool first,
+                   uint8_t* __restrict__ m) {
+  if (first) {
+    for (size_t i = 0; i < n; ++i) m[i] = member[codes[rows[i]]];
+  } else {
+    for (size_t i = 0; i < n; ++i) m[i] &= member[codes[rows[i]]];
+  }
+}
+
+// Packing 8 mask bytes per multiply: bit position 56 + 8i - 7j of x * C
+// receives exactly one (i, j) term for i, j in [0, 8), so the top byte of
+// the product is b7..b0 with no carries. The trick reads the bytes through
+// a uint64_t and so assumes little-endian; other targets take the plain
+// byte loop.
+size_t PackMaskIntoWords(const uint8_t* mask, size_t begin, size_t end,
+                         uint64_t* words) {
+  const size_t len = end - begin;
+  uint64_t* out = words + (begin >> 6);
+  size_t count = 0;
+  constexpr uint64_t kPack = 0x0102040810204080ULL;
+  const size_t full_words = len / 64;
+  for (size_t w = 0; w < full_words; ++w) {
+    const uint8_t* base = mask + (w << 6);
+    uint64_t word = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+      for (size_t g = 0; g < 8; ++g) {
+        uint64_t x;
+        std::memcpy(&x, base + (g << 3), sizeof(x));
+        word |= ((x * kPack) >> 56) << (g << 3);
+      }
+    } else {
+      for (size_t b = 0; b < 64; ++b) {
+        word |= static_cast<uint64_t>(base[b]) << b;
+      }
+    }
+    out[w] = word;
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  if (full_words * 64 < len) {
+    const size_t base = full_words << 6;
+    uint64_t word = 0;
+    for (size_t b = 0; b < len - base; ++b) {
+      word |= static_cast<uint64_t>(mask[base + b]) << b;
+    }
+    out[full_words] = word;
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+size_t SumMask(const uint8_t* mask, size_t n) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) kept += mask[i];
+  return kept;
+}
+
+}  // namespace kernels
+}  // namespace scorpion

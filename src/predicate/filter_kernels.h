@@ -1,0 +1,53 @@
+// Branch-free byte-mask filter kernels shared by the single-predicate data
+// plane (predicate.cc) and the candidate-batched one (candidate_batch.cc).
+//
+// Each kernel is one pass over a column producing (or ANDing into) a 0/1
+// byte mask. The kernels mirror BoundPredicate::Matches() exactly —
+// including its NaN behaviour (NaN fails neither `v < lo` nor `v > hi`, so
+// NaN rows match a range) — so vectorized and scalar evaluation stay
+// bit-identical. `first` resolves outside the loop whether the clause
+// writes the mask or ANDs into it, so no mask initialization pass is ever
+// needed.
+//
+// Definitions live in filter_kernels.cc and are compiled with target_clones
+// (AVX2 / AVX-512 dispatch) where the toolchain supports it; see the
+// SCORPION_KERNEL_CLONES comment there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "table/types.h"
+
+namespace scorpion {
+namespace kernels {
+
+/// Dense range mask over v[0, n): writes (first) or ANDs (!first)
+/// `lo <= v[i] <(=) hi` into m[i].
+void RangeMaskDense(const double* v, size_t n, double lo, double hi,
+                    bool hi_inclusive, bool first, uint8_t* m);
+
+/// Gather range mask: same predicate over v[rows[i]].
+void RangeMaskGather(const double* v, const RowId* rows, size_t n, double lo,
+                     double hi, bool hi_inclusive, bool first, uint8_t* m);
+
+/// Dense set-membership mask: member[codes[i]] into m[i]. `member` must
+/// cover the column's full code range.
+void SetMaskDense(const int32_t* codes, size_t n, const uint8_t* member,
+                  bool first, uint8_t* m);
+
+/// Gather set-membership mask over codes[rows[i]].
+void SetMaskGather(const int32_t* codes, const RowId* rows, size_t n,
+                   const uint8_t* member, bool first, uint8_t* m);
+
+/// Packs the 0/1 bytes mask[0 .. end-begin) into `words` at bit positions
+/// [begin, end) and returns the popcount. `begin` must be 64-aligned (block
+/// starts are: kBlockSize is a multiple of 64).
+size_t PackMaskIntoWords(const uint8_t* mask, size_t begin, size_t end,
+                         uint64_t* words);
+
+/// Byte-sum of a 0/1 mask.
+size_t SumMask(const uint8_t* mask, size_t n);
+
+}  // namespace kernels
+}  // namespace scorpion

@@ -228,6 +228,11 @@ class BoundPredicate {
 
  private:
   friend class Predicate;
+  // The candidate-batched data plane (predicate/candidate_batch.h) reuses
+  // the bound clause representations, the pruning plan and the mask fills,
+  // so a batch's shared base evaluates through exactly this code.
+  friend struct CandidateBatch;
+  friend class BoundCandidateBatch;
   struct BoundRange {
     const std::vector<double>* values;
     double lo, hi;

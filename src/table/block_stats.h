@@ -72,6 +72,20 @@ enum class BlockMatch : uint8_t {
   kPartial = 2,  // undecided: run the kernels
 };
 
+/// Conjunction of two per-clause (or per-clause-set) verdicts for the same
+/// block: NONE if either side is NONE (a row must satisfy every clause),
+/// ALL iff both are ALL, PARTIAL otherwise. Associative and commutative, so
+/// the candidate-batched plane can classify a batch's shared base clauses
+/// once per block and combine each variant clause's verdict in — the result
+/// equals classifying the full per-candidate conjunction directly.
+inline BlockMatch CombineBlockMatch(BlockMatch a, BlockMatch b) {
+  if (a == BlockMatch::kNone || b == BlockMatch::kNone) {
+    return BlockMatch::kNone;
+  }
+  if (a == BlockMatch::kAll && b == BlockMatch::kAll) return BlockMatch::kAll;
+  return BlockMatch::kPartial;
+}
+
 /// Classifies a block against `lo <= x < hi` (or <= hi). Mirrors the kernel
 /// semantics exactly, including NaN-matches-every-range.
 BlockMatch ClassifyRangeBlock(const BlockStat& s, size_t rows_in_block,
