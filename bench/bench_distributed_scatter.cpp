@@ -26,10 +26,10 @@
 using namespace scorpion;
 
 template <typename T>
-const Status& AsStatus(const Result<T>& r) {
+Status AsStatus(const Result<T>& r) {
   return r.status();
 }
-inline const Status& AsStatus(const Status& s) { return s; }
+inline Status AsStatus(const Status& s) { return s; }
 
 #define BENCH_CHECK_OK(expr)                                         \
   do {                                                               \

@@ -276,12 +276,12 @@ int Run(bool tiny, const std::string& json_path) {
     const RowIdList scalar_all = bound.Filter(all_list);
     const RowIdList scalar_sparse = bound.Filter(sparse.rows());
     bound.set_enable_pruning(false);
-    const bool unpruned_ok = bound.FilterAll().rows() == scalar_all &&
-                             bound.Filter(sparse).rows() == scalar_sparse;
+    const bool unpruned_ok = bound.FilterAll()->rows() == scalar_all &&
+                             bound.Filter(sparse)->rows() == scalar_sparse;
     bound.set_enable_pruning(true);
     const PruneCounters before = CountersNow();
-    const bool pruned_ok = bound.FilterAll().rows() == scalar_all &&
-                           bound.Filter(sparse).rows() == scalar_sparse;
+    const bool pruned_ok = bound.FilterAll()->rows() == scalar_all &&
+                           bound.Filter(sparse)->rows() == scalar_sparse;
     r.pruning = CountersSince(before);
     r.outputs_match = unpruned_ok && pruned_ok;
     all_equal = all_equal && r.outputs_match;
@@ -296,16 +296,16 @@ int Run(bool tiny, const std::string& json_path) {
     });
     bound.set_enable_pruning(false);
     r.dense_unpruned_rows_per_s = Throughput(reps, n, [&] {
-      volatile size_t k = bound.FilterAll().size();
+      volatile size_t k = bound.FilterAll()->size();
       (void)k;
     });
     bound.set_enable_pruning(true);
     r.dense_pruned_rows_per_s = Throughput(reps, n, [&] {
-      volatile size_t k = bound.FilterAll().size();
+      volatile size_t k = bound.FilterAll()->size();
       (void)k;
     });
     r.gather_pruned_rows_per_s = Throughput(reps, sparse.size(), [&] {
-      volatile size_t k = bound.Filter(sparse).size();
+      volatile size_t k = bound.Filter(sparse)->size();
       (void)k;
     });
     r.pruned_speedup = r.dense_unpruned_rows_per_s > 0.0

@@ -160,7 +160,7 @@ void BM_FilterAllPruning(benchmark::State& state) {
   const bool pruned = state.range(0) == 1;
   bound.set_enable_pruning(pruned);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bound.FilterAll().size());
+    benchmark::DoNotOptimize(bound.FilterAll()->size());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(table->num_rows()));

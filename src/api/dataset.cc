@@ -81,7 +81,8 @@ Result<ExplainResponse> BuildResponse(const Table& table,
     response.what_if.reserve(result.results.size());
     for (int i = 0; i < static_cast<int>(result.results.size()); ++i) {
       const AggregateResult& r = result.results[i];
-      Selection matched = bound.Filter(r.input_group);
+      SCORPION_ASSIGN_OR_RETURN(Selection matched,
+                                bound.Filter(r.input_group));
       WhatIfEntry entry;
       entry.key = r.key_string;
       entry.original = r.value;
@@ -120,6 +121,20 @@ Result<Dataset> Engine::Open(const Table& table, GroupByQuery query) {
                  std::make_shared<QueryResult>(std::move(result)));
 }
 
+Result<LiveDataset> Engine::OpenLive(LiveTable& live, GroupByQuery query,
+                                     ServiceStats* service_stats) {
+  SCORPION_ASSIGN_OR_RETURN(std::shared_ptr<const TableSnapshot> snap,
+                            live.Publish());
+  SCORPION_ASSIGN_OR_RETURN(QueryResult result,
+                            ExecuteGroupBy(snap->table, query));
+  if (service_stats != nullptr) {
+    ++service_stats->snapshot_generations_published;
+  }
+  return LiveDataset(
+      this, &live, service_stats, std::move(snap),
+      std::make_shared<const QueryResult>(std::move(result)));
+}
+
 bool Engine::Cancel(uint64_t id) {
   MutexLock lock(service_mu_);
   if (service_ == nullptr) return false;
@@ -150,7 +165,9 @@ ExplanationService& Engine::service() {
 
 /// Keyed session store: one internally synchronized ExplainSession per
 /// annotation set, LRU-bounded so a client cycling through annotation sets
-/// cannot grow a dataset without bound.
+/// cannot grow a dataset without bound. Shared between Dataset and
+/// LiveDataset (a live dataset's sessions must survive Refresh — they
+/// carry the delta seeds).
 struct Dataset::SessionStore {
   struct Entry {
     std::shared_ptr<ExplainSession> session;
@@ -162,7 +179,49 @@ struct Dataset::SessionStore {
   Mutex mu;
   uint64_t clock SCORPION_GUARDED_BY(mu) = 0;
   std::map<std::string, Entry> sessions SCORPION_GUARDED_BY(mu);
+
+  /// The session for one annotation set (created on first use, LRU
+  /// eviction past kMaxSessions). Returns nullptr when caching is off or
+  /// the algorithm ignores sessions.
+  static std::shared_ptr<ExplainSession> Acquire(SessionStore& store,
+                                                 bool cache_enabled,
+                                                 const ProblemSpec& problem,
+                                                 Algorithm algorithm);
 };
+
+std::shared_ptr<ExplainSession> Dataset::SessionStore::Acquire(
+    SessionStore& store, bool cache_enabled, const ProblemSpec& problem,
+    Algorithm algorithm) {
+  if (!cache_enabled) return nullptr;
+  // Only DT consults a session (Scorpion::Run's other branches ignore it);
+  // storing entries for NAIVE/MC would let useless keys evict live DT ones.
+  if (algorithm != Algorithm::kDT) return nullptr;
+  const std::string key = AnnotationKey(problem, algorithm);
+  MutexLock lock(store.mu);
+  SessionStore::Entry& entry = store.sessions[key];
+  if (entry.session == nullptr) {
+    entry.session = std::make_shared<ExplainSession>();
+    if (store.sessions.size() > SessionStore::kMaxSessions) {
+      // Evict the least-recently-used *other* key (map nodes are stable, so
+      // `entry` survives); in-flight jobs keep an evicted session alive
+      // through their shared_ptr.
+      auto victim = store.sessions.end();
+      for (auto it = store.sessions.begin(); it != store.sessions.end();
+           ++it) {
+        if (it->first == key) continue;
+        if (victim == store.sessions.end() ||
+            it->second.last_used < victim->second.last_used) {
+          victim = it;
+        }
+      }
+      if (victim != store.sessions.end()) {
+        store.sessions.erase(victim);
+      }
+    }
+  }
+  entry.last_used = ++store.clock;
+  return entry.session;
+}
 
 Dataset::Dataset(Engine* engine, const Table* table,
                  std::shared_ptr<QueryResult> result)
@@ -186,35 +245,8 @@ void Dataset::ClearCache() {
 
 std::shared_ptr<ExplainSession> Dataset::SessionFor(
     const ProblemSpec& problem, Algorithm algorithm) const {
-  if (!engine_->options().cache_enabled) return nullptr;
-  // Only DT consults a session (Scorpion::Run's other branches ignore it);
-  // storing entries for NAIVE/MC would let useless keys evict live DT ones.
-  if (algorithm != Algorithm::kDT) return nullptr;
-  const std::string key = AnnotationKey(problem, algorithm);
-  MutexLock lock(sessions_->mu);
-  SessionStore::Entry& entry = sessions_->sessions[key];
-  if (entry.session == nullptr) {
-    entry.session = std::make_shared<ExplainSession>();
-    if (sessions_->sessions.size() > SessionStore::kMaxSessions) {
-      // Evict the least-recently-used *other* key (map nodes are stable, so
-      // `entry` survives); in-flight jobs keep an evicted session alive
-      // through their shared_ptr.
-      auto victim = sessions_->sessions.end();
-      for (auto it = sessions_->sessions.begin();
-           it != sessions_->sessions.end(); ++it) {
-        if (it->first == key) continue;
-        if (victim == sessions_->sessions.end() ||
-            it->second.last_used < victim->second.last_used) {
-          victim = it;
-        }
-      }
-      if (victim != sessions_->sessions.end()) {
-        sessions_->sessions.erase(victim);
-      }
-    }
-  }
-  entry.last_used = ++sessions_->clock;
-  return entry.session;
+  return SessionStore::Acquire(*sessions_, engine_->options().cache_enabled,
+                               problem, algorithm);
 }
 
 Result<ExplainResponse> Dataset::Explain(const ExplainRequest& request) const {
@@ -264,14 +296,185 @@ Result<PendingExplanation> Dataset::ExplainAsync(
       engine_->scoring_pool(), std::move(response));
 }
 
+// --- LiveDataset -------------------------------------------------------------
+
+/// The pinned (snapshot, result) pair. The lock covers only pointer
+/// copies/swaps — a reader pins both under the shared lock and runs its
+/// whole explain unlocked against the refcounted copies, so Refresh never
+/// waits on an in-flight run (and vice versa). refresh_mu serializes
+/// concurrent Refresh callers so generations advance one at a time.
+struct LiveDataset::State {
+  mutable SharedMutex mu;
+  std::shared_ptr<const TableSnapshot> snap SCORPION_GUARDED_BY(mu);
+  std::shared_ptr<const QueryResult> result SCORPION_GUARDED_BY(mu);
+  Mutex refresh_mu;
+};
+
+LiveDataset::LiveDataset(Engine* engine, LiveTable* live,
+                         ServiceStats* service_stats,
+                         std::shared_ptr<const TableSnapshot> snap,
+                         std::shared_ptr<const QueryResult> result)
+    : engine_(engine),
+      live_(live),
+      service_stats_(service_stats),
+      state_(std::make_unique<State>()),
+      sessions_(std::make_unique<Dataset::SessionStore>()) {
+  state_->snap = std::move(snap);
+  state_->result = std::move(result);
+}
+
+LiveDataset::LiveDataset(LiveDataset&&) noexcept = default;
+LiveDataset& LiveDataset::operator=(LiveDataset&&) noexcept = default;
+LiveDataset::~LiveDataset() = default;
+
+uint64_t LiveDataset::generation() const {
+  ReaderMutexLock lock(state_->mu);
+  return state_->snap->generation;
+}
+
+std::shared_ptr<const TableSnapshot> LiveDataset::snapshot() const {
+  ReaderMutexLock lock(state_->mu);
+  return state_->snap;
+}
+
+std::shared_ptr<const QueryResult> LiveDataset::result() const {
+  ReaderMutexLock lock(state_->mu);
+  return state_->result;
+}
+
+void LiveDataset::ClearCache() {
+  MutexLock lock(sessions_->mu);
+  for (auto& [key, entry] : sessions_->sessions) entry.session->Clear();
+}
+
+Result<uint64_t> LiveDataset::Refresh() {
+  MutexLock refresh_lock(state_->refresh_mu);
+  SCORPION_ASSIGN_OR_RETURN(std::shared_ptr<const TableSnapshot> snap,
+                            live_->Publish());
+  std::shared_ptr<const TableSnapshot> old_snap;
+  std::shared_ptr<const QueryResult> old_result;
+  {
+    ReaderMutexLock lock(state_->mu);
+    old_snap = state_->snap;
+    old_result = state_->result;
+  }
+  if (snap->generation == old_snap->generation) return snap->generation;
+
+  // Extend the query result over only the delta rows (the frozen prefix is
+  // encoding-identical between generations, so old groups keep their row
+  // lists and untouched aggregates verbatim).
+  SCORPION_ASSIGN_OR_RETURN(QueryResult extended,
+                            ExtendQueryResult(*old_result, snap->table));
+  auto new_result = std::make_shared<const QueryResult>(std::move(extended));
+
+  // Re-key every session before the swap: from this point an in-flight run
+  // on the old generation can no longer store into (or read from) these
+  // sessions, and the parked seeds let the next run per annotation set
+  // extend its match caches instead of refiltering from row zero.
+  {
+    MutexLock lock(sessions_->mu);
+    for (auto& [key, entry] : sessions_->sessions) {
+      entry.session->BeginDeltaRefresh(snap->generation,
+                                       snap->table.num_rows(), *old_result);
+    }
+  }
+  {
+    WriterMutexLock lock(state_->mu);
+    state_->snap = snap;
+    state_->result = std::move(new_result);
+  }
+  if (service_stats_ != nullptr) {
+    ++service_stats_->snapshot_generations_published;
+  }
+  return snap->generation;
+}
+
+Result<ExplainResponse> LiveDataset::Explain(
+    const ExplainRequest& request) const {
+  std::shared_ptr<const TableSnapshot> snap;
+  std::shared_ptr<const QueryResult> result;
+  {
+    ReaderMutexLock lock(state_->mu);
+    snap = state_->snap;
+    result = state_->result;
+  }
+  SCORPION_ASSIGN_OR_RETURN(ProblemSpec problem, request.Resolve(*result));
+
+  ScorpionOptions engine_options = engine_->options().engine;
+  engine_options.algorithm = request.algorithm();
+  if (request.top_k() > 0) engine_options.top_k = request.top_k();
+  Scorpion engine(engine_options);
+  engine.set_thread_pool(engine_->scoring_pool());
+
+  std::shared_ptr<ExplainSession> session = Dataset::SessionStore::Acquire(
+      *sessions_, engine_->options().cache_enabled, problem,
+      request.algorithm());
+  Result<Explanation> explanation =
+      session != nullptr
+          ? engine.ExplainShared(snap->table, *result, problem, session.get(),
+                                 engine_->options().cross_c_warm_start)
+          : engine.Explain(snap->table, *result, problem);
+  if (!explanation.ok()) return explanation.status();
+  if (service_stats_ != nullptr) {
+    if (explanation->session_delta_refreshed) {
+      ++service_stats_->sessions_delta_refreshed;
+    }
+    service_stats_->tail_rows_scanned +=
+        explanation->scorer_stats.tail_rows_scanned.load();
+  }
+  return BuildResponse(snap->table, *result, problem, request.what_if(),
+                       engine_options.enable_block_pruning,
+                       engine_->scoring_pool(), std::move(*explanation));
+}
+
+Result<PendingExplanation> LiveDataset::ExplainAsync(
+    const ExplainRequest& request) const {
+  std::shared_ptr<const TableSnapshot> snap;
+  std::shared_ptr<const QueryResult> result;
+  {
+    ReaderMutexLock lock(state_->mu);
+    snap = state_->snap;
+    result = state_->result;
+  }
+  SCORPION_ASSIGN_OR_RETURN(ProblemSpec problem, request.Resolve(*result));
+
+  Job job;
+  job.table = &snap->table;
+  job.query_result = result.get();
+  job.query_result_owner = result;
+  job.snapshot = snap;  // keeps the generation alive until the future is set
+  job.problem = problem;
+  job.algorithm = request.algorithm();
+  job.top_k = request.top_k();
+  job.priority = request.priority();
+  if (request.deadline_seconds().has_value()) {
+    SCORPION_RETURN_NOT_OK(
+        job.set_deadline_after(*request.deadline_seconds()));
+  }
+  job.session = Dataset::SessionStore::Acquire(
+      *sessions_, engine_->options().cache_enabled, problem,
+      request.algorithm());
+
+  Response response = engine_->service().Submit(std::move(job));
+  // Take the table pointer before std::move(snap): the arguments below are
+  // unsequenced, so the moved-from snap must not be dereferenced in one.
+  const Table* table = &snap->table;
+  return PendingExplanation(
+      table, std::move(result), std::move(problem), request.what_if(),
+      engine_->options().engine.enable_block_pruning,
+      engine_->scoring_pool(), std::move(response), std::move(snap));
+}
+
 // --- PendingExplanation ------------------------------------------------------
 
 PendingExplanation::PendingExplanation(
     const Table* table, std::shared_ptr<const QueryResult> result,
     ProblemSpec problem, bool with_what_if, bool enable_block_pruning,
-    ThreadPool* pool, Response response)
+    ThreadPool* pool, Response response,
+    std::shared_ptr<const TableSnapshot> snapshot)
     : table_(table),
       result_(std::move(result)),
+      snapshot_(std::move(snapshot)),
       problem_(std::move(problem)),
       with_what_if_(with_what_if),
       enable_block_pruning_(enable_block_pruning),

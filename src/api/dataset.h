@@ -30,11 +30,13 @@
 #include "core/scorpion.h"
 #include "query/groupby.h"
 #include "service/service.h"
+#include "storage/live_table.h"
 #include "table/table.h"
 
 namespace scorpion {
 
 class Dataset;
+class LiveDataset;
 class PendingExplanation;
 
 /// Engine-wide tuning: the inner Scorpion knobs plus the serving knobs the
@@ -70,6 +72,17 @@ class Engine {
   /// executed QueryResult is owned by the handle.
   Result<Dataset> Open(const Table& table, GroupByQuery query);
 
+  /// Opens a streaming dataset over a LiveTable: publishes its current
+  /// contents as a pinned snapshot, executes `query` over that frozen
+  /// generation, and returns a handle whose Explain()s read the pinned
+  /// generation until Refresh() advances it. The LiveTable is borrowed and
+  /// must outlive the LiveDataset. An optional ServiceStats sink receives
+  /// the ingest-plane counters (generations published, sessions delta-
+  /// refreshed, tail rows scanned) the way CoordinatorOptions wires the
+  /// distributed ones.
+  Result<LiveDataset> OpenLive(LiveTable& live, GroupByQuery query,
+                               ServiceStats* service_stats = nullptr);
+
   /// Cancels a queued async request by id (see PendingExplanation::id());
   /// false if it already started, finished, or was never queued.
   bool Cancel(uint64_t id);
@@ -82,6 +95,7 @@ class Engine {
 
  private:
   friend class Dataset;
+  friend class LiveDataset;
 
   /// The shared scoring pool (nullptr = serial).
   ThreadPool* scoring_pool() { return pool_.get(); }
@@ -137,6 +151,9 @@ class Dataset {
 
  private:
   friend class Engine;
+  // LiveDataset reuses the keyed session store (same annotation-set keying,
+  // same LRU bound) rather than duplicating it.
+  friend class LiveDataset;
 
   Dataset(Engine* engine, const Table* table,
           std::shared_ptr<QueryResult> result);
@@ -156,6 +173,76 @@ class Dataset {
   // store holds a mutex).
   struct SessionStore;
   std::unique_ptr<SessionStore> sessions_;
+};
+
+/// \brief Handle over one query on a streaming LiveTable.
+///
+/// The Dataset counterpart for data that grows: explains run against the
+/// generation pinned at OpenLive or the last Refresh(), so concurrent
+/// appends to the LiveTable never shift results mid-call (no more
+/// evaluate-after-append aborts — readers simply keep seeing their frozen
+/// generation). Refresh() publishes the appended rows as a new generation,
+/// extends the cached QueryResult by scanning only the delta rows, and
+/// re-keys every explain session with a delta seed so the next explain per
+/// annotation set extends its cached match Selections from the old
+/// high-water mark instead of refiltering from row zero.
+///
+/// Thread-safe: Explain()/ExplainAsync() from any number of threads,
+/// concurrently with appends and with one Refresh() at a time (concurrent
+/// Refresh calls serialize internally). Every response is bit-identical to
+/// a from-scratch Engine::Open + Explain over the pinned generation's
+/// frozen table.
+class LiveDataset {
+ public:
+  LiveDataset(LiveDataset&&) noexcept;
+  LiveDataset& operator=(LiveDataset&&) noexcept;
+  ~LiveDataset();
+
+  /// The generation currently served (see TableSnapshot::generation).
+  uint64_t generation() const;
+
+  /// The pinned snapshot / its query result. Handles stay valid after
+  /// Refresh() advances the dataset (refcounted).
+  std::shared_ptr<const TableSnapshot> snapshot() const;
+  std::shared_ptr<const QueryResult> result() const;
+
+  /// Publishes the LiveTable's current contents and advances this dataset
+  /// to the new generation: the query result is extended incrementally and
+  /// every cached session is delta-refresh re-keyed. In-flight explains
+  /// finish against the generation they pinned. Returns the now-served
+  /// generation (unchanged if nothing was appended).
+  Result<uint64_t> Refresh();
+
+  /// Runs the request against the currently pinned generation. Same
+  /// determinism contract as Dataset::Explain.
+  Result<ExplainResponse> Explain(const ExplainRequest& request) const;
+
+  /// Async counterpart; the submitted job pins the current snapshot, so
+  /// the generation survives until the future is redeemed even if
+  /// Refresh() advances the dataset first.
+  Result<PendingExplanation> ExplainAsync(const ExplainRequest& request) const;
+
+  /// Drops every annotation set's cached session state (including parked
+  /// delta seeds).
+  void ClearCache();
+
+ private:
+  friend class Engine;
+
+  struct State;
+
+  LiveDataset(Engine* engine, LiveTable* live, ServiceStats* service_stats,
+              std::shared_ptr<const TableSnapshot> snap,
+              std::shared_ptr<const QueryResult> result);
+
+  Engine* engine_;
+  LiveTable* live_;
+  /// Optional ingest-plane counter sink (see Engine::OpenLive).
+  ServiceStats* service_stats_;
+  /// Pinned (snapshot, result) pair behind a pointer for movability; the
+  /// State's reader/writer lock covers only the pointer swap, never a run.
+  std::unique_ptr<State> state_;
+  std::unique_ptr<Dataset::SessionStore> sessions_;
 };
 
 /// \brief Handle for one in-flight ExplainAsync request.
@@ -180,15 +267,20 @@ class PendingExplanation {
 
  private:
   friend class Dataset;
+  friend class LiveDataset;
 
   PendingExplanation(const Table* table,
                      std::shared_ptr<const QueryResult> result,
                      ProblemSpec problem, bool with_what_if,
                      bool enable_block_pruning, ThreadPool* pool,
-                     Response response);
+                     Response response,
+                     std::shared_ptr<const TableSnapshot> snapshot = nullptr);
 
   const Table* table_;
   std::shared_ptr<const QueryResult> result_;
+  // Generation pin when the table lives inside a published TableSnapshot
+  // (LiveDataset::ExplainAsync); null for plain datasets.
+  std::shared_ptr<const TableSnapshot> snapshot_;
   ProblemSpec problem_;
   bool with_what_if_ = true;
   // Engine data-plane configuration captured at submit time, so the

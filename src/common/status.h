@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kCancelled = 8,       // explicitly cancelled, or the owner shut down
   kDeadlineExceeded = 9,  // a request's deadline passed before completion
   kUnavailable = 10,    // resource at capacity; the request was shed
+  kFailedPrecondition = 11,  // state the caller relied on has moved on
 };
 
 /// Returns a human-readable name for a status code, e.g. "Invalid argument".
@@ -75,6 +76,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -95,6 +99,9 @@ class Status {
     return code() == StatusCode::kDeadlineExceeded;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

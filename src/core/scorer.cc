@@ -110,11 +110,11 @@ void Scorer::ConfigureBound(BoundPredicate* bound) const {
   bound->set_thread_pool(pool_);
 }
 
-Selection Scorer::FilterGroup(const BoundPredicate& bound,
-                              const Selection& input) const {
+Result<Selection> Scorer::FilterGroup(const BoundPredicate& bound,
+                                      const Selection& input) const {
   ++stats_.filter_kernels;
   stats_.rows_filtered += input.size();
-  Selection matched = bound.Filter(input);
+  SCORPION_ASSIGN_OR_RETURN(Selection matched, bound.Filter(input));
   // Keep the scoring plane in vector form. `matched` is bitmap-only when
   // `input` was all-rows (dense kernel); materializing here — on a
   // thread-local value — guarantees the downstream algebra (e.g. Delta's
@@ -208,14 +208,22 @@ Result<double> Scorer::InfluenceImpl(const Predicate* pred,
       ConfigureBound(&*bound);
     }
   }
-  auto group_influence = [&](int idx, bool is_outlier, double ev) {
+  // On a filter error (stale bound predicate) the lambda parks the status
+  // in its per-index slot and yields -inf so the fill loop stops cheaply;
+  // the serial scans below give errors precedence over the -inf result.
+  auto group_influence = [&](int idx, bool is_outlier, double ev,
+                             Status* status) {
     if (matches != nullptr) {
       if (cache_provided) ++stats_.match_cache_hits;
       return GroupInfluence(idx, (*matches)[idx], is_outlier, ev);
     }
-    const Selection matched =
+    Result<Selection> matched =
         FilterGroup(*bound, result_->results[idx].input_group);
-    return GroupInfluence(idx, matched, is_outlier, ev);
+    if (!matched.ok()) {
+      *status = matched.status();
+      return kNegInf;
+    }
+    return GroupInfluence(idx, *matched, is_outlier, ev);
   };
 
   // Per-group work runs in parallel into per-index slots; the reductions
@@ -223,13 +231,18 @@ Result<double> Scorer::InfluenceImpl(const Predicate* pred,
   // serial run.
   const size_t num_outliers = problem_->outliers.size();
   std::vector<double> outlier_inf;
+  std::vector<Status> outlier_status(num_outliers);
   bool finite = FillGroupInfluences(pool_, num_outliers, &outlier_inf,
                                     [&](size_t i) {
                                       return group_influence(
                                           problem_->outliers[i],
                                           /*is_outlier=*/true,
-                                          problem_->error_vectors[i]);
+                                          problem_->error_vectors[i],
+                                          &outlier_status[i]);
                                     });
+  for (const Status& st : outlier_status) {
+    SCORPION_RETURN_NOT_OK(st);
+  }
   if (!finite) return kNegInf;
   double outlier_sum = 0.0;
   for (double inf : outlier_inf) outlier_sum += inf;
@@ -238,12 +251,17 @@ Result<double> Scorer::InfluenceImpl(const Predicate* pred,
 
   if (with_holdouts && !problem_->holdouts.empty() && problem_->lambda < 1.0) {
     std::vector<double> holdout_inf;
+    std::vector<Status> holdout_status(problem_->holdouts.size());
     finite = FillGroupInfluences(pool_, problem_->holdouts.size(), &holdout_inf,
                                  [&](size_t i) {
                                    return group_influence(
                                        problem_->holdouts[i],
-                                       /*is_outlier=*/false, 0.0);
+                                       /*is_outlier=*/false, 0.0,
+                                       &holdout_status[i]);
                                  });
+    for (const Status& st : holdout_status) {
+      SCORPION_RETURN_NOT_OK(st);
+    }
     if (!finite) return kNegInf;
     double max_penalty = 0.0;
     for (double inf : holdout_inf) {
@@ -266,23 +284,30 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
   }
   // Same Selection either way (the bit-identity contract on
   // PredicateMatchSource), so the influence math below cannot diverge.
-  auto matched_for = [&](int idx) {
-    return match_source_ != nullptr
-               ? fetched[idx]
-               : FilterGroup(*bound, result_->results[idx].input_group);
+  auto matched_for = [&](int idx) -> Result<Selection> {
+    if (match_source_ != nullptr) return fetched[idx];
+    return FilterGroup(*bound, result_->results[idx].input_group);
   };
 
   DetailedScore out;
   const size_t num_outliers = problem_->outliers.size();
   out.matched_outlier.resize(num_outliers);
   std::vector<double> outlier_inf(num_outliers);
+  std::vector<Status> outlier_status(num_outliers);
   ParallelForOver(pool_, 0, num_outliers, [&](size_t i) {
     int idx = problem_->outliers[i];
-    Selection matched = matched_for(idx);
-    outlier_inf[i] = GroupInfluence(idx, matched, /*is_outlier=*/true,
+    Result<Selection> matched = matched_for(idx);
+    if (!matched.ok()) {
+      outlier_status[i] = matched.status();
+      return;
+    }
+    outlier_inf[i] = GroupInfluence(idx, *matched, /*is_outlier=*/true,
                                     problem_->error_vectors[i]);
-    out.matched_outlier[i] = std::move(matched);
+    out.matched_outlier[i] = matched.MoveValueUnsafe();
   });
+  for (const Status& st : outlier_status) {
+    SCORPION_RETURN_NOT_OK(st);
+  }
   double outlier_sum = 0.0;
   bool annihilated = false;
   for (double inf : outlier_inf) {
@@ -302,14 +327,22 @@ Result<DetailedScore> Scorer::ScoreDetailed(const Predicate& pred) const {
   out.full = out.outlier_only;
   if (!problem_->holdouts.empty() && problem_->lambda < 1.0) {
     std::vector<double> holdout_inf;
+    std::vector<Status> holdout_status(problem_->holdouts.size());
     bool finite =
         FillGroupInfluences(pool_, problem_->holdouts.size(), &holdout_inf,
                             [&](size_t i) {
                               int idx = problem_->holdouts[i];
-                              const Selection matched = matched_for(idx);
-                              return GroupInfluence(idx, matched,
+                              Result<Selection> matched = matched_for(idx);
+                              if (!matched.ok()) {
+                                holdout_status[i] = matched.status();
+                                return kNegInf;
+                              }
+                              return GroupInfluence(idx, *matched,
                                                     /*is_outlier=*/false, 0.0);
                             });
+    for (const Status& st : holdout_status) {
+      SCORPION_RETURN_NOT_OK(st);
+    }
     if (!finite) {
       out.full = kNegInf;
       return out;
@@ -468,15 +501,79 @@ Result<std::shared_ptr<const PredicateMatchCache>> Scorer::BuildMatchCache(
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
   ConfigureBound(&bound);
   PredicateMatchCache cache(result_->results.size());
-  auto fill = [&](int idx) {
+  auto fill = [&](int idx) -> Status {
     // FilterGroup returns vector form, which is the only form the cached
     // scoring path reads — so concurrent readers never trigger a lazy
     // conversion, and no full-universe bitmap is pinned in the long-lived
     // session cache.
-    cache[idx] = FilterGroup(bound, result_->results[idx].input_group);
+    SCORPION_ASSIGN_OR_RETURN(
+        cache[idx], FilterGroup(bound, result_->results[idx].input_group));
+    return Status::OK();
   };
-  for (int idx : problem_->outliers) fill(idx);
-  for (int idx : problem_->holdouts) fill(idx);
+  for (int idx : problem_->outliers) SCORPION_RETURN_NOT_OK(fill(idx));
+  for (int idx : problem_->holdouts) SCORPION_RETURN_NOT_OK(fill(idx));
+  return std::make_shared<const PredicateMatchCache>(std::move(cache));
+}
+
+Result<std::shared_ptr<const PredicateMatchCache>>
+Scorer::BuildMatchCacheExtended(const Predicate& pred,
+                                const SessionDeltaSeed* seed,
+                                size_t* seed_hits) const {
+  if (seed == nullptr || seed->old_num_rows == 0 ||
+      match_source_ != nullptr) {
+    return BuildMatchCache(pred);
+  }
+  auto seed_it = seed->matches_by_pred.find(pred.ToString(nullptr));
+  if (seed_it == seed->matches_by_pred.end() || seed_it->second == nullptr) {
+    return BuildMatchCache(pred);
+  }
+  const PredicateMatchCache& old_cache = *seed_it->second;
+  const size_t old_n = seed->old_num_rows;
+  const size_t new_n = table_->num_rows();
+  SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, pred.Bind(*table_));
+  ConfigureBound(&bound);
+  PredicateMatchCache cache(result_->results.size());
+  auto fill = [&](int idx) -> Status {
+    const AggregateResult& res = result_->results[idx];
+    // Locate the group's slot in the old cache by its key (indices can
+    // shift when appends create new groups). A slot the old build never
+    // filled — only outlier/hold-out slots are — still has a default
+    // (universe 0) Selection; the universe check tells them apart.
+    const Selection* old_matches = nullptr;
+    auto key_it = seed->old_index_by_key.find(res.key_string);
+    if (key_it != seed->old_index_by_key.end() &&
+        static_cast<size_t>(key_it->second) < old_cache.size()) {
+      const Selection& candidate = old_cache[key_it->second];
+      if (candidate.universe_size() == old_n) old_matches = &candidate;
+    }
+    if (old_matches == nullptr) {
+      SCORPION_ASSIGN_OR_RETURN(cache[idx],
+                                FilterGroup(bound, res.input_group));
+      return Status::OK();
+    }
+    // Rows below old_n are byte-identical across the generations and group
+    // membership over them is unchanged, so the old matches stand; only
+    // the appended suffix of the group needs the kernels.
+    const RowIdList& group_rows = res.input_group.rows();
+    auto split = std::lower_bound(group_rows.begin(), group_rows.end(),
+                                  static_cast<RowId>(old_n));
+    RowIdList delta_rows(split, group_rows.end());
+    stats_.tail_rows_scanned += delta_rows.size();
+    SCORPION_ASSIGN_OR_RETURN(
+        Selection delta_matched,
+        FilterGroup(bound,
+                    Selection::FromSorted(std::move(delta_rows), new_n)));
+    // Old matches are all < old_n and delta matches all >= old_n, both
+    // ascending — concatenation is already sorted.
+    RowIdList combined = old_matches->rows();
+    const RowIdList& delta_list = delta_matched.rows();
+    combined.insert(combined.end(), delta_list.begin(), delta_list.end());
+    cache[idx] = Selection::FromSorted(std::move(combined), new_n);
+    if (seed_hits != nullptr) ++*seed_hits;
+    return Status::OK();
+  };
+  for (int idx : problem_->outliers) SCORPION_RETURN_NOT_OK(fill(idx));
+  for (int idx : problem_->holdouts) SCORPION_RETURN_NOT_OK(fill(idx));
   return std::make_shared<const PredicateMatchCache>(std::move(cache));
 }
 

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "aggregates/aggregate.h"
@@ -102,6 +104,29 @@ struct ScorerStats {
   // block slice instead of each loading it.
   RelaxedCounter candidate_batches;
   RelaxedCounter blocks_shared_across_candidates;
+  // Live-table delta refresh (src/storage/): rows past a session's old
+  // high-water mark filtered by BuildMatchCacheExtended instead of
+  // refiltering whole groups from row zero.
+  RelaxedCounter tail_rows_scanned;
+};
+
+/// \brief Carry-over state for refreshing an ExplainSession onto a newer
+/// generation of the same live table.
+///
+/// Holds the per-predicate match caches built at the old generation, the
+/// old row count (the high-water mark: every row below it is byte-identical
+/// across the two generations), and the old result index for each group
+/// key (group indices can shift when appends create new groups).
+/// Scorer::BuildMatchCacheExtended consumes this to extend cached per-group
+/// match Selections by filtering only the appended suffix.
+struct SessionDeltaSeed {
+  size_t old_num_rows = 0;
+  /// Predicate canonical form (ToString with raw codes) → the match cache
+  /// built for it at the old generation.
+  std::map<std::string, std::shared_ptr<const PredicateMatchCache>>
+      matches_by_pred;
+  /// Group key_string → result index at the old generation.
+  std::map<std::string, int> old_index_by_key;
 };
 
 /// \brief Influence oracle bound to one (table, query result, problem).
@@ -146,6 +171,21 @@ class Scorer {
   /// PredicateMatchCache).
   Result<std::shared_ptr<const PredicateMatchCache>> BuildMatchCache(
       const Predicate& pred) const;
+
+  /// BuildMatchCache with live-table delta refresh: when `seed` carries a
+  /// cache for `pred` built at an older generation whose encoded rows are a
+  /// prefix of this table's, each group's old match Selection is reused
+  /// verbatim and only group rows past seed->old_num_rows are filtered.
+  /// Bit-identical to a cold build — filtering is row-local and the shared
+  /// prefix is byte-identical, so old matches ∪ filter(appended rows) is
+  /// exactly filter(whole group). Groups the old cache never filled (only
+  /// outlier/hold-out slots are built) and groups new at this generation
+  /// fall back to a cold filter. `seed_hits`, when non-null, is incremented
+  /// once per group served by extension. Null `seed` (or an installed match
+  /// source) degrades to BuildMatchCache.
+  Result<std::shared_ptr<const PredicateMatchCache>> BuildMatchCacheExtended(
+      const Predicate& pred, const SessionDeltaSeed* seed,
+      size_t* seed_hits) const;
 
   /// Full + hold-out-free influence and the matched outlier rows, in one
   /// pass over the input groups.
@@ -235,8 +275,9 @@ class Scorer {
   Scorer() = default;
 
   /// Filters `input` through `bound`, counting kernel traffic.
-  Selection FilterGroup(const BoundPredicate& bound,
-                        const Selection& input) const;
+  /// FailedPrecondition if `bound`'s table moved on since Bind().
+  Result<Selection> FilterGroup(const BoundPredicate& bound,
+                                const Selection& input) const;
 
   /// Delta(result, matched rows) with sign = original - updated.
   double Delta(int result_idx, const Selection& matched) const;

@@ -19,13 +19,20 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 /// Attaches per-group match Selections (Scorer::BuildMatchCache) to each
 /// partition. Done once when fresh DT partitions enter a session: filtering
 /// is c-agnostic like the partitions themselves, so every later run against
-/// the session rescoras them without touching the table. Statuses land in
-/// per-index slots; the first error in partition order wins.
+/// the session rescoras them without touching the table. When `seed` is
+/// non-null (a live-table delta refresh), predicates the previous
+/// generation already cached extend their matches over only the appended
+/// rows; `*seed_hits` accumulates how many groups were served that way.
+/// Statuses land in per-index slots; the first error in partition order
+/// wins.
 Status AttachMatchCaches(const Scorer& scorer,
-                         std::vector<ScoredPredicate>* partitions) {
+                         std::vector<ScoredPredicate>* partitions,
+                         const SessionDeltaSeed* seed, size_t* seed_hits) {
   std::vector<Status> statuses(partitions->size());
+  std::vector<size_t> hits(partitions->size(), 0);
   ParallelForOver(scorer.thread_pool(), 0, partitions->size(), [&](size_t i) {
-    auto built = scorer.BuildMatchCache((*partitions)[i].pred);
+    auto built = scorer.BuildMatchCacheExtended((*partitions)[i].pred, seed,
+                                                &hits[i]);
     if (built.ok()) {
       (*partitions)[i].matches = built.MoveValueUnsafe();
     } else {
@@ -34,6 +41,9 @@ Status AttachMatchCaches(const Scorer& scorer,
   });
   for (const Status& st : statuses) {
     SCORPION_RETURN_NOT_OK(st);
+  }
+  if (seed_hits != nullptr) {
+    for (size_t h : hits) *seed_hits += h;
   }
   return Status::OK();
 }
@@ -96,6 +106,38 @@ void ExplainSession::Clear() {
   has_partitions_ = false;
   partitions_.clear();
   merged_by_c_.clear();
+  key_ = DataKey{};
+  seed_.reset();
+}
+
+bool ExplainSession::BeginDeltaRefresh(uint64_t new_generation,
+                                       size_t new_num_rows,
+                                       const QueryResult& old_result) {
+  WriterMutexLock lock(mu_);
+  std::unique_ptr<SessionDeltaSeed> seed;
+  // A seed only makes sense when the session's cached state belongs to a
+  // strictly smaller table (rows only grow under live ingest) and at least
+  // one partition carries a match cache to extend.
+  if (has_partitions_ && key_.set && key_.num_rows < new_num_rows) {
+    seed = std::make_unique<SessionDeltaSeed>();
+    seed->old_num_rows = key_.num_rows;
+    for (const ScoredPredicate& sp : partitions_) {
+      if (sp.matches != nullptr) {
+        seed->matches_by_pred[sp.pred.ToString(nullptr)] = sp.matches;
+      }
+    }
+    for (size_t i = 0; i < old_result.results.size(); ++i) {
+      seed->old_index_by_key[old_result.results[i].key_string] =
+          static_cast<int>(i);
+    }
+    if (seed->matches_by_pred.empty()) seed.reset();
+  }
+  has_partitions_ = false;
+  partitions_.clear();
+  merged_by_c_.clear();
+  SetKeyLocked(new_generation, new_num_rows);
+  seed_ = std::move(seed);
+  return seed_ != nullptr;
 }
 
 Scorpion::Scorpion(ScorpionOptions options) : options_(std::move(options)) {}
@@ -159,6 +201,13 @@ Result<Explanation> Scorpion::Run(const Table& table,
                                   bool cross_c_warm_start) {
   WallTimer timer;
 
+  // Data identity of this run. Cached session state is only read or written
+  // when the session's DataKey matches — the guard that keeps a run pinned
+  // to an old live-table generation from exchanging state with a session
+  // that BeginDeltaRefresh has re-keyed under it (and vice versa).
+  const uint64_t cur_generation = table.generation();
+  const size_t cur_num_rows = table.num_rows();
+
   // Fast path: an exact-c session hit needs no scorer, partitioner or
   // merger — probe before paying Scorer::Make's per-group state build.
   if (options_.algorithm == Algorithm::kDT && session != nullptr) {
@@ -166,7 +215,8 @@ Result<Explanation> Scorpion::Run(const Table& table,
     bool hit = false;
     {
       ReaderMutexLock lock(session->mu_);
-      hit = session->LookupMergedLocked(problem.c, &out.predicates);
+      hit = session->KeyUsableLocked(cur_generation, cur_num_rows) &&
+            session->LookupMergedLocked(problem.c, &out.predicates);
     }
     if (hit) {
       out.algorithm = options_.algorithm;
@@ -207,11 +257,17 @@ Result<Explanation> Scorpion::Run(const Table& table,
       std::vector<ScoredPredicate> warm_seeds;
       bool have_partitions = false;
       bool have_result = false;
+      // Flipped to false when the session's DataKey no longer matches this
+      // run's table identity: the run then computes sessionless (and never
+      // stores), instead of mixing state across generations.
+      bool session_usable = session != nullptr;
       if (session != nullptr) {
         ReaderMutexLock lock(session->mu_);
-        // An exact-c entry stored since the fast-path probe above is still
-        // a whole-answer hit.
-        if (session->LookupMergedLocked(problem.c, &out.predicates)) {
+        if (!session->KeyUsableLocked(cur_generation, cur_num_rows)) {
+          session_usable = false;
+        } else if (session->LookupMergedLocked(problem.c, &out.predicates)) {
+          // An exact-c entry stored since the fast-path probe above is
+          // still a whole-answer hit.
           out.cache_result_hit = true;
           have_result = true;
         } else {
@@ -227,14 +283,19 @@ Result<Explanation> Scorpion::Run(const Table& table,
       }
       if (have_result) break;
       if (!have_partitions) {
-        if (session != nullptr) {
+        if (session_usable) {
           // Exclusive lock around the whole computation: concurrent requests
           // on this session block here and reuse the winner's partitions
           // instead of each recomputing them.
           WriterMutexLock lock(session->mu_);
-          // Re-check for an exact-c result: a concurrent same-(key, c)
-          // request may have stored one while we waited for the lock.
-          if (session->LookupMergedLocked(problem.c, &out.predicates)) {
+          // Re-check everything: a concurrent same-(key, c) request may
+          // have stored a result — or a delta refresh may have re-keyed
+          // the session — while we waited for the lock.
+          if (!session->KeyUsableLocked(cur_generation, cur_num_rows)) {
+            DTPartitioner dt(scorer, options_.dt);
+            SCORPION_ASSIGN_OR_RETURN(partitions, dt.Run());
+          } else if (session->LookupMergedLocked(problem.c,
+                                                 &out.predicates)) {
             out.cache_result_hit = true;
             have_result = true;
           } else if (session->has_partitions_) {
@@ -244,12 +305,21 @@ Result<Explanation> Scorpion::Run(const Table& table,
             DTPartitioner dt(scorer, options_.dt);
             SCORPION_ASSIGN_OR_RETURN(partitions, dt.Run());
             // Cache the c-agnostic match Selections with the partitions, so
-            // later runs (any c) skip re-filtering the table entirely.
-            SCORPION_RETURN_NOT_OK(AttachMatchCaches(scorer, &partitions));
+            // later runs (any c) skip re-filtering the table entirely. A
+            // delta seed parked by BeginDeltaRefresh extends the previous
+            // generation's matches over only the appended rows; it is
+            // one-shot, consumed here.
+            size_t seed_hits = 0;
+            SCORPION_RETURN_NOT_OK(AttachMatchCaches(
+                scorer, &partitions, session->seed_.get(), &seed_hits));
+            session->seed_.reset();
+            out.session_delta_refreshed = seed_hits > 0;
             session->partitions_ = partitions;
             session->has_partitions_ = true;
+            session->SetKeyLocked(cur_generation, cur_num_rows);
           }
-          if (cross_c_warm_start && warm_seeds.empty()) {
+          if (cross_c_warm_start && warm_seeds.empty() &&
+              session->KeyUsableLocked(cur_generation, cur_num_rows)) {
             warm_seeds = session->WarmSeedsLocked(problem.c);
           }
         } else {
@@ -277,7 +347,13 @@ Result<Explanation> Scorpion::Run(const Table& table,
       for (ScoredPredicate& sp : merged) sp.matches.reset();
       if (session != nullptr) {
         WriterMutexLock lock(session->mu_);
-        session->StoreMergedLocked(problem.c, merged);
+        // Store only into a session still keyed to this run's generation;
+        // a refresh while we merged makes this result stale for the
+        // session (though still correct for this run's pinned snapshot).
+        if (session->KeyUsableLocked(cur_generation, cur_num_rows)) {
+          session->StoreMergedLocked(problem.c, merged);
+          session->SetKeyLocked(cur_generation, cur_num_rows);
+        }
       }
       out.predicates = std::move(merged);
       break;

@@ -247,9 +247,126 @@ Status Coordinator::Publish(const Table& table, const QueryResult& result,
   problem_ = &problem;
   num_blocks_ = num_blocks;
   session_ = session;
+  table_fp_ = table_fp;
   std::set<int> relevant(problem.outliers.begin(), problem.outliers.end());
   relevant.insert(problem.holdouts.begin(), problem.holdouts.end());
   relevant_.assign(relevant.begin(), relevant.end());
+  return Status::OK();
+}
+
+Status Coordinator::PublishDelta(const Table& table,
+                                 const QueryResult& result,
+                                 const ProblemSpec& problem) {
+  MutexLock lock(scatter_mu_);
+  if (table_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Coordinator::PublishDelta before Publish");
+  }
+  SCORPION_RETURN_NOT_OK(problem.Validate(result));
+  const size_t old_rows = table_->num_rows();
+  if (table.num_rows() < old_rows) {
+    return Status::InvalidArgument(
+        "PublishDelta: new table has " + std::to_string(table.num_rows()) +
+        " rows, published table " + std::to_string(old_rows));
+  }
+  const Fingerprint old_fp = table_fp_;
+  const Fingerprint new_fp = table.fingerprint();
+  const Fingerprint session =
+      SessionFingerprint(new_fp, result.query, problem);
+  const uint64_t num_blocks = (table.num_rows() + kBlockSize - 1) / kBlockSize;
+
+  // Only the rows past the published high-water mark go on the wire.
+  RowIdList delta_rows;
+  delta_rows.reserve(table.num_rows() - old_rows);
+  for (RowId r = static_cast<RowId>(old_rows);
+       r < static_cast<RowId>(table.num_rows()); ++r) {
+    delta_rows.push_back(r);
+  }
+  SCORPION_ASSIGN_OR_RETURN(Table delta, table.TakeRows(delta_rows));
+  const JsonValue delta_json = TableToJsonValue(delta);
+  const JsonValue problem_json = ProblemSpecToJsonValue(problem);
+
+  size_t published = 0;
+  Status first_error = Status::Unavailable("no workers reachable");
+  bool have_error = false;
+  for (const std::unique_ptr<WorkerState>& worker : workers_) {
+    Status status = [&]() -> Status {
+      JsonValue extend_body = JsonValue::Object();
+      extend_body.Add("table_fp", JsonValue::String(old_fp.ToHex()));
+      extend_body.Add("new_table_fp", JsonValue::String(new_fp.ToHex()));
+      extend_body.Add("generation", JsonValue::Number(static_cast<double>(
+                                        table.generation())));
+      extend_body.Add("delta", delta_json);
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonValue extend_resp,
+          Call(*worker, kOpExtendDataset, std::move(extend_body),
+               options_.publish_timeout_seconds));
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonObjectReader extend_reader,
+          JsonObjectReader::Make(extend_resp, "extend_dataset response"));
+      SCORPION_ASSIGN_OR_RETURN(int64_t worker_blocks,
+                                extend_reader.GetInt("num_blocks"));
+      SCORPION_RETURN_NOT_OK(extend_reader.Finish());
+      if (static_cast<uint64_t>(worker_blocks) != num_blocks) {
+        return Status::Internal(
+            "worker sees " + std::to_string(worker_blocks) +
+            " blocks after extend, coordinator " + std::to_string(num_blocks));
+      }
+
+      // Sessions keyed under the old generation were dropped by the
+      // worker; re-prepare against the new fingerprint.
+      JsonValue prepare_body = JsonValue::Object();
+      prepare_body.Add("table_fp", JsonValue::String(new_fp.ToHex()));
+      prepare_body.Add("problem", problem_json);
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonValue prepare_resp,
+          Call(*worker, kOpPrepareProblem, std::move(prepare_body),
+               options_.request_timeout_seconds));
+      SCORPION_ASSIGN_OR_RETURN(
+          JsonObjectReader prepare_reader,
+          JsonObjectReader::Make(prepare_resp, "prepare_problem response"));
+      SCORPION_ASSIGN_OR_RETURN(std::string worker_session,
+                                prepare_reader.GetString("session_fp"));
+      SCORPION_RETURN_NOT_OK(prepare_reader.Finish());
+      if (worker_session != session.ToHex()) {
+        return Status::Internal("worker session fingerprint " +
+                                worker_session + " != coordinator's " +
+                                session.ToHex());
+      }
+      return Status::OK();
+    }();
+    if (status.ok()) {
+      ++published;
+      continue;
+    }
+    if (!have_error) {
+      first_error = status;
+      have_error = true;
+    }
+    MutexLock worker_lock(worker->mu);
+    if (worker->alive) {
+      worker->alive = false;
+      worker->conn.Close();
+      ++workers_lost_;
+      if (options_.service_stats != nullptr) {
+        ++options_.service_stats->workers_lost;
+      }
+    }
+  }
+  if (published == 0) return first_error;
+
+  table_ = &table;
+  result_ = &result;
+  problem_ = &problem;
+  num_blocks_ = num_blocks;
+  session_ = session;
+  table_fp_ = new_fp;
+  std::set<int> relevant(problem.outliers.begin(), problem.outliers.end());
+  relevant.insert(problem.holdouts.begin(), problem.holdouts.end());
+  relevant_.assign(relevant.begin(), relevant.end());
+  if (options_.service_stats != nullptr) {
+    ++options_.service_stats->snapshot_generations_published;
+  }
   return Status::OK();
 }
 
@@ -286,7 +403,7 @@ Result<std::vector<ShardGroupMatches>> Coordinator::FilterRangeLocally(
     auto hi = std::lower_bound(rows.begin(), rows.end(), end_row);
     Selection input =
         Selection::FromSorted(RowIdList(lo, hi), table_->num_rows());
-    Selection matched = bound.Filter(input);
+    SCORPION_ASSIGN_OR_RETURN(Selection matched, bound.Filter(input));
     ShardGroupMatches group;
     group.index = idx;
     group.rows = matched.rows();

@@ -93,6 +93,18 @@ class Coordinator : public PredicateMatchSource {
   Status Publish(const Table& table, const QueryResult& result,
                  const ProblemSpec& problem);
 
+  /// Incremental publication for live tables (wire v2). `table` must be a
+  /// row-wise extension of the previously Publish()ed table — a newer
+  /// LiveTable snapshot generation — and `result`/`problem` its extended
+  /// query result and re-validated annotations. Ships only the rows past
+  /// the old high-water mark to every live worker (diff-addressed by the
+  /// old table fingerprint), re-prepares the problem against the new
+  /// fingerprint, and adopts the new (table, result, problem) as the
+  /// published state. A worker that cannot apply the delta is marked lost
+  /// exactly like a failed Publish. Requires a prior successful Publish.
+  Status PublishDelta(const Table& table, const QueryResult& result,
+                      const ProblemSpec& problem);
+
   /// PredicateMatchSource: scatter the predicate over the block grid,
   /// gather per-group matches in block order. Thread-safe (serialized
   /// internally); requires Publish() first.
@@ -159,6 +171,9 @@ class Coordinator : public PredicateMatchSource {
   std::vector<int> relevant_;
   uint64_t num_blocks_ = 0;
   Fingerprint session_;
+  /// Fingerprint of the published table; the diff address PublishDelta
+  /// extends from.
+  Fingerprint table_fp_;
 
   /// Serializes Matches() end to end: the engine may score from several
   /// threads, but one scatter at a time keeps per-worker queueing trivial

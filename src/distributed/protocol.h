@@ -1,19 +1,33 @@
 // Wire protocol for the distributed explanation service.
 //
 // Every message is one JSON document inside one frame (net/frame.h).
-// Requests: {"scorpion_wire":1,"op":"...","id":N,"body":{...}}. Responses:
-// {"scorpion_wire":1,"id":N,"ok":true,"body":{...}} on success, or
-// {"scorpion_wire":1,"id":N,"ok":false,"error":{"code":C,"message":"..."}}
+// Requests: {"scorpion_wire":2,"op":"...","id":N,"body":{...}}. Responses:
+// {"scorpion_wire":2,"id":N,"ok":true,"body":{...}} on success, or
+// {"scorpion_wire":2,"id":N,"ok":false,"error":{"code":C,"message":"..."}}
 // where C is the sender's StatusCode — the caller gets the remote failure
 // back as a local Status with the same code.
 //
 // Ops:
 //   ping            {}                            -> {}
 //   publish_dataset {table, query, table_fp}      -> {num_blocks}
+//   extend_dataset  {table_fp, new_table_fp,
+//                    generation, delta}           -> {num_blocks}
 //   prepare_problem {table_fp, problem}           -> {session_fp}
 //   shard_filter    {session_fp, predicate,
 //                    block_begin, block_end}      -> {groups:[{index,rows}]}
 //   shutdown        {}                            -> {}
+//
+// extend_dataset (wire v2) is the live-table incremental publish: instead
+// of reshipping the whole table after an append burst, the coordinator
+// ships only the rows past the previous generation's high-water mark
+// (`delta`, a table with the same schema), diff-addressed by the previous
+// generation's fingerprint (`table_fp`) and stamped with the new snapshot's
+// generation number. The worker appends the delta in row order — dictionary
+// interning is append-only, so the extended encoding is byte-identical to
+// the coordinator's frozen snapshot, which `new_table_fp` verifies — then
+// re-keys the dataset under the new fingerprint, extends its query result
+// incrementally, and drops sessions prepared against the old generation
+// (the coordinator re-prepares against the new one).
 //
 // Both sides parse peer payloads under WireParseLimits() so a malicious or
 // broken peer cannot OOM them with deep nesting or node amplification; the
@@ -35,10 +49,12 @@
 namespace scorpion {
 
 /// Version stamped on every envelope; peers reject anything else.
-inline constexpr int64_t kDistributedWireVersion = 1;
+/// v2 added extend_dataset (incremental live-table publication).
+inline constexpr int64_t kDistributedWireVersion = 2;
 
 inline constexpr char kOpPing[] = "ping";
 inline constexpr char kOpPublishDataset[] = "publish_dataset";
+inline constexpr char kOpExtendDataset[] = "extend_dataset";
 inline constexpr char kOpPrepareProblem[] = "prepare_problem";
 inline constexpr char kOpShardFilter[] = "shard_filter";
 inline constexpr char kOpShutdown[] = "shutdown";

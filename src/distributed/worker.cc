@@ -125,6 +125,9 @@ Result<JsonValue> Worker::Handle(const WireRequest& request, bool* shutdown) {
   if (request.op == kOpPublishDataset) {
     return HandlePublishDataset(request.body);
   }
+  if (request.op == kOpExtendDataset) {
+    return HandleExtendDataset(request.body);
+  }
   if (request.op == kOpPrepareProblem) {
     return HandlePrepareProblem(request.body);
   }
@@ -161,11 +164,107 @@ Result<JsonValue> Worker::HandlePublishDataset(const JsonValue& body) {
   const uint64_t num_blocks =
       (table.num_rows() + kBlockSize - 1) / kBlockSize;
   auto state = std::make_unique<DatasetState>(
-      DatasetState{std::move(table), std::move(result)});
+      DatasetState{std::move(table), std::move(result),
+                   /*generation=*/0});
+  state->generation = state->table.generation();
   {
     MutexLock lock(mu_);
     datasets_[actual_fp] = std::move(state);
   }
+  JsonValue resp = JsonValue::Object();
+  resp.Add("num_blocks", JsonValue::Number(static_cast<double>(num_blocks)));
+  return resp;
+}
+
+Result<JsonValue> Worker::HandleExtendDataset(const JsonValue& body) {
+  SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
+                            JsonObjectReader::Make(body, "extend_dataset"));
+  SCORPION_ASSIGN_OR_RETURN(std::string old_fp, reader.GetString("table_fp"));
+  SCORPION_ASSIGN_OR_RETURN(std::string new_fp,
+                            reader.GetString("new_table_fp"));
+  SCORPION_ASSIGN_OR_RETURN(int64_t generation, reader.GetInt("generation"));
+  SCORPION_ASSIGN_OR_RETURN(const JsonValue* delta_json,
+                            reader.GetMember("delta"));
+  SCORPION_RETURN_NOT_OK(reader.Finish());
+  SCORPION_ASSIGN_OR_RETURN(Table delta, TableFromJsonValue(*delta_json));
+
+  MutexLock lock(mu_);
+  auto it = datasets_.find(old_fp);
+  if (it == datasets_.end()) {
+    return Status::KeyError("extend_dataset: no dataset with fingerprint " +
+                            old_fp + " (publish the full table first)");
+  }
+  DatasetState& ds = *it->second;
+  if (static_cast<uint64_t>(generation) <= ds.generation) {
+    return Status::FailedPrecondition(
+        "extend_dataset: generation " + std::to_string(generation) +
+        " does not advance the dataset's generation " +
+        std::to_string(ds.generation));
+  }
+  if (!(delta.schema() == ds.table.schema())) {
+    return Status::InvalidArgument(
+        "extend_dataset: delta schema does not match the dataset's");
+  }
+
+  // Append the delta in row order. Dictionary interning is append-only, so
+  // replaying the rows reproduces the coordinator's frozen snapshot
+  // encoding byte for byte — verified by the fingerprint below, which the
+  // dataset's streaming hasher states extend in O(delta).
+  for (int c = 0; c < ds.table.num_columns(); ++c) {
+    const Column& src = delta.column(c);
+    Column& dst = ds.table.column(c);
+    for (RowId r = 0; r < static_cast<RowId>(delta.num_rows()); ++r) {
+      if (src.type() == DataType::kDouble) {
+        SCORPION_RETURN_NOT_OK(dst.AppendDouble(src.GetDouble(r)));
+      } else {
+        SCORPION_RETURN_NOT_OK(dst.AppendString(src.GetString(r)));
+      }
+    }
+  }
+  SCORPION_RETURN_NOT_OK(ds.table.FinalizeColumnwiseBuild());
+
+  const std::string actual_fp = ds.table.fingerprint().ToHex();
+  if (actual_fp != new_fp) {
+    // The in-place append left the dataset in a state the coordinator does
+    // not recognise; drop it so the next publish starts clean rather than
+    // serving a diverged table.
+    datasets_.erase(it);
+    for (auto sit = sessions_.begin(); sit != sessions_.end();) {
+      if (sit->second.table_fp_hex == old_fp) {
+        sit = sessions_.erase(sit);
+      } else {
+        ++sit;
+      }
+    }
+    return Status::InvalidArgument(
+        "extend_dataset: extended table fingerprint " + actual_fp +
+        " does not match sender's " + new_fp + "; dataset dropped");
+  }
+
+  SCORPION_ASSIGN_OR_RETURN(QueryResult extended,
+                            ExtendQueryResult(ds.result, ds.table));
+  ds.result = std::move(extended);
+  ds.generation = static_cast<uint64_t>(generation);
+
+  // Re-key under the new fingerprint (the unique_ptr move keeps the Table's
+  // address — and so its seeded caches — stable) and drop sessions prepared
+  // against the old generation: their result indices may have shifted as
+  // groups appeared, and a shard_filter against a re-keyed dataset would
+  // otherwise hit the evicted-dataset CHECK. The coordinator re-runs
+  // prepare_problem against the new fingerprint after every extend.
+  std::unique_ptr<DatasetState> state = std::move(it->second);
+  datasets_.erase(it);
+  datasets_[actual_fp] = std::move(state);
+  for (auto sit = sessions_.begin(); sit != sessions_.end();) {
+    if (sit->second.table_fp_hex == old_fp) {
+      sit = sessions_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+
+  const uint64_t num_blocks =
+      (datasets_[actual_fp]->table.num_rows() + kBlockSize - 1) / kBlockSize;
   JsonValue resp = JsonValue::Object();
   resp.Add("num_blocks", JsonValue::Number(static_cast<double>(num_blocks)));
   return resp;
@@ -240,7 +339,7 @@ Result<JsonValue> Worker::HandleShardFilter(const JsonValue& body) {
     auto hi = std::lower_bound(rows.begin(), rows.end(), end_row);
     Selection input =
         Selection::FromSorted(RowIdList(lo, hi), ds.table.num_rows());
-    Selection matched = bound.Filter(input);
+    SCORPION_ASSIGN_OR_RETURN(Selection matched, bound.Filter(input));
     ShardGroupMatches group;
     group.index = idx;
     group.rows = matched.rows();

@@ -69,14 +69,20 @@ class Worker {
 
   Result<JsonValue> Handle(const WireRequest& request, bool* shutdown);
   Result<JsonValue> HandlePublishDataset(const JsonValue& body);
+  Result<JsonValue> HandleExtendDataset(const JsonValue& body);
   Result<JsonValue> HandlePrepareProblem(const JsonValue& body);
   Result<JsonValue> HandleShardFilter(const JsonValue& body);
 
   /// One published (table, query result) pair, keyed by table fingerprint.
-  /// unique_ptr keeps addresses stable while the map grows.
+  /// unique_ptr keeps addresses stable while the map grows — and lets
+  /// extend_dataset re-key a dataset under its new fingerprint without
+  /// moving the Table (its derived caches stay seeded).
   struct DatasetState {
     Table table;
     QueryResult result;
+    /// Live-table snapshot generation last applied (0 for static publishes);
+    /// extend_dataset requests must advance it.
+    uint64_t generation = 0;
   };
   /// One prepared problem, keyed by session fingerprint.
   struct SessionState {

@@ -38,8 +38,9 @@ Result<AccuracyStats> EvaluatePredicate(const Table& table,
   // process-wide BlockPruningDefault() (not any particular engine's
   // ScorpionOptions::enable_block_pruning) and counters land in the
   // global sink. Output is bit-identical either way.
-  const Selection matched =
-      bound.Filter(Selection::FromSorted(outlier_union, table.num_rows()));
+  SCORPION_ASSIGN_OR_RETURN(
+      const Selection matched,
+      bound.Filter(Selection::FromSorted(outlier_union, table.num_rows())));
   return ComputeAccuracy(matched.rows(), truth);
 }
 

@@ -139,6 +139,7 @@ std::vector<std::string> Predicate::Attributes() const {
 Result<BoundPredicate> Predicate::Bind(const Table& table) const {
   BoundPredicate bound;
   bound.num_rows_ = table.num_rows();
+  bound.bound_generation_ = table.generation();
   bound.table_ = &table;
   bound.pruning_enabled_ = BlockPruningDefault();
   bound.prune_stats_ = &GlobalBlockPruningStats();
@@ -190,13 +191,27 @@ Result<bool> Predicate::MatchesRow(const Table& table, RowId row) const {
 
 Result<RowIdList> Predicate::Evaluate(const Table& table) const {
   SCORPION_ASSIGN_OR_RETURN(BoundPredicate bound, Bind(table));
-  return bound.FilterAll().rows();
+  SCORPION_ASSIGN_OR_RETURN(Selection matched, bound.FilterAll());
+  return matched.rows();
 }
 
 void BoundPredicate::CheckNotStale() const {
   SCORPION_CHECK(table_ == nullptr || table_->num_rows() == num_rows_,
                  "BoundPredicate evaluated after its Table was appended to; "
                  "re-Bind() the predicate");
+}
+
+Status BoundPredicate::StaleStatus() const {
+  if (table_ == nullptr || table_->num_rows() == num_rows_) {
+    return Status::OK();
+  }
+  return Status::FailedPrecondition(
+      "BoundPredicate bound at generation " +
+      std::to_string(bound_generation_) + " (" + std::to_string(num_rows_) +
+      " rows) evaluated against generation " +
+      std::to_string(table_->generation()) + " (" +
+      std::to_string(table_->num_rows()) +
+      " rows); re-Bind() against a frozen snapshot");
 }
 
 bool BoundPredicate::Matches(RowId row) const {
@@ -510,8 +525,8 @@ size_t RunPrunedDenseBlocks(const TableBlockStats& stats, ThreadPool* pool,
 
 }  // namespace
 
-Selection BoundPredicate::Filter(const Selection& input) const {
-  CheckNotStale();
+Result<Selection> BoundPredicate::Filter(const Selection& input) const {
+  SCORPION_RETURN_NOT_OK(StaleStatus());
   SCORPION_CHECK(input.universe_size() == num_rows_,
                  "Filter input universe does not match the bound table");
   if (ranges_.empty() && sets_.empty()) return input;  // TRUE predicate
@@ -555,8 +570,8 @@ Selection BoundPredicate::Filter(const Selection& input) const {
   return Selection::FromSorted(std::move(out), num_rows_);
 }
 
-Selection BoundPredicate::FilterAll() const {
-  CheckNotStale();
+Result<Selection> BoundPredicate::FilterAll() const {
+  SCORPION_RETURN_NOT_OK(StaleStatus());
   const size_t n = num_rows_;
   if (ranges_.empty() && sets_.empty()) return Selection::All(n);
   std::vector<uint64_t> words((n + 63) / 64, 0);
@@ -581,8 +596,8 @@ Selection BoundPredicate::FilterAll() const {
   return Selection::FromBitmapCounted(std::move(words), n, count);
 }
 
-size_t BoundPredicate::Count(const Selection& input) const {
-  CheckNotStale();
+Result<size_t> BoundPredicate::Count(const Selection& input) const {
+  SCORPION_RETURN_NOT_OK(StaleStatus());
   SCORPION_CHECK(input.universe_size() == num_rows_,
                  "Count input universe does not match the bound table");
   if (ranges_.empty() && sets_.empty()) return input.size();

@@ -173,11 +173,15 @@ class Predicate {
 /// bit-identical.
 ///
 /// Valid only as long as the Table lives and is not appended to. The bound
-/// row count is recorded at Bind() time and checked on every batch
-/// evaluation call (per-row Matches() checks it in debug builds only), so
-/// appending to the table after binding aborts instead of reading stale or
-/// reallocated column storage (and therefore also before stale block stats
-/// could be consulted).
+/// row count (and storage generation) is recorded at Bind() time and
+/// checked on every batch evaluation call (per-row Matches() checks it in
+/// debug builds only): the vectorized entry points return
+/// Status::FailedPrecondition — carrying both generations — instead of
+/// reading stale or reallocated column storage (and therefore also before
+/// stale block stats could be consulted). Live-table callers hold a
+/// TableSnapshot (src/storage/live_table.h) so the error never fires in
+/// normal operation; it exists for callers that append to a plain Table
+/// under a still-bound predicate.
 class BoundPredicate {
  public:
   /// True if the table row satisfies the predicate (row-at-a-time reference
@@ -186,14 +190,17 @@ class BoundPredicate {
 
   /// Vectorized: the matching subset of `input`. Output keeps vector form
   /// for sparse inputs and bitmap form for all-rows inputs.
-  Selection Filter(const Selection& input) const;
+  /// FailedPrecondition if the table was appended to since Bind().
+  Result<Selection> Filter(const Selection& input) const;
 
   /// Vectorized: matching rows among all rows of the bound table, as a
-  /// bitmap Selection.
-  Selection FilterAll() const;
+  /// bitmap Selection. FailedPrecondition if the table was appended to
+  /// since Bind().
+  Result<Selection> FilterAll() const;
 
   /// Number of matches in `input` without materializing them.
-  size_t Count(const Selection& input) const;
+  /// FailedPrecondition if the table was appended to since Bind().
+  Result<size_t> Count(const Selection& input) const;
 
   /// Scalar row-at-a-time reference implementation over a sorted list.
   /// Test-only: nothing in src/ calls it anymore — it exists as the ground
@@ -258,8 +265,14 @@ class BoundPredicate {
     std::vector<const BlockStat*> set_stats;    // aligned with sets_
   };
 
-  /// Aborts if the bound table has been appended to since Bind().
+  /// Aborts if the bound table has been appended to since Bind() (the
+  /// scalar test-only reference paths keep the hard check).
   void CheckNotStale() const;
+
+  /// OK while the bound table still has the Bind()-time row count;
+  /// otherwise FailedPrecondition naming the bound and current generations
+  /// and row counts.
+  Status StaleStatus() const;
 
   /// Builds the zone-map plan; false when pruning is disabled or stats are
   /// unavailable (callers then take the unpruned kernel path).
@@ -280,6 +293,9 @@ class BoundPredicate {
   std::vector<BoundRange> ranges_;
   std::vector<BoundSet> sets_;
   size_t num_rows_ = 0;
+  /// Table::generation() at Bind() time, reported by StaleStatus() so a
+  /// live-table caller can see which generations diverged.
+  uint64_t bound_generation_ = 0;
   const Table* table_ = nullptr;
   /// Owned by the table's BlockStatsCache; valid while the table keeps the
   /// bound row count, which CheckNotStale() enforces before every use.

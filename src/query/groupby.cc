@@ -115,6 +115,82 @@ Result<QueryResult> ExecuteGroupBy(const Table& table,
   return out;
 }
 
+Result<QueryResult> ExtendQueryResult(const QueryResult& old,
+                                      const Table& table) {
+  const GroupByQuery& query = old.query;
+  const size_t old_rows =
+      old.results.empty() ? 0 : old.results.front().input_group.universe_size();
+  if (table.num_rows() < old_rows) {
+    return Status::InvalidArgument(
+        "ExtendQueryResult: table has " + std::to_string(table.num_rows()) +
+        " rows but the old result covers " + std::to_string(old_rows));
+  }
+  if (table.num_rows() == old_rows) return old;
+
+  SCORPION_ASSIGN_OR_RETURN(const Aggregate* agg, GetAggregate(query.aggregate));
+  SCORPION_ASSIGN_OR_RETURN(const Column* agg_col,
+                            table.ColumnByName(query.agg_attr));
+  std::vector<const Column*> key_cols;
+  for (const std::string& g : query.group_by) {
+    SCORPION_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(g));
+    key_cols.push_back(col);
+  }
+
+  // Re-seed the key map from the old result's provenance (group row lists
+  // are ascending, and old rows keep their ids under append-only growth),
+  // then fold in only the delta rows with the exact key construction
+  // ExecuteGroupBy uses.
+  std::map<std::string, RowIdList> groups;
+  std::map<std::string, double> old_values;
+  for (const AggregateResult& res : old.results) {
+    groups[res.key_string] = res.input_group.rows();
+    old_values[res.key_string] = res.value;
+  }
+  std::string key;
+  for (RowId r = static_cast<RowId>(old_rows);
+       r < static_cast<RowId>(table.num_rows()); ++r) {
+    key.clear();
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      if (k > 0) key += "|";
+      const Column* col = key_cols[k];
+      if (col->type() == DataType::kDouble) {
+        key += FormatDouble(col->GetDouble(r), 12);
+      } else {
+        key += col->GetString(r);
+      }
+    }
+    groups[key].push_back(r);
+  }
+
+  QueryResult out;
+  out.query = query;
+  out.results.reserve(groups.size());
+  for (auto& [key_string, rows] : groups) {
+    AggregateResult res;
+    res.key_string = key_string;
+    RowId first = rows.front();
+    for (const Column* col : key_cols) {
+      if (col->type() == DataType::kDouble) {
+        res.key.emplace_back(col->GetDouble(first));
+      } else {
+        res.key.emplace_back(col->GetString(first));
+      }
+    }
+    // Untouched groups keep their old aggregate verbatim — same rows in
+    // the same ascending order would recompute to the same bits, so this
+    // is purely a cost cut for the common many-groups/few-touched case.
+    auto grown = old_values.find(key_string);
+    const bool untouched =
+        grown != old_values.end() &&
+        (rows.empty() || rows.back() < static_cast<RowId>(old_rows));
+    res.value = untouched ? grown->second
+                          : agg->Compute(ExtractValues(*agg_col, rows));
+    res.input_group = Selection::FromSorted(std::move(rows), table.num_rows());
+    out.results.push_back(std::move(res));
+  }
+  return out;
+}
+
 Result<std::vector<std::string>> ExplanationAttributes(
     const Table& table, const GroupByQuery& query) {
   // Validate the referenced attributes exist.

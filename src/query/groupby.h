@@ -66,6 +66,18 @@ struct QueryResult {
 Result<QueryResult> ExecuteGroupBy(const Table& table,
                                    const GroupByQuery& query);
 
+/// Incremental re-execution for live tables: `table` must be a row-wise
+/// extension of the table `old` was computed over (same schema, same
+/// encoded prefix — the guarantee LiveTable::Publish provides between
+/// generations). Only rows past old's high-water mark are scanned and
+/// keyed; each touched group's aggregate is recomputed over its full row
+/// list (aggregates are not generally decomposable, and the column read is
+/// cheap next to a full-table rescan). The output is value-identical to
+/// ExecuteGroupBy(table, old.query): same groups, same order, same
+/// Selections, same aggregates.
+Result<QueryResult> ExtendQueryResult(const QueryResult& old,
+                                      const Table& table);
+
 /// The explanation attributes A_rest = all attributes minus group-by minus
 /// the aggregate attribute (Section 3.1).
 Result<std::vector<std::string>> ExplanationAttributes(

@@ -24,6 +24,8 @@
 
 namespace scorpion {
 
+struct TableSnapshot;
+
 /// \brief One explanation job submitted to the ExplanationService.
 ///
 /// `table` and `query_result` are borrowed: they must stay alive until the
@@ -46,6 +48,12 @@ struct Job {
   /// outlives the job even if every caller-side handle is dropped mid-
   /// flight (api::Dataset pins its result here; the table stays borrowed).
   std::shared_ptr<const QueryResult> query_result_owner;
+  /// Optional generation pin for live tables: when `table` points into a
+  /// published TableSnapshot (see storage/live_table.h), holding the
+  /// snapshot here keeps that frozen generation alive until the future is
+  /// fulfilled, even after newer generations publish and the LiveDataset
+  /// moves on. Null for plain static tables.
+  std::shared_ptr<const TableSnapshot> snapshot;
   /// The resolved problem instance. `problem.c` is the cardinality exponent
   /// this job runs at — there is no override.
   ProblemSpec problem;

@@ -35,6 +35,14 @@ struct ServiceStatsSnapshot {
   uint64_t workers_lost = 0;
   uint64_t ranges_redispatched = 0;
   uint64_t bytes_on_wire = 0;
+  // Live-table ingest plane (src/storage/): generations published through
+  // LiveDataset::Refresh, runs whose session match caches were rebuilt by
+  // extending the previous generation's Selections instead of refiltering
+  // from row zero, and the delta rows (past each seed's old high-water
+  // mark) those extensions actually scanned.
+  uint64_t snapshot_generations_published = 0;
+  uint64_t sessions_delta_refreshed = 0;
+  uint64_t tail_rows_scanned = 0;
   size_t queue_depth = 0;          // requests waiting right now
   double p50_latency_seconds = 0.0;  // submit-to-completion, completed only
   double p95_latency_seconds = 0.0;
@@ -65,6 +73,9 @@ class ServiceStats {
   RelaxedCounter workers_lost;
   RelaxedCounter ranges_redispatched;
   RelaxedCounter bytes_on_wire;
+  RelaxedCounter snapshot_generations_published;
+  RelaxedCounter sessions_delta_refreshed;
+  RelaxedCounter tail_rows_scanned;
 
   /// Records one completed request's submit-to-completion latency. Samples
   /// live in a fixed-size ring, so quantiles cover the most recent
@@ -95,6 +106,10 @@ class ServiceStats {
     snap.workers_lost = workers_lost.load();
     snap.ranges_redispatched = ranges_redispatched.load();
     snap.bytes_on_wire = bytes_on_wire.load();
+    snap.snapshot_generations_published =
+        snapshot_generations_published.load();
+    snap.sessions_delta_refreshed = sessions_delta_refreshed.load();
+    snap.tail_rows_scanned = tail_rows_scanned.load();
     snap.queue_depth = queue_depth;
     std::vector<double> sorted;
     {

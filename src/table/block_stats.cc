@@ -1,5 +1,6 @@
 #include "table/block_stats.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "table/table.h"
@@ -69,6 +70,27 @@ TableBlockStats::TableBlockStats(const Table& table)
   }
 }
 
+TableBlockStats::TableBlockStats(const Table& table,
+                                 const TableBlockStats& prev)
+    : TableBlockStats(table) {
+  if (prev.columns_.size() != columns_.size()) return;
+  // Only blocks prev's scan covered completely are reusable; its partial
+  // tail block describes fewer rows than the block holds now.
+  const size_t reusable =
+      std::min(prev.num_rows_ / kBlockSize, num_blocks_);
+  if (reusable == 0) return;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ColumnEntry& from = *prev.columns_[c];
+    // acquire pairs with the release in BuildColumn: a true load proves the
+    // entry's blocks/exact are final and immutable.
+    if (!from.built.load(std::memory_order_acquire)) continue;
+    ColumnEntry& to = *columns_[c];
+    to.blocks.assign(from.blocks.begin(),
+                     from.blocks.begin() + static_cast<ptrdiff_t>(reusable));
+    to.seeded_blocks = reusable;
+  }
+}
+
 const std::vector<BlockStat>& TableBlockStats::ForColumn(int col) const {
   ColumnEntry& entry = *columns_[col];
   std::call_once(entry.once, [this, col, &entry] { BuildColumn(col, &entry); });
@@ -76,11 +98,14 @@ const std::vector<BlockStat>& TableBlockStats::ForColumn(int col) const {
 }
 
 void TableBlockStats::BuildColumn(int col, ColumnEntry* entry) const {
-  entry->blocks.assign(num_blocks_, BlockStat{});
+  // resize (not assign) preserves the seeded prefix copied from the
+  // previous generation; new slots default-initialize.
+  entry->blocks.resize(num_blocks_);
+  const size_t first = entry->seeded_blocks;
   const Column& column = table_->column(col);
   if (column.type() == DataType::kDouble) {
     const double* v = column.doubles().data();
-    for (size_t b = 0; b < num_blocks_; ++b) {
+    for (size_t b = first; b < num_blocks_; ++b) {
       BlockStat& s = entry->blocks[b];
       const size_t end = block_end(b);
       for (size_t i = block_begin(b); i < end; ++i) {
@@ -96,11 +121,14 @@ void TableBlockStats::BuildColumn(int col, ColumnEntry* entry) const {
   } else {
     // Codes are always < cardinality, so when the cardinality fits the
     // bitset the `& (kBlockCodeBits - 1)` hash is the identity and the
-    // bitset is exact.
+    // bitset is exact. Recomputed from the *current* cardinality even for
+    // seeded entries: appends can grow the dictionary past the bitset, and
+    // the hash rule itself is cardinality-independent, so seeded bits stay
+    // valid while `exact` may flip off.
     entry->exact =
         static_cast<size_t>(column.Cardinality()) <= kBlockCodeBits;
     const int32_t* codes = column.codes().data();
-    for (size_t b = 0; b < num_blocks_; ++b) {
+    for (size_t b = first; b < num_blocks_; ++b) {
       BlockStat& s = entry->blocks[b];
       const size_t end = block_end(b);
       for (size_t i = block_begin(b); i < end; ++i) {
@@ -110,6 +138,7 @@ void TableBlockStats::BuildColumn(int col, ColumnEntry* entry) const {
       }
     }
   }
+  entry->built.store(true, std::memory_order_release);
 }
 
 void BlockStatsCache::Reset() {
@@ -139,6 +168,23 @@ const TableBlockStats* BlockStatsCache::Get(const Table& table) const {
   }
   fast_.store(stats_.get(), std::memory_order_release);
   return stats_.get();
+}
+
+void BlockStatsCache::SeedFrom(const BlockStatsCache& prev,
+                               const Table& table) {
+  std::shared_ptr<const TableBlockStats> prev_stats;
+  {
+    MutexLock prev_lock(prev.mu_);
+    prev_stats = prev.stats_;
+  }
+  if (prev_stats == nullptr || prev_stats->num_rows() > table.num_rows()) {
+    return;
+  }
+  auto seeded = std::make_shared<const TableBlockStats>(table, *prev_stats);
+  MutexLock lock(mu_);
+  prev_ = std::move(stats_);
+  stats_ = std::move(seeded);
+  fast_.store(stats_.get(), std::memory_order_release);
 }
 
 }  // namespace scorpion

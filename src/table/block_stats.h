@@ -128,6 +128,15 @@ class TableBlockStats {
  public:
   explicit TableBlockStats(const Table& table);
 
+  /// Seeded construction for the live-ingest path: `prev` holds stats for a
+  /// table whose encoded rows are a prefix of `table`'s. Every column whose
+  /// stats `prev` already built contributes its *full* blocks verbatim
+  /// (prev's partial tail block, if any, is rebuilt — its stats cover fewer
+  /// rows than the block now holds); BuildColumn then scans only the blocks
+  /// past the seeded prefix. The copy is eager so this object retains no
+  /// reference to `prev` — generations do not chain keep-alives.
+  TableBlockStats(const Table& table, const TableBlockStats& prev);
+
   size_t num_rows() const { return num_rows_; }
   size_t num_blocks() const { return num_blocks_; }
   size_t block_begin(size_t b) const { return b * kBlockSize; }
@@ -149,6 +158,14 @@ class TableBlockStats {
     std::once_flag once;
     bool exact = false;
     std::vector<BlockStat> blocks;
+    /// Leading blocks of `blocks` copied from a previous generation's build
+    /// (always 0 for unseeded entries); BuildColumn scans only past them.
+    size_t seeded_blocks = 0;
+    /// Set (release) once BuildColumn finished, so a seeded construction
+    /// can tell a completed build from one still in flight under the
+    /// call_once and only copy immutable data. std::once_flag itself is
+    /// not queryable.
+    std::atomic<bool> built{false};
   };
 
   void BuildColumn(int col, ColumnEntry* entry) const;
@@ -195,6 +212,13 @@ class BlockStatsCache {
   /// The stats for `table`'s current row count, building (or rebuilding,
   /// after an append changed the row count) if needed. Thread-safe.
   const TableBlockStats* Get(const Table& table) const;
+
+  /// Installs stats for `table` seeded from whatever `prev` has built, so
+  /// `table` (whose encoded rows must extend prev's table) gets zone maps
+  /// for its sealed prefix without rescanning it. No-op when `prev` has
+  /// nothing built or its row count exceeds `table`'s. Thread-safe, but
+  /// meant for a table not yet shared (LiveTable::Publish).
+  void SeedFrom(const BlockStatsCache& prev, const Table& table);
 
  private:
   /// Drops every generation. Assignment replaces the owning Table's column

@@ -74,9 +74,13 @@ Status Table::FinalizeColumnwiseBuild() {
   return Status::OK();
 }
 
-Fingerprint TableFingerprint(const Table& table) {
+namespace {
+
+/// Digest over the parts of the fingerprint that are cheap to recompute
+/// whole: schema shape and the current row count.
+Fingerprinter TableHeaderHasher(const Table& table) {
   Fingerprinter fp;
-  fp.Str("scorpion.table.v1");
+  fp.Str("scorpion.table.v2");
   const Schema& schema = table.schema();
   fp.U64(static_cast<uint64_t>(schema.num_fields()));
   for (const Field& field : schema.fields()) {
@@ -84,27 +88,113 @@ Fingerprint TableFingerprint(const Table& table) {
     fp.U64(static_cast<uint64_t>(field.type));
   }
   fp.U64(table.num_rows());
+  return fp;
+}
+
+/// Folds the per-column streaming digests (and, for categorical columns,
+/// the dictionary size + dictionary digest) into the header hasher.
+Fingerprint CombineColumnStates(const Table& table,
+                                const std::vector<Fingerprinter>& col_states,
+                                const std::vector<Fingerprinter>& dict_states) {
+  Fingerprinter fp = TableHeaderHasher(table);
   for (int c = 0; c < table.num_columns(); ++c) {
+    const Fingerprint part = col_states[static_cast<size_t>(c)].Finish();
+    fp.U64(part.hi);
+    fp.U64(part.lo);
     const Column& col = table.column(c);
-    if (col.type() == DataType::kDouble) {
-      for (double v : col.doubles()) fp.Double(v);
-    } else {
+    if (col.type() != DataType::kDouble) {
       fp.U64(static_cast<uint64_t>(col.dictionary().size()));
-      for (const std::string& s : col.dictionary()) fp.Str(s);
-      for (int32_t code : col.codes()) fp.U64(static_cast<uint64_t>(code));
+      const Fingerprint dict_part =
+          dict_states[static_cast<size_t>(c)].Finish();
+      fp.U64(dict_part.hi);
+      fp.U64(dict_part.lo);
     }
   }
   return fp.Finish();
 }
 
+/// Extends each per-column hasher over rows [from, n) and each dictionary
+/// hasher over entries past its high-water mark. The incremental cache and
+/// the from-scratch TableFingerprint both funnel through this, so the two
+/// can never drift apart.
+void ExtendColumnStates(const Table& table, size_t from, size_t n,
+                        std::vector<Fingerprinter>* col_states,
+                        std::vector<Fingerprinter>* dict_states,
+                        std::vector<size_t>* dict_hashed) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    const Column& col = table.column(c);
+    if (col.type() == DataType::kDouble) {
+      const std::vector<double>& values = col.doubles();
+      for (size_t r = from; r < n; ++r) (*col_states)[ci].Double(values[r]);
+    } else {
+      const std::vector<int32_t>& codes = col.codes();
+      for (size_t r = from; r < n; ++r) {
+        (*col_states)[ci].U64(static_cast<uint64_t>(codes[r]));
+      }
+      const std::vector<std::string>& dict = col.dictionary();
+      for (size_t d = (*dict_hashed)[ci]; d < dict.size(); ++d) {
+        (*dict_states)[ci].Str(dict[d]);
+      }
+      (*dict_hashed)[ci] = dict.size();
+    }
+  }
+}
+
+}  // namespace
+
+Fingerprint TableFingerprint(const Table& table) {
+  const size_t ncols = static_cast<size_t>(table.num_columns());
+  std::vector<Fingerprinter> col_states(ncols);
+  std::vector<Fingerprinter> dict_states(ncols);
+  std::vector<size_t> dict_hashed(ncols, 0);
+  ExtendColumnStates(table, 0, table.num_rows(), &col_states, &dict_states,
+                     &dict_hashed);
+  return CombineColumnStates(table, col_states, dict_states);
+}
+
 Fingerprint FingerprintCache::Get(const Table& table) const {
   MutexLock lock(mu_);
-  if (!valid_ || rows_ != table.num_rows()) {
-    fp_ = TableFingerprint(table);
-    rows_ = table.num_rows();
+  const size_t ncols = static_cast<size_t>(table.num_columns());
+  const size_t n = table.num_rows();
+  // The cached states are reusable only if this table extends what they
+  // hashed: same column count, at least as many rows, and no dictionary
+  // shrank (intern tables only grow under appends).
+  bool compatible = valid_ && col_states_.size() == ncols && rows_hashed_ <= n;
+  for (size_t c = 0; compatible && c < ncols; ++c) {
+    const Column& col = table.column(static_cast<int>(c));
+    if (col.type() != DataType::kDouble &&
+        dict_hashed_[c] > col.dictionary().size()) {
+      compatible = false;
+    }
+  }
+  if (!compatible) {
+    col_states_.assign(ncols, Fingerprinter());
+    dict_states_.assign(ncols, Fingerprinter());
+    dict_hashed_.assign(ncols, 0);
+    rows_hashed_ = 0;
+    fp_valid_ = false;
     valid_ = true;
   }
+  if (fp_valid_ && rows_hashed_ == n) return fp_;
+  ExtendColumnStates(table, rows_hashed_, n, &col_states_, &dict_states_,
+                     &dict_hashed_);
+  rows_hashed_ = n;
+  fp_ = CombineColumnStates(table, col_states_, dict_states_);
+  fp_valid_ = true;
   return fp_;
+}
+
+void FingerprintCache::SeedFrom(const FingerprintCache& prev) {
+  MutexLock prev_lock(prev.mu_);
+  MutexLock lock(mu_);
+  valid_ = prev.valid_;
+  rows_hashed_ = prev.rows_hashed_;
+  col_states_ = prev.col_states_;
+  dict_states_ = prev.dict_states_;
+  dict_hashed_ = prev.dict_hashed_;
+  fp_valid_ = prev.fp_valid_;
+  fp_ = prev.fp_;
 }
 
 void FingerprintCache::Reset() {

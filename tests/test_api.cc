@@ -257,7 +257,7 @@ TEST(DatasetExplain, WhatIfViewMatchesHandRolledScorerLoop) {
   for (int i = 0; i < static_cast<int>(response->what_if.size()); ++i) {
     const AggregateResult& r = dataset->result().results[i];
     const WhatIfEntry& entry = response->what_if[static_cast<size_t>(i)];
-    Selection matched = bound->Filter(r.input_group);
+    Selection matched = *bound->Filter(r.input_group);
     EXPECT_EQ(entry.key, r.key_string);
     EXPECT_EQ(entry.original, r.value);
     EXPECT_EQ(entry.updated, scorer->UpdatedValue(i, matched));

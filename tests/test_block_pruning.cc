@@ -122,16 +122,16 @@ void ExpectEquivalent(const Table& table, const Predicate& pred,
   const Selection sparse = Selection::FromSorted(sparse_rows, n);
 
   bound.set_enable_pruning(false);
-  const RowIdList unpruned_all = bound.FilterAll().rows();
-  const RowIdList unpruned_sparse = bound.Filter(sparse).rows();
-  const size_t unpruned_count_all = bound.Count(Selection::All(n));
-  const size_t unpruned_count_sparse = bound.Count(sparse);
+  const RowIdList unpruned_all = bound.FilterAll()->rows();
+  const RowIdList unpruned_sparse = bound.Filter(sparse)->rows();
+  const size_t unpruned_count_all = *bound.Count(Selection::All(n));
+  const size_t unpruned_count_sparse = *bound.Count(sparse);
 
   bound.set_enable_pruning(true);
-  const RowIdList pruned_all = bound.FilterAll().rows();
-  const RowIdList pruned_sparse = bound.Filter(sparse).rows();
-  const size_t pruned_count_all = bound.Count(Selection::All(n));
-  const size_t pruned_count_sparse = bound.Count(sparse);
+  const RowIdList pruned_all = bound.FilterAll()->rows();
+  const RowIdList pruned_sparse = bound.Filter(sparse)->rows();
+  const size_t pruned_count_all = *bound.Count(Selection::All(n));
+  const size_t pruned_count_sparse = *bound.Count(sparse);
 
   EXPECT_EQ(pruned_all, scalar_all);
   EXPECT_EQ(unpruned_all, scalar_all);
@@ -186,7 +186,7 @@ TEST(BlockPruning, AllNaNColumnMatchesEveryRange) {
   auto bound = p.Bind(t).ValueOrDie();
   const auto& prune = GlobalBlockPruningStats();
   const uint64_t all_before = prune.blocks_pruned_all.load();
-  EXPECT_EQ(bound.FilterAll().size(), n);
+  EXPECT_EQ(bound.FilterAll()->size(), n);
   EXPECT_EQ(prune.blocks_pruned_all.load() - all_before, 2u);
 }
 
@@ -206,10 +206,10 @@ TEST(BlockPruning, AllMatchAndNoMatchBlocks) {
   const uint64_t none_before = prune.blocks_pruned_none.load();
   const uint64_t all_before = prune.blocks_pruned_all.load();
   auto bound_all = all_match.Bind(table).ValueOrDie();
-  EXPECT_EQ(bound_all.FilterAll().size(), table.num_rows());
+  EXPECT_EQ(bound_all.FilterAll()->size(), table.num_rows());
   EXPECT_EQ(prune.blocks_pruned_all.load() - all_before, 3u);
   auto bound_none = no_match.Bind(table).ValueOrDie();
-  EXPECT_EQ(bound_none.FilterAll().size(), 0u);
+  EXPECT_EQ(bound_none.FilterAll()->size(), 0u);
   EXPECT_EQ(prune.blocks_pruned_none.load() - none_before, 3u);
 }
 
@@ -255,7 +255,7 @@ TEST(BlockPruning, HashedCodeBitsetCollisionsStayCorrect) {
   const auto& prune = GlobalBlockPruningStats();
   const uint64_t partial_before = prune.blocks_partial.load();
   const uint64_t all_before = prune.blocks_pruned_all.load();
-  const RowIdList rows = bound.FilterAll().rows();
+  const RowIdList rows = bound.FilterAll()->rows();
   // Exactly the seed row of v5 plus the second block.
   ASSERT_EQ(rows.size(), kBlockSize + 1);
   EXPECT_EQ(rows.front(), 5u);
@@ -288,7 +288,7 @@ TEST(BlockPruning, ExactCodeBitsetPrunesWholeBlocks) {
   const uint64_t none_before = prune.blocks_pruned_none.load();
   const uint64_t all_before = prune.blocks_pruned_all.load();
   const uint64_t skipped_before = prune.rows_skipped_by_pruning.load();
-  const RowIdList rows = bound.FilterAll().rows();
+  const RowIdList rows = bound.FilterAll()->rows();
   ASSERT_EQ(rows.size(), kBlockSize);
   EXPECT_EQ(rows.front(), kBlockSize);
   EXPECT_EQ(prune.blocks_pruned_none.load() - none_before, 1u);
@@ -375,16 +375,16 @@ TEST(BlockPruning, ConcurrentProducersSharingOnePool) {
         const Case& c = cases[static_cast<size_t>(p + rep) % cases.size()];
         auto bound = c.pred.Bind(table).ValueOrDie();
         bound.set_thread_pool(&pool);
-        if (bound.Filter(sparse).rows() != c.expect_sparse) ++failures;
-        if (bound.Count(sparse) != c.expect_sparse.size()) ++failures;
-        if (bound.FilterAll().rows() != c.expect_all) ++failures;
+        if (bound.Filter(sparse)->rows() != c.expect_sparse) ++failures;
+        if (*bound.Count(sparse) != c.expect_sparse.size()) ++failures;
+        if (bound.FilterAll()->rows() != c.expect_all) ++failures;
         // Scorer-style nesting: queued tasks that each run a whole filter,
         // so a producer blocked in its own ParallelFor can steal a task
         // that calls MaskScratch / ComputeSparseSpans on its thread.
         pool.ParallelFor(0, 4, [&](size_t) {
           auto inner = c.pred.Bind(table).ValueOrDie();
           inner.set_thread_pool(&pool);
-          if (inner.Filter(sparse).rows() != c.expect_sparse) ++failures;
+          if (inner.Filter(sparse)->rows() != c.expect_sparse) ++failures;
         });
       }
     });
@@ -408,7 +408,7 @@ TEST(BlockPruning, AppendInvalidatesStats) {
   (void)p.AddRange({"x", 0.0, 1e12, true});
   {
     auto bound = p.Bind(t).ValueOrDie();
-    EXPECT_EQ(bound.FilterAll().size(), n0);  // builds stats for n0 rows
+    EXPECT_EQ(bound.FilterAll()->size(), n0);  // builds stats for n0 rows
   }
   const TableBlockStats* stats_before = t.block_stats();
   EXPECT_EQ(stats_before->num_rows(), n0);
@@ -425,7 +425,7 @@ TEST(BlockPruning, AppendInvalidatesStats) {
   EXPECT_NE(stats_before, stats_after);
   EXPECT_EQ(stats_after->num_rows(), n0 + kBlockSize);
   auto rebound = p.Bind(t).ValueOrDie();
-  EXPECT_EQ(rebound.FilterAll().size(), n0 + kBlockSize);
+  EXPECT_EQ(rebound.FilterAll()->size(), n0 + kBlockSize);
   ExpectEquivalent(t, p, BoundaryHeavySubset(&rng, t.num_rows(), 0.3));
 }
 
@@ -447,11 +447,11 @@ TEST(BlockPruning, TableAssignmentDropsStaleStats) {
   {
     // Builds low's stats: every block is NONE for the clause.
     auto bound = p.Bind(low).ValueOrDie();
-    EXPECT_EQ(bound.FilterAll().size(), 0u);
+    EXPECT_EQ(bound.FilterAll()->size(), 0u);
   }
   low = build(1000.0);  // same row count, every row now matches
   auto rebound = p.Bind(low).ValueOrDie();
-  EXPECT_EQ(rebound.FilterAll().size(), n);
+  EXPECT_EQ(rebound.FilterAll()->size(), n);
   Rng rng(53);
   ExpectEquivalent(low, p, BoundaryHeavySubset(&rng, n, 0.2));
 }

@@ -167,8 +167,8 @@ void ExpectBatchEquivalent(const Table& table, const CandidateBatch& batch,
       BoundPredicate& single = *single_or;
       single.set_enable_pruning(pruned);
       single.set_pruning_stats(&single_sink);
-      const Selection want_sparse = single.Filter(sparse);
-      const Selection want_all = single.Filter(all);
+      const Selection want_sparse = *single.Filter(sparse);
+      const Selection want_all = *single.Filter(all);
       EXPECT_EQ(got_sparse[i].rows(), want_sparse.rows())
           << "candidate " << i << " pruned=" << pruned;
       EXPECT_EQ(got_sparse[i].size(), want_sparse.size());
@@ -279,8 +279,8 @@ TEST(CandidateBatch, ConcurrentProducersSharingOnePool) {
                            : RandomSetBatch(&rng, table);
     for (size_t j = 0; j < c.batch.size(); ++j) {
       auto single = c.batch.Candidate(j).Bind(table).ValueOrDie();
-      c.expect_sparse.push_back(single.Filter(sparse).rows());
-      c.expect_all.push_back(single.Filter(all).rows());
+      c.expect_sparse.push_back(single.Filter(sparse)->rows());
+      c.expect_all.push_back(single.Filter(all)->rows());
     }
     cases.push_back(std::move(c));
   }

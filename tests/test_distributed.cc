@@ -16,6 +16,7 @@
 #include "distributed/worker.h"
 #include "eval/experiment.h"
 #include "query/groupby.h"
+#include "storage/live_table.h"
 #include "workload/synth.h"
 
 namespace scorpion {
@@ -294,6 +295,109 @@ TEST(DistributedProtocol, SessionFingerprintSeparatesProblems) {
   other.lambda += 0.25;
   EXPECT_NE(SessionFingerprint(table_fp, inst.qr.query, inst.problem),
             SessionFingerprint(table_fp, inst.qr.query, other));
+}
+
+// --- Live tables over the wire (extend_dataset, wire v2) ---------------------
+
+Schema LiveSchema() {
+  return Schema({{"time", DataType::kCategorical},
+                 {"sensorid", DataType::kCategorical},
+                 {"voltage", DataType::kDouble},
+                 {"humidity", DataType::kDouble},
+                 {"temp", DataType::kDouble}});
+}
+
+// Stationary paper-shaped stream (see tests/test_live_table.cc): sensor 3
+// runs hot at low voltage outside 11AM, so the ground-truth predicate is
+// the same in every generation.
+std::vector<Value> LiveRow(size_t i) {
+  static const char* kHours[] = {"11AM", "12PM", "1PM"};
+  const std::string hour = kHours[(i / 3) % 3];
+  const std::string sensor = std::to_string(i % 3 + 1);
+  const bool hot = sensor == "3" && hour != "11AM";
+  return {hour, sensor, hot ? 2.3 : 2.7, (i % 2 == 0) ? 0.4 : 0.5,
+          hot ? (hour == "12PM" ? 100.0 : 80.0)
+              : 34.0 + static_cast<double>(i % 3)};
+}
+
+GroupByQuery LiveQuery() {
+  GroupByQuery q;
+  q.aggregate = "AVG";
+  q.agg_attr = "temp";
+  q.group_by = {"time"};
+  return q;
+}
+
+TEST(DistributedLive, DeltaPublishBitIdenticalToLocal) {
+  // Initial generation spans two blocks so the delta extends sealed state.
+  LiveTable live(LiveSchema());
+  for (size_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(live.Append(LiveRow(i)).ok());
+  }
+  auto snap1 = live.Publish();
+  ASSERT_TRUE(snap1.ok());
+  auto qr1 = ExecuteGroupBy((*snap1)->table, LiveQuery());
+  ASSERT_TRUE(qr1.ok());
+  auto problem1 = MakeProblem(*qr1, {"12PM", "1PM"}, {"11AM"},
+                              /*error_direction=*/1.0, /*lambda=*/0.5,
+                              /*c=*/0.5, {"sensorid", "voltage"});
+  ASSERT_TRUE(problem1.ok());
+
+  auto workers = StartWorkers(2);
+  auto coordinator = Coordinator::Connect(Endpoints(workers));
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  ASSERT_TRUE(
+      (*coordinator)->Publish((*snap1)->table, *qr1, *problem1).ok());
+  const ScorpionOptions options = EngineOptions(Algorithm::kDT);
+  auto remote1 = (*coordinator)->Explain(options);
+  ASSERT_TRUE(remote1.ok()) << remote1.status().ToString();
+
+  // Grow the table past another block boundary and ship only the delta.
+  for (size_t i = 5000; i < 8500; ++i) {
+    ASSERT_TRUE(live.Append(LiveRow(i)).ok());
+  }
+  auto snap2 = live.Publish();
+  ASSERT_TRUE(snap2.ok());
+  auto qr2 = ExtendQueryResult(*qr1, (*snap2)->table);
+  ASSERT_TRUE(qr2.ok());
+  auto problem2 = MakeProblem(*qr2, {"12PM", "1PM"}, {"11AM"}, 1.0, 0.5, 0.5,
+                              {"sensorid", "voltage"});
+  ASSERT_TRUE(problem2.ok());
+
+  Status delta_status =
+      (*coordinator)->PublishDelta((*snap2)->table, *qr2, *problem2);
+  ASSERT_TRUE(delta_status.ok()) << delta_status.ToString();
+  EXPECT_EQ((*coordinator)->num_live_workers(), 2u);
+
+  auto remote2 = (*coordinator)->Explain(options);
+  ASSERT_TRUE(remote2.ok()) << remote2.status().ToString();
+
+  Scorpion local_engine(options);
+  auto local2 = local_engine.Explain((*snap2)->table, *qr2, *problem2);
+  ASSERT_TRUE(local2.ok()) << local2.status().ToString();
+  ExpectBitIdentical(*remote2, *local2);
+  // The answer moved with the data: both generations were really served.
+  EXPECT_GT((*coordinator)->stats().shard_requests, 0u);
+}
+
+TEST(DistributedLive, DeltaBeforePublishFailsPrecondition) {
+  LiveTable live(LiveSchema());
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(live.Append(LiveRow(i)).ok());
+  }
+  auto snap = live.Publish();
+  ASSERT_TRUE(snap.ok());
+  auto qr = ExecuteGroupBy((*snap)->table, LiveQuery());
+  ASSERT_TRUE(qr.ok());
+  auto problem = MakeProblem(*qr, {"12PM", "1PM"}, {"11AM"}, 1.0, 0.5, 0.5,
+                             {"sensorid", "voltage"});
+  ASSERT_TRUE(problem.ok());
+
+  auto workers = StartWorkers(1);
+  auto coordinator = Coordinator::Connect(Endpoints(workers));
+  ASSERT_TRUE(coordinator.ok());
+  Status status = (*coordinator)->PublishDelta((*snap)->table, *qr, *problem);
+  EXPECT_TRUE(status.IsFailedPrecondition()) << status.ToString();
 }
 
 }  // namespace

@@ -149,7 +149,7 @@ TEST_F(MergerOnSynth, CachedTupleEstimateTracksExactScore) {
     size_t n = 0;
     for (size_t g = 0; g < problem_->outliers.size(); ++g) {
       int idx = problem_->outliers[g];
-      Selection matched = bound.Filter(qr_->results[idx].input_group);
+      Selection matched = *bound.Filter(qr_->results[idx].input_group);
       sp.info.outlier_counts.push_back(
           static_cast<uint32_t>(matched.size()));
       for (RowId r : matched.rows()) {

@@ -111,24 +111,46 @@ TEST(PredicateEval, BoundFilterAndCountAgree) {
   RowIdList matched = bound->Filter(all);
   EXPECT_EQ(matched, (RowIdList{5, 8}));
   EXPECT_EQ(bound->CountMatches(all), 2u);
-  EXPECT_EQ(bound->FilterAll().rows(), matched);
-  EXPECT_EQ(bound->Count(Selection::All(t.num_rows())), 2u);
+  EXPECT_EQ(bound->FilterAll()->rows(), matched);
+  EXPECT_EQ(*bound->Count(Selection::All(t.num_rows())), 2u);
 }
 
-TEST(PredicateEvalDeathTest, EvaluationAfterAppendAborts) {
+TEST(PredicateEval, EvaluationAfterAppendFailsPrecondition) {
   Table t = PaperSensorsTable();
   Predicate p;
   ASSERT_TRUE(p.AddRange({"temp", 50.0, 200.0, true}).ok());
   auto bound = p.Bind(t);
   ASSERT_TRUE(bound.ok());
   // Appending after Bind() invalidates the bound column snapshots; the
-  // batch evaluation entry points must abort instead of reading stale (or
-  // reallocated) storage.
+  // Selection entry points report FailedPrecondition (naming both
+  // generations) instead of reading stale (or reallocated) storage — the
+  // recoverable contract live tables rely on.
   ASSERT_TRUE(
       t.AppendRow({std::string("2PM"), std::string("9"), 2.31, 0.6, 90.0})
           .ok());
-  EXPECT_DEATH(bound->FilterAll(), "appended");
-  EXPECT_DEATH(bound->Filter(Selection::All(t.num_rows())), "appended");
+  Result<Selection> all = bound->FilterAll();
+  ASSERT_FALSE(all.ok());
+  EXPECT_TRUE(all.status().IsFailedPrecondition());
+  EXPECT_NE(all.status().ToString().find("re-Bind"), std::string::npos);
+  EXPECT_TRUE(bound->Filter(Selection::All(t.num_rows()))
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(bound->Count(Selection::All(t.num_rows()))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PredicateEvalDeathTest, ScalarEvaluationAfterAppendAborts) {
+  Table t = PaperSensorsTable();
+  Predicate p;
+  ASSERT_TRUE(p.AddRange({"temp", 50.0, 200.0, true}).ok());
+  auto bound = p.Bind(t);
+  ASSERT_TRUE(bound.ok());
+  ASSERT_TRUE(
+      t.AppendRow({std::string("2PM"), std::string("9"), 2.31, 0.6, 90.0})
+          .ok());
+  // The scalar RowIdList paths have no Status channel; they keep the hard
+  // abort.
   EXPECT_DEATH(bound->Filter(RowIdList{0, 1}), "appended");
   EXPECT_DEATH(bound->CountMatches(RowIdList{0}), "appended");
 }

@@ -184,17 +184,17 @@ TEST_P(FilterKernelProperty, VectorizedMatchesScalarReference) {
     // Dense kernel (FilterAll / all-rows input) vs scalar over all rows.
     const RowIdList all = AllRows(n);
     const RowIdList expected_all = bound->Filter(all);  // scalar reference
-    EXPECT_EQ(bound->FilterAll().rows(), expected_all);
-    EXPECT_EQ(bound->Filter(Selection::All(n)).rows(), expected_all);
-    EXPECT_EQ(bound->Count(Selection::All(n)), expected_all.size());
+    EXPECT_EQ(bound->FilterAll()->rows(), expected_all);
+    EXPECT_EQ((*bound->Filter(Selection::All(n))).rows(), expected_all);
+    EXPECT_EQ(*bound->Count(Selection::All(n)), expected_all.size());
 
     // Gather kernel over random sparse inputs vs the scalar reference.
     for (double density : {0.0, 0.1, 0.5, 1.0}) {
       RowIdList input = RandomSubset(&rng, n, density);
       const RowIdList expected = bound->Filter(input);  // scalar reference
       Selection sel = Selection::FromSorted(input, n);
-      EXPECT_EQ(bound->Filter(sel).rows(), expected);
-      EXPECT_EQ(bound->Count(sel), expected.size());
+      EXPECT_EQ((*bound->Filter(sel)).rows(), expected);
+      EXPECT_EQ(*bound->Count(sel), expected.size());
       EXPECT_EQ(bound->CountMatches(input), expected.size());
     }
 
@@ -202,7 +202,7 @@ TEST_P(FilterKernelProperty, VectorizedMatchesScalarReference) {
     for (int k = 0; k < 5; ++k) {
       RowId r = static_cast<RowId>(rng.UniformInt(0, n - 1));
       Selection single = Selection::Single(r, n);
-      EXPECT_EQ(bound->Filter(single).size(), bound->Matches(r) ? 1u : 0u);
+      EXPECT_EQ(bound->Filter(single)->size(), bound->Matches(r) ? 1u : 0u);
     }
   }
 }
@@ -216,9 +216,9 @@ TEST(FilterKernel, TruePredicateReturnsInputUnchanged) {
   auto bound = Predicate::True().Bind(t);
   ASSERT_TRUE(bound.ok());
   Selection input = Selection::FromSorted({3, 9, 41}, 64);
-  EXPECT_EQ(bound->Filter(input).rows(), input.rows());
-  EXPECT_TRUE(bound->FilterAll().IsAll());
-  EXPECT_EQ(bound->Count(input), input.size());
+  EXPECT_EQ((*bound->Filter(input)).rows(), input.rows());
+  EXPECT_TRUE(bound->FilterAll()->IsAll());
+  EXPECT_EQ(*bound->Count(input), input.size());
 }
 
 }  // namespace
