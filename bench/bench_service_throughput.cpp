@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
                       "p95(ms)", "cache-hit", "shed"});
   uint64_t total_blocks_pruned = 0;
   uint64_t total_rows_skipped = 0;
+  ServiceStatsSnapshot last_snap;
   for (int clients : {1, 2, 4, 8}) {
     ServiceOptions service_options;
     service_options.num_workers = 4;
@@ -108,6 +109,7 @@ int main(int argc, char** argv) {
     }
 
     ServiceStatsSnapshot snap = service.stats();
+    last_snap = snap;
     total_blocks_pruned += snap.blocks_pruned;
     total_rows_skipped += snap.rows_skipped_by_pruning;
     char requests_buf[16], wall_buf[16], rps_buf[16], p50_buf[16],
@@ -138,6 +140,13 @@ int main(int argc, char** argv) {
               "stats, %llu rows never read\n",
               static_cast<unsigned long long>(total_blocks_pruned),
               static_cast<unsigned long long>(total_rows_skipped));
+  // Fault-injection hygiene: both counters must read 0 in any default
+  // build (CI greps this line). A nonzero value means a failpoint was
+  // armed while benchmarking — the numbers above are garbage.
+  std::printf("fault injection: workers_recovered=%llu "
+              "failpoints_tripped=%llu\n",
+              static_cast<unsigned long long>(last_snap.workers_recovered),
+              static_cast<unsigned long long>(last_snap.failpoints_tripped));
 
   // Ingest-plane counters: replay the same expense data as a stream — open
   // a LiveDataset over the first half, then alternate append bursts,

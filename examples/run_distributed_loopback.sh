@@ -6,6 +6,12 @@
 # a coordinate pass that verifies the distributed answer is bit-identical
 # to the in-process engine, then shuts the workers down over the wire.
 #
+# A second pass repeats the run under fault injection: one worker armed
+# with a crash failpoint (`worker.shard_filter=once:crash`, the failpoint
+# spelling of --die-after-shards) and the coordinator flaking 2% of its
+# frame reads. The answer must still verify bit-identical — redispatch and
+# retry absorb the faults.
+#
 # Usage: examples/run_distributed_loopback.sh [build-dir]
 set -euo pipefail
 
@@ -55,3 +61,30 @@ wait "$W2_PID"
 W1_PID=""
 W2_PID=""
 echo "distributed loopback explain: OK"
+
+# --- Fault-injection pass -------------------------------------------------
+# Same run, now with one worker set to crash on its first shard request
+# (armed through SCORPION_FAILPOINTS; `scorpiond worker --die-after-shards 1`
+# is equivalent) and the coordinator dropping ~2% of frame reads. The
+# coordinator must declare the dead worker lost, redispatch its ranges,
+# retry the flaky reads, and still produce the bit-identical answer.
+echo "--- repeating under fault injection ---"
+SCORPION_FAILPOINTS="worker.shard_filter=once:crash" \
+  "$BIN" worker --listen 0 > "$TMP_DIR/w1.log" & W1_PID=$!
+"$BIN" worker --listen 0 > "$TMP_DIR/w2.log" & W2_PID=$!
+P1="$(wait_port "$TMP_DIR/w1.log")"
+P2="$(wait_port "$TMP_DIR/w2.log")"
+echo "workers listening on 127.0.0.1:$P1 (armed: crash on first shard) and 127.0.0.1:$P2"
+
+"$BIN" coordinate \
+  --workers "127.0.0.1:$P1,127.0.0.1:$P2" \
+  --failpoints "net.read_frame=prob(0.02,41):error(io)" \
+  --verify-local \
+  --shutdown-workers
+
+# Worker 1 crashed by design; only worker 2 sees the shutdown frame.
+wait "$W1_PID" || true
+wait "$W2_PID"
+W1_PID=""
+W2_PID=""
+echo "distributed loopback explain under fault injection: OK"

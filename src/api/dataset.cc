@@ -348,6 +348,7 @@ void LiveDataset::ClearCache() {
 }
 
 Result<uint64_t> LiveDataset::Refresh() {
+  SCORPION_FAILPOINT("storage.live_refresh");
   MutexLock refresh_lock(state_->refresh_mu);
   SCORPION_ASSIGN_OR_RETURN(std::shared_ptr<const TableSnapshot> snap,
                             live_->Publish());

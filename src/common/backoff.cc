@@ -1,0 +1,45 @@
+#include "common/backoff.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace scorpion {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double Backoff::DelayForAttempt(uint64_t attempt) const {
+  const double base = options_.base_seconds;
+  const double cap = options_.max_seconds;
+  if (!(base > 0.0) || !(cap > 0.0)) return 0.0;
+  // ldexp saturates to +inf instead of shifting into UB; clamp the
+  // exponent anyway so huge attempts stay in ldexp's domain.
+  const int exponent = attempt > 1000 ? 1000 : static_cast<int>(attempt);
+  double delay = std::ldexp(base, exponent);
+  if (!(delay < cap)) delay = cap;  // also catches +inf
+  double jitter = options_.jitter;
+  if (jitter < 0.0) jitter = 0.0;
+  if (jitter > 1.0) jitter = 1.0;
+  if (jitter > 0.0) {
+    const uint64_t h = SplitMix64(options_.seed ^ (attempt + 1) * 0x9E3779B9ULL);
+    const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    delay *= 1.0 - jitter * u;
+  }
+  return delay;
+}
+
+void SleepForSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace scorpion

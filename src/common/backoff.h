@@ -1,0 +1,51 @@
+// Capped, jittered, deterministic exponential backoff.
+//
+// Replaces the PR 7 coordinator helper that computed
+// `base * (1 << retry_index)` — undefined behavior once retry_index
+// reaches 31 and unjittered, so every retrying caller woke in lockstep.
+// DelayForAttempt() is a pure function of (options, attempt): the same
+// seed gives the same schedule on every run, which the chaos harness
+// relies on, while different seeds (e.g. per worker) de-correlate
+// concurrent retry loops.
+#pragma once
+
+#include <cstdint>
+
+namespace scorpion {
+
+struct BackoffOptions {
+  double base_seconds = 0.02;  // delay for attempt 0 (before jitter)
+  double max_seconds = 2.0;    // cap for the un-jittered exponential
+  // Jitter draws the delay uniformly from [d*(1-jitter), d]. 0 disables.
+  double jitter = 0.5;
+  uint64_t seed = 0;
+};
+
+class Backoff {
+ public:
+  Backoff() = default;
+  explicit Backoff(const BackoffOptions& options) : options_(options) {}
+
+  /// \brief Deterministic delay for the given 0-based attempt index:
+  /// min(base * 2^attempt, max) scaled by seeded jitter. Overflow-safe for
+  /// any attempt (the exponential saturates at max_seconds long before the
+  /// exponent could overflow). Never negative.
+  double DelayForAttempt(uint64_t attempt) const;
+
+  /// \brief Stateful convenience: delay for the current attempt, then
+  /// advance. First call returns DelayForAttempt(0).
+  double NextDelaySeconds() { return DelayForAttempt(attempt_++); }
+
+  void Reset() { attempt_ = 0; }
+  uint64_t attempt() const { return attempt_; }
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+  uint64_t attempt_ = 0;
+};
+
+/// \brief Sleep for Backoff-style `seconds` (no-op when <= 0).
+void SleepForSeconds(double seconds);
+
+}  // namespace scorpion

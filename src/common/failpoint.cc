@@ -1,0 +1,508 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/mutex.h"
+
+namespace scorpion {
+namespace failpoints {
+
+namespace {
+
+// Same finalizer as the table fingerprint: deterministic across platforms,
+// good avalanche for the prob() trigger and backoff jitter.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Armed state for one name. Dereferenced lock-free from sites, so once
+// published it is immutable apart from the atomic counters, and it is
+// never freed (retired to Registry::retired on disarm/re-arm).
+struct ArmedState {
+  std::string name;
+  Config config;
+  std::atomic<uint64_t> evals{0};    // evaluations since armed
+  std::atomic<uint64_t> tripped{0};  // fires since armed
+};
+
+struct PointEntry {
+  std::vector<FailpointSite*> sites;  // every bound site with this name
+  ArmedState* armed = nullptr;        // null ⇒ disarmed
+};
+
+struct Registry {
+  Mutex mu;
+  std::map<std::string, PointEntry> points SCORPION_GUARDED_BY(mu);
+  std::vector<std::unique_ptr<ArmedState>> retired SCORPION_GUARDED_BY(mu);
+  std::atomic<uint64_t> total_tripped{0};
+  std::atomic<CrashHandler> crash_handler{nullptr};
+  bool env_loaded SCORPION_GUARDED_BY(mu) = false;
+};
+
+Registry& GetRegistry() {
+  // Leaked on purpose: sites may fire during static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void LoadEnvSpecLocked(Registry& registry) SCORPION_REQUIRES(registry.mu);
+
+// Point the site word at the current arming for `entry`.
+void PublishLocked(PointEntry& entry, FailpointSite* site) {
+  const uintptr_t word =
+      entry.armed != nullptr ? reinterpret_cast<uintptr_t>(entry.armed)
+                             : FailpointSite::kDisarmed;
+  // Release so the relaxed fast-path load that observes an armed pointer
+  // has the config fields published; Fire() re-loads with acquire before
+  // dereferencing.
+  site->state.store(word, std::memory_order_release);
+}
+
+void EnsureEnvLoadedLocked(Registry& registry) SCORPION_REQUIRES(registry.mu) {
+  if (registry.env_loaded) return;
+  registry.env_loaded = true;
+  LoadEnvSpecLocked(registry);
+}
+
+// Bind `site` under `name` and return the current armed state (may be
+// null). Loads the SCORPION_FAILPOINTS env spec on first registry use.
+ArmedState* Bind(const char* name, FailpointSite& site) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  PointEntry& entry = registry.points[name];
+  entry.sites.push_back(&site);
+  PublishLocked(entry, &site);
+  return entry.armed;
+}
+
+void ArmLocked(Registry& registry, const std::string& name,
+               const Config& config) SCORPION_REQUIRES(registry.mu) {
+  PointEntry& entry = registry.points[name];
+  auto state = std::make_unique<ArmedState>();
+  state->name = name;
+  state->config = config;
+  // The retired list owns every arming ever made (including the previous
+  // arming of this name, pushed when it was created): a concurrent Fire()
+  // may still hold a pointer to it, so armed state is immortal. A process
+  // arms O(tens) of failpoints; this never amounts to measurable memory.
+  entry.armed = state.get();
+  registry.retired.push_back(std::move(state));
+  for (FailpointSite* site : entry.sites) PublishLocked(entry, site);
+}
+
+void DisarmLocked(Registry& registry, const std::string& name)
+    SCORPION_REQUIRES(registry.mu) {
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return;
+  it->second.armed = nullptr;
+  for (FailpointSite* site : it->second.sites) PublishLocked(it->second, site);
+}
+
+// --- spec parsing ---------------------------------------------------------
+
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - static_cast<uint64_t>(c - '0')) / 10)
+      return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+// Splits "head(arg)" into head/arg; arg empty when there are no parens.
+Status SplitCall(const std::string& token, std::string* head,
+                 std::string* arg) {
+  const size_t open = token.find('(');
+  if (open == std::string::npos) {
+    *head = token;
+    arg->clear();
+    return Status::OK();
+  }
+  if (token.back() != ')') {
+    return Status::InvalidArgument("failpoint spec: unbalanced parens in '" +
+                                   token + "'");
+  }
+  *head = token.substr(0, open);
+  *arg = token.substr(open + 1, token.size() - open - 2);
+  return Status::OK();
+}
+
+Status ParseTrigger(const std::string& token, Config* config) {
+  std::string head;
+  std::string arg;
+  SCORPION_RETURN_NOT_OK(SplitCall(token, &head, &arg));
+  if (head == "always" && arg.empty()) {
+    config->trigger = Config::Trigger::kAlways;
+    return Status::OK();
+  }
+  if (head == "once" && arg.empty()) {
+    config->trigger = Config::Trigger::kOnce;
+    return Status::OK();
+  }
+  if (head == "every") {
+    config->trigger = Config::Trigger::kEveryNth;
+    if (!ParseUint(arg, &config->n) || config->n == 0) {
+      return Status::InvalidArgument("failpoint spec: every(N) needs N >= 1, "
+                                     "got '" + token + "'");
+    }
+    return Status::OK();
+  }
+  if (head == "after") {
+    config->trigger = Config::Trigger::kAfterN;
+    if (!ParseUint(arg, &config->n)) {
+      return Status::InvalidArgument(
+          "failpoint spec: after(N) needs an integer, got '" + token + "'");
+    }
+    return Status::OK();
+  }
+  if (head == "prob") {
+    config->trigger = Config::Trigger::kProbability;
+    const size_t comma = arg.find(',');
+    const std::string p_text =
+        comma == std::string::npos ? arg : arg.substr(0, comma);
+    if (!ParseDouble(p_text, &config->probability) ||
+        config->probability < 0.0 || config->probability > 1.0) {
+      return Status::InvalidArgument(
+          "failpoint spec: prob(P[,SEED]) needs P in [0,1], got '" + token +
+          "'");
+    }
+    config->seed = 0;
+    if (comma != std::string::npos &&
+        !ParseUint(arg.substr(comma + 1), &config->seed)) {
+      return Status::InvalidArgument(
+          "failpoint spec: prob seed must be an integer, got '" + token +
+          "'");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("failpoint spec: unknown trigger '" + token +
+                                 "'");
+}
+
+Status ParseErrorCode(const std::string& text, StatusCode* code) {
+  if (text.empty() || text == "io") {
+    *code = StatusCode::kIOError;
+  } else if (text == "unavailable") {
+    *code = StatusCode::kUnavailable;
+  } else if (text == "deadline") {
+    *code = StatusCode::kDeadlineExceeded;
+  } else if (text == "cancelled") {
+    *code = StatusCode::kCancelled;
+  } else if (text == "internal") {
+    *code = StatusCode::kInternal;
+  } else if (text == "invalid") {
+    *code = StatusCode::kInvalidArgument;
+  } else if (text == "failed_precondition") {
+    *code = StatusCode::kFailedPrecondition;
+  } else {
+    return Status::InvalidArgument("failpoint spec: unknown error code '" +
+                                   text + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseAction(const std::string& token, Config* config) {
+  std::string head;
+  std::string arg;
+  SCORPION_RETURN_NOT_OK(SplitCall(token, &head, &arg));
+  if (head == "error") {
+    config->action = Config::Action::kError;
+    return ParseErrorCode(arg, &config->code);
+  }
+  if (head == "sleep") {
+    config->action = Config::Action::kSleep;
+    if (!ParseDouble(arg, &config->sleep_seconds) ||
+        config->sleep_seconds < 0.0 || config->sleep_seconds > 600.0) {
+      return Status::InvalidArgument(
+          "failpoint spec: sleep(SECONDS) needs SECONDS in [0,600], got '" +
+          token + "'");
+    }
+    return Status::OK();
+  }
+  if (head == "crash" && arg.empty()) {
+    config->action = Config::Action::kCrash;
+    return Status::OK();
+  }
+  if (head == "corrupt" && arg.empty()) {
+    config->action = Config::Action::kCorruptFrame;
+    return Status::OK();
+  }
+  if (head == "truncate" && arg.empty()) {
+    config->action = Config::Action::kTruncateFrame;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("failpoint spec: unknown action '" + token +
+                                 "'");
+}
+
+Status ParseSpec(const std::string& spec,
+                 std::vector<std::pair<std::string, Config>>* out) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "failpoint spec: expected name=trigger:action, got '" + entry +
+          "'");
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string clause = entry.substr(eq + 1);
+    Config config;
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "failpoint spec: expected trigger:action after '=', got '" + entry +
+          "'");
+    }
+    SCORPION_RETURN_NOT_OK(ParseTrigger(clause.substr(0, colon), &config));
+    SCORPION_RETURN_NOT_OK(ParseAction(clause.substr(colon + 1), &config));
+    out->emplace_back(name, config);
+  }
+  return Status::OK();
+}
+
+void LoadEnvSpecLocked(Registry& registry) {
+  const char* env = std::getenv("SCORPION_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  std::vector<std::pair<std::string, Config>> parsed;
+  const Status st = ParseSpec(env, &parsed);
+  // Fail loudly: a typo in an injection spec silently testing nothing is
+  // exactly the failure mode this subsystem exists to kill.
+  SCORPION_CHECK(st.ok(),
+                 ("SCORPION_FAILPOINTS: " + st.ToString()).c_str());
+  for (const auto& [name, config] : parsed) {
+    ArmLocked(registry, name, config);
+  }
+}
+
+// --- firing ---------------------------------------------------------------
+
+bool ShouldFire(ArmedState& armed, uint64_t eval_index) {
+  const Config& config = armed.config;
+  switch (config.trigger) {
+    case Config::Trigger::kAlways:
+      return true;
+    case Config::Trigger::kOnce:
+      return eval_index == 1;
+    case Config::Trigger::kEveryNth:
+      return eval_index % config.n == 0;
+    case Config::Trigger::kAfterN:
+      return eval_index > config.n;
+    case Config::Trigger::kProbability: {
+      const uint64_t h = SplitMix64(config.seed ^ (eval_index * 0x9E37ULL));
+      const double u =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      return u < config.probability;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Config Config::ErrorOnce(StatusCode code) {
+  Config config;
+  config.trigger = Trigger::kOnce;
+  config.action = Action::kError;
+  config.code = code;
+  return config;
+}
+
+Config Config::ErrorAlways(StatusCode code) {
+  Config config;
+  config.trigger = Trigger::kAlways;
+  config.action = Action::kError;
+  config.code = code;
+  return config;
+}
+
+Config Config::CrashOnce() {
+  Config config;
+  config.trigger = Trigger::kOnce;
+  config.action = Action::kCrash;
+  return config;
+}
+
+Config Config::CrashAfter(uint64_t n) {
+  Config config;
+  config.trigger = Trigger::kAfterN;
+  config.n = n;
+  config.action = Action::kCrash;
+  return config;
+}
+
+void Arm(const std::string& name, const Config& config) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  ArmLocked(registry, name, config);
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  std::vector<std::pair<std::string, Config>> parsed;
+  SCORPION_RETURN_NOT_OK(ParseSpec(spec, &parsed));
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  for (const auto& [name, config] : parsed) {
+    ArmLocked(registry, name, config);
+  }
+  return Status::OK();
+}
+
+Result<Config> ParseConfig(const std::string& clause) {
+  Config config;
+  const size_t colon = clause.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "failpoint spec: expected trigger:action, got '" + clause + "'");
+  }
+  SCORPION_RETURN_NOT_OK(ParseTrigger(clause.substr(0, colon), &config));
+  SCORPION_RETURN_NOT_OK(ParseAction(clause.substr(colon + 1), &config));
+  return config;
+}
+
+void Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  DisarmLocked(registry, name);
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  for (auto& [name, entry] : registry.points) {
+    entry.armed = nullptr;
+    for (FailpointSite* site : entry.sites) PublishLocked(entry, site);
+  }
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  EnsureEnvLoadedLocked(registry);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : registry.points) {
+    if (entry.armed != nullptr) names.push_back(name);
+  }
+  return names;
+}
+
+uint64_t TotalTripped() {
+  return GetRegistry().total_tripped.load(std::memory_order_relaxed);
+}
+
+uint64_t TrippedCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end() || it->second.armed == nullptr) return 0;
+  return it->second.armed->tripped.load(std::memory_order_relaxed);
+}
+
+CrashHandler SetCrashHandler(CrashHandler handler) {
+  return GetRegistry().crash_handler.exchange(handler);
+}
+
+void CrashNow(const char* name) {
+  std::fprintf(stderr, "scorpion: failpoint '%s' crashing process\n", name);
+  std::fflush(stderr);
+  CrashHandler handler =
+      GetRegistry().crash_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) handler();
+  std::_Exit(86);
+}
+
+FailpointHit Fire(const char* name, FailpointSite& site) {
+  uintptr_t word = site.state.load(std::memory_order_acquire);
+  if (word == FailpointSite::kUnbound) {
+    ArmedState* armed = Bind(name, site);
+    word = reinterpret_cast<uintptr_t>(armed);  // null ⇒ kDisarmed
+  }
+  if (word == FailpointSite::kDisarmed) return FailpointHit{};
+  auto* armed = reinterpret_cast<ArmedState*>(word);
+  const uint64_t eval_index =
+      armed->evals.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!ShouldFire(*armed, eval_index)) return FailpointHit{};
+
+  armed->tripped.fetch_add(1, std::memory_order_relaxed);
+  GetRegistry().total_tripped.fetch_add(1, std::memory_order_relaxed);
+
+  FailpointHit hit;
+  const Config& config = armed->config;
+  switch (config.action) {
+    case Config::Action::kError:
+      hit.kind = FailpointHit::Kind::kStatus;
+      hit.status = Status(config.code, "failpoint '" + std::string(name) +
+                                           "' injected failure");
+      break;
+    case Config::Action::kSleep:
+      // The delay IS the fault (deadline pressure); the operation then
+      // proceeds normally, so callers see kNone.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config.sleep_seconds));
+      hit.kind = FailpointHit::Kind::kNone;
+      break;
+    case Config::Action::kCrash:
+      hit.kind = FailpointHit::Kind::kCrash;
+      break;
+    case Config::Action::kCorruptFrame:
+      hit.kind = FailpointHit::Kind::kCorruptFrame;
+      break;
+    case Config::Action::kTruncateFrame:
+      hit.kind = FailpointHit::Kind::kTruncateFrame;
+      break;
+  }
+  return hit;
+}
+
+Status FireStatus(const char* name, FailpointSite& site) {
+  const FailpointHit hit = Fire(name, site);
+  switch (hit.kind) {
+    case FailpointHit::Kind::kNone:
+      return Status::OK();
+    case FailpointHit::Kind::kStatus:
+      return hit.status;
+    case FailpointHit::Kind::kCrash:
+      CrashNow(name);
+    case FailpointHit::Kind::kCorruptFrame:
+    case FailpointHit::Kind::kTruncateFrame:
+      // Frame actions only make sense at frame-aware sites; degrade to a
+      // clean injected error rather than silently doing nothing.
+      return Status::IOError("failpoint '" + std::string(name) +
+                             "' frame action at non-frame site");
+  }
+  return Status::OK();
+}
+
+}  // namespace failpoints
+}  // namespace scorpion

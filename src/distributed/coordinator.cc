@@ -7,12 +7,15 @@
 #include <utility>
 
 #include "api/serialization.h"
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "table/block_stats.h"
 
 namespace scorpion {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
 
 Result<std::pair<std::string, int>> ParseEndpoint(const std::string& ep) {
   const size_t colon = ep.rfind(':');
@@ -35,9 +38,24 @@ Result<std::pair<std::string, int>> ParseEndpoint(const std::string& ep) {
   return std::make_pair(ep.substr(0, colon), port);
 }
 
-void Backoff(double base_seconds, int retry_index) {
-  double seconds = base_seconds * static_cast<double>(1 << retry_index);
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+/// De-correlates the shared BackoffOptions per caller (range index, worker
+/// port, ...) while staying deterministic for a given options seed.
+BackoffOptions SubSeed(BackoffOptions options, uint64_t salt) {
+  options.seed ^= salt * 0x9E3779B97F4A7C15ULL;
+  return options;
+}
+
+/// One request/response round trip on a bare connection: no worker
+/// bookkeeping, no lost-marking. ReviveWorker probes through this so a
+/// half-open worker never touches WorkerState until fully verified.
+Result<JsonValue> RoundTrip(Conn& conn, const std::string& op, uint64_t id,
+                            JsonValue body, double timeout_seconds,
+                            const FrameLimits& limits) {
+  SCORPION_RETURN_NOT_OK(conn.SetTimeout(timeout_seconds));
+  SCORPION_RETURN_NOT_OK(
+      conn.WriteFrame(EncodeRequest(op, id, std::move(body))));
+  SCORPION_ASSIGN_OR_RETURN(std::string payload, conn.ReadFrame(limits));
+  return ParseResponse(payload, id, WireParseLimits());
 }
 
 }  // namespace
@@ -108,10 +126,12 @@ size_t Coordinator::num_live_workers() const {
 CoordinatorStats Coordinator::stats() const {
   CoordinatorStats stats;
   stats.workers_lost = workers_lost_.load();
+  stats.workers_recovered = workers_recovered_.load();
   stats.ranges_redispatched = ranges_redispatched_.load();
   stats.bytes_on_wire = bytes_on_wire_.load();
   stats.shard_requests = shard_requests_.load();
   stats.local_fallback_ranges = local_fallback_ranges_.load();
+  stats.failpoints_tripped = failpoints::TotalTripped();
   return stats;
 }
 
@@ -157,7 +177,17 @@ Result<JsonValue> Coordinator::Call(WorkerState& worker, const std::string& op,
   Result<std::string> payload = worker.conn.ReadFrame(options_.frame_limits);
   account_bytes();
   if (!payload.ok()) return lost(payload.status());
-  return ParseResponse(*payload, id, WireParseLimits());
+  bool was_remote_error = false;
+  Result<JsonValue> response =
+      ParseResponse(*payload, id, WireParseLimits(), &was_remote_error);
+  if (!response.ok() && !was_remote_error) {
+    // The frame arrived but its envelope is garbage (corruption, id drift):
+    // the stream can no longer be trusted to stay in sync, so the worker is
+    // lost exactly like a transport failure. A well-formed error envelope
+    // passes through — the worker answered.
+    return lost(response.status());
+  }
+  return response;
 }
 
 Status Coordinator::Publish(const Table& table, const QueryResult& result,
@@ -371,7 +401,8 @@ Status Coordinator::PublishDelta(const Table& table,
 }
 
 Result<std::vector<ShardGroupMatches>> Coordinator::ShardOnWorker(
-    WorkerState& worker, const Predicate& pred, const BlockRange& range) {
+    WorkerState& worker, const Predicate& pred, const BlockRange& range,
+    double timeout_seconds) {
   ShardFilterRequest request;
   request.session = session_;
   request.pred = pred;
@@ -381,7 +412,7 @@ Result<std::vector<ShardGroupMatches>> Coordinator::ShardOnWorker(
   SCORPION_ASSIGN_OR_RETURN(
       JsonValue body,
       Call(worker, kOpShardFilter, ShardFilterRequestToJson(request),
-           options_.request_timeout_seconds));
+           timeout_seconds));
   return ShardFilterResponseFromJson(body);
 }
 
@@ -414,8 +445,18 @@ Result<std::vector<ShardGroupMatches>> Coordinator::FilterRangeLocally(
 
 Result<std::vector<ShardGroupMatches>> Coordinator::DispatchRange(
     const Predicate& pred, const BlockRange& range, size_t preferred) {
+  SCORPION_FAILPOINT("coordinator.dispatch_range");
   Status last = Status::Unavailable("no live workers");
   const size_t n = workers_.size();
+  // Per-op deadline propagation: the whole retry budget for this range —
+  // attempts, backoff sleeps and all — fits inside the configured window,
+  // and each attempt's request timeout shrinks to what remains.
+  const bool bounded = options_.per_range_deadline_seconds > 0.0;
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() +
+      std::chrono::duration_cast<SteadyClock::duration>(
+          std::chrono::duration<double>(options_.per_range_deadline_seconds));
+  const Backoff backoff(SubSeed(options_.backoff, range.begin + 1));
   for (int attempt = 0; attempt < options_.max_attempts_per_range; ++attempt) {
     // Next live worker, preferred first; later attempts rotate onward so a
     // re-dispatched range lands on a survivor, not the same dead peer.
@@ -431,8 +472,25 @@ Result<std::vector<ShardGroupMatches>> Coordinator::DispatchRange(
       }
     }
     if (chosen == nullptr) break;
+    double timeout = options_.request_timeout_seconds;
+    if (bounded) {
+      double remaining = std::chrono::duration<double>(
+                             deadline - SteadyClock::now()).count();
+      if (attempt > 0) {
+        remaining -= backoff.DelayForAttempt(static_cast<uint64_t>(attempt) -
+                                             1);
+      }
+      if (remaining <= 0.0) {
+        last = Status::DeadlineExceeded(
+            "range [" + std::to_string(range.begin) + ", " +
+            std::to_string(range.end) + ") exhausted its dispatch deadline");
+        break;
+      }
+      timeout = std::min(timeout, remaining);
+    }
     if (attempt > 0) {
-      Backoff(options_.retry_backoff_seconds, attempt - 1);
+      SleepForSeconds(
+          backoff.DelayForAttempt(static_cast<uint64_t>(attempt) - 1));
     }
     if (chosen_index != preferred) {
       ++ranges_redispatched_;
@@ -441,7 +499,7 @@ Result<std::vector<ShardGroupMatches>> Coordinator::DispatchRange(
       }
     }
     Result<std::vector<ShardGroupMatches>> result =
-        ShardOnWorker(*chosen, pred, range);
+        ShardOnWorker(*chosen, pred, range, timeout);
     if (result.ok()) return result;
     last = result.status();
   }
@@ -503,6 +561,7 @@ Result<PredicateMatchCache> Coordinator::Matches(const Predicate& pred) {
     for (std::thread& t : threads) t.join();
   }
 
+  SCORPION_FAILPOINT("coordinator.gather");
   // Gather: concatenate each group's rows across ranges in block order.
   // Ranges partition [0, num_blocks) left to right, and each piece is
   // strictly ascending (validated at parse), so the concatenation is the
@@ -570,6 +629,81 @@ void Coordinator::ShutdownWorkers() {
   }
 }
 
+Status Coordinator::PublishCatalogOnConn(Conn& conn, uint64_t* next_id) {
+  if (table_ == nullptr) return Status::OK();  // nothing published yet
+  // The coordinator-side catalog is the borrowed published state keyed by
+  // its fingerprints (table_fp_, session_): a restarted worker holds
+  // nothing, so it gets the full current table — not the delta chain that
+  // built it — and must independently re-derive both fingerprints.
+  JsonValue publish_body = JsonValue::Object();
+  publish_body.Add("table", TableToJsonValue(*table_));
+  publish_body.Add("query", GroupByQueryToJsonValue(result_->query));
+  publish_body.Add("table_fp", JsonValue::String(table_fp_.ToHex()));
+  SCORPION_ASSIGN_OR_RETURN(
+      JsonValue publish_resp,
+      RoundTrip(conn, kOpPublishDataset, (*next_id)++,
+                std::move(publish_body), options_.publish_timeout_seconds,
+                options_.frame_limits));
+  SCORPION_ASSIGN_OR_RETURN(
+      JsonObjectReader publish_reader,
+      JsonObjectReader::Make(publish_resp, "publish_dataset response"));
+  SCORPION_ASSIGN_OR_RETURN(int64_t worker_blocks,
+                            publish_reader.GetInt("num_blocks"));
+  SCORPION_RETURN_NOT_OK(publish_reader.Finish());
+  if (static_cast<uint64_t>(worker_blocks) != num_blocks_) {
+    return Status::Internal("revived worker sees " +
+                            std::to_string(worker_blocks) +
+                            " blocks, coordinator " +
+                            std::to_string(num_blocks_));
+  }
+
+  JsonValue prepare_body = JsonValue::Object();
+  prepare_body.Add("table_fp", JsonValue::String(table_fp_.ToHex()));
+  prepare_body.Add("problem", ProblemSpecToJsonValue(*problem_));
+  SCORPION_ASSIGN_OR_RETURN(
+      JsonValue prepare_resp,
+      RoundTrip(conn, kOpPrepareProblem, (*next_id)++,
+                std::move(prepare_body), options_.request_timeout_seconds,
+                options_.frame_limits));
+  SCORPION_ASSIGN_OR_RETURN(
+      JsonObjectReader prepare_reader,
+      JsonObjectReader::Make(prepare_resp, "prepare_problem response"));
+  SCORPION_ASSIGN_OR_RETURN(std::string worker_session,
+                            prepare_reader.GetString("session_fp"));
+  SCORPION_RETURN_NOT_OK(prepare_reader.Finish());
+  if (worker_session != session_.ToHex()) {
+    return Status::Internal("revived worker session fingerprint " +
+                            worker_session + " != coordinator's " +
+                            session_.ToHex());
+  }
+  return Status::OK();
+}
+
+Status Coordinator::ReviveWorker(WorkerState& worker) {
+  SCORPION_ASSIGN_OR_RETURN(
+      Conn conn,
+      Conn::Dial(worker.host, worker.port, options_.connect_timeout_seconds));
+  uint64_t next_id = 1;
+  SCORPION_RETURN_NOT_OK(
+      RoundTrip(conn, kOpPing, next_id++, JsonValue::Object(),
+                options_.request_timeout_seconds, options_.frame_limits)
+          .status());
+  SCORPION_RETURN_NOT_OK(PublishCatalogOnConn(conn, &next_id));
+  // Full sequence verified: close the circuit. From here scatters may pick
+  // the worker again.
+  MutexLock lock(worker.mu);
+  worker.conn = std::move(conn);
+  worker.alive = true;
+  worker.next_id = next_id;
+  worker.reprobe_attempt = 0;
+  worker.next_probe = SteadyClock::time_point{};
+  ++workers_recovered_;
+  if (options_.service_stats != nullptr) {
+    ++options_.service_stats->workers_recovered;
+  }
+  return Status::OK();
+}
+
 void Coordinator::HeartbeatLoop() {
   while (true) {
     {
@@ -579,18 +713,47 @@ void Coordinator::HeartbeatLoop() {
                             options_.heartbeat_interval_seconds);
       if (stopping_) return;
     }
-    for (const std::unique_ptr<WorkerState>& worker : workers_) {
+    SCORPION_FAILPOINT_HIT("coordinator.heartbeat", fp_hit);
+    if (fp_hit.kind == FailpointHit::Kind::kCrash) {
+      failpoints::CrashNow("coordinator.heartbeat");
+    }
+    if (fp_hit.fired()) continue;  // injected failure: skip this round
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      const std::unique_ptr<WorkerState>& worker = workers_[i];
       // Probe only idle workers: a worker mid-request is covered by that
       // request's own deadline, and queueing a ping behind a long shard
       // would tell us nothing sooner.
       if (!worker->mu.TryLock()) continue;
       const bool alive = worker->alive;
+      const SteadyClock::time_point next_probe = worker->next_probe;
+      const uint64_t reprobe_attempt = worker->reprobe_attempt;
       worker->mu.Unlock();
-      if (!alive) continue;
-      Call(*worker, kOpPing, JsonValue::Object(),
-           options_.request_timeout_seconds)
-          .status()
-          .ok();  // failure marks the worker lost inside Call
+      if (alive) {
+        Call(*worker, kOpPing, JsonValue::Object(),
+             options_.request_timeout_seconds)
+            .status()
+            .ok();  // failure marks the worker lost inside Call
+        continue;
+      }
+      // Lost worker: re-probe on the capped jittered backoff schedule.
+      // Readmission needs the published state stable, so it runs under
+      // scatter_mu_; TryLock keeps the heartbeat from ever stalling an
+      // in-flight scatter — the next round retries.
+      if (SteadyClock::now() < next_probe) continue;
+      if (!scatter_mu_.TryLock()) continue;
+      const Status revived = ReviveWorker(*worker);
+      scatter_mu_.Unlock();
+      if (!revived.ok()) {
+        const Backoff backoff(
+            SubSeed(options_.backoff, static_cast<uint64_t>(i) + 0x517EULL));
+        const double delay = backoff.DelayForAttempt(reprobe_attempt);
+        MutexLock lock(worker->mu);
+        worker->reprobe_attempt = reprobe_attempt + 1;
+        worker->next_probe =
+            SteadyClock::now() +
+            std::chrono::duration_cast<SteadyClock::duration>(
+                std::chrono::duration<double>(delay));
+      }
     }
   }
 }

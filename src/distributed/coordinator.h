@@ -20,6 +20,7 @@
 // CoordinatorStats and the ServiceStats sink.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "common/atomic_counter.h"
+#include "common/backoff.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "core/scorer.h"
@@ -48,10 +50,19 @@ struct CoordinatorOptions {
   /// Attempts per block range across workers before giving up on remote
   /// execution for that range.
   int max_attempts_per_range = 3;
-  /// Sleep before the k-th retry is backoff * 2^(k-1).
-  double retry_backoff_seconds = 0.02;
+  /// Capped jittered exponential backoff, shared by range retries and the
+  /// heartbeat thread's re-probe of lost workers (each derives a
+  /// deterministic per-range / per-worker sub-seed).
+  BackoffOptions backoff;
+  /// Absolute budget for dispatching one block range across all retries
+  /// and backoff sleeps; per-attempt request timeouts shrink to whatever
+  /// remains. 0 disables (each attempt gets the full request timeout).
+  double per_range_deadline_seconds = 0.0;
   /// Probe interval of the background heartbeat thread; 0 disables it
-  /// (liveness is then detected by request deadlines alone).
+  /// (liveness is then detected by request deadlines alone). The same
+  /// thread re-probes lost workers and readmits them once a fresh
+  /// connection answers ping and accepts a re-publication of the
+  /// coordinator's published state (circuit-breaker half-open).
   double heartbeat_interval_seconds = 0.0;
   /// When no worker can serve a range, filter it locally instead of
   /// failing the explain. Bit-identical either way.
@@ -65,10 +76,14 @@ struct CoordinatorOptions {
 /// Point-in-time counters (see also ServiceStatsSnapshot).
 struct CoordinatorStats {
   uint64_t workers_lost = 0;
+  uint64_t workers_recovered = 0;
   uint64_t ranges_redispatched = 0;
   uint64_t bytes_on_wire = 0;
   uint64_t shard_requests = 0;
   uint64_t local_fallback_ranges = 0;
+  /// Process-wide failpoint fires (common/failpoint.h), sampled at stats()
+  /// time; 0 in any default build.
+  uint64_t failpoints_tripped = 0;
 };
 
 /// \brief Scatter/gather client over a fixed worker set; plugs into the
@@ -131,6 +146,11 @@ class Coordinator : public PredicateMatchSource {
     Conn conn SCORPION_GUARDED_BY(mu);
     bool alive SCORPION_GUARDED_BY(mu) = true;
     uint64_t next_id SCORPION_GUARDED_BY(mu) = 1;
+    /// Re-probe schedule while lost: the heartbeat thread skips this
+    /// worker until next_probe, doubling the gap (capped, jittered) on
+    /// each failed revival.
+    uint64_t reprobe_attempt SCORPION_GUARDED_BY(mu) = 0;
+    std::chrono::steady_clock::time_point next_probe SCORPION_GUARDED_BY(mu){};
   };
 
   struct BlockRange {
@@ -146,9 +166,24 @@ class Coordinator : public PredicateMatchSource {
   Result<JsonValue> Call(WorkerState& worker, const std::string& op,
                          JsonValue body, double timeout_seconds);
 
-  /// Executes one shard over one specific worker.
+  /// Executes one shard over one specific worker within `timeout_seconds`.
   Result<std::vector<ShardGroupMatches>> ShardOnWorker(
-      WorkerState& worker, const Predicate& pred, const BlockRange& range);
+      WorkerState& worker, const Predicate& pred, const BlockRange& range,
+      double timeout_seconds);
+
+  /// Half-open readmission of a lost worker: dial a fresh connection, ping
+  /// it, and re-publish the catalog (published table + query result +
+  /// problem, keyed by their fingerprints) on the probe connection. Only
+  /// after the full sequence verifies is the connection installed and the
+  /// worker marked alive — scatters never see a partially re-provisioned
+  /// worker. Caller holds scatter_mu_ so the published state is stable.
+  Status ReviveWorker(WorkerState& worker) SCORPION_REQUIRES(scatter_mu_);
+
+  /// Publish + prepare the current catalog over a half-open probe
+  /// connection (ReviveWorker's second phase), verifying block count and
+  /// session fingerprint exactly like Publish() does per live worker.
+  Status PublishCatalogOnConn(Conn& conn, uint64_t* next_id)
+      SCORPION_REQUIRES(scatter_mu_);
 
   /// Runs `range` against survivors with retry/backoff, then the local
   /// fallback. `preferred` indexes workers_.
@@ -181,6 +216,7 @@ class Coordinator : public PredicateMatchSource {
   Mutex scatter_mu_;
 
   RelaxedCounter workers_lost_;
+  RelaxedCounter workers_recovered_;
   RelaxedCounter ranges_redispatched_;
   RelaxedCounter bytes_on_wire_;
   RelaxedCounter shard_requests_;

@@ -81,7 +81,9 @@ std::string EncodeErrorResponse(uint64_t id, const Status& status) {
 }
 
 Result<JsonValue> ParseResponse(const std::string& payload, uint64_t expect_id,
-                                const JsonParseLimits& limits) {
+                                const JsonParseLimits& limits,
+                                bool* was_remote_error) {
+  if (was_remote_error != nullptr) *was_remote_error = false;
   SCORPION_ASSIGN_OR_RETURN(JsonValue value,
                             JsonValue::Parse(payload, limits));
   SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
@@ -109,6 +111,7 @@ Result<JsonValue> ParseResponse(const std::string& payload, uint64_t expect_id,
                               error_reader.GetString("message"));
     SCORPION_RETURN_NOT_OK(error_reader.Finish());
     SCORPION_RETURN_NOT_OK(reader.Finish());
+    if (was_remote_error != nullptr) *was_remote_error = true;
     if (code <= static_cast<int64_t>(StatusCode::kOk) ||
         code > static_cast<int64_t>(StatusCode::kUnavailable)) {
       // Unknown codes (newer peer?) degrade to Internal, never to kOk.

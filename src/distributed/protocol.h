@@ -83,9 +83,14 @@ std::string EncodeErrorResponse(uint64_t id, const Status& status);
 
 /// Decodes a response envelope. A well-formed error envelope becomes the
 /// remote Status (same code, message prefixed with "remote: "); an id other
-/// than `expect_id` is an InvalidArgument (the stream lost sync).
+/// than `expect_id` is an InvalidArgument (the stream lost sync). When
+/// `was_remote_error` is non-null it is set true only for well-formed error
+/// envelopes — the peer answered in frame sync — letting callers
+/// distinguish "the worker reported an error" from "the response itself is
+/// garbage" (connection no longer trustworthy).
 Result<JsonValue> ParseResponse(const std::string& payload, uint64_t expect_id,
-                                const JsonParseLimits& limits);
+                                const JsonParseLimits& limits,
+                                bool* was_remote_error = nullptr);
 
 /// \brief shard_filter request: filter one block range under one session.
 struct ShardFilterRequest {

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "api/serialization.h"
+#include "common/backoff.h"
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "table/block_stats.h"
 #include "table/selection.h"
@@ -58,7 +60,17 @@ void Worker::Stop() {
 void Worker::AcceptLoop() {
   while (true) {
     Result<Conn> accepted = listener_.Accept();
-    if (!accepted.ok()) return;  // Cancelled by Halt, or a fatal error
+    if (!accepted.ok()) {
+      if (accepted.status().IsCancelled()) return;  // Halt shut us down
+      {
+        MutexLock lock(mu_);
+        if (halted_) return;
+      }
+      // Transient accept failure (fd pressure, injected fault): keep the
+      // worker alive — a dead listener surfaces as Cancelled above.
+      SleepForSeconds(0.01);
+      continue;
+    }
     // The connection is heap-allocated so Halt() can shut it down through
     // the registry while its serving thread owns it.
     auto conn = std::make_unique<Conn>(std::move(*accepted));
@@ -85,17 +97,24 @@ void Worker::Serve(Conn* conn) {
       continue;
     }
 
-    if (request->op == kOpShardFilter && options_.die_on_shard_request > 0) {
-      bool die = false;
-      {
-        MutexLock lock(mu_);
-        die = ++shard_requests_seen_ >= options_.die_on_shard_request;
-      }
-      if (die) {
+    if (request->op == kOpShardFilter) {
+      SCORPION_FAILPOINT_HIT("worker.shard_filter", fp_hit);
+      if (fp_hit.kind == FailpointHit::Kind::kCrash) {
         // Crash simulation: no response, every connection dropped.
+        // scorpiond installs _exit in on_die so the whole process dies.
         Halt();
         if (options_.on_die) options_.on_die();
         break;
+      }
+      if (fp_hit.fired()) {
+        const Status injected =
+            fp_hit.kind == FailpointHit::Kind::kStatus
+                ? fp_hit.status
+                : Status::IOError(
+                      "failpoint 'worker.shard_filter' injected failure");
+        const std::string err = EncodeErrorResponse(request->id, injected);
+        if (!conn->WriteFrame(err).ok()) break;
+        continue;
       }
     }
 
@@ -136,6 +155,7 @@ Result<JsonValue> Worker::Handle(const WireRequest& request, bool* shutdown) {
 }
 
 Result<JsonValue> Worker::HandlePublishDataset(const JsonValue& body) {
+  SCORPION_FAILPOINT("worker.publish_dataset");
   SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
                             JsonObjectReader::Make(body, "publish_dataset"));
   SCORPION_ASSIGN_OR_RETURN(const JsonValue* table_json,
@@ -177,6 +197,7 @@ Result<JsonValue> Worker::HandlePublishDataset(const JsonValue& body) {
 }
 
 Result<JsonValue> Worker::HandleExtendDataset(const JsonValue& body) {
+  SCORPION_FAILPOINT("worker.extend_dataset");
   SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
                             JsonObjectReader::Make(body, "extend_dataset"));
   SCORPION_ASSIGN_OR_RETURN(std::string old_fp, reader.GetString("table_fp"));
@@ -271,6 +292,7 @@ Result<JsonValue> Worker::HandleExtendDataset(const JsonValue& body) {
 }
 
 Result<JsonValue> Worker::HandlePrepareProblem(const JsonValue& body) {
+  SCORPION_FAILPOINT("worker.prepare_problem");
   SCORPION_ASSIGN_OR_RETURN(JsonObjectReader reader,
                             JsonObjectReader::Make(body, "prepare_problem"));
   SCORPION_ASSIGN_OR_RETURN(std::string table_fp_hex,

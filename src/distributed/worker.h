@@ -25,14 +25,12 @@ namespace scorpion {
 
 struct WorkerOptions {
   FrameLimits frame_limits;
-  /// Fault injection for the re-dispatch tests: when > 0, the worker dies
-  /// upon receiving its N-th shard_filter request — before responding — by
-  /// dropping every connection and the listener, exactly what a crashed
-  /// process looks like to the coordinator. Deterministic, unlike an
-  /// external kill. 0 disables.
-  int die_on_shard_request = 0;
-  /// Runs after the in-process death above (scorpiond installs _exit here
-  /// so the whole process dies, exercising the multi-process path too).
+  /// Runs after an in-process crash simulation: when the
+  /// `worker.shard_filter` failpoint (common/failpoint.h) fires a `crash`
+  /// action, the worker drops every connection and the listener — exactly
+  /// what a crashed process looks like to the coordinator — then invokes
+  /// this hook (scorpiond installs _exit here so the whole process dies,
+  /// exercising the multi-process path too).
   std::function<void()> on_die;
 };
 
@@ -97,7 +95,6 @@ class Worker {
 
   mutable Mutex mu_;
   bool halted_ SCORPION_GUARDED_BY(mu_) = false;
-  int shard_requests_seen_ SCORPION_GUARDED_BY(mu_) = 0;
   std::map<std::string, std::unique_ptr<DatasetState>> datasets_
       SCORPION_GUARDED_BY(mu_);
   std::map<std::string, SessionState> sessions_ SCORPION_GUARDED_BY(mu_);

@@ -11,6 +11,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace scorpion {
 
 namespace {
@@ -132,12 +134,36 @@ Status Conn::SetTimeout(double seconds) {
 
 Status Conn::WriteFrame(const std::string& payload) {
   if (fd_ < 0) return Status::IOError("write on a closed connection");
-  const std::string frame = EncodeFrame(payload);
+  std::string frame = EncodeFrame(payload);
+  size_t limit = frame.size();
+  // Frame-aware failpoint: `corrupt` flips a payload byte (the receiver
+  // sees an in-sync but garbage frame), `truncate` sends a prefix and
+  // shuts the socket down (the receiver sees a connection closed
+  // mid-frame). Both surface locally as a clean error so the caller
+  // declares the connection lost.
+  SCORPION_FAILPOINT_HIT("net.write_frame", fp_hit);
+  switch (fp_hit.kind) {
+    case FailpointHit::Kind::kNone:
+      break;
+    case FailpointHit::Kind::kStatus:
+      return fp_hit.status;
+    case FailpointHit::Kind::kCrash:
+      failpoints::CrashNow("net.write_frame");
+    case FailpointHit::Kind::kCorruptFrame:
+      frame[frame.size() > kFrameHeaderSize ? kFrameHeaderSize : 0] ^=
+          static_cast<char>(0xFF);
+      break;
+    case FailpointHit::Kind::kTruncateFrame:
+      limit = frame.size() > kFrameHeaderSize
+                  ? kFrameHeaderSize + (frame.size() - kFrameHeaderSize) / 2
+                  : frame.size() / 2;
+      break;
+  }
   size_t sent = 0;
-  while (sent < frame.size()) {
+  while (sent < limit) {
     // MSG_NOSIGNAL: a peer that died mid-write surfaces as EPIPE instead of
     // killing the process with SIGPIPE.
-    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+    ssize_t n = ::send(fd_, frame.data() + sent, limit - sent,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -148,6 +174,11 @@ Status Conn::WriteFrame(const std::string& payload) {
     }
     sent += static_cast<size_t>(n);
     bytes_sent_ += static_cast<uint64_t>(n);
+  }
+  if (limit < frame.size()) {
+    ShutdownRW();
+    return Status::IOError(
+        "failpoint 'net.write_frame' truncated frame mid-send");
   }
   return Status::OK();
 }
@@ -175,6 +206,14 @@ Status Conn::ReadFully(uint8_t* out, size_t n) {
 
 Result<std::string> Conn::ReadFrame(const FrameLimits& limits) {
   if (fd_ < 0) return Status::IOError("read on a closed connection");
+  // Read-side failpoint: `error` simulates a short read / receive timeout
+  // before touching the socket; `corrupt` delivers the real frame with a
+  // flipped payload byte; `truncate` delivers only a prefix of the payload.
+  SCORPION_FAILPOINT_HIT("net.read_frame", fp_hit);
+  if (fp_hit.kind == FailpointHit::Kind::kStatus) return fp_hit.status;
+  if (fp_hit.kind == FailpointHit::Kind::kCrash) {
+    failpoints::CrashNow("net.read_frame");
+  }
   uint8_t header[kFrameHeaderSize];
   SCORPION_RETURN_NOT_OK(ReadFully(header, kFrameHeaderSize));
   SCORPION_ASSIGN_OR_RETURN(size_t len,
@@ -184,6 +223,11 @@ Result<std::string> Conn::ReadFrame(const FrameLimits& limits) {
   if (len > 0) {
     SCORPION_RETURN_NOT_OK(
         ReadFully(reinterpret_cast<uint8_t*>(payload.data()), len));
+  }
+  if (fp_hit.kind == FailpointHit::Kind::kCorruptFrame && !payload.empty()) {
+    payload[0] = static_cast<char>(payload[0] ^ 0xFF);
+  } else if (fp_hit.kind == FailpointHit::Kind::kTruncateFrame) {
+    payload.resize(payload.size() / 2);
   }
   return payload;
 }
@@ -248,6 +292,7 @@ Result<Listener> Listener::Listen(const std::string& host, int port) {
 
 Result<Conn> Listener::Accept() {
   if (fd_ < 0) return Status::Cancelled("listener is shut down");
+  SCORPION_FAILPOINT("net.accept");
   while (true) {
     int cfd = ::accept(fd_, nullptr, nullptr);
     if (cfd >= 0) {

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace scorpion {
 
 namespace {
@@ -64,6 +66,19 @@ Response ExplanationService::Submit(Job job) {
   if (!valid.ok()) {
     ++stats_.failed;
     item.promise.set_value(std::move(valid));
+    return response;
+  }
+
+  // Fault injection at the admission boundary: an injected error rejects
+  // the job cleanly (promise fulfilled, counted as failed) exactly like a
+  // validation failure; a sleep simulates a slow producer.
+  SCORPION_FAILPOINT_HIT("service.enqueue", fp_hit);
+  if (fp_hit.fired()) {
+    ++stats_.failed;
+    item.promise.set_value(
+        fp_hit.kind == FailpointHit::Kind::kStatus
+            ? fp_hit.status
+            : Status::Unavailable("failpoint 'service.enqueue' injected"));
     return response;
   }
 
@@ -183,6 +198,15 @@ void ExplanationService::WorkerLoop() {
 
 void ExplanationService::Execute(ScheduledJob item) {
   const Job& job = item.job;
+  // Sits just before the deadline gate so a `sleep` action creates real
+  // deadline pressure (the check below then expires the job) and an
+  // injected error fails the run cleanly through its promise.
+  SCORPION_FAILPOINT_HIT("service.deadline_check", fp_hit);
+  if (fp_hit.kind == FailpointHit::Kind::kStatus) {
+    ++stats_.failed;
+    item.promise.set_value(fp_hit.status);
+    return;
+  }
   if (job.deadline != Job::kNoDeadline &&
       Job::Clock::now() >= job.deadline) {
     ++stats_.deadline_expired;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/atomic_counter.h"
+#include "common/failpoint.h"
 #include "common/mutex.h"
 
 namespace scorpion {
@@ -29,12 +30,19 @@ struct ServiceStatsSnapshot {
   uint64_t blocks_pruned = 0;
   uint64_t rows_skipped_by_pruning = 0;
   // Distributed data plane (src/distributed/): workers declared dead
-  // (missed heartbeats or exhausted request retries), block ranges
-  // re-dispatched to surviving workers after a failure, and total frame
-  // bytes (headers included) exchanged with workers.
+  // (missed heartbeats or exhausted request retries), lost workers
+  // readmitted by the heartbeat thread's re-probe loop after a successful
+  // ping + catalog re-publication, block ranges re-dispatched to surviving
+  // workers after a failure, and total frame bytes (headers included)
+  // exchanged with workers.
   uint64_t workers_lost = 0;
+  uint64_t workers_recovered = 0;
   uint64_t ranges_redispatched = 0;
   uint64_t bytes_on_wire = 0;
+  // Process-wide fault-injection fires (common/failpoint.h), sampled from
+  // the registry at Snapshot() time. Always 0 in a default build — CI
+  // gates on it.
+  uint64_t failpoints_tripped = 0;
   // Live-table ingest plane (src/storage/): generations published through
   // LiveDataset::Refresh, runs whose session match caches were rebuilt by
   // extending the previous generation's Selections instead of refiltering
@@ -71,6 +79,7 @@ class ServiceStats {
   RelaxedCounter blocks_pruned;
   RelaxedCounter rows_skipped_by_pruning;
   RelaxedCounter workers_lost;
+  RelaxedCounter workers_recovered;
   RelaxedCounter ranges_redispatched;
   RelaxedCounter bytes_on_wire;
   RelaxedCounter snapshot_generations_published;
@@ -104,7 +113,9 @@ class ServiceStats {
     snap.blocks_pruned = blocks_pruned.load();
     snap.rows_skipped_by_pruning = rows_skipped_by_pruning.load();
     snap.workers_lost = workers_lost.load();
+    snap.workers_recovered = workers_recovered.load();
     snap.ranges_redispatched = ranges_redispatched.load();
+    snap.failpoints_tripped = failpoints::TotalTripped();
     snap.bytes_on_wire = bytes_on_wire.load();
     snap.snapshot_generations_published =
         snapshot_generations_published.load();

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "table/column.h"
 #include "table/types.h"
@@ -22,6 +23,7 @@ size_t LiveTable::num_rows() const {
 }
 
 Result<std::shared_ptr<const TableSnapshot>> LiveTable::Publish() {
+  SCORPION_FAILPOINT("storage.live_publish");
   MutexLock lock(mu_);
   const size_t n = staging_.num_rows();
   if (published_ != nullptr && published_->table.num_rows() == n) {

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Multi-process chaos soak for the distributed explanation service.
+
+Replays `scorpiond coordinate --verify-local` against real worker
+processes under deterministic seeded fault schedules. Workers are armed
+through the SCORPION_FAILPOINTS env var, the coordinator through its
+--failpoints flag — the same spec grammar end to end.
+
+Contract per replay (the robustness bar the chaos harness enforces):
+  exit 0 + matches_local  -> survived the schedule, answer bit-identical
+  exit 3                  -> clean, attributable failure Status (allowed:
+                             injected faults may legitimately fail a run)
+  exit 1                  -> DIVERGENCE: silent wrong answer. Always a bug.
+  signal / other exits    -> crash. Always a bug.
+  timeout                 -> hang. Always a bug.
+
+Usage: chaos_loopback.py <path-to-scorpiond> [--schedules N]
+"""
+import json
+import os
+import signal
+import subprocess
+import sys
+
+TUPLES_PER_GROUP = 800  # 10 groups -> 8000 rows -> 2 blocks of 4096
+RUN_TIMEOUT_SECONDS = 240
+
+# (worker SCORPION_FAILPOINTS, coordinator --failpoints). Seeds live in the
+# specs, so any failing schedule replays from this table alone. Worker-side
+# `crash` is a real _exit mid-request; the coordinator side never arms
+# `crash` (the coordinate process is the one being graded).
+SCHEDULES = [
+    # The PR 7 crash test, now spelled as a failpoint: one worker process
+    # dies on its first shard_filter; redispatch must still match local.
+    ("worker.shard_filter=once:crash", ""),
+    # Dies later, mid-scatter, after serving some shards.
+    ("worker.shard_filter=after(3):crash", ""),
+    # Workers corrupt every 29th response frame: garbage envelopes, worker
+    # declared lost, ranges redispatched.
+    ("net.write_frame=every(29):corrupt", ""),
+    # Coordinator corrupts every 23rd request frame.
+    ("", "net.write_frame=every(23):corrupt"),
+    # Flaky reads on the coordinator: retries and redispatch.
+    ("", "net.read_frame=prob(0.02,41):error(io)"),
+    # Flaky reads on the workers: requests lost mid-parse.
+    ("net.read_frame=prob(0.02,42):error(io)", ""),
+    # Publish-path fault: the run either fails cleanly before any scatter
+    # or proceeds unharmed on the surviving worker.
+    ("worker.prepare_problem=once:error(unavailable)", ""),
+    # Mixed: remote shard errors plus truncated coordinator sends.
+    ("worker.shard_filter=prob(0.05,43):error(internal)",
+     "net.write_frame=prob(0.01,44):truncate"),
+]
+
+
+def start_worker(binary, failpoints):
+    env = dict(os.environ)
+    env.pop("SCORPION_FAILPOINTS", None)
+    if failpoints:
+        env["SCORPION_FAILPOINTS"] = failpoints
+    proc = subprocess.Popen(
+        [binary, "worker", "--listen", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise SystemExit(f"worker did not report a port, said: {line!r}")
+    return proc, int(line.split()[1])
+
+
+def run_schedule(binary, index, worker_spec, coord_spec):
+    label = f"schedule {index}: worker={worker_spec!r} coord={coord_spec!r}"
+    workers = []
+    try:
+        for _ in range(2):
+            workers.append(start_worker(binary, worker_spec))
+        endpoints = ",".join(f"127.0.0.1:{p}" for _, p in workers)
+        argv = [
+            binary, "coordinate",
+            "--workers", endpoints,
+            "--algorithm", "dt",
+            "--tuples-per-group", str(TUPLES_PER_GROUP),
+            "--verify-local",
+            "--shutdown-workers",
+            "--chaos",  # clean failures exit 3 even when only workers arm
+        ]
+        if coord_spec:
+            argv += ["--failpoints", coord_spec]
+        try:
+            result = subprocess.run(
+                argv,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                timeout=RUN_TIMEOUT_SECONDS,
+            )
+        except subprocess.TimeoutExpired:
+            raise SystemExit(f"HANG: {label}")
+        print(f"--- {label} -> exit {result.returncode}")
+        print(result.stdout)
+        if result.returncode == 0:
+            summary = json.loads(result.stdout.strip().splitlines()[-1])
+            if summary.get("matches_local") is not True:
+                raise SystemExit(f"DIVERGENCE (unflagged): {label}")
+            return "verified"
+        if result.returncode == 3:
+            return "clean_failure"
+        if result.returncode == 1 or "DIVERGENCE" in result.stdout:
+            raise SystemExit(f"DIVERGENCE: {label}")
+        raise SystemExit(
+            f"CRASH: coordinate exited {result.returncode} under {label}")
+    finally:
+        # Crashed workers already exited; survivors of a failed run (no
+        # --shutdown-workers reached them) must not leak.
+        for proc, _ in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=10)
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        raise SystemExit(__doc__)
+    binary = args[0]
+    count = len(SCHEDULES)
+    if len(args) == 3 and args[1] == "--schedules":
+        count = int(args[2])
+    elif len(args) != 1:
+        raise SystemExit(__doc__)
+
+    outcomes = {"verified": 0, "clean_failure": 0}
+    for i in range(count):
+        worker_spec, coord_spec = SCHEDULES[i % len(SCHEDULES)]
+        outcomes[run_schedule(binary, i, worker_spec, coord_spec)] += 1
+
+    print(f"chaos_loopback: OK ({outcomes['verified']} verified, "
+          f"{outcomes['clean_failure']} clean failures over {count} schedules)")
+    # Vacuity guard: a soak where nothing survives proves nothing about the
+    # recovery paths. Most of the pool is survivable by construction.
+    if count >= len(SCHEDULES) and outcomes["verified"] < count // 2:
+        raise SystemExit("too few verified runs — recovery paths not exercised")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,12 @@
 // Status / Result / string / random utilities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <set>
 
+#include "common/backoff.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -117,6 +121,75 @@ TEST(Random, SampleWithoutReplacement) {
   for (uint32_t v : unique) EXPECT_LT(v, 100u);
   // k >= n returns everything.
   EXPECT_EQ(rng.SampleWithoutReplacement(5, 10).size(), 5u);
+}
+
+TEST(Backoff, GrowsExponentiallyWithoutJitter) {
+  BackoffOptions options;
+  options.base_seconds = 0.01;
+  options.max_seconds = 1.0;
+  options.jitter = 0.0;
+  const Backoff backoff(options);
+  EXPECT_DOUBLE_EQ(backoff.DelayForAttempt(0), 0.01);
+  EXPECT_DOUBLE_EQ(backoff.DelayForAttempt(1), 0.02);
+  EXPECT_DOUBLE_EQ(backoff.DelayForAttempt(2), 0.04);
+  EXPECT_DOUBLE_EQ(backoff.DelayForAttempt(3), 0.08);
+}
+
+TEST(Backoff, CapsAtMaxForHugeAttempts) {
+  BackoffOptions options;
+  options.base_seconds = 0.01;
+  options.max_seconds = 2.0;
+  options.jitter = 0.0;
+  const Backoff backoff(options);
+  // The PR 7 helper computed base * (1 << retry_index): UB at attempt 31,
+  // garbage before that. The replacement must saturate cleanly for ANY
+  // attempt index, including ones that would overflow any integer shift.
+  for (uint64_t attempt : {8u, 31u, 32u, 63u, 64u, 100u, 1000000u}) {
+    EXPECT_DOUBLE_EQ(backoff.DelayForAttempt(attempt), 2.0)
+        << "attempt " << attempt;
+  }
+  EXPECT_DOUBLE_EQ(backoff.DelayForAttempt(UINT64_MAX), 2.0);
+}
+
+TEST(Backoff, JitterStaysInRangeAndIsSeedDeterministic) {
+  BackoffOptions options;
+  options.base_seconds = 0.02;
+  options.max_seconds = 2.0;
+  options.jitter = 0.5;
+  options.seed = 17;
+  const Backoff a(options);
+  const Backoff b(options);
+  options.seed = 18;
+  const Backoff other(options);
+  bool any_differs = false;
+  for (uint64_t attempt = 0; attempt < 64; ++attempt) {
+    const double unjittered = std::min(
+        options.base_seconds * std::ldexp(1.0, static_cast<int>(attempt)),
+        options.max_seconds);
+    const double delay = a.DelayForAttempt(attempt);
+    // Uniform in [d*(1-jitter), d], never negative, never above the cap.
+    EXPECT_GE(delay, unjittered * 0.5 - 1e-12) << "attempt " << attempt;
+    EXPECT_LE(delay, unjittered + 1e-12) << "attempt " << attempt;
+    // Pure function of (options, attempt): stateless and replayable.
+    EXPECT_EQ(delay, b.DelayForAttempt(attempt));
+    any_differs |= delay != other.DelayForAttempt(attempt);
+  }
+  // A different seed de-correlates the schedule (what keeps concurrent
+  // retry loops from waking in lockstep).
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Backoff, StatefulNextAdvancesAndResets) {
+  BackoffOptions options;
+  options.base_seconds = 0.01;
+  options.max_seconds = 1.0;
+  options.jitter = 0.0;
+  Backoff backoff(options);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.01);
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.02);
+  EXPECT_EQ(backoff.attempt(), 2u);
+  backoff.Reset();
+  EXPECT_DOUBLE_EQ(backoff.NextDelaySeconds(), 0.01);
 }
 
 }  // namespace

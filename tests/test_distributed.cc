@@ -5,12 +5,15 @@
 // in-process engine — same predicates, same influence doubles — for every
 // algorithm, including runs where a worker dies mid-request and its block
 // ranges are re-dispatched to survivors.
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/scorpion.h"
 #include "distributed/coordinator.h"
 #include "distributed/worker.h"
@@ -143,23 +146,22 @@ TEST(DistributedFaults, WorkerDeathTriggersRedispatch) {
                                     inst.problem);
   ASSERT_TRUE(local.ok());
 
-  // The second worker drops every connection upon receiving its first
-  // shard_filter, without responding — a crash as the coordinator sees it.
-  auto healthy = StartWorkers(1);
-  WorkerOptions dying_options;
-  dying_options.die_on_shard_request = 1;
-  auto dying = StartWorkers(1, std::move(dying_options));
+  // Whichever worker receives the first shard_filter drops every
+  // connection without responding — a crash as the coordinator sees it.
+  // The failpoint's once trigger guarantees exactly one of the two dies.
+  auto workers = StartWorkers(2);
 
   CoordinatorOptions coordinator_options;
-  coordinator_options.retry_backoff_seconds = 0.001;
-  std::vector<std::string> endpoints = Endpoints(healthy);
-  endpoints.push_back("127.0.0.1:" + std::to_string(dying[0]->port()));
+  coordinator_options.backoff.base_seconds = 0.001;
+  coordinator_options.backoff.max_seconds = 0.005;
   auto coordinator =
-      Coordinator::Connect(endpoints, std::move(coordinator_options));
+      Coordinator::Connect(Endpoints(workers), std::move(coordinator_options));
   ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
   ASSERT_TRUE(
       (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
 
+  failpoints::ScopedFailpoint crash_once("worker.shard_filter",
+                                         failpoints::Config::CrashOnce());
   auto remote = (*coordinator)->Explain(options);
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
   ExpectBitIdentical(*remote, *local);
@@ -182,12 +184,11 @@ TEST(DistributedFaults, AllWorkersDeadFallsBackLocally) {
                                     inst.problem);
   ASSERT_TRUE(local.ok());
 
-  WorkerOptions dying_options;
-  dying_options.die_on_shard_request = 1;
-  auto workers = StartWorkers(1, std::move(dying_options));
+  auto workers = StartWorkers(1);
 
   CoordinatorOptions coordinator_options;
-  coordinator_options.retry_backoff_seconds = 0.001;
+  coordinator_options.backoff.base_seconds = 0.001;
+  coordinator_options.backoff.max_seconds = 0.005;
   coordinator_options.max_attempts_per_range = 2;
   auto coordinator =
       Coordinator::Connect(Endpoints(workers), std::move(coordinator_options));
@@ -195,6 +196,8 @@ TEST(DistributedFaults, AllWorkersDeadFallsBackLocally) {
   ASSERT_TRUE(
       (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
 
+  failpoints::ScopedFailpoint crash_once("worker.shard_filter",
+                                         failpoints::Config::CrashOnce());
   auto remote = (*coordinator)->Explain(options);
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
   ExpectBitIdentical(*remote, *local);
@@ -207,12 +210,11 @@ TEST(DistributedFaults, AllWorkersDeadFallsBackLocally) {
 
 TEST(DistributedFaults, NoLocalFallbackSurfacesUnavailable) {
   const Instance inst = MakeInstance();
-  WorkerOptions dying_options;
-  dying_options.die_on_shard_request = 1;
-  auto workers = StartWorkers(1, std::move(dying_options));
+  auto workers = StartWorkers(1);
 
   CoordinatorOptions coordinator_options;
-  coordinator_options.retry_backoff_seconds = 0.001;
+  coordinator_options.backoff.base_seconds = 0.001;
+  coordinator_options.backoff.max_seconds = 0.005;
   coordinator_options.max_attempts_per_range = 2;
   coordinator_options.allow_local_fallback = false;
   auto coordinator =
@@ -221,8 +223,66 @@ TEST(DistributedFaults, NoLocalFallbackSurfacesUnavailable) {
   ASSERT_TRUE(
       (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
 
+  failpoints::ScopedFailpoint crash_once("worker.shard_filter",
+                                         failpoints::Config::CrashOnce());
   auto remote = (*coordinator)->Explain(EngineOptions(Algorithm::kDT));
   ASSERT_FALSE(remote.ok());
+}
+
+TEST(DistributedFaults, CrashedWorkerIsReadmittedByReprobe) {
+  const Instance inst = MakeInstance();
+  const ScorpionOptions options = EngineOptions(Algorithm::kDT);
+
+  Scorpion local_engine(options);
+  auto local = local_engine.Explain(inst.dataset.table, inst.qr,
+                                    inst.problem);
+  ASSERT_TRUE(local.ok());
+
+  auto workers = StartWorkers(2);
+  CoordinatorOptions coordinator_options;
+  // Fast heartbeat + tiny backoff so the re-probe loop readmits within the
+  // poll budget below; jitter stays on to exercise the real delay path.
+  coordinator_options.heartbeat_interval_seconds = 0.05;
+  coordinator_options.backoff.base_seconds = 0.005;
+  coordinator_options.backoff.max_seconds = 0.05;
+  auto coordinator =
+      Coordinator::Connect(Endpoints(workers), std::move(coordinator_options));
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+  ASSERT_TRUE(
+      (*coordinator)->Publish(inst.dataset.table, inst.qr, inst.problem).ok());
+
+  {
+    failpoints::ScopedFailpoint crash_once("worker.shard_filter",
+                                           failpoints::Config::CrashOnce());
+    auto remote = (*coordinator)->Explain(options);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    ExpectBitIdentical(*remote, *local);
+  }
+  ASSERT_GE((*coordinator)->stats().workers_lost, 1u);
+
+  // Restart the crashed worker on its old port (SO_REUSEADDR): the
+  // heartbeat thread's re-probe must readmit it — ping, then re-publish the
+  // catalog from the coordinator's fingerprint-keyed copy — with no manual
+  // re-Publish here.
+  const size_t dead = workers[0]->stopped() ? 0 : 1;
+  ASSERT_TRUE(workers[dead]->stopped());
+  const int dead_port = workers[dead]->port();
+  workers[dead]->Stop();
+  workers[dead].reset();
+  auto revived = Worker::Start("127.0.0.1", dead_port);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  workers[dead] = std::move(*revived);
+
+  for (int i = 0; i < 1000 && (*coordinator)->num_live_workers() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ((*coordinator)->num_live_workers(), 2u);
+  EXPECT_GE((*coordinator)->stats().workers_recovered, 1u);
+
+  // The readmitted worker serves real shards again, bit-identically.
+  auto remote2 = (*coordinator)->Explain(options);
+  ASSERT_TRUE(remote2.ok()) << remote2.status().ToString();
+  ExpectBitIdentical(*remote2, *local);
 }
 
 TEST(DistributedService, StatsFlowIntoServiceSink) {

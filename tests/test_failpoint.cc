@@ -1,0 +1,251 @@
+// Registry-level tests for deterministic fault injection
+// (common/failpoint.h): trigger arithmetic, spec grammar, the disarmed
+// fast path, and the counters CI gates on.
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace scorpion {
+namespace {
+
+using failpoints::Config;
+
+// One macro expansion = one lambda = one function-local static site, bound
+// to `name` on first evaluation — exactly the shape production sites have.
+// A shared helper function would not work: its single static would bind to
+// whichever name evaluated first.
+#define EVAL_SITE(name)                    \
+  ([]() -> ::scorpion::Status {            \
+    SCORPION_FAILPOINT(name);              \
+    return ::scorpion::Status::OK();       \
+  })()
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsTransparent) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(EVAL_SITE("test.disarmed").ok());
+  }
+  EXPECT_EQ(failpoints::TrippedCount("test.disarmed"), 0u);
+}
+
+TEST_F(FailpointTest, DefaultBuildHasNothingArmed) {
+  // The gate CI relies on: unless a test (or operator) arms something, the
+  // registry is empty and no site can fire.
+  EXPECT_TRUE(failpoints::ArmedNames().empty());
+}
+
+TEST_F(FailpointTest, ErrorOnceFiresExactlyOnce) {
+  failpoints::Arm("test.once", Config::ErrorOnce(StatusCode::kUnavailable));
+  Status first = EVAL_SITE("test.once");
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(first.IsUnavailable());
+  EXPECT_NE(first.ToString().find("test.once"), std::string::npos);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(EVAL_SITE("test.once").ok());
+  }
+  EXPECT_EQ(failpoints::TrippedCount("test.once"), 1u);
+}
+
+TEST_F(FailpointTest, EveryNthFiresPeriodically) {
+  Config config;
+  config.trigger = Config::Trigger::kEveryNth;
+  config.n = 3;
+  failpoints::Arm("test.every", config);
+  int fired = 0;
+  for (int i = 1; i <= 12; ++i) {
+    const bool hit = !EVAL_SITE("test.every").ok();
+    EXPECT_EQ(hit, i % 3 == 0) << "evaluation " << i;
+    fired += hit;
+  }
+  EXPECT_EQ(fired, 4);
+}
+
+TEST_F(FailpointTest, AfterNFiresFromNPlusOneOnward) {
+  Config config;
+  config.trigger = Config::Trigger::kAfterN;
+  config.n = 2;
+  failpoints::Arm("test.after", config);
+  EXPECT_TRUE(EVAL_SITE("test.after").ok());
+  EXPECT_TRUE(EVAL_SITE("test.after").ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(EVAL_SITE("test.after").ok());
+  }
+  EXPECT_EQ(failpoints::TrippedCount("test.after"), 5u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeedDeterministic) {
+  const auto run = [&](uint64_t seed) {
+    Config config;
+    config.trigger = Config::Trigger::kProbability;
+    config.probability = 0.5;
+    config.seed = seed;
+    failpoints::Arm("test.prob", config);  // re-arm resets the eval index
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(!EVAL_SITE("test.prob").ok());
+    }
+    return fires;
+  };
+  const std::vector<bool> a = run(7);
+  const std::vector<bool> b = run(7);
+  const std::vector<bool> c = run(8);
+  // Same seed → the exact same schedule; different seed → a different one.
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // And the rate is at least roughly the requested half.
+  const int fired = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fired, 16);
+  EXPECT_LT(fired, 48);
+}
+
+TEST_F(FailpointTest, RearmReplacesAndResetsCounters) {
+  failpoints::Arm("test.rearm", Config::ErrorOnce());
+  EXPECT_FALSE(EVAL_SITE("test.rearm").ok());
+  EXPECT_TRUE(EVAL_SITE("test.rearm").ok());
+  failpoints::Arm("test.rearm", Config::ErrorOnce());
+  // A fresh once-trigger: fires again.
+  EXPECT_FALSE(EVAL_SITE("test.rearm").ok());
+  EXPECT_EQ(failpoints::TrippedCount("test.rearm"), 1u);
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    failpoints::ScopedFailpoint fp("test.scoped",
+                                   Config::ErrorAlways(StatusCode::kInternal));
+    EXPECT_FALSE(EVAL_SITE("test.scoped").ok());
+    EXPECT_EQ(failpoints::ArmedNames(),
+              std::vector<std::string>{"test.scoped"});
+  }
+  EXPECT_TRUE(EVAL_SITE("test.scoped").ok());
+  EXPECT_TRUE(failpoints::ArmedNames().empty());
+}
+
+TEST_F(FailpointTest, SpecGrammarRoundTrips) {
+  ASSERT_TRUE(failpoints::ArmFromSpec(
+                  "test.spec_a=once:error(deadline);"
+                  "test.spec_b=every(2):error(io)")
+                  .ok());
+  const std::vector<std::string> names = failpoints::ArmedNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "test.spec_a");
+  EXPECT_EQ(names[1], "test.spec_b");
+
+  Status a = EVAL_SITE("test.spec_a");
+  ASSERT_FALSE(a.ok());
+  EXPECT_TRUE(a.IsDeadlineExceeded());
+
+  EXPECT_TRUE(EVAL_SITE("test.spec_b").ok());
+  Status b = EVAL_SITE("test.spec_b");
+  ASSERT_FALSE(b.ok());
+  EXPECT_TRUE(b.IsIOError());
+}
+
+TEST_F(FailpointTest, ParseConfigCoversTheGrammar) {
+  auto sleepy = failpoints::ParseConfig("after(3):sleep(0.25)");
+  ASSERT_TRUE(sleepy.ok()) << sleepy.status().ToString();
+  EXPECT_EQ(sleepy->trigger, Config::Trigger::kAfterN);
+  EXPECT_EQ(sleepy->n, 3u);
+  EXPECT_EQ(sleepy->action, Config::Action::kSleep);
+  EXPECT_DOUBLE_EQ(sleepy->sleep_seconds, 0.25);
+
+  auto prob = failpoints::ParseConfig("prob(0.1,42):crash");
+  ASSERT_TRUE(prob.ok()) << prob.status().ToString();
+  EXPECT_EQ(prob->trigger, Config::Trigger::kProbability);
+  EXPECT_DOUBLE_EQ(prob->probability, 0.1);
+  EXPECT_EQ(prob->seed, 42u);
+  EXPECT_EQ(prob->action, Config::Action::kCrash);
+
+  auto frame = failpoints::ParseConfig("always:corrupt");
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->action, Config::Action::kCorruptFrame);
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejectedWithoutArming) {
+  for (const char* bad :
+       {"noequalsign", "x=", "x=once", "x=once:explode", "x=sometimes:error",
+        "x=every(0):error", "x=prob(1.5):error", "x=once:error(nope)",
+        "x=after(:error", "x=once:sleep(-1)"}) {
+    Status status = failpoints::ArmFromSpec(bad);
+    EXPECT_FALSE(status.ok()) << "accepted: " << bad;
+    EXPECT_TRUE(status.IsInvalidArgument()) << bad;
+  }
+  EXPECT_TRUE(failpoints::ArmedNames().empty());
+}
+
+TEST_F(FailpointTest, FrameActionAtPlainSiteDegradesToIOError) {
+  Config corrupt = Config::ErrorAlways();
+  corrupt.action = Config::Action::kCorruptFrame;
+  failpoints::Arm("test.plain_corrupt", corrupt);
+  // SCORPION_FAILPOINT (the Status form) cannot corrupt a frame; it must
+  // still fail the call rather than silently not firing.
+  Status status = EVAL_SITE("test.plain_corrupt");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIOError());
+}
+
+TEST_F(FailpointTest, CrashActionSurfacesAsCrashKind) {
+  // The HIT macro hands kCrash to the caller (the worker's in-process
+  // crash simulation); only CrashNow() — never called here — actually
+  // exits the process.
+  failpoints::Arm("test.crash", Config::CrashOnce());
+  SCORPION_FAILPOINT_HIT("test.crash", hit);
+  EXPECT_EQ(hit.kind, FailpointHit::Kind::kCrash);
+  EXPECT_TRUE(hit.fired());
+  SCORPION_FAILPOINT_HIT("test.crash", again);
+  EXPECT_EQ(again.kind, FailpointHit::Kind::kNone);
+  EXPECT_FALSE(again.fired());
+}
+
+TEST_F(FailpointTest, SetCrashHandlerExchangesThePrevious) {
+  failpoints::CrashHandler mine = [] {};
+  failpoints::CrashHandler previous = failpoints::SetCrashHandler(mine);
+  EXPECT_EQ(failpoints::SetCrashHandler(previous), mine);
+}
+
+TEST_F(FailpointTest, TotalTrippedAccumulatesAcrossNames) {
+  const uint64_t before = failpoints::TotalTripped();
+  failpoints::Arm("test.total_a", Config::ErrorOnce());
+  failpoints::Arm("test.total_b", Config::ErrorOnce());
+  EXPECT_FALSE(EVAL_SITE("test.total_a").ok());
+  EXPECT_FALSE(EVAL_SITE("test.total_b").ok());
+  EXPECT_EQ(failpoints::TotalTripped(), before + 2);
+}
+
+TEST_F(FailpointTest, ConcurrentEvalAndDisarmIsSafe) {
+  // The registry retires armed state instead of freeing it, so sites
+  // racing with Disarm/re-arm can never dereference a dangling config.
+  // TSan runs this too.
+  Config config;
+  config.trigger = Config::Trigger::kEveryNth;
+  config.n = 2;
+  failpoints::Arm("test.race", config);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)EVAL_SITE("test.race");
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    failpoints::Disarm("test.race");
+    failpoints::Arm("test.race", config);
+  }
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace scorpion

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/json.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -203,6 +204,147 @@ TEST_F(SocketTest, ShutdownWakesBlockedAccept) {
   EXPECT_FALSE(conn.ok());
   EXPECT_TRUE(conn.status().IsCancelled());
   closer.join();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection on the wire (common/failpoint.h). The net.read_frame /
+// net.write_frame / net.accept sites are frame-aware: besides injecting a
+// Status they can corrupt or truncate the frame in flight. Every failure
+// must surface as a clean Status — never a crash, hang, or desynced stream
+// that silently parses.
+// ---------------------------------------------------------------------------
+
+TEST_F(SocketTest, FailpointInjectsSendTimeout) {
+  std::thread server([&] {
+    auto conn = listener_->Accept();
+    ASSERT_TRUE(conn.ok());
+    // Only the frame the client sent after disarming ever arrives.
+    auto payload = conn->ReadFrame({});
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    EXPECT_EQ(*payload, "after");
+  });
+  auto client = Conn::Dial("127.0.0.1", listener_->port(), 5.0);
+  ASSERT_TRUE(client.ok());
+  {
+    failpoints::ScopedFailpoint fp(
+        "net.write_frame",
+        failpoints::Config::ErrorOnce(StatusCode::kDeadlineExceeded));
+    auto status = client->WriteFrame("dropped");
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.IsDeadlineExceeded());
+  }
+  // The injected failure fired before any bytes moved: the connection is
+  // still usable once disarmed.
+  ASSERT_TRUE(client->WriteFrame("after").ok());
+  server.join();
+}
+
+TEST_F(SocketTest, FailpointCorruptsFrameMidStream) {
+  std::thread server([&] {
+    auto conn = listener_->Accept();
+    ASSERT_TRUE(conn.ok());
+    // Corruption hits the payload, not the header: the stream stays in
+    // sync, the receiver just gets garbage bytes of the right length...
+    auto garbage = conn->ReadFrame({});
+    ASSERT_TRUE(garbage.ok()) << garbage.status().ToString();
+    EXPECT_EQ(garbage->size(), 4u);
+    EXPECT_NE(*garbage, "ping");
+    // ...and the next frame is delivered intact.
+    auto clean = conn->ReadFrame({});
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_EQ(*clean, "pong");
+  });
+  auto client = Conn::Dial("127.0.0.1", listener_->port(), 5.0);
+  ASSERT_TRUE(client.ok());
+  failpoints::Config corrupt_once = failpoints::Config::ErrorOnce();
+  corrupt_once.action = failpoints::Config::Action::kCorruptFrame;
+  failpoints::ScopedFailpoint fp("net.write_frame", corrupt_once);
+  ASSERT_TRUE(client->WriteFrame("ping").ok());
+  ASSERT_TRUE(client->WriteFrame("pong").ok());
+  server.join();
+}
+
+TEST_F(SocketTest, FailpointTruncatesFrameAndDropsConn) {
+  std::thread server([&] {
+    auto conn = listener_->Accept();
+    ASSERT_TRUE(conn.ok());
+    // The sender shut the socket down mid-frame: a short read, reported
+    // like any peer crash.
+    auto payload = conn->ReadFrame({});
+    ASSERT_FALSE(payload.ok());
+    EXPECT_TRUE(payload.status().IsIOError());
+    EXPECT_NE(payload.status().ToString().find("closed"), std::string::npos);
+  });
+  auto client = Conn::Dial("127.0.0.1", listener_->port(), 5.0);
+  ASSERT_TRUE(client.ok());
+  failpoints::Config truncate_once = failpoints::Config::ErrorOnce();
+  truncate_once.action = failpoints::Config::Action::kTruncateFrame;
+  failpoints::ScopedFailpoint fp("net.write_frame", truncate_once);
+  auto status = client->WriteFrame("a payload long enough");
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.ToString().find("truncated"), std::string::npos);
+  server.join();
+}
+
+TEST_F(SocketTest, FailpointShortensReceivedFrame) {
+  std::thread server([&] {
+    auto conn = listener_->Accept();
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->WriteFrame("pingpong").ok());
+  });
+  auto client = Conn::Dial("127.0.0.1", listener_->port(), 5.0);
+  ASSERT_TRUE(client.ok());
+  failpoints::Config truncate_once = failpoints::Config::ErrorOnce();
+  truncate_once.action = failpoints::Config::Action::kTruncateFrame;
+  failpoints::ScopedFailpoint fp("net.read_frame", truncate_once);
+  // Receive-side truncation: the bytes arrived, the reader loses the tail
+  // — what a short read looks like to everything above the socket.
+  auto payload = client->ReadFrame({});
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(*payload, "ping");
+  server.join();
+}
+
+TEST_F(SocketTest, FailpointInjectsReadErrorWithoutConsuming) {
+  std::thread server([&] {
+    auto conn = listener_->Accept();
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->WriteFrame("still here").ok());
+  });
+  auto client = Conn::Dial("127.0.0.1", listener_->port(), 5.0);
+  ASSERT_TRUE(client.ok());
+  {
+    failpoints::ScopedFailpoint fp(
+        "net.read_frame",
+        failpoints::Config::ErrorOnce(StatusCode::kIOError));
+    auto payload = client->ReadFrame({});
+    ASSERT_FALSE(payload.ok());
+    EXPECT_TRUE(payload.status().IsIOError());
+  }
+  // The injected error fired before touching the socket; the frame is
+  // still queued and readable once disarmed.
+  auto payload = client->ReadFrame({});
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(*payload, "still here");
+  server.join();
+}
+
+TEST_F(SocketTest, FailpointRejectsAccept) {
+  std::thread client_thread([port = listener_->port()] {
+    const int fd = RawConnect(port);
+    ::usleep(100 * 1000);
+    ::close(fd);
+  });
+  {
+    failpoints::ScopedFailpoint fp(
+        "net.accept",
+        failpoints::Config::ErrorOnce(StatusCode::kUnavailable));
+    auto conn = listener_->Accept();
+    ASSERT_FALSE(conn.ok());
+    EXPECT_TRUE(conn.status().IsUnavailable());
+  }
+  client_thread.join();
 }
 
 // ---------------------------------------------------------------------------

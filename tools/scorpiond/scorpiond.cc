@@ -1,19 +1,28 @@
 // scorpiond: the distributed explanation service on the command line.
 //
-//   scorpiond worker --listen <port> [--host <addr>] [--die-after-shards N]
+//   scorpiond worker --listen <port> [--host <addr>] [--failpoints SPEC]
+//             [--die-after-shards N]
 //     Serves the wire protocol until a shutdown op arrives. Prints
 //     "LISTENING <port>" on stdout once bound (port 0 picks an ephemeral
 //     port), which is what examples/run_distributed_loopback.sh and the
-//     multi-process ctest driver wait for. --die-after-shards makes the
-//     process _exit upon receiving its N-th shard_filter request, for
-//     exercising the coordinator's re-dispatch path end to end.
+//     multi-process ctest drivers wait for. --failpoints arms the named
+//     fault-injection schedule (common/failpoint.h grammar); the
+//     SCORPION_FAILPOINTS env var works too. --die-after-shards N is sugar
+//     for arming `worker.shard_filter` to crash on its N-th request — the
+//     process _exits, for exercising the coordinator's re-dispatch and
+//     re-probe paths end to end.
 //
 //   scorpiond coordinate --workers <host:port,...> [--algorithm dt|mc|naive]
 //             [--tuples-per-group N] [--verify-local] [--shutdown-workers]
+//             [--failpoints SPEC]
 //     Generates a deterministic SYNTH instance, publishes it to the
 //     workers, runs a distributed explain, and prints a JSON summary.
 //     --verify-local also runs the in-process engine on the same problem
-//     and fails (exit 1) unless the distributed answer is bit-identical.
+//     (with every failpoint disarmed) and fails (exit 1) unless the
+//     distributed answer is bit-identical. Under --failpoints, a run that
+//     fails with a clean error Status exits 3 — chaos drivers treat that as
+//     a pass (injected faults may legitimately fail the run; only a
+//     divergence, crash, or hang is a bug).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/json.h"
 #include "core/scorpion.h"
 #include "distributed/coordinator.h"
@@ -39,18 +49,21 @@ int Usage() {
       stderr,
       "usage:\n"
       "  scorpiond worker --listen <port> [--host <addr>]"
-      " [--die-after-shards N]\n"
+      " [--failpoints SPEC] [--die-after-shards N]\n"
       "  scorpiond coordinate --workers <host:port,...>"
       " [--algorithm dt|mc|naive] [--tuples-per-group N]"
-      " [--verify-local] [--shutdown-workers]\n");
+      " [--verify-local] [--shutdown-workers] [--failpoints SPEC]"
+      " [--chaos]\n");
   return 2;
 }
 
+// By value: Result<T>::status() materializes its Status, so a reference
+// return would dangle.
 template <typename T>
-const Status& AsStatus(const Result<T>& r) {
+Status AsStatus(const Result<T>& r) {
   return r.status();
 }
-inline const Status& AsStatus(const Status& s) { return s; }
+inline Status AsStatus(const Status& s) { return s; }
 
 #define TOOL_CHECK_OK(expr)                                \
   do {                                                     \
@@ -62,8 +75,35 @@ inline const Status& AsStatus(const Status& s) { return s; }
     }                                                      \
   } while (false)
 
+/// Under a chaos schedule an injected fault may cleanly fail the run; the
+/// driver distinguishes that (exit 3) from a real bug (divergence, exit 1)
+/// and from infrastructure errors (exit 1/2).
+#define COORD_CHECK_OK(expr)                               \
+  do {                                                     \
+    const auto& _res = (expr);                             \
+    if (!_res.ok()) {                                      \
+      const Status& _st = AsStatus(_res);                  \
+      if (chaos) return CleanFailure(#expr, _st);          \
+      std::fprintf(stderr, "scorpiond: %s: %s\n", #expr,   \
+                   _st.ToString().c_str());                \
+      return 1;                                            \
+    }                                                      \
+  } while (false)
+
+int CleanFailure(const char* where, const Status& status) {
+  JsonValue out = JsonValue::Object();
+  out.Add("clean_failure", JsonValue::Bool(true));
+  out.Add("where", JsonValue::String(where));
+  out.Add("status", JsonValue::String(status.ToString()));
+  out.Add("failpoints_tripped",
+          JsonValue::Number(static_cast<double>(failpoints::TotalTripped())));
+  std::printf("%s\n", out.Dump().c_str());
+  return 3;
+}
+
 int RunWorker(int argc, char** argv) {
   std::string host = "127.0.0.1";
+  std::string failpoints_spec;
   int port = -1;
   int die_after_shards = 0;
   for (int i = 0; i < argc; ++i) {
@@ -72,6 +112,8 @@ int RunWorker(int argc, char** argv) {
       port = std::atoi(argv[++i]);
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
+    } else if (arg == "--failpoints" && i + 1 < argc) {
+      failpoints_spec = argv[++i];
     } else if (arg == "--die-after-shards" && i + 1 < argc) {
       die_after_shards = std::atoi(argv[++i]);
     } else {
@@ -80,12 +122,20 @@ int RunWorker(int argc, char** argv) {
   }
   if (port < 0) return Usage();
 
-  WorkerOptions options;
-  options.die_on_shard_request = die_after_shards;
-  if (die_after_shards > 0) {
-    // A real crash: no destructors, no flushes, the sockets just vanish.
-    options.on_die = [] { std::_Exit(0); };
+  if (!failpoints_spec.empty()) {
+    TOOL_CHECK_OK(failpoints::ArmFromSpec(failpoints_spec));
   }
+  if (die_after_shards > 0) {
+    // CrashAfter(N-1) fires on evaluation N: the N-th shard_filter request.
+    failpoints::Arm("worker.shard_filter",
+                    failpoints::Config::CrashAfter(
+                        static_cast<uint64_t>(die_after_shards) - 1));
+  }
+
+  WorkerOptions options;
+  // A real crash: no destructors, no flushes, the sockets just vanish.
+  // Only reached when a crash action fires on worker.shard_filter.
+  options.on_die = [] { std::_Exit(0); };
   Result<std::unique_ptr<Worker>> worker =
       Worker::Start(host, port, std::move(options));
   TOOL_CHECK_OK(worker);
@@ -112,10 +162,12 @@ std::vector<std::string> SplitEndpoints(const std::string& list) {
 
 int RunCoordinate(int argc, char** argv) {
   std::string workers_arg;
+  std::string failpoints_spec;
   Algorithm algorithm = Algorithm::kDT;
   int tuples_per_group = 2000;
   bool verify_local = false;
   bool shutdown_workers = false;
+  bool chaos_run = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--workers" && i + 1 < argc) {
@@ -137,6 +189,10 @@ int RunCoordinate(int argc, char** argv) {
       verify_local = true;
     } else if (arg == "--shutdown-workers") {
       shutdown_workers = true;
+    } else if (arg == "--failpoints" && i + 1 < argc) {
+      failpoints_spec = argv[++i];
+    } else if (arg == "--chaos") {
+      chaos_run = true;
     } else {
       return Usage();
     }
@@ -144,7 +200,8 @@ int RunCoordinate(int argc, char** argv) {
   if (workers_arg.empty()) return Usage();
 
   // The same deterministic instance every run, so two invocations (or the
-  // local verification below) are comparable.
+  // local verification below) are comparable. Generated before arming so
+  // the instance itself is never perturbed.
   SynthOptions synth;
   synth.dims = 2;
   synth.tuples_per_group = tuples_per_group;
@@ -158,12 +215,21 @@ int RunCoordinate(int argc, char** argv) {
                   dataset->attributes);
   TOOL_CHECK_OK(problem);
 
+  // --chaos marks a run whose faults live in the *worker* processes (armed
+  // via their SCORPION_FAILPOINTS env): clean failures still exit 3 even
+  // though this process armed nothing.
+  const bool chaos = chaos_run || !failpoints_spec.empty();
+  if (!failpoints_spec.empty()) {
+    TOOL_CHECK_OK(failpoints::ArmFromSpec(failpoints_spec));
+  }
+
   CoordinatorOptions coordinator_options;
   coordinator_options.heartbeat_interval_seconds = 2.0;
   Result<std::unique_ptr<Coordinator>> coordinator = Coordinator::Connect(
       SplitEndpoints(workers_arg), std::move(coordinator_options));
-  TOOL_CHECK_OK(coordinator);
-  TOOL_CHECK_OK((*coordinator)->Publish(dataset->table, *qr, *problem));
+  COORD_CHECK_OK(coordinator);
+  COORD_CHECK_OK(
+      (*coordinator)->Publish(dataset->table, *qr, *problem));
 
   ScorpionOptions engine_options;
   engine_options.algorithm = algorithm;
@@ -171,7 +237,7 @@ int RunCoordinate(int argc, char** argv) {
   // disables them so --verify-local can demand bit-identity.
   engine_options.naive.checkpoint_interval_seconds = 1e9;
   Result<Explanation> remote = (*coordinator)->Explain(engine_options);
-  TOOL_CHECK_OK(remote);
+  COORD_CHECK_OK(remote);
 
   const CoordinatorStats stats = (*coordinator)->stats();
   JsonValue out = JsonValue::Object();
@@ -191,13 +257,20 @@ int RunCoordinate(int argc, char** argv) {
           JsonValue::Number(static_cast<double>(stats.bytes_on_wire)));
   out.Add("workers_lost",
           JsonValue::Number(static_cast<double>(stats.workers_lost)));
+  out.Add("workers_recovered",
+          JsonValue::Number(static_cast<double>(stats.workers_recovered)));
   out.Add("ranges_redispatched",
           JsonValue::Number(static_cast<double>(stats.ranges_redispatched)));
   out.Add("local_fallback_ranges",
           JsonValue::Number(static_cast<double>(stats.local_fallback_ranges)));
+  out.Add("failpoints_tripped",
+          JsonValue::Number(static_cast<double>(stats.failpoints_tripped)));
 
   int exit_code = 0;
   if (verify_local) {
+    // The local reference must be fault-free: whatever the schedule armed,
+    // the ground truth is the undisturbed engine.
+    failpoints::DisarmAll();
     Scorpion engine(engine_options);
     Result<Explanation> local =
         engine.Explain(dataset->table, *qr, *problem);
@@ -206,7 +279,14 @@ int RunCoordinate(int argc, char** argv) {
         remote->best().pred.ToString() == local->best().pred.ToString() &&
         remote->best().influence == local->best().influence;
     out.Add("matches_local", JsonValue::Bool(match));
-    if (!match) exit_code = 1;
+    if (!match) {
+      std::fprintf(stderr, "scorpiond: DIVERGENCE remote=%s/%.17g local=%s/%.17g\n",
+                   remote->best().pred.ToString().c_str(),
+                   remote->best().influence,
+                   local->best().pred.ToString().c_str(),
+                   local->best().influence);
+      exit_code = 1;
+    }
   }
   if (shutdown_workers) (*coordinator)->ShutdownWorkers();
 
